@@ -1,0 +1,20 @@
+//! Debug SCC cycle deltas.
+use sas_attacks::{layout, scc, GadgetFlavor};
+use sas_isa::VirtAddr;
+use specasan::{build_system, Mitigation, SimConfig};
+
+fn main() {
+    let cfg = SimConfig::table2();
+    for m in [Mitigation::Unsafe, Mitigation::GhostMinion, Mitigation::Stt] {
+        for secret in [0x00u64, 0xFF] {
+            let p = scc::interference_program(&cfg, GadgetFlavor::TagViolating);
+            let mut sys = build_system(&cfg, p, m);
+            layout::install_victim(&mut sys);
+            sys.mem_mut().write_arch(VirtAddr::new(layout::SECRET_ADDR), 1, secret);
+            sys.mem_mut().write_arch(VirtAddr::new(layout::COND_SLOT), 8, 0);
+            let r = sys.run(3_000_000);
+            println!("interference {m} secret={secret:#x}: cycles={} exit={:?}", r.cycles, r.exit);
+        }
+    }
+}
+// (trace run appended via env var)

@@ -1,0 +1,37 @@
+//! Debug: print leak outcomes for every attack/mitigation/flavor.
+use sas_attacks::{all_attacks, GadgetFlavor};
+use specasan::{Mitigation, SimConfig};
+
+fn main() {
+    let cfg = SimConfig::table2();
+    let ms = [
+        Mitigation::Unsafe,
+        Mitigation::MteOnly,
+        Mitigation::Stt,
+        Mitigation::GhostMinion,
+        Mitigation::SpecAsan,
+        Mitigation::SpecCfi,
+        Mitigation::SpecAsanCfi,
+    ];
+    println!("{:<22} {:>9} flavors: V=violating M=matching", "attack", "mitigation");
+    for a in all_attacks() {
+        for m in ms {
+            let v = a.run(&cfg, m, GadgetFlavor::TagViolating);
+            let mm = if a.has_matching_flavor() {
+                Some(a.run(&cfg, m, GadgetFlavor::TagMatching))
+            } else {
+                None
+            };
+            println!(
+                "{:<22} {:<14} V leak={} det={} exit={:?}{}",
+                a.name(),
+                m.to_string(),
+                v.leaked,
+                v.detected,
+                v.exit,
+                mm.map(|o| format!("  M leak={}", o.leaked)).unwrap_or_default()
+            );
+        }
+        println!();
+    }
+}

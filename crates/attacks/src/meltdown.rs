@@ -1,0 +1,102 @@
+//! Bonus PoC: Meltdown (rogue data cache load).
+//!
+//! Not a Table 1 row — the paper's threat model subsumes it under
+//! permission-boundary bypass (§2.1) — but the canonical example of a
+//! deferred permission check is a natural fit for the simulator: an
+//! unprivileged load reads an L1-resident *kernel* byte; the fault is
+//! raised only at retirement, and the transient window transmits the value
+//! through the probe array.
+//!
+//! Under SpecASan the kernel secret carries a non-zero lock (as a
+//! KASAN-style tagged kernel would colour it), the attacker's key-0 load
+//! mismatches, and the forward is suppressed.
+
+use crate::layout::{self, PROBE, PROT_BASE};
+use crate::oracle::{cache_channel_outcome, AttackOutcome, GadgetFlavor};
+use crate::{AttackClass, TransientAttack};
+use sas_isa::{Operand, Program, ProgramBuilder, Reg, TagNibble, VirtAddr};
+use specasan::{build_system, Mitigation, SimConfig};
+
+/// Colour of the kernel's secret granules.
+pub const KERNEL_KEY: u8 = 0xD;
+/// Address of the kernel secret (inside the protected range).
+pub const KERNEL_SECRET_ADDR: u64 = PROT_BASE + 0x40;
+
+/// Meltdown: unprivileged read of privileged, L1-resident data.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Meltdown;
+
+/// Builds the Meltdown program (attacker code only; the kernel's activity
+/// is simulated by the harness warming the secret line).
+pub fn meltdown_program(_cfg: &SimConfig, _flavor: GadgetFlavor) -> Program {
+    let mut asm = ProgramBuilder::new();
+    asm.mov_imm64(Reg::X3, PROBE);
+    // Unprivileged (key-0) load of the kernel address: the permission check
+    // is deferred to retirement; the L1-resident data forwards transiently.
+    asm.mov_imm64(Reg::X16, KERNEL_SECRET_ADDR);
+    asm.ldrb(Reg::X5, Reg::X16, 0); // faults at retirement
+    asm.lsl(Reg::X6, Reg::X5, Operand::imm(6)); // USE
+    asm.ldrb_idx(Reg::X8, Reg::X3, Reg::X6); // TRANSMIT
+    asm.halt();
+    asm.build().expect("meltdown assembles")
+}
+
+impl TransientAttack for Meltdown {
+    fn name(&self) -> &'static str {
+        "Meltdown (bonus)"
+    }
+
+    fn class(&self) -> AttackClass {
+        AttackClass::Mds
+    }
+
+    fn run(&self, cfg: &SimConfig, m: Mitigation, flavor: GadgetFlavor) -> AttackOutcome {
+        let mut sys = build_system(cfg, meltdown_program(cfg, flavor), m);
+        layout::install_victim(&mut sys);
+        let mem = sys.mem_mut();
+        mem.write_arch(VirtAddr::new(KERNEL_SECRET_ADDR), 1, layout::SECRET);
+        mem.tags.set_range(VirtAddr::new(KERNEL_SECRET_ADDR), 16, TagNibble::new(KERNEL_KEY));
+        // Kernel phase: a syscall just touched the secret with its valid
+        // key, leaving the line hot in the L1 (warmed through the memory
+        // API — the program itself is purely the unprivileged attacker).
+        let kptr = VirtAddr::new(KERNEL_SECRET_ADDR).with_key(TagNibble::new(KERNEL_KEY));
+        let r1 = mem.load(0, kptr, 1, 0, sas_mem::FillMode::Install, false);
+        mem.load(0, kptr, 1, r1.latency + 1, sas_mem::FillMode::Install, false);
+        let exit = sys.run(3_000_000).exit;
+        cache_channel_outcome(&sys, exit)
+    }
+}
+
+/// Bonus attacks outside the paper's Table 1.
+pub fn bonus_attacks() -> Vec<Box<dyn TransientAttack>> {
+    vec![Box::new(Meltdown), Box::new(crate::lvi::LoadValueInjection)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sas_pipeline::RunExit;
+
+    #[test]
+    fn meltdown_leaks_on_baseline_and_faults() {
+        let out = Meltdown.run(&SimConfig::table2(), Mitigation::Unsafe, GadgetFlavor::TagViolating);
+        assert!(out.leaked, "the deferred permission check must leak");
+        assert!(matches!(out.exit, RunExit::Faulted(_)), "and still fault at retirement");
+    }
+
+    #[test]
+    fn meltdown_bypasses_stt_and_ghostminion() {
+        for m in [Mitigation::Stt, Mitigation::GhostMinion] {
+            let out = Meltdown.run(&SimConfig::table2(), m, GadgetFlavor::TagViolating);
+            assert!(out.leaked, "the non-branch-speculative faulting load evades {m}");
+        }
+    }
+
+    #[test]
+    fn meltdown_is_blocked_by_specasan() {
+        let out =
+            Meltdown.run(&SimConfig::table2(), Mitigation::SpecAsan, GadgetFlavor::TagViolating);
+        assert!(!out.leaked, "the key-0 load mismatches the kernel colour");
+        assert!(out.detected);
+    }
+}

@@ -1,0 +1,93 @@
+//! The leak oracle.
+
+use crate::layout;
+use sas_pipeline::{RunExit, System};
+
+/// Which disclosure gadget the attack uses (see crate docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GadgetFlavor {
+    /// The gadget dereferences the secret with a mismatching address tag.
+    TagViolating,
+    /// A redirected gadget dereferences the secret with its valid key.
+    TagMatching,
+}
+
+/// Result of one attack run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttackOutcome {
+    /// Did the secret become observable through the attack's channel?
+    pub leaked: bool,
+    /// How the run ended.
+    pub exit: RunExit,
+    /// Did the mitigation's own counters flag an unsafe speculative access
+    /// (the "detection log" of §4.3)?
+    pub detected: bool,
+    /// Simulated cycles (timing channels compare this across secret values).
+    pub cycles: u64,
+}
+
+/// Flush+Reload oracle: is the probe line indexed by the secret resident
+/// anywhere an attacker timing probe would see it (L1/LFB/L2)?
+pub fn secret_probe_hot(sys: &System) -> bool {
+    sys.mem().is_cached(0, layout::secret_probe_line())
+}
+
+/// Detection oracle: did any defense counter fire?
+pub fn detection_fired(sys: &System) -> bool {
+    let cs = &sys.core(0).stats;
+    let ms = sys.mem().stats();
+    cs.unsafe_spec_accesses > 0
+        || cs.stl_blocked > 0
+        || cs.tag_faults > 0
+        || ms.suppressed_fills > 0
+        || ms.stale_forwards_blocked > 0
+}
+
+/// Builds an [`AttackOutcome`] from a finished cache-channel run.
+pub fn cache_channel_outcome(sys: &System, exit: RunExit) -> AttackOutcome {
+    AttackOutcome {
+        leaked: secret_probe_hot(sys),
+        detected: detection_fired(sys),
+        cycles: sys.cycle(),
+        exit,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sas_isa::{ProgramBuilder, Reg};
+    use specasan::{build_system, Mitigation, SimConfig};
+
+    fn idle_system() -> System {
+        let mut asm = ProgramBuilder::new();
+        asm.halt();
+        let mut sys =
+            build_system(&SimConfig::tiny(), asm.build().unwrap(), Mitigation::Unsafe);
+        layout::install_victim(&mut sys);
+        sys
+    }
+
+    #[test]
+    fn cold_probe_is_not_hot() {
+        let mut sys = idle_system();
+        let exit = sys.run(1_000).exit;
+        assert!(!secret_probe_hot(&sys));
+        let o = cache_channel_outcome(&sys, exit);
+        assert!(!o.leaked);
+        assert!(!o.detected);
+    }
+
+    #[test]
+    fn touched_probe_is_hot() {
+        let mut asm = ProgramBuilder::new();
+        asm.mov_imm64(Reg::X1, layout::secret_probe_line().raw());
+        asm.ldrb(Reg::X2, Reg::X1, 0);
+        asm.halt();
+        let mut sys =
+            build_system(&SimConfig::tiny(), asm.build().unwrap(), Mitigation::Unsafe);
+        layout::install_victim(&mut sys);
+        sys.run(100_000);
+        assert!(secret_probe_hot(&sys));
+    }
+}

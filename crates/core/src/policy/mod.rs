@@ -1,0 +1,20 @@
+//! The mitigation policies evaluated in the paper.
+//!
+//! Each policy implements [`sas_pipeline::MitigationPolicy`] and intervenes
+//! at the decision points Figure 1 classifies:
+//!
+//! | Policy | Delays | Stage (Fig. 1) |
+//! |---|---|---|
+//! | [`fence::FencePolicy`] | every speculative load | ACCESS |
+//! | [`stt::SttPolicy`] | transmitters of tainted data | USE/TRANSMIT |
+//! | [`ghostminion::GhostMinionPolicy`] | visibility of fills | TRANSMIT |
+//! | [`specasan::SpecAsanPolicy`] | only tag-mismatching speculative accesses | ACCESS (selective) |
+//! | [`cfi::SpecCfiPolicy`] | unvalidated indirect control flow | (control) |
+//! | [`combo::SpecAsanCfiPolicy`] | both of the above | ACCESS + control |
+
+pub mod cfi;
+pub mod combo;
+pub mod fence;
+pub mod ghostminion;
+pub mod specasan;
+pub mod stt;

@@ -1,0 +1,255 @@
+//! The high-level simulator facade.
+//!
+//! [`Simulator`] wraps the pipeline [`System`] with the setup chores every
+//! experiment repeats — installing colours, writing initial memory, marking
+//! privileged ranges — behind a builder:
+//!
+//! ```
+//! use specasan::{Mitigation, Simulator};
+//! use sas_isa::{parse_program, Reg};
+//!
+//! let program = parse_program("MOVZ X1, #2\nADD X1, X1, X1\nHALT\n").unwrap();
+//! let mut sim = Simulator::builder()
+//!     .mitigation(Mitigation::SpecAsan)
+//!     .program(program)
+//!     .build();
+//! let report = sim.run();
+//! assert!(report.halted_cleanly());
+//! assert_eq!(sim.system().core(0).reg(Reg::X1), 4);
+//! ```
+
+use crate::config::SimConfig;
+use crate::mitigation::Mitigation;
+use sas_isa::{Program, TagNibble, VirtAddr};
+use sas_pipeline::{RunExit, RunResult, System};
+
+/// Builder for a ready-to-run [`Simulator`].
+#[derive(Debug, Default)]
+pub struct SimulatorBuilder {
+    config: Option<SimConfig>,
+    mitigation: Option<Mitigation>,
+    programs: Vec<Program>,
+    tag_ranges: Vec<(u64, u64, u8)>,
+    writes: Vec<(u64, u64, u64)>, // (addr, width, value)
+    protected: Vec<(u64, u64)>,
+    max_cycles: u64,
+}
+
+impl SimulatorBuilder {
+    /// Machine configuration (defaults to Table 2).
+    pub fn config(mut self, cfg: SimConfig) -> Self {
+        self.config = Some(cfg);
+        self
+    }
+
+    /// Active mitigation (defaults to [`Mitigation::SpecAsan`]).
+    pub fn mitigation(mut self, m: Mitigation) -> Self {
+        self.mitigation = Some(m);
+        self
+    }
+
+    /// Adds a program; one call per core (at least one required).
+    pub fn program(mut self, p: Program) -> Self {
+        self.programs.push(p);
+        self
+    }
+
+    /// Colours `[base, base+len)` with `tag` before the run.
+    pub fn tag_range(mut self, base: u64, len: u64, tag: u8) -> Self {
+        self.tag_ranges.push((base, len, tag));
+        self
+    }
+
+    /// Writes an initial value (`width` bytes) at `addr`.
+    pub fn write(mut self, addr: u64, width: u64, value: u64) -> Self {
+        self.writes.push((addr, width, value));
+        self
+    }
+
+    /// Marks `[base, base+len)` privileged (unprivileged loads fault).
+    pub fn protect(mut self, base: u64, len: u64) -> Self {
+        self.protected.push((base, len));
+        self
+    }
+
+    /// Cycle budget for [`Simulator::run`] (default 100 M).
+    pub fn max_cycles(mut self, cycles: u64) -> Self {
+        self.max_cycles = cycles;
+        self
+    }
+
+    /// Assembles the simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no program was supplied.
+    pub fn build(self) -> Simulator {
+        assert!(!self.programs.is_empty(), "SimulatorBuilder needs at least one program");
+        let cfg = self.config.unwrap_or_default();
+        let m = self.mitigation.unwrap_or(Mitigation::SpecAsan);
+        let mut system = if self.programs.len() == 1 {
+            crate::mitigation::build_system(
+                &cfg,
+                self.programs.into_iter().next().expect("checked"),
+                m,
+            )
+        } else {
+            crate::mitigation::build_multicore(&cfg, self.programs, m)
+        };
+        {
+            let mem = system.mem_mut();
+            for (base, len, tag) in self.tag_ranges {
+                mem.tags.set_range(VirtAddr::new(base), len, TagNibble::new(tag));
+            }
+            for (addr, width, value) in self.writes {
+                mem.write_arch(VirtAddr::new(addr), width, value);
+            }
+            for (base, len) in self.protected {
+                mem.add_protected_range(base, len);
+            }
+        }
+        Simulator {
+            system,
+            max_cycles: if self.max_cycles == 0 { 100_000_000 } else { self.max_cycles },
+        }
+    }
+}
+
+/// Outcome summary of a [`Simulator::run`].
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Raw run result.
+    pub result: RunResult,
+}
+
+impl Report {
+    /// Did every core halt without faulting or hitting the cycle budget?
+    pub fn halted_cleanly(&self) -> bool {
+        self.result.exit == RunExit::Halted
+    }
+
+    /// Whole-machine instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.result.cycles == 0 {
+            0.0
+        } else {
+            self.result.committed() as f64 / self.result.cycles as f64
+        }
+    }
+
+    /// One-paragraph human summary.
+    pub fn summary(&self) -> String {
+        let tag_faults: u64 = self.result.core_stats.iter().map(|s| s.tag_faults).sum();
+        let unsafe_accesses: u64 =
+            self.result.core_stats.iter().map(|s| s.unsafe_spec_accesses).sum();
+        format!(
+            "{:?}: {} instructions in {} cycles (IPC {:.2}); {} unsafe speculative \
+             access(es) blocked, {} tag fault(s), {} fill(s) suppressed",
+            self.result.exit,
+            self.result.committed(),
+            self.result.cycles,
+            self.ipc(),
+            unsafe_accesses,
+            tag_faults,
+            self.result.mem_stats.suppressed_fills,
+        )
+    }
+}
+
+/// A configured machine, ready to run.
+#[derive(Debug)]
+pub struct Simulator {
+    system: System,
+    max_cycles: u64,
+}
+
+impl Simulator {
+    /// Starts a builder.
+    pub fn builder() -> SimulatorBuilder {
+        SimulatorBuilder::default()
+    }
+
+    /// Runs to completion (halt, fault, or cycle budget).
+    pub fn run(&mut self) -> Report {
+        Report { result: self.system.run(self.max_cycles) }
+    }
+
+    /// The underlying system (registers, memory, stats, traces).
+    pub fn system(&self) -> &System {
+        &self.system
+    }
+
+    /// Mutable access (e.g. `set_reg` before running).
+    pub fn system_mut(&mut self) -> &mut System {
+        &mut self.system
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sas_isa::{parse_program, Reg};
+
+    fn trivial() -> Program {
+        parse_program("MOVZ X1, #7\nHALT\n").unwrap()
+    }
+
+    #[test]
+    fn builder_defaults_to_table2_specasan() {
+        let mut sim = Simulator::builder().program(trivial()).build();
+        let rep = sim.run();
+        assert!(rep.halted_cleanly());
+        assert_eq!(sim.system().core(0).reg(Reg::X1), 7);
+        assert_eq!(sim.system().core(0).policy_name(), "specasan");
+    }
+
+    #[test]
+    fn builder_installs_tags_writes_and_protection() {
+        let p = parse_program(
+            "MOV X1, #0x5000\nLDR X2, [X1]\nHALT\n",
+        )
+        .unwrap();
+        let mut sim = Simulator::builder()
+            .mitigation(Mitigation::Unsafe)
+            .program(p)
+            .write(0x5000, 8, 99)
+            .tag_range(0x6000, 16, 4)
+            .protect(0x9000, 0x100)
+            .build();
+        let rep = sim.run();
+        assert!(rep.halted_cleanly());
+        assert_eq!(sim.system().core(0).reg(Reg::X2), 99);
+        assert!(sim.system().mem().is_protected(VirtAddr::new(0x9010)));
+        assert_eq!(
+            sim.system().mem().load_tag(VirtAddr::new(0x6000)),
+            TagNibble::new(4)
+        );
+    }
+
+    #[test]
+    fn multicore_builder_runs_both_programs() {
+        let mut sim = Simulator::builder()
+            .program(trivial())
+            .program(parse_program("MOVZ X1, #9\nHALT\n").unwrap())
+            .build();
+        let rep = sim.run();
+        assert!(rep.halted_cleanly());
+        assert_eq!(sim.system().core(0).reg(Reg::X1), 7);
+        assert_eq!(sim.system().core(1).reg(Reg::X1), 9);
+    }
+
+    #[test]
+    fn report_summary_is_informative() {
+        let mut sim = Simulator::builder().program(trivial()).build();
+        let rep = sim.run();
+        let s = rep.summary();
+        assert!(s.contains("IPC"));
+        assert!(s.contains("Halted"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one program")]
+    fn builder_requires_a_program() {
+        let _ = Simulator::builder().build();
+    }
+}

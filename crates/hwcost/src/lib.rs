@@ -1,0 +1,20 @@
+//! # Hardware cost model (Table 3)
+//!
+//! An analytical stand-in for the paper's CACTI 22 nm + Synopsys DC +
+//! McPAT flow (§5.4): SRAM structures are costed from their bit counts with
+//! CACTI-style periphery scaling, added logic (tag-check comparators, the
+//! TSH, CFI checks) from gate counts, and core-level roll-ups from a
+//! McPAT-calibrated area budget.
+//!
+//! The model reproduces Table 3's *relative* overheads — percentage increase
+//! of each affected structure and of the whole core — for ARM MTE, SpecASan
+//! and SpecASan+CFI. Absolute µm²/mW values are indicative only.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod sram;
+pub mod table3;
+
+pub use sram::{LogicBlock, SramStructure, TechNode};
+pub use table3::{render_table3, table3, Table3, Table3Row};

@@ -1,0 +1,243 @@
+//! Tagged virtual addresses.
+//!
+//! ARM MTE places a 4-bit *address tag* (the "key") in bits `[59:56]` of a
+//! 64-bit pointer; Top-Byte-Ignore makes the byte architecturally transparent
+//! to translation. Memory is tagged at 16-byte *granule* granularity with a
+//! 4-bit *allocation tag* (the "lock"). [`VirtAddr`] models exactly that
+//! layout, and is used unchanged by the caches, LSQ, LFB and memory
+//! controller of the simulator.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Size of an MTE tag granule in bytes (one allocation tag per granule).
+pub const GRANULE_BYTES: u64 = 16;
+
+/// Size of a cache line in bytes (64B lines hold four allocation tags).
+pub const LINE_BYTES: u64 = 64;
+
+/// Bit position of the low end of the address-tag nibble.
+const TAG_SHIFT: u32 = 56;
+/// Mask covering the address-tag nibble in a raw pointer.
+const TAG_MASK: u64 = 0xF << TAG_SHIFT;
+/// Mask selecting the translated (physical-ish) part of the address.
+/// The whole top byte is ignored for translation (TBI).
+const ADDR_MASK: u64 = 0x00FF_FFFF_FFFF_FFFF;
+
+/// A 4-bit MTE tag (either an address tag / "key" or an allocation tag /
+/// "lock").
+///
+/// ```
+/// use sas_isa::TagNibble;
+/// let t = TagNibble::new(0xb);
+/// assert_eq!(t.value(), 0xb);
+/// assert_eq!(t.wrapping_add(7).value(), 0x2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TagNibble(u8);
+
+impl TagNibble {
+    /// The untagged/match-all tag `0b0000`, conventionally used for memory
+    /// that is not under MTE protection.
+    pub const ZERO: TagNibble = TagNibble(0);
+
+    /// Number of distinct tags ARM MTE supports.
+    pub const CARDINALITY: usize = 16;
+
+    /// Creates a tag from the low 4 bits of `v`.
+    pub fn new(v: u8) -> TagNibble {
+        TagNibble(v & 0xF)
+    }
+
+    /// The raw 4-bit value.
+    pub fn value(self) -> u8 {
+        self.0
+    }
+
+    /// Tag arithmetic used by `ADDG`/`SUBG`/`IRG`: wraps modulo 16.
+    pub fn wrapping_add(self, delta: u8) -> TagNibble {
+        TagNibble((self.0.wrapping_add(delta)) & 0xF)
+    }
+
+    /// Iterator over all sixteen tags.
+    pub fn all() -> impl Iterator<Item = TagNibble> {
+        (0..16u8).map(TagNibble)
+    }
+}
+
+impl fmt::Display for TagNibble {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:x}", self.0)
+    }
+}
+
+impl From<u8> for TagNibble {
+    fn from(v: u8) -> Self {
+        TagNibble::new(v)
+    }
+}
+
+/// A 64-bit virtual address carrying an MTE address tag in bits `[59:56]`.
+///
+/// The simulator treats the low 56 bits as the translated address (TBI); the
+/// key nibble rides along in the pointer, exactly as on ARMv8.5-A hardware.
+///
+/// ```
+/// use sas_isa::{VirtAddr, TagNibble};
+/// let p = VirtAddr::new(0x4000_0444).with_key(TagNibble::new(0xb));
+/// assert_eq!(p.key().value(), 0xb);
+/// assert_eq!(p.untagged().raw(), 0x4000_0444);
+/// assert_eq!(p.granule_index(), 0x4000_0444 / 16);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VirtAddr(u64);
+
+impl VirtAddr {
+    /// Creates an address from raw pointer bits (tag included if present).
+    pub fn new(raw: u64) -> VirtAddr {
+        VirtAddr(raw)
+    }
+
+    /// The raw 64-bit pointer value, tag included.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The address tag ("key") stored in bits `[59:56]`.
+    pub fn key(self) -> TagNibble {
+        TagNibble::new(((self.0 & TAG_MASK) >> TAG_SHIFT) as u8)
+    }
+
+    /// Returns this address with the key nibble replaced.
+    #[must_use]
+    pub fn with_key(self, key: TagNibble) -> VirtAddr {
+        VirtAddr((self.0 & !TAG_MASK) | ((key.value() as u64) << TAG_SHIFT))
+    }
+
+    /// The translated address: the pointer with its entire top byte cleared
+    /// (Top-Byte Ignore). This is what the memory subsystem indexes with.
+    pub fn untagged(self) -> VirtAddr {
+        VirtAddr(self.0 & ADDR_MASK)
+    }
+
+    /// Byte offset within the 16-byte tag granule.
+    pub fn granule_offset(self) -> u64 {
+        self.untagged().0 % GRANULE_BYTES
+    }
+
+    /// Index of the 16-byte tag granule containing this address.
+    pub fn granule_index(self) -> u64 {
+        self.untagged().0 / GRANULE_BYTES
+    }
+
+    /// Base address of the containing granule.
+    pub fn granule_base(self) -> VirtAddr {
+        VirtAddr(self.untagged().0 & !(GRANULE_BYTES - 1))
+    }
+
+    /// Base address of the containing 64-byte cache line.
+    pub fn line_base(self) -> VirtAddr {
+        VirtAddr(self.untagged().0 & !(LINE_BYTES - 1))
+    }
+
+    /// Which of the four granules in the cache line this address falls in
+    /// (the "two highest address offset bits" of §3.3.1).
+    pub fn granule_in_line(self) -> usize {
+        ((self.untagged().0 % LINE_BYTES) / GRANULE_BYTES) as usize
+    }
+
+    /// Address arithmetic preserving the key nibble (pointer + offset), the
+    /// way hardware add on a tagged pointer behaves.
+    #[must_use]
+    pub fn offset(self, delta: i64) -> VirtAddr {
+        let key = self.key();
+        VirtAddr((self.untagged().0).wrapping_add_signed(delta)).with_key(key)
+    }
+
+    /// Whether an access of `width` bytes at this address stays within one
+    /// 16-byte granule (single tag check) or straddles two.
+    pub fn crosses_granule(self, width: u64) -> bool {
+        width > 0 && (self.granule_offset() + width - 1) / GRANULE_BYTES != 0
+    }
+}
+
+impl fmt::Display for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:x}|{:014x}", self.key().value(), self.untagged().raw())
+    }
+}
+
+impl From<u64> for VirtAddr {
+    fn from(raw: u64) -> Self {
+        VirtAddr(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_roundtrip() {
+        for t in TagNibble::all() {
+            let a = VirtAddr::new(0x1234_5678).with_key(t);
+            assert_eq!(a.key(), t);
+            assert_eq!(a.untagged().raw(), 0x1234_5678);
+        }
+    }
+
+    #[test]
+    fn with_key_overwrites_previous_key() {
+        let a = VirtAddr::new(0x1000).with_key(TagNibble::new(3)).with_key(TagNibble::new(9));
+        assert_eq!(a.key().value(), 9);
+    }
+
+    #[test]
+    fn granule_and_line_geometry() {
+        let a = VirtAddr::new(0x100 + 49); // line 0x100, granule 3, offset 1
+        assert_eq!(a.line_base().raw(), 0x100);
+        assert_eq!(a.granule_in_line(), 3);
+        assert_eq!(a.granule_base().raw(), 0x100 + 48);
+        assert_eq!(a.granule_offset(), 1);
+    }
+
+    #[test]
+    fn untagged_clears_full_top_byte() {
+        let a = VirtAddr::new(0xFF00_0000_0000_1234);
+        assert_eq!(a.untagged().raw(), 0x1234);
+    }
+
+    #[test]
+    fn offset_preserves_key() {
+        let a = VirtAddr::new(0x2000).with_key(TagNibble::new(0xb));
+        let b = a.offset(0x30);
+        assert_eq!(b.key().value(), 0xb);
+        assert_eq!(b.untagged().raw(), 0x2030);
+        let c = a.offset(-0x10);
+        assert_eq!(c.untagged().raw(), 0x1FF0);
+        assert_eq!(c.key().value(), 0xb);
+    }
+
+    #[test]
+    fn crosses_granule_detection() {
+        let a = VirtAddr::new(15);
+        assert!(a.crosses_granule(2));
+        assert!(!a.crosses_granule(1));
+        let b = VirtAddr::new(8);
+        assert!(!b.crosses_granule(8));
+        assert!(b.crosses_granule(9));
+    }
+
+    #[test]
+    fn tag_wrapping_arithmetic() {
+        assert_eq!(TagNibble::new(0xF).wrapping_add(1).value(), 0);
+        assert_eq!(TagNibble::new(0x7).wrapping_add(0x10).value(), 0x7);
+    }
+
+    #[test]
+    fn display_matches_figure2_notation() {
+        // Figure 2 renders pointers as "0xb|000003fb104c3e".
+        let a = VirtAddr::new(0x0003_fb10_4c3e).with_key(TagNibble::new(0xb));
+        assert_eq!(a.to_string(), "0xb|000003fb104c3e");
+    }
+}

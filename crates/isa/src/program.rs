@@ -1,0 +1,575 @@
+//! Programs and the label-resolving assembler.
+
+use crate::inst::{AluOp, AmoOp, BtiKind, Cond, Inst, MemWidth, Operand};
+use crate::reg::Reg;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A symbolic branch target handed out by [`ProgramBuilder::new_label`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Label(usize);
+
+/// A chunk of initialised data memory.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DataSegment {
+    /// Untagged base virtual address.
+    pub base: u64,
+    /// Initial contents.
+    pub bytes: Vec<u8>,
+}
+
+/// Errors produced while assembling a [`Program`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A label was referenced but never bound with [`ProgramBuilder::bind`].
+    UnboundLabel(Label),
+    /// A label was bound twice.
+    Rebound(Label),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UnboundLabel(l) => write!(f, "label {:?} referenced but never bound", l),
+            AsmError::Rebound(l) => write!(f, "label {:?} bound more than once", l),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// An executable SAS-IR program: instructions plus initial data memory.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    insts: Vec<Inst>,
+    data: Vec<DataSegment>,
+    entry: usize,
+    label_addrs: HashMap<String, usize>,
+}
+
+impl Program {
+    /// The instruction at index `pc`, or `None` past the end.
+    pub fn fetch(&self, pc: usize) -> Option<Inst> {
+        self.insts.get(pc).copied()
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Entry point (instruction index).
+    pub fn entry(&self) -> usize {
+        self.entry
+    }
+
+    /// All instructions, in program order.
+    pub fn insts(&self) -> &[Inst] {
+        &self.insts
+    }
+
+    /// Initial data segments.
+    pub fn data(&self) -> &[DataSegment] {
+        &self.data
+    }
+
+    /// The instruction index a named label was bound at, if any.
+    pub fn label(&self, name: &str) -> Option<usize> {
+        self.label_addrs.get(name).copied()
+    }
+
+    /// Re-points the entry at an existing instruction (used by the text
+    /// assembler's `.entry` directive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entry` is out of range.
+    pub fn set_entry(&mut self, entry: usize) {
+        assert!(entry < self.insts.len(), "entry {entry} out of range");
+        self.entry = entry;
+    }
+
+    /// Renders a human-readable listing (one instruction per line).
+    pub fn listing(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let rev: HashMap<usize, &str> =
+            self.label_addrs.iter().map(|(k, &v)| (v, k.as_str())).collect();
+        for (i, inst) in self.insts.iter().enumerate() {
+            if let Some(name) = rev.get(&i) {
+                let _ = writeln!(out, "{name}:");
+            }
+            let _ = writeln!(out, "  {i:4}: {inst}");
+        }
+        out
+    }
+}
+
+/// Incremental assembler with forward-referencable labels.
+///
+/// ```
+/// use sas_isa::{ProgramBuilder, Reg, Cond, Operand};
+///
+/// let mut asm = ProgramBuilder::new();
+/// let done = asm.new_label();
+/// asm.movz(Reg::X0, 3, 0);
+/// let loop_top = asm.here();
+/// asm.sub(Reg::X0, Reg::X0, Operand::imm(1));
+/// asm.cbz(Reg::X0, done);
+/// asm.b_idx(loop_top);
+/// asm.bind(done);
+/// asm.halt();
+/// let p = asm.build().unwrap();
+/// assert_eq!(p.len(), 5);
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    insts: Vec<Inst>,
+    data: Vec<DataSegment>,
+    labels: Vec<Option<usize>>, // label id -> bound index
+    named: HashMap<String, Label>,
+    fixups: Vec<(usize, Label)>, // instruction index whose target is a label id
+    entry: usize,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> ProgramBuilder {
+        ProgramBuilder::default()
+    }
+
+    /// Allocates a fresh unbound label.
+    pub fn new_label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Allocates (or returns the existing) label with a symbolic name, which
+    /// will be queryable on the built program via [`Program::label`].
+    pub fn named_label(&mut self, name: &str) -> Label {
+        if let Some(&l) = self.named.get(name) {
+            return l;
+        }
+        let l = self.new_label();
+        self.named.insert(name.to_owned(), l);
+        l
+    }
+
+    /// Binds `label` to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already bound (assembler misuse is a
+    /// programming error in this codebase).
+    pub fn bind(&mut self, label: Label) {
+        assert!(self.labels[label.0].is_none(), "label bound twice");
+        self.labels[label.0] = Some(self.insts.len());
+    }
+
+    /// The current instruction index, for backward branches.
+    pub fn here(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Sets the entry point (defaults to instruction 0).
+    pub fn entry(&mut self, index: usize) -> &mut Self {
+        self.entry = index;
+        self
+    }
+
+    /// Adds an initialised data segment at `base`.
+    pub fn data_segment(&mut self, base: u64, bytes: Vec<u8>) -> &mut Self {
+        self.data.push(DataSegment { base, bytes });
+        self
+    }
+
+    /// Pushes a raw instruction.
+    pub fn push(&mut self, inst: Inst) -> &mut Self {
+        self.insts.push(inst);
+        self
+    }
+
+    fn push_branch(&mut self, inst: Inst, label: Label) {
+        self.fixups.push((self.insts.len(), label));
+        self.insts.push(inst);
+    }
+
+    // ---- ALU helpers -------------------------------------------------
+
+    /// `ADD dst, lhs, rhs`.
+    pub fn add(&mut self, dst: Reg, lhs: Reg, rhs: impl Into<Operand>) -> &mut Self {
+        self.push(Inst::Alu { op: AluOp::Add, dst, lhs, rhs: rhs.into() })
+    }
+
+    /// `SUB dst, lhs, rhs`.
+    pub fn sub(&mut self, dst: Reg, lhs: Reg, rhs: impl Into<Operand>) -> &mut Self {
+        self.push(Inst::Alu { op: AluOp::Sub, dst, lhs, rhs: rhs.into() })
+    }
+
+    /// `AND dst, lhs, rhs`.
+    pub fn and(&mut self, dst: Reg, lhs: Reg, rhs: impl Into<Operand>) -> &mut Self {
+        self.push(Inst::Alu { op: AluOp::And, dst, lhs, rhs: rhs.into() })
+    }
+
+    /// `ORR dst, lhs, rhs`.
+    pub fn orr(&mut self, dst: Reg, lhs: Reg, rhs: impl Into<Operand>) -> &mut Self {
+        self.push(Inst::Alu { op: AluOp::Orr, dst, lhs, rhs: rhs.into() })
+    }
+
+    /// `EOR dst, lhs, rhs`.
+    pub fn eor(&mut self, dst: Reg, lhs: Reg, rhs: impl Into<Operand>) -> &mut Self {
+        self.push(Inst::Alu { op: AluOp::Eor, dst, lhs, rhs: rhs.into() })
+    }
+
+    /// `LSL dst, lhs, rhs`.
+    pub fn lsl(&mut self, dst: Reg, lhs: Reg, rhs: impl Into<Operand>) -> &mut Self {
+        self.push(Inst::Alu { op: AluOp::Lsl, dst, lhs, rhs: rhs.into() })
+    }
+
+    /// `LSR dst, lhs, rhs`.
+    pub fn lsr(&mut self, dst: Reg, lhs: Reg, rhs: impl Into<Operand>) -> &mut Self {
+        self.push(Inst::Alu { op: AluOp::Lsr, dst, lhs, rhs: rhs.into() })
+    }
+
+    /// `MUL dst, lhs, rhs`.
+    pub fn mul(&mut self, dst: Reg, lhs: Reg, rhs: impl Into<Operand>) -> &mut Self {
+        self.push(Inst::Alu { op: AluOp::Mul, dst, lhs, rhs: rhs.into() })
+    }
+
+    /// `UDIV dst, lhs, rhs`.
+    pub fn udiv(&mut self, dst: Reg, lhs: Reg, rhs: impl Into<Operand>) -> &mut Self {
+        self.push(Inst::Alu { op: AluOp::UDiv, dst, lhs, rhs: rhs.into() })
+    }
+
+    /// `MOVZ dst, #imm, LSL #(16*shift)`.
+    pub fn movz(&mut self, dst: Reg, imm: u16, shift: u8) -> &mut Self {
+        self.push(Inst::MovZ { dst, imm, shift })
+    }
+
+    /// `MOVK dst, #imm, LSL #(16*shift)`.
+    pub fn movk(&mut self, dst: Reg, imm: u16, shift: u8) -> &mut Self {
+        self.push(Inst::MovK { dst, imm, shift })
+    }
+
+    /// Loads an arbitrary 64-bit constant using MOVZ/MOVK (1-4 instructions).
+    pub fn mov_imm64(&mut self, dst: Reg, value: u64) -> &mut Self {
+        self.movz(dst, (value & 0xFFFF) as u16, 0);
+        for hw in 1..4u8 {
+            let part = ((value >> (16 * hw)) & 0xFFFF) as u16;
+            if part != 0 {
+                self.movk(dst, part, hw);
+            }
+        }
+        self
+    }
+
+    /// `MOV dst, src` (encoded as `ORR dst, XZR, src`).
+    pub fn mov(&mut self, dst: Reg, src: Reg) -> &mut Self {
+        self.push(Inst::Alu { op: AluOp::Orr, dst, lhs: Reg::XZR, rhs: Operand::Reg(src) })
+    }
+
+    /// `CMP lhs, rhs`.
+    pub fn cmp(&mut self, lhs: Reg, rhs: impl Into<Operand>) -> &mut Self {
+        self.push(Inst::Cmp { lhs, rhs: rhs.into() })
+    }
+
+    // ---- memory helpers ----------------------------------------------
+
+    /// `LDR dst, [base, #offset]` (8 bytes).
+    pub fn ldr(&mut self, dst: Reg, base: Reg, offset: i64) -> &mut Self {
+        self.push(Inst::Ldr { dst, base, offset, width: MemWidth::B8 })
+    }
+
+    /// `LDRB dst, [base, #offset]`.
+    pub fn ldrb(&mut self, dst: Reg, base: Reg, offset: i64) -> &mut Self {
+        self.push(Inst::Ldr { dst, base, offset, width: MemWidth::B1 })
+    }
+
+    /// `LDR dst, [base, index]`.
+    pub fn ldr_idx(&mut self, dst: Reg, base: Reg, index: Reg) -> &mut Self {
+        self.push(Inst::LdrIdx { dst, base, index, width: MemWidth::B8 })
+    }
+
+    /// `LDRB dst, [base, index]`.
+    pub fn ldrb_idx(&mut self, dst: Reg, base: Reg, index: Reg) -> &mut Self {
+        self.push(Inst::LdrIdx { dst, base, index, width: MemWidth::B1 })
+    }
+
+    /// `STR src, [base, #offset]` (8 bytes).
+    pub fn str(&mut self, src: Reg, base: Reg, offset: i64) -> &mut Self {
+        self.push(Inst::Str { src, base, offset, width: MemWidth::B8 })
+    }
+
+    /// `STRB src, [base, #offset]`.
+    pub fn strb(&mut self, src: Reg, base: Reg, offset: i64) -> &mut Self {
+        self.push(Inst::Str { src, base, offset, width: MemWidth::B1 })
+    }
+
+    /// `STR src, [base, index]`.
+    pub fn str_idx(&mut self, src: Reg, base: Reg, index: Reg) -> &mut Self {
+        self.push(Inst::StrIdx { src, base, index, width: MemWidth::B8 })
+    }
+
+    // ---- MTE helpers ---------------------------------------------------
+
+    /// `IRG dst, src`.
+    pub fn irg(&mut self, dst: Reg, src: Reg) -> &mut Self {
+        self.push(Inst::Irg { dst, src })
+    }
+
+    /// `ADDG dst, src, #offset, #tag_offset`.
+    pub fn addg(&mut self, dst: Reg, src: Reg, offset: u64, tag_offset: u8) -> &mut Self {
+        self.push(Inst::Addg { dst, src, offset, tag_offset })
+    }
+
+    /// `STG [base, #offset]`.
+    pub fn stg(&mut self, base: Reg, offset: i64) -> &mut Self {
+        self.push(Inst::Stg { base, offset })
+    }
+
+    /// `ST2G [base, #offset]`.
+    pub fn st2g(&mut self, base: Reg, offset: i64) -> &mut Self {
+        self.push(Inst::St2g { base, offset })
+    }
+
+    /// `LDG dst, [base]`.
+    pub fn ldg(&mut self, dst: Reg, base: Reg) -> &mut Self {
+        self.push(Inst::Ldg { dst, base })
+    }
+
+    // ---- control flow --------------------------------------------------
+
+    /// `B label`.
+    pub fn b(&mut self, label: Label) -> &mut Self {
+        self.push_branch(Inst::B { target: usize::MAX }, label);
+        self
+    }
+
+    /// `B` to a known instruction index (for backward branches).
+    pub fn b_idx(&mut self, target: usize) -> &mut Self {
+        self.push(Inst::B { target })
+    }
+
+    /// `B.cond label`.
+    pub fn b_cond(&mut self, cond: Cond, label: Label) -> &mut Self {
+        self.push_branch(Inst::BCond { cond, target: usize::MAX }, label);
+        self
+    }
+
+    /// `B.cond` to a known instruction index.
+    pub fn b_cond_idx(&mut self, cond: Cond, target: usize) -> &mut Self {
+        self.push(Inst::BCond { cond, target })
+    }
+
+    /// `CBZ reg, label`.
+    pub fn cbz(&mut self, reg: Reg, label: Label) -> &mut Self {
+        self.push_branch(Inst::Cbz { reg, target: usize::MAX }, label);
+        self
+    }
+
+    /// `CBNZ reg, label`.
+    pub fn cbnz(&mut self, reg: Reg, label: Label) -> &mut Self {
+        self.push_branch(Inst::Cbnz { reg, target: usize::MAX }, label);
+        self
+    }
+
+    /// `CBNZ` to a known instruction index.
+    pub fn cbnz_idx(&mut self, reg: Reg, target: usize) -> &mut Self {
+        self.push(Inst::Cbnz { reg, target })
+    }
+
+    /// `BL label`.
+    pub fn bl(&mut self, label: Label) -> &mut Self {
+        self.push_branch(Inst::Bl { target: usize::MAX }, label);
+        self
+    }
+
+    /// `BR reg`.
+    pub fn br(&mut self, reg: Reg) -> &mut Self {
+        self.push(Inst::Br { reg })
+    }
+
+    /// `BLR reg`.
+    pub fn blr(&mut self, reg: Reg) -> &mut Self {
+        self.push(Inst::Blr { reg })
+    }
+
+    /// `RET`.
+    pub fn ret(&mut self) -> &mut Self {
+        self.push(Inst::Ret)
+    }
+
+    /// `BTI kind`.
+    pub fn bti(&mut self, kind: BtiKind) -> &mut Self {
+        self.push(Inst::Bti { kind })
+    }
+
+    /// `DC CIVAC [base, #offset]` — flush the addressed line.
+    pub fn flush(&mut self, base: Reg, offset: i64) -> &mut Self {
+        self.push(Inst::Flush { base, offset })
+    }
+
+    // ---- misc -----------------------------------------------------------
+
+    /// Speculation barrier.
+    pub fn spec_barrier(&mut self) -> &mut Self {
+        self.push(Inst::SpecBarrier)
+    }
+
+    /// Memory fence.
+    pub fn fence(&mut self) -> &mut Self {
+        self.push(Inst::Fence)
+    }
+
+    /// Atomic operation.
+    pub fn amo(&mut self, op: AmoOp, dst: Reg, addr: Reg, src: Reg, expected: Reg) -> &mut Self {
+        self.push(Inst::Amo { op, dst, addr, src, expected })
+    }
+
+    /// `NOP`.
+    pub fn nop(&mut self) -> &mut Self {
+        self.push(Inst::Nop)
+    }
+
+    /// `HALT`.
+    pub fn halt(&mut self) -> &mut Self {
+        self.push(Inst::Halt)
+    }
+
+    /// Resolves all labels and produces the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::UnboundLabel`] if any referenced label was never
+    /// bound.
+    pub fn build(self) -> Result<Program, AsmError> {
+        let ProgramBuilder { mut insts, data, labels, named, fixups, entry } = self;
+        for (idx, label) in fixups {
+            let target = labels[label.0].ok_or(AsmError::UnboundLabel(label))?;
+            match &mut insts[idx] {
+                Inst::B { target: t }
+                | Inst::BCond { target: t, .. }
+                | Inst::Cbz { target: t, .. }
+                | Inst::Cbnz { target: t, .. }
+                | Inst::Bl { target: t } => *t = target,
+                other => unreachable!("fixup on non-branch instruction {other}"),
+            }
+        }
+        let label_addrs = named
+            .into_iter()
+            .filter_map(|(name, l)| labels[l.0].map(|i| (name, i)))
+            .collect();
+        Ok(Program { insts, data, entry, label_addrs })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut asm = ProgramBuilder::new();
+        let end = asm.new_label();
+        let top = asm.here();
+        asm.sub(Reg::X0, Reg::X0, Operand::imm(1));
+        asm.cbz(Reg::X0, end);
+        asm.b_idx(top);
+        asm.bind(end);
+        asm.halt();
+        let p = asm.build().unwrap();
+        assert_eq!(p.fetch(1), Some(Inst::Cbz { reg: Reg::X0, target: 3 }));
+        assert_eq!(p.fetch(2), Some(Inst::B { target: 0 }));
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut asm = ProgramBuilder::new();
+        let l = asm.new_label();
+        asm.b(l);
+        let err = asm.build().unwrap_err();
+        assert!(matches!(err, AsmError::UnboundLabel(_)));
+        assert!(err.to_string().contains("never bound"));
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bind_panics() {
+        let mut asm = ProgramBuilder::new();
+        let l = asm.new_label();
+        asm.bind(l);
+        asm.bind(l);
+    }
+
+    #[test]
+    fn named_labels_are_queryable() {
+        let mut asm = ProgramBuilder::new();
+        let f = asm.named_label("f");
+        asm.bl(f);
+        asm.halt();
+        asm.bind(f);
+        asm.ret();
+        let p = asm.build().unwrap();
+        assert_eq!(p.label("f"), Some(2));
+        assert_eq!(p.label("g"), None);
+    }
+
+    #[test]
+    fn named_label_is_idempotent() {
+        let mut asm = ProgramBuilder::new();
+        let a = asm.named_label("x");
+        let b = asm.named_label("x");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mov_imm64_roundtrip() {
+        // Verify the MOVZ/MOVK sequence reconstructs the constant.
+        for value in [0u64, 1, 0xFFFF, 0x1_0000, 0xDEAD_BEEF_CAFE_F00D, u64::MAX] {
+            let mut asm = ProgramBuilder::new();
+            asm.mov_imm64(Reg::X3, value);
+            let p = asm.build().unwrap();
+            let mut x3 = 0u64;
+            for inst in p.insts() {
+                match *inst {
+                    Inst::MovZ { imm, shift, .. } => x3 = (imm as u64) << (16 * shift),
+                    Inst::MovK { imm, shift, .. } => {
+                        let m = 0xFFFFu64 << (16 * shift);
+                        x3 = (x3 & !m) | ((imm as u64) << (16 * shift));
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            assert_eq!(x3, value);
+        }
+    }
+
+    #[test]
+    fn data_segments_are_preserved() {
+        let mut asm = ProgramBuilder::new();
+        asm.data_segment(0x1000, vec![1, 2, 3]);
+        asm.halt();
+        let p = asm.build().unwrap();
+        assert_eq!(p.data().len(), 1);
+        assert_eq!(p.data()[0].base, 0x1000);
+    }
+
+    #[test]
+    fn listing_contains_labels_and_indices() {
+        let mut asm = ProgramBuilder::new();
+        let l = asm.named_label("loop");
+        asm.bind(l);
+        asm.nop();
+        asm.halt();
+        let p = asm.build().unwrap();
+        let text = p.listing();
+        assert!(text.contains("loop:"));
+        assert!(text.contains("NOP"));
+    }
+}

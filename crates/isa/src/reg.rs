@@ -1,0 +1,237 @@
+//! General-purpose registers and condition flags.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A general-purpose architectural register.
+///
+/// `X0..X30` are ordinary 64-bit registers, [`Reg::XZR`] reads as zero and
+/// ignores writes, and [`Reg::SP`] is the stack pointer. This matches the
+/// AArch64 register file that the paper's gem5 model simulates.
+///
+/// ```
+/// use sas_isa::Reg;
+/// assert_eq!(Reg::X7.index(), 7);
+/// assert!(Reg::XZR.is_zero());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Reg {
+    /// A numbered general-purpose register, `X0..=X30`.
+    X(u8),
+    /// The zero register: reads as 0, writes are discarded.
+    XZR,
+    /// The stack pointer.
+    SP,
+}
+
+impl Reg {
+    /// Number of architectural register-file slots (X0..X30, XZR, SP).
+    pub const COUNT: usize = 33;
+
+    /// Shorthand constructors for the registers used most by hand-written code.
+    pub const X0: Reg = Reg::X(0);
+    /// `X1`.
+    pub const X1: Reg = Reg::X(1);
+    /// `X2`.
+    pub const X2: Reg = Reg::X(2);
+    /// `X3`.
+    pub const X3: Reg = Reg::X(3);
+    /// `X4`.
+    pub const X4: Reg = Reg::X(4);
+    /// `X5`.
+    pub const X5: Reg = Reg::X(5);
+    /// `X6`.
+    pub const X6: Reg = Reg::X(6);
+    /// `X7`.
+    pub const X7: Reg = Reg::X(7);
+    /// `X8`.
+    pub const X8: Reg = Reg::X(8);
+    /// `X9`.
+    pub const X9: Reg = Reg::X(9);
+    /// `X10`.
+    pub const X10: Reg = Reg::X(10);
+    /// `X11`.
+    pub const X11: Reg = Reg::X(11);
+    /// `X12`.
+    pub const X12: Reg = Reg::X(12);
+    /// `X13`.
+    pub const X13: Reg = Reg::X(13);
+    /// `X14`.
+    pub const X14: Reg = Reg::X(14);
+    /// `X15`.
+    pub const X15: Reg = Reg::X(15);
+    /// `X16`.
+    pub const X16: Reg = Reg::X(16);
+    /// `X17`.
+    pub const X17: Reg = Reg::X(17);
+    /// `X18`.
+    pub const X18: Reg = Reg::X(18);
+    /// `X19`.
+    pub const X19: Reg = Reg::X(19);
+    /// `X20`.
+    pub const X20: Reg = Reg::X(20);
+    /// `X21`.
+    pub const X21: Reg = Reg::X(21);
+    /// `X22`.
+    pub const X22: Reg = Reg::X(22);
+    /// `X23`.
+    pub const X23: Reg = Reg::X(23);
+    /// `X24`.
+    pub const X24: Reg = Reg::X(24);
+    /// `X25`.
+    pub const X25: Reg = Reg::X(25);
+    /// `X26`.
+    pub const X26: Reg = Reg::X(26);
+    /// `X27`.
+    pub const X27: Reg = Reg::X(27);
+    /// `X28`.
+    pub const X28: Reg = Reg::X(28);
+    /// `X29` (frame pointer by convention).
+    pub const X29: Reg = Reg::X(29);
+    /// `X30` (link register by convention).
+    pub const LR: Reg = Reg::X(30);
+
+    /// Creates `Xn`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 30`.
+    pub fn x(n: u8) -> Reg {
+        assert!(n <= 30, "general-purpose registers are X0..=X30, got X{n}");
+        Reg::X(n)
+    }
+
+    /// A dense index into a register file array: `X0..X30 -> 0..30`,
+    /// `XZR -> 31`, `SP -> 32`.
+    pub fn index(self) -> usize {
+        match self {
+            Reg::X(n) => n as usize,
+            Reg::XZR => 31,
+            Reg::SP => 32,
+        }
+    }
+
+    /// Returns `true` for the always-zero register.
+    pub fn is_zero(self) -> bool {
+        matches!(self, Reg::XZR)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Reg::X(n) => write!(f, "X{n}"),
+            Reg::XZR => write!(f, "XZR"),
+            Reg::SP => write!(f, "SP"),
+        }
+    }
+}
+
+/// The NZCV condition flags produced by `CMP` and consumed by `B.cond`.
+///
+/// ```
+/// use sas_isa::Flags;
+/// let f = Flags::from_cmp(1, 2);
+/// assert!(f.n); // 1 - 2 is negative
+/// assert!(!f.z);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash, Serialize, Deserialize)]
+pub struct Flags {
+    /// Negative.
+    pub n: bool,
+    /// Zero.
+    pub z: bool,
+    /// Carry (no borrow for subtraction).
+    pub c: bool,
+    /// Signed overflow.
+    pub v: bool,
+}
+
+impl Flags {
+    /// Computes the flags that `CMP lhs, rhs` (i.e. `lhs - rhs`) would set.
+    pub fn from_cmp(lhs: u64, rhs: u64) -> Flags {
+        let (result, borrow) = lhs.overflowing_sub(rhs);
+        let sl = lhs as i64;
+        let sr = rhs as i64;
+        let (sres, overflow) = sl.overflowing_sub(sr);
+        debug_assert_eq!(sres as u64, result);
+        Flags {
+            n: (result as i64) < 0,
+            z: result == 0,
+            c: !borrow,
+            v: overflow,
+        }
+    }
+}
+
+impl fmt::Display for Flags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}{}{}",
+            if self.n { 'N' } else { 'n' },
+            if self.z { 'Z' } else { 'z' },
+            if self.c { 'C' } else { 'c' },
+            if self.v { 'V' } else { 'v' },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_indices_are_dense_and_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for n in 0..=30 {
+            assert!(seen.insert(Reg::x(n).index()));
+        }
+        assert!(seen.insert(Reg::XZR.index()));
+        assert!(seen.insert(Reg::SP.index()));
+        assert_eq!(seen.len(), Reg::COUNT);
+        assert!(seen.iter().all(|&i| i < Reg::COUNT));
+    }
+
+    #[test]
+    #[should_panic(expected = "X0..=X30")]
+    fn reg_constructor_rejects_out_of_range() {
+        let _ = Reg::x(31);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Reg::X5.to_string(), "X5");
+        assert_eq!(Reg::XZR.to_string(), "XZR");
+        assert_eq!(Reg::SP.to_string(), "SP");
+    }
+
+    #[test]
+    fn cmp_flags_equal() {
+        let f = Flags::from_cmp(5, 5);
+        assert!(f.z);
+        assert!(f.c); // no borrow
+        assert!(!f.n);
+        assert!(!f.v);
+    }
+
+    #[test]
+    fn cmp_flags_unsigned_lower() {
+        // 1 < 2 unsigned: borrow happened, C clear (this is what B.LO tests).
+        let f = Flags::from_cmp(1, 2);
+        assert!(!f.c);
+        assert!(f.n);
+    }
+
+    #[test]
+    fn cmp_flags_signed_overflow() {
+        let f = Flags::from_cmp(i64::MIN as u64, 1);
+        assert!(f.v);
+    }
+
+    #[test]
+    fn flags_display_is_nonempty() {
+        assert_eq!(Flags::default().to_string(), "nzcv");
+        assert_eq!(Flags::from_cmp(3, 3).to_string(), "nZCv");
+    }
+}

@@ -1,0 +1,152 @@
+//! Architectural (functional) memory.
+
+use sas_isa::VirtAddr;
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_BYTES: usize = 1 << PAGE_SHIFT;
+
+/// Sparse byte-addressable architectural memory.
+///
+/// Holds the committed memory image. Reads of never-written bytes return 0.
+/// Addresses are indexed by their translated (untagged) part, so tagged
+/// pointers can be passed directly.
+///
+/// ```
+/// use sas_mem::MainMemory;
+/// use sas_isa::VirtAddr;
+///
+/// let mut m = MainMemory::new();
+/// m.write(VirtAddr::new(0x1000), 8, 0xDEAD_BEEF);
+/// assert_eq!(m.read(VirtAddr::new(0x1000), 8), 0xDEAD_BEEF);
+/// assert_eq!(m.read(VirtAddr::new(0x1002), 2), 0xDEAD);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MainMemory {
+    pages: HashMap<u64, Box<[u8; PAGE_BYTES]>>,
+}
+
+impl MainMemory {
+    /// Creates an empty (all-zero) memory.
+    pub fn new() -> MainMemory {
+        MainMemory::default()
+    }
+
+    fn page_mut(&mut self, page: u64) -> &mut [u8; PAGE_BYTES] {
+        self.pages.entry(page).or_insert_with(|| Box::new([0u8; PAGE_BYTES]))
+    }
+
+    /// Reads one byte.
+    pub fn read_byte(&self, addr: VirtAddr) -> u8 {
+        let a = addr.untagged().raw();
+        match self.pages.get(&(a >> PAGE_SHIFT)) {
+            Some(p) => p[(a as usize) & (PAGE_BYTES - 1)],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    pub fn write_byte(&mut self, addr: VirtAddr, value: u8) {
+        let a = addr.untagged().raw();
+        self.page_mut(a >> PAGE_SHIFT)[(a as usize) & (PAGE_BYTES - 1)] = value;
+    }
+
+    /// Reads `width` bytes little-endian, zero-extended to 64 bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than 8.
+    pub fn read(&self, addr: VirtAddr, width: u64) -> u64 {
+        assert!((1..=8).contains(&width), "width must be 1..=8, got {width}");
+        let mut v = 0u64;
+        for i in (0..width).rev() {
+            v = (v << 8) | self.read_byte(addr.offset(i as i64)) as u64;
+        }
+        v
+    }
+
+    /// Writes the low `width` bytes of `value` little-endian.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than 8.
+    pub fn write(&mut self, addr: VirtAddr, width: u64, value: u64) {
+        assert!((1..=8).contains(&width), "width must be 1..=8, got {width}");
+        for i in 0..width {
+            self.write_byte(addr.offset(i as i64), (value >> (8 * i)) as u8);
+        }
+    }
+
+    /// Copies a byte slice into memory at `base`.
+    pub fn write_bytes(&mut self, base: VirtAddr, bytes: &[u8]) {
+        for (i, &b) in bytes.iter().enumerate() {
+            self.write_byte(base.offset(i as i64), b);
+        }
+    }
+
+    /// Reads `len` bytes starting at `base`.
+    pub fn read_bytes(&self, base: VirtAddr, len: usize) -> Vec<u8> {
+        (0..len).map(|i| self.read_byte(base.offset(i as i64))).collect()
+    }
+
+    /// Number of 4 KiB pages materialised.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_fill_semantics() {
+        let m = MainMemory::new();
+        assert_eq!(m.read(VirtAddr::new(0xABCD), 8), 0);
+        assert_eq!(m.resident_pages(), 0);
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut m = MainMemory::new();
+        m.write(VirtAddr::new(0x100), 4, 0x0403_0201);
+        assert_eq!(m.read_byte(VirtAddr::new(0x100)), 1);
+        assert_eq!(m.read_byte(VirtAddr::new(0x103)), 4);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut m = MainMemory::new();
+        m.write(VirtAddr::new(0xFFC), 8, 0x1122_3344_5566_7788);
+        assert_eq!(m.read(VirtAddr::new(0xFFC), 8), 0x1122_3344_5566_7788);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn partial_width_masks_value() {
+        let mut m = MainMemory::new();
+        m.write(VirtAddr::new(0), 1, 0xFFFF_FFFF_FFFF_FFAA);
+        assert_eq!(m.read(VirtAddr::new(0), 8), 0xAA);
+    }
+
+    #[test]
+    fn tagged_pointer_is_transparent() {
+        let mut m = MainMemory::new();
+        let tagged = VirtAddr::new(0x2000).with_key(sas_isa::TagNibble::new(0xb));
+        m.write(tagged, 8, 42);
+        assert_eq!(m.read(VirtAddr::new(0x2000), 8), 42);
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let mut m = MainMemory::new();
+        m.write_bytes(VirtAddr::new(0x3000), &[9, 8, 7]);
+        assert_eq!(m.read_bytes(VirtAddr::new(0x3000), 3), vec![9, 8, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be")]
+    fn invalid_width_panics() {
+        MainMemory::new().read(VirtAddr::new(0), 9);
+    }
+}

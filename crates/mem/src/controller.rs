@@ -1,0 +1,188 @@
+//! The memory controller and DRAM timing model.
+//!
+//! §3.3.4: tags live in a dedicated *tag storage* region of main memory. On a
+//! checked access the controller issues two requests — one to data memory,
+//! one to tag storage — in parallel, compares the fetched allocation tag
+//! against the request's address tag, and reports the outcome upward. On a
+//! mismatch the data is *not* returned to the upper levels.
+
+use sas_isa::{TagNibble, VirtAddr, GRANULE_BYTES};
+use sas_mte::{TagCheckOutcome, TagStorage};
+use serde::{Deserialize, Serialize};
+
+/// Timing and behaviour of the DRAM + controller pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DramConfig {
+    /// Latency of a data access in cycles (row-buffer-agnostic average).
+    pub data_latency: u64,
+    /// Latency of a tag-storage access in cycles.
+    pub tag_latency: u64,
+    /// Whether the tag fetch overlaps the data fetch (`true`, the paper's
+    /// design: "two separate memory access requests ... simultaneously") or
+    /// is serialised after it (`false`, a pessimistic ablation).
+    pub parallel_tag_fetch: bool,
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        DramConfig { data_latency: 80, tag_latency: 80, parallel_tag_fetch: true }
+    }
+}
+
+/// Result of a controller access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramResponse {
+    /// Total service latency in cycles.
+    pub latency: u64,
+    /// Tag-check outcome computed at the controller.
+    pub outcome: TagCheckOutcome,
+    /// The four allocation tags of the accessed line, for installation in
+    /// the LFB/caches alongside the data.
+    pub line_locks: [TagNibble; 4],
+}
+
+/// The DRAM controller.
+///
+/// ```
+/// use sas_mem::DramController;
+/// use sas_isa::{TagNibble, VirtAddr};
+/// use sas_mte::{TagStorage, TagCheckOutcome};
+///
+/// let mut ctl = DramController::default();
+/// let mut tags = TagStorage::new();
+/// tags.set_range(VirtAddr::new(0x1000), 16, TagNibble::new(3));
+/// let good = VirtAddr::new(0x1000).with_key(TagNibble::new(3));
+/// let resp = ctl.access(&mut tags, good, 8);
+/// assert_eq!(resp.outcome, TagCheckOutcome::Safe);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DramController {
+    cfg: DramConfig,
+    data_requests: u64,
+    tag_requests: u64,
+}
+
+impl DramController {
+    /// Creates a controller with the given timing.
+    pub fn new(cfg: DramConfig) -> DramController {
+        DramController { cfg, data_requests: 0, tag_requests: 0 }
+    }
+
+    /// The timing configuration.
+    pub fn config(&self) -> &DramConfig {
+        &self.cfg
+    }
+
+    /// Services an access of `width` bytes at `addr`: fetches the data and —
+    /// for key-carrying requests — the allocation tag, returning the combined
+    /// latency and check outcome.
+    pub fn access(&mut self, tags: &mut TagStorage, addr: VirtAddr, width: u64) -> DramResponse {
+        self.data_requests += 1;
+        let line_locks = tags.line_locks(addr);
+        let key = addr.key();
+        let (outcome, latency) = if key == TagNibble::ZERO {
+            (TagCheckOutcome::Unchecked, self.cfg.data_latency)
+        } else {
+            self.tag_requests += 1;
+            let width = width.max(1);
+            let first = addr.granule_index();
+            let last = addr.offset(width as i64 - 1).granule_index();
+            let mut outcome = TagCheckOutcome::Safe;
+            for g in first..=last {
+                if tags.read_tag(VirtAddr::new(g * GRANULE_BYTES)) != key {
+                    outcome = TagCheckOutcome::Unsafe;
+                    break;
+                }
+            }
+            let lat = if self.cfg.parallel_tag_fetch {
+                self.cfg.data_latency.max(self.cfg.tag_latency)
+            } else {
+                self.cfg.data_latency + self.cfg.tag_latency
+            };
+            (outcome, lat)
+        };
+        DramResponse { latency, outcome, line_locks }
+    }
+
+    /// Total data-memory requests serviced.
+    pub fn data_requests(&self) -> u64 {
+        self.data_requests
+    }
+
+    /// Total tag-storage requests serviced.
+    pub fn tag_requests(&self) -> u64 {
+        self.tag_requests
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tagged_store() -> TagStorage {
+        let mut t = TagStorage::new();
+        t.set_range(VirtAddr::new(0x1000), 64, TagNibble::new(0xb));
+        t
+    }
+
+    #[test]
+    fn unchecked_access_costs_data_latency_only() {
+        let mut ctl = DramController::default();
+        let mut tags = tagged_store();
+        let r = ctl.access(&mut tags, VirtAddr::new(0x1000), 8);
+        assert_eq!(r.outcome, TagCheckOutcome::Unchecked);
+        assert_eq!(r.latency, 80);
+        assert_eq!(ctl.tag_requests(), 0);
+    }
+
+    #[test]
+    fn parallel_tag_fetch_does_not_add_latency() {
+        let mut ctl = DramController::default();
+        let mut tags = tagged_store();
+        let p = VirtAddr::new(0x1000).with_key(TagNibble::new(0xb));
+        let r = ctl.access(&mut tags, p, 8);
+        assert_eq!(r.outcome, TagCheckOutcome::Safe);
+        assert_eq!(r.latency, 80);
+        assert_eq!(ctl.tag_requests(), 1);
+    }
+
+    #[test]
+    fn serial_tag_fetch_adds_latency() {
+        let mut ctl = DramController::new(DramConfig {
+            data_latency: 80,
+            tag_latency: 20,
+            parallel_tag_fetch: false,
+        });
+        let mut tags = tagged_store();
+        let p = VirtAddr::new(0x1000).with_key(TagNibble::new(0xb));
+        assert_eq!(ctl.access(&mut tags, p, 8).latency, 100);
+    }
+
+    #[test]
+    fn mismatch_is_reported() {
+        let mut ctl = DramController::default();
+        let mut tags = tagged_store();
+        let p = VirtAddr::new(0x1000).with_key(TagNibble::new(0x2));
+        assert_eq!(ctl.access(&mut tags, p, 8).outcome, TagCheckOutcome::Unsafe);
+    }
+
+    #[test]
+    fn line_locks_returned_for_installation() {
+        let mut ctl = DramController::default();
+        let mut tags = TagStorage::new();
+        tags.set_granule(VirtAddr::new(0x1010), TagNibble::new(5));
+        let r = ctl.access(&mut tags, VirtAddr::new(0x1000), 8);
+        assert_eq!(r.line_locks[1], TagNibble::new(5));
+        assert_eq!(r.line_locks[0], TagNibble::ZERO);
+    }
+
+    #[test]
+    fn straddling_access_checks_every_granule() {
+        let mut ctl = DramController::default();
+        let mut tags = TagStorage::new();
+        tags.set_range(VirtAddr::new(0x1000), 16, TagNibble::new(0x4));
+        // Granule at 0x1010 left untagged: 8-byte access at 0x100C must fail.
+        let p = VirtAddr::new(0x100C).with_key(TagNibble::new(0x4));
+        assert_eq!(ctl.access(&mut tags, p, 8).outcome, TagCheckOutcome::Unsafe);
+    }
+}

@@ -1,0 +1,282 @@
+//! The Line-Fill Buffer (LFB).
+//!
+//! The LFB holds cache lines in transit (§3.3.3): fills travelling toward the
+//! L1 after a miss, and lines awaiting ownership upgrades. Because entries
+//! hold *data that has not yet been validated into the cache*, the LFB is the
+//! structure MDS attacks (RIDL, ZombieLoad) sample. SpecASan extends each
+//! entry with the line's allocation tags so forwarding out of the LFB is
+//! subject to the same tag check as a cache hit.
+
+use sas_isa::{TagNibble, VirtAddr, LINE_BYTES};
+
+/// One in-flight line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LfbEntry {
+    /// Line-aligned untagged address.
+    pub line_addr: u64,
+    /// Cycle the entry was allocated.
+    pub alloc_at: u64,
+    /// Cycle the fill data is complete and the line may be written into the
+    /// cache.
+    pub fills_at: u64,
+    /// Allocation tags of the four granules (SpecASan extension).
+    pub locks: [TagNibble; 4],
+    /// Snapshot of the 64 bytes in transit (used to model stale-data
+    /// forwarding in MDS attacks).
+    pub data: [u8; LINE_BYTES as usize],
+}
+
+impl LfbEntry {
+    /// Reads `width` little-endian bytes at `offset` from the snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the access overruns the line.
+    pub fn read(&self, offset: usize, width: usize) -> u64 {
+        assert!(offset + width <= LINE_BYTES as usize, "LFB read overruns line");
+        let mut v = 0u64;
+        for i in (0..width).rev() {
+            v = (v << 8) | self.data[offset + i] as u64;
+        }
+        v
+    }
+}
+
+/// A fixed-capacity line-fill buffer.
+///
+/// ```
+/// use sas_mem::LineFillBuffer;
+/// use sas_isa::{TagNibble, VirtAddr};
+///
+/// let mut lfb = LineFillBuffer::new(16, 2);
+/// assert!(lfb.allocate(VirtAddr::new(0x1000), 0, 10, [TagNibble::ZERO; 4], [0u8; 64]));
+/// assert!(lfb.find(VirtAddr::new(0x1020)).is_some()); // same line
+/// ```
+#[derive(Debug, Clone)]
+pub struct LineFillBuffer {
+    capacity: usize,
+    hit_latency: u64,
+    entries: Vec<LfbEntry>,
+    /// Allocation failures due to a full buffer (back-pressure events).
+    full_stalls: u64,
+    /// Stale-forwarding events served (MDS exposure counter).
+    stale_forwards: u64,
+}
+
+impl LineFillBuffer {
+    /// Creates an empty LFB with `capacity` entries and the given
+    /// forwarding latency.
+    pub fn new(capacity: usize, hit_latency: u64) -> LineFillBuffer {
+        LineFillBuffer {
+            capacity,
+            hit_latency,
+            entries: Vec::with_capacity(capacity),
+            full_stalls: 0,
+            stale_forwards: 0,
+        }
+    }
+
+    /// Forwarding latency out of the LFB (the paper's 2-cycle "hit").
+    pub fn hit_latency(&self) -> u64 {
+        self.hit_latency
+    }
+
+    /// Current occupancy.
+    pub fn occupancy(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Times allocation failed because the buffer was full.
+    pub fn full_stalls(&self) -> u64 {
+        self.full_stalls
+    }
+
+    /// Times stale in-flight data was forwarded (MDS exposure events).
+    pub fn stale_forwards(&self) -> u64 {
+        self.stale_forwards
+    }
+
+    /// Allocates an entry for a line fill completing at `fills_at`.
+    /// Returns `false` (and counts a stall) if the buffer is full.
+    pub fn allocate(
+        &mut self,
+        addr: VirtAddr,
+        alloc_at: u64,
+        fills_at: u64,
+        locks: [TagNibble; 4],
+        data: [u8; LINE_BYTES as usize],
+    ) -> bool {
+        let line_addr = addr.line_base().raw();
+        if self.entries.iter().any(|e| e.line_addr == line_addr) {
+            return true; // already being fetched; merge
+        }
+        if self.entries.len() >= self.capacity {
+            self.full_stalls += 1;
+            return false;
+        }
+        self.entries.push(LfbEntry { line_addr, alloc_at, fills_at, locks, data });
+        true
+    }
+
+    /// Finds the in-flight entry covering `addr`'s line, if any.
+    pub fn find(&self, addr: VirtAddr) -> Option<&LfbEntry> {
+        let la = addr.line_base().raw();
+        self.entries.iter().find(|e| e.line_addr == la)
+    }
+
+    /// Removes and returns every entry whose fill completed by `cycle`
+    /// (drained into the cache by the memory system).
+    pub fn drain_ready(&mut self, cycle: u64) -> Vec<LfbEntry> {
+        let (ready, pending): (Vec<_>, Vec<_>) =
+            self.entries.drain(..).partition(|e| e.fills_at <= cycle);
+        self.entries = pending;
+        ready
+    }
+
+    /// MDS model: the entry whose in-flight data an unchecked
+    /// faulting/assisting load would sample — the most recently allocated
+    /// entry for a *different* line. Counts the event.
+    pub fn stale_candidate(&mut self, requested: VirtAddr) -> Option<LfbEntry> {
+        let la = requested.line_base().raw();
+        let found =
+            self.entries.iter().filter(|e| e.line_addr != la).max_by_key(|e| e.alloc_at).copied();
+        if found.is_some() {
+            self.stale_forwards += 1;
+        }
+        found
+    }
+
+    /// Tag maintenance (`STG` reaching in-flight lines, §3.3.3): updates the
+    /// lock of the granule containing `addr` in any matching entry.
+    pub fn update_lock(&mut self, addr: VirtAddr, tag: TagNibble) -> bool {
+        let la = addr.line_base().raw();
+        let g = addr.granule_in_line();
+        let mut updated = false;
+        for e in &mut self.entries {
+            if e.line_addr == la {
+                e.locks[g] = tag;
+                updated = true;
+            }
+        }
+        updated
+    }
+
+    /// Coherence: drops any entry for `addr`'s line. Returns `true` if one
+    /// was present.
+    pub fn invalidate(&mut self, addr: VirtAddr) -> bool {
+        let la = addr.line_base().raw();
+        let before = self.entries.len();
+        self.entries.retain(|e| e.line_addr != la);
+        self.entries.len() != before
+    }
+
+    /// Drops everything (used on squash-free full flush).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_data(fill: u8) -> [u8; 64] {
+        [fill; 64]
+    }
+
+    #[test]
+    fn allocate_until_full() {
+        let mut lfb = LineFillBuffer::new(2, 2);
+        assert!(lfb.allocate(VirtAddr::new(0x0), 0, 5, [TagNibble::ZERO; 4], line_data(0)));
+        assert!(lfb.allocate(VirtAddr::new(0x40), 0, 5, [TagNibble::ZERO; 4], line_data(0)));
+        assert!(!lfb.allocate(VirtAddr::new(0x80), 0, 5, [TagNibble::ZERO; 4], line_data(0)));
+        assert_eq!(lfb.full_stalls(), 1);
+        assert_eq!(lfb.occupancy(), 2);
+    }
+
+    #[test]
+    fn duplicate_line_merges() {
+        let mut lfb = LineFillBuffer::new(2, 2);
+        assert!(lfb.allocate(VirtAddr::new(0x0), 0, 5, [TagNibble::ZERO; 4], line_data(0)));
+        assert!(lfb.allocate(VirtAddr::new(0x8), 1, 9, [TagNibble::ZERO; 4], line_data(1)));
+        assert_eq!(lfb.occupancy(), 1, "same line must not allocate twice");
+    }
+
+    #[test]
+    fn drain_ready_partitions_by_cycle() {
+        let mut lfb = LineFillBuffer::new(4, 2);
+        lfb.allocate(VirtAddr::new(0x0), 0, 5, [TagNibble::ZERO; 4], line_data(0));
+        lfb.allocate(VirtAddr::new(0x40), 0, 10, [TagNibble::ZERO; 4], line_data(0));
+        let drained = lfb.drain_ready(7);
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].line_addr, 0x0);
+        assert_eq!(lfb.occupancy(), 1);
+    }
+
+    #[test]
+    fn stale_candidate_prefers_most_recent_other_line() {
+        let mut lfb = LineFillBuffer::new(4, 2);
+        lfb.allocate(VirtAddr::new(0x0), 0, 99, [TagNibble::ZERO; 4], line_data(0xAA));
+        lfb.allocate(VirtAddr::new(0x40), 3, 99, [TagNibble::ZERO; 4], line_data(0xBB));
+        let stale = lfb.stale_candidate(VirtAddr::new(0x2000)).unwrap();
+        assert_eq!(stale.data[0], 0xBB);
+        // The requested line itself is never the stale source.
+        let stale2 = lfb.stale_candidate(VirtAddr::new(0x40)).unwrap();
+        assert_eq!(stale2.data[0], 0xAA);
+        assert_eq!(lfb.stale_forwards(), 2);
+    }
+
+    #[test]
+    fn stale_candidate_none_when_empty() {
+        let mut lfb = LineFillBuffer::new(4, 2);
+        assert!(lfb.stale_candidate(VirtAddr::new(0)).is_none());
+        assert_eq!(lfb.stale_forwards(), 0);
+    }
+
+    #[test]
+    fn entry_read_is_little_endian() {
+        let mut data = line_data(0);
+        data[8] = 0x78;
+        data[9] = 0x56;
+        let e = LfbEntry { line_addr: 0, alloc_at: 0, fills_at: 0, locks: [TagNibble::ZERO; 4], data };
+        assert_eq!(e.read(8, 2), 0x5678);
+    }
+
+    #[test]
+    #[should_panic(expected = "overruns")]
+    fn entry_read_overrun_panics() {
+        let e = LfbEntry {
+            line_addr: 0,
+            alloc_at: 0,
+            fills_at: 0,
+            locks: [TagNibble::ZERO; 4],
+            data: line_data(0),
+        };
+        let _ = e.read(60, 8);
+    }
+
+    #[test]
+    fn update_lock_reaches_inflight_lines() {
+        let mut lfb = LineFillBuffer::new(4, 2);
+        lfb.allocate(VirtAddr::new(0x100), 0, 99, [TagNibble::ZERO; 4], line_data(0));
+        // Granule 1 of line 0x100 is 0x110..0x120.
+        assert!(lfb.update_lock(VirtAddr::new(0x110), TagNibble::new(7)));
+        let e = lfb.find(VirtAddr::new(0x100)).unwrap();
+        assert_eq!(e.locks[1], TagNibble::new(7));
+        assert!(!lfb.update_lock(VirtAddr::new(0x4000), TagNibble::new(7)));
+    }
+
+    #[test]
+    fn invalidate_drops_line() {
+        let mut lfb = LineFillBuffer::new(4, 2);
+        lfb.allocate(VirtAddr::new(0x100), 0, 99, [TagNibble::ZERO; 4], line_data(0));
+        assert!(lfb.invalidate(VirtAddr::new(0x13F)));
+        assert!(!lfb.invalidate(VirtAddr::new(0x100)));
+        assert_eq!(lfb.occupancy(), 0);
+    }
+}

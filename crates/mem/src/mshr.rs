@@ -1,0 +1,196 @@
+//! Miss Status Handling Registers.
+//!
+//! MSHRs track outstanding misses below a cache. SpecASan adds a single-bit
+//! *tag-check outcome* flag to each entry so the result computed at a lower
+//! level rides back up with the response (§3.3.1). The file also bounds
+//! memory-level parallelism: when all registers are busy, a new miss must
+//! wait for the earliest completion.
+
+use sas_isa::VirtAddr;
+use sas_mte::TagCheckOutcome;
+
+/// One outstanding miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MshrEntry {
+    /// Line-aligned untagged address being fetched.
+    pub line_addr: u64,
+    /// Cycle the response completes.
+    pub completes_at: u64,
+    /// SpecASan's single-bit flag: the tag-check outcome that will be
+    /// reported with the response.
+    pub outcome: TagCheckOutcome,
+}
+
+/// A file of MSHRs with a fixed number of registers.
+///
+/// ```
+/// use sas_mem::MshrFile;
+/// use sas_isa::VirtAddr;
+/// use sas_mte::TagCheckOutcome;
+///
+/// let mut m = MshrFile::new(2);
+/// assert_eq!(m.allocate(VirtAddr::new(0x40), 0, 10, TagCheckOutcome::Safe), 0);
+/// assert_eq!(m.in_flight(0), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    registers: usize,
+    entries: Vec<MshrEntry>,
+    peak_occupancy: usize,
+    full_delays: u64,
+}
+
+impl MshrFile {
+    /// Creates an empty file with `registers` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `registers == 0`.
+    pub fn new(registers: usize) -> MshrFile {
+        assert!(registers > 0, "an MSHR file needs at least one register");
+        MshrFile { registers, entries: Vec::new(), peak_occupancy: 0, full_delays: 0 }
+    }
+
+    /// Retires every entry completed by `cycle`.
+    pub fn settle(&mut self, cycle: u64) {
+        self.entries.retain(|e| e.completes_at > cycle);
+    }
+
+    /// Entries still outstanding at `cycle`.
+    pub fn in_flight(&self, cycle: u64) -> usize {
+        self.entries.iter().filter(|e| e.completes_at > cycle).count()
+    }
+
+    /// Is a miss to this line already outstanding?
+    pub fn lookup(&self, addr: VirtAddr) -> Option<&MshrEntry> {
+        let la = addr.line_base().raw();
+        self.entries.iter().find(|e| e.line_addr == la)
+    }
+
+    /// Allocates a register for a miss issued at `cycle` whose response
+    /// needs `service_latency` cycles. Returns the *additional queueing
+    /// delay* imposed by structural back-pressure: zero when a register is
+    /// free, otherwise the wait until the earliest in-flight miss retires.
+    pub fn allocate(
+        &mut self,
+        addr: VirtAddr,
+        cycle: u64,
+        service_latency: u64,
+        outcome: TagCheckOutcome,
+    ) -> u64 {
+        self.settle(cycle);
+        let la = addr.line_base().raw();
+        if let Some(e) = self.entries.iter().find(|e| e.line_addr == la) {
+            // Secondary miss: merged, completes with the primary.
+            return e.completes_at.saturating_sub(cycle + service_latency);
+        }
+        let delay = if self.entries.len() >= self.registers {
+            let earliest =
+                self.entries.iter().map(|e| e.completes_at).min().expect("file is non-empty");
+            self.full_delays += 1;
+            earliest.saturating_sub(cycle)
+        } else {
+            0
+        };
+        if self.entries.len() >= self.registers {
+            // Replace the earliest-retiring entry's slot conceptually: the
+            // new miss starts after it drains.
+            let idx = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.completes_at)
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            self.entries.swap_remove(idx);
+        }
+        self.entries.push(MshrEntry {
+            line_addr: la,
+            completes_at: cycle + delay + service_latency,
+            outcome,
+        });
+        self.peak_occupancy = self.peak_occupancy.max(self.entries.len());
+        delay
+    }
+
+    /// Highest simultaneous occupancy observed.
+    pub fn peak_occupancy(&self) -> usize {
+        self.peak_occupancy
+    }
+
+    /// Times a miss had to queue because every register was busy.
+    pub fn full_delays(&self) -> u64 {
+        self.full_delays
+    }
+
+    /// Number of registers.
+    pub fn capacity(&self) -> usize {
+        self.registers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_delay_when_register_free() {
+        let mut m = MshrFile::new(2);
+        assert_eq!(m.allocate(VirtAddr::new(0x00), 0, 100, TagCheckOutcome::Unchecked), 0);
+        assert_eq!(m.allocate(VirtAddr::new(0x40), 0, 100, TagCheckOutcome::Unchecked), 0);
+        assert_eq!(m.in_flight(50), 2);
+        assert_eq!(m.in_flight(100), 0);
+    }
+
+    #[test]
+    fn full_file_queues_until_earliest_retires() {
+        let mut m = MshrFile::new(1);
+        assert_eq!(m.allocate(VirtAddr::new(0x00), 0, 100, TagCheckOutcome::Unchecked), 0);
+        let d = m.allocate(VirtAddr::new(0x40), 10, 100, TagCheckOutcome::Unchecked);
+        assert_eq!(d, 90, "waits for the outstanding miss to finish at 100");
+        assert_eq!(m.full_delays(), 1);
+    }
+
+    #[test]
+    fn secondary_miss_merges() {
+        let mut m = MshrFile::new(4);
+        m.allocate(VirtAddr::new(0x00), 0, 100, TagCheckOutcome::Safe);
+        // Same line at cycle 50 with its own 100-cycle service would finish
+        // at 150, but the primary finishes at 100: no extra wait, no slot.
+        let d = m.allocate(VirtAddr::new(0x08), 50, 100, TagCheckOutcome::Safe);
+        assert_eq!(d, 0);
+        assert_eq!(m.in_flight(50), 1);
+    }
+
+    #[test]
+    fn settle_retires_completed() {
+        let mut m = MshrFile::new(2);
+        m.allocate(VirtAddr::new(0x00), 0, 10, TagCheckOutcome::Safe);
+        m.settle(10);
+        assert_eq!(m.in_flight(10), 0);
+        assert_eq!(m.lookup(VirtAddr::new(0x00)), None);
+    }
+
+    #[test]
+    fn outcome_flag_rides_with_entry() {
+        let mut m = MshrFile::new(2);
+        m.allocate(VirtAddr::new(0x00), 0, 10, TagCheckOutcome::Unsafe);
+        assert_eq!(m.lookup(VirtAddr::new(0x3F)).unwrap().outcome, TagCheckOutcome::Unsafe);
+    }
+
+    #[test]
+    fn peak_occupancy_tracks_maximum() {
+        let mut m = MshrFile::new(4);
+        m.allocate(VirtAddr::new(0x00), 0, 10, TagCheckOutcome::Safe);
+        m.allocate(VirtAddr::new(0x40), 0, 10, TagCheckOutcome::Safe);
+        m.settle(20);
+        m.allocate(VirtAddr::new(0x80), 30, 10, TagCheckOutcome::Safe);
+        assert_eq!(m.peak_occupancy(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one register")]
+    fn zero_registers_panics() {
+        let _ = MshrFile::new(0);
+    }
+}

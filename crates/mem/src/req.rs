@@ -1,0 +1,107 @@
+//! Request/response vocabulary of the memory subsystem.
+
+use sas_mte::TagCheckOutcome;
+use serde::{Deserialize, Serialize};
+
+/// What kind of access a request performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// Data load.
+    Load,
+    /// Data store (request for ownership).
+    Store,
+    /// Allocation-tag load (`LDG`).
+    TagLoad,
+    /// Allocation-tag store (`STG`/`ST2G`) — a maintenance operation that
+    /// must also update tag copies in caches and the LFB (§3.3.3).
+    TagStore,
+    /// Instruction fetch.
+    Fetch,
+}
+
+/// How the access is allowed to mutate timing state. Selected per access by
+/// the active mitigation policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FillMode {
+    /// Unrestricted: fills/LRU updates happen regardless of the tag-check
+    /// outcome (the unsafe baseline, and committed-path accesses).
+    Install,
+    /// SpecASan: if the tag check reports [`TagCheckOutcome::Unsafe`], no
+    /// microarchitectural state changes at any level — no fills, no LFB
+    /// allocation, no LRU update — and no data is returned (§3.3.4).
+    SuppressIfUnsafe,
+    /// GhostMinion: fills from speculative loads land in a per-core *ghost*
+    /// buffer invisible to the committed hierarchy; the caller promotes them
+    /// at commit or drops them at squash.
+    Ghost,
+}
+
+/// Which structure ultimately serviced an access (innermost level that hit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ServicePoint {
+    /// Hit in the L1 data cache.
+    L1,
+    /// Forwarded from an in-flight line-fill buffer entry.
+    Lfb,
+    /// Hit in the per-core ghost buffer (GhostMinion only).
+    Ghost,
+    /// Hit in the shared L2.
+    L2,
+    /// Serviced by DRAM through the memory controller.
+    Dram,
+}
+
+/// Outcome of a timed load access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadResult {
+    /// Cycles until the response reaches the core.
+    pub latency: u64,
+    /// Tag-check outcome, propagated from the earliest point the check was
+    /// possible (§3.3.1).
+    pub outcome: TagCheckOutcome,
+    /// Innermost level that serviced the access.
+    pub source: ServicePoint,
+    /// `true` when the response carries data. `false` when the mitigation
+    /// suppressed the data because of a tag mismatch.
+    pub data_returned: bool,
+    /// MDS modelling: when the simulated (Intel-like) LFB forwards *stale*
+    /// in-flight data to a faulting/assisting load, this carries the stale
+    /// 8 bytes read from the LFB entry snapshot. `None` otherwise.
+    pub stale_lfb_data: Option<u64>,
+}
+
+/// Outcome of a timed store access (request-for-ownership).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreResult {
+    /// Cycles until ownership/completion.
+    pub latency: u64,
+    /// Tag-check outcome for the store address.
+    pub outcome: TagCheckOutcome,
+    /// Innermost level that serviced the access.
+    pub source: ServicePoint,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_mode_is_copyable_and_comparable() {
+        let m = FillMode::SuppressIfUnsafe;
+        let n = m;
+        assert_eq!(m, n);
+        assert_ne!(FillMode::Install, FillMode::Ghost);
+    }
+
+    #[test]
+    fn load_result_debug_is_nonempty() {
+        let r = LoadResult {
+            latency: 2,
+            outcome: TagCheckOutcome::Safe,
+            source: ServicePoint::L1,
+            data_returned: true,
+            stale_lfb_data: None,
+        };
+        assert!(!format!("{r:?}").is_empty());
+    }
+}

@@ -1,0 +1,297 @@
+//! An MTE-aware heap allocator.
+
+use crate::{IrgRng, TagStorage, TaggingPolicy};
+use sas_isa::{TagNibble, VirtAddr, GRANULE_BYTES};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A live allocation returned by [`TaggedHeap::malloc`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Allocation {
+    /// Tagged pointer to the start of the chunk.
+    pub ptr: VirtAddr,
+    /// Usable size in bytes (rounded up to granules).
+    pub size: u64,
+}
+
+/// Allocator failure modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocError {
+    /// The heap region is exhausted.
+    OutOfMemory,
+    /// `free` called with a pointer that is not a live chunk base, or whose
+    /// key no longer matches the chunk colour (double free / invalid free).
+    InvalidFree(VirtAddr),
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::OutOfMemory => write!(f, "tagged heap exhausted"),
+            AllocError::InvalidFree(p) => write!(f, "invalid free of {p}"),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// A `malloc`-style allocator that colours chunks with MTE tags, mirroring
+/// the behaviour of MTE-aware production allocators (§2.3):
+///
+/// * chunk sizes are rounded up to 16-byte granules,
+/// * each `malloc` assigns the chunk a tag per the configured
+///   [`TaggingPolicy`] and writes the allocation tags (the `STG` loop the
+///   compiler/runtime would emit),
+/// * the returned pointer carries the matching key,
+/// * `free` *retags* the chunk with a different colour so stale pointers
+///   (use-after-free) mismatch.
+///
+/// ```
+/// use sas_mte::{TaggedHeap, TagStorage, check_access, TagCheckOutcome};
+///
+/// let mut tags = TagStorage::new();
+/// let mut heap = TaggedHeap::new(0x10_0000, 0x1000, 42);
+/// let a = heap.malloc(&mut tags, 32).unwrap();
+/// assert_eq!(check_access(&tags, a.ptr, 8), TagCheckOutcome::Safe);
+/// let stale = a.ptr;
+/// heap.free(&mut tags, a.ptr).unwrap();
+/// assert_eq!(check_access(&tags, stale, 8), TagCheckOutcome::Unsafe);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TaggedHeap {
+    base: u64,
+    len: u64,
+    bump: u64,
+    policy: TaggingPolicy,
+    rng: IrgRng,
+    /// base (untagged) -> (size, colour)
+    live: BTreeMap<u64, (u64, TagNibble)>,
+    /// recycled chunks: (base, size)
+    free_list: Vec<(u64, u64)>,
+    stripe_flip: bool,
+}
+
+impl TaggedHeap {
+    /// Creates a heap managing `[base, base+len)` with the default
+    /// (random, neighbour-excluding) policy.
+    pub fn new(base: u64, len: u64, seed: u64) -> TaggedHeap {
+        TaggedHeap::with_policy(base, len, seed, TaggingPolicy::default())
+    }
+
+    /// Creates a heap with an explicit tagging policy.
+    pub fn with_policy(base: u64, len: u64, seed: u64, policy: TaggingPolicy) -> TaggedHeap {
+        let base = base & !(GRANULE_BYTES - 1);
+        TaggedHeap {
+            base,
+            len,
+            bump: base,
+            policy,
+            rng: IrgRng::seeded(seed),
+            live: BTreeMap::new(),
+            free_list: Vec::new(),
+            stripe_flip: false,
+        }
+    }
+
+    /// The tagging policy in use.
+    pub fn policy(&self) -> TaggingPolicy {
+        self.policy
+    }
+
+    /// Number of live allocations.
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+
+    fn choose_tag(&mut self, chunk_base: u64, size: u64) -> TagNibble {
+        match self.policy {
+            TaggingPolicy::RandomExcludeNeighbors => {
+                let left = self
+                    .live
+                    .range(..chunk_base)
+                    .next_back()
+                    .filter(|(&b, &(sz, _))| b + sz == chunk_base)
+                    .map(|(_, &(_, t))| t);
+                let right = self.live.range(chunk_base + size..).next().map(|(_, &(_, t))| t);
+                let exclude: Vec<TagNibble> = left.into_iter().chain(right).collect();
+                self.rng.next_tag_excluding(&exclude)
+            }
+            TaggingPolicy::DeterministicStripes => {
+                self.stripe_flip = !self.stripe_flip;
+                if self.stripe_flip {
+                    TagNibble::new(0x5)
+                } else {
+                    TagNibble::new(0xA)
+                }
+            }
+            TaggingPolicy::SingleColor => TagNibble::new(0x1),
+        }
+    }
+
+    /// Allocates `size` bytes (rounded up to a whole number of granules),
+    /// colours the memory, and returns the tagged pointer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError::OutOfMemory`] when the region is exhausted.
+    pub fn malloc(&mut self, tags: &mut TagStorage, size: u64) -> Result<Allocation, AllocError> {
+        let size = size.max(1).next_multiple_of(GRANULE_BYTES);
+        // First-fit from the free list.
+        let slot = self.free_list.iter().position(|&(_, s)| s >= size);
+        let chunk_base = if let Some(i) = slot {
+            let (b, s) = self.free_list.swap_remove(i);
+            if s > size {
+                self.free_list.push((b + size, s - size));
+            }
+            b
+        } else {
+            let b = self.bump;
+            if b + size > self.base + self.len {
+                return Err(AllocError::OutOfMemory);
+            }
+            self.bump = b + size;
+            b
+        };
+        let tag = self.choose_tag(chunk_base, size);
+        tags.set_range(VirtAddr::new(chunk_base), size, tag);
+        self.live.insert(chunk_base, (size, tag));
+        Ok(Allocation { ptr: VirtAddr::new(chunk_base).with_key(tag), size })
+    }
+
+    /// Frees a chunk, retagging its granules with a fresh colour so stale
+    /// pointers fault on their next access.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError::InvalidFree`] if `ptr` is not the (correctly
+    /// keyed) base of a live chunk.
+    pub fn free(&mut self, tags: &mut TagStorage, ptr: VirtAddr) -> Result<(), AllocError> {
+        let base = ptr.untagged().raw();
+        match self.live.get(&base) {
+            Some(&(size, tag)) if tag == ptr.key() => {
+                self.live.remove(&base);
+                // Quarantine colour: any non-equal colour works; draw one
+                // excluding the old colour so UAF always mismatches.
+                let quarantine = match self.policy {
+                    TaggingPolicy::DeterministicStripes | TaggingPolicy::SingleColor => {
+                        TagNibble::new(tag.value() ^ 0xF)
+                    }
+                    TaggingPolicy::RandomExcludeNeighbors => self.rng.next_tag_excluding(&[tag]),
+                };
+                tags.set_range(VirtAddr::new(base), size, quarantine);
+                self.free_list.push((base, size));
+                Ok(())
+            }
+            _ => Err(AllocError::InvalidFree(ptr)),
+        }
+    }
+
+    /// Total bytes currently handed out.
+    pub fn live_bytes(&self) -> u64 {
+        self.live.values().map(|&(s, _)| s).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{check_access, TagCheckOutcome};
+
+    fn setup() -> (TagStorage, TaggedHeap) {
+        (TagStorage::new(), TaggedHeap::new(0x100000, 0x10000, 1))
+    }
+
+    #[test]
+    fn malloc_returns_matching_pointer() {
+        let (mut tags, mut heap) = setup();
+        let a = heap.malloc(&mut tags, 100).unwrap();
+        assert_eq!(a.size, 112); // rounded to granule
+        for off in (0..a.size).step_by(8) {
+            assert_eq!(check_access(&tags, a.ptr.offset(off as i64), 8), TagCheckOutcome::Safe);
+        }
+    }
+
+    #[test]
+    fn adjacent_chunks_have_distinct_colors() {
+        let (mut tags, mut heap) = setup();
+        let a = heap.malloc(&mut tags, 16).unwrap();
+        let b = heap.malloc(&mut tags, 16).unwrap();
+        assert_eq!(b.ptr.untagged().raw(), a.ptr.untagged().raw() + 16);
+        assert_ne!(a.ptr.key(), b.ptr.key(), "linear overflow must mismatch");
+        // Overflow from a into b is caught:
+        let overflow = a.ptr.offset(16);
+        assert_eq!(check_access(&tags, overflow, 8), TagCheckOutcome::Unsafe);
+    }
+
+    #[test]
+    fn use_after_free_mismatches() {
+        let (mut tags, mut heap) = setup();
+        let a = heap.malloc(&mut tags, 64).unwrap();
+        heap.free(&mut tags, a.ptr).unwrap();
+        assert_eq!(check_access(&tags, a.ptr, 8), TagCheckOutcome::Unsafe);
+    }
+
+    #[test]
+    fn double_free_is_rejected() {
+        let (mut tags, mut heap) = setup();
+        let a = heap.malloc(&mut tags, 64).unwrap();
+        heap.free(&mut tags, a.ptr).unwrap();
+        assert_eq!(heap.free(&mut tags, a.ptr), Err(AllocError::InvalidFree(a.ptr)));
+    }
+
+    #[test]
+    fn freed_memory_is_recycled() {
+        let (mut tags, mut heap) = setup();
+        let a = heap.malloc(&mut tags, 64).unwrap();
+        let base = a.ptr.untagged().raw();
+        heap.free(&mut tags, a.ptr).unwrap();
+        let b = heap.malloc(&mut tags, 64).unwrap();
+        assert_eq!(b.ptr.untagged().raw(), base, "first-fit reuses the chunk");
+        assert_eq!(check_access(&tags, b.ptr, 8), TagCheckOutcome::Safe);
+        // The stale pointer still mismatches the recycled chunk.
+        if a.ptr.key() != b.ptr.key() {
+            assert_eq!(check_access(&tags, a.ptr, 8), TagCheckOutcome::Unsafe);
+        }
+    }
+
+    #[test]
+    fn out_of_memory() {
+        let mut tags = TagStorage::new();
+        let mut heap = TaggedHeap::new(0x1000, 32, 1);
+        heap.malloc(&mut tags, 32).unwrap();
+        assert_eq!(heap.malloc(&mut tags, 16), Err(AllocError::OutOfMemory));
+    }
+
+    #[test]
+    fn deterministic_stripes_alternate() {
+        let mut tags = TagStorage::new();
+        let mut heap =
+            TaggedHeap::with_policy(0x1000, 0x1000, 1, TaggingPolicy::DeterministicStripes);
+        let a = heap.malloc(&mut tags, 16).unwrap();
+        let b = heap.malloc(&mut tags, 16).unwrap();
+        let c = heap.malloc(&mut tags, 16).unwrap();
+        assert_eq!(a.ptr.key(), c.ptr.key());
+        assert_ne!(a.ptr.key(), b.ptr.key());
+    }
+
+    #[test]
+    fn live_accounting() {
+        let (mut tags, mut heap) = setup();
+        assert_eq!(heap.live_count(), 0);
+        let a = heap.malloc(&mut tags, 16).unwrap();
+        let b = heap.malloc(&mut tags, 48).unwrap();
+        assert_eq!(heap.live_count(), 2);
+        assert_eq!(heap.live_bytes(), 64);
+        heap.free(&mut tags, a.ptr).unwrap();
+        heap.free(&mut tags, b.ptr).unwrap();
+        assert_eq!(heap.live_bytes(), 0);
+    }
+
+    #[test]
+    fn invalid_interior_free_rejected() {
+        let (mut tags, mut heap) = setup();
+        let a = heap.malloc(&mut tags, 64).unwrap();
+        let interior = a.ptr.offset(16);
+        assert!(matches!(heap.free(&mut tags, interior), Err(AllocError::InvalidFree(_))));
+    }
+}

@@ -1,0 +1,160 @@
+//! The tag-check rule.
+
+use crate::TagStorage;
+use sas_isa::{TagNibble, VirtAddr};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Result of comparing a pointer's key against the granule's lock.
+///
+/// SpecASan propagates this outcome through the memory hierarchy (a dedicated
+/// L1 signal, an MSHR flag below L1, and a field of the memory response) and
+/// into the LSQ's `tcs` state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TagCheckOutcome {
+    /// The access used an untagged pointer (key 0); no check applies.
+    /// §3.2: "untagged ... memory accesses proceed without delay."
+    Unchecked,
+    /// Key matched the lock: a safe access.
+    Safe,
+    /// Key mismatched the lock: a (speculatively) unsafe access.
+    Unsafe,
+}
+
+impl TagCheckOutcome {
+    /// Whether the access may architecturally proceed on the committed path.
+    pub fn is_permitted(self) -> bool {
+        !matches!(self, TagCheckOutcome::Unsafe)
+    }
+
+    /// Whether an actual comparison took place.
+    pub fn was_checked(self) -> bool {
+        !matches!(self, TagCheckOutcome::Unchecked)
+    }
+}
+
+impl fmt::Display for TagCheckOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TagCheckOutcome::Unchecked => write!(f, "unchecked"),
+            TagCheckOutcome::Safe => write!(f, "S"),
+            TagCheckOutcome::Unsafe => write!(f, "!S"),
+        }
+    }
+}
+
+/// Checks an access of `width` bytes at (tagged) address `addr` against the
+/// allocation tags in `tags`.
+///
+/// Accesses that straddle a granule boundary check every touched granule and
+/// are unsafe if *any* granule mismatches — matching MTE's per-granule
+/// checking of unaligned accesses.
+///
+/// ```
+/// use sas_mte::{check_access, TagStorage, TagCheckOutcome};
+/// use sas_isa::{TagNibble, VirtAddr};
+///
+/// let mut tags = TagStorage::new();
+/// tags.set_range(VirtAddr::new(0x100), 16, TagNibble::new(0xb));
+///
+/// let good = VirtAddr::new(0x100).with_key(TagNibble::new(0xb));
+/// let bad = VirtAddr::new(0x100).with_key(TagNibble::new(0x3));
+/// let untagged = VirtAddr::new(0x100);
+/// assert_eq!(check_access(&tags, good, 8), TagCheckOutcome::Safe);
+/// assert_eq!(check_access(&tags, bad, 8), TagCheckOutcome::Unsafe);
+/// assert_eq!(check_access(&tags, untagged, 8), TagCheckOutcome::Unchecked);
+/// ```
+pub fn check_access(tags: &TagStorage, addr: VirtAddr, width: u64) -> TagCheckOutcome {
+    let key = addr.key();
+    if key == TagNibble::ZERO {
+        return TagCheckOutcome::Unchecked;
+    }
+    let width = width.max(1);
+    let first = addr.granule_index();
+    let last = addr.offset(width as i64 - 1).granule_index();
+    for g in first..=last {
+        let lock = tags.tag_of(VirtAddr::new(g * sas_isa::GRANULE_BYTES));
+        if lock != key {
+            return TagCheckOutcome::Unsafe;
+        }
+    }
+    TagCheckOutcome::Safe
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_with(base: u64, len: u64, tag: u8) -> TagStorage {
+        let mut t = TagStorage::new();
+        t.set_range(VirtAddr::new(base), len, TagNibble::new(tag));
+        t
+    }
+
+    #[test]
+    fn match_is_safe() {
+        let t = store_with(0x1000, 64, 0x9);
+        let p = VirtAddr::new(0x1010).with_key(TagNibble::new(0x9));
+        assert_eq!(check_access(&t, p, 8), TagCheckOutcome::Safe);
+    }
+
+    #[test]
+    fn mismatch_is_unsafe() {
+        let t = store_with(0x1000, 64, 0x9);
+        let p = VirtAddr::new(0x1010).with_key(TagNibble::new(0x4));
+        assert_eq!(check_access(&t, p, 8), TagCheckOutcome::Unsafe);
+    }
+
+    #[test]
+    fn key_zero_is_unchecked_even_on_tagged_memory() {
+        let t = store_with(0x1000, 64, 0x9);
+        let p = VirtAddr::new(0x1010);
+        assert_eq!(check_access(&t, p, 8), TagCheckOutcome::Unchecked);
+        assert!(check_access(&t, p, 8).is_permitted());
+        assert!(!check_access(&t, p, 8).was_checked());
+    }
+
+    #[test]
+    fn straddling_access_checks_both_granules() {
+        let mut t = store_with(0x1000, 16, 0x5);
+        t.set_range(VirtAddr::new(0x1010), 16, TagNibble::new(0x6));
+        // 8-byte access at 0x100C touches granules tagged 5 and 6.
+        let p5 = VirtAddr::new(0x100C).with_key(TagNibble::new(0x5));
+        assert_eq!(check_access(&t, p5, 8), TagCheckOutcome::Unsafe);
+        // Fully inside the first granule it is fine.
+        let inside = VirtAddr::new(0x1000).with_key(TagNibble::new(0x5));
+        assert_eq!(check_access(&t, inside, 8), TagCheckOutcome::Safe);
+    }
+
+    #[test]
+    fn nonzero_key_on_untagged_memory_is_unsafe() {
+        let t = TagStorage::new();
+        let p = VirtAddr::new(0x2000).with_key(TagNibble::new(0x1));
+        assert_eq!(check_access(&t, p, 1), TagCheckOutcome::Unsafe);
+    }
+
+    #[test]
+    fn out_of_bounds_within_granule_is_undetectable() {
+        // §6 limitation: "any out-of-bound access within the 16-byte
+        // [granule] cannot be detected."
+        let t = store_with(0x1000, 16, 0x5);
+        let p = VirtAddr::new(0x1008).with_key(TagNibble::new(0x5));
+        // This "overflows" an 8-byte object at 0x1000..0x1008 but stays in
+        // the granule, so MTE reports Safe.
+        assert_eq!(check_access(&t, p, 8), TagCheckOutcome::Safe);
+    }
+
+    #[test]
+    fn zero_width_treated_as_one_byte() {
+        let t = store_with(0x1000, 16, 0x5);
+        let p = VirtAddr::new(0x1000).with_key(TagNibble::new(0x5));
+        assert_eq!(check_access(&t, p, 0), TagCheckOutcome::Safe);
+    }
+
+    #[test]
+    fn outcome_display() {
+        assert_eq!(TagCheckOutcome::Safe.to_string(), "S");
+        assert_eq!(TagCheckOutcome::Unsafe.to_string(), "!S");
+        assert_eq!(TagCheckOutcome::Unchecked.to_string(), "unchecked");
+    }
+}

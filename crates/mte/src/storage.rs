@@ -1,0 +1,191 @@
+//! The allocation-tag ("lock") store.
+
+use sas_isa::{TagNibble, VirtAddr, GRANULE_BYTES, LINE_BYTES};
+use std::collections::HashMap;
+
+/// Sparse storage of the 4-bit allocation tag of every 16-byte granule.
+///
+/// On hardware the tags live in a dedicated carve-out of DRAM ("tag storage
+/// with a specific base address", §3.3.4) and are cached alongside data. The
+/// simulator keeps them in a sparse map; granules never written default to
+/// tag `0` (untagged memory).
+///
+/// ```
+/// use sas_mte::TagStorage;
+/// use sas_isa::{TagNibble, VirtAddr};
+///
+/// let mut tags = TagStorage::new();
+/// tags.set_range(VirtAddr::new(0x1000), 32, TagNibble::new(0x3));
+/// assert_eq!(tags.tag_of(VirtAddr::new(0x1008)).value(), 0x3);
+/// assert_eq!(tags.tag_of(VirtAddr::new(0x1010)).value(), 0x3);
+/// assert_eq!(tags.tag_of(VirtAddr::new(0x1020)).value(), 0x0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TagStorage {
+    granules: HashMap<u64, TagNibble>,
+    writes: u64,
+    reads: u64,
+}
+
+impl TagStorage {
+    /// Creates an empty (all-zero-tag) store.
+    pub fn new() -> TagStorage {
+        TagStorage::default()
+    }
+
+    /// The allocation tag of the granule containing `addr`.
+    pub fn tag_of(&self, addr: VirtAddr) -> TagNibble {
+        self.granules.get(&addr.granule_index()).copied().unwrap_or(TagNibble::ZERO)
+    }
+
+    /// The allocation tag of the granule containing `addr`, counting the
+    /// access for statistics (used by the memory-controller model).
+    pub fn read_tag(&mut self, addr: VirtAddr) -> TagNibble {
+        self.reads += 1;
+        self.tag_of(addr)
+    }
+
+    /// Sets the tag of the single granule containing `addr` (the `STG`
+    /// instruction).
+    pub fn set_granule(&mut self, addr: VirtAddr, tag: TagNibble) {
+        self.writes += 1;
+        if tag == TagNibble::ZERO {
+            self.granules.remove(&addr.granule_index());
+        } else {
+            self.granules.insert(addr.granule_index(), tag);
+        }
+    }
+
+    /// Tags every granule overlapping `[base, base+len)`.
+    pub fn set_range(&mut self, base: VirtAddr, len: u64, tag: TagNibble) {
+        if len == 0 {
+            return;
+        }
+        let first = base.granule_index();
+        let last = base.offset(len as i64 - 1).granule_index();
+        for g in first..=last {
+            self.set_granule(VirtAddr::new(g * GRANULE_BYTES), tag);
+        }
+    }
+
+    /// The four locks of the 64-byte cache line containing `addr`, in granule
+    /// order — the layout a tagged cache line stores (Figure 3, right).
+    pub fn line_locks(&self, addr: VirtAddr) -> [TagNibble; 4] {
+        let base = addr.line_base();
+        let mut locks = [TagNibble::ZERO; 4];
+        for (i, lock) in locks.iter_mut().enumerate() {
+            *lock = self.tag_of(base.offset((i as i64) * GRANULE_BYTES as i64));
+        }
+        locks
+    }
+
+    /// Number of granules with a non-zero tag.
+    pub fn tagged_granules(&self) -> usize {
+        self.granules.len()
+    }
+
+    /// Total tag writes performed (STG traffic).
+    pub fn write_count(&self) -> u64 {
+        self.writes
+    }
+
+    /// Total counted tag reads (memory-controller tag fetches).
+    pub fn read_count(&self) -> u64 {
+        self.reads
+    }
+
+    /// Whether any granule of the line containing `addr` is tagged. Lines
+    /// with no tagged granule can skip the tag-storage fetch entirely.
+    pub fn line_is_tagged(&self, addr: VirtAddr) -> bool {
+        self.line_locks(addr).iter().any(|l| *l != TagNibble::ZERO)
+    }
+
+    /// Clears every tag whose granule falls within `[base, base+len)`.
+    pub fn clear_range(&mut self, base: VirtAddr, len: u64) {
+        self.set_range(base, len, TagNibble::ZERO);
+    }
+
+    /// Returns `LINE_BYTES`-aligned addresses of all lines that contain at
+    /// least one tagged granule (used by coherence maintenance tests).
+    pub fn tagged_lines(&self) -> Vec<VirtAddr> {
+        let mut lines: Vec<u64> =
+            self.granules.keys().map(|g| (g * GRANULE_BYTES) & !(LINE_BYTES - 1)).collect();
+        lines.sort_unstable();
+        lines.dedup();
+        lines.into_iter().map(VirtAddr::new).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_tag_is_zero() {
+        let t = TagStorage::new();
+        assert_eq!(t.tag_of(VirtAddr::new(0xDEAD_BEEF)), TagNibble::ZERO);
+    }
+
+    #[test]
+    fn set_range_covers_partial_granules() {
+        let mut t = TagStorage::new();
+        // 1 byte at offset 15 followed by 2 bytes: straddles two granules.
+        t.set_range(VirtAddr::new(15), 2, TagNibble::new(5));
+        assert_eq!(t.tag_of(VirtAddr::new(0)).value(), 5);
+        assert_eq!(t.tag_of(VirtAddr::new(16)).value(), 5);
+        assert_eq!(t.tag_of(VirtAddr::new(32)).value(), 0);
+    }
+
+    #[test]
+    fn set_range_zero_len_is_noop() {
+        let mut t = TagStorage::new();
+        t.set_range(VirtAddr::new(0x100), 0, TagNibble::new(7));
+        assert_eq!(t.tagged_granules(), 0);
+    }
+
+    #[test]
+    fn line_locks_layout_matches_figure3() {
+        let mut t = TagStorage::new();
+        let line = VirtAddr::new(0x2000);
+        for (i, tag) in [1u8, 2, 3, 4].into_iter().enumerate() {
+            t.set_granule(line.offset(i as i64 * 16), TagNibble::new(tag));
+        }
+        let locks = t.line_locks(VirtAddr::new(0x2037)); // anywhere in the line
+        assert_eq!(locks.map(|l| l.value()), [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_tag_reclaims_storage() {
+        let mut t = TagStorage::new();
+        t.set_granule(VirtAddr::new(0x40), TagNibble::new(9));
+        assert_eq!(t.tagged_granules(), 1);
+        t.set_granule(VirtAddr::new(0x40), TagNibble::ZERO);
+        assert_eq!(t.tagged_granules(), 0);
+    }
+
+    #[test]
+    fn tagged_address_key_does_not_perturb_indexing() {
+        let mut t = TagStorage::new();
+        let tagged_ptr = VirtAddr::new(0x3000).with_key(TagNibble::new(0xb));
+        t.set_granule(tagged_ptr, TagNibble::new(0x7));
+        assert_eq!(t.tag_of(VirtAddr::new(0x3000)).value(), 0x7);
+    }
+
+    #[test]
+    fn line_is_tagged_and_tagged_lines() {
+        let mut t = TagStorage::new();
+        t.set_granule(VirtAddr::new(0x1010), TagNibble::new(3));
+        assert!(t.line_is_tagged(VirtAddr::new(0x103F)));
+        assert!(!t.line_is_tagged(VirtAddr::new(0x1040)));
+        assert_eq!(t.tagged_lines(), vec![VirtAddr::new(0x1000)]);
+    }
+
+    #[test]
+    fn read_and_write_counters() {
+        let mut t = TagStorage::new();
+        t.set_range(VirtAddr::new(0), 64, TagNibble::new(1));
+        assert_eq!(t.write_count(), 4);
+        let _ = t.read_tag(VirtAddr::new(0));
+        assert_eq!(t.read_count(), 1);
+    }
+}

@@ -1,0 +1,161 @@
+//! Core configuration (Table 2 of the paper).
+
+use serde::{Deserialize, Serialize};
+
+/// Sizing and timing of one out-of-order core.
+///
+/// Defaults reproduce Table 2: an ARM Cortex-A76-class core with 8-wide
+/// issue/commit, a 32-entry issue queue, 40-entry ROB and 16-entry load and
+/// store queues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreConfig {
+    /// Instructions fetched per cycle.
+    pub fetch_width: usize,
+    /// Instructions renamed/dispatched per cycle.
+    pub dispatch_width: usize,
+    /// Instructions issued to execution per cycle.
+    pub issue_width: usize,
+    /// Instructions committed per cycle (Table 2: 8 micro-ops/cycle).
+    pub commit_width: usize,
+    /// Issue-queue entries (Table 2: 32).
+    pub iq_entries: usize,
+    /// Reorder-buffer entries (Table 2: 40).
+    pub rob_entries: usize,
+    /// Load-queue entries (Table 2: 16).
+    pub lq_entries: usize,
+    /// Store-queue entries (Table 2: 16).
+    pub sq_entries: usize,
+    /// Front-end depth: cycles from fetch to dispatch-ready.
+    pub front_end_delay: u64,
+    /// Extra cycles to redirect fetch after a mispredict.
+    pub mispredict_penalty: u64,
+    /// Simple-ALU ports.
+    pub alu_ports: usize,
+    /// Load ports (AGU + L1 access).
+    pub load_ports: usize,
+    /// Store-address ports.
+    pub store_ports: usize,
+    /// ALU op latency.
+    pub alu_latency: u64,
+    /// Multiply latency (pipelined).
+    pub mul_latency: u64,
+    /// Divide latency (non-pipelined — the SpectreRewind contention target).
+    pub div_latency: u64,
+    /// Gshare pattern-history-table entries (power of two).
+    pub pht_entries: usize,
+    /// Global-history register bits.
+    pub ghr_bits: u32,
+    /// History bits folded into the PHT index. 0 gives a bimodal
+    /// (PC-indexed) predictor; non-zero enables the history-aliasing channel
+    /// used by Spectre-BHB experiments.
+    pub pht_history_bits: u32,
+    /// Branch-target-buffer entries (power of two).
+    pub btb_entries: usize,
+    /// History bits XOR-ed into the BTB index (models BHB influence on the
+    /// indirect predictor; enables Spectre-BHB style aliasing).
+    pub btb_history_bits: u32,
+    /// Return-stack-buffer depth.
+    pub rsb_entries: usize,
+    /// Memory-dependence predictor entries (0 disables speculation: loads
+    /// always wait for older store addresses).
+    pub mdu_entries: usize,
+    /// Baseline LSQ quirk: store-to-load forwarding matches on the low 12
+    /// address bits only (the Fallout channel). The full comparison happens
+    /// later and mismatches replay.
+    pub partial_stl_matching: bool,
+    /// Cycles between detecting a permission fault at the ROB head and the
+    /// pipeline flush — the Meltdown/MDS transient window during which
+    /// in-flight dependents keep executing.
+    pub fault_window: u64,
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        CoreConfig::table2()
+    }
+}
+
+impl CoreConfig {
+    /// The configuration of Table 2.
+    pub fn table2() -> CoreConfig {
+        CoreConfig {
+            fetch_width: 8,
+            dispatch_width: 8,
+            issue_width: 8,
+            commit_width: 8,
+            iq_entries: 32,
+            rob_entries: 40,
+            lq_entries: 16,
+            sq_entries: 16,
+            front_end_delay: 4,
+            mispredict_penalty: 6,
+            alu_ports: 4,
+            load_ports: 2,
+            store_ports: 1,
+            alu_latency: 1,
+            mul_latency: 3,
+            div_latency: 12,
+            pht_entries: 4096,
+            ghr_bits: 12,
+            pht_history_bits: 0,
+            btb_entries: 512,
+            btb_history_bits: 6,
+            rsb_entries: 16,
+            mdu_entries: 256,
+            partial_stl_matching: true,
+            fault_window: 12,
+        }
+    }
+
+    /// A tiny configuration for fast unit tests.
+    pub fn tiny() -> CoreConfig {
+        CoreConfig {
+            fetch_width: 2,
+            dispatch_width: 2,
+            issue_width: 2,
+            commit_width: 2,
+            iq_entries: 8,
+            rob_entries: 16,
+            lq_entries: 4,
+            sq_entries: 4,
+            front_end_delay: 1,
+            mispredict_penalty: 2,
+            alu_ports: 2,
+            load_ports: 1,
+            store_ports: 1,
+            alu_latency: 1,
+            mul_latency: 3,
+            div_latency: 12,
+            pht_entries: 64,
+            ghr_bits: 6,
+            pht_history_bits: 0,
+            btb_entries: 32,
+            btb_history_bits: 4,
+            rsb_entries: 4,
+            mdu_entries: 16,
+            partial_stl_matching: true,
+            fault_window: 6,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_matches_paper() {
+        let c = CoreConfig::table2();
+        assert_eq!(c.issue_width, 8);
+        assert_eq!(c.commit_width, 8);
+        assert_eq!(c.iq_entries, 32);
+        assert_eq!(c.rob_entries, 40);
+        assert_eq!(c.lq_entries, 16);
+        assert_eq!(c.sq_entries, 16);
+    }
+
+    #[test]
+    fn default_is_table2() {
+        assert_eq!(CoreConfig::default(), CoreConfig::table2());
+    }
+}

@@ -1,0 +1,1704 @@
+//! The out-of-order core.
+//!
+//! A cycle-level model of an 8-wide O3 machine (Table 2): fetch follows the
+//! branch predictors (wrong-path execution included — the attacks need it),
+//! rename captures dataflow, the issue stage respects structural ports and
+//! the active [`crate::policy::MitigationPolicy`] hook, loads and
+//! stores flow through an LQ/SQ with the paper's two-bit `tcs` field and
+//! Tag-check Status Handler, and commit retires in order, raising tag-check
+//! faults for unsafe accesses that turn out to be architectural.
+
+use crate::config::CoreConfig;
+use crate::policy::{
+    DelayCause, IndirectKind, IssueDecision, LoadIssueCtx, LoadRespCtx, MitigationPolicy,
+    RespDecision,
+};
+use crate::predictor::BranchPredictor;
+use crate::stats::CoreStats;
+use crate::trace::{Trace, TraceEvent};
+use sas_isa::{AluOp, AmoOp, Flags, Inst, Operand, Program, Reg, TagNibble, VirtAddr};
+use sas_mem::{FillMode, MemSystem};
+use sas_mte::{IrgRng, TagCheckOutcome};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// The paper's two-bit tag-check status (Figure 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tcs {
+    /// `00`: allocated, no check started.
+    Init,
+    /// `11`: request sent, waiting for the outcome.
+    Wait,
+    /// `01`: check passed (or access unchecked).
+    Safe,
+    /// `10`: check failed; access blocked until speculation resolves.
+    Unsafe,
+}
+
+/// Why a core stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// MTE tag-check fault (mismatching access reached the committed path).
+    TagCheck,
+    /// Permission fault (protected-range access committed).
+    Permission,
+}
+
+/// Details of a fault that halted the core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultInfo {
+    /// Kind of fault.
+    pub kind: FaultKind,
+    /// PC of the faulting instruction.
+    pub pc: usize,
+    /// Faulting address, if a memory access.
+    pub addr: Option<VirtAddr>,
+    /// Cycle the fault was raised.
+    pub cycle: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum UopState {
+    /// In the issue queue, not yet executed.
+    Waiting,
+    /// Executing; result ready at the contained cycle.
+    Executing(u64),
+    /// Result available.
+    Done,
+    /// Load blocked by the policy after an unsafe tag check (tcs = Unsafe).
+    BlockedUnsafe,
+}
+
+#[derive(Debug, Clone)]
+struct InFlight {
+    seq: u64,
+    pc: usize,
+    inst: Inst,
+    predicted_next: usize,
+    state: UopState,
+    /// Captured producer seq per source register (None = read arch regfile).
+    src_seqs: Vec<(Reg, Option<u64>)>,
+    flags_src: Option<u64>,
+    result: Option<u64>,
+    flags_out: Option<Flags>,
+    // memory
+    addr: Option<VirtAddr>,
+    width: u64,
+    store_value: Option<u64>,
+    tcs: Tcs,
+    outcome: Option<TagCheckOutcome>,
+    faulting: bool,
+    fill_mode_used: Option<FillMode>,
+    forwarded_from: Option<u64>,
+    false_forward: bool,
+    // branches
+    resolved: bool,
+    mispredicted: bool,
+    // policy bookkeeping
+    taint_root: Option<u64>,
+    carried_taint: bool,
+    delay_cycles: u64,
+    delay_recorded: bool,
+    // fetch-time CFI stall marker (indirect target not validated)
+    cfi_stalled: bool,
+    ghr_snapshot: u64,
+}
+
+impl InFlight {
+    fn is_load(&self) -> bool {
+        self.inst.is_load()
+    }
+    fn is_store(&self) -> bool {
+        self.inst.is_store()
+    }
+    fn is_branch(&self) -> bool {
+        self.inst.is_branch()
+    }
+    fn is_mem(&self) -> bool {
+        self.is_load() || self.is_store()
+    }
+    fn done(&self) -> bool {
+        matches!(self.state, UopState::Done)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct FetchEntry {
+    pc: usize,
+    inst: Inst,
+    predicted_next: usize,
+    available_at: u64,
+    cfi_stalled: bool,
+    /// Global-history snapshot at fetch (what the predictors indexed with).
+    ghr_snapshot: u64,
+}
+
+/// A committed store still draining to the memory system — the store-buffer
+/// window Fallout samples.
+#[derive(Debug, Clone, Copy)]
+struct DrainSlot {
+    addr: VirtAddr,
+    value: u64,
+    data_valid: bool,
+    done_at: u64,
+}
+
+/// One out-of-order core.
+pub struct Core {
+    id: usize,
+    cfg: CoreConfig,
+    program: Arc<Program>,
+    policy: Box<dyn MitigationPolicy>,
+    pred: BranchPredictor,
+    irg: IrgRng,
+
+    // architectural state
+    regs: [u64; Reg::COUNT],
+    flags: Flags,
+
+    // front end
+    fetch_pc: Option<usize>,
+    fetch_resume_at: u64,
+    fetch_queue: VecDeque<FetchEntry>,
+    /// Unbounded shadow of the call stack (SpecCFI's protected structure).
+    shadow_stack: Vec<usize>,
+    fetch_stalled_on: Option<u64>, // seq of unpredicted indirect branch
+
+    // back end
+    rob: VecDeque<InFlight>,
+    next_seq: u64,
+    rename: Vec<Option<u64>>, // per Reg::index()
+    flags_rename: Option<u64>,
+    mdu: Vec<u8>, // 2-bit counters; >= 2 -> wait for older stores
+    div_busy_until: u64,
+    active_barrier: Option<u64>,
+    drain_slots: Vec<DrainSlot>,
+
+    trace_loads: bool,
+    trace: Trace,
+
+    // outcome
+    finished: bool,
+    fault: Option<FaultInfo>,
+    /// A permission fault detected at the head, halting at the given cycle —
+    /// the transient window during which dependents keep executing.
+    pending_fault: Option<(FaultInfo, u64)>,
+    last_commit_cycle: u64,
+
+    /// Statistics.
+    pub stats: CoreStats,
+}
+
+impl std::fmt::Debug for Core {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Core")
+            .field("id", &self.id)
+            .field("policy", &self.policy.name())
+            .field("finished", &self.finished)
+            .field("committed", &self.stats.committed)
+            .finish()
+    }
+}
+
+impl Core {
+    /// Creates a core running `program` under `policy`.
+    pub fn new(
+        id: usize,
+        cfg: CoreConfig,
+        program: Arc<Program>,
+        policy: Box<dyn MitigationPolicy>,
+    ) -> Core {
+        let entry = program.entry();
+        Core {
+            id,
+            cfg,
+            program,
+            policy,
+            pred: BranchPredictor::new(&cfg),
+            irg: IrgRng::seeded(0xC0FE + id as u64),
+            regs: [0; Reg::COUNT],
+            flags: Flags::default(),
+            fetch_pc: Some(entry),
+            fetch_resume_at: 0,
+            fetch_queue: VecDeque::new(),
+            shadow_stack: Vec::new(),
+            fetch_stalled_on: None,
+            rob: VecDeque::new(),
+            next_seq: 1,
+            rename: vec![None; Reg::COUNT],
+            flags_rename: None,
+            mdu: vec![0; cfg.mdu_entries.max(1)],
+            div_busy_until: 0,
+            active_barrier: None,
+            drain_slots: Vec::new(),
+            trace_loads: std::env::var_os("SAS_TRACE_LOADS").is_some(),
+            trace: Trace::default(),
+            finished: false,
+            fault: None,
+            pending_fault: None,
+            last_commit_cycle: 0,
+            stats: CoreStats::default(),
+        }
+    }
+
+    /// Core id (also its index into the memory system).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Sets an architectural register before the run.
+    pub fn set_reg(&mut self, reg: Reg, value: u64) {
+        if !reg.is_zero() {
+            self.regs[reg.index()] = value;
+        }
+    }
+
+    /// Reads an architectural register.
+    pub fn reg(&self, reg: Reg) -> u64 {
+        if reg.is_zero() {
+            0
+        } else {
+            self.regs[reg.index()]
+        }
+    }
+
+    /// Whether the core halted (HALT committed or fault raised).
+    pub fn finished(&self) -> bool {
+        self.finished
+    }
+
+    /// The fault that halted the core, if any.
+    pub fn fault(&self) -> Option<&FaultInfo> {
+        self.fault.as_ref()
+    }
+
+    /// Name of the active mitigation policy.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Enables structured event tracing, keeping up to `cap` events.
+    pub fn enable_trace(&mut self, cap: usize) {
+        self.trace.enable(cap);
+    }
+
+    /// The recorded trace (empty unless [`Core::enable_trace`] was called).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    // ------------------------------------------------------------------
+    // helpers
+    // ------------------------------------------------------------------
+
+    fn find(&self, seq: u64) -> Option<&InFlight> {
+        self.rob.iter().find(|u| u.seq == seq)
+    }
+
+    fn reg_value(&self, reg: Reg, producer: Option<u64>) -> Option<u64> {
+        if reg.is_zero() {
+            return Some(0);
+        }
+        match producer {
+            None => Some(self.regs[reg.index()]),
+            Some(seq) => match self.find(seq) {
+                None => Some(self.regs[reg.index()]), // producer committed
+                Some(p) if p.done() => p.result,
+                Some(_) => None,
+            },
+        }
+    }
+
+    fn flags_value(&self, producer: Option<u64>) -> Option<Flags> {
+        match producer {
+            None => Some(self.flags),
+            Some(seq) => match self.find(seq) {
+                None => Some(self.flags),
+                Some(p) if p.done() => p.flags_out,
+                Some(_) => None,
+            },
+        }
+    }
+
+    fn sources_ready(&self, u: &InFlight) -> bool {
+        u.src_seqs.iter().all(|&(r, p)| self.reg_value(r, p).is_some())
+            && (u.flags_src.is_none() || self.flags_value(u.flags_src).is_some())
+    }
+
+    /// The producer captured at rename for architectural register `reg`
+    /// (None when the value comes from the committed register file).
+    fn producer_of(u: &InFlight, reg: Reg) -> Option<u64> {
+        u.src_seqs.iter().find(|&&(r, _)| r == reg).and_then(|&(_, p)| p)
+    }
+
+    /// The current value of source `reg` of `u`, if ready.
+    fn src_value(&self, u: &InFlight, reg: Reg) -> Option<u64> {
+        if reg.is_zero() {
+            return Some(0);
+        }
+        self.reg_value(reg, Self::producer_of(u, reg))
+    }
+
+    /// Is there an unresolved branch older than `seq`? A branch counts as
+    /// resolved only once its execution has completed (writeback) — the
+    /// outcome computed at execute becomes visible to younger instructions
+    /// no earlier than the squash a misprediction would trigger.
+    fn has_older_unresolved_branch(&self, seq: u64) -> bool {
+        self.rob.iter().any(|u| u.seq < seq && u.is_branch() && !(u.resolved && u.done()))
+    }
+
+    /// Is there an older store with an unknown address?
+    fn has_older_unknown_store(&self, seq: u64) -> bool {
+        self.rob.iter().any(|u| u.seq < seq && u.is_store() && u.addr.is_none())
+    }
+
+    /// STT taint: a value is tainted while its root load is still
+    /// speculative.
+    fn root_tainted(&self, root: Option<u64>) -> bool {
+        match root {
+            None => false,
+            Some(r) => match self.find(r) {
+                None => false,
+                Some(u) => {
+                    self.has_older_unresolved_branch(u.seq)
+                        || self.has_older_unknown_store(u.seq)
+                }
+            },
+        }
+    }
+
+    fn operand_taint_root(&self, u: &InFlight) -> Option<u64> {
+        // Youngest live taint root among the sources.
+        let mut best: Option<u64> = None;
+        for &(_, p) in &u.src_seqs {
+            if let Some(seq) = p {
+                if let Some(prod) = self.find(seq) {
+                    if let Some(r) = prod.taint_root {
+                        if self.root_tainted(Some(r)) {
+                            best = Some(best.map_or(r, |b: u64| b.max(r)));
+                        }
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    fn mdu_index(&self, pc: usize) -> usize {
+        pc % self.mdu.len()
+    }
+
+    fn target_has_bti(&self, target: usize, kind: IndirectKind) -> bool {
+        match self.program.fetch(target) {
+            Some(Inst::Bti { kind: k }) => match kind {
+                IndirectKind::Jump => k.accepts_jump(),
+                IndirectKind::Call => k.accepts_call(),
+                IndirectKind::Return => true,
+            },
+            _ => false,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // fetch
+    // ------------------------------------------------------------------
+
+    fn fetch(&mut self, cycle: u64) {
+        if cycle < self.fetch_resume_at || self.fetch_stalled_on.is_some() {
+            return;
+        }
+        let mut fetched = 0;
+        while fetched < self.cfg.fetch_width
+            && self.fetch_queue.len() < self.cfg.fetch_width * 2
+        {
+            let Some(pc) = self.fetch_pc else { break };
+            let Some(inst) = self.program.fetch(pc) else {
+                self.fetch_pc = None;
+                break;
+            };
+            let mut cfi_stalled = false;
+            let ghr_snapshot = self.pred.gshare.history();
+            let predicted_next = match inst {
+                Inst::B { target } => target,
+                Inst::Bl { target } => {
+                    self.pred.rsb.push(pc + 1);
+                    target
+                }
+                Inst::BCond { target, .. }
+                | Inst::Cbz { target, .. }
+                | Inst::Cbnz { target, .. } => {
+                    // Prediction indexes with the *committed* history (the
+                    // GHR advances in order at commit), so the index used
+                    // here always matches a trained context.
+                    if self.pred.gshare.predict(pc) {
+                        target
+                    } else {
+                        pc + 1
+                    }
+                }
+                Inst::Br { .. } | Inst::Blr { .. } => {
+                    let kind = if matches!(inst, Inst::Br { .. }) {
+                        IndirectKind::Jump
+                    } else {
+                        IndirectKind::Call
+                    };
+                    let ghr = self.pred.gshare.history();
+                    match self.pred.btb.predict(pc, ghr) {
+                        Some(t) => {
+                            let has_bti = self.target_has_bti(t, kind);
+                            if self.policy.allow_indirect_speculation(kind, has_bti, true) {
+                                if matches!(inst, Inst::Blr { .. }) {
+                                    self.pred.rsb.push(pc + 1);
+                                }
+                                t
+                            } else {
+                                cfi_stalled = true;
+                                usize::MAX
+                            }
+                        }
+                        None => usize::MAX, // stall until resolution
+                    }
+                }
+                Inst::Ret => {
+                    // The shadow stack is the *committed* call stack
+                    // (SpecCFI's protected structure); the RSB is the
+                    // fetch-maintained predictor the attacker can pollute.
+                    let shadow_top = self.shadow_stack.last().copied();
+                    match self.pred.rsb.pop() {
+                        Some(t) => {
+                            let rsb_match = shadow_top == Some(t);
+                            let has_bti = self.target_has_bti(t, IndirectKind::Return);
+                            if self.policy.allow_indirect_speculation(
+                                IndirectKind::Return,
+                                has_bti,
+                                rsb_match,
+                            ) {
+                                t
+                            } else {
+                                cfi_stalled = true;
+                                usize::MAX
+                            }
+                        }
+                        None => usize::MAX,
+                    }
+                }
+                Inst::Halt => pc, // fetch stops below
+                _ => pc + 1,
+            };
+            self.fetch_queue.push_back(FetchEntry {
+                pc,
+                inst,
+                predicted_next,
+                available_at: cycle + self.cfg.front_end_delay,
+                cfi_stalled,
+                ghr_snapshot,
+            });
+            self.stats.fetched += 1;
+            fetched += 1;
+            if matches!(inst, Inst::Halt) {
+                self.fetch_pc = None;
+                break;
+            }
+            if predicted_next == usize::MAX {
+                // Unpredicted (or CFI-stalled) indirect branch: stop fetching
+                // until it resolves.
+                self.fetch_pc = None;
+                break;
+            }
+            self.fetch_pc = Some(predicted_next);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // dispatch / rename
+    // ------------------------------------------------------------------
+
+    fn lq_occupancy(&self) -> usize {
+        self.rob.iter().filter(|u| u.is_load()).count()
+    }
+
+    fn sq_occupancy(&self, cycle: u64) -> usize {
+        self.rob.iter().filter(|u| u.is_store()).count()
+            + self.drain_slots.iter().filter(|d| d.done_at > cycle).count()
+    }
+
+    fn iq_occupancy(&self) -> usize {
+        self.rob.iter().filter(|u| matches!(u.state, UopState::Waiting)).count()
+    }
+
+    fn dispatch(&mut self, cycle: u64) {
+        for _ in 0..self.cfg.dispatch_width {
+            let Some(front) = self.fetch_queue.front() else { break };
+            if front.available_at > cycle {
+                break;
+            }
+            if self.rob.len() >= self.cfg.rob_entries
+                || self.iq_occupancy() >= self.cfg.iq_entries
+            {
+                break;
+            }
+            let inst = front.inst;
+            if inst.is_load() && self.lq_occupancy() >= self.cfg.lq_entries {
+                break;
+            }
+            if inst.is_store() && self.sq_occupancy(cycle) >= self.cfg.sq_entries {
+                break;
+            }
+            let fe = self.fetch_queue.pop_front().expect("front checked");
+            let seq = self.next_seq;
+            self.next_seq += 1;
+
+            let src_seqs: Vec<(Reg, Option<u64>)> = fe
+                .inst
+                .sources()
+                .into_iter()
+                .map(|r| (r, self.rename[r.index()]))
+                .collect();
+            let flags_src = if fe.inst.reads_flags() { self.flags_rename } else { None };
+
+            let width = match fe.inst {
+                Inst::Ldr { width, .. }
+                | Inst::LdrIdx { width, .. }
+                | Inst::Str { width, .. }
+                | Inst::StrIdx { width, .. } => width.bytes(),
+                Inst::Amo { .. } => 8,
+                Inst::Stg { .. } | Inst::St2g { .. } | Inst::Ldg { .. } => 16,
+                _ => 0,
+            };
+
+            let u = InFlight {
+                seq,
+                pc: fe.pc,
+                inst: fe.inst,
+                predicted_next: fe.predicted_next,
+                state: UopState::Waiting,
+                src_seqs,
+                flags_src,
+                result: None,
+                flags_out: None,
+                addr: None,
+                width,
+                store_value: None,
+                tcs: Tcs::Init,
+                outcome: None,
+                faulting: false,
+                fill_mode_used: None,
+                forwarded_from: None,
+                false_forward: false,
+                resolved: !fe.inst.is_branch(),
+                mispredicted: false,
+                taint_root: None,
+                carried_taint: false,
+                delay_cycles: 0,
+                delay_recorded: false,
+                cfi_stalled: fe.cfi_stalled,
+                ghr_snapshot: fe.ghr_snapshot,
+            };
+
+            if let Some(d) = fe.inst.dest() {
+                self.rename[d.index()] = Some(seq);
+            }
+            if fe.inst.writes_flags() {
+                self.flags_rename = Some(seq);
+            }
+            if fe.cfi_stalled {
+                // The whole front end is stalled on this branch; account it.
+                self.stats.record_delay(DelayCause::CfiIndirectStall, 1);
+            }
+            if self.trace.enabled() {
+                let speculative = self.has_older_unresolved_branch(seq);
+                self.trace.emit(TraceEvent::Dispatch { cycle, seq, pc: u.pc, speculative });
+            }
+            self.rob.push_back(u);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // issue + execute
+    // ------------------------------------------------------------------
+
+    fn compute_address(&self, u: &InFlight) -> Option<VirtAddr> {
+        match u.inst {
+            Inst::Ldr { base, offset, .. } => {
+                Some(VirtAddr::new(self.src_value(u, base)?).offset(offset))
+            }
+            Inst::LdrIdx { base, index, .. } => {
+                let b = self.src_value(u, base)?;
+                let i = self.src_value(u, index)?;
+                Some(VirtAddr::new(b).offset(i as i64))
+            }
+            Inst::Str { base, offset, .. } => {
+                Some(VirtAddr::new(self.src_value(u, base)?).offset(offset))
+            }
+            Inst::StrIdx { base, index, .. } => {
+                let b = self.src_value(u, base)?;
+                let i = self.src_value(u, index)?;
+                Some(VirtAddr::new(b).offset(i as i64))
+            }
+            Inst::Stg { base, offset } | Inst::St2g { base, offset } => {
+                Some(VirtAddr::new(self.src_value(u, base)?).offset(offset))
+            }
+            Inst::Ldg { base, .. } => Some(VirtAddr::new(self.src_value(u, base)?)),
+            Inst::Amo { addr, .. } => Some(VirtAddr::new(self.src_value(u, addr)?)),
+            _ => None,
+        }
+    }
+
+    /// Store-to-load handling at load issue. Returns:
+    /// `Err(cause)` to delay, `Ok(None)` to access memory, `Ok(Some(..))`
+    /// when forwarded (value, source seq, false_forward, outcome, blocked).
+    #[allow(clippy::type_complexity)]
+    fn stl_lookup(
+        &mut self,
+        load_idx: usize,
+        speculative: bool,
+    ) -> Result<Option<(Option<u64>, u64, bool, TagCheckOutcome)>, DelayCause> {
+        let load = &self.rob[load_idx];
+        let laddr = load.addr.expect("address computed");
+        let lw = load.width;
+        let lseq = load.seq;
+        let la = laddr.untagged().raw();
+
+        // Youngest older store with a known overlapping address.
+        let mut candidate: Option<(u64, VirtAddr, u64, Option<u64>)> = None; // (seq, addr, width, value)
+        let mut partial_alias: Option<(u64, Option<u64>, VirtAddr)> = None;
+        let _ = &self.drain_slots; // searched below for store-buffer sampling
+        for u in self.rob.iter() {
+            if u.seq >= lseq || !u.is_store() {
+                continue;
+            }
+            let Some(saddr) = u.addr else { continue };
+            let sa = saddr.untagged().raw();
+            let overlap = sa < la + lw && la < sa + u.width;
+            if overlap {
+                if candidate.map_or(true, |(s, ..)| u.seq > s) {
+                    candidate = Some((u.seq, saddr, u.width, u.store_value));
+                }
+            } else if self.cfg.partial_stl_matching
+                && (sa & 0xFFF) == (la & 0xFFF)
+                && sa != la
+                && partial_alias.map_or(true, |(s, ..)| u.seq > s)
+            {
+                partial_alias = Some((u.seq, u.store_value, saddr));
+            }
+        }
+
+        if let Some((sseq, saddr, swidth, svalue)) = candidate {
+            let full_cover = saddr.untagged().raw() <= la
+                && la + lw <= saddr.untagged().raw() + swidth;
+            if !full_cover {
+                // Partial overlap: wait for the store to leave the ROB.
+                return Err(DelayCause::MemDepWait);
+            }
+            let Some(sv) = svalue else {
+                return Err(DelayCause::MemDepWait); // data not ready yet
+            };
+            let allowed =
+                self.policy.allow_stl_forward(laddr.key(), saddr.key(), speculative);
+            let outcome = if laddr.key() == TagNibble::ZERO {
+                TagCheckOutcome::Unchecked
+            } else if laddr.key() == saddr.key() {
+                TagCheckOutcome::Safe
+            } else {
+                TagCheckOutcome::Unsafe
+            };
+            if !allowed {
+                self.stats.stl_blocked += 1;
+                return Ok(Some((None, sseq, false, outcome)));
+            }
+            self.stats.stl_forwards += 1;
+            let shift = (la - saddr.untagged().raw()) * 8;
+            let mask = if lw == 8 { u64::MAX } else { (1u64 << (lw * 8)) - 1 };
+            return Ok(Some((Some((sv >> shift) & mask), sseq, false, outcome)));
+        }
+
+        // Fallout channel: 4K-aliasing false forward for speculative or
+        // faulting loads — from in-flight SQ entries and from committed
+        // stores still draining in the store buffer.
+        if speculative {
+            if partial_alias.is_none() {
+                if let Some(d) = self
+                    .drain_slots
+                    .iter()
+                    .rev()
+                    .find(|d| {
+                        d.data_valid
+                            && (d.addr.untagged().raw() & 0xFFF) == (la & 0xFFF)
+                            && d.addr.untagged().raw() != la
+                    })
+                {
+                    partial_alias = Some((0, Some(d.value), d.addr));
+                }
+            }
+            if let Some((sseq, svalue, saddr)) = partial_alias {
+                if let Some(sv) = svalue {
+                    let allowed =
+                        self.policy.allow_stl_forward(laddr.key(), saddr.key(), speculative);
+                    if !allowed {
+                        // A refused *false* forward is not a violation — the
+                        // full addresses differ; the load simply proceeds to
+                        // memory (this is how the tagged SQ kills Fallout).
+                        self.stats.stl_blocked += 1;
+                        return Ok(None);
+                    }
+                    let outcome = if laddr.key() == saddr.key() && laddr.key() != TagNibble::ZERO
+                    {
+                        TagCheckOutcome::Safe
+                    } else if laddr.key() == TagNibble::ZERO
+                        && saddr.key() == TagNibble::ZERO
+                    {
+                        TagCheckOutcome::Unchecked
+                    } else {
+                        TagCheckOutcome::Unsafe
+                    };
+                    let mask = if lw == 8 { u64::MAX } else { (1u64 << (lw * 8)) - 1 };
+                    return Ok(Some((Some(sv & mask), sseq, true, outcome)));
+                }
+            }
+        }
+
+        Ok(None)
+    }
+
+    fn issue(&mut self, cycle: u64, mem: &mut MemSystem) {
+        let mut issued = 0;
+        let mut alu_used = 0;
+        let mut load_used = 0;
+        let mut store_used = 0;
+
+        let head_seq = self.rob.front().map(|u| u.seq);
+        // Any speculation barrier that has not completed (issued or not)
+        // blocks every younger instruction.
+        let barrier_active = self
+            .rob
+            .iter()
+            .filter(|u| matches!(u.inst, Inst::SpecBarrier) && !u.done())
+            .map(|u| u.seq)
+            .min()
+            .or(self.active_barrier);
+
+        let candidates: Vec<u64> = self
+            .rob
+            .iter()
+            .filter(|u| matches!(u.state, UopState::Waiting))
+            .map(|u| u.seq)
+            .collect();
+
+        for seq in candidates {
+            if issued >= self.cfg.issue_width {
+                break;
+            }
+            // A squash earlier in this loop (order violation) may have
+            // removed the candidate; re-resolve it by sequence number.
+            let Some(idx) = self.rob.iter().position(|u| u.seq == seq) else {
+                continue;
+            };
+            if !matches!(self.rob[idx].state, UopState::Waiting) {
+                continue;
+            }
+
+            // A speculation barrier blocks all younger instructions.
+            if let Some(b) = barrier_active {
+                if seq > b {
+                    continue;
+                }
+            }
+
+            if !self.sources_ready(&self.rob[idx]) {
+                continue;
+            }
+
+            let inst = self.rob[idx].inst;
+            let spec_branch = self.has_older_unresolved_branch(seq);
+
+            // Fence-style serialization: nothing executes speculatively.
+            if spec_branch && self.policy.blocks_full_speculation() {
+                self.charge_delay(idx, DelayCause::BarrierSpecLoad, 1);
+                continue;
+            }
+
+            match inst {
+                Inst::SpecBarrier => {
+                    if spec_branch {
+                        self.charge_delay(idx, DelayCause::ExplicitBarrier, 1);
+                        continue;
+                    }
+                    self.rob[idx].state = UopState::Executing(cycle + 1);
+                    self.active_barrier = Some(seq);
+                    issued += 1;
+                }
+                Inst::Fence => {
+                    let older_mem_pending = self
+                        .rob
+                        .iter()
+                        .any(|u| u.seq < seq && u.is_mem() && !u.done());
+                    if older_mem_pending || spec_branch {
+                        continue;
+                    }
+                    self.rob[idx].state = UopState::Executing(cycle + 1);
+                    issued += 1;
+                }
+                Inst::Amo { .. } => {
+                    // Atomics execute only at the ROB head, fully
+                    // non-speculative.
+                    if head_seq != Some(seq) {
+                        continue;
+                    }
+                    if load_used >= self.cfg.load_ports {
+                        continue;
+                    }
+                    self.execute_amo(idx, cycle, mem);
+                    load_used += 1;
+                    issued += 1;
+                }
+                _ if inst.is_load() => {
+                    if load_used >= self.cfg.load_ports {
+                        continue;
+                    }
+                    if self.try_issue_load(idx, cycle, mem, spec_branch) {
+                        load_used += 1;
+                        issued += 1;
+                    }
+                }
+                _ if inst.is_store() => {
+                    if store_used >= self.cfg.store_ports {
+                        continue;
+                    }
+                    // Store-address and store-data resolve independently
+                    // (split micro-ops): the address unblocks the memory
+                    // dependence of younger loads as early as possible.
+                    if self.rob[idx].addr.is_none() {
+                        if let Some(addr) = self.compute_address(&self.rob[idx]) {
+                            self.resolve_store_address(idx, addr, cycle);
+                            store_used += 1;
+                        } else {
+                            continue;
+                        }
+                    }
+                    if self.sources_ready(&self.rob[idx]) {
+                        self.execute_store_data(idx, cycle);
+                        issued += 1;
+                    }
+                }
+                _ if inst.is_branch() => {
+                    if alu_used >= self.cfg.alu_ports {
+                        continue;
+                    }
+                    // STT implicit channel: tainted branch operands delay.
+                    if self.policy.blocks_tainted_branches() {
+                        let root = self.operand_taint_root(&self.rob[idx]);
+                        if self.root_tainted(root) {
+                            self.charge_delay(idx, DelayCause::TaintedBranch, 1);
+                            continue;
+                        }
+                    }
+                    self.execute_branch(idx, cycle);
+                    alu_used += 1;
+                    issued += 1;
+                }
+                _ => {
+                    // plain ALU / MTE register ops
+                    let is_div = matches!(
+                        inst,
+                        Inst::Alu { op: AluOp::UDiv, .. } | Inst::Alu { op: AluOp::SDiv, .. }
+                    );
+                    if is_div {
+                        // Non-pipelined divider (SpectreRewind target).
+                        if self.div_busy_until > cycle {
+                            continue;
+                        }
+                    } else if alu_used >= self.cfg.alu_ports {
+                        continue;
+                    }
+                    self.execute_alu(idx, cycle, mem);
+                    if is_div {
+                        // Occupy the non-pipelined divider until the result
+                        // is ready (data-dependent latency set above).
+                        if let UopState::Executing(done) = self.rob[idx].state {
+                            self.div_busy_until = done;
+                        }
+                    } else {
+                        alu_used += 1;
+                    }
+                    issued += 1;
+                }
+            }
+        }
+    }
+
+    fn charge_delay(&mut self, idx: usize, cause: DelayCause, cycles: u64) {
+        let u = &mut self.rob[idx];
+        u.delay_cycles += cycles;
+        if !u.delay_recorded {
+            u.delay_recorded = true;
+            self.stats.record_delay(cause, cycles);
+        } else {
+            // accumulate cycles under the same cause
+            let key = format!("{cause:?}");
+            *self.stats.delay_cycles.entry(key).or_insert(0) += cycles;
+        }
+    }
+
+    fn execute_alu(&mut self, idx: usize, cycle: u64, mem: &MemSystem) {
+        // Draw the IRG tag up front: the value closures below borrow `self`.
+        let next_irg_tag = if matches!(self.rob[idx].inst, Inst::Irg { .. }) {
+            Some(self.irg.next_tag(1))
+        } else {
+            None
+        };
+        let u = &self.rob[idx];
+        let val = |r: Reg| -> u64 { self.src_value(u, r).expect("sources checked ready") };
+        let operand = |o: Operand| -> u64 {
+            match o {
+                Operand::Imm(v) => v,
+                Operand::Reg(r) => val(r),
+            }
+        };
+        let (result, flags_out, latency) = match u.inst {
+            Inst::Alu { op, lhs, rhs, .. } => {
+                let l = val(lhs);
+                let r = operand(rhs);
+                let lat = match op {
+                    AluOp::Mul => self.cfg.mul_latency,
+                    AluOp::UDiv | AluOp::SDiv => {
+                        // Divide latency depends on dividend magnitude (as on
+                        // real AArch64 early-terminating dividers) — the
+                        // variable-latency contention channel SCC attacks use.
+                        self.cfg.div_latency + (63 - (l | 1).leading_zeros() as u64) / 2
+                    }
+                    _ => self.cfg.alu_latency,
+                };
+                (Some(op.eval(l, r)), None, lat)
+            }
+            Inst::MovZ { imm, shift, .. } => {
+                (Some((imm as u64) << (16 * shift)), None, self.cfg.alu_latency)
+            }
+            Inst::MovK { dst, imm, shift } => {
+                let old = val(dst);
+                let m = 0xFFFFu64 << (16 * shift);
+                (Some((old & !m) | ((imm as u64) << (16 * shift))), None, self.cfg.alu_latency)
+            }
+            Inst::Cmp { lhs, rhs } => {
+                (None, Some(Flags::from_cmp(val(lhs), operand(rhs))), self.cfg.alu_latency)
+            }
+            Inst::Irg { src, .. } => {
+                let s = val(src);
+                let t = next_irg_tag.expect("drawn above");
+                (Some(VirtAddr::new(s).with_key(t).raw()), None, self.cfg.alu_latency)
+            }
+            Inst::Addg { src, offset, tag_offset, .. } => {
+                let a = VirtAddr::new(val(src));
+                let nk = a.key().wrapping_add(tag_offset);
+                (Some(a.offset(offset as i64).with_key(nk).raw()), None, self.cfg.alu_latency)
+            }
+            Inst::Subg { src, offset, tag_offset, .. } => {
+                let a = VirtAddr::new(val(src));
+                let nk = a.key().wrapping_add(16 - (tag_offset % 16));
+                (Some(a.offset(-(offset as i64)).with_key(nk).raw()), None, self.cfg.alu_latency)
+            }
+            Inst::Bti { .. } | Inst::Nop | Inst::Halt | Inst::Flush { .. } => {
+                (None, None, self.cfg.alu_latency)
+            }
+            Inst::Ldg { base, .. } => {
+                let a = VirtAddr::new(val(base));
+                let t = mem.load_tag(a);
+                (Some(a.with_key(t).raw()), None, self.cfg.alu_latency + 1)
+            }
+            other => unreachable!("execute_alu on {other}"),
+        };
+        let taint_root = self.operand_taint_root(&self.rob[idx]);
+        let carried = self.root_tainted(taint_root);
+        let u = &mut self.rob[idx];
+        u.result = result;
+        u.flags_out = flags_out;
+        u.taint_root = taint_root;
+        u.carried_taint |= carried;
+        u.state = UopState::Executing(cycle + latency);
+    }
+
+    fn execute_branch(&mut self, idx: usize, cycle: u64) {
+        let u = &self.rob[idx];
+        let val = |r: Reg| -> u64 { self.src_value(u, r).expect("sources checked ready") };
+        let pc = u.pc;
+        let (actual, link): (usize, bool) = match u.inst {
+            Inst::B { target } => (target, false),
+            Inst::Bl { target } => (target, true),
+            Inst::BCond { cond, target } => {
+                let f = self.flags_value(u.flags_src).expect("flags ready");
+                (if cond.holds(f) { target } else { pc + 1 }, false)
+            }
+            Inst::Cbz { target, reg } => {
+                (if val(reg) == 0 { target } else { pc + 1 }, false)
+            }
+            Inst::Cbnz { target, reg } => {
+                (if val(reg) != 0 { target } else { pc + 1 }, false)
+            }
+            Inst::Br { reg } => (val(reg) as usize, false),
+            Inst::Blr { reg } => (val(reg) as usize, true),
+            Inst::Ret => (val(Reg::LR) as usize, false),
+            other => unreachable!("execute_branch on {other}"),
+        };
+
+        // Train predictors with the fetch-time history snapshot.
+        let snapshot = self.rob[idx].ghr_snapshot;
+        match self.rob[idx].inst {
+            Inst::BCond { .. } | Inst::Cbz { .. } | Inst::Cbnz { .. } => {
+                self.pred.stats.cond_predictions += 1;
+                let taken = actual != pc + 1;
+                self.pred.gshare.train_at(pc, snapshot, taken);
+            }
+            Inst::Br { .. } | Inst::Blr { .. } => {
+                self.pred.stats.indirect_predictions += 1;
+                self.pred.btb.train(pc, snapshot, actual);
+            }
+            Inst::Ret => {
+                self.pred.stats.return_predictions += 1;
+            }
+            _ => {}
+        }
+
+        let taint_root = self.operand_taint_root(&self.rob[idx]);
+        let predicted = self.rob[idx].predicted_next;
+        let mispredicted = predicted != actual;
+        {
+            let u = &mut self.rob[idx];
+            u.result = if link { Some((pc + 1) as u64) } else { None };
+            u.taint_root = taint_root;
+            u.resolved = true;
+            u.mispredicted = mispredicted;
+            u.state = UopState::Executing(cycle + self.cfg.alu_latency);
+            // Stash the actual target in predicted_next for the redirect.
+            u.predicted_next = actual;
+        }
+        if mispredicted {
+            match self.rob[idx].inst {
+                Inst::BCond { .. } | Inst::Cbz { .. } | Inst::Cbnz { .. } => {
+                    self.pred.stats.cond_mispredicts += 1
+                }
+                Inst::Br { .. } | Inst::Blr { .. } => self.pred.stats.indirect_mispredicts += 1,
+                Inst::Ret => self.pred.stats.return_mispredicts += 1,
+                _ => {}
+            }
+        }
+        let seq = self.rob[idx].seq;
+        self.trace.emit(TraceEvent::BranchResolved { cycle, seq, mispredicted });
+        self.policy.on_branch_resolved(seq, mispredicted);
+    }
+
+    /// First half of a split store: the address becomes visible to the LSQ
+    /// (unblocking memory-dependence checks) and order violations are
+    /// detected.
+    fn resolve_store_address(&mut self, idx: usize, addr: VirtAddr, cycle: u64) {
+        let seq = self.rob[idx].seq;
+        self.rob[idx].addr = Some(addr);
+
+        // Memory-order violation check: a younger load already executed from
+        // an overlapping address without forwarding from this store.
+        let sa = addr.untagged().raw();
+        let sw = self.rob[idx].width;
+        let violator = self
+            .rob
+            .iter()
+            .filter(|l| {
+                l.seq > seq
+                    && l.is_load()
+                    && !matches!(l.state, UopState::Waiting)
+                    && l.forwarded_from != Some(seq)
+                    && l.addr.map_or(false, |la| {
+                        let a = la.untagged().raw();
+                        a < sa + sw && sa < a + l.width
+                    })
+            })
+            .map(|l| l.seq)
+            .min();
+        if let Some(vseq) = violator {
+            self.stats.order_violations += 1;
+            // Train the MDU to make this load wait next time.
+            if let Some(l) = self.find(vseq) {
+                let mi = self.mdu_index(l.pc);
+                self.mdu[mi] = 3;
+            }
+            // Squash from the violating load (inclusive): replay.
+            let redirect = self.find(vseq).map(|l| l.pc).expect("violator in ROB");
+            self.squash_after(vseq - 1, redirect, cycle, None);
+        }
+        let _ = cycle;
+    }
+
+    /// Second half of a split store: the data is ready; the entry completes.
+    fn execute_store_data(&mut self, idx: usize, cycle: u64) {
+        let u = &self.rob[idx];
+        let value = match u.inst {
+            Inst::Str { src, .. } | Inst::StrIdx { src, .. } => self.src_value(u, src),
+            _ => Some(0),
+        };
+        let taint_root = self.operand_taint_root(&self.rob[idx]);
+        let u = &mut self.rob[idx];
+        u.store_value = value;
+        u.taint_root = taint_root;
+        u.state = UopState::Executing(cycle + self.cfg.alu_latency);
+    }
+
+    fn try_issue_load(
+        &mut self,
+        idx: usize,
+        cycle: u64,
+        mem: &mut MemSystem,
+        spec_branch: bool,
+    ) -> bool {
+        // Address generation.
+        if self.rob[idx].addr.is_none() {
+            let Some(addr) = self.compute_address(&self.rob[idx]) else { return false };
+            self.rob[idx].addr = Some(addr);
+        }
+        let seq = self.rob[idx].seq;
+        let addr = self.rob[idx].addr.expect("set above");
+        let pc = self.rob[idx].pc;
+
+        // Memory-dependence handling.
+        let older_unknown_store = self.has_older_unknown_store(seq);
+        if older_unknown_store && self.mdu[self.mdu_index(pc)] >= 2 {
+            self.charge_delay(idx, DelayCause::MemDepWait, 1);
+            return false;
+        }
+        let spec_mdu = older_unknown_store;
+
+        let speculative = spec_branch || spec_mdu;
+        let faulting = mem.is_protected(addr);
+
+        // The mitigation gets the first say: a delayed load neither forwards
+        // from the SQ nor touches memory.
+        let addr_root = self.operand_taint_root(&self.rob[idx]);
+        let addr_tainted = self.root_tainted(addr_root);
+        let ctx = LoadIssueCtx {
+            seq,
+            pc,
+            spec_branch,
+            spec_mdu,
+            addr_tainted,
+            faulting,
+            key: addr.key(),
+        };
+        let mode = match self.policy.on_load_issue(&ctx) {
+            IssueDecision::Proceed(m) => m,
+            IssueDecision::Delay(cause) => {
+                self.charge_delay(idx, cause, 1);
+                return false;
+            }
+        };
+
+        // Store-to-load forwarding / Fallout false forward. A faulting load
+        // may also pick up a 4K-aliasing false forward (the Fallout channel
+        // is driven by faulting loads on the committed path).
+        match self.stl_lookup(idx, speculative || faulting) {
+            Err(cause) => {
+                self.charge_delay(idx, cause, 1);
+                return false;
+            }
+            Ok(Some((value, sseq, false_fwd, outcome))) => {
+                let taint_root = self.operand_taint_root(&self.rob[idx]);
+                let taints = self.policy.taints_speculative_loads();
+                let u = &mut self.rob[idx];
+                u.forwarded_from = Some(sseq);
+                u.false_forward = false_fwd;
+                u.faulting = faulting;
+                u.outcome = Some(outcome);
+                match value {
+                    Some(v) => {
+                        u.result = Some(v);
+                        u.tcs = match outcome {
+                            TagCheckOutcome::Unsafe => Tcs::Unsafe,
+                            _ => Tcs::Safe,
+                        };
+                        u.taint_root = if taints && speculative {
+                            Some(seq)
+                        } else {
+                            taint_root
+                        };
+                        u.state = UopState::Executing(cycle + 1);
+                    }
+                    None => {
+                        // Forward blocked (SpecASan): unsafe speculative
+                        // access; wait for resolution.
+                        u.tcs = Tcs::Unsafe;
+                        u.state = UopState::BlockedUnsafe;
+                        self.stats.unsafe_spec_accesses += 1;
+                        self.charge_delay(idx, DelayCause::ForwardBlocked, 1);
+                    }
+                }
+                return true;
+            }
+            Ok(None) => {}
+        }
+
+        // Access memory (AGU = 1 cycle, then the hierarchy).
+        if self.trace_loads {
+            eprintln!("[load] cycle={cycle} seq={seq} pc={pc} addr={addr} spec_branch={spec_branch}");
+        }
+        if self.trace.enabled() {
+            self.trace.emit(TraceEvent::LoadIssue { cycle, seq, addr, speculative });
+        }
+        let res = mem.load(self.id, addr, self.rob[idx].width.max(1), cycle + 1, mode, faulting);
+        let value = if let Some(stale) = res.stale_lfb_data {
+            stale
+        } else {
+            match self.rob[idx].inst {
+                Inst::Ldg { .. } => {
+                    VirtAddr::new(addr.raw()).with_key(mem.load_tag(addr)).raw()
+                }
+                _ => mem.read_arch(addr, self.rob[idx].width.max(1)),
+            }
+        };
+        let taints = self.policy.taints_speculative_loads();
+        if self.trace.enabled() {
+            self.trace.emit(TraceEvent::TagCheck { cycle, seq, outcome: res.outcome });
+        }
+        let u = &mut self.rob[idx];
+        u.faulting = faulting;
+        u.fill_mode_used = Some(mode);
+        u.outcome = Some(res.outcome);
+        u.tcs = Tcs::Wait;
+        u.taint_root = if taints && speculative { Some(seq) } else { addr_root };
+        if res.data_returned {
+            u.result = Some(value);
+            u.state = UopState::Executing(cycle + 1 + res.latency);
+        } else {
+            // The memory system withheld the data (tag mismatch under
+            // SpecASan): the TSH moves tcs to Unsafe, notifies the ROB
+            // (SSA = 0) and the load waits for speculation to resolve.
+            u.tcs = Tcs::Unsafe;
+            u.state = UopState::BlockedUnsafe;
+            self.stats.unsafe_spec_accesses += 1;
+            self.charge_delay(idx, DelayCause::UnsafeAccessWait, res.latency.max(1));
+            self.trace.emit(TraceEvent::UnsafeBlocked { cycle, seq });
+        }
+        true
+    }
+
+    fn execute_amo(&mut self, idx: usize, cycle: u64, mem: &mut MemSystem) {
+        let Some(addr) = self.compute_address(&self.rob[idx]) else { return };
+        let u = &self.rob[idx];
+        let Inst::Amo { op, src, expected, .. } = u.inst else { unreachable!() };
+        let srcv = self.src_value(u, src).expect("ready");
+        let old = mem.read_arch(addr, 8);
+        let new = match op {
+            AmoOp::Add => old.wrapping_add(srcv),
+            AmoOp::Swap => srcv,
+            AmoOp::Cas => {
+                let exp = self.src_value(u, expected).expect("ready");
+                if old == exp {
+                    srcv
+                } else {
+                    old
+                }
+            }
+        };
+        let res = mem.load(self.id, addr, 8, cycle + 1, FillMode::Install, false);
+        mem.write_arch(addr, 8, new);
+        mem.store(self.id, addr, 8, cycle + 1, FillMode::Install);
+        let u = &mut self.rob[idx];
+        u.addr = Some(addr);
+        u.result = Some(old);
+        u.outcome = Some(res.outcome);
+        u.tcs = Tcs::Safe;
+        u.state = UopState::Executing(cycle + 1 + res.latency);
+    }
+
+    // ------------------------------------------------------------------
+    // squash
+    // ------------------------------------------------------------------
+
+    fn squash_after(
+        &mut self,
+        after_seq: u64,
+        redirect_pc: usize,
+        resume_at: u64,
+        mem: Option<&mut MemSystem>,
+    ) {
+        let removed: Vec<InFlight> =
+            self.rob.iter().filter(|u| u.seq > after_seq).cloned().collect();
+        if let Some(mem) = mem {
+            for u in &removed {
+                if u.fill_mode_used == Some(FillMode::Ghost) {
+                    if let Some(a) = u.addr {
+                        mem.drop_ghost_line(self.id, a);
+                    }
+                }
+            }
+        }
+        self.stats.squashed += removed.len() as u64;
+        if !removed.is_empty() || self.fetch_pc.map_or(true, |p| p != redirect_pc) {
+            self.stats.squash_events += 1;
+        }
+        self.trace.emit(TraceEvent::Squash {
+            cycle: resume_at,
+            after_seq,
+            count: removed.len() as u64,
+        });
+        self.rob.retain(|u| u.seq <= after_seq);
+
+        // Rebuild rename state from the surviving ROB.
+        self.rename = vec![None; Reg::COUNT];
+        self.flags_rename = None;
+        let mut seen: Vec<(usize, u64)> = Vec::new();
+        for u in self.rob.iter() {
+            if let Some(d) = u.inst.dest() {
+                seen.push((d.index(), u.seq));
+            }
+            if u.inst.writes_flags() {
+                self.flags_rename = Some(u.seq);
+            }
+        }
+        for (ri, seq) in seen {
+            self.rename[ri] = Some(seq);
+        }
+        if self.active_barrier.map_or(false, |b| b > after_seq) {
+            self.active_barrier = None;
+        }
+
+        self.fetch_queue.clear();
+        self.fetch_stalled_on = None;
+        self.fetch_pc = Some(redirect_pc);
+        self.fetch_resume_at = resume_at;
+        self.policy.on_squash(after_seq);
+    }
+
+    /// The squash entry point used when a mispredicted branch resolves and
+    /// ghost state must be rolled back.
+    fn squash_after_with_mem(
+        &mut self,
+        after_seq: u64,
+        redirect_pc: usize,
+        resume_at: u64,
+        mem: &mut MemSystem,
+    ) {
+        self.squash_after(after_seq, redirect_pc, resume_at, Some(mem));
+    }
+
+    // ------------------------------------------------------------------
+    // commit
+    // ------------------------------------------------------------------
+
+    fn commit(&mut self, cycle: u64, mem: &mut MemSystem) {
+        self.drain_slots.retain(|d| d.done_at > cycle);
+        let mut committed = 0;
+        while committed < self.cfg.commit_width {
+            let Some(head) = self.rob.front() else { break };
+            let seq = head.seq;
+
+            match head.state {
+                UopState::BlockedUnsafe => {
+                    if self.trace_loads {
+                        let h = self.rob.front().expect("head");
+                        eprintln!("[fault?] BlockedUnsafe head pc={} outcome={:?} fwd={:?} ff={}", h.pc, h.outcome, h.forwarded_from, h.false_forward);
+                    }
+                    // Fig. 4: if speculation resolved in the access's favour
+                    // and the tag check failed, raise a tag-check fault. The
+                    // pipeline flush takes `fault_window` cycles, like any
+                    // precise fault — but a blocked access never produced
+                    // data, so nothing secret can transmit meanwhile.
+                    if !self.has_older_unresolved_branch(seq)
+                        && !self.has_older_unknown_store(seq)
+                        && self.pending_fault.is_none()
+                    {
+                        let head = self.rob.front().expect("head exists");
+                        let info = FaultInfo {
+                            kind: FaultKind::TagCheck,
+                            pc: head.pc,
+                            addr: head.addr,
+                            cycle,
+                        };
+                        self.pending_fault = Some((info, cycle + self.cfg.fault_window));
+                        self.stats.tag_faults += 1;
+                    }
+                    break;
+                }
+                UopState::Done => {}
+                _ => break,
+            }
+
+            let head = self.rob.front().expect("head exists");
+
+            // A false (4K-alias) forward that survived to commit replays
+            // from this load — before any tag judgement: the forwarded data
+            // (and its tag comparison) came from the wrong address.
+            if head.is_load() && head.false_forward && !head.faulting {
+                let seq = head.seq;
+                let pc = head.pc;
+                self.squash_after(seq - 1, pc, cycle + 1, None);
+                break;
+            }
+
+            // Architectural MTE check on the committed path. Like all
+            // precise faults, the flush takes `fault_window` cycles, during
+            // which in-flight dependents keep executing — which is exactly
+            // why commit-path MTE alone cannot stop transient sampling.
+            if self.policy.enforces_mte_at_commit()
+                && head.outcome == Some(TagCheckOutcome::Unsafe)
+            {
+                if self.trace_loads {
+                    eprintln!("[fault?] MTE-unsafe head pc={} fwd={:?} ff={} addr={:?}", head.pc, head.forwarded_from, head.false_forward, head.addr);
+                }
+                if self.pending_fault.is_none() {
+                    let info = FaultInfo {
+                        kind: FaultKind::TagCheck,
+                        pc: head.pc,
+                        addr: head.addr,
+                        cycle,
+                    };
+                    self.pending_fault = Some((info, cycle + self.cfg.fault_window));
+                    self.stats.tag_faults += 1;
+                }
+                break;
+            }
+            // Permission fault (protected range reached the committed path).
+            if head.faulting {
+                {
+                    // The fault is raised at retirement, but the flush takes
+                    // `fault_window` cycles — in-flight transients keep
+                    // executing (the Meltdown/MDS race).
+                    if self.pending_fault.is_none() {
+                        let info = FaultInfo {
+                            kind: FaultKind::Permission,
+                            pc: head.pc,
+                            addr: head.addr,
+                            cycle,
+                        };
+                        self.pending_fault = Some((info, cycle + self.cfg.fault_window));
+                        self.stats.arch_faults += 1;
+                    }
+                    break;
+                }
+            }
+
+            // Stores: a committing store needs a drain slot. The MTE check
+            // applies to the store address too (G2): a mismatch on the
+            // committed path is an architectural tag fault.
+            if head.is_store() && !matches!(head.inst, Inst::Amo { .. }) {
+                let addr = head.addr.expect("store executed");
+                let width = head.width;
+                let inst = head.inst;
+                let value = head.store_value.unwrap_or(0);
+                let res = mem.store(self.id, addr, width.max(1), cycle, FillMode::Install);
+                if self.policy.enforces_mte_at_commit()
+                    && res.outcome == TagCheckOutcome::Unsafe
+                    && !matches!(inst, Inst::Stg { .. } | Inst::St2g { .. })
+                {
+                    if self.pending_fault.is_none() {
+                        let info = FaultInfo {
+                            kind: FaultKind::TagCheck,
+                            pc: head.pc,
+                            addr: Some(addr),
+                            cycle,
+                        };
+                        self.pending_fault = Some((info, cycle + self.cfg.fault_window));
+                        self.stats.tag_faults += 1;
+                    }
+                    break;
+                }
+                match inst {
+                    Inst::Stg { .. } => mem.store_tag(addr, addr.key()),
+                    Inst::St2g { .. } => {
+                        mem.store_tag(addr, addr.key());
+                        mem.store_tag(addr.offset(16), addr.key());
+                    }
+                    _ => {
+                        let w = match inst {
+                            Inst::Str { width, .. } | Inst::StrIdx { width, .. } => width.bytes(),
+                            _ => 8,
+                        };
+                        mem.write_arch(addr, w, value);
+                    }
+                }
+                self.drain_slots.push(DrainSlot {
+                    addr,
+                    value,
+                    data_valid: !matches!(inst, Inst::Stg { .. } | Inst::St2g { .. }),
+                    done_at: cycle + res.latency,
+                });
+                self.stats.stores_committed += 1;
+            }
+
+            let head = self.rob.pop_front().expect("head exists");
+            // Cache maintenance applies architecturally at commit.
+            if let Inst::Flush { base, offset } = head.inst {
+                let b = if base.is_zero() { 0 } else { self.regs[base.index()] };
+                mem.flush_line(VirtAddr::new(b).offset(offset));
+            }
+            if head.is_load() && !head.is_store() {
+                self.stats.loads_committed += 1;
+                if head.fill_mode_used == Some(FillMode::Ghost) {
+                    if let Some(a) = head.addr {
+                        mem.promote_ghost(self.id, a, cycle);
+                    }
+                }
+                // MDU: successful speculation trains toward "speculate".
+                if head.forwarded_from.is_none() {
+                    let mi = self.mdu_index(head.pc);
+                    self.mdu[mi] = self.mdu[mi].saturating_sub(1);
+                }
+            }
+
+            // Architectural state update.
+            if let Some(d) = head.inst.dest() {
+                if let Some(v) = head.result {
+                    self.regs[d.index()] = v;
+                }
+                if self.rename[d.index()] == Some(head.seq) {
+                    self.rename[d.index()] = None;
+                }
+            }
+            if let Some(f) = head.flags_out {
+                self.flags = f;
+                if self.flags_rename == Some(head.seq) {
+                    self.flags_rename = None;
+                }
+            }
+
+            match head.inst {
+                Inst::BCond { .. } | Inst::Cbz { .. } | Inst::Cbnz { .. } => {
+                    // `predicted_next` holds the resolved target after execute.
+                    let taken = head.predicted_next != head.pc + 1;
+                    self.pred.gshare.note_fetch(taken);
+                }
+                // The committed call stack backing SpecCFI's return check.
+                Inst::Bl { .. } | Inst::Blr { .. } => self.shadow_stack.push(head.pc + 1),
+                Inst::Ret => {
+                    self.shadow_stack.pop();
+                }
+                _ => {}
+            }
+            if head.delay_cycles > 0 || head.cfi_stalled {
+                self.stats.restricted_committed += 1;
+            }
+            if head.carried_taint {
+                self.stats.tainted_committed += 1;
+            }
+            self.trace.emit(TraceEvent::Commit { cycle, seq: head.seq, pc: head.pc });
+            self.stats.committed += 1;
+            self.last_commit_cycle = cycle;
+            committed += 1;
+
+            if matches!(head.inst, Inst::Halt) {
+                self.finished = true;
+                break;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // the cycle
+    // ------------------------------------------------------------------
+
+    /// Advances the core by one cycle against the shared memory system.
+    pub fn tick(&mut self, mem: &mut MemSystem, cycle: u64) {
+        if self.finished {
+            return;
+        }
+        self.stats.cycles = cycle + 1;
+        if let Some((info, halt_at)) = self.pending_fault {
+            if cycle >= halt_at {
+                self.trace.emit(TraceEvent::Fault { cycle, pc: info.pc });
+                self.fault = Some(info);
+                self.finished = true;
+                return;
+            }
+        }
+        self.commit(cycle, mem);
+        if self.finished {
+            return;
+        }
+        self.writeback_with_mem(cycle, mem);
+        self.issue(cycle, mem);
+        self.dispatch(cycle);
+        self.fetch(cycle);
+        self.stats.predictor = self.pred.stats;
+    }
+
+    fn writeback_with_mem(&mut self, cycle: u64, mem: &mut MemSystem) {
+        // Same as writeback() but routes squashes through ghost rollback.
+        let mut redirect: Option<(u64, usize)> = None;
+        for u in self.rob.iter() {
+            if let UopState::Executing(done) = u.state {
+                if done <= cycle && u.is_branch() && u.mispredicted {
+                    redirect = match redirect {
+                        Some((s, t)) if s < u.seq => Some((s, t)),
+                        _ => Some((u.seq, u.predicted_next)),
+                    };
+                }
+            }
+        }
+        self.writeback_complete_only(cycle);
+        if let Some((bseq, target)) = redirect {
+            self.squash_after_with_mem(bseq, target, cycle + self.cfg.mispredict_penalty, mem);
+        }
+    }
+
+    fn writeback_complete_only(&mut self, cycle: u64) {
+        for i in 0..self.rob.len() {
+            if let UopState::Executing(done) = self.rob[i].state {
+                if done <= cycle {
+                    // SpecASan's STL rule: a tagged load that bypassed
+                    // unresolved-address stores holds its completed result
+                    // until those addresses resolve.
+                    if self.rob[i].is_load()
+                        && self.policy.holds_tagged_mdu_results()
+                        && self.rob[i].addr.map_or(false, |a| a.key() != TagNibble::ZERO)
+                        && self.has_older_unknown_store(self.rob[i].seq)
+                    {
+                        self.charge_delay(i, DelayCause::TaggedMduWait, 1);
+                        continue;
+                    }
+                    if self.rob[i].is_load() && self.rob[i].tcs == Tcs::Wait {
+                        let seq = self.rob[i].seq;
+                        let outcome = self.rob[i].outcome.unwrap_or(TagCheckOutcome::Unchecked);
+                        let speculative = self.has_older_unresolved_branch(seq)
+                            || self.has_older_unknown_store(seq);
+                        let ctx = LoadRespCtx { seq, outcome, speculative, data_returned: true };
+                        match self.policy.on_load_response(&ctx) {
+                            RespDecision::Forward => {
+                                self.rob[i].tcs = match outcome {
+                                    TagCheckOutcome::Unsafe => Tcs::Unsafe,
+                                    _ => Tcs::Safe,
+                                };
+                                self.rob[i].state = UopState::Done;
+                            }
+                            RespDecision::Block => {
+                                self.rob[i].tcs = Tcs::Unsafe;
+                                self.rob[i].result = None;
+                                self.rob[i].state = UopState::BlockedUnsafe;
+                                self.stats.unsafe_spec_accesses += 1;
+                                self.charge_delay(i, DelayCause::UnsafeAccessWait, 1);
+                            }
+                        }
+                    } else {
+                        self.rob[i].state = UopState::Done;
+                        if self.rob[i].inst == Inst::SpecBarrier
+                            && self.active_barrier == Some(self.rob[i].seq)
+                        {
+                            self.active_barrier = None;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Cycle of the most recent commit (deadlock diagnostics).
+    pub fn last_commit_cycle(&self) -> u64 {
+        self.last_commit_cycle
+    }
+
+    /// Number of in-flight instructions (test hook).
+    pub fn rob_occupancy(&self) -> usize {
+        self.rob.len()
+    }
+}
+
+// `writeback` (without mem) retained for unit tests of the TSH logic.
+#[allow(dead_code)]
+fn _assert_send() {
+    fn is_send<T: Send>() {}
+    // Core contains Box<dyn MitigationPolicy> which is not necessarily Send;
+    // the multi-threaded harness uses one System per thread instead.
+}

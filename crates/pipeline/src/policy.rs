@@ -1,0 +1,249 @@
+//! The mitigation-policy hook interface.
+//!
+//! The pipeline is mitigation-agnostic: at every decision point a transient
+//! execution defense could intervene — load issue, load response,
+//! store-to-load forwarding, indirect-branch speculation — it consults an
+//! object-safe [`MitigationPolicy`]. The concrete policies (SpecASan, fences,
+//! STT, GhostMinion, SpecCFI, …) live in the `specasan` crate; this module
+//! only defines the vocabulary plus the do-nothing [`NoPolicy`] baseline.
+
+use sas_isa::TagNibble;
+use sas_mem::FillMode;
+use sas_mte::TagCheckOutcome;
+
+/// Why an instruction was delayed by the active mitigation. Used for the
+/// restriction accounting behind Figure 8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DelayCause {
+    /// A speculative load held back until older branches resolve (fences).
+    BarrierSpecLoad,
+    /// A load whose address operand is tainted (STT transmitter delay).
+    TaintedAddress,
+    /// A branch with a tainted condition (STT implicit-channel delay).
+    TaintedBranch,
+    /// SpecASan: a tag-mismatching speculative access waiting for
+    /// speculation to resolve.
+    UnsafeAccessWait,
+    /// Store-to-load forwarding refused because address tags mismatched.
+    ForwardBlocked,
+    /// SpecCFI: fetch past an unvalidated indirect target stalled.
+    CfiIndirectStall,
+    /// Memory-dependence predictor said "wait for older stores".
+    MemDepWait,
+    /// SpecASan: a *tagged* load under memory-dependence speculation waits
+    /// for the SQ to resolve older store addresses (§4.1, Spectre-STL).
+    TaggedMduWait,
+    /// An explicit speculation-barrier instruction.
+    ExplicitBarrier,
+}
+
+/// Everything a policy may inspect when a load wants to issue to memory.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadIssueCtx {
+    /// Global sequence number of the load.
+    pub seq: u64,
+    /// Fetch PC.
+    pub pc: usize,
+    /// An older unresolved branch exists (branch speculation window).
+    pub spec_branch: bool,
+    /// The load bypassed an older store with an unresolved address (memory
+    /// dependence speculation window).
+    pub spec_mdu: bool,
+    /// The address operand derives from a still-speculative load (taint).
+    pub addr_tainted: bool,
+    /// The load architecturally faults (protected-range access).
+    pub faulting: bool,
+    /// Address tag carried by the pointer.
+    pub key: TagNibble,
+}
+
+/// Verdict for a load that wants to access memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IssueDecision {
+    /// Issue now, mutating timing state per the given fill mode.
+    Proceed(FillMode),
+    /// Hold the load; the core retries next cycle and charges the delay to
+    /// `cause`.
+    Delay(DelayCause),
+}
+
+/// Everything a policy may inspect when a memory response returns.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadRespCtx {
+    /// Global sequence number of the load.
+    pub seq: u64,
+    /// Tag-check outcome reported by the memory system.
+    pub outcome: TagCheckOutcome,
+    /// The load is still speculative (branch or memory-dependence window).
+    pub speculative: bool,
+    /// Whether the memory system returned data.
+    pub data_returned: bool,
+}
+
+/// Verdict for a returned load response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RespDecision {
+    /// Result becomes visible to dependents.
+    Forward,
+    /// SpecASan-style block: the load produces no result; its `tcs` goes to
+    /// *unsafe* and it waits for speculation to resolve (fault or squash).
+    Block,
+}
+
+/// Kind of indirect control transfer, for CFI hooks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndirectKind {
+    /// `BR` (indirect jump).
+    Jump,
+    /// `BLR` (indirect call).
+    Call,
+    /// `RET`.
+    Return,
+}
+
+/// A transient-execution mitigation, consulted by the pipeline.
+///
+/// The default method bodies implement the unprotected baseline, so a policy
+/// only overrides the decision points it cares about.
+pub trait MitigationPolicy {
+    /// Short display name (used in reports).
+    fn name(&self) -> &'static str;
+
+    /// May this load issue to memory now, and under which fill mode?
+    fn on_load_issue(&mut self, _ctx: &LoadIssueCtx) -> IssueDecision {
+        IssueDecision::Proceed(FillMode::Install)
+    }
+
+    /// The memory response arrived; may its data be forwarded to dependents?
+    fn on_load_response(&mut self, _ctx: &LoadRespCtx) -> RespDecision {
+        RespDecision::Forward
+    }
+
+    /// May the SQ forward this store's data to a load? `speculative` is true
+    /// when the load is still under branch/memory speculation.
+    fn allow_stl_forward(
+        &mut self,
+        _load_key: TagNibble,
+        _store_key: TagNibble,
+        _speculative: bool,
+    ) -> bool {
+        true
+    }
+
+    /// Whether results of speculative loads are tainted and tracked through
+    /// dataflow (STT).
+    fn taints_speculative_loads(&self) -> bool {
+        false
+    }
+
+    /// Whether a branch whose condition/target operand is tainted must wait
+    /// for the taint to clear (STT's implicit-channel protection).
+    fn blocks_tainted_branches(&self) -> bool {
+        false
+    }
+
+    /// May fetch speculate past an indirect branch to a predicted target?
+    /// `target_has_bti` reports whether the predicted target carries a
+    /// landing pad valid for `kind`; `rsb_match` whether a `RET` target
+    /// matches the shadow stack (SpecCFI).
+    fn allow_indirect_speculation(
+        &mut self,
+        _kind: IndirectKind,
+        _target_has_bti: bool,
+        _rsb_match: bool,
+    ) -> bool {
+        true
+    }
+
+    /// Whether the architectural MTE check applies to committed accesses
+    /// (false only for the unprotected no-MTE baseline).
+    fn enforces_mte_at_commit(&self) -> bool {
+        true
+    }
+
+    /// Whether a *tagged* load that bypassed stores with unresolved
+    /// addresses must hold its result until those addresses resolve
+    /// (SpecASan's Spectre-STL rule, §4.1). The access itself — and its tag
+    /// verification — proceed in parallel, so the hold overlaps the load's
+    /// own latency.
+    fn holds_tagged_mdu_results(&self) -> bool {
+        false
+    }
+
+    /// Whether *no* instruction may execute under an unresolved branch —
+    /// full fence-after-every-branch serialization (the strictest ACCESS
+    /// delay of Figure 1, "sometimes ... disabling the speculative
+    /// execution entirely").
+    fn blocks_full_speculation(&self) -> bool {
+        false
+    }
+
+    /// Notification: a branch resolved (`mispredicted` tells how).
+    fn on_branch_resolved(&mut self, _seq: u64, _mispredicted: bool) {}
+
+    /// Notification: everything younger than `seq` was squashed.
+    fn on_squash(&mut self, _after_seq: u64) {}
+}
+
+/// The unprotected baseline: speculate freely, never check tags.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoPolicy;
+
+impl MitigationPolicy for NoPolicy {
+    fn name(&self) -> &'static str {
+        "unsafe-baseline"
+    }
+
+    fn enforces_mte_at_commit(&self) -> bool {
+        false
+    }
+}
+
+/// Plain ARM MTE: architectural checks on the committed path only; no
+/// speculative protection. (The paper's "ARM MTE" hardware baseline.)
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MteOnlyPolicy;
+
+impl MitigationPolicy for MteOnlyPolicy {
+    fn name(&self) -> &'static str {
+        "arm-mte"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_policy_is_fully_permissive() {
+        let mut p = NoPolicy;
+        let ctx = LoadIssueCtx {
+            seq: 1,
+            pc: 0,
+            spec_branch: true,
+            spec_mdu: true,
+            addr_tainted: true,
+            faulting: true,
+            key: TagNibble::new(3),
+        };
+        assert_eq!(p.on_load_issue(&ctx), IssueDecision::Proceed(FillMode::Install));
+        assert!(p.allow_stl_forward(TagNibble::new(1), TagNibble::new(2), true));
+        assert!(!p.enforces_mte_at_commit());
+        assert!(p.allow_indirect_speculation(IndirectKind::Return, false, false));
+    }
+
+    #[test]
+    fn mte_only_checks_at_commit() {
+        let p = MteOnlyPolicy;
+        assert!(p.enforces_mte_at_commit());
+        assert!(!p.taints_speculative_loads());
+    }
+
+    #[test]
+    fn policy_is_object_safe() {
+        let policies: Vec<Box<dyn MitigationPolicy>> =
+            vec![Box::new(NoPolicy), Box::new(MteOnlyPolicy)];
+        assert_eq!(policies[0].name(), "unsafe-baseline");
+        assert_eq!(policies[1].name(), "arm-mte");
+    }
+}

@@ -1,0 +1,111 @@
+//! Execution statistics.
+
+use crate::policy::DelayCause;
+use crate::predictor::PredictorStats;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Counters collected by one core over a run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CoreStats {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Instructions committed.
+    pub committed: u64,
+    /// Instructions fetched (including wrong-path).
+    pub fetched: u64,
+    /// Instructions squashed.
+    pub squashed: u64,
+    /// Pipeline squash events (mispredicts + order violations).
+    pub squash_events: u64,
+    /// Memory-order violations detected (store resolved under an issued
+    /// younger load).
+    pub order_violations: u64,
+    /// Committed instructions that suffered at least one mitigation-induced
+    /// delay — the numerator of Figure 8.
+    pub restricted_committed: u64,
+    /// Total mitigation-induced delay cycles, by cause.
+    pub delay_cycles: HashMap<String, u64>,
+    /// Delayed-instruction counts, by cause.
+    pub delay_events: HashMap<String, u64>,
+    /// Branch predictor counters.
+    pub predictor: PredictorStats,
+    /// Loads executed (committed path).
+    pub loads_committed: u64,
+    /// Stores executed (committed path).
+    pub stores_committed: u64,
+    /// Tag-check faults raised.
+    pub tag_faults: u64,
+    /// Architectural (permission) faults raised.
+    pub arch_faults: u64,
+    /// Store-to-load forwards performed.
+    pub stl_forwards: u64,
+    /// Store-to-load forwards blocked by tag mismatch.
+    pub stl_blocked: u64,
+    /// Unsafe speculative accesses observed (tcs reached *unsafe*).
+    pub unsafe_spec_accesses: u64,
+    /// Committed instructions that carried a live taint on some operand at
+    /// execution (STT's "protected instruction" classification — the basis
+    /// of its restricted-instruction accounting).
+    pub tainted_committed: u64,
+}
+
+impl CoreStats {
+    /// Instructions per cycle over the run.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of committed instructions that were restricted (Figure 8).
+    pub fn restricted_fraction(&self) -> f64 {
+        if self.committed == 0 {
+            0.0
+        } else {
+            self.restricted_committed as f64 / self.committed as f64
+        }
+    }
+
+    /// Records a delay event of `cycles` cycles attributed to `cause`.
+    pub fn record_delay(&mut self, cause: DelayCause, cycles: u64) {
+        let key = format!("{cause:?}");
+        *self.delay_cycles.entry(key.clone()).or_insert(0) += cycles;
+        *self.delay_events.entry(key).or_insert(0) += 1;
+    }
+
+    /// Total delay cycles across causes.
+    pub fn total_delay_cycles(&self) -> u64 {
+        self.delay_cycles.values().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_handles_zero_cycles() {
+        assert_eq!(CoreStats::default().ipc(), 0.0);
+    }
+
+    #[test]
+    fn ipc_and_restriction_fraction() {
+        let s = CoreStats { cycles: 100, committed: 250, restricted_committed: 25, ..Default::default() };
+        assert!((s.ipc() - 2.5).abs() < 1e-12);
+        assert!((s.restricted_fraction() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delay_accounting_accumulates() {
+        let mut s = CoreStats::default();
+        s.record_delay(DelayCause::BarrierSpecLoad, 5);
+        s.record_delay(DelayCause::BarrierSpecLoad, 3);
+        s.record_delay(DelayCause::TaintedAddress, 2);
+        assert_eq!(s.total_delay_cycles(), 10);
+        assert_eq!(s.delay_events["BarrierSpecLoad"], 2);
+        assert_eq!(s.delay_cycles["TaintedAddress"], 2);
+    }
+}

@@ -1,0 +1,196 @@
+//! The multi-core simulation driver.
+
+use crate::config::CoreConfig;
+use crate::core::{Core, FaultInfo};
+use crate::policy::MitigationPolicy;
+use crate::stats::CoreStats;
+use sas_isa::Program;
+use sas_mem::{MemConfig, MemSystem, MemSystemStats};
+use std::sync::Arc;
+
+/// Why a run ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunExit {
+    /// Every core committed its `HALT`.
+    Halted,
+    /// A core faulted (tag-check or permission); the fault is attached.
+    Faulted(FaultInfo),
+    /// The cycle budget was exhausted first.
+    CycleLimit,
+    /// No core committed anything for the deadlock window — a simulator or
+    /// program bug.
+    Deadlock,
+}
+
+/// Result of [`System::run`].
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Exit condition.
+    pub exit: RunExit,
+    /// Total cycles simulated.
+    pub cycles: u64,
+    /// Per-core statistics.
+    pub core_stats: Vec<CoreStats>,
+    /// Memory-system statistics.
+    pub mem_stats: MemSystemStats,
+}
+
+impl RunResult {
+    /// Total committed instructions across cores.
+    pub fn committed(&self) -> u64 {
+        self.core_stats.iter().map(|s| s.committed).sum()
+    }
+}
+
+/// A complete simulated machine: cores + shared memory system.
+///
+/// ```
+/// use sas_pipeline::{System, CoreConfig, NoPolicy};
+/// use sas_isa::{ProgramBuilder, Reg, Operand};
+/// use sas_mem::MemConfig;
+///
+/// let mut asm = ProgramBuilder::new();
+/// asm.movz(Reg::X1, 21, 0);
+/// asm.add(Reg::X1, Reg::X1, Operand::reg(Reg::X1));
+/// asm.halt();
+/// let program = asm.build().unwrap();
+///
+/// let mut sys = System::single_core(CoreConfig::tiny(), MemConfig::default(), program, Box::new(NoPolicy));
+/// let result = sys.run(10_000);
+/// assert_eq!(sys.core(0).reg(Reg::X1), 42);
+/// assert!(result.cycles > 0);
+/// ```
+#[derive(Debug)]
+pub struct System {
+    mem: MemSystem,
+    cores: Vec<Core>,
+    cycle: u64,
+    deadlock_window: u64,
+}
+
+impl System {
+    /// Builds a single-core system.
+    pub fn single_core(
+        cfg: CoreConfig,
+        mem_cfg: MemConfig,
+        program: Program,
+        policy: Box<dyn MitigationPolicy>,
+    ) -> System {
+        let program = Arc::new(program);
+        let mut mem = MemSystem::new(1, mem_cfg);
+        Self::load_segments(&mut mem, &program);
+        System {
+            mem,
+            cores: vec![Core::new(0, cfg, program, policy)],
+            cycle: 0,
+            deadlock_window: 100_000,
+        }
+    }
+
+    fn load_segments(mem: &mut MemSystem, program: &Program) {
+        for seg in program.data() {
+            mem.arch.write_bytes(sas_isa::VirtAddr::new(seg.base), &seg.bytes);
+        }
+    }
+
+    /// Builds a multi-core system; one `(program, policy)` pair per core,
+    /// all sharing the L2 and main memory.
+    pub fn multi_core(
+        cfg: CoreConfig,
+        mem_cfg: MemConfig,
+        parts: Vec<(Program, Box<dyn MitigationPolicy>)>,
+    ) -> System {
+        assert!(!parts.is_empty(), "need at least one core");
+        let n = parts.len();
+        let mut mem = MemSystem::new(n, mem_cfg);
+        for (p, _) in &parts {
+            Self::load_segments(&mut mem, p);
+        }
+        System {
+            mem,
+            cores: parts
+                .into_iter()
+                .enumerate()
+                .map(|(i, (p, pol))| Core::new(i, cfg, Arc::new(p), pol))
+                .collect(),
+            cycle: 0,
+            deadlock_window: 100_000,
+        }
+    }
+
+    /// Access to a core (register setup, stats, fault info).
+    pub fn core(&self, i: usize) -> &Core {
+        &self.cores[i]
+    }
+
+    /// Mutable access to a core.
+    pub fn core_mut(&mut self, i: usize) -> &mut Core {
+        &mut self.cores[i]
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// The shared memory system (heap setup, protected ranges, oracles).
+    pub fn mem(&self) -> &MemSystem {
+        &self.mem
+    }
+
+    /// Mutable access to the memory system.
+    pub fn mem_mut(&mut self) -> &mut MemSystem {
+        &mut self.mem
+    }
+
+    /// Overrides the deadlock-detection window (cycles without any commit).
+    pub fn set_deadlock_window(&mut self, cycles: u64) {
+        self.deadlock_window = cycles;
+    }
+
+    /// Runs until every core halts, any core faults, or `max_cycles` pass.
+    pub fn run(&mut self, max_cycles: u64) -> RunResult {
+        let mut exit = RunExit::CycleLimit;
+        let mut last_progress = self.cycle;
+        let mut last_total: u64 = self.cores.iter().map(|c| c.stats.committed).sum();
+        while self.cycle < max_cycles {
+            let mut all_done = true;
+            for core in &mut self.cores {
+                core.tick(&mut self.mem, self.cycle);
+                if let Some(f) = core.fault() {
+                    exit = RunExit::Faulted(*f);
+                    all_done = true;
+                    break;
+                }
+                all_done &= core.finished();
+            }
+            self.cycle += 1;
+            if matches!(exit, RunExit::Faulted(_)) {
+                break;
+            }
+            if all_done {
+                exit = RunExit::Halted;
+                break;
+            }
+            let total: u64 = self.cores.iter().map(|c| c.stats.committed).sum();
+            if total != last_total {
+                last_total = total;
+                last_progress = self.cycle;
+            } else if self.cycle - last_progress > self.deadlock_window {
+                exit = RunExit::Deadlock;
+                break;
+            }
+        }
+        RunResult {
+            exit,
+            cycles: self.cycle,
+            core_stats: self.cores.iter().map(|c| c.stats.clone()).collect(),
+            mem_stats: self.mem.stats(),
+        }
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+}

@@ -1,0 +1,240 @@
+//! Structured execution tracing.
+//!
+//! An opt-in, bounded event log of the microarchitectural story Figure 5
+//! tells: dispatches, load issues with their tag-check outcomes, TSH
+//! blocks, branch resolutions, squashes, commits and faults. Disabled by
+//! default (a single branch per event site); enable per core with
+//! [`crate::Core::enable_trace`].
+
+use sas_isa::VirtAddr;
+use sas_mte::TagCheckOutcome;
+use std::fmt;
+
+/// One traced event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// Instruction entered the ROB.
+    Dispatch {
+        /// Cycle.
+        cycle: u64,
+        /// Sequence number.
+        seq: u64,
+        /// Fetch PC.
+        pc: usize,
+        /// Dispatched under an unresolved branch.
+        speculative: bool,
+    },
+    /// A load issued to the memory system.
+    LoadIssue {
+        /// Cycle.
+        cycle: u64,
+        /// Sequence number.
+        seq: u64,
+        /// Tagged address.
+        addr: VirtAddr,
+        /// Issued under an unresolved branch / memory-dependence window.
+        speculative: bool,
+    },
+    /// A tag-check outcome returned with a memory response.
+    TagCheck {
+        /// Cycle.
+        cycle: u64,
+        /// Sequence number of the access.
+        seq: u64,
+        /// The outcome.
+        outcome: TagCheckOutcome,
+    },
+    /// The TSH moved an access to *unsafe* and notified the ROB (SSA = 0).
+    UnsafeBlocked {
+        /// Cycle.
+        cycle: u64,
+        /// Sequence number of the blocked access.
+        seq: u64,
+    },
+    /// A branch resolved.
+    BranchResolved {
+        /// Cycle.
+        cycle: u64,
+        /// Sequence number.
+        seq: u64,
+        /// Whether it had been mispredicted.
+        mispredicted: bool,
+    },
+    /// Younger instructions were squashed.
+    Squash {
+        /// Cycle.
+        cycle: u64,
+        /// Everything younger than this survived… strictly: last survivor.
+        after_seq: u64,
+        /// Number of squashed instructions.
+        count: u64,
+    },
+    /// An instruction retired.
+    Commit {
+        /// Cycle.
+        cycle: u64,
+        /// Sequence number.
+        seq: u64,
+        /// PC.
+        pc: usize,
+    },
+    /// The core raised a fault.
+    Fault {
+        /// Cycle.
+        cycle: u64,
+        /// PC of the faulting instruction.
+        pc: usize,
+    },
+}
+
+impl TraceEvent {
+    /// The cycle the event occurred.
+    pub fn cycle(&self) -> u64 {
+        match *self {
+            TraceEvent::Dispatch { cycle, .. }
+            | TraceEvent::LoadIssue { cycle, .. }
+            | TraceEvent::TagCheck { cycle, .. }
+            | TraceEvent::UnsafeBlocked { cycle, .. }
+            | TraceEvent::BranchResolved { cycle, .. }
+            | TraceEvent::Squash { cycle, .. }
+            | TraceEvent::Commit { cycle, .. }
+            | TraceEvent::Fault { cycle, .. } => cycle,
+        }
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            TraceEvent::Dispatch { cycle, seq, pc, speculative } => write!(
+                f,
+                "[{cycle:>6}] dispatch   seq={seq:<5} pc={pc}{}",
+                if speculative { "  (spec)" } else { "" }
+            ),
+            TraceEvent::LoadIssue { cycle, seq, addr, speculative } => write!(
+                f,
+                "[{cycle:>6}] load       seq={seq:<5} addr={addr}{}",
+                if speculative { "  (spec)" } else { "" }
+            ),
+            TraceEvent::TagCheck { cycle, seq, outcome } => {
+                write!(f, "[{cycle:>6}] tag-check  seq={seq:<5} {outcome}")
+            }
+            TraceEvent::UnsafeBlocked { cycle, seq } => {
+                write!(f, "[{cycle:>6}] tcs=!S     seq={seq:<5} SSA=0, waiting for resolution")
+            }
+            TraceEvent::BranchResolved { cycle, seq, mispredicted } => write!(
+                f,
+                "[{cycle:>6}] branch     seq={seq:<5} {}",
+                if mispredicted { "MISPREDICTED" } else { "correct" }
+            ),
+            TraceEvent::Squash { cycle, after_seq, count } => {
+                write!(f, "[{cycle:>6}] squash     {count} younger than seq {after_seq}")
+            }
+            TraceEvent::Commit { cycle, seq, pc } => {
+                write!(f, "[{cycle:>6}] commit     seq={seq:<5} pc={pc}")
+            }
+            TraceEvent::Fault { cycle, pc } => write!(f, "[{cycle:>6}] FAULT      pc={pc}"),
+        }
+    }
+}
+
+/// A bounded event recorder.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    cap: usize,
+    enabled: bool,
+}
+
+impl Trace {
+    /// Enables recording of up to `cap` events (older events are kept; the
+    /// log simply stops growing at capacity).
+    pub fn enable(&mut self, cap: usize) {
+        self.enabled = true;
+        self.cap = cap;
+        self.events.reserve(cap.min(4096));
+    }
+
+    /// Whether recording is active (cheap gate for emit sites).
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an event (no-op when disabled or full).
+    #[inline]
+    pub fn emit(&mut self, e: TraceEvent) {
+        if self.enabled && self.events.len() < self.cap {
+            self.events.push(e);
+        }
+    }
+
+    /// The recorded events.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Renders the log, one event per line.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        for e in &self.events {
+            s.push_str(&e.to_string());
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Events matching a predicate (e.g. only tag checks).
+    pub fn filter<'a>(
+        &'a self,
+        pred: impl Fn(&TraceEvent) -> bool + 'a,
+    ) -> impl Iterator<Item = &'a TraceEvent> {
+        self.events.iter().filter(move |e| pred(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::default();
+        t.emit(TraceEvent::Fault { cycle: 1, pc: 2 });
+        assert!(t.events().is_empty());
+        assert!(!t.enabled());
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        let mut t = Trace::default();
+        t.enable(2);
+        for i in 0..5 {
+            t.emit(TraceEvent::Commit { cycle: i, seq: i, pc: 0 });
+        }
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.events()[0].cycle(), 0);
+    }
+
+    #[test]
+    fn render_is_line_per_event() {
+        let mut t = Trace::default();
+        t.enable(8);
+        t.emit(TraceEvent::UnsafeBlocked { cycle: 7, seq: 12 });
+        t.emit(TraceEvent::Squash { cycle: 9, after_seq: 11, count: 3 });
+        let s = t.render();
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.contains("tcs=!S"));
+        assert!(s.contains("squash"));
+    }
+
+    #[test]
+    fn filter_selects_kinds() {
+        let mut t = Trace::default();
+        t.enable(8);
+        t.emit(TraceEvent::Commit { cycle: 1, seq: 1, pc: 0 });
+        t.emit(TraceEvent::Fault { cycle: 2, pc: 9 });
+        let faults: Vec<_> = t.filter(|e| matches!(e, TraceEvent::Fault { .. })).collect();
+        assert_eq!(faults.len(), 1);
+    }
+}

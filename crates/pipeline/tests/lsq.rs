@@ -1,0 +1,230 @@
+//! Focused tests of the LSQ, memory-dependence machinery, fault windows and
+//! execution-unit contention — the microarchitectural details the attacks
+//! (and SpecASan) stand on.
+
+use sas_isa::{Operand, ProgramBuilder, Reg, TagNibble, VirtAddr};
+use sas_mem::MemConfig;
+use sas_pipeline::{CoreConfig, MteOnlyPolicy, NoPolicy, RunExit, System};
+
+fn sys_with(program: sas_isa::Program) -> System {
+    System::single_core(CoreConfig::table2(), MemConfig::default(), program, Box::new(NoPolicy))
+}
+
+#[test]
+fn mdu_trains_after_violation_and_stops_replaying() {
+    // A loop where a store (slow address) precedes a load to the same
+    // address: the first iteration speculates, violates and replays; the
+    // MDU then predicts "wait" and later iterations stop violating.
+    let mut asm = ProgramBuilder::new();
+    asm.mov_imm64(Reg::X13, 0x7000); // pointer cell, holds 0x4000
+    asm.movz(Reg::X10, 8, 0); // iterations
+    asm.movz(Reg::X15, 0, 0);
+    let top = asm.here();
+    asm.flush(Reg::X13, 0);
+    asm.add(Reg::X15, Reg::X15, Operand::imm(1));
+    asm.ldr(Reg::X14, Reg::X13, 0); // slow: the store's address
+    asm.str(Reg::X15, Reg::X14, 0);
+    asm.mov_imm64(Reg::X4, 0x4000);
+    asm.ldr(Reg::X5, Reg::X4, 0); // same address: must see the store
+    asm.sub(Reg::X10, Reg::X10, Operand::imm(1));
+    asm.cbnz_idx(Reg::X10, top);
+    asm.halt();
+    let mut sys = sys_with(asm.build().unwrap());
+    sys.mem_mut().write_arch(VirtAddr::new(0x7000), 8, 0x4000);
+    let r = sys.run(5_000_000);
+    assert_eq!(r.exit, RunExit::Halted);
+    assert_eq!(sys.core(0).reg(Reg::X5), 8, "every iteration saw its own store");
+    let v = r.core_stats[0].order_violations;
+    assert!(v >= 1, "first iteration must violate");
+    assert!(v < 8, "the MDU must learn to wait ({v} violations)");
+}
+
+#[test]
+fn permission_fault_window_lets_independents_finish() {
+    // Independent work younger than a faulting load still executes during
+    // the fault window (the Meltdown race) — observable through the cache.
+    let probe = 0x2_0000u64;
+    let mut asm = ProgramBuilder::new();
+    asm.mov_imm64(Reg::X1, 0x9000); // protected
+    asm.mov_imm64(Reg::X3, probe);
+    asm.ldr(Reg::X2, Reg::X1, 0); // faults at commit
+    asm.ldrb(Reg::X4, Reg::X3, 0); // independent: runs in the window
+    asm.halt();
+    let mut sys = sys_with(asm.build().unwrap());
+    sys.mem_mut().add_protected_range(0x9000, 0x100);
+    let r = sys.run(100_000);
+    assert!(matches!(r.exit, RunExit::Faulted(_)));
+    assert!(
+        sys.mem().is_cached(0, VirtAddr::new(probe)),
+        "independent load's fill must survive into the fault"
+    );
+}
+
+#[test]
+fn divider_is_non_pipelined_and_data_dependent() {
+    // Two independent divides: the second waits for the first; a large
+    // dividend extends the first divide's occupancy and the total runtime.
+    let run = |magnitude: u64| {
+        let mut asm = ProgramBuilder::new();
+        asm.mov_imm64(Reg::X1, magnitude);
+        asm.movz(Reg::X3, 7, 0);
+        asm.udiv(Reg::X2, Reg::X1, Operand::imm(3)); // occupies the divider
+        asm.udiv(Reg::X4, Reg::X3, Operand::imm(3)); // independent, must wait
+        asm.halt();
+        let mut sys = sys_with(asm.build().unwrap());
+        let r = sys.run(10_000);
+        assert_eq!(r.exit, RunExit::Halted);
+        r.cycles
+    };
+    let small = run(1);
+    let large = run(u64::MAX);
+    assert!(
+        large > small,
+        "dividend magnitude must extend occupancy ({small} vs {large})"
+    );
+}
+
+#[test]
+fn spec_barrier_orders_but_preserves_results() {
+    let mut asm = ProgramBuilder::new();
+    asm.movz(Reg::X1, 5, 0);
+    asm.spec_barrier();
+    asm.add(Reg::X1, Reg::X1, Operand::imm(1));
+    asm.spec_barrier();
+    asm.add(Reg::X1, Reg::X1, Operand::imm(1));
+    asm.halt();
+    let mut sys = sys_with(asm.build().unwrap());
+    let r = sys.run(10_000);
+    assert_eq!(r.exit, RunExit::Halted);
+    assert_eq!(sys.core(0).reg(Reg::X1), 7);
+}
+
+#[test]
+fn fence_waits_for_older_memory_ops() {
+    let mut asm = ProgramBuilder::new();
+    asm.mov_imm64(Reg::X1, 0x3000);
+    asm.movz(Reg::X2, 9, 0);
+    asm.str(Reg::X2, Reg::X1, 0);
+    asm.fence();
+    asm.ldr(Reg::X3, Reg::X1, 0);
+    asm.halt();
+    let mut sys = sys_with(asm.build().unwrap());
+    let r = sys.run(10_000);
+    assert_eq!(r.exit, RunExit::Halted);
+    assert_eq!(sys.core(0).reg(Reg::X3), 9);
+}
+
+#[test]
+fn store_address_resolves_before_store_data() {
+    // The split-uop behaviour: a load independent of a store's *data* (but
+    // younger than the store) is not blocked once the store's address is
+    // known to differ. With a monolithic store uop the load would wait the
+    // full dependency latency; the run must finish quickly.
+    let mut asm = ProgramBuilder::new();
+    asm.mov_imm64(Reg::X1, 0x3000); // store address (known early)
+    asm.mov_imm64(Reg::X4, 0x5000); // load address
+    asm.mov_imm64(Reg::X6, 0x7000); // slow-data source
+    asm.flush(Reg::X6, 0);
+    for _ in 0..16 {
+        asm.nop();
+    }
+    asm.ldr(Reg::X2, Reg::X6, 0); // slow: the store's DATA
+    asm.str(Reg::X2, Reg::X1, 0); // address early, data late
+    asm.ldr(Reg::X5, Reg::X4, 0); // different address: may bypass
+    asm.halt();
+    let mut sys = sys_with(asm.build().unwrap());
+    sys.mem_mut().write_arch(VirtAddr::new(0x5000), 8, 0x77);
+    let r = sys.run(100_000);
+    assert_eq!(r.exit, RunExit::Halted);
+    assert_eq!(sys.core(0).reg(Reg::X5), 0x77);
+    assert_eq!(
+        r.core_stats[0].order_violations, 0,
+        "a disambiguated load is not a violation"
+    );
+}
+
+#[test]
+fn stl_forwarding_handles_partial_width_overlap_by_waiting() {
+    // A byte store followed by an 8-byte load of the same address cannot
+    // forward (partial coverage): the load must wait and read merged memory.
+    let mut asm = ProgramBuilder::new();
+    asm.mov_imm64(Reg::X1, 0x3000);
+    asm.movz(Reg::X2, 0xAB, 0);
+    asm.strb(Reg::X2, Reg::X1, 0);
+    asm.ldr(Reg::X3, Reg::X1, 0);
+    asm.halt();
+    let mut sys = sys_with(asm.build().unwrap());
+    sys.mem_mut().write_arch(VirtAddr::new(0x3000), 8, 0x1111_1111_1111_1100);
+    let r = sys.run(100_000);
+    assert_eq!(r.exit, RunExit::Halted);
+    assert_eq!(sys.core(0).reg(Reg::X3), 0x1111_1111_1111_11AB);
+}
+
+#[test]
+fn mismatched_committed_store_faults_matching_store_does_not() {
+    // G2: the MTE check covers stores. A matching store commits cleanly; a
+    // mismatched one raises a tag-check fault at commit.
+    let run = |key: u8| {
+        let mut asm = ProgramBuilder::new();
+        asm.mov_imm64(Reg::X1, VirtAddr::new(0x3000).with_key(TagNibble::new(key)).raw());
+        asm.movz(Reg::X2, 1, 0);
+        asm.str(Reg::X2, Reg::X1, 0);
+        asm.halt();
+        let mut sys = System::single_core(
+            CoreConfig::table2(),
+            MemConfig::default(),
+            asm.build().unwrap(),
+            Box::new(MteOnlyPolicy),
+        );
+        sys.mem_mut().tags.set_range(VirtAddr::new(0x3000), 16, TagNibble::new(2));
+        sys.run(100_000).exit
+    };
+    assert_eq!(run(2), RunExit::Halted);
+    assert!(matches!(run(5), RunExit::Faulted(_)));
+}
+
+#[test]
+fn lq_capacity_limits_inflight_loads() {
+    // More independent missing loads than LQ entries: the run still
+    // completes (dispatch stalls rather than overflowing).
+    let mut asm = ProgramBuilder::new();
+    for i in 0..32u16 {
+        asm.mov_imm64(Reg::x(1), 0x10_0000 + (i as u64) * 4096);
+        asm.ldr(Reg::x(2), Reg::x(1), 0);
+    }
+    asm.halt();
+    let mut sys = sys_with(asm.build().unwrap());
+    let r = sys.run(1_000_000);
+    assert_eq!(r.exit, RunExit::Halted);
+}
+
+#[test]
+fn rsb_depth_bounds_return_prediction() {
+    // Nested calls deeper than the RSB still execute correctly.
+    let mut asm = ProgramBuilder::new();
+    let f = asm.named_label("f");
+    asm.movz(Reg::X0, 20, 0);
+    asm.bl(f);
+    asm.halt();
+    asm.bind(f);
+    asm.bti(sas_isa::BtiKind::Call);
+    // if X0 == 0 return; else { X0 -= 1; save LR; call f; restore; ret }
+    let base_case = asm.new_label();
+    asm.cbz(Reg::X0, base_case);
+    asm.sub(Reg::X0, Reg::X0, Operand::imm(1));
+    // Save LR on a software stack at [X28].
+    asm.str(Reg::LR, Reg::X28, 0);
+    asm.add(Reg::X28, Reg::X28, Operand::imm(8));
+    asm.bl(f);
+    asm.sub(Reg::X28, Reg::X28, Operand::imm(8));
+    asm.ldr(Reg::LR, Reg::X28, 0);
+    asm.add(Reg::X1, Reg::X1, Operand::imm(1));
+    asm.bind(base_case);
+    asm.ret();
+    let program = asm.build().unwrap();
+    let mut sys = sys_with(program);
+    sys.core_mut(0).set_reg(Reg::X28, 0x8_0000);
+    let r = sys.run(1_000_000);
+    assert_eq!(r.exit, RunExit::Halted, "{:?}", r.exit);
+    assert_eq!(sys.core(0).reg(Reg::X1), 20, "all 20 frames unwound correctly");
+}

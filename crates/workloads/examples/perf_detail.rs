@@ -1,0 +1,25 @@
+//! Detailed per-policy delay breakdown for one benchmark.
+use sas_workloads::*;
+use specasan::{build_system, Mitigation, SimConfig};
+
+fn main() {
+    let cfg = SimConfig::table2();
+    let suite = spec_suite();
+    let name = std::env::args().nth(1).unwrap_or_else(|| "500.perlbench_r".into());
+    let p = suite.iter().find(|p| p.name == name).unwrap();
+    for m in [Mitigation::Unsafe, Mitigation::Fence, Mitigation::Stt, Mitigation::GhostMinion, Mitigation::SpecAsan] {
+        let w = build_workload(p, 200, 1234, 0);
+        let mut sys = build_system(&cfg, w.program.clone(), m);
+        w.setup.apply(&mut sys);
+        let r = sys.run(100_000_000);
+        let s = &r.core_stats[0];
+        println!(
+            "{m}: cycles={} committed={} ipc={:.2} restricted={:.1}% squashed={} mispred={}/{} delays={:?}",
+            r.cycles, s.committed, s.ipc(), 100.0*s.restricted_fraction(), s.squashed,
+            s.predictor.cond_mispredicts, s.predictor.cond_predictions, s.delay_cycles
+        );
+        let ms = &r.mem_stats;
+        println!("   L1 hits={} misses={} ghostfills={} promotions={}",
+            ms.l1d[0].hits, ms.l1d[0].misses, ms.ghost_fills, ms.ghost_promotions);
+    }
+}

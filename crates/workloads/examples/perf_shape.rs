@@ -1,0 +1,27 @@
+//! Quick normalized-execution-time check across mitigations.
+use sas_workloads::*;
+use specasan::{build_system, Mitigation, SimConfig};
+
+fn main() {
+    let cfg = SimConfig::table2();
+    let suite = spec_suite();
+    let picks = ["500.perlbench_r", "505.mcf_r", "508.namd_r", "520.omnetpp_r"];
+    println!("{:<18} {:>9} {:>9} {:>9} {:>9} {:>9}", "bench", "base", "fence", "stt", "ghost", "specasan");
+    for name in picks {
+        let p = suite.iter().find(|p| p.name == name).unwrap();
+        let mut cycles = Vec::new();
+        for m in [Mitigation::Unsafe, Mitigation::Fence, Mitigation::Stt, Mitigation::GhostMinion, Mitigation::SpecAsan] {
+            let w = build_workload(p, 200, 1234, 0);
+            let mut sys = build_system(&cfg, w.program.clone(), m);
+            w.setup.apply(&mut sys);
+            let r = sys.run(100_000_000);
+            assert_eq!(r.exit, sas_pipeline::RunExit::Halted, "{name} {m} {:?}", r.exit);
+            cycles.push(r.cycles as f64);
+        }
+        let b = cycles[0];
+        println!(
+            "{:<18} {:>9.0} {:>9.3} {:>9.3} {:>9.3} {:>9.3}",
+            name, b, cycles[1]/b, cycles[2]/b, cycles[3]/b, cycles[4]/b
+        );
+    }
+}

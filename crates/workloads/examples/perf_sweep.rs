@@ -1,0 +1,24 @@
+//! Footprint sensitivity of the overhead shape.
+use sas_workloads::*;
+use specasan::{build_system, Mitigation, SimConfig};
+
+fn main() {
+    let cfg = SimConfig::table2();
+    let base_p = spec_suite().into_iter().find(|p| p.name == "500.perlbench_r").unwrap();
+    for shift in [14u32, 16, 18, 20] {
+        let p = Profile { footprint: 1 << shift, ..base_p };
+        let mut cyc = Vec::new();
+        for m in [Mitigation::Unsafe, Mitigation::Fence, Mitigation::Stt, Mitigation::GhostMinion, Mitigation::SpecAsan] {
+            let w = build_workload(&p, 200, 1234, 0);
+            let mut sys = build_system(&cfg, w.program.clone(), m);
+            w.setup.apply(&mut sys);
+            let r = sys.run(100_000_000);
+            cyc.push((r.cycles as f64, r.committed() as f64));
+        }
+        let b = cyc[0].0;
+        println!(
+            "fp=2^{shift}: base_ipc={:.2} fence={:.3} stt={:.3} ghost={:.3} specasan={:.3}",
+            cyc[0].1 / b, cyc[1].0/b, cyc[2].0/b, cyc[3].0/b, cyc[4].0/b
+        );
+    }
+}

@@ -1,0 +1,16 @@
+//! Isolate STT sensitivity.
+use sas_workloads::*;
+use specasan::{build_system, Mitigation, SimConfig};
+
+fn main() {
+    let base = spec_suite().into_iter().find(|p| p.name == "520.omnetpp_r").unwrap();
+    let p = Profile { guard_frac: 1.0, indirect_frac: 1.0, chase_frac: 0.0, branches_per_block: 0, footprint: 1 << 22, ..base };
+    for m in [Mitigation::Unsafe, Mitigation::Stt] {
+        let w = build_workload(&p, 100, 5, 0);
+        let mut sys = build_system(&SimConfig::table2(), w.program.clone(), m);
+        w.setup.apply(&mut sys);
+        let r = sys.run(100_000_000);
+        let s = &r.core_stats[0];
+        println!("{m}: cycles={} ipc={:.2} delays={:?}", r.cycles, s.ipc(), s.delay_cycles);
+    }
+}

@@ -1,0 +1,81 @@
+//! Property tests of the workload generator: every generated program, for
+//! any profile in a broad parameter envelope, must terminate cleanly under
+//! every mitigation with byte-identical architectural work.
+
+use proptest::prelude::*;
+use sas_workloads::{build_workload, Profile};
+use specasan::{build_system, Mitigation, SimConfig};
+
+fn arb_profile() -> impl Strategy<Value = Profile> {
+    (
+        13u32..21,      // footprint exponent
+        0u32..12,       // alu
+        0u32..5,        // loads
+        0u32..3,        // stores
+        0.0f64..0.7,    // chase
+        0.0f64..0.7,    // indirect
+        0.0f64..0.8,    // random
+        0u32..4,        // branches
+        0.0f64..0.8,    // entropy
+        (
+            0.0f64..0.8, // guard
+            0.0f64..0.5, // calls
+            0.0f64..0.4, // retag
+            0.0f64..1.0, // tagged
+        ),
+    )
+        .prop_map(
+            |(fp, alu, loads, stores, chase, indirect, random, branches, entropy, (guard, calls, retag, tagged))| Profile {
+                name: "prop",
+                footprint: 1 << fp,
+                alu_per_block: alu,
+                loads_per_block: loads,
+                stores_per_block: stores,
+                chase_frac: chase,
+                indirect_frac: indirect,
+                random_frac: random,
+                branches_per_block: branches,
+                branch_entropy: entropy,
+                guard_frac: guard,
+                call_frac: calls,
+                retag_frac: retag,
+                tagged_frac: tagged,
+                shared_frac: 0.0,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn any_profile_terminates_identically_under_key_mitigations(
+        profile in arb_profile(),
+        seed in any::<u64>(),
+    ) {
+        let mut committed = None;
+        for m in [Mitigation::Unsafe, Mitigation::SpecAsan, Mitigation::SpecAsanCfi] {
+            let w = build_workload(&profile, 2, seed, 0);
+            let mut sys = build_system(&SimConfig::table2(), w.program.clone(), m);
+            w.setup.apply(&mut sys);
+            let r = sys.run(20_000_000);
+            prop_assert_eq!(&r.exit, &sas_pipeline::RunExit::Halted, "under {}", m);
+            let c = r.committed();
+            prop_assert!(c > 0);
+            match committed {
+                None => committed = Some(c),
+                Some(prev) => prop_assert_eq!(prev, c, "architectural work diverged under {}", m),
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_a_pure_function_of_inputs(
+        profile in arb_profile(),
+        seed in any::<u64>(),
+    ) {
+        let a = build_workload(&profile, 4, seed, 1);
+        let b = build_workload(&profile, 4, seed, 1);
+        prop_assert_eq!(a.program.insts(), b.program.insts());
+        prop_assert_eq!(a.setup.tag_ranges, b.setup.tag_ranges);
+    }
+}

@@ -1,0 +1,61 @@
+//! The Listing 1 gadget written as *text assembly* via the `sas-isa`
+//! parser — the most literal rendition of the paper's PoC.
+//!
+//! ```sh
+//! cargo run --release --example asm_spectre
+//! ```
+
+use sas_isa::parse_program;
+use sas_isa::{Reg, TagNibble, VirtAddr};
+use specasan::{build_system, Mitigation, SimConfig};
+
+fn main() {
+    // Registers on entry (set by the harness below):
+    //   X0 = X (attacker index), X1 = scratch, X2 = &ARRAY1 (key 0x3),
+    //   X3 = &ARRAY2 (probe), X9 = &ARRAY1_SIZE.
+    // This is Listing 1 verbatim, plus a HALT on each path.
+    let program = parse_program(
+        r#"
+        .entry main
+        main:
+            LDR  X1, [X9]            ; X1 = ARRAY1_SIZE
+        mistrained_branch:
+            CMP  X0, X1              ; X < ARRAY1_SIZE ?
+            B.LO spec_v1_path
+            B    safe_path
+        spec_v1_path:
+            LDRB X5, [X2, X0]        ; ACCESS: load ARRAY1[X]
+            LSL  X6, X5, #6          ; USE:    Y * 64 (one probe line each)
+            LDRB X8, [X3, X6]        ; TRANSMIT: load ARRAY2[Y * 64]
+            HALT
+        safe_path:
+            ADD  X9, X9, #1
+            HALT
+        "#,
+    )
+    .expect("assembles");
+    println!("{}", program.listing());
+
+    // One architectural run, in bounds, under SpecASan — the legitimate
+    // path must work and commit.
+    let mut sys = build_system(&SimConfig::table2(), program, Mitigation::SpecAsan);
+    let array1 = VirtAddr::new(0x2000).with_key(TagNibble::new(0x3));
+    {
+        let mem = sys.mem_mut();
+        mem.write_arch(VirtAddr::new(0x7000), 8, 8); // ARRAY1_SIZE = 8
+        mem.write_arch(VirtAddr::new(0x2000), 1, 42); // ARRAY1[0]
+        mem.tags.set_range(VirtAddr::new(0x2000), 16, TagNibble::new(0x3));
+    }
+    let core = sys.core_mut(0);
+    core.set_reg(Reg::X0, 0); // in bounds
+    core.set_reg(Reg::X2, array1.raw());
+    core.set_reg(Reg::X3, 0x1_0000);
+    core.set_reg(Reg::X9, 0x7000);
+    let r = sys.run(100_000);
+    println!("in-bounds run: {:?}, ARRAY1[0] = {}", r.exit, sys.core(0).reg(Reg::X5));
+    assert_eq!(sys.core(0).reg(Reg::X5), 42);
+
+    println!();
+    println!("(The full attack — training loop, flushes, PHT aliasing — lives in");
+    println!(" sas_attacks::spectre and the spectre_v1_walkthrough example.)");
+}

@@ -1,0 +1,14 @@
+//! Umbrella crate for the SpecASan reproduction.
+//!
+//! Re-exports the workspace crates so examples and downstream users can
+//! depend on a single package. See the repository README for the map.
+#![forbid(unsafe_code)]
+
+pub use sas_attacks as attacks;
+pub use sas_hwcost as hwcost;
+pub use sas_isa as isa;
+pub use sas_mem as mem;
+pub use sas_mte as mte;
+pub use sas_pipeline as pipeline;
+pub use sas_workloads as workloads;
+pub use specasan as core;

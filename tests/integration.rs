@@ -1,0 +1,176 @@
+//! Cross-crate integration tests: the full stack — allocator, ISA,
+//! generated workloads, attacks and policies — exercised together.
+
+use sas_attacks::{all_attacks, GadgetFlavor};
+use sas_isa::{Cond, Operand, ProgramBuilder, Reg, TagNibble, VirtAddr};
+use sas_mte::{TagStorage, TaggedHeap};
+use sas_pipeline::{FaultKind, RunExit};
+use sas_workloads::{build_parsec_workload, build_workload, parsec_suite, spec_suite};
+use specasan::{build_multicore, build_system, Mitigation, SimConfig};
+
+/// A program working over heap memory allocated by the MTE allocator: the
+/// allocator's colours, the program's tagged pointers and the pipeline's
+/// checks must all agree end to end.
+#[test]
+fn allocator_backed_program_runs_clean_under_specasan() {
+    let mut tags = TagStorage::new();
+    let mut heap = TaggedHeap::new(0x50_0000, 1 << 16, 99);
+    let buf = heap.malloc(&mut tags, 128).unwrap();
+
+    // Sum 16 u64 slots of the allocation after initialising them to 1..=16.
+    let mut asm = ProgramBuilder::new();
+    asm.mov_imm64(Reg::X1, buf.ptr.raw());
+    asm.movz(Reg::X2, 0, 0); // i
+    asm.movz(Reg::X3, 0, 0); // value counter
+    let init = asm.here();
+    asm.add(Reg::X3, Reg::X3, Operand::imm(1));
+    asm.str_idx(Reg::X3, Reg::X1, Reg::X2);
+    asm.add(Reg::X2, Reg::X2, Operand::imm(8));
+    asm.cmp(Reg::X2, Operand::imm(128));
+    asm.b_cond_idx(Cond::Lo, init);
+    asm.movz(Reg::X2, 0, 0);
+    asm.movz(Reg::X4, 0, 0); // sum
+    let sum = asm.here();
+    asm.ldr_idx(Reg::X5, Reg::X1, Reg::X2);
+    asm.add(Reg::X4, Reg::X4, Operand::reg(Reg::X5));
+    asm.add(Reg::X2, Reg::X2, Operand::imm(8));
+    asm.cmp(Reg::X2, Operand::imm(128));
+    asm.b_cond_idx(Cond::Lo, sum);
+    asm.halt();
+
+    let mut sys = build_system(&SimConfig::table2(), asm.build().unwrap(), Mitigation::SpecAsan);
+    // Install the allocator's colours into the simulated tag storage.
+    for g in 0..(buf.size / 16) {
+        let a = VirtAddr::new(buf.ptr.untagged().raw() + g * 16);
+        sys.mem_mut().tags.set_granule(a, buf.ptr.key());
+    }
+    let r = sys.run(1_000_000);
+    assert_eq!(r.exit, RunExit::Halted);
+    assert_eq!(sys.core(0).reg(Reg::X4), (1..=16).sum::<u64>());
+}
+
+/// The allocator's retag-on-free, observed by the pipeline: a dangling
+/// pointer access faults under SpecASan.
+#[test]
+fn freed_chunk_access_faults_in_the_pipeline() {
+    let mut tags = TagStorage::new();
+    let mut heap = TaggedHeap::new(0x50_0000, 1 << 16, 7);
+    let buf = heap.malloc(&mut tags, 64).unwrap();
+    let stale = buf.ptr;
+    heap.free(&mut tags, buf.ptr).unwrap();
+
+    let mut asm = ProgramBuilder::new();
+    asm.mov_imm64(Reg::X1, stale.raw());
+    asm.ldr(Reg::X2, Reg::X1, 0);
+    asm.halt();
+    let mut sys = build_system(&SimConfig::table2(), asm.build().unwrap(), Mitigation::SpecAsan);
+    // Mirror the allocator's final tag state into the machine.
+    let quarantined = tags.tag_of(stale);
+    sys.mem_mut().tags.set_range(VirtAddr::new(stale.untagged().raw()), 64, quarantined);
+    assert_ne!(quarantined, stale.key(), "free retagged the chunk");
+    let r = sys.run(100_000);
+    match r.exit {
+        RunExit::Faulted(f) => assert_eq!(f.kind, FaultKind::TagCheck),
+        other => panic!("expected tag-check fault, got {other:?}"),
+    }
+}
+
+/// A cross-section of SPEC profiles runs clean under every mitigation,
+/// with identical architectural work. (The full 15x6 sweep runs in release
+/// mode via `cargo bench`; here a debug-friendly subset guards the same
+/// invariant.)
+#[test]
+fn spec_profiles_run_under_all_mitigations() {
+    for p in spec_suite().into_iter().step_by(4) {
+        let mut committed = None;
+        for m in [Mitigation::Unsafe, Mitigation::Fence, Mitigation::Stt, Mitigation::GhostMinion, Mitigation::SpecAsan, Mitigation::SpecAsanCfi] {
+            let w = build_workload(&p, 3, 42, 0);
+            let mut sys = build_system(&SimConfig::table2(), w.program.clone(), m);
+            w.setup.apply(&mut sys);
+            let r = sys.run(50_000_000);
+            assert_eq!(r.exit, RunExit::Halted, "{} under {m}", p.name);
+            let c = r.committed();
+            assert_eq!(*committed.get_or_insert(c), c, "{} under {m}: committed diverged", p.name);
+        }
+    }
+}
+
+/// A cross-section of PARSEC profiles runs clean on 4 cores under SpecASan.
+#[test]
+fn parsec_profiles_run_on_four_cores() {
+    for p in parsec_suite().into_iter().step_by(3) {
+        let ws = build_parsec_workload(&p, 2, 11, 4);
+        let mut sys = build_multicore(
+            &SimConfig::table2(),
+            ws.iter().map(|w| w.program.clone()).collect(),
+            Mitigation::SpecAsan,
+        );
+        for w in &ws {
+            w.setup.apply(&mut sys);
+        }
+        let r = sys.run(50_000_000);
+        assert_eq!(r.exit, RunExit::Halted, "{}", p.name);
+    }
+}
+
+/// The headline security claim, one line per attack: SpecASan+CFI blocks
+/// every implemented variant (both gadget flavours).
+#[test]
+fn specasan_cfi_blocks_all_eleven_attacks() {
+    let cfg = SimConfig::table2();
+    for a in all_attacks() {
+        let v = a.run(&cfg, Mitigation::SpecAsanCfi, GadgetFlavor::TagViolating);
+        assert!(!v.leaked, "{} (violating) leaked under SpecASan+CFI", a.name());
+        if a.has_matching_flavor() {
+            let m = a.run(&cfg, Mitigation::SpecAsanCfi, GadgetFlavor::TagMatching);
+            assert!(!m.leaked, "{} (matching) leaked under SpecASan+CFI", a.name());
+        }
+    }
+}
+
+/// Determinism across the whole stack: identical runs produce identical
+/// cycle counts and stats.
+#[test]
+fn simulation_is_deterministic() {
+    let p = &spec_suite()[0];
+    let run = || {
+        let w = build_workload(p, 5, 1, 0);
+        let mut sys = build_system(&SimConfig::table2(), w.program.clone(), Mitigation::SpecAsan);
+        w.setup.apply(&mut sys);
+        let r = sys.run(10_000_000);
+        (r.cycles, r.committed(), r.core_stats[0].squashed)
+    };
+    assert_eq!(run(), run());
+}
+
+/// MTE instrumentation in workloads really exercises tag traffic.
+#[test]
+fn workloads_generate_tag_maintenance_traffic() {
+    let mut p = spec_suite()[0];
+    p.retag_frac = 0.5;
+    let w = build_workload(&p, 10, 3, 0);
+    let mut sys = build_system(&SimConfig::table2(), w.program.clone(), Mitigation::SpecAsan);
+    w.setup.apply(&mut sys);
+    let before = sys.mem().tags.write_count();
+    let r = sys.run(50_000_000);
+    assert_eq!(r.exit, RunExit::Halted);
+    assert!(
+        sys.mem().tags.write_count() > before,
+        "STG churn must reach the tag storage"
+    );
+}
+
+/// Untagged pointers never fault regardless of the memory's colours.
+#[test]
+fn untagged_accesses_are_never_blocked() {
+    let mut asm = ProgramBuilder::new();
+    asm.mov_imm64(Reg::X1, 0x9_0000);
+    asm.ldr(Reg::X2, Reg::X1, 0);
+    asm.str(Reg::X2, Reg::X1, 8);
+    asm.halt();
+    let mut sys = build_system(&SimConfig::table2(), asm.build().unwrap(), Mitigation::SpecAsan);
+    // Memory is tagged, but the program's pointers carry key 0.
+    sys.mem_mut().tags.set_range(VirtAddr::new(0x9_0000), 64, TagNibble::new(0xC));
+    let r = sys.run(100_000);
+    assert_eq!(r.exit, RunExit::Halted, "untagged accesses skip the check (§3.2)");
+}
