@@ -16,7 +16,7 @@
 //!    serialized tag fetch.
 
 use sas_attacks::{mds::Ridl, GadgetFlavor, TransientAttack};
-use sas_bench::{bench_iterations, geomean, run_spec, SEED};
+use sas_bench::{bench_iterations, geomean, jsonl, run_spec, SEED};
 use sas_isa::TagNibble;
 use sas_mem::FillMode;
 use sas_mte::{check_access, TagCheckOutcome, TagStorage, TaggedHeap, TaggingPolicy};
@@ -65,9 +65,27 @@ fn ablation_selective_delay() {
         assert_eq!(r.exit, RunExit::Halted);
         let a = r.cycles as f64 / base;
         println!("  {:<18} selective {s:>7.3}   delay-all {a:>7.3}", p.name);
+        jsonl::emit(
+            "ablations",
+            &[
+                ("ablation", "selective_delay".into()),
+                ("benchmark", p.name.into()),
+                ("selective_norm", s.into()),
+                ("delay_all_norm", a.into()),
+            ],
+        );
         sel.push(s);
         all.push(a);
     }
+    jsonl::emit(
+        "ablations",
+        &[
+            ("ablation", "selective_delay".into()),
+            ("benchmark", "geomean".into()),
+            ("selective_norm", geomean(&sel).into()),
+            ("delay_all_norm", geomean(&all).into()),
+        ],
+    );
     println!("  geomean: selective {:.3} vs delay-all {:.3}", geomean(&sel), geomean(&all));
     println!();
 }
@@ -87,6 +105,15 @@ fn ablation_tag_fetch() {
         assert_eq!(r.exit, RunExit::Halted);
         let ser = r.cycles as f64 / base;
         println!("  {:<18} parallel {par:>7.3}   serial {ser:>7.3}", p.name);
+        jsonl::emit(
+            "ablations",
+            &[
+                ("ablation", "tag_fetch".into()),
+                ("benchmark", p.name.into()),
+                ("parallel_norm", par.into()),
+                ("serial_norm", ser.into()),
+            ],
+        );
     }
     println!();
 }
@@ -100,6 +127,14 @@ fn ablation_lfb_tagging() {
     let without = Ridl.run(&cfg, Mitigation::MteOnly, GadgetFlavor::TagViolating);
     println!("  tagged LFB   : RIDL leaked = {}", with.leaked);
     println!("  untagged LFB : RIDL leaked = {}", without.leaked);
+    jsonl::emit(
+        "ablations",
+        &[
+            ("ablation", "lfb_tagging".into()),
+            ("tagged_lfb_leaked", with.leaked.into()),
+            ("untagged_lfb_leaked", without.leaked.into()),
+        ],
+    );
     println!();
 }
 
@@ -147,6 +182,16 @@ fn ablation_tagging_policy() {
             far_total,
             100.0 * far as f64 / far_total as f64
         );
+        let pname = format!("{policy:?}");
+        jsonl::emit(
+            "ablations",
+            &[
+                ("ablation", "tagging_policy".into()),
+                ("policy", pname.as_str().into()),
+                ("adjacent_oob_pct", (100.0 * adj as f64 / (chunks.len() - 1) as f64).into()),
+                ("arbitrary_oob_pct", (100.0 * far as f64 / far_total as f64).into()),
+            ],
+        );
     }
     println!(
         "  Neighbour exclusion makes *linear* overflows always mismatch under both\n  policies; *arbitrary* (same-parity) OOB shows the 16-colour limitation\n  (§6): ~14/15 caught with random tags, 0 with two-colour stripes — whose\n  compensation is immunity to tag-leak (brute-force/timing) attacks."
@@ -175,6 +220,14 @@ fn ablation_prefetcher() {
         }
         let leaked = mem.is_cached(0, secret);
         println!("  {label:<22} secret line prefetched = {leaked}");
+        jsonl::emit(
+            "ablations",
+            &[
+                ("ablation", "prefetcher_security".into()),
+                ("prefetcher", label.into()),
+                ("secret_prefetched", leaked.into()),
+            ],
+        );
     }
     // Performance: streaming workloads with the secure prefetcher on.
     for p in spec_suite().iter().filter(|p| ["525.x264_r", "538.imagick_r"].contains(&p.name)) {
@@ -193,6 +246,16 @@ fn ablation_prefetcher() {
             r.cycles as f64 / base,
             r.mem_stats.prefetches_issued,
             r.mem_stats.prefetches_suppressed,
+        );
+        jsonl::emit(
+            "ablations",
+            &[
+                ("ablation", "prefetcher_perf".into()),
+                ("benchmark", p.name.into()),
+                ("secure_prefetch_norm", (r.cycles as f64 / base).into()),
+                ("prefetches_issued", r.mem_stats.prefetches_issued.into()),
+                ("prefetches_suppressed", r.mem_stats.prefetches_suppressed.into()),
+            ],
         );
     }
     println!();
@@ -219,6 +282,16 @@ fn ablation_tag_hints() {
         println!(
             "  {:<18} serial {serial:>6.3}   +hints {hinted:>6.3}   ({hits} tag fetches skipped)",
             p.name
+        );
+        jsonl::emit(
+            "ablations",
+            &[
+                ("ablation", "tag_hints".into()),
+                ("benchmark", p.name.into()),
+                ("serial_norm", serial.into()),
+                ("hinted_norm", hinted.into()),
+                ("tag_hint_hits", hits.into()),
+            ],
         );
     }
     println!(

@@ -3,7 +3,7 @@
 //! the Listing 1 PoC under each mitigation class.
 
 use sas_attacks::{spectre::SpectreV1, GadgetFlavor, TransientAttack};
-use sas_bench::print_table2_banner;
+use sas_bench::{jsonl, print_table2_banner};
 use specasan::{Mitigation, SimConfig};
 
 fn main() {
@@ -34,6 +34,16 @@ fn main() {
         println!(
             "{label:<22} {access:>8} {used:>8} {transmit:>8} {:>10} {:>9}",
             out.leaked, out.cycles
+        );
+        let ms = m.to_string();
+        jsonl::emit(
+            "fig1",
+            &[
+                ("defense", label.into()),
+                ("mitigation", ms.as_str().into()),
+                ("leaked", out.leaked.into()),
+                ("cycles", out.cycles.into()),
+            ],
         );
     }
     println!();

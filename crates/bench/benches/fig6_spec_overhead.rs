@@ -1,7 +1,7 @@
 //! Figure 6: normalized execution time on SPEC CPU2017 under Speculative
 //! Barriers, STT, GhostMinion and SpecASan (unsafe baseline = 1.0).
 
-use sas_bench::{bench_iterations, geomean, print_table2_banner, render_header, render_row, run_spec};
+use sas_bench::{bench_iterations, geomean, jsonl, print_table2_banner, render_header, render_row, run_spec};
 use sas_workloads::spec_suite;
 use specasan::Mitigation;
 
@@ -19,10 +19,27 @@ fn main() {
             let norm = c.cycles as f64 / base.cycles as f64;
             per_col[i].push(norm);
             row.push(norm);
+            let ms = m.to_string();
+            jsonl::emit(
+                "fig6",
+                &[
+                    ("benchmark", p.name.into()),
+                    ("mitigation", ms.as_str().into()),
+                    ("cycles", c.cycles.into()),
+                    ("norm", norm.into()),
+                ],
+            );
         }
         println!("{}", render_row(p.name, &row));
     }
     let means: Vec<f64> = per_col.iter().map(|v| geomean(v)).collect();
+    for (m, g) in columns.iter().zip(&means) {
+        let ms = m.to_string();
+        jsonl::emit(
+            "fig6",
+            &[("benchmark", "geomean".into()), ("mitigation", ms.as_str().into()), ("norm", (*g).into())],
+        );
+    }
     println!("{}", render_row("geomean", &means));
     println!();
     let chart: Vec<(String, f64)> = columns

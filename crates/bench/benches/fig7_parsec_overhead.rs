@@ -1,6 +1,6 @@
 //! Figure 7: normalized execution time on PARSEC (4 cores, shared L2).
 
-use sas_bench::{bench_iterations, geomean, print_table2_banner, render_header, render_row, run_parsec};
+use sas_bench::{bench_iterations, geomean, jsonl, print_table2_banner, render_header, render_row, run_parsec};
 use sas_workloads::parsec_suite;
 use specasan::Mitigation;
 
@@ -18,10 +18,27 @@ fn main() {
             let norm = c.cycles as f64 / base.cycles as f64;
             per_col[i].push(norm);
             row.push(norm);
+            let ms = m.to_string();
+            jsonl::emit(
+                "fig7",
+                &[
+                    ("benchmark", p.name.into()),
+                    ("mitigation", ms.as_str().into()),
+                    ("cycles", c.cycles.into()),
+                    ("norm", norm.into()),
+                ],
+            );
         }
         println!("{}", render_row(p.name, &row));
     }
     let means: Vec<f64> = per_col.iter().map(|v| geomean(v)).collect();
+    for (m, g) in columns.iter().zip(&means) {
+        let ms = m.to_string();
+        jsonl::emit(
+            "fig7",
+            &[("benchmark", "geomean".into()), ("mitigation", ms.as_str().into()), ("norm", (*g).into())],
+        );
+    }
     println!("{}", render_row("geomean", &means));
     println!();
     let chart: Vec<(String, f64)> = columns

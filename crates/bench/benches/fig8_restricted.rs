@@ -2,7 +2,7 @@
 //! Speculative Barriers, STT and SpecASan — SPEC (top) and PARSEC (bottom).
 
 use sas_bench::{
-    bench_iterations, print_table2_banner, render_header, render_row, restricted_metric,
+    bench_iterations, jsonl, print_table2_banner, render_header, render_row, restricted_metric,
     run_parsec, run_spec,
 };
 use sas_workloads::{parsec_suite, spec_suite};
@@ -23,6 +23,16 @@ fn main() {
             let r = restricted_metric(&c, m);
             row.push(100.0 * r);
             sums[i] += r;
+            let ms = m.to_string();
+            jsonl::emit(
+                "fig8",
+                &[
+                    ("suite", "spec".into()),
+                    ("benchmark", p.name.into()),
+                    ("mitigation", ms.as_str().into()),
+                    ("restricted_pct", (100.0 * r).into()),
+                ],
+            );
         }
         println!("{}", render_row(p.name, &row));
     }
@@ -41,6 +51,16 @@ fn main() {
             let r = restricted_metric(&c, m);
             row.push(100.0 * r);
             sums[i] += r;
+            let ms = m.to_string();
+            jsonl::emit(
+                "fig8",
+                &[
+                    ("suite", "parsec".into()),
+                    ("benchmark", p.name.into()),
+                    ("mitigation", ms.as_str().into()),
+                    ("restricted_pct", (100.0 * r).into()),
+                ],
+            );
         }
         println!("{}", render_row(p.name, &row));
     }

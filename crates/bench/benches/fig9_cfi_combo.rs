@@ -1,7 +1,7 @@
 //! Figure 9: SPEC normalized execution time for SpecCFI, SpecASan and the
 //! combined SpecASan+CFI design.
 
-use sas_bench::{bench_iterations, geomean, print_table2_banner, render_header, render_row, run_spec};
+use sas_bench::{bench_iterations, geomean, jsonl, print_table2_banner, render_header, render_row, run_spec};
 use sas_workloads::spec_suite;
 use specasan::Mitigation;
 
@@ -19,10 +19,27 @@ fn main() {
             let norm = c.cycles as f64 / base.cycles as f64;
             per_col[i].push(norm);
             row.push(norm);
+            let ms = m.to_string();
+            jsonl::emit(
+                "fig9",
+                &[
+                    ("benchmark", p.name.into()),
+                    ("mitigation", ms.as_str().into()),
+                    ("cycles", c.cycles.into()),
+                    ("norm", norm.into()),
+                ],
+            );
         }
         println!("{}", render_row(p.name, &row));
     }
     let means: Vec<f64> = per_col.iter().map(|v| geomean(v)).collect();
+    for (m, g) in columns.iter().zip(&means) {
+        let ms = m.to_string();
+        jsonl::emit(
+            "fig9",
+            &[("benchmark", "geomean".into()), ("mitigation", ms.as_str().into()), ("norm", (*g).into())],
+        );
+    }
     println!("{}", render_row("geomean", &means));
     println!();
     println!("Paper (Fig. 9): geomean overheads 2.6% (SpecCFI), 1.9% (SpecASan), 4% (combined).");

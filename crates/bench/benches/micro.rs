@@ -1,88 +1,78 @@
-//! Criterion microbenchmarks of the substrate hot paths: tag checks, cache
-//! lookups, LFB operations and whole-pipeline simulation throughput.
+//! Microbenchmarks of the substrate hot paths: tag checks, cache lookups,
+//! LFB operations and whole-pipeline simulation throughput, timed by the
+//! internal harness (`sas_bench::timing`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use sas_bench::timing::run_case;
 use sas_isa::{Cond, Operand, ProgramBuilder, Reg, TagNibble, VirtAddr};
 use sas_mem::{Cache, CacheConfig, FillMode, LineFillBuffer, MemConfig, MemSystem};
 use sas_mte::{check_access, TagStorage};
 use sas_pipeline::{CoreConfig, NoPolicy, System};
 use std::hint::black_box;
 
-fn bench_tag_check(c: &mut Criterion) {
+fn bench_tag_check() {
     let mut tags = TagStorage::new();
     tags.set_range(VirtAddr::new(0x1000), 4096, TagNibble::new(0x5));
     let ptr = VirtAddr::new(0x1040).with_key(TagNibble::new(0x5));
-    c.bench_function("mte/check_access", |b| {
-        b.iter(|| check_access(black_box(&tags), black_box(ptr), 8))
-    });
+    run_case("micro", "mte/check_access", || check_access(black_box(&tags), black_box(ptr), 8));
 }
 
-fn bench_cache(c: &mut Criterion) {
+fn bench_cache() {
     let mut cache = Cache::new(CacheConfig::l1d());
     for i in 0..512u64 {
         cache.install(VirtAddr::new(i * 64), [TagNibble::new(1); 4], 0, false);
     }
-    c.bench_function("cache/probe_hit", |b| {
-        b.iter(|| cache.probe(black_box(VirtAddr::new(0x40 * 7))))
-    });
-    c.bench_function("cache/tag_check", |b| {
-        let p = VirtAddr::new(0x40 * 7).with_key(TagNibble::new(1));
-        b.iter(|| cache.tag_check(black_box(p)))
-    });
+    run_case("micro", "cache/probe_hit", || cache.probe(black_box(VirtAddr::new(0x40 * 7))));
+    let p = VirtAddr::new(0x40 * 7).with_key(TagNibble::new(1));
+    run_case("micro", "cache/tag_check", || cache.tag_check(black_box(p)));
 }
 
-fn bench_lfb(c: &mut Criterion) {
+fn bench_lfb() {
     let mut lfb = LineFillBuffer::new(16, 2);
     for i in 0..16u64 {
         lfb.allocate(VirtAddr::new(i * 64), 0, 100, [TagNibble::ZERO; 4], [0u8; 64]);
     }
-    c.bench_function("lfb/find", |b| b.iter(|| lfb.find(black_box(VirtAddr::new(0x40 * 5)))));
+    run_case("micro", "lfb/find", || lfb.find(black_box(VirtAddr::new(0x40 * 5))));
 }
 
-fn bench_mem_load(c: &mut Criterion) {
+fn bench_mem_load() {
     let mut mem = MemSystem::new(1, MemConfig::default());
     // Warm a line.
     let r = mem.load(0, VirtAddr::new(0x2000), 8, 0, FillMode::Install, false);
     mem.load(0, VirtAddr::new(0x2000), 8, r.latency + 1, FillMode::Install, false);
     let mut cycle = 1000;
-    c.bench_function("mem/load_l1_hit", |b| {
-        b.iter(|| {
-            cycle += 1;
-            mem.load(0, black_box(VirtAddr::new(0x2000)), 8, cycle, FillMode::SuppressIfUnsafe, false)
-        })
+    run_case("micro", "mem/load_l1_hit", || {
+        cycle += 1;
+        mem.load(0, black_box(VirtAddr::new(0x2000)), 8, cycle, FillMode::SuppressIfUnsafe, false)
     });
 }
 
-fn bench_pipeline(c: &mut Criterion) {
+fn bench_pipeline() {
     // Whole-machine throughput: simulated instructions per host second on a
     // small loop.
-    c.bench_function("pipeline/loop_1k_insts", |b| {
-        b.iter(|| {
-            let mut asm = ProgramBuilder::new();
-            asm.movz(Reg::X0, 250, 0);
-            let top = asm.here();
-            asm.add(Reg::X1, Reg::X1, Operand::imm(1));
-            asm.sub(Reg::X0, Reg::X0, Operand::imm(1));
-            asm.cmp(Reg::X0, Operand::imm(0));
-            asm.b_cond_idx(Cond::Ne, top);
-            asm.halt();
-            let mut sys = System::single_core(
-                CoreConfig::table2(),
-                MemConfig::default(),
-                asm.build().unwrap(),
-                Box::new(NoPolicy),
-            );
-            black_box(sys.run(100_000))
-        })
+    run_case("micro", "pipeline/loop_1k_insts", || {
+        let mut asm = ProgramBuilder::new();
+        asm.movz(Reg::X0, 250, 0);
+        let top = asm.here();
+        asm.add(Reg::X1, Reg::X1, Operand::imm(1));
+        asm.sub(Reg::X0, Reg::X0, Operand::imm(1));
+        asm.cmp(Reg::X0, Operand::imm(0));
+        asm.b_cond_idx(Cond::Ne, top);
+        asm.halt();
+        let mut sys = System::single_core(
+            CoreConfig::table2(),
+            MemConfig::default(),
+            asm.build().unwrap(),
+            Box::new(NoPolicy),
+        );
+        black_box(sys.run(100_000))
     });
 }
 
-criterion_group!(
-    benches,
-    bench_tag_check,
-    bench_cache,
-    bench_lfb,
-    bench_mem_load,
-    bench_pipeline
-);
-criterion_main!(benches);
+fn main() {
+    println!("== Microbenchmarks (internal timing harness) ==");
+    bench_tag_check();
+    bench_cache();
+    bench_lfb();
+    bench_mem_load();
+    bench_pipeline();
+}

@@ -3,7 +3,7 @@
 //! partial (◑) or no (○) mitigation.
 
 use sas_attacks::security_matrix;
-use sas_bench::print_table2_banner;
+use sas_bench::{jsonl, print_table2_banner};
 use specasan::{Mitigation, SimConfig};
 
 fn main() {
@@ -17,6 +17,19 @@ fn main() {
     ];
     let m = security_matrix(&SimConfig::table2(), &columns);
     println!("{}", m.render());
+    for cell in &m.cells {
+        let ms = cell.mitigation.to_string();
+        let rating = format!("{:?}", cell.rating);
+        jsonl::emit(
+            "table1",
+            &[
+                ("attack", cell.attack.into()),
+                ("mitigation", ms.as_str().into()),
+                ("rating", rating.as_str().into()),
+                ("detected", cell.detected.into()),
+            ],
+        );
+    }
     println!("● full mitigation   ◑ partial (tag-matching redirected gadgets)   ○ no mitigation");
     println!();
     println!(

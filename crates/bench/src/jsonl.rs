@@ -1,0 +1,132 @@
+//! JSON-lines result emission.
+//!
+//! Every bench target prints its human-readable tables *and* emits one JSON
+//! object per (benchmark, mitigation) cell so the bench trajectory can be
+//! tracked mechanically across commits. Records go to stdout (prefixed with
+//! nothing — one object per line) and, when `SAS_BENCH_JSONL` names a file,
+//! are appended there too.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+
+/// A JSON scalar for one record field.
+#[derive(Debug, Clone, Copy)]
+pub enum Value<'a> {
+    /// A string field.
+    Str(&'a str),
+    /// A float field (serialized with full precision; NaN/inf become null).
+    F64(f64),
+    /// An unsigned integer field.
+    U64(u64),
+    /// A boolean field.
+    Bool(bool),
+}
+
+impl<'a> From<&'a str> for Value<'a> {
+    fn from(v: &'a str) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<f64> for Value<'_> {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<u64> for Value<'_> {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+impl From<bool> for Value<'_> {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+fn push_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Renders one record as a single JSON line (no trailing newline).
+pub fn render(bench: &str, fields: &[(&str, Value)]) -> String {
+    let mut out = String::from("{\"bench\":");
+    push_escaped(&mut out, bench);
+    for (key, value) in fields {
+        out.push(',');
+        push_escaped(&mut out, key);
+        out.push(':');
+        match value {
+            Value::Str(s) => push_escaped(&mut out, s),
+            Value::F64(v) if v.is_finite() => {
+                let _ = write!(out, "{v}");
+            }
+            Value::F64(_) => out.push_str("null"),
+            Value::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// Emits one result record: prints the JSON line to stdout and appends it to
+/// the file named by `SAS_BENCH_JSONL`, if that variable is set.
+pub fn emit(bench: &str, fields: &[(&str, Value)]) {
+    let line = render(bench, fields);
+    println!("{line}");
+    if let Ok(path) = std::env::var("SAS_BENCH_JSONL") {
+        if !path.is_empty() {
+            if let Ok(mut f) =
+                std::fs::OpenOptions::new().create(true).append(true).open(&path)
+            {
+                let _ = writeln!(f, "{line}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scalar_types() {
+        let line = render(
+            "fig6",
+            &[
+                ("benchmark", Value::Str("505.mcf_r")),
+                ("norm", Value::F64(1.25)),
+                ("cycles", Value::U64(42)),
+                ("leaked", Value::Bool(false)),
+            ],
+        );
+        assert_eq!(
+            line,
+            "{\"bench\":\"fig6\",\"benchmark\":\"505.mcf_r\",\"norm\":1.25,\"cycles\":42,\"leaked\":false}"
+        );
+    }
+
+    #[test]
+    fn escapes_strings_and_maps_nonfinite_to_null() {
+        let line = render("t", &[("s", Value::Str("a\"b\\c\nd")), ("v", Value::F64(f64::NAN))]);
+        assert_eq!(line, "{\"bench\":\"t\",\"s\":\"a\\\"b\\\\c\\nd\",\"v\":null}");
+    }
+}

@@ -16,6 +16,9 @@ use sas_pipeline::{RunExit, RunResult};
 use sas_workloads::{build_parsec_workload, build_workload, Profile, Workload};
 use specasan::{build_multicore, build_system, Mitigation, SimConfig};
 
+pub mod jsonl;
+pub mod timing;
+
 /// Outer-loop iterations per benchmark run.
 pub fn bench_iterations() -> u32 {
     std::env::var("SAS_BENCH_ITERS").ok().and_then(|v| v.parse().ok()).unwrap_or(150)

@@ -1,0 +1,104 @@
+//! Internal micro-timing harness (the replacement for criterion).
+//!
+//! [`time_case`] auto-calibrates a batch size so one timed sample lasts at
+//! least a millisecond, then takes `SAS_BENCH_ITERS` samples (the same
+//! knob that scales the workload benches, so `SAS_BENCH_ITERS=2` gives a
+//! fast smoke run of every target with the same binaries).
+
+use crate::bench_iterations;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Timing summary for one microbenchmark case.
+#[derive(Debug, Clone)]
+pub struct Timing {
+    /// Case label, e.g. `mte/check_access`.
+    pub name: String,
+    /// Calls per timed sample (auto-calibrated).
+    pub batch: u64,
+    /// Number of timed samples.
+    pub samples: u32,
+    /// Mean nanoseconds per call across samples.
+    pub mean_ns: f64,
+    /// Fastest sample's nanoseconds per call (least-noise estimate).
+    pub min_ns: f64,
+}
+
+impl Timing {
+    /// One human-readable result row.
+    pub fn render(&self) -> String {
+        format!(
+            "{:<28} {:>12.1} ns/iter (min {:>10.1}, {} x {} iters)",
+            self.name, self.mean_ns, self.min_ns, self.samples, self.batch
+        )
+    }
+}
+
+/// Times one closure: calibrates a batch, then measures `SAS_BENCH_ITERS`
+/// samples. The closure's return value is passed through [`black_box`] so
+/// the optimizer cannot delete the measured work.
+pub fn time_case<R>(name: &str, mut f: impl FnMut() -> R) -> Timing {
+    // Calibrate: double the batch until one sample takes >= 1 ms (or the
+    // batch is absurdly large for pathologically cheap bodies).
+    let mut batch = 1u64;
+    loop {
+        let t = Instant::now();
+        for _ in 0..batch {
+            black_box(f());
+        }
+        if t.elapsed() >= Duration::from_millis(1) || batch >= (1 << 24) {
+            break;
+        }
+        batch *= 2;
+    }
+    let samples = bench_iterations().clamp(2, 1000);
+    let mut per_call_ns = Vec::with_capacity(samples as usize);
+    for _ in 0..samples {
+        let t = Instant::now();
+        for _ in 0..batch {
+            black_box(f());
+        }
+        per_call_ns.push(t.elapsed().as_nanos() as f64 / batch as f64);
+    }
+    let mean_ns = per_call_ns.iter().sum::<f64>() / per_call_ns.len() as f64;
+    let min_ns = per_call_ns.iter().copied().fold(f64::INFINITY, f64::min);
+    Timing { name: name.to_string(), batch, samples, mean_ns, min_ns }
+}
+
+/// Times a case, prints the human row, and emits the JSON-lines record.
+pub fn run_case<R>(bench: &str, name: &str, f: impl FnMut() -> R) -> Timing {
+    let t = time_case(name, f);
+    println!("{}", t.render());
+    crate::jsonl::emit(
+        bench,
+        &[
+            ("case", name.into()),
+            ("mean_ns", t.mean_ns.into()),
+            ("min_ns", t.min_ns.into()),
+            ("batch", t.batch.into()),
+            ("samples", (t.samples as u64).into()),
+        ],
+    );
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_produces_positive_estimates() {
+        // SAS_BENCH_ITERS is untouched here; clamp keeps this fast enough.
+        std::env::set_var("SAS_BENCH_ITERS", "2");
+        let t = time_case("spin", || {
+            let mut acc = 0u64;
+            for i in 0..100u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        assert!(t.mean_ns > 0.0);
+        assert!(t.min_ns > 0.0 && t.min_ns <= t.mean_ns);
+        assert!(t.batch >= 1);
+    }
+}

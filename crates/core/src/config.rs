@@ -2,10 +2,9 @@
 
 use sas_mem::MemConfig;
 use sas_pipeline::CoreConfig;
-use serde::{Deserialize, Serialize};
 
 /// Full simulated-machine configuration: core + memory hierarchy.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimConfig {
     /// Out-of-order core parameters.
     pub core: CoreConfig,

@@ -9,11 +9,10 @@ use crate::policy::specasan::SpecAsanPolicy;
 use crate::policy::stt::SttPolicy;
 use sas_isa::Program;
 use sas_pipeline::{MitigationPolicy, MteOnlyPolicy, NoPolicy, System};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The defenses evaluated in the paper, as a value.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Mitigation {
     /// No protection at all (the normalisation baseline of Figures 6/7/9).
     Unsafe,

@@ -1,9 +1,8 @@
 //! CACTI-style SRAM and logic cost primitives.
 
-use serde::{Deserialize, Serialize};
 
 /// Technology constants for one process node.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TechNode {
     /// Feature size in nanometres.
     pub feature_nm: f64,
@@ -42,7 +41,7 @@ impl TechNode {
 }
 
 /// One SRAM-based structure, described by its geometry.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SramStructure {
     /// Display name.
     pub name: &'static str,
@@ -120,7 +119,7 @@ impl SramStructure {
 }
 
 /// Synthesized logic added by an extension (comparators, state machines).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LogicBlock {
     /// Display name.
     pub name: &'static str,

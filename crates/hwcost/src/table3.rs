@@ -2,10 +2,9 @@
 //! SpecASan+CFI across the affected core structures.
 
 use crate::sram::{LogicBlock, SramStructure, TechNode};
-use serde::{Deserialize, Serialize};
 
 /// Which design a column reports.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Design {
     /// Baseline ARM MTE (committed-path tagging only).
     ArmMte,
@@ -17,7 +16,7 @@ pub enum Design {
 }
 
 /// One (component, metric) row of Table 3.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table3Row {
     /// Component name ("L1 D-Cache", "LFB", …).
     pub component: &'static str,
@@ -28,7 +27,7 @@ pub struct Table3Row {
 }
 
 /// The assembled table.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table3 {
     /// All rows, in the paper's order.
     pub rows: Vec<Table3Row>,

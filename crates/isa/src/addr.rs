@@ -7,7 +7,6 @@
 //! layout, and is used unchanged by the caches, LSQ, LFB and memory
 //! controller of the simulator.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Size of an MTE tag granule in bytes (one allocation tag per granule).
@@ -33,7 +32,7 @@ const ADDR_MASK: u64 = 0x00FF_FFFF_FFFF_FFFF;
 /// assert_eq!(t.value(), 0xb);
 /// assert_eq!(t.wrapping_add(7).value(), 0x2);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
 pub struct TagNibble(u8);
 
 impl TagNibble {
@@ -89,7 +88,7 @@ impl From<u8> for TagNibble {
 /// assert_eq!(p.untagged().raw(), 0x4000_0444);
 /// assert_eq!(p.granule_index(), 0x4000_0444 / 16);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
 pub struct VirtAddr(u64);
 
 impl VirtAddr {

@@ -1,11 +1,10 @@
 //! The SAS-IR instruction set.
 
 use crate::reg::Reg;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Width of a scalar memory access, in bytes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MemWidth {
     /// 1 byte (`LDRB`/`STRB`).
     B1,
@@ -30,7 +29,7 @@ impl MemWidth {
 }
 
 /// Second source operand of an ALU instruction: register or immediate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Operand {
     /// Register operand.
     Reg(Reg),
@@ -71,7 +70,7 @@ impl From<u64> for Operand {
 }
 
 /// Integer ALU operations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AluOp {
     /// Addition.
     Add,
@@ -135,7 +134,7 @@ impl AluOp {
 }
 
 /// Branch condition codes (subset of AArch64 `B.cond`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Cond {
     /// Equal (`Z`).
     Eq,
@@ -194,7 +193,7 @@ impl Cond {
 }
 
 /// `BTI` landing-pad kinds, mirroring ARM Branch Target Identification.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BtiKind {
     /// Valid target for indirect jumps (`BTI j`).
     Jump,
@@ -217,7 +216,7 @@ impl BtiKind {
 }
 
 /// Atomic read-modify-write operations (enough for locks and barriers).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AmoOp {
     /// Atomic add; returns the old value.
     Add,
@@ -232,7 +231,7 @@ pub enum AmoOp {
 ///
 /// Branch targets are instruction indices, resolved from labels by
 /// [`crate::ProgramBuilder`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Inst {
     /// `dst = op(lhs, rhs)`.
     Alu {

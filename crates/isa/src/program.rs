@@ -2,16 +2,15 @@
 
 use crate::inst::{AluOp, AmoOp, BtiKind, Cond, Inst, MemWidth, Operand};
 use crate::reg::Reg;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
 /// A symbolic branch target handed out by [`ProgramBuilder::new_label`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Label(usize);
 
 /// A chunk of initialised data memory.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DataSegment {
     /// Untagged base virtual address.
     pub base: u64,
@@ -40,7 +39,7 @@ impl fmt::Display for AsmError {
 impl std::error::Error for AsmError {}
 
 /// An executable SAS-IR program: instructions plus initial data memory.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Program {
     insts: Vec<Inst>,
     data: Vec<DataSegment>,

@@ -1,6 +1,5 @@
 //! General-purpose registers and condition flags.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A general-purpose architectural register.
@@ -14,7 +13,7 @@ use std::fmt;
 /// assert_eq!(Reg::X7.index(), 7);
 /// assert!(Reg::XZR.is_zero());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Reg {
     /// A numbered general-purpose register, `X0..=X30`.
     X(u8),
@@ -135,7 +134,7 @@ impl fmt::Display for Reg {
 /// assert!(f.n); // 1 - 2 is negative
 /// assert!(!f.z);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
 pub struct Flags {
     /// Negative.
     pub n: bool,

@@ -1,70 +1,101 @@
 //! Property tests for the ISA layer.
 
-use proptest::prelude::*;
 use sas_isa::{AluOp, Cond, Flags, TagNibble, VirtAddr};
+use sas_ptest::{check, gen, gens};
 
-proptest! {
-    #[test]
-    fn key_roundtrips_through_any_pointer(raw in any::<u64>(), key in 0u8..16) {
+#[test]
+fn key_roundtrips_through_any_pointer() {
+    check("key_roundtrips_through_any_pointer", 256, |rng| {
+        let raw = gen::u64_any().sample(rng);
+        let key = gen::u8s(0..16).sample(rng);
         let a = VirtAddr::new(raw).with_key(TagNibble::new(key));
-        prop_assert_eq!(a.key().value(), key);
+        assert_eq!(a.key().value(), key);
         // Untagging never changes the low 56 bits.
-        prop_assert_eq!(a.untagged().raw(), raw & 0x00FF_FFFF_FFFF_FFFF);
-    }
+        assert_eq!(a.untagged().raw(), raw & 0x00FF_FFFF_FFFF_FFFF);
+    });
+}
 
-    #[test]
-    fn offset_preserves_key_and_adds(raw in 0u64..(1 << 48), key in 0u8..16, delta in -4096i64..4096) {
+#[test]
+fn offset_preserves_key_and_adds() {
+    check("offset_preserves_key_and_adds", 256, |rng| {
+        let raw = gen::u64s(0..(1 << 48)).sample(rng);
+        let key = gen::u8s(0..16).sample(rng);
+        let delta = gen::i64s(-4096..4096).sample(rng);
         let a = VirtAddr::new(raw).with_key(TagNibble::new(key));
         let b = a.offset(delta);
-        prop_assert_eq!(b.key().value(), key);
-        prop_assert_eq!(b.untagged().raw(), raw.wrapping_add_signed(delta) & 0x00FF_FFFF_FFFF_FFFF);
-    }
+        assert_eq!(b.key().value(), key);
+        assert_eq!(b.untagged().raw(), raw.wrapping_add_signed(delta) & 0x00FF_FFFF_FFFF_FFFF);
+    });
+}
 
-    #[test]
-    fn granule_geometry_is_consistent(raw in 0u64..(1 << 48)) {
-        let a = VirtAddr::new(raw);
-        prop_assert_eq!(a.granule_base().raw() % 16, 0);
-        prop_assert!(a.untagged().raw() - a.granule_base().raw() < 16);
-        prop_assert_eq!(a.line_base().raw() % 64, 0);
-        prop_assert!(a.granule_in_line() < 4);
+#[test]
+fn granule_geometry_is_consistent() {
+    check("granule_geometry_is_consistent", 256, |rng| {
+        let a = gens::virt_addr_in(0..(1 << 48)).sample(rng);
+        assert_eq!(a.granule_base().raw() % 16, 0);
+        assert!(a.untagged().raw() - a.granule_base().raw() < 16);
+        assert_eq!(a.line_base().raw() % 64, 0);
+        assert!(a.granule_in_line() < 4);
         // The granule lives inside the line.
-        prop_assert_eq!(a.line_base().raw() + 16 * a.granule_in_line() as u64, a.granule_base().raw());
-    }
+        assert_eq!(a.line_base().raw() + 16 * a.granule_in_line() as u64, a.granule_base().raw());
+    });
+}
 
-    #[test]
-    fn tag_wrapping_add_is_mod_16(t in 0u8..16, d in any::<u8>()) {
+#[test]
+fn tag_wrapping_add_is_mod_16() {
+    check("tag_wrapping_add_is_mod_16", 256, |rng| {
+        let t = gen::u8s(0..16).sample(rng);
+        let d = gen::u8_any().sample(rng);
         let r = TagNibble::new(t).wrapping_add(d);
-        prop_assert_eq!(r.value(), (t.wrapping_add(d)) & 0xF);
-    }
+        assert_eq!(r.value(), (t.wrapping_add(d)) & 0xF);
+    });
+}
 
-    #[test]
-    fn cond_and_negation_partition_outcomes(l in any::<u64>(), r in any::<u64>()) {
+#[test]
+fn cond_and_negation_partition_outcomes() {
+    check("cond_and_negation_partition_outcomes", 256, |rng| {
+        let l = gen::u64_any().sample(rng);
+        let r = gen::u64_any().sample(rng);
         let f = Flags::from_cmp(l, r);
-        for c in [Cond::Eq, Cond::Ne, Cond::Lo, Cond::Ls, Cond::Hi, Cond::Hs,
-                  Cond::Lt, Cond::Le, Cond::Gt, Cond::Ge] {
-            prop_assert_ne!(c.holds(f), c.negate().holds(f));
+        for c in [
+            Cond::Eq,
+            Cond::Ne,
+            Cond::Lo,
+            Cond::Ls,
+            Cond::Hi,
+            Cond::Hs,
+            Cond::Lt,
+            Cond::Le,
+            Cond::Gt,
+            Cond::Ge,
+        ] {
+            assert_ne!(c.holds(f), c.negate().holds(f));
         }
         // Flag semantics against native comparisons.
-        prop_assert_eq!(Cond::Eq.holds(f), l == r);
-        prop_assert_eq!(Cond::Lo.holds(f), l < r);
-        prop_assert_eq!(Cond::Hs.holds(f), l >= r);
-        prop_assert_eq!(Cond::Lt.holds(f), (l as i64) < (r as i64));
-        prop_assert_eq!(Cond::Ge.holds(f), (l as i64) >= (r as i64));
-    }
+        assert_eq!(Cond::Eq.holds(f), l == r);
+        assert_eq!(Cond::Lo.holds(f), l < r);
+        assert_eq!(Cond::Hs.holds(f), l >= r);
+        assert_eq!(Cond::Lt.holds(f), (l as i64) < (r as i64));
+        assert_eq!(Cond::Ge.holds(f), (l as i64) >= (r as i64));
+    });
+}
 
-    #[test]
-    fn alu_eval_matches_native_semantics(l in any::<u64>(), r in any::<u64>()) {
-        prop_assert_eq!(AluOp::Add.eval(l, r), l.wrapping_add(r));
-        prop_assert_eq!(AluOp::Sub.eval(l, r), l.wrapping_sub(r));
-        prop_assert_eq!(AluOp::And.eval(l, r), l & r);
-        prop_assert_eq!(AluOp::Orr.eval(l, r), l | r);
-        prop_assert_eq!(AluOp::Eor.eval(l, r), l ^ r);
-        prop_assert_eq!(AluOp::Mul.eval(l, r), l.wrapping_mul(r));
+#[test]
+fn alu_eval_matches_native_semantics() {
+    check("alu_eval_matches_native_semantics", 256, |rng| {
+        let l = gen::u64_any().sample(rng);
+        let r = gen::u64_any().sample(rng);
+        assert_eq!(AluOp::Add.eval(l, r), l.wrapping_add(r));
+        assert_eq!(AluOp::Sub.eval(l, r), l.wrapping_sub(r));
+        assert_eq!(AluOp::And.eval(l, r), l & r);
+        assert_eq!(AluOp::Orr.eval(l, r), l | r);
+        assert_eq!(AluOp::Eor.eval(l, r), l ^ r);
+        assert_eq!(AluOp::Mul.eval(l, r), l.wrapping_mul(r));
         if r != 0 {
-            prop_assert_eq!(AluOp::UDiv.eval(l, r), l / r);
+            assert_eq!(AluOp::UDiv.eval(l, r), l / r);
         } else {
-            prop_assert_eq!(AluOp::UDiv.eval(l, r), 0);
+            assert_eq!(AluOp::UDiv.eval(l, r), 0);
         }
-        prop_assert_eq!(AluOp::Lsl.eval(l, r), l.wrapping_shl((r & 63) as u32));
-    }
+        assert_eq!(AluOp::Lsl.eval(l, r), l.wrapping_shl((r & 63) as u32));
+    });
 }

@@ -2,10 +2,9 @@
 
 use sas_isa::{TagNibble, VirtAddr, LINE_BYTES};
 use sas_mte::TagCheckOutcome;
-use serde::{Deserialize, Serialize};
 
 /// Geometry and timing of one cache level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub size_bytes: u64,
@@ -41,7 +40,7 @@ impl CacheConfig {
 }
 
 /// Hit/miss and tag-check statistics for one cache.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups that hit.
     pub hits: u64,

@@ -8,10 +8,9 @@
 
 use sas_isa::{TagNibble, VirtAddr, GRANULE_BYTES};
 use sas_mte::{TagCheckOutcome, TagStorage};
-use serde::{Deserialize, Serialize};
 
 /// Timing and behaviour of the DRAM + controller pair.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DramConfig {
     /// Latency of a data access in cycles (row-buffer-agnostic average).
     pub data_latency: u64,

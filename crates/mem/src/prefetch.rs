@@ -16,10 +16,9 @@
 //!   prefetches into differently-coloured data never become cache state.
 
 use sas_isa::{TagNibble, VirtAddr};
-use serde::{Deserialize, Serialize};
 
 /// Prefetcher configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PrefetchConfig {
     /// Master enable. Disabled by default: Table 2's machine has no
     /// prefetcher, so the paper's numbers are reproduced with it off.
@@ -51,7 +50,7 @@ impl PrefetchConfig {
 }
 
 /// Prefetch statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PrefetchStats {
     /// Prefetches issued to the hierarchy.
     pub issued: u64,

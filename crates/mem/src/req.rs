@@ -1,10 +1,9 @@
 //! Request/response vocabulary of the memory subsystem.
 
 use sas_mte::TagCheckOutcome;
-use serde::{Deserialize, Serialize};
 
 /// What kind of access a request performs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AccessKind {
     /// Data load.
     Load,
@@ -21,7 +20,7 @@ pub enum AccessKind {
 
 /// How the access is allowed to mutate timing state. Selected per access by
 /// the active mitigation policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FillMode {
     /// Unrestricted: fills/LRU updates happen regardless of the tag-check
     /// outcome (the unsafe baseline, and committed-path accesses).
@@ -37,7 +36,7 @@ pub enum FillMode {
 }
 
 /// Which structure ultimately serviced an access (innermost level that hit).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ServicePoint {
     /// Hit in the L1 data cache.
     L1,

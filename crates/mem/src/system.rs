@@ -23,14 +23,13 @@ use crate::prefetch::{PrefetchConfig, StridePrefetcher};
 use crate::req::{FillMode, LoadResult, ServicePoint, StoreResult};
 use sas_isa::{TagNibble, VirtAddr, LINE_BYTES};
 use sas_mte::{TagCheckOutcome, TagStorage};
-use serde::{Deserialize, Serialize};
 
 /// Epoch marker used to roll back ghost-buffer allocations on a squash.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub struct GhostToken(u64);
 
 /// Configuration of the whole memory system (Table 2 defaults).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MemConfig {
     /// Per-core L1 data cache.
     pub l1d: CacheConfig,
@@ -87,7 +86,7 @@ impl Default for MemConfig {
 }
 
 /// Aggregated statistics across the hierarchy.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct MemSystemStats {
     /// Per-core L1 stats.
     pub l1d: Vec<CacheStats>,

@@ -2,7 +2,6 @@
 
 use crate::TagStorage;
 use sas_isa::{TagNibble, VirtAddr};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Result of comparing a pointer's key against the granule's lock.
@@ -10,7 +9,7 @@ use std::fmt;
 /// SpecASan propagates this outcome through the memory hierarchy (a dedicated
 /// L1 signal, an MSHR flag below L1, and a field of the memory response) and
 /// into the LSQ's `tcs` state machine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TagCheckOutcome {
     /// The access used an untagged pointer (key 0); no check applies.
     /// §3.2: "untagged ... memory accesses proceed without delay."

@@ -30,7 +30,7 @@ pub use rng::{IrgRng, SplitMix64};
 pub use storage::TagStorage;
 
 /// Tagging discipline used when colouring allocations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TaggingPolicy {
     /// Random tag per allocation, excluding tag 0 and the tags of the two
     /// neighbouring chunks (so linear overflows always mismatch). This is the

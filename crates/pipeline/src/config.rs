@@ -1,13 +1,12 @@
 //! Core configuration (Table 2 of the paper).
 
-use serde::{Deserialize, Serialize};
 
 /// Sizing and timing of one out-of-order core.
 ///
 /// Defaults reproduce Table 2: an ARM Cortex-A76-class core with 8-wide
 /// issue/commit, a 32-entry issue queue, 40-entry ROB and 16-entry load and
 /// store queues.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CoreConfig {
     /// Instructions fetched per cycle.
     pub fetch_width: usize,

@@ -6,10 +6,9 @@
 //! Spectre-BHB exploits history-based index aliasing.
 
 use crate::config::CoreConfig;
-use serde::{Deserialize, Serialize};
 
 /// Statistics of one predictor complex.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PredictorStats {
     /// Conditional-branch predictions made.
     pub cond_predictions: u64,

@@ -2,11 +2,10 @@
 
 use crate::policy::DelayCause;
 use crate::predictor::PredictorStats;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Counters collected by one core over a run.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CoreStats {
     /// Cycles simulated.
     pub cycles: u64,

@@ -4,14 +4,12 @@
 //! must be identical — speculation, squashes, forwarding and policy delays
 //! may change *timing*, never *values*.
 
-use proptest::prelude::*;
-use sas_isa::{AluOp, Cond, Flags, Inst, MemWidth, Operand, Program, ProgramBuilder, Reg};
+use sas_isa::{Flags, Inst, Operand, Program, Reg, VirtAddr};
 use sas_mem::{MainMemory, MemConfig};
 use sas_pipeline::{CoreConfig, MteOnlyPolicy, NoPolicy, RunExit, System};
-use sas_isa::VirtAddr;
+use sas_ptest::{check, gens};
 
-const MEM_BASE: u64 = 0x4000;
-const MEM_MASK: u64 = 0x3F8; // 128 x 8-byte slots
+const MEM_BASE: u64 = gens::PROGRAM_MEM_BASE;
 
 /// Reference interpreter: executes the program in order, one instruction at
 /// a time, with exact architectural semantics.
@@ -87,81 +85,12 @@ fn interpret(program: &Program, max_steps: usize) -> Option<([u64; 33], Flags, M
     None // did not halt within budget
 }
 
-/// One random instruction over a small register window, with only forward
-/// branch targets (programs always terminate).
-fn arb_inst(pos: usize, len: usize) -> impl Strategy<Value = Inst> {
-    // Destinations avoid x6/x7, which hold the scratch-memory base pointers
-    // (overwriting them would turn loads into wild accesses).
-    let dst = || (0u8..6).prop_map(Reg::x);
-    let reg = || (0u8..8).prop_map(Reg::x);
-    let operand = prop_oneof![
-        (0u64..1024).prop_map(Operand::Imm),
-        (0u8..8).prop_map(|r| Operand::Reg(Reg::x(r))),
-    ];
-    let fwd = (pos + 1)..(len + 1); // may jump to the final HALT slot
-    prop_oneof![
-        4 => (
-            prop::sample::select(vec![
-                AluOp::Add, AluOp::Sub, AluOp::And, AluOp::Orr,
-                AluOp::Eor, AluOp::Lsl, AluOp::Lsr, AluOp::Mul, AluOp::UDiv,
-            ]),
-            dst(), reg(), operand.clone(),
-        ).prop_map(|(op, dst, lhs, rhs)| Inst::Alu { op, dst, lhs, rhs }),
-        1 => (dst(), any::<u16>(), 0u8..4).prop_map(|(dst, imm, shift)| Inst::MovZ { dst, imm, shift }),
-        1 => (dst(), any::<u16>(), 0u8..4).prop_map(|(dst, imm, shift)| Inst::MovK { dst, imm, shift }),
-        1 => (reg(), operand.clone()).prop_map(|(lhs, rhs)| Inst::Cmp { lhs, rhs }),
-        2 => (dst(), reg(), (0u64..8)).prop_map(|(dst, base, slot)| Inst::Ldr {
-            dst, base, offset: (slot * 8) as i64, width: MemWidth::B8,
-        }),
-        2 => (reg(), reg(), (0u64..8)).prop_map(|(src, base, slot)| Inst::Str {
-            src, base, offset: (slot * 8) as i64, width: MemWidth::B8,
-        }),
-        1 => (prop::sample::select(vec![
-                Cond::Eq, Cond::Ne, Cond::Lo, Cond::Hs, Cond::Lt, Cond::Ge,
-            ]), fwd.clone()).prop_map(|(cond, target)| Inst::BCond { cond, target }),
-        1 => (reg(), fwd.clone()).prop_map(|(reg, target)| Inst::Cbz { reg, target }),
-        1 => (reg(), fwd).prop_map(|(reg, target)| Inst::Cbnz { reg, target }),
-    ]
-}
-
-fn arb_program() -> impl Strategy<Value = Program> {
-    (8usize..40).prop_flat_map(|len| {
-        let insts: Vec<_> = (0..len).map(|i| arb_inst(i + 2, len + 2)).collect();
-        insts.prop_map(move |body| {
-            let mut asm = ProgramBuilder::new();
-            // Base registers point into a small scratch buffer so loads and
-            // stores land in a bounded region.
-            asm.mov_imm64(Reg::x(6), MEM_BASE); // often used as base
-            asm.mov_imm64(Reg::x(7), MEM_BASE + 0x100);
-            let preamble = asm.here();
-            assert_eq!(preamble, 2);
-            for mut inst in body {
-                // Clamp memory bases: force base registers to x6/x7 and
-                // mask offsets into the scratch window.
-                match &mut inst {
-                    Inst::Ldr { base, offset, .. } | Inst::Str { base: base @ _, offset, .. } => {
-                        *base = if (*offset / 8) % 2 == 0 { Reg::x(6) } else { Reg::x(7) };
-                        *offset &= MEM_MASK as i64;
-                    }
-                    _ => {}
-                }
-                asm.push(inst);
-            }
-            asm.halt();
-            asm.data_segment(MEM_BASE, vec![0xA5; 0x200]);
-            asm.build().expect("assembles")
-        })
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-    #[test]
-    fn pipeline_matches_reference_interpreter(program in arb_program()) {
-        let Some((ref_regs, _, ref_mem)) = interpret(&program, 10_000) else {
-            // Should not happen with forward-only branches.
-            return Err(TestCaseError::fail("reference did not halt"));
-        };
+#[test]
+fn pipeline_matches_reference_interpreter() {
+    check("pipeline_matches_reference_interpreter", 96, |rng| {
+        let program = gens::terminating_program(8..40).sample(rng);
+        let (ref_regs, _, ref_mem) =
+            interpret(&program, 10_000).expect("forward-only branches always halt");
         for policy in [0, 1] {
             let boxed: Box<dyn sas_pipeline::MitigationPolicy> = match policy {
                 0 => Box::new(NoPolicy),
@@ -174,20 +103,24 @@ proptest! {
                 boxed,
             );
             let r = sys.run(5_000_000);
-            prop_assert_eq!(&r.exit, &RunExit::Halted, "pipeline must halt cleanly");
+            assert_eq!(r.exit, RunExit::Halted, "pipeline must halt cleanly");
             for n in 0..8u8 {
-                prop_assert_eq!(
+                assert_eq!(
                     sys.core(0).reg(Reg::x(n)),
                     ref_regs[Reg::x(n).index()],
-                    "X{} diverged (policy {})", n, policy
+                    "X{n} diverged (policy {policy})"
                 );
             }
             // Architectural memory agrees over the scratch window.
             for slot in 0..0x40 {
                 let a = VirtAddr::new(MEM_BASE + slot * 8);
-                prop_assert_eq!(sys.mem().read_arch(a, 8), ref_mem.read(a, 8),
-                    "mem[{:#x}] diverged", a.raw());
+                assert_eq!(
+                    sys.mem().read_arch(a, 8),
+                    ref_mem.read(a, 8),
+                    "mem[{:#x}] diverged",
+                    a.raw()
+                );
             }
         }
-    }
+    });
 }

@@ -1,0 +1,144 @@
+//! The harness PRNG.
+//!
+//! A SplitMix64 generator with an xorshift-style output mix: tiny, seedable,
+//! portable, and with a bit-for-bit stable output sequence — the properties
+//! the harness needs so a failing case can be replayed from its reported
+//! seed on any machine. (The simulator's own `sas_mte::SplitMix64` is the
+//! same algorithm; this copy keeps the test harness free of non-`sas-isa`
+//! dependencies.)
+
+/// Deterministic pseudo-random source handed to every property.
+///
+/// ```
+/// use sas_ptest::Rng;
+/// let mut a = Rng::new(42);
+/// let mut b = Rng::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// assert!(a.below(10) < 10);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Rng {
+        Rng { state: seed }
+    }
+
+    /// Next 64 random bits (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        mix(self.state)
+    }
+
+    /// Uniform value in `[0, bound)`; returns 0 when `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        // Multiply-shift mapping (Lemire); bias is negligible for test-case
+        // bounds.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.below(hi - lo)
+    }
+
+    /// Uniform signed value in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo.wrapping_add(self.below(hi.wrapping_sub(lo) as u64) as i64)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        // 53 high bits -> the canonical [0,1) double.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.unit_f64() * (hi - lo)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit_f64() < p.clamp(0.0, 1.0)
+    }
+}
+
+/// The SplitMix64 finalizer, also used to derive independent per-case seeds
+/// from `(test name, case index)` without consuming generator state.
+pub(crate) fn mix(v: u64) -> u64 {
+    let mut z = v;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over a string, for deriving a per-test seed stream from the test
+/// name (so adding cases to one test never shifts another test's sequence).
+pub(crate) fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_splitmix64_reference_vector() {
+        // Reference sequence for seed 0 (Vigna's splitmix64.c).
+        let mut r = Rng::new(0);
+        assert_eq!(r.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(r.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(r.next_u64(), 0x06C4_5D18_8009_454F);
+    }
+
+    #[test]
+    fn below_and_range_stay_in_bounds() {
+        let mut r = Rng::new(9);
+        for _ in 0..2000 {
+            assert!(r.below(7) < 7);
+            let v = r.range(10, 13);
+            assert!((10..13).contains(&v));
+            let s = r.range_i64(-5, 5);
+            assert!((-5..5).contains(&s));
+        }
+        assert_eq!(r.below(0), 0);
+    }
+
+    #[test]
+    fn unit_f64_is_half_open() {
+        let mut r = Rng::new(11);
+        for _ in 0..2000 {
+            let v = r.unit_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = Rng::new(13);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+    }
+}

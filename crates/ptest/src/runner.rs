@@ -1,0 +1,119 @@
+//! The N-case property runner.
+//!
+//! [`check`] runs a property closure against a deterministic sequence of
+//! per-case seeds. On failure it panics with a report naming the property,
+//! the case index, and the *case seed*; exporting that seed via
+//! `SAS_PTEST_SEED` replays exactly the failing case and nothing else.
+//! `SAS_PTEST_CASES` overrides the case count for longer soak runs.
+
+use crate::rng::{fnv1a, mix, Rng};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Per-workspace base seed; fixed so CI runs are reproducible bit-for-bit.
+const BASE_SEED: u64 = 0x5A5_CA5A;
+
+/// The seed for case `index` of the named property.
+///
+/// Derived from the property name, so adding cases to one test never shifts
+/// the sequence another test sees.
+pub fn case_seed(name: &str, index: u32) -> u64 {
+    mix(fnv1a(name) ^ BASE_SEED ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+fn env_u64(key: &str) -> Option<u64> {
+    let v = std::env::var(key).ok()?;
+    let v = v.trim();
+    if let Some(hex) = v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        v.parse().ok()
+    }
+}
+
+/// Runs `prop` against `cases` independently-seeded RNGs.
+///
+/// ```
+/// use sas_ptest::{check, gen};
+/// check("doubling_is_even", 64, |rng| {
+///     let v = gen::u64s(0..1000).sample(rng);
+///     assert_eq!((v * 2) % 2, 0);
+/// });
+/// ```
+///
+/// # Panics
+///
+/// Panics (failing the enclosing `#[test]`) on the first case whose property
+/// panics, with a report of the form:
+///
+/// ```text
+/// property 'name' failed at case 3/256 (seed 0x1234…):
+///   assertion failed: …
+/// replay just this case with: SAS_PTEST_SEED=0x1234… cargo test …
+/// ```
+pub fn check(name: &str, cases: u32, prop: impl Fn(&mut Rng)) {
+    // Replay mode: exactly one case, seeded from the environment.
+    if let Some(seed) = env_u64("SAS_PTEST_SEED") {
+        prop(&mut Rng::new(seed));
+        return;
+    }
+    let cases = env_u64("SAS_PTEST_CASES").map(|c| c.max(1) as u32).unwrap_or(cases);
+    for index in 0..cases {
+        let seed = case_seed(name, index);
+        let outcome = catch_unwind(AssertUnwindSafe(|| prop(&mut Rng::new(seed))));
+        if let Err(payload) = outcome {
+            let detail = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("<non-string panic payload>");
+            // The report is both printed (so it survives `resume_unwind`'s
+            // opaque payload in captured test output) and panicked.
+            let report = format!(
+                "property '{name}' failed at case {index}/{cases} (seed {seed:#018x}):\n  \
+                 {detail}\nreplay just this case with: SAS_PTEST_SEED={seed:#x} cargo test {name}"
+            );
+            eprintln!("{report}");
+            drop(payload);
+            resume_unwind(Box::new(report));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_every_case() {
+        let mut n = 0u32;
+        // `check` takes Fn, so count via a Cell.
+        let counter = std::cell::Cell::new(0u32);
+        check("counts_cases", 17, |_rng| counter.set(counter.get() + 1));
+        n += counter.get();
+        assert_eq!(n, 17);
+    }
+
+    #[test]
+    fn failure_report_names_the_seed() {
+        let failing = catch_unwind(AssertUnwindSafe(|| {
+            check("always_fails", 8, |rng| {
+                let v = rng.next_u64();
+                assert!(v == 0 && v == 1, "impossible");
+            })
+        }));
+        let payload = failing.expect_err("property must fail");
+        let msg = payload.downcast_ref::<String>().expect("string report");
+        let seed = case_seed("always_fails", 0);
+        assert!(msg.contains("always_fails"), "{msg}");
+        assert!(msg.contains(&format!("{seed:#018x}")), "{msg}");
+        assert!(msg.contains("SAS_PTEST_SEED"), "{msg}");
+        assert!(msg.contains("impossible"), "{msg}");
+    }
+
+    #[test]
+    fn case_seeds_differ_between_cases_and_names() {
+        assert_ne!(case_seed("a", 0), case_seed("a", 1));
+        assert_ne!(case_seed("a", 0), case_seed("b", 0));
+        assert_eq!(case_seed("a", 3), case_seed("a", 3));
+    }
+}

@@ -1,0 +1,92 @@
+//! Determinism guarantees of the harness: the whole point of an internal
+//! property tester is that any CI failure is replayable bit-for-bit from
+//! the seed in the report.
+
+use sas_ptest::{case_seed, check, gen, gens, Gen, Rng};
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+#[test]
+fn same_seed_yields_identical_u64_sequences() {
+    let mut a = Rng::new(0xDEAD_BEEF);
+    let mut b = Rng::new(0xDEAD_BEEF);
+    for _ in 0..10_000 {
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}
+
+#[test]
+fn same_seed_yields_identical_case_sequence() {
+    // Run the same property twice and record every sampled case; the case
+    // streams must be identical element-for-element.
+    fn record() -> Vec<(u64, Vec<u64>, u8)> {
+        let log = RefCell::new(Vec::new());
+        check("determinism_probe", 64, |rng| {
+            let x = gen::u64_any().sample(rng);
+            let v = gen::vec_of(&gen::u64s(0..1000), 0..8).sample(rng);
+            let t = gens::tag_nibble().sample(rng);
+            log.borrow_mut().push((x, v, t.value()));
+        });
+        log.into_inner()
+    }
+    let first = record();
+    let second = record();
+    assert_eq!(first.len(), 64);
+    assert_eq!(first, second);
+}
+
+#[test]
+fn case_seeds_are_stable_constants() {
+    // Pin the seed-derivation function itself: if this changes, every
+    // recorded reproduction seed in bug reports goes stale.
+    assert_eq!(case_seed("determinism_probe", 0), case_seed("determinism_probe", 0));
+    let distinct: std::collections::HashSet<u64> =
+        (0..1000).map(|i| case_seed("determinism_probe", i)).collect();
+    assert_eq!(distinct.len(), 1000, "per-case seeds never collide in practice");
+}
+
+#[test]
+fn failure_report_contains_the_reproducing_seed() {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        check("fails_on_case_three", 16, |rng| {
+            // Fail deterministically on the 4th case by keying off the seed
+            // stream itself: case 3's first draw is a fixed value.
+            let probe = rng.next_u64();
+            assert_ne!(probe, Rng::new(case_seed("fails_on_case_three", 3)).next_u64());
+        })
+    }));
+    let payload = outcome.expect_err("the property must fail");
+    let msg = payload.downcast_ref::<String>().expect("harness report");
+    let expected_seed = case_seed("fails_on_case_three", 3);
+    assert!(msg.contains("fails_on_case_three"), "{msg}");
+    assert!(msg.contains("case 3/16"), "{msg}");
+    assert!(msg.contains(&format!("{expected_seed:#018x}")), "{msg}");
+    assert!(msg.contains(&format!("SAS_PTEST_SEED={expected_seed:#x}")), "{msg}");
+}
+
+#[test]
+fn replaying_the_reported_seed_reproduces_the_case() {
+    // The failing case's first draw, reproduced exactly by seeding an Rng
+    // with the reported seed — this is the contract the report advertises.
+    let seed = case_seed("some_property", 7);
+    let mut replay_a = Rng::new(seed);
+    let mut replay_b = Rng::new(seed);
+    let g = gen::vec_of(&gen::u64_any(), 3..4);
+    assert_eq!(g.sample(&mut replay_a), g.sample(&mut replay_b));
+}
+
+#[test]
+fn generators_are_pure_functions_of_rng_state() {
+    let g: Gen<(u64, Vec<u8>)> = gen::u64s(5..500).zip(&gen::vec_of(&gen::u8_any(), 1..9));
+    let a = g.sample(&mut Rng::new(42));
+    let b = g.sample(&mut Rng::new(42));
+    assert_eq!(a, b);
+}
+
+#[test]
+fn program_generator_is_deterministic() {
+    let g = gens::terminating_program(8..40);
+    let a = g.sample(&mut Rng::new(1234));
+    let b = g.sample(&mut Rng::new(1234));
+    assert_eq!(a.insts(), b.insts());
+}

@@ -1,12 +1,11 @@
 //! Workload characteristic profiles.
 
-use serde::{Deserialize, Serialize};
 
 /// Behavioural fingerprint of one benchmark, per basic block.
 ///
 /// All `*_per_block` values are average occurrence counts per generated
 /// block; fractions are probabilities in `[0,1]`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Profile {
     /// Benchmark name as printed on the figure axis.
     pub name: &'static str,

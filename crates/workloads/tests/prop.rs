@@ -2,80 +2,60 @@
 //! any profile in a broad parameter envelope, must terminate cleanly under
 //! every mitigation with byte-identical architectural work.
 
-use proptest::prelude::*;
+use sas_ptest::{check, gen, Gen, Rng};
 use sas_workloads::{build_workload, Profile};
 use specasan::{build_system, Mitigation, SimConfig};
 
-fn arb_profile() -> impl Strategy<Value = Profile> {
-    (
-        13u32..21,      // footprint exponent
-        0u32..12,       // alu
-        0u32..5,        // loads
-        0u32..3,        // stores
-        0.0f64..0.7,    // chase
-        0.0f64..0.7,    // indirect
-        0.0f64..0.8,    // random
-        0u32..4,        // branches
-        0.0f64..0.8,    // entropy
-        (
-            0.0f64..0.8, // guard
-            0.0f64..0.5, // calls
-            0.0f64..0.4, // retag
-            0.0f64..1.0, // tagged
-        ),
-    )
-        .prop_map(
-            |(fp, alu, loads, stores, chase, indirect, random, branches, entropy, (guard, calls, retag, tagged))| Profile {
-                name: "prop",
-                footprint: 1 << fp,
-                alu_per_block: alu,
-                loads_per_block: loads,
-                stores_per_block: stores,
-                chase_frac: chase,
-                indirect_frac: indirect,
-                random_frac: random,
-                branches_per_block: branches,
-                branch_entropy: entropy,
-                guard_frac: guard,
-                call_frac: calls,
-                retag_frac: retag,
-                tagged_frac: tagged,
-                shared_frac: 0.0,
-            },
-        )
+fn profile_gen() -> Gen<Profile> {
+    Gen::from_fn(|rng: &mut Rng| Profile {
+        name: "prop",
+        footprint: 1 << gen::u32s(13..21).sample(rng),
+        alu_per_block: gen::u32s(0..12).sample(rng),
+        loads_per_block: gen::u32s(0..5).sample(rng),
+        stores_per_block: gen::u32s(0..3).sample(rng),
+        chase_frac: gen::f64s(0.0..0.7).sample(rng),
+        indirect_frac: gen::f64s(0.0..0.7).sample(rng),
+        random_frac: gen::f64s(0.0..0.8).sample(rng),
+        branches_per_block: gen::u32s(0..4).sample(rng),
+        branch_entropy: gen::f64s(0.0..0.8).sample(rng),
+        guard_frac: gen::f64s(0.0..0.8).sample(rng),
+        call_frac: gen::f64s(0.0..0.5).sample(rng),
+        retag_frac: gen::f64s(0.0..0.4).sample(rng),
+        tagged_frac: gen::f64s(0.0..1.0).sample(rng),
+        shared_frac: 0.0,
+    })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-    #[test]
-    fn any_profile_terminates_identically_under_key_mitigations(
-        profile in arb_profile(),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn any_profile_terminates_identically_under_key_mitigations() {
+    check("any_profile_terminates_identically_under_key_mitigations", 24, |rng| {
+        let profile = profile_gen().sample(rng);
+        let seed = gen::u64_any().sample(rng);
         let mut committed = None;
         for m in [Mitigation::Unsafe, Mitigation::SpecAsan, Mitigation::SpecAsanCfi] {
             let w = build_workload(&profile, 2, seed, 0);
             let mut sys = build_system(&SimConfig::table2(), w.program.clone(), m);
             w.setup.apply(&mut sys);
             let r = sys.run(20_000_000);
-            prop_assert_eq!(&r.exit, &sas_pipeline::RunExit::Halted, "under {}", m);
+            assert_eq!(r.exit, sas_pipeline::RunExit::Halted, "under {m}");
             let c = r.committed();
-            prop_assert!(c > 0);
+            assert!(c > 0);
             match committed {
                 None => committed = Some(c),
-                Some(prev) => prop_assert_eq!(prev, c, "architectural work diverged under {}", m),
+                Some(prev) => assert_eq!(prev, c, "architectural work diverged under {m}"),
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn generation_is_a_pure_function_of_inputs(
-        profile in arb_profile(),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn generation_is_a_pure_function_of_inputs() {
+    check("generation_is_a_pure_function_of_inputs", 64, |rng| {
+        let profile = profile_gen().sample(rng);
+        let seed = gen::u64_any().sample(rng);
         let a = build_workload(&profile, 4, seed, 1);
         let b = build_workload(&profile, 4, seed, 1);
-        prop_assert_eq!(a.program.insts(), b.program.insts());
-        prop_assert_eq!(a.setup.tag_ranges, b.setup.tag_ranges);
-    }
+        assert_eq!(a.program.insts(), b.program.insts());
+        assert_eq!(a.setup.tag_ranges, b.setup.tag_ranges);
+    });
 }

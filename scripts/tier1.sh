@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 verification: hermetic build + tests + a bench smoke run.
+#
+# The workspace has zero non-workspace dependencies, so everything here runs
+# with --offline against an empty registry cache. Any new external
+# dependency will fail this script — that is intentional (see ISSUE 1 /
+# CHANGES.md): reproductions must build from source alone.
+#
+# Usage: scripts/tier1.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export RUSTFLAGS="-D warnings"
+
+echo "== tier1: offline release build (all targets) =="
+cargo build --release --offline --workspace --benches --examples --bins
+
+echo "== tier1: offline test suite =="
+cargo test -q --offline
+
+echo "== tier1: bench smoke (SAS_BENCH_ITERS=2, fig6) =="
+SAS_BENCH_ITERS=2 cargo bench -q --offline -p sas-bench --bench fig6_spec_overhead
+
+echo "== tier1: OK =="
