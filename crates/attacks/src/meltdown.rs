@@ -60,8 +60,8 @@ impl TransientAttack for Meltdown {
         // key, leaving the line hot in the L1 (warmed through the memory
         // API — the program itself is purely the unprivileged attacker).
         let kptr = VirtAddr::new(KERNEL_SECRET_ADDR).with_key(TagNibble::new(KERNEL_KEY));
-        let r1 = mem.load(0, kptr, 1, 0, sas_mem::FillMode::Install, false);
-        mem.load(0, kptr, 1, r1.latency + 1, sas_mem::FillMode::Install, false);
+        let r1 = mem.load(0, kptr, 1, 0, sas_mem::FillMode::Install, false).unwrap();
+        mem.load(0, kptr, 1, r1.latency + 1, sas_mem::FillMode::Install, false).unwrap();
         let exit = sys.run(3_000_000).exit;
         cache_channel_outcome(&sys, exit)
     }

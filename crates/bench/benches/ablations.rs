@@ -215,7 +215,7 @@ fn ablation_prefetcher() {
         mem.tags.set_range(secret, 64, TagNibble::new(0x9));
         let mut cycle = 0;
         for line in 0..7u64 {
-            let r = mem.load(0, sas_isa::VirtAddr::new(0x1000 + line * 64), 8, cycle, FillMode::Install, false);
+            let r = mem.load(0, sas_isa::VirtAddr::new(0x1000 + line * 64), 8, cycle, FillMode::Install, false).unwrap();
             cycle += r.latency + 1;
         }
         let leaked = mem.is_cached(0, secret);

@@ -37,12 +37,12 @@ fn bench_lfb() {
 fn bench_mem_load() {
     let mut mem = MemSystem::new(1, MemConfig::default());
     // Warm a line.
-    let r = mem.load(0, VirtAddr::new(0x2000), 8, 0, FillMode::Install, false);
-    mem.load(0, VirtAddr::new(0x2000), 8, r.latency + 1, FillMode::Install, false);
+    let r = mem.load(0, VirtAddr::new(0x2000), 8, 0, FillMode::Install, false).unwrap();
+    mem.load(0, VirtAddr::new(0x2000), 8, r.latency + 1, FillMode::Install, false).unwrap();
     let mut cycle = 1000;
     run_case("micro", "mem/load_l1_hit", || {
         cycle += 1;
-        mem.load(0, black_box(VirtAddr::new(0x2000)), 8, cycle, FillMode::SuppressIfUnsafe, false)
+        mem.load(0, black_box(VirtAddr::new(0x2000)), 8, cycle, FillMode::SuppressIfUnsafe, false).unwrap()
     });
 }
 

@@ -6,6 +6,7 @@
 //! nothing — one object per line) and, when `SAS_BENCH_JSONL` names a file,
 //! are appended there too.
 
+use sas_pipeline::RunExit;
 use std::fmt::Write as _;
 use std::io::Write as _;
 
@@ -59,6 +60,30 @@ fn push_escaped(out: &mut String, s: &str) {
         }
     }
     out.push('"');
+}
+
+/// Stable tag naming how a run ended; the `exit` field of result records.
+pub fn exit_tag(exit: &RunExit) -> &'static str {
+    match exit {
+        RunExit::Halted => "halted",
+        RunExit::Faulted(_) => "faulted",
+        RunExit::CycleLimit => "cycle_limit",
+        RunExit::Deadlock(_) => "deadlock",
+        RunExit::Divergence(_) => "divergence",
+        RunExit::Error(_) => "error",
+    }
+}
+
+/// Whether a cell's numbers mean anything: only a run that retired its whole
+/// program produces a valid perf cell. Cycle-limited, deadlocked, diverged,
+/// faulted and errored runs must be tagged as aborted, never averaged in.
+pub fn valid_cell(exit: &RunExit) -> bool {
+    matches!(exit, RunExit::Halted)
+}
+
+/// The `exit`/`valid` field pair for one run, ready to splice into a record.
+pub fn exit_fields(exit: &RunExit) -> [(&'static str, Value<'static>); 2] {
+    [("exit", Value::Str(exit_tag(exit))), ("valid", Value::Bool(valid_cell(exit)))]
 }
 
 /// Renders one record as a single JSON line (no trailing newline).
@@ -128,5 +153,55 @@ mod tests {
     fn escapes_strings_and_maps_nonfinite_to_null() {
         let line = render("t", &[("s", Value::Str("a\"b\\c\nd")), ("v", Value::F64(f64::NAN))]);
         assert_eq!(line, "{\"bench\":\"t\",\"s\":\"a\\\"b\\\\c\\nd\",\"v\":null}");
+    }
+
+    #[test]
+    fn aborted_exits_are_tagged_and_invalid() {
+        use sas_pipeline::{CrashDump, Divergence, DivergenceKind, SimError};
+        let deadlock = RunExit::Deadlock(Box::new(CrashDump {
+            cycle: 99,
+            cores: Vec::new(),
+            mshrs: Vec::new(),
+            fault_plan: Some("seed=0x2a".to_string()),
+        }));
+        let divergence = RunExit::Divergence(Box::new(Divergence {
+            core: 0,
+            seq: 7,
+            cycle: 40,
+            pc: 3,
+            inst: "ADD x1, x1, #1".to_string(),
+            kind: DivergenceKind::RegValue,
+            expected: "x1 = 2".to_string(),
+            actual: "x1 = 3".to_string(),
+        }));
+        let error = RunExit::Error(SimError::internal("test invariant"));
+        for (exit, tag) in [
+            (&RunExit::CycleLimit, "cycle_limit"),
+            (&deadlock, "deadlock"),
+            (&divergence, "divergence"),
+            (&error, "error"),
+        ] {
+            assert_eq!(exit_tag(exit), tag);
+            assert!(!valid_cell(exit), "{tag} must never be a valid cell");
+        }
+        assert_eq!(exit_tag(&RunExit::Halted), "halted");
+        assert!(valid_cell(&RunExit::Halted));
+    }
+
+    #[test]
+    fn exit_fields_splice_into_records() {
+        let line = render(
+            "fig6",
+            &[("benchmark", Value::Str("505.mcf_r"))]
+                .iter()
+                .copied()
+                .chain(exit_fields(&RunExit::CycleLimit))
+                .collect::<Vec<_>>()
+                .as_slice(),
+        );
+        assert_eq!(
+            line,
+            "{\"bench\":\"fig6\",\"benchmark\":\"505.mcf_r\",\"exit\":\"cycle_limit\",\"valid\":false}"
+        );
     }
 }

@@ -46,7 +46,7 @@ pub fn run_spec(profile: &Profile, m: Mitigation, iterations: u32) -> Cell {
     let mut sys = build_system(&SimConfig::table2(), w.program.clone(), m);
     w.setup.apply(&mut sys);
     let run = sys.run(1_000_000_000);
-    assert_eq!(run.exit, RunExit::Halted, "{} under {m}: {:?}", profile.name, run.exit);
+    require_clean_exit("spec", profile.name, m, &run);
     finish(run)
 }
 
@@ -59,8 +59,34 @@ pub fn run_parsec(profile: &Profile, m: Mitigation, iterations: u32) -> Cell {
         w.setup.apply(&mut sys);
     }
     let run = sys.run(1_000_000_000);
-    assert_eq!(run.exit, RunExit::Halted, "{} under {m}: {:?}", profile.name, run.exit);
+    require_clean_exit("parsec", profile.name, m, &run);
     finish(run)
+}
+
+/// Gate on a cell's exit: clean halts pass; any aborted run (cycle limit,
+/// deadlock, fault, oracle divergence, internal error) is first emitted as a
+/// tagged invalid record — so the JSONL stream records the abort instead of a
+/// silent gap — and then stops the harness with the crash dump, if one was
+/// attached.
+pub fn require_clean_exit(bench: &str, benchmark: &str, m: Mitigation, run: &RunResult) {
+    if jsonl::valid_cell(&run.exit) {
+        return;
+    }
+    let ms = m.to_string();
+    let mut fields =
+        vec![("benchmark", jsonl::Value::Str(benchmark)), ("mitigation", jsonl::Value::Str(&ms))];
+    fields.extend(jsonl::exit_fields(&run.exit));
+    jsonl::emit(bench, &fields);
+    let detail = match &run.exit {
+        RunExit::Divergence(d) => d.to_string(),
+        RunExit::Faulted(f) => format!("{f:?}"),
+        RunExit::Error(e) => e.to_string(),
+        other => jsonl::exit_tag(other).to_string(),
+    };
+    match &run.dump {
+        Some(d) => panic!("{benchmark} under {m}: {detail}\n{d}"),
+        None => panic!("{benchmark} under {m}: {detail}"),
+    }
 }
 
 fn finish(run: RunResult) -> Cell {

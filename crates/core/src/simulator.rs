@@ -21,7 +21,7 @@
 use crate::config::SimConfig;
 use crate::mitigation::Mitigation;
 use sas_isa::{Program, TagNibble, VirtAddr};
-use sas_pipeline::{RunExit, RunResult, System};
+use sas_pipeline::{CrashDump, Divergence, FaultPlan, RunExit, RunResult, System};
 
 /// Builder for a ready-to-run [`Simulator`].
 #[derive(Debug, Default)]
@@ -33,6 +33,8 @@ pub struct SimulatorBuilder {
     writes: Vec<(u64, u64, u64)>, // (addr, width, value)
     protected: Vec<(u64, u64)>,
     max_cycles: u64,
+    fault_plan: Option<FaultPlan>,
+    oracle: bool,
 }
 
 impl SimulatorBuilder {
@@ -78,6 +80,22 @@ impl SimulatorBuilder {
         self
     }
 
+    /// Arms deterministic fault injection from `plan` (see
+    /// [`sas_ptest::fault`]). The plan is also armed automatically when the
+    /// `SAS_FAULT_SEED` environment variable is set.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Attaches the lockstep architectural oracle (single-core only): every
+    /// retired instruction is validated against an in-order reference model
+    /// and the run aborts with `RunExit::Divergence` on the first mismatch.
+    pub fn oracle(mut self) -> Self {
+        self.oracle = true;
+        self
+    }
+
     /// Assembles the simulator.
     ///
     /// # Panics
@@ -108,6 +126,13 @@ impl SimulatorBuilder {
                 mem.add_protected_range(base, len);
             }
         }
+        if let Some(plan) = self.fault_plan.or_else(FaultPlan::from_env) {
+            system.arm_faults(&plan);
+        }
+        if self.oracle {
+            // After tags/writes/protection so the oracle snapshot sees them.
+            system.enable_oracle();
+        }
         Simulator {
             system,
             max_cycles: if self.max_cycles == 0 { 100_000_000 } else { self.max_cycles },
@@ -137,15 +162,33 @@ impl Report {
         }
     }
 
+    /// The crash dump attached to an abnormal exit (fault, deadlock,
+    /// divergence, or internal error), if any.
+    pub fn crash_dump(&self) -> Option<&CrashDump> {
+        self.result.dump.as_deref()
+    }
+
+    /// The oracle divergence that aborted the run, if any.
+    pub fn divergence(&self) -> Option<&Divergence> {
+        match &self.result.exit {
+            RunExit::Divergence(d) => Some(d),
+            _ => None,
+        }
+    }
+
     /// One-paragraph human summary.
     pub fn summary(&self) -> String {
         let tag_faults: u64 = self.result.core_stats.iter().map(|s| s.tag_faults).sum();
         let unsafe_accesses: u64 =
             self.result.core_stats.iter().map(|s| s.unsafe_spec_accesses).sum();
+        let exit = match &self.result.exit {
+            RunExit::Deadlock(_) => "Deadlock (crash dump attached)".to_string(),
+            RunExit::Divergence(d) => format!("Divergence ({:?} at pc {})", d.kind, d.pc),
+            other => format!("{other:?}"),
+        };
         format!(
-            "{:?}: {} instructions in {} cycles (IPC {:.2}); {} unsafe speculative \
+            "{exit}: {} instructions in {} cycles (IPC {:.2}); {} unsafe speculative \
              access(es) blocked, {} tag fault(s), {} fill(s) suppressed",
-            self.result.exit,
             self.result.committed(),
             self.result.cycles,
             self.ipc(),
@@ -251,5 +294,44 @@ mod tests {
     #[should_panic(expected = "at least one program")]
     fn builder_requires_a_program() {
         let _ = Simulator::builder().build();
+    }
+
+    #[test]
+    fn oracle_validates_a_clean_run() {
+        let mut sim = Simulator::builder().program(trivial()).oracle().build();
+        let rep = sim.run();
+        assert!(rep.halted_cleanly(), "{}", rep.summary());
+        assert!(rep.divergence().is_none());
+        assert!(rep.crash_dump().is_none());
+        let oracle = sim.system().oracle().expect("oracle attached");
+        assert!(oracle.halted(0));
+        assert_eq!(oracle.reg(0, Reg::X1), 7);
+    }
+
+    #[test]
+    fn injected_tag_flip_is_caught_not_silent() {
+        // Tag 0x4000..+0x40 with key 3, read it back with LDG under an
+        // armed tag-flip plan: the flipped stored tag must surface as an
+        // oracle divergence, a tag fault, or — with no oracle — complete
+        // silently; with the oracle it must NEVER pass with corruption.
+        let p = parse_program("MOV X1, #0x4000\nLDG X2, [X1]\nHALT\n").unwrap();
+        let plan = FaultPlan::new(0xFEED)
+            .enable(sas_pipeline::InjectionPoint::TagFlip, 1000, 1)
+            .target_window(0x4000, 0x40);
+        let mut sim = Simulator::builder()
+            .mitigation(Mitigation::Unsafe)
+            .program(p)
+            .tag_range(0x4000, 0x40, 3)
+            .fault_plan(plan)
+            .oracle()
+            .build();
+        let rep = sim.run();
+        if sim.system().corruption_injections() > 0 {
+            let d = rep.divergence().expect("flipped tag must diverge the LDG result");
+            assert_eq!(format!("{:?}", d.kind), "RegValue");
+            assert!(rep.crash_dump().is_some(), "divergence carries a dump");
+        } else {
+            assert!(rep.halted_cleanly());
+        }
     }
 }

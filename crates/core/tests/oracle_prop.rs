@@ -1,0 +1,129 @@
+//! Property tests for the lockstep architectural oracle (ISSUE 2 satellite).
+//!
+//! Every mitigation is a different *microarchitecture* over the same
+//! architecture, so a random terminating program must retire the identical
+//! architectural state under all of them — and the in-order oracle checks
+//! that claim instruction-by-instruction while the run is still going.
+//! A failing case prints its seed; `SAS_PTEST_SEED=<seed>` replays it.
+
+use sas_isa::Reg;
+use sas_pipeline::{FaultPlan, InjectionPoint, RunExit};
+use sas_ptest::{check, gens};
+use specasan::{Mitigation, Simulator};
+
+// Generated programs read and write `[x6|x7] + (offset & 0x3F8)`, with
+// x6 = base and x7 = base + 0x100, so stores reach up to base + 0x4F8.
+const MEM_LO: u64 = gens::PROGRAM_MEM_BASE;
+const MEM_HI: u64 = gens::PROGRAM_MEM_BASE + 0x500;
+
+// A region no generated program ever touches: corruption injected here can
+// only be caught by the post-run audit, never masked by a later store.
+const QUIET_LO: u64 = 0x5000;
+const QUIET_HI: u64 = 0x5100;
+
+/// Random programs retire bit-identical architectural state under every
+/// mitigation, validated in lockstep and by a post-run memory audit.
+#[test]
+fn every_mitigation_matches_the_oracle_on_random_programs() {
+    check("every_mitigation_matches_the_oracle_on_random_programs", 24, |rng| {
+        let program = gens::terminating_program(8..40).sample(rng);
+        for m in Mitigation::all() {
+            let mut sim = Simulator::builder()
+                .mitigation(m)
+                .program(program.clone())
+                .oracle()
+                .build();
+            let rep = sim.run();
+            assert!(
+                rep.halted_cleanly(),
+                "{m:?}: {}\n{:?}",
+                rep.summary(),
+                rep.divergence(),
+            );
+            let oracle = sim.system().oracle().expect("oracle attached");
+            assert!(oracle.halted(0), "{m:?}: oracle did not reach HALT");
+            for r in 0..8 {
+                assert_eq!(
+                    sim.system().core(0).reg(Reg::x(r)),
+                    oracle.reg(0, Reg::x(r)),
+                    "{m:?}: X{r} mismatch after a clean lockstep run"
+                );
+            }
+            oracle
+                .audit_memory(sim.system().mem(), MEM_LO, MEM_HI)
+                .unwrap_or_else(|d| panic!("{m:?}: post-run audit failed: {d}"));
+        }
+    });
+}
+
+/// A single injected architectural bit flip can never survive unnoticed.
+/// The flip lands in a region the program never writes, so a later store
+/// cannot mask it — the post-run audit is *required* to name the damaged
+/// word (the lockstep diff covers the in-program window elsewhere).
+#[test]
+fn injected_arch_corruption_never_escapes_detection() {
+    check("injected_arch_corruption_never_escapes_detection", 24, |rng| {
+        let program = gens::terminating_program(12..40).sample(rng);
+        let seed = sas_ptest::gen::u64_any().sample(rng);
+        let plan = FaultPlan::new(seed)
+            .enable(InjectionPoint::ArchBitFlip, 1000, 1)
+            .target_window(QUIET_LO, QUIET_HI - QUIET_LO);
+        let mut sim = Simulator::builder()
+            .mitigation(Mitigation::SpecAsan)
+            .program(program)
+            .fault_plan(plan)
+            .oracle()
+            .build();
+        let rep = sim.run();
+        let injected = sim.system().corruption_injections();
+        let oracle = sim.system().oracle().expect("oracle attached");
+        let audit = oracle.audit_memory(sim.system().mem(), QUIET_LO, QUIET_HI);
+        match &rep.result.exit {
+            RunExit::Halted => {
+                if injected > 0 {
+                    assert!(
+                        audit.is_err(),
+                        "seed {seed:#x}: {injected} bit flip(s) injected but the run \
+                         halted cleanly and the audit saw nothing"
+                    );
+                } else {
+                    assert!(audit.is_ok(), "seed {seed:#x}: audit error without injection");
+                }
+            }
+            RunExit::Divergence(d) => {
+                assert!(injected > 0, "seed {seed:#x}: divergence without injection: {d}");
+                assert!(rep.crash_dump().is_some(), "divergence must attach a crash dump");
+            }
+            other => panic!("seed {seed:#x}: unexpected exit {other:?}"),
+        }
+    });
+}
+
+/// Replayability: the same seed drives the same campaign to the same exit,
+/// byte for byte — the contract `SAS_FAULT_SEED` relies on.
+#[test]
+fn fault_campaigns_replay_exactly_from_their_seed() {
+    check("fault_campaigns_replay_exactly_from_their_seed", 12, |rng| {
+        let program = gens::terminating_program(12..32).sample(rng);
+        let seed = sas_ptest::gen::u64_any().sample(rng);
+        let run = |p: sas_isa::Program| {
+            let plan = FaultPlan::new(seed)
+                .enable(InjectionPoint::TagFlip, 250, 2)
+                .enable(InjectionPoint::ForceMispredict, 100, 8)
+                .target_window(MEM_LO, MEM_HI - MEM_LO);
+            let mut sim = Simulator::builder()
+                .mitigation(Mitigation::SpecAsan)
+                .program(p)
+                .fault_plan(plan)
+                .oracle()
+                .build();
+            let rep = sim.run();
+            let inj =
+                sim.system().fault_injections() + sim.system().corruption_injections();
+            (rep.result.exit.clone(), rep.result.cycles, inj)
+        };
+        let first = run(program.clone());
+        let second = run(program);
+        assert_eq!(first, second, "seed {seed:#x} did not replay identically");
+    });
+}

@@ -1,0 +1,74 @@
+//! Structured simulator errors.
+//!
+//! Invariant violations in the hot simulation loop — a corrupted MSHR file,
+//! an out-of-line LFB read, a pipeline bookkeeping failure — used to panic
+//! the whole process. Under fault injection (and at production scale, where
+//! millions of runs amortize rare bugs) that is the wrong failure mode: the
+//! run should stop, report *which* invariant broke and where, and let the
+//! campaign driver decide what to do. [`SimError`] is that report; the
+//! pipeline surfaces it through `RunExit::Error` together with a crash dump.
+
+use std::fmt;
+
+/// A broken internal invariant, reported instead of panicking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// MSHR bookkeeping became inconsistent (e.g. an entry vanished while
+    /// the file claimed to be full).
+    MshrCorrupted {
+        /// Which file ("l1" / "l2").
+        level: &'static str,
+        /// Line address of the miss being allocated.
+        line_addr: u64,
+    },
+    /// An LFB forward tried to read past the end of the 64-byte line.
+    LfbOverrun {
+        /// Line address of the entry.
+        line_addr: u64,
+        /// Requested byte offset.
+        offset: usize,
+        /// Requested access width.
+        width: usize,
+    },
+    /// A hot-loop invariant failed; `context` names the site.
+    Internal {
+        /// What the code expected to hold.
+        context: &'static str,
+    },
+}
+
+impl SimError {
+    /// Shorthand for an [`SimError::Internal`] at a named site.
+    pub fn internal(context: &'static str) -> SimError {
+        SimError::Internal { context }
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::MshrCorrupted { level, line_addr } => {
+                write!(f, "{level} MSHR file corrupted while allocating line {line_addr:#x}")
+            }
+            SimError::LfbOverrun { line_addr, offset, width } => write!(
+                f,
+                "LFB read overruns line {line_addr:#x}: offset {offset} width {width}"
+            ),
+            SimError::Internal { context } => write!(f, "internal invariant failed: {context}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_each_variant() {
+        let e = SimError::MshrCorrupted { level: "l1", line_addr: 0x40 };
+        assert!(e.to_string().contains("l1 MSHR"));
+        let e = SimError::LfbOverrun { line_addr: 0, offset: 60, width: 8 };
+        assert!(e.to_string().contains("offset 60"));
+        assert!(SimError::internal("x").to_string().contains("x"));
+    }
+}

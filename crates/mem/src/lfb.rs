@@ -7,6 +7,7 @@
 //! entry with the line's allocation tags so forwarding out of the LFB is
 //! subject to the same tag check as a cache hit.
 
+use crate::err::SimError;
 use sas_isa::{TagNibble, VirtAddr, LINE_BYTES};
 
 /// One in-flight line.
@@ -29,16 +30,19 @@ pub struct LfbEntry {
 impl LfbEntry {
     /// Reads `width` little-endian bytes at `offset` from the snapshot.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the access overruns the line.
-    pub fn read(&self, offset: usize, width: usize) -> u64 {
-        assert!(offset + width <= LINE_BYTES as usize, "LFB read overruns line");
+    /// [`SimError::LfbOverrun`] if the access overruns the 64-byte line —
+    /// a malformed forward the caller must surface instead of crashing.
+    pub fn read(&self, offset: usize, width: usize) -> Result<u64, SimError> {
+        if offset + width > LINE_BYTES as usize {
+            return Err(SimError::LfbOverrun { line_addr: self.line_addr, offset, width });
+        }
         let mut v = 0u64;
         for i in (0..width).rev() {
             v = (v << 8) | self.data[offset + i] as u64;
         }
-        v
+        Ok(v)
     }
 }
 
@@ -244,20 +248,22 @@ mod tests {
         data[8] = 0x78;
         data[9] = 0x56;
         let e = LfbEntry { line_addr: 0, alloc_at: 0, fills_at: 0, locks: [TagNibble::ZERO; 4], data };
-        assert_eq!(e.read(8, 2), 0x5678);
+        assert_eq!(e.read(8, 2), Ok(0x5678));
     }
 
     #[test]
-    #[should_panic(expected = "overruns")]
-    fn entry_read_overrun_panics() {
+    fn entry_read_overrun_degrades_to_error() {
         let e = LfbEntry {
-            line_addr: 0,
+            line_addr: 0x1000,
             alloc_at: 0,
             fills_at: 0,
             locks: [TagNibble::ZERO; 4],
             data: line_data(0),
         };
-        let _ = e.read(60, 8);
+        assert_eq!(
+            e.read(60, 8),
+            Err(SimError::LfbOverrun { line_addr: 0x1000, offset: 60, width: 8 })
+        );
     }
 
     #[test]

@@ -32,6 +32,7 @@
 pub mod arch_mem;
 pub mod cache;
 pub mod controller;
+pub mod err;
 pub mod lfb;
 pub mod mshr;
 pub mod prefetch;
@@ -41,8 +42,9 @@ pub mod system;
 pub use arch_mem::MainMemory;
 pub use cache::{Cache, CacheConfig, CacheStats};
 pub use controller::DramController;
+pub use err::SimError;
 pub use lfb::{LfbEntry, LineFillBuffer};
-pub use mshr::MshrFile;
+pub use mshr::{MshrEntry, MshrFile};
 pub use prefetch::{PrefetchConfig, PrefetchStats, StridePrefetcher};
 pub use req::{AccessKind, FillMode, LoadResult, ServicePoint, StoreResult};
 pub use system::{GhostToken, MemConfig, MemSystem, MemSystemStats};

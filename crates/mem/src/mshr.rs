@@ -6,6 +6,7 @@
 //! memory-level parallelism: when all registers are busy, a new miss must
 //! wait for the earliest completion.
 
+use crate::err::SimError;
 use sas_isa::VirtAddr;
 use sas_mte::TagCheckOutcome;
 
@@ -29,11 +30,12 @@ pub struct MshrEntry {
 /// use sas_mte::TagCheckOutcome;
 ///
 /// let mut m = MshrFile::new(2);
-/// assert_eq!(m.allocate(VirtAddr::new(0x40), 0, 10, TagCheckOutcome::Safe), 0);
+/// assert_eq!(m.allocate(VirtAddr::new(0x40), 0, 10, TagCheckOutcome::Safe), Ok(0));
 /// assert_eq!(m.in_flight(0), 1);
 /// ```
 #[derive(Debug, Clone)]
 pub struct MshrFile {
+    level: &'static str,
     registers: usize,
     entries: Vec<MshrEntry>,
     peak_occupancy: usize,
@@ -47,8 +49,18 @@ impl MshrFile {
     ///
     /// Panics if `registers == 0`.
     pub fn new(registers: usize) -> MshrFile {
+        MshrFile::named(registers, "mshr")
+    }
+
+    /// Like [`MshrFile::new`], with a level name ("l1"/"l2") used in error
+    /// reports and crash dumps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `registers == 0`.
+    pub fn named(registers: usize, level: &'static str) -> MshrFile {
         assert!(registers > 0, "an MSHR file needs at least one register");
-        MshrFile { registers, entries: Vec::new(), peak_occupancy: 0, full_delays: 0 }
+        MshrFile { level, registers, entries: Vec::new(), peak_occupancy: 0, full_delays: 0 }
     }
 
     /// Retires every entry completed by `cycle`.
@@ -71,22 +83,30 @@ impl MshrFile {
     /// needs `service_latency` cycles. Returns the *additional queueing
     /// delay* imposed by structural back-pressure: zero when a register is
     /// free, otherwise the wait until the earliest in-flight miss retires.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::MshrCorrupted`] if the file's bookkeeping is inconsistent
+    /// (a full file with no earliest-retiring entry) — possible only through
+    /// corruption, never through back-pressure.
     pub fn allocate(
         &mut self,
         addr: VirtAddr,
         cycle: u64,
         service_latency: u64,
         outcome: TagCheckOutcome,
-    ) -> u64 {
+    ) -> Result<u64, SimError> {
         self.settle(cycle);
         let la = addr.line_base().raw();
+        let level = self.level;
+        let corrupt = move || SimError::MshrCorrupted { level, line_addr: la };
         if let Some(e) = self.entries.iter().find(|e| e.line_addr == la) {
             // Secondary miss: merged, completes with the primary.
-            return e.completes_at.saturating_sub(cycle + service_latency);
+            return Ok(e.completes_at.saturating_sub(cycle + service_latency));
         }
         let delay = if self.entries.len() >= self.registers {
             let earliest =
-                self.entries.iter().map(|e| e.completes_at).min().expect("file is non-empty");
+                self.entries.iter().map(|e| e.completes_at).min().ok_or_else(corrupt)?;
             self.full_delays += 1;
             earliest.saturating_sub(cycle)
         } else {
@@ -101,7 +121,7 @@ impl MshrFile {
                 .enumerate()
                 .min_by_key(|(_, e)| e.completes_at)
                 .map(|(i, _)| i)
-                .expect("non-empty");
+                .ok_or_else(corrupt)?;
             self.entries.swap_remove(idx);
         }
         self.entries.push(MshrEntry {
@@ -110,7 +130,12 @@ impl MshrFile {
             outcome,
         });
         self.peak_occupancy = self.peak_occupancy.max(self.entries.len());
-        delay
+        Ok(delay)
+    }
+
+    /// Every outstanding entry (crash-dump snapshot).
+    pub fn entries(&self) -> &[MshrEntry] {
+        &self.entries
     }
 
     /// Highest simultaneous occupancy observed.
@@ -136,8 +161,8 @@ mod tests {
     #[test]
     fn no_delay_when_register_free() {
         let mut m = MshrFile::new(2);
-        assert_eq!(m.allocate(VirtAddr::new(0x00), 0, 100, TagCheckOutcome::Unchecked), 0);
-        assert_eq!(m.allocate(VirtAddr::new(0x40), 0, 100, TagCheckOutcome::Unchecked), 0);
+        assert_eq!(m.allocate(VirtAddr::new(0x00), 0, 100, TagCheckOutcome::Unchecked), Ok(0));
+        assert_eq!(m.allocate(VirtAddr::new(0x40), 0, 100, TagCheckOutcome::Unchecked), Ok(0));
         assert_eq!(m.in_flight(50), 2);
         assert_eq!(m.in_flight(100), 0);
     }
@@ -145,8 +170,8 @@ mod tests {
     #[test]
     fn full_file_queues_until_earliest_retires() {
         let mut m = MshrFile::new(1);
-        assert_eq!(m.allocate(VirtAddr::new(0x00), 0, 100, TagCheckOutcome::Unchecked), 0);
-        let d = m.allocate(VirtAddr::new(0x40), 10, 100, TagCheckOutcome::Unchecked);
+        assert_eq!(m.allocate(VirtAddr::new(0x00), 0, 100, TagCheckOutcome::Unchecked), Ok(0));
+        let d = m.allocate(VirtAddr::new(0x40), 10, 100, TagCheckOutcome::Unchecked).unwrap();
         assert_eq!(d, 90, "waits for the outstanding miss to finish at 100");
         assert_eq!(m.full_delays(), 1);
     }
@@ -154,10 +179,10 @@ mod tests {
     #[test]
     fn secondary_miss_merges() {
         let mut m = MshrFile::new(4);
-        m.allocate(VirtAddr::new(0x00), 0, 100, TagCheckOutcome::Safe);
+        m.allocate(VirtAddr::new(0x00), 0, 100, TagCheckOutcome::Safe).unwrap();
         // Same line at cycle 50 with its own 100-cycle service would finish
         // at 150, but the primary finishes at 100: no extra wait, no slot.
-        let d = m.allocate(VirtAddr::new(0x08), 50, 100, TagCheckOutcome::Safe);
+        let d = m.allocate(VirtAddr::new(0x08), 50, 100, TagCheckOutcome::Safe).unwrap();
         assert_eq!(d, 0);
         assert_eq!(m.in_flight(50), 1);
     }
@@ -165,7 +190,7 @@ mod tests {
     #[test]
     fn settle_retires_completed() {
         let mut m = MshrFile::new(2);
-        m.allocate(VirtAddr::new(0x00), 0, 10, TagCheckOutcome::Safe);
+        m.allocate(VirtAddr::new(0x00), 0, 10, TagCheckOutcome::Safe).unwrap();
         m.settle(10);
         assert_eq!(m.in_flight(10), 0);
         assert_eq!(m.lookup(VirtAddr::new(0x00)), None);
@@ -174,17 +199,17 @@ mod tests {
     #[test]
     fn outcome_flag_rides_with_entry() {
         let mut m = MshrFile::new(2);
-        m.allocate(VirtAddr::new(0x00), 0, 10, TagCheckOutcome::Unsafe);
+        m.allocate(VirtAddr::new(0x00), 0, 10, TagCheckOutcome::Unsafe).unwrap();
         assert_eq!(m.lookup(VirtAddr::new(0x3F)).unwrap().outcome, TagCheckOutcome::Unsafe);
     }
 
     #[test]
     fn peak_occupancy_tracks_maximum() {
         let mut m = MshrFile::new(4);
-        m.allocate(VirtAddr::new(0x00), 0, 10, TagCheckOutcome::Safe);
-        m.allocate(VirtAddr::new(0x40), 0, 10, TagCheckOutcome::Safe);
+        m.allocate(VirtAddr::new(0x00), 0, 10, TagCheckOutcome::Safe).unwrap();
+        m.allocate(VirtAddr::new(0x40), 0, 10, TagCheckOutcome::Safe).unwrap();
         m.settle(20);
-        m.allocate(VirtAddr::new(0x80), 30, 10, TagCheckOutcome::Safe);
+        m.allocate(VirtAddr::new(0x80), 30, 10, TagCheckOutcome::Safe).unwrap();
         assert_eq!(m.peak_occupancy(), 2);
     }
 

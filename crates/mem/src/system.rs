@@ -17,12 +17,42 @@
 use crate::arch_mem::MainMemory;
 use crate::cache::{Cache, CacheConfig, CacheStats};
 use crate::controller::{DramConfig, DramController};
+use crate::err::SimError;
 use crate::lfb::LineFillBuffer;
-use crate::mshr::MshrFile;
+use crate::mshr::{MshrEntry, MshrFile};
 use crate::prefetch::{PrefetchConfig, StridePrefetcher};
 use crate::req::{FillMode, LoadResult, ServicePoint, StoreResult};
 use sas_isa::{TagNibble, VirtAddr, LINE_BYTES};
 use sas_mte::{TagCheckOutcome, TagStorage};
+use sas_ptest::{FaultPlan, FaultStream, InjectionPoint};
+
+/// Extra fill latency modelling a *dropped* response: far beyond any
+/// realistic run budget, so the waiting uop never completes and the
+/// pipeline's deadlock detector must trip and produce a crash dump.
+const DROPPED_FILL_STALL: u64 = 50_000_000;
+
+/// Armed fault-injection streams for the memory side of a [`FaultPlan`].
+#[derive(Debug, Clone)]
+struct MemFaults {
+    tag_flip: FaultStream,
+    arch_flip: FaultStream,
+    mshr_drop: FaultStream,
+    fill_delay: FaultStream,
+    /// Lines whose fill was dropped: every later miss on them stalls too
+    /// (the MSHR entry is poisoned), so the fault cannot hide behind a
+    /// squashed wrong-path access — the next committed-path touch deadlocks.
+    dead_lines: Vec<u64>,
+}
+
+impl MemFaults {
+    fn corruptions(&self) -> u64 {
+        self.tag_flip.injected() + self.arch_flip.injected() + self.mshr_drop.injected()
+    }
+
+    fn total(&self) -> u64 {
+        self.corruptions() + self.fill_delay.injected()
+    }
+}
 
 /// Epoch marker used to roll back ghost-buffer allocations on a squash.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -177,6 +207,7 @@ pub struct MemSystem {
     tag_hints: std::collections::VecDeque<(u64, [TagNibble; 4])>,
     ghost_epoch: u64,
     protected: Vec<(u64, u64)>, // [base, base+len) unprivileged-fault ranges
+    faults: Option<MemFaults>,
     stats: MemSystemStats,
 }
 
@@ -196,17 +227,60 @@ impl MemSystem {
             lfb: (0..cores)
                 .map(|_| LineFillBuffer::new(cfg.lfb_entries, cfg.lfb_hit_latency))
                 .collect(),
-            l1_mshr: (0..cores).map(|_| MshrFile::new(cfg.l1_mshrs)).collect(),
+            l1_mshr: (0..cores).map(|_| MshrFile::named(cfg.l1_mshrs, "l1")).collect(),
             l2: Cache::new(cfg.l2),
-            l2_mshr: MshrFile::new(cfg.l2_mshrs),
+            l2_mshr: MshrFile::named(cfg.l2_mshrs, "l2"),
             dram: DramController::new(cfg.dram),
             ghosts: (0..cores).map(|_| GhostBuffer::new(cfg.ghost_entries)).collect(),
             prefetchers: (0..cores).map(|_| StridePrefetcher::new(cfg.prefetch)).collect(),
             tag_hints: std::collections::VecDeque::new(),
             ghost_epoch: 0,
             protected: Vec::new(),
+            faults: None,
             stats: MemSystemStats { l1d: vec![CacheStats::default(); cores], ..Default::default() },
             cfg,
+        }
+    }
+
+    /// Arms the memory-side injection points of `plan`: tag-nibble flips in
+    /// the tag carve-out, architectural bit flips in the target window, and
+    /// dropped or delayed fills on the miss path. Candidate events are timed
+    /// load accesses, so the schedule is a pure function of the plan seed
+    /// and the access stream.
+    pub fn arm_faults(&mut self, plan: &FaultPlan) {
+        self.faults = Some(MemFaults {
+            tag_flip: plan.stream(InjectionPoint::TagFlip),
+            arch_flip: plan.stream(InjectionPoint::ArchBitFlip),
+            mshr_drop: plan.stream(InjectionPoint::MshrDropFill),
+            fill_delay: plan.stream(InjectionPoint::FillDelay),
+            dead_lines: Vec::new(),
+        });
+    }
+
+    /// Total memory-side injections performed so far (all points).
+    pub fn fault_injections(&self) -> u64 {
+        self.faults.as_ref().map_or(0, MemFaults::total)
+    }
+
+    /// Corruption-class injections (tag flips, architectural bit flips,
+    /// dropped fills) — the ones a detector is *required* to catch.
+    pub fn corruption_injections(&self) -> u64 {
+        self.faults.as_ref().map_or(0, MemFaults::corruptions)
+    }
+
+    /// Applies at most one pending state corruption per candidate event.
+    fn inject_corruption(&mut self) {
+        let Some(f) = &mut self.faults else { return };
+        if f.tag_flip.fires() {
+            let a = VirtAddr::new(f.tag_flip.pick_in_window(16));
+            let bit = f.tag_flip.pick_below(4) as u8;
+            self.tags.flip_granule_bit(a, bit);
+        }
+        if f.arch_flip.fires() {
+            let a = VirtAddr::new(f.arch_flip.pick_in_window(8));
+            let bit = f.arch_flip.pick_below(64) as u32;
+            let v = self.arch.read(a, 8) ^ (1u64 << bit);
+            self.arch.write(a, 8, v);
         }
     }
 
@@ -323,6 +397,12 @@ impl MemSystem {
     /// `faulting` marks a load that architecturally faults (unprivileged
     /// access to a protected range); with the MDS quirk enabled such a load
     /// samples stale LFB data instead of its own line.
+    ///
+    /// # Errors
+    ///
+    /// A [`SimError`] when an internal invariant of the hierarchy breaks
+    /// (corrupted MSHR bookkeeping, out-of-line LFB forward). The caller
+    /// surfaces it through `RunExit::Error` instead of panicking.
     pub fn load(
         &mut self,
         core: usize,
@@ -331,7 +411,37 @@ impl MemSystem {
         cycle: u64,
         mode: FillMode,
         faulting: bool,
-    ) -> LoadResult {
+    ) -> Result<LoadResult, SimError> {
+        // Fault injection: corruption first (so this very access can observe
+        // it), then fill perturbation on the result.
+        self.inject_corruption();
+        let mut r = self.load_inner(core, addr, width, cycle, mode, faulting)?;
+        if let Some(f) = &mut self.faults {
+            let la = addr.untagged().raw() & !(LINE_BYTES - 1);
+            if f.dead_lines.contains(&la) {
+                // The line's fill was dropped earlier; it never arrives.
+                r.latency = r.latency.saturating_add(DROPPED_FILL_STALL);
+            } else if matches!(r.source, ServicePoint::L2 | ServicePoint::Dram) {
+                if f.mshr_drop.fires() {
+                    f.dead_lines.push(la);
+                    r.latency = r.latency.saturating_add(DROPPED_FILL_STALL);
+                } else if f.fill_delay.fires() {
+                    r.latency += 16 + f.fill_delay.pick_below(512);
+                }
+            }
+        }
+        Ok(r)
+    }
+
+    fn load_inner(
+        &mut self,
+        core: usize,
+        addr: VirtAddr,
+        width: u64,
+        cycle: u64,
+        mode: FillMode,
+        faulting: bool,
+    ) -> Result<LoadResult, SimError> {
         self.settle(core, cycle);
 
         // --- Meltdown path: the permission check is deferred; an
@@ -352,13 +462,13 @@ impl MemSystem {
                 if suppressed {
                     self.stats.suppressed_fills += 1;
                 }
-                return LoadResult {
+                return Ok(LoadResult {
                     latency: self.cfg.l1d.hit_latency,
                     outcome,
                     source: ServicePoint::L1,
                     data_returned: !suppressed,
                     stale_lfb_data: None,
-                };
+                });
             }
         }
 
@@ -379,22 +489,22 @@ impl MemSystem {
                 }
                 let off = (addr.untagged().raw() % LINE_BYTES) as usize;
                 let w = (width.max(1) as usize).min(LINE_BYTES as usize - off);
-                return LoadResult {
+                return Ok(LoadResult {
                     latency: self.lfb[core].hit_latency(),
                     outcome,
                     source: ServicePoint::Lfb,
                     data_returned: !suppressed,
-                    stale_lfb_data: if suppressed { None } else { Some(stale.read(off, w)) },
-                };
+                    stale_lfb_data: if suppressed { None } else { Some(stale.read(off, w)?) },
+                });
             }
             // No in-flight line to sample: the load returns nothing useful.
-            return LoadResult {
+            return Ok(LoadResult {
                 latency: self.lfb[core].hit_latency(),
                 outcome: TagCheckOutcome::Unchecked,
                 source: ServicePoint::Lfb,
                 data_returned: false,
                 stale_lfb_data: None,
-            };
+            });
         }
 
         // --- L1 hit ---------------------------------------------------------
@@ -408,13 +518,13 @@ impl MemSystem {
                 if mode == FillMode::SuppressIfUnsafe {
                     self.stats.suppressed_fills += 1;
                     self.stats.l1d[core].hits += 1;
-                    return LoadResult {
+                    return Ok(LoadResult {
                         latency: self.cfg.l1d.hit_latency,
                         outcome,
                         source: ServicePoint::L1,
                         data_returned: false,
                         stale_lfb_data: None,
-                    };
+                    });
                 }
             } else if self.l1d[core].config().tagged {
                 let _ = self.l1d[core].tag_check(addr);
@@ -423,13 +533,13 @@ impl MemSystem {
             if mode != FillMode::Ghost {
                 self.l1d[core].touch(addr);
             }
-            return LoadResult {
+            return Ok(LoadResult {
                 latency: self.cfg.l1d.hit_latency,
                 outcome,
                 source: ServicePoint::L1,
                 data_returned: true,
                 stale_lfb_data: None,
-            };
+            });
         }
 
         // --- LFB hit (line in transit) ---------------------------------------
@@ -444,13 +554,13 @@ impl MemSystem {
             if !data_returned {
                 self.stats.suppressed_fills += 1;
             }
-            return LoadResult {
+            return Ok(LoadResult {
                 latency,
                 outcome,
                 source: ServicePoint::Lfb,
                 data_returned,
                 stale_lfb_data: None,
-            };
+            });
         }
 
         // --- Ghost hit (GhostMinion only) -------------------------------------
@@ -458,13 +568,13 @@ impl MemSystem {
             if let Some(g) = self.ghosts[core].find(addr.line_base().raw()) {
                 let outcome = Self::check_locks(&g.locks, addr, width);
                 self.stats.l1d[core].hits += 1;
-                return LoadResult {
+                return Ok(LoadResult {
                     latency: self.cfg.l1d.hit_latency + 1,
                     outcome,
                     source: ServicePoint::Ghost,
                     data_returned: true,
                     stale_lfb_data: None,
-                };
+                });
             }
         }
 
@@ -477,13 +587,13 @@ impl MemSystem {
             self.stats.l2.hits += 1;
             if mode == FillMode::SuppressIfUnsafe && outcome == TagCheckOutcome::Unsafe {
                 self.stats.suppressed_fills += 1;
-                return LoadResult {
+                return Ok(LoadResult {
                     latency,
                     outcome,
                     source: ServicePoint::L2,
                     data_returned: false,
                     stale_lfb_data: None,
-                };
+                });
             }
             if self.l2.config().tagged {
                 let _ = self.l2.tag_check(addr);
@@ -501,7 +611,7 @@ impl MemSystem {
                 _ => {
                     self.l2.touch(addr);
                     let data = self.line_data_snapshot(addr);
-                    let mshr_delay = self.l1_mshr[core].allocate(addr, cycle, latency, outcome);
+                    let mshr_delay = self.l1_mshr[core].allocate(addr, cycle, latency, outcome)?;
                     self.lfb[core].allocate(
                         addr,
                         cycle,
@@ -510,22 +620,22 @@ impl MemSystem {
                         data,
                     );
                     self.trigger_prefetch(core, addr, cycle);
-                    return LoadResult {
+                    return Ok(LoadResult {
                         latency: latency + mshr_delay,
                         outcome,
                         source: ServicePoint::L2,
                         data_returned: true,
                         stale_lfb_data: None,
-                    };
+                    });
                 }
             }
-            return LoadResult {
+            return Ok(LoadResult {
                 latency,
                 outcome,
                 source: ServicePoint::L2,
                 data_returned: true,
                 stale_lfb_data: None,
-            };
+            });
         }
         self.stats.l2.misses += 1;
 
@@ -551,13 +661,13 @@ impl MemSystem {
             // §3.3.4: the data is not returned to the upper memory levels —
             // no L2 fill, no LFB allocation, no L1 fill.
             self.stats.suppressed_fills += 1;
-            return LoadResult {
+            return Ok(LoadResult {
                 latency: path_latency,
                 outcome: resp.outcome,
                 source: ServicePoint::Dram,
                 data_returned: false,
                 stale_lfb_data: None,
-            };
+            });
         }
         match mode {
             FillMode::Ghost => {
@@ -568,36 +678,41 @@ impl MemSystem {
                     locks: resp.line_locks,
                     epoch: self.ghost_epoch,
                 });
-                LoadResult {
+                Ok(LoadResult {
                     latency: path_latency,
                     outcome: resp.outcome,
                     source: ServicePoint::Dram,
                     data_returned: true,
                     stale_lfb_data: None,
-                }
+                })
             }
             _ => {
-                let l2_delay = self.l2_mshr.allocate(addr, cycle, path_latency, resp.outcome);
+                let l2_delay = self.l2_mshr.allocate(addr, cycle, path_latency, resp.outcome)?;
                 let l1_delay =
-                    self.l1_mshr[core].allocate(addr, cycle, path_latency + l2_delay, resp.outcome);
+                    self.l1_mshr[core].allocate(addr, cycle, path_latency + l2_delay, resp.outcome)?;
                 let total = path_latency + l2_delay + l1_delay;
                 self.l2.install(addr, resp.line_locks, cycle + total, false);
                 let data = self.line_data_snapshot(addr);
                 self.lfb[core].allocate(addr, cycle, cycle + total, resp.line_locks, data);
                 self.trigger_prefetch(core, addr, cycle);
-                LoadResult {
+                Ok(LoadResult {
                     latency: total,
                     outcome: resp.outcome,
                     source: ServicePoint::Dram,
                     data_returned: true,
                     stale_lfb_data: None,
-                }
+                })
             }
         }
     }
 
     /// A timed store (request for ownership). Invalidation-based coherence:
     /// remote L1/LFB copies of the line are dropped.
+    ///
+    /// # Errors
+    ///
+    /// A [`SimError`] when the hierarchy's bookkeeping breaks (see
+    /// [`MemSystem::load`]).
     pub fn store(
         &mut self,
         core: usize,
@@ -605,7 +720,7 @@ impl MemSystem {
         width: u64,
         cycle: u64,
         mode: FillMode,
-    ) -> StoreResult {
+    ) -> Result<StoreResult, SimError> {
         self.settle(core, cycle);
 
         // Coherence: invalidate remote copies (committed stores only — a
@@ -631,7 +746,7 @@ impl MemSystem {
             if !(mode == FillMode::SuppressIfUnsafe && outcome == TagCheckOutcome::Unsafe) {
                 self.l2.touch(addr);
                 let data = self.line_data_snapshot(addr);
-                let mshr_delay = self.l1_mshr[core].allocate(addr, cycle, latency, outcome);
+                let mshr_delay = self.l1_mshr[core].allocate(addr, cycle, latency, outcome)?;
                 self.lfb[core].allocate(addr, cycle, cycle + latency + mshr_delay, hit.locks, data);
                 self.l1d[core].mark_dirty(addr);
             } else {
@@ -666,7 +781,7 @@ impl MemSystem {
             }
         }
 
-        StoreResult { latency, outcome, source }
+        Ok(StoreResult { latency, outcome, source })
     }
 
     /// Architectural read (functional path of the pipeline's execute stage).
@@ -805,6 +920,24 @@ impl MemSystem {
     pub fn lfb_stale_forwards(&self, core: usize) -> u64 {
         self.lfb[core].stale_forwards()
     }
+
+    /// The privileged `[lo, hi)` ranges registered so far.
+    pub fn protected_ranges(&self) -> &[(u64, u64)] {
+        &self.protected
+    }
+
+    /// Crash-dump snapshot: every outstanding MSHR entry, labelled per file
+    /// ("l1[core]" / "l2").
+    pub fn mshr_snapshot(&self) -> Vec<(String, Vec<MshrEntry>)> {
+        let mut out: Vec<(String, Vec<MshrEntry>)> = self
+            .l1_mshr
+            .iter()
+            .enumerate()
+            .map(|(c, m)| (format!("l1[{c}]"), m.entries().to_vec()))
+            .collect();
+        out.push(("l2".to_string(), self.l2_mshr.entries().to_vec()));
+        out
+    }
 }
 
 #[cfg(test)]
@@ -823,11 +956,11 @@ mod tests {
     fn cold_load_hits_dram_then_l1() {
         let mut m = sys();
         let a = VirtAddr::new(0x1000);
-        let r1 = m.load(0, a, 8, 0, FillMode::Install, false);
+        let r1 = m.load(0, a, 8, 0, FillMode::Install, false).unwrap();
         assert_eq!(r1.source, ServicePoint::Dram);
         assert_eq!(r1.latency, 2 + 12 + 80);
         // After the fill settles, the line hits in L1.
-        let r2 = m.load(0, a, 8, r1.latency + 1, FillMode::Install, false);
+        let r2 = m.load(0, a, 8, r1.latency + 1, FillMode::Install, false).unwrap();
         assert_eq!(r2.source, ServicePoint::L1);
         assert_eq!(r2.latency, 2);
     }
@@ -836,9 +969,9 @@ mod tests {
     fn inflight_line_is_served_from_lfb() {
         let mut m = sys();
         let a = VirtAddr::new(0x1000);
-        let r1 = m.load(0, a, 8, 0, FillMode::Install, false);
+        let r1 = m.load(0, a, 8, 0, FillMode::Install, false).unwrap();
         // Second access before the fill completes: LFB hit, waits remainder.
-        let r2 = m.load(0, a.offset(8), 8, 10, FillMode::Install, false);
+        let r2 = m.load(0, a.offset(8), 8, 10, FillMode::Install, false).unwrap();
         assert_eq!(r2.source, ServicePoint::Lfb);
         assert_eq!(r2.latency, (r1.latency - 10) + 2);
     }
@@ -848,7 +981,7 @@ mod tests {
         let mut m = sys();
         m.tags.set_range(VirtAddr::new(0x1000), 64, TagNibble::new(0x3));
         let bad = tagged_ptr(0x1000, 0xb);
-        let r = m.load(0, bad, 8, 0, FillMode::SuppressIfUnsafe, false);
+        let r = m.load(0, bad, 8, 0, FillMode::SuppressIfUnsafe, false).unwrap();
         assert_eq!(r.outcome, TagCheckOutcome::Unsafe);
         assert!(!r.data_returned);
         assert!(!m.is_cached(0, VirtAddr::new(0x1000)), "no fill anywhere");
@@ -860,7 +993,7 @@ mod tests {
         let mut m = sys();
         m.tags.set_range(VirtAddr::new(0x1000), 64, TagNibble::new(0x3));
         let bad = tagged_ptr(0x1000, 0xb);
-        let r = m.load(0, bad, 8, 0, FillMode::Install, false);
+        let r = m.load(0, bad, 8, 0, FillMode::Install, false).unwrap();
         assert_eq!(r.outcome, TagCheckOutcome::Unsafe);
         assert!(r.data_returned);
         assert!(m.is_cached(0, VirtAddr::new(0x1000)), "baseline leaks the fill");
@@ -871,9 +1004,9 @@ mod tests {
         let mut m = sys();
         m.tags.set_range(VirtAddr::new(0x1000), 64, TagNibble::new(0x3));
         let good = tagged_ptr(0x1000, 0x3);
-        let r1 = m.load(0, good, 8, 0, FillMode::Install, false);
+        let r1 = m.load(0, good, 8, 0, FillMode::Install, false).unwrap();
         assert_eq!(r1.outcome, TagCheckOutcome::Safe);
-        let r2 = m.load(0, good, 8, r1.latency + 1, FillMode::SuppressIfUnsafe, false);
+        let r2 = m.load(0, good, 8, r1.latency + 1, FillMode::SuppressIfUnsafe, false).unwrap();
         assert_eq!(r2.source, ServicePoint::L1);
         assert_eq!(r2.outcome, TagCheckOutcome::Safe);
         assert!(r2.data_returned);
@@ -883,12 +1016,12 @@ mod tests {
     fn ghost_mode_fills_ghost_not_l1() {
         let mut m = sys();
         let a = VirtAddr::new(0x2000);
-        let r = m.load(0, a, 8, 0, FillMode::Ghost, false);
+        let r = m.load(0, a, 8, 0, FillMode::Ghost, false).unwrap();
         assert_eq!(r.source, ServicePoint::Dram);
         assert!(!m.is_cached(0, a), "committed hierarchy untouched");
         assert!(m.is_ghost_cached(0, a));
         // A second ghost load hits the ghost buffer quickly.
-        let r2 = m.load(0, a, 8, 200, FillMode::Ghost, false);
+        let r2 = m.load(0, a, 8, 200, FillMode::Ghost, false).unwrap();
         assert_eq!(r2.source, ServicePoint::Ghost);
     }
 
@@ -897,13 +1030,13 @@ mod tests {
         let mut m = sys();
         let a = VirtAddr::new(0x2000);
         let mark = m.ghost_mark();
-        m.load(0, a, 8, 0, FillMode::Ghost, false);
+        m.load(0, a, 8, 0, FillMode::Ghost, false).unwrap();
         assert!(m.promote_ghost(0, a, 10));
         assert!(m.is_cached(0, a));
         assert!(!m.is_ghost_cached(0, a));
 
         let b = VirtAddr::new(0x4000);
-        m.load(0, b, 8, 20, FillMode::Ghost, false);
+        m.load(0, b, 8, 20, FillMode::Ghost, false).unwrap();
         m.drop_ghosts_since(0, mark);
         assert!(!m.is_ghost_cached(0, b));
         assert_eq!(m.stats().ghost_drops, 1);
@@ -916,11 +1049,11 @@ mod tests {
         m.add_protected_range(0x9000, 0x1000);
         // Victim brings a line in flight with known bytes.
         m.arch.write(VirtAddr::new(0x5000), 8, 0x4242_4242_4242_4242);
-        m.load(0, VirtAddr::new(0x5000), 8, 0, FillMode::Install, false);
+        m.load(0, VirtAddr::new(0x5000), 8, 0, FillMode::Install, false).unwrap();
         // Attacker's faulting load samples the in-flight data.
         let fault_addr = VirtAddr::new(0x9000);
         assert!(m.is_protected(fault_addr));
-        let r = m.load(0, fault_addr, 8, 1, FillMode::Install, true);
+        let r = m.load(0, fault_addr, 8, 1, FillMode::Install, true).unwrap();
         assert_eq!(r.stale_lfb_data, Some(0x4242_4242_4242_4242));
         assert!(r.data_returned);
     }
@@ -932,8 +1065,8 @@ mod tests {
         m.tags.set_range(VirtAddr::new(0x5000), 64, TagNibble::new(0x6));
         m.arch.write(VirtAddr::new(0x5000), 8, 0x4242_4242_4242_4242);
         let victim_ptr = tagged_ptr(0x5000, 0x6);
-        m.load(0, victim_ptr, 8, 0, FillMode::Install, false);
-        let r = m.load(0, VirtAddr::new(0x9000), 8, 1, FillMode::SuppressIfUnsafe, true);
+        m.load(0, victim_ptr, 8, 0, FillMode::Install, false).unwrap();
+        let r = m.load(0, VirtAddr::new(0x9000), 8, 1, FillMode::SuppressIfUnsafe, true).unwrap();
         assert_eq!(r.outcome, TagCheckOutcome::Unsafe);
         assert!(!r.data_returned);
         assert_eq!(r.stale_lfb_data, None);
@@ -945,12 +1078,12 @@ mod tests {
         let mut m = MemSystem::new(2, MemConfig::default());
         let a = VirtAddr::new(0x3000);
         // Core 1 caches the line.
-        let r = m.load(1, a, 8, 0, FillMode::Install, false);
+        let r = m.load(1, a, 8, 0, FillMode::Install, false).unwrap();
         let t = r.latency + 1;
-        m.load(1, a, 8, t, FillMode::Install, false);
+        m.load(1, a, 8, t, FillMode::Install, false).unwrap();
         assert!(m.is_cached(1, a));
         // Core 0 stores to it.
-        m.store(0, a, 8, t + 1, FillMode::Install);
+        m.store(0, a, 8, t + 1, FillMode::Install).unwrap();
         assert!(m.l1d[1].probe(a).is_none(), "remote L1 invalidated");
         assert!(m.stats().coherence_invalidations >= 1);
     }
@@ -959,11 +1092,11 @@ mod tests {
     fn store_tag_updates_cached_locks_everywhere() {
         let mut m = sys();
         let a = VirtAddr::new(0x1000);
-        let r = m.load(0, a, 8, 0, FillMode::Install, false);
-        m.load(0, a, 8, r.latency + 1, FillMode::Install, false); // in L1 now
+        let r = m.load(0, a, 8, 0, FillMode::Install, false).unwrap();
+        m.load(0, a, 8, r.latency + 1, FillMode::Install, false).unwrap(); // in L1 now
         m.store_tag(a, TagNibble::new(0x9));
         let good = tagged_ptr(0x1000, 0x9);
-        let r2 = m.load(0, good, 8, r.latency + 2, FillMode::Install, false);
+        let r2 = m.load(0, good, 8, r.latency + 2, FillMode::Install, false).unwrap();
         assert_eq!(r2.source, ServicePoint::L1);
         assert_eq!(r2.outcome, TagCheckOutcome::Safe, "cached lock was updated in place");
         assert_eq!(m.load_tag(a), TagNibble::new(0x9));
@@ -973,8 +1106,8 @@ mod tests {
     fn flush_line_removes_all_copies() {
         let mut m = sys();
         let a = VirtAddr::new(0x1000);
-        let r = m.load(0, a, 8, 0, FillMode::Install, false);
-        m.load(0, a, 8, r.latency + 1, FillMode::Install, false);
+        let r = m.load(0, a, 8, 0, FillMode::Install, false).unwrap();
+        m.load(0, a, 8, r.latency + 1, FillMode::Install, false).unwrap();
         assert!(m.is_cached(0, a));
         m.flush_line(a);
         assert!(!m.is_cached(0, a));
@@ -985,10 +1118,10 @@ mod tests {
         let mut m = MemSystem::new(2, MemConfig::default());
         let a = VirtAddr::new(0x3000);
         m.tags.set_range(a, 64, TagNibble::new(0x2));
-        let r = m.load(1, a, 8, 0, FillMode::Install, false);
-        m.load(1, a, 8, r.latency + 1, FillMode::Install, false);
+        let r = m.load(1, a, 8, 0, FillMode::Install, false).unwrap();
+        m.load(1, a, 8, r.latency + 1, FillMode::Install, false).unwrap();
         let bad = tagged_ptr(0x3000, 0x7);
-        m.store(0, bad, 8, r.latency + 2, FillMode::SuppressIfUnsafe);
+        m.store(0, bad, 8, r.latency + 2, FillMode::SuppressIfUnsafe).unwrap();
         assert!(m.l1d[1].probe(a).is_some(), "remote copy survives a suppressed store");
     }
 
@@ -1012,7 +1145,7 @@ mod tests {
         m.tags.set_range(secret_line, 64, TagNibble::new(0x9));
         let mut cycle = 0;
         for line in 0..4u64 {
-            let r = m.load(0, VirtAddr::new(0x1000 + line * 64), 8, cycle, FillMode::Install, false);
+            let r = m.load(0, VirtAddr::new(0x1000 + line * 64), 8, cycle, FillMode::Install, false).unwrap();
             cycle += r.latency + 1;
         }
         assert!(m.is_cached(0, secret_line), "prefetch pulled the tagged line in");
@@ -1028,7 +1161,7 @@ mod tests {
         m.tags.set_range(secret_line, 64, TagNibble::new(0x9));
         let mut cycle = 0;
         for line in 0..4u64 {
-            let r = m.load(0, VirtAddr::new(0x1000 + line * 64), 8, cycle, FillMode::Install, false);
+            let r = m.load(0, VirtAddr::new(0x1000 + line * 64), 8, cycle, FillMode::Install, false).unwrap();
             cycle += r.latency + 1;
         }
         assert!(
@@ -1046,13 +1179,60 @@ mod tests {
         let mut m = MemSystem::new(1, cfg);
         m.tags.set_range(VirtAddr::new(0x3000), 64, TagNibble::new(0x4));
         let p = VirtAddr::new(0x3000).with_key(TagNibble::new(0x4));
-        let first = m.load(0, p, 8, 0, FillMode::Install, false);
+        let first = m.load(0, p, 8, 0, FillMode::Install, false).unwrap();
         // Evict so the second access goes to DRAM again, now with a hint.
         m.flush_line(p);
-        let second = m.load(0, p.offset(8), 8, first.latency + 10, FillMode::Install, false);
+        let second = m.load(0, p.offset(8), 8, first.latency + 10, FillMode::Install, false).unwrap();
         assert!(second.latency < first.latency, "hint skips the serialized tag fetch");
         assert_eq!(second.outcome, TagCheckOutcome::Safe);
         assert_eq!(m.stats().tag_hint_hits, 1);
+    }
+
+    #[test]
+    fn armed_tag_flip_corrupts_replayably() {
+        use sas_ptest::{FaultPlan, InjectionPoint};
+        let plan = FaultPlan::new(0x5EED)
+            .enable(InjectionPoint::TagFlip, 1000, 1)
+            .target_window(0x1000, 0x40);
+        let run = |plan: &FaultPlan| {
+            let mut m = sys();
+            m.tags.set_range(VirtAddr::new(0x1000), 64, TagNibble::new(0x3));
+            m.arm_faults(plan);
+            m.load(0, VirtAddr::new(0x1000), 8, 0, FillMode::Install, false).unwrap();
+            let tags: Vec<u8> =
+                (0..4).map(|g| m.tags.tag_of(VirtAddr::new(0x1000 + g * 16)).value()).collect();
+            (m.corruption_injections(), tags)
+        };
+        let (n1, t1) = run(&plan);
+        let (n2, t2) = run(&plan);
+        assert_eq!(n1, 1, "rate-1000 max-1 plan injects exactly once");
+        assert_eq!((n1, &t1), (n2, &t2), "same seed, same corruption");
+        assert!(t1.iter().any(|&t| t != 0x3), "one granule's stored tag was flipped");
+    }
+
+    #[test]
+    fn dropped_fill_stalls_beyond_any_budget() {
+        use sas_ptest::{FaultPlan, InjectionPoint};
+        let plan = FaultPlan::new(1).enable(InjectionPoint::MshrDropFill, 1000, 1);
+        let mut m = sys();
+        m.arm_faults(&plan);
+        let r = m.load(0, VirtAddr::new(0x1000), 8, 0, FillMode::Install, false).unwrap();
+        assert!(r.latency > 1_000_000, "dropped fill never completes: {}", r.latency);
+        assert_eq!(m.corruption_injections(), 1);
+    }
+
+    #[test]
+    fn fill_delay_is_bounded_and_benign() {
+        use sas_ptest::{FaultPlan, InjectionPoint};
+        let plan = FaultPlan::new(2).enable(InjectionPoint::FillDelay, 1000, 8);
+        let mut m = sys();
+        m.arm_faults(&plan);
+        let base = sys().load(0, VirtAddr::new(0x1000), 8, 0, FillMode::Install, false).unwrap();
+        let r = m.load(0, VirtAddr::new(0x1000), 8, 0, FillMode::Install, false).unwrap();
+        assert!(r.latency > base.latency, "delay applied");
+        assert!(r.latency < base.latency + 1024, "delay bounded");
+        assert_eq!(m.corruption_injections(), 0, "delays are perturbation, not corruption");
+        assert_eq!(m.fault_injections(), 1);
     }
 
     #[test]
@@ -1060,10 +1240,10 @@ mod tests {
         let mut m = sys();
         m.tags.set_range(VirtAddr::new(0x1000), 64, TagNibble::new(0x3));
         let a = VirtAddr::new(0x1000); // key 0
-        let r1 = m.load(0, a, 8, 0, FillMode::SuppressIfUnsafe, false);
+        let r1 = m.load(0, a, 8, 0, FillMode::SuppressIfUnsafe, false).unwrap();
         assert_eq!(r1.outcome, TagCheckOutcome::Unchecked);
         assert!(r1.data_returned);
-        let r2 = m.load(0, a, 8, r1.latency + 1, FillMode::SuppressIfUnsafe, false);
+        let r2 = m.load(0, a, 8, r1.latency + 1, FillMode::SuppressIfUnsafe, false).unwrap();
         assert_eq!(r2.source, ServicePoint::L1);
         assert_eq!(r2.outcome, TagCheckOutcome::Unchecked);
     }

@@ -47,7 +47,9 @@ fn mshr_never_exceeds_capacity_and_always_retires() {
         let mut m = MshrFile::new(4);
         let mut cycle = 0u64;
         for (line, lat) in ops {
-            let delay = m.allocate(VirtAddr::new(line * 64), cycle, lat, TagCheckOutcome::Unchecked);
+            let delay =
+                m.allocate(VirtAddr::new(line * 64), cycle, lat, TagCheckOutcome::Unchecked)
+                    .unwrap();
             assert!(m.in_flight(cycle) <= 4);
             cycle += 1 + delay / 4;
         }
@@ -61,8 +63,8 @@ fn memsystem_second_access_is_never_slower() {
     check("memsystem_second_access_is_never_slower", 128, |rng| {
         let a = gens::aligned_addr_in(0..(1 << 20), 8).sample(rng);
         let mut m = MemSystem::new(1, MemConfig::default());
-        let r1 = m.load(0, a, 8, 0, FillMode::Install, false);
-        let r2 = m.load(0, a, 8, r1.latency + 1, FillMode::Install, false);
+        let r1 = m.load(0, a, 8, 0, FillMode::Install, false).unwrap();
+        let r2 = m.load(0, a, 8, r1.latency + 1, FillMode::Install, false).unwrap();
         assert!(r2.latency <= r1.latency, "{} then {}", r1.latency, r2.latency);
     });
 }
@@ -79,7 +81,7 @@ fn suppressed_unsafe_loads_leave_no_state_anywhere() {
         let bad = VirtAddr::new(addr).with_key(key);
         let mut cycle = 0;
         for _ in 0..repeats {
-            let r = m.load(0, bad, 8, cycle, FillMode::SuppressIfUnsafe, false);
+            let r = m.load(0, bad, 8, cycle, FillMode::SuppressIfUnsafe, false).unwrap();
             assert_eq!(r.outcome, TagCheckOutcome::Unsafe);
             assert!(!r.data_returned);
             cycle += r.latency + 1;
@@ -97,7 +99,7 @@ fn store_tag_makes_exactly_that_key_safe() {
         m.store_tag(VirtAddr::new(addr), tag);
         for key in 1u8..16 {
             let p = VirtAddr::new(addr).with_key(TagNibble::new(key));
-            let r = m.load(0, p, 8, 0, FillMode::Install, false);
+            let r = m.load(0, p, 8, 0, FillMode::Install, false).unwrap();
             assert_eq!(
                 r.outcome,
                 if key == tag.value() { TagCheckOutcome::Safe } else { TagCheckOutcome::Unsafe }
@@ -113,13 +115,13 @@ fn coherent_write_read_across_cores() {
         let value = gen::u64_any().sample(rng);
         let mut m = MemSystem::new(2, MemConfig::default());
         // Core 1 caches the line, core 0 writes it, core 1 re-reads.
-        let r = m.load(1, a, 8, 0, FillMode::Install, false);
+        let r = m.load(1, a, 8, 0, FillMode::Install, false).unwrap();
         m.write_arch(a, 8, value);
-        m.store(0, a, 8, r.latency + 1, FillMode::Install);
+        m.store(0, a, 8, r.latency + 1, FillMode::Install).unwrap();
         assert_eq!(m.read_arch(a, 8), value);
         // The remote copy was invalidated: next load may miss but must not
         // be a stale L1 hit serviced at hit latency *and* wrong — functional
         // reads always come from arch memory, so check the timing state.
-        assert!(m.load(1, a, 8, r.latency + 2, FillMode::Install, false).latency > 2);
+        assert!(m.load(1, a, 8, r.latency + 2, FillMode::Install, false).unwrap().latency > 2);
     });
 }

@@ -105,6 +105,17 @@ impl TagStorage {
         self.set_range(base, len, TagNibble::ZERO);
     }
 
+    /// Fault injection: flips bit `bit & 3` of the stored tag of the granule
+    /// containing `addr`, returning the corrupted value. Deliberately does
+    /// *not* participate in the coherence machinery — the point is to model
+    /// silent corruption of the tag carve-out that cached copies no longer
+    /// agree with.
+    pub fn flip_granule_bit(&mut self, addr: VirtAddr, bit: u8) -> TagNibble {
+        let flipped = TagNibble::new(self.tag_of(addr).value() ^ (1 << (bit & 3)));
+        self.set_granule(addr, flipped);
+        flipped
+    }
+
     /// Returns `LINE_BYTES`-aligned addresses of all lines that contain at
     /// least one tagged granule (used by coherence maintenance tests).
     pub fn tagged_lines(&self) -> Vec<VirtAddr> {
@@ -187,5 +198,17 @@ mod tests {
         assert_eq!(t.write_count(), 4);
         let _ = t.read_tag(VirtAddr::new(0));
         assert_eq!(t.read_count(), 1);
+    }
+
+    #[test]
+    fn flip_granule_bit_corrupts_in_place() {
+        let mut t = TagStorage::new();
+        t.set_granule(VirtAddr::new(0x1000), TagNibble::new(0b0101));
+        assert_eq!(t.flip_granule_bit(VirtAddr::new(0x1000), 1), TagNibble::new(0b0111));
+        assert_eq!(t.tag_of(VirtAddr::new(0x1000)), TagNibble::new(0b0111));
+        // Flipping a zero tag creates a tagged granule; flipping back clears.
+        assert_eq!(t.flip_granule_bit(VirtAddr::new(0x2000), 0), TagNibble::new(1));
+        assert_eq!(t.flip_granule_bit(VirtAddr::new(0x2000), 0), TagNibble::ZERO);
+        assert_eq!(t.tag_of(VirtAddr::new(0x2000)), TagNibble::ZERO);
     }
 }

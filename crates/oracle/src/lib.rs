@@ -1,0 +1,953 @@
+//! # Lockstep architectural oracle
+//!
+//! A simple in-order interpreter of SAS-IR with bit-exact MTE semantics,
+//! executed *in lockstep* with the out-of-order pipeline: every instruction
+//! the pipeline retires is fed to [`Oracle::on_commit`] as a
+//! [`CommitRecord`], and the oracle diffs the committed architectural
+//! effects — register writes, NZCV flags, memory addresses and store data,
+//! tag-check faults — against its own reference execution. The first
+//! mismatch produces a structured [`Divergence`] report and the simulation
+//! aborts, so a microarchitectural bug (or an injected fault) is caught at
+//! the exact retiring instruction instead of surfacing as a corrupted
+//! benchmark number thousands of cycles later.
+//!
+//! The oracle owns a private copy of architectural memory and the MTE tag
+//! store, snapshotted when it is attached; it never reads simulator state
+//! after that, so any silent corruption on the simulator side shows up as a
+//! divergence. Two sources of pipeline nondeterminism are handled
+//! specially:
+//!
+//! * `IRG` draws a random allocation tag; the oracle verifies the committed
+//!   result preserved the non-key pointer bits and then *adopts* the
+//!   committed tag, keeping later tag arithmetic exact.
+//! * Timing (speculation, squashes, forwarding, policy delays) is invisible
+//!   by construction — only committed architectural effects are compared.
+//!
+//! ## Scope
+//!
+//! The lockstep diff is exact for single-core systems. Programs that mutate
+//! allocation tags (`STG`) while overlapping *tagged* accesses are still in
+//! flight can report spurious divergences, mirroring real MTE's requirement
+//! to synchronize tag updates before dependent accesses; the validation
+//! program generators avoid that pattern.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use sas_isa::{AmoOp, Flags, Inst, Operand, Program, Reg, TagNibble, VirtAddr};
+use sas_mem::{MainMemory, MemSystem};
+use sas_mte::{TagCheckOutcome, TagStorage};
+use std::fmt;
+use std::sync::Arc;
+
+/// Mask of the MTE key nibble in a raw pointer (bits `[59:56]`).
+const KEY_MASK: u64 = 0xF << 56;
+
+/// One retired instruction, as reported by the pipeline's commit stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommitRecord {
+    /// Core that retired the instruction.
+    pub core: usize,
+    /// Cycle of retirement.
+    pub cycle: u64,
+    /// Pipeline sequence number (for cross-referencing traces).
+    pub seq: u64,
+    /// Program counter of the instruction.
+    pub pc: usize,
+    /// The instruction itself.
+    pub inst: Inst,
+    /// Value written to the destination register, if any.
+    pub result: Option<u64>,
+    /// NZCV flags written, if any.
+    pub flags: Option<Flags>,
+    /// Memory address accessed, if a memory operation.
+    pub addr: Option<VirtAddr>,
+    /// Data an `STR`-class store wrote, if any.
+    pub store_value: Option<u64>,
+}
+
+/// Fault classes the pipeline can raise (mirrors the pipeline's `FaultKind`
+/// without depending on it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultClass {
+    /// MTE tag-check fault.
+    TagCheck,
+    /// Permission fault (protected-range access).
+    Permission,
+}
+
+/// What diverged between the pipeline and the oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DivergenceKind {
+    /// The pipeline committed a different instruction than the in-order
+    /// model expects (wrong path reached commit).
+    ControlFlow,
+    /// A destination register received the wrong value.
+    RegValue,
+    /// The NZCV flags differ.
+    FlagsMismatch,
+    /// A memory operation used the wrong effective address.
+    MemAddr,
+    /// A store wrote the wrong data.
+    StoreValue,
+    /// The pipeline raised a fault the architecture does not justify.
+    UnexpectedFault,
+    /// The pipeline committed an access that must architecturally fault.
+    MissedFault,
+    /// Post-run audit: persistent state (memory bytes or allocation tags)
+    /// differs from the reference model.
+    FinalState,
+}
+
+/// A structured first-divergence report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Core the divergence was observed on.
+    pub core: usize,
+    /// Pipeline sequence number of the offending commit (or the oracle's
+    /// commit count for fault/audit divergences).
+    pub seq: u64,
+    /// Cycle of the offending event.
+    pub cycle: u64,
+    /// Program counter involved.
+    pub pc: usize,
+    /// Disassembly of the instruction involved (empty for audits).
+    pub inst: String,
+    /// Mismatch classification.
+    pub kind: DivergenceKind,
+    /// What the oracle expected.
+    pub expected: String,
+    /// What the pipeline did.
+    pub actual: String,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "oracle divergence: core {} seq {} cycle {} pc {} `{}`",
+            self.core, self.seq, self.cycle, self.pc, self.inst
+        )?;
+        writeln!(f, "  kind:     {:?}", self.kind)?;
+        writeln!(f, "  expected: {}", self.expected)?;
+        write!(f, "  actual:   {}", self.actual)
+    }
+}
+
+/// Per-core in-order architectural state.
+#[derive(Debug, Clone)]
+struct OracleCore {
+    program: Arc<Program>,
+    regs: [u64; Reg::COUNT],
+    flags: Flags,
+    pc: usize,
+    halted: bool,
+    /// Whether the core's mitigation policy raises architectural MTE faults
+    /// at commit (everything except the unprotected baseline).
+    enforce_mte: bool,
+}
+
+/// The lockstep reference model.
+#[derive(Debug, Clone)]
+pub struct Oracle {
+    mem: MainMemory,
+    tags: TagStorage,
+    protected: Vec<(u64, u64)>,
+    cores: Vec<OracleCore>,
+    commits: u64,
+}
+
+fn rv(regs: &[u64; Reg::COUNT], r: Reg) -> u64 {
+    if r.is_zero() {
+        0
+    } else {
+        regs[r.index()]
+    }
+}
+
+fn ov(regs: &[u64; Reg::COUNT], o: Operand) -> u64 {
+    match o {
+        Operand::Imm(v) => v,
+        Operand::Reg(r) => rv(regs, r),
+    }
+}
+
+/// The effective address and width of a memory instruction, evaluated on
+/// `regs` — `None` for non-memory instructions.
+fn access_of(inst: Inst, regs: &[u64; Reg::COUNT]) -> Option<(VirtAddr, u64)> {
+    Some(match inst {
+        Inst::Ldr { base, offset, width, .. } => {
+            (VirtAddr::new(rv(regs, base)).offset(offset), width.bytes())
+        }
+        Inst::LdrIdx { base, index, width, .. } => (
+            VirtAddr::new(rv(regs, base)).offset(rv(regs, index) as i64),
+            width.bytes(),
+        ),
+        Inst::Str { base, offset, width, .. } => {
+            (VirtAddr::new(rv(regs, base)).offset(offset), width.bytes())
+        }
+        Inst::StrIdx { base, index, width, .. } => (
+            VirtAddr::new(rv(regs, base)).offset(rv(regs, index) as i64),
+            width.bytes(),
+        ),
+        Inst::Stg { base, offset } | Inst::St2g { base, offset } => {
+            (VirtAddr::new(rv(regs, base)).offset(offset), 16)
+        }
+        Inst::Ldg { base, .. } => (VirtAddr::new(rv(regs, base)), 16),
+        Inst::Amo { addr, .. } => (VirtAddr::new(rv(regs, addr)), 8),
+        _ => return None,
+    })
+}
+
+impl Oracle {
+    /// Creates an oracle over a snapshot of architectural memory, the MTE
+    /// tag store, and the privileged `[lo, hi)` ranges. Snapshot *after*
+    /// initial memory/tag setup and *before* the first simulated cycle.
+    pub fn new(mem: MainMemory, tags: TagStorage, protected: Vec<(u64, u64)>) -> Oracle {
+        Oracle { mem, tags, protected, cores: Vec::new(), commits: 0 }
+    }
+
+    /// Registers a core starting at `pc` with the given architectural
+    /// register file and flags. `enforce_mte` mirrors the core policy's
+    /// commit-time MTE enforcement.
+    pub fn add_core(
+        &mut self,
+        program: Arc<Program>,
+        regs: [u64; Reg::COUNT],
+        flags: Flags,
+        pc: usize,
+        enforce_mte: bool,
+    ) {
+        self.cores.push(OracleCore { program, regs, flags, pc, halted: true, enforce_mte });
+        let c = self.cores.last_mut().expect("just pushed");
+        c.halted = false;
+    }
+
+    /// Instructions validated so far.
+    pub fn commits(&self) -> u64 {
+        self.commits
+    }
+
+    /// The oracle's value of `reg` on `core`.
+    pub fn reg(&self, core: usize, reg: Reg) -> u64 {
+        rv(&self.cores[core].regs, reg)
+    }
+
+    /// The oracle's NZCV flags on `core`.
+    pub fn flags(&self, core: usize) -> Flags {
+        self.cores[core].flags
+    }
+
+    /// The pc the oracle expects the next commit on `core` to carry.
+    pub fn expected_pc(&self, core: usize) -> usize {
+        self.cores[core].pc
+    }
+
+    /// Whether `core`'s in-order model has retired its `HALT`.
+    pub fn halted(&self, core: usize) -> bool {
+        self.cores[core].halted
+    }
+
+    /// The reference architectural memory.
+    pub fn mem(&self) -> &MainMemory {
+        &self.mem
+    }
+
+    /// The reference allocation-tag store.
+    pub fn tags(&self) -> &TagStorage {
+        &self.tags
+    }
+
+    fn is_protected(&self, addr: VirtAddr) -> bool {
+        let a = addr.untagged().raw();
+        self.protected.iter().any(|&(lo, hi)| a >= lo && a < hi)
+    }
+
+    /// Bit-exact MTE check against the reference tag store, replicating the
+    /// hardware's per-line granule walk (an access running past the line end
+    /// checks through granule 3 of its first line).
+    pub fn tag_outcome(&self, addr: VirtAddr, width: u64) -> TagCheckOutcome {
+        let key = addr.key();
+        if key == TagNibble::ZERO {
+            return TagCheckOutcome::Unchecked;
+        }
+        let width = width.max(1);
+        let first = addr.granule_in_line();
+        let last_addr = addr.offset(width as i64 - 1);
+        let last = if last_addr.line_base() == addr.line_base() {
+            last_addr.granule_in_line()
+        } else {
+            3
+        };
+        let line = addr.line_base();
+        for g in first..=last {
+            if self.tags.tag_of(line.offset(g as i64 * 16)) != key {
+                return TagCheckOutcome::Unsafe;
+            }
+        }
+        TagCheckOutcome::Safe
+    }
+
+    fn diverge(
+        rec: &CommitRecord,
+        kind: DivergenceKind,
+        expected: String,
+        actual: String,
+    ) -> Divergence {
+        Divergence {
+            core: rec.core,
+            seq: rec.seq,
+            cycle: rec.cycle,
+            pc: rec.pc,
+            inst: rec.inst.to_string(),
+            kind,
+            expected,
+            actual,
+        }
+    }
+
+    /// Checks that the committed destination write matches `expected`, then
+    /// applies it to the reference register file.
+    fn check_write(
+        &mut self,
+        idx: usize,
+        rec: &CommitRecord,
+        dst: Reg,
+        expected: u64,
+    ) -> Result<(), Divergence> {
+        if dst.is_zero() {
+            return Ok(());
+        }
+        match rec.result {
+            Some(v) if v == expected => {
+                self.cores[idx].regs[dst.index()] = v;
+                Ok(())
+            }
+            other => Err(Self::diverge(
+                rec,
+                DivergenceKind::RegValue,
+                format!("{dst} = {expected:#x}"),
+                match other {
+                    Some(v) => format!("{dst} = {v:#x}"),
+                    None => format!("{dst} unwritten"),
+                },
+            )),
+        }
+    }
+
+    fn check_addr(
+        rec: &CommitRecord,
+        expected: VirtAddr,
+    ) -> Result<VirtAddr, Divergence> {
+        match rec.addr {
+            Some(a) if a == expected => Ok(a),
+            other => Err(Self::diverge(
+                rec,
+                DivergenceKind::MemAddr,
+                format!("{expected}"),
+                match other {
+                    Some(a) => format!("{a}"),
+                    None => "no address".to_string(),
+                },
+            )),
+        }
+    }
+
+    /// Guards shared by checked data accesses: protected-range and MTE.
+    fn check_access(
+        &self,
+        idx: usize,
+        rec: &CommitRecord,
+        addr: VirtAddr,
+        width: u64,
+        check_protection: bool,
+    ) -> Result<(), Divergence> {
+        if check_protection && self.is_protected(addr) {
+            return Err(Self::diverge(
+                rec,
+                DivergenceKind::MissedFault,
+                format!("permission fault at {addr}"),
+                "access committed".to_string(),
+            ));
+        }
+        if self.cores[idx].enforce_mte
+            && self.tag_outcome(addr, width) == TagCheckOutcome::Unsafe
+        {
+            return Err(Self::diverge(
+                rec,
+                DivergenceKind::MissedFault,
+                format!("tag-check fault at {addr}"),
+                "access committed".to_string(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Validates one retired instruction and advances the reference model.
+    ///
+    /// # Errors
+    ///
+    /// The first architectural mismatch, as a structured [`Divergence`].
+    pub fn on_commit(&mut self, rec: &CommitRecord) -> Result<(), Divergence> {
+        let idx = rec.core;
+        if idx >= self.cores.len() {
+            return Err(Self::diverge(
+                rec,
+                DivergenceKind::ControlFlow,
+                format!("a core index below {}", self.cores.len()),
+                format!("core {idx}"),
+            ));
+        }
+        if self.cores[idx].halted {
+            return Err(Self::diverge(
+                rec,
+                DivergenceKind::ControlFlow,
+                "no commits after HALT".to_string(),
+                format!("pc {} committed", rec.pc),
+            ));
+        }
+        if rec.pc != self.cores[idx].pc {
+            return Err(Self::diverge(
+                rec,
+                DivergenceKind::ControlFlow,
+                format!("pc {}", self.cores[idx].pc),
+                format!("pc {}", rec.pc),
+            ));
+        }
+        let inst = match self.cores[idx].program.fetch(rec.pc) {
+            Some(i) => i,
+            None => {
+                return Err(Self::diverge(
+                    rec,
+                    DivergenceKind::ControlFlow,
+                    "a fetchable pc".to_string(),
+                    format!("pc {} is outside the program", rec.pc),
+                ))
+            }
+        };
+        if inst != rec.inst {
+            return Err(Self::diverge(
+                rec,
+                DivergenceKind::ControlFlow,
+                format!("`{inst}`"),
+                format!("`{}`", rec.inst),
+            ));
+        }
+
+        let mut next = rec.pc + 1;
+        match inst {
+            Inst::Alu { op, dst, lhs, rhs } => {
+                let regs = &self.cores[idx].regs;
+                let v = op.eval(rv(regs, lhs), ov(regs, rhs));
+                self.check_write(idx, rec, dst, v)?;
+            }
+            Inst::MovZ { dst, imm, shift } => {
+                self.check_write(idx, rec, dst, (imm as u64) << (16 * shift))?;
+            }
+            Inst::MovK { dst, imm, shift } => {
+                let old = rv(&self.cores[idx].regs, dst);
+                let m = 0xFFFFu64 << (16 * shift);
+                self.check_write(idx, rec, dst, (old & !m) | ((imm as u64) << (16 * shift)))?;
+            }
+            Inst::Cmp { lhs, rhs } => {
+                let regs = &self.cores[idx].regs;
+                let expected = Flags::from_cmp(rv(regs, lhs), ov(regs, rhs));
+                match rec.flags {
+                    Some(f) if f == expected => self.cores[idx].flags = f,
+                    other => {
+                        return Err(Self::diverge(
+                            rec,
+                            DivergenceKind::FlagsMismatch,
+                            format!("{expected:?}"),
+                            format!("{other:?}"),
+                        ))
+                    }
+                }
+            }
+            Inst::Ldr { dst, .. } | Inst::LdrIdx { dst, .. } => {
+                let (ea, w) =
+                    access_of(inst, &self.cores[idx].regs).expect("load has an address");
+                let a = Self::check_addr(rec, ea)?;
+                self.check_access(idx, rec, a, w, true)?;
+                let v = self.mem.read(a, w);
+                self.check_write(idx, rec, dst, v)?;
+            }
+            Inst::Str { src, .. } | Inst::StrIdx { src, .. } => {
+                let (ea, w) =
+                    access_of(inst, &self.cores[idx].regs).expect("store has an address");
+                let a = Self::check_addr(rec, ea)?;
+                self.check_access(idx, rec, a, w, false)?;
+                let v = rv(&self.cores[idx].regs, src);
+                if rec.store_value != Some(v) {
+                    return Err(Self::diverge(
+                        rec,
+                        DivergenceKind::StoreValue,
+                        format!("{v:#x}"),
+                        format!("{:?}", rec.store_value),
+                    ));
+                }
+                self.mem.write(a, w, v);
+            }
+            Inst::Irg { dst, src } => {
+                // The drawn tag is microarchitectural randomness: verify the
+                // committed pointer kept every non-key bit, then adopt it.
+                let s = rv(&self.cores[idx].regs, src);
+                match rec.result {
+                    Some(v) if v & !KEY_MASK == s & !KEY_MASK => {
+                        if !dst.is_zero() {
+                            self.cores[idx].regs[dst.index()] = v;
+                        }
+                    }
+                    other => {
+                        return Err(Self::diverge(
+                            rec,
+                            DivergenceKind::RegValue,
+                            format!("{src} with only the key nibble changed ({s:#x})"),
+                            format!("{other:?}"),
+                        ))
+                    }
+                }
+            }
+            Inst::Addg { dst, src, offset, tag_offset } => {
+                let a = VirtAddr::new(rv(&self.cores[idx].regs, src));
+                let nk = a.key().wrapping_add(tag_offset);
+                self.check_write(idx, rec, dst, a.offset(offset as i64).with_key(nk).raw())?;
+            }
+            Inst::Subg { dst, src, offset, tag_offset } => {
+                let a = VirtAddr::new(rv(&self.cores[idx].regs, src));
+                let nk = a.key().wrapping_add(16 - (tag_offset % 16));
+                self.check_write(idx, rec, dst, a.offset(-(offset as i64)).with_key(nk).raw())?;
+            }
+            Inst::Stg { .. } => {
+                let (ea, _) = access_of(inst, &self.cores[idx].regs).expect("tag store");
+                let a = Self::check_addr(rec, ea)?;
+                self.tags.set_granule(a, a.key());
+            }
+            Inst::St2g { .. } => {
+                let (ea, _) = access_of(inst, &self.cores[idx].regs).expect("tag store");
+                let a = Self::check_addr(rec, ea)?;
+                self.tags.set_granule(a, a.key());
+                self.tags.set_granule(a.offset(16), a.key());
+            }
+            Inst::Ldg { dst, base } => {
+                let a = Self::check_addr(rec, VirtAddr::new(rv(&self.cores[idx].regs, base)))?;
+                let v = a.with_key(self.tags.tag_of(a)).raw();
+                self.check_write(idx, rec, dst, v)?;
+            }
+            Inst::Amo { op, dst, src, expected, .. } => {
+                let (ea, w) = access_of(inst, &self.cores[idx].regs).expect("amo");
+                let a = Self::check_addr(rec, ea)?;
+                self.check_access(idx, rec, a, w, false)?;
+                let regs = &self.cores[idx].regs;
+                let (srcv, exp) = (rv(regs, src), rv(regs, expected));
+                let old = self.mem.read(a, 8);
+                let new = match op {
+                    AmoOp::Add => old.wrapping_add(srcv),
+                    AmoOp::Swap => srcv,
+                    AmoOp::Cas => {
+                        if old == exp {
+                            srcv
+                        } else {
+                            old
+                        }
+                    }
+                };
+                self.check_write(idx, rec, dst, old)?;
+                self.mem.write(a, 8, new);
+            }
+            Inst::B { target } => next = target,
+            Inst::BCond { cond, target } => {
+                if cond.holds(self.cores[idx].flags) {
+                    next = target;
+                }
+            }
+            Inst::Cbz { reg, target } => {
+                if rv(&self.cores[idx].regs, reg) == 0 {
+                    next = target;
+                }
+            }
+            Inst::Cbnz { reg, target } => {
+                if rv(&self.cores[idx].regs, reg) != 0 {
+                    next = target;
+                }
+            }
+            Inst::Bl { target } => {
+                self.check_write(idx, rec, Reg::LR, (rec.pc + 1) as u64)?;
+                next = target;
+            }
+            Inst::Br { reg } => next = rv(&self.cores[idx].regs, reg) as usize,
+            Inst::Blr { reg } => {
+                let t = rv(&self.cores[idx].regs, reg) as usize;
+                self.check_write(idx, rec, Reg::LR, (rec.pc + 1) as u64)?;
+                next = t;
+            }
+            Inst::Ret => next = rv(&self.cores[idx].regs, Reg::LR) as usize,
+            Inst::Halt => self.cores[idx].halted = true,
+            Inst::Bti { .. }
+            | Inst::Flush { .. }
+            | Inst::SpecBarrier
+            | Inst::Fence
+            | Inst::Nop => {}
+        }
+
+        self.cores[idx].pc = next;
+        self.commits += 1;
+        Ok(())
+    }
+
+    /// Validates a fault the pipeline raised: the oracle must agree the
+    /// instruction it expects next faults architecturally.
+    ///
+    /// # Errors
+    ///
+    /// [`DivergenceKind::UnexpectedFault`] when the in-order model says the
+    /// access is safe (an injected corruption tripped the machine), or a
+    /// control-flow divergence when the fault pc is not the next commit.
+    pub fn on_fault(
+        &self,
+        core: usize,
+        class: FaultClass,
+        pc: usize,
+        cycle: u64,
+    ) -> Result<(), Divergence> {
+        let c = &self.cores[core];
+        let inst_str =
+            c.program.fetch(pc).map(|i| i.to_string()).unwrap_or_else(|| "<none>".into());
+        let mk = |kind, expected: String, actual: String| Divergence {
+            core,
+            seq: self.commits,
+            cycle,
+            pc,
+            inst: inst_str.clone(),
+            kind,
+            expected,
+            actual,
+        };
+        if c.halted || pc != c.pc {
+            return Err(mk(
+                DivergenceKind::ControlFlow,
+                format!("next commit at pc {}", c.pc),
+                format!("fault at pc {pc}"),
+            ));
+        }
+        let Some((addr, width)) = c.program.fetch(pc).and_then(|i| access_of(i, &c.regs))
+        else {
+            return Err(mk(
+                DivergenceKind::UnexpectedFault,
+                "a memory instruction".to_string(),
+                format!("{class:?} fault on `{inst_str}`"),
+            ));
+        };
+        let justified = match class {
+            FaultClass::Permission => self.is_protected(addr),
+            FaultClass::TagCheck => self.tag_outcome(addr, width) == TagCheckOutcome::Unsafe,
+        };
+        if justified {
+            Ok(())
+        } else {
+            Err(mk(
+                DivergenceKind::UnexpectedFault,
+                format!("architecturally safe access at {addr}"),
+                format!("{class:?} fault"),
+            ))
+        }
+    }
+
+    /// Post-run audit of persistent state: compares architectural bytes and
+    /// allocation tags over `[lo, hi)` against the simulator's. Catches
+    /// corruption the lockstep diff could not see because no later commit
+    /// touched the damaged location.
+    ///
+    /// # Errors
+    ///
+    /// [`DivergenceKind::FinalState`] naming the first mismatching word or
+    /// granule.
+    pub fn audit_memory(
+        &self,
+        actual: &MemSystem,
+        lo: u64,
+        hi: u64,
+    ) -> Result<(), Divergence> {
+        let mk = |expected: String, actual: String| Divergence {
+            core: 0,
+            seq: self.commits,
+            cycle: 0,
+            pc: 0,
+            inst: String::new(),
+            kind: DivergenceKind::FinalState,
+            expected,
+            actual,
+        };
+        let mut a = lo;
+        while a < hi {
+            let w = (hi - a).min(8);
+            let addr = VirtAddr::new(a);
+            let want = self.mem.read(addr, w);
+            let got = actual.read_arch(addr, w);
+            if want != got {
+                return Err(mk(
+                    format!("mem[{a:#x}..+{w}] = {want:#x}"),
+                    format!("mem[{a:#x}..+{w}] = {got:#x}"),
+                ));
+            }
+            a += w;
+        }
+        let mut g = lo & !15;
+        while g < hi {
+            let addr = VirtAddr::new(g);
+            let want = self.tags.tag_of(addr);
+            let got = actual.load_tag(addr);
+            if want != got {
+                return Err(mk(
+                    format!("tag[{g:#x}] = {want}"),
+                    format!("tag[{g:#x}] = {got}"),
+                ));
+            }
+            g += 16;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sas_isa::{AluOp, MemWidth, ProgramBuilder};
+
+    fn record(pc: usize, inst: Inst) -> CommitRecord {
+        CommitRecord {
+            core: 0,
+            cycle: 1,
+            seq: pc as u64 + 1,
+            pc,
+            inst,
+            result: None,
+            flags: None,
+            addr: None,
+            store_value: None,
+        }
+    }
+
+    fn oracle_for(program: Program) -> Oracle {
+        let mut o = Oracle::new(MainMemory::new(), TagStorage::new(), Vec::new());
+        o.add_core(
+            Arc::new(program),
+            [0; Reg::COUNT],
+            Flags::default(),
+            0,
+            true,
+        );
+        o
+    }
+
+    fn two_movz() -> Program {
+        let mut asm = ProgramBuilder::new();
+        asm.movz(Reg::X1, 7, 0);
+        asm.movz(Reg::X2, 9, 0);
+        asm.halt();
+        asm.build().unwrap()
+    }
+
+    #[test]
+    fn matching_commits_advance_the_model() {
+        let mut o = oracle_for(two_movz());
+        let mut r = record(0, Inst::MovZ { dst: Reg::X1, imm: 7, shift: 0 });
+        r.result = Some(7);
+        o.on_commit(&r).unwrap();
+        assert_eq!(o.reg(0, Reg::X1), 7);
+        assert_eq!(o.expected_pc(0), 1);
+        let mut h = record(2, Inst::Halt);
+        // Skipping pc 1 is a control-flow divergence.
+        let d = o.on_commit(&h).unwrap_err();
+        assert_eq!(d.kind, DivergenceKind::ControlFlow);
+        h.pc = 1;
+        h.inst = Inst::MovZ { dst: Reg::X2, imm: 9, shift: 0 };
+        h.result = Some(9);
+        o.on_commit(&h).unwrap();
+        let halt = record(2, Inst::Halt);
+        o.on_commit(&halt).unwrap();
+        assert!(o.halted(0));
+        assert_eq!(o.commits(), 3);
+    }
+
+    #[test]
+    fn wrong_register_value_diverges() {
+        let mut o = oracle_for(two_movz());
+        let mut r = record(0, Inst::MovZ { dst: Reg::X1, imm: 7, shift: 0 });
+        r.result = Some(8);
+        let d = o.on_commit(&r).unwrap_err();
+        assert_eq!(d.kind, DivergenceKind::RegValue);
+        assert!(d.to_string().contains("expected: X1 = 0x7"), "{d}");
+    }
+
+    #[test]
+    fn store_and_load_round_trip_with_addr_checks() {
+        let mut asm = ProgramBuilder::new();
+        asm.movz(Reg::X6, 0x4000, 0);
+        asm.movz(Reg::X1, 0xBEEF, 0);
+        asm.str(Reg::X1, Reg::X6, 0);
+        asm.ldr(Reg::X2, Reg::X6, 0);
+        asm.halt();
+        let mut o = oracle_for(asm.build().unwrap());
+
+        let mut r = record(0, Inst::MovZ { dst: Reg::X6, imm: 0x4000, shift: 0 });
+        r.result = Some(0x4000);
+        o.on_commit(&r).unwrap();
+        let mut r = record(1, Inst::MovZ { dst: Reg::X1, imm: 0xBEEF, shift: 0 });
+        r.result = Some(0xBEEF);
+        o.on_commit(&r).unwrap();
+
+        let st = Inst::Str { src: Reg::X1, base: Reg::X6, offset: 0, width: MemWidth::B8 };
+        let mut r = record(2, st);
+        r.addr = Some(VirtAddr::new(0x4000));
+        r.store_value = Some(0xBEEF);
+        o.on_commit(&r).unwrap();
+        assert_eq!(o.mem().read(VirtAddr::new(0x4000), 8), 0xBEEF);
+
+        // A load that returns data from the wrong address diverges on the
+        // address, before any value comparison.
+        let ld = Inst::Ldr { dst: Reg::X2, base: Reg::X6, offset: 0, width: MemWidth::B8 };
+        let mut r = record(3, ld);
+        r.addr = Some(VirtAddr::new(0x4008));
+        r.result = Some(0xBEEF);
+        let d = o.on_commit(&r).unwrap_err();
+        assert_eq!(d.kind, DivergenceKind::MemAddr);
+    }
+
+    #[test]
+    fn corrupted_store_data_diverges() {
+        let mut asm = ProgramBuilder::new();
+        asm.movz(Reg::X6, 0x4000, 0);
+        asm.str(Reg::X0, Reg::X6, 0);
+        asm.halt();
+        let mut o = oracle_for(asm.build().unwrap());
+        let mut r = record(0, Inst::MovZ { dst: Reg::X6, imm: 0x4000, shift: 0 });
+        r.result = Some(0x4000);
+        o.on_commit(&r).unwrap();
+        let st = Inst::Str { src: Reg::X0, base: Reg::X6, offset: 0, width: MemWidth::B8 };
+        let mut r = record(1, st);
+        r.addr = Some(VirtAddr::new(0x4000));
+        r.store_value = Some(1); // X0 is 0
+        let d = o.on_commit(&r).unwrap_err();
+        assert_eq!(d.kind, DivergenceKind::StoreValue);
+    }
+
+    #[test]
+    fn irg_adopts_the_committed_key_but_guards_address_bits() {
+        let mut asm = ProgramBuilder::new();
+        asm.movz(Reg::X6, 0x4000, 0);
+        asm.irg(Reg::X7, Reg::X6);
+        asm.irg(Reg::X8, Reg::X6);
+        asm.halt();
+        let mut o = oracle_for(asm.build().unwrap());
+        let mut r = record(0, Inst::MovZ { dst: Reg::X6, imm: 0x4000, shift: 0 });
+        r.result = Some(0x4000);
+        o.on_commit(&r).unwrap();
+
+        let tagged = VirtAddr::new(0x4000).with_key(TagNibble::new(0xb)).raw();
+        let mut r = record(1, Inst::Irg { dst: Reg::X7, src: Reg::X6 });
+        r.result = Some(tagged);
+        o.on_commit(&r).unwrap();
+        assert_eq!(o.reg(0, Reg::X7), tagged, "random key adopted");
+
+        let mut r = record(2, Inst::Irg { dst: Reg::X8, src: Reg::X6 });
+        r.result = Some(tagged + 16); // address bits corrupted
+        let d = o.on_commit(&r).unwrap_err();
+        assert_eq!(d.kind, DivergenceKind::RegValue);
+    }
+
+    #[test]
+    fn missed_tag_fault_is_reported_under_enforcing_policies() {
+        let mut asm = ProgramBuilder::new();
+        asm.ldr(Reg::X1, Reg::X6, 0);
+        asm.halt();
+        let program = asm.build().unwrap();
+        let mut tags = TagStorage::new();
+        tags.set_range(VirtAddr::new(0x4000), 16, TagNibble::new(0x3));
+        let mut o = Oracle::new(MainMemory::new(), tags, Vec::new());
+        let mut regs = [0u64; Reg::COUNT];
+        // Key 0x5 against lock 0x3: architecturally must fault.
+        regs[Reg::X6.index()] =
+            VirtAddr::new(0x4000).with_key(TagNibble::new(0x5)).raw();
+        o.add_core(Arc::new(program), regs, Flags::default(), 0, true);
+
+        let ld = Inst::Ldr { dst: Reg::X1, base: Reg::X6, offset: 0, width: MemWidth::B8 };
+        let mut r = record(0, ld);
+        r.addr = Some(VirtAddr::new(regs[Reg::X6.index()]));
+        r.result = Some(0);
+        let d = o.on_commit(&r).unwrap_err();
+        assert_eq!(d.kind, DivergenceKind::MissedFault);
+
+        // The matching fault, in contrast, validates.
+        o.on_fault(0, FaultClass::TagCheck, 0, 9).unwrap();
+        // ... while a fault on a safe access is an unexpected-fault report.
+        let mut safe = o.clone();
+        safe.cores[0].regs[Reg::X6.index()] =
+            VirtAddr::new(0x4000).with_key(TagNibble::new(0x3)).raw();
+        let d = safe.on_fault(0, FaultClass::TagCheck, 0, 9).unwrap_err();
+        assert_eq!(d.kind, DivergenceKind::UnexpectedFault);
+    }
+
+    #[test]
+    fn ldg_reads_the_reference_tags() {
+        let mut asm = ProgramBuilder::new();
+        asm.movz(Reg::X6, 0x4000, 0);
+        asm.ldg(Reg::X1, Reg::X6);
+        asm.halt();
+        let mut tags = TagStorage::new();
+        tags.set_range(VirtAddr::new(0x4000), 16, TagNibble::new(0x9));
+        let mut o = Oracle::new(MainMemory::new(), tags, Vec::new());
+        o.add_core(Arc::new(asm.build().unwrap()), [0; Reg::COUNT], Flags::default(), 0, true);
+        let mut r = record(0, Inst::MovZ { dst: Reg::X6, imm: 0x4000, shift: 0 });
+        r.result = Some(0x4000);
+        o.on_commit(&r).unwrap();
+        // A flipped stored tag surfaces as the wrong LDG result.
+        let mut r = record(1, Inst::Ldg { dst: Reg::X1, base: Reg::X6 });
+        r.addr = Some(VirtAddr::new(0x4000));
+        r.result = Some(VirtAddr::new(0x4000).with_key(TagNibble::new(0x8)).raw());
+        let d = o.on_commit(&r).unwrap_err();
+        assert_eq!(d.kind, DivergenceKind::RegValue);
+    }
+
+    #[test]
+    fn audit_catches_silent_memory_and_tag_corruption() {
+        let mut asm = ProgramBuilder::new();
+        asm.halt();
+        let o = oracle_for(asm.build().unwrap());
+        let mut sys = MemSystem::new(1, sas_mem::MemConfig::default());
+        o.audit_memory(&sys, 0x4000, 0x4040).unwrap();
+        sys.arch.write(VirtAddr::new(0x4010), 8, 0xDEAD);
+        let d = o.audit_memory(&sys, 0x4000, 0x4040).unwrap_err();
+        assert_eq!(d.kind, DivergenceKind::FinalState);
+        assert!(d.actual.contains("0x4010"), "{d}");
+        sys.arch.write(VirtAddr::new(0x4010), 8, 0);
+        sys.tags.set_granule(VirtAddr::new(0x4020), TagNibble::new(1));
+        let d = o.audit_memory(&sys, 0x4000, 0x4040).unwrap_err();
+        assert!(d.expected.contains("tag[0x4020]"), "{d}");
+    }
+
+    #[test]
+    fn alu_flags_and_branches_follow_reference_semantics() {
+        let mut asm = ProgramBuilder::new();
+        asm.movz(Reg::X1, 5, 0);
+        asm.cmp(Reg::X1, Operand::imm(5));
+        asm.add(Reg::X2, Reg::X1, Operand::imm(1));
+        asm.halt();
+        let mut o = oracle_for(asm.build().unwrap());
+        let mut r = record(0, Inst::MovZ { dst: Reg::X1, imm: 5, shift: 0 });
+        r.result = Some(5);
+        o.on_commit(&r).unwrap();
+        let mut r = record(1, Inst::Cmp { lhs: Reg::X1, rhs: Operand::imm(5) });
+        r.flags = Some(Flags::from_cmp(5, 5));
+        o.on_commit(&r).unwrap();
+        assert!(o.flags(0).z);
+        let mut r = record(
+            2,
+            Inst::Alu { op: AluOp::Add, dst: Reg::X2, lhs: Reg::X1, rhs: Operand::imm(1) },
+        );
+        r.flags = None;
+        r.result = Some(7); // wrong: 5 + 1 = 6
+        let d = o.on_commit(&r).unwrap_err();
+        assert_eq!(d.kind, DivergenceKind::RegValue);
+    }
+}

@@ -17,8 +17,10 @@ use crate::predictor::BranchPredictor;
 use crate::stats::CoreStats;
 use crate::trace::{Trace, TraceEvent};
 use sas_isa::{AluOp, AmoOp, Flags, Inst, Operand, Program, Reg, TagNibble, VirtAddr};
-use sas_mem::{FillMode, MemSystem};
+use sas_mem::{FillMode, MemSystem, SimError};
 use sas_mte::{IrgRng, TagCheckOutcome};
+use sas_oracle::CommitRecord;
+use sas_ptest::fault::{FaultPlan, FaultStream, InjectionPoint};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -133,6 +135,58 @@ struct FetchEntry {
     ghr_snapshot: u64,
 }
 
+/// Armed front-end perturbations: forced mispredictions and squash storms
+/// drawn from a [`FaultPlan`]. Both are *benign* stressors — they reroute
+/// speculation but must never change committed architectural state, which is
+/// exactly what the lockstep oracle checks.
+#[derive(Debug, Clone)]
+struct CoreFaults {
+    mispredict: FaultStream,
+    storm: FaultStream,
+    /// Remaining predictions to invert in the current squash storm.
+    storm_left: u32,
+}
+
+/// One in-flight micro-op, snapshotted for a crash dump.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UopDump {
+    /// Pipeline sequence number.
+    pub seq: u64,
+    /// Program counter.
+    pub pc: usize,
+    /// Disassembly.
+    pub inst: String,
+    /// Scheduler state (`Waiting`, `Executing(..)`, `Done`, `BlockedUnsafe`).
+    pub state: String,
+}
+
+/// Snapshot of one core's micro-architectural state at the moment a run
+/// aborted — the first thing to read when diagnosing a deadlock or a
+/// divergence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreDump {
+    /// Core id.
+    pub id: usize,
+    /// Where fetch is pointed (`None` = fetch stopped/stalled).
+    pub fetch_pc: Option<usize>,
+    /// Instructions committed so far.
+    pub committed: u64,
+    /// Cycle of the most recent commit.
+    pub last_commit_cycle: u64,
+    /// ROB occupancy.
+    pub rob: usize,
+    /// Load-queue occupancy.
+    pub lq: usize,
+    /// Store-queue occupancy (including draining committed stores).
+    pub sq: usize,
+    /// Issue-queue occupancy.
+    pub iq: usize,
+    /// The oldest in-flight micro-ops (the ones blocking commit).
+    pub head: Vec<UopDump>,
+    /// The youngest in-flight micro-ops.
+    pub tail: Vec<UopDump>,
+}
+
 /// A committed store still draining to the memory system — the store-buffer
 /// window Fallout samples.
 #[derive(Debug, Clone, Copy)]
@@ -176,6 +230,11 @@ pub struct Core {
 
     trace_loads: bool,
     trace: Trace,
+
+    // robustness hooks
+    faults: Option<CoreFaults>,
+    record_commits: bool,
+    retired: Vec<CommitRecord>,
 
     // outcome
     finished: bool,
@@ -233,6 +292,9 @@ impl Core {
             drain_slots: Vec::new(),
             trace_loads: std::env::var_os("SAS_TRACE_LOADS").is_some(),
             trace: Trace::default(),
+            faults: None,
+            record_commits: false,
+            retired: Vec::new(),
             finished: false,
             fault: None,
             pending_fault: None,
@@ -287,6 +349,90 @@ impl Core {
         &self.trace
     }
 
+    /// Arms the front-end injection points ([`InjectionPoint::ForceMispredict`]
+    /// and [`InjectionPoint::SquashStorm`]) from `plan`.
+    pub fn arm_faults(&mut self, plan: &FaultPlan) {
+        self.faults = Some(CoreFaults {
+            mispredict: plan.stream(InjectionPoint::ForceMispredict),
+            storm: plan.stream(InjectionPoint::SquashStorm),
+            storm_left: 0,
+        });
+    }
+
+    /// Number of front-end perturbations injected so far.
+    pub fn fault_injections(&self) -> u64 {
+        self.faults
+            .as_ref()
+            .map_or(0, |f| f.mispredict.injected() + f.storm.injected())
+    }
+
+    /// Makes commit build a [`CommitRecord`] per retired instruction, to be
+    /// drained with [`Core::take_retired`] (the lockstep-oracle feed).
+    pub fn set_record_commits(&mut self, on: bool) {
+        self.record_commits = on;
+    }
+
+    /// Drains the commit records accumulated since the last call.
+    pub fn take_retired(&mut self) -> Vec<CommitRecord> {
+        std::mem::take(&mut self.retired)
+    }
+
+    /// The program this core runs.
+    pub fn program(&self) -> Arc<Program> {
+        Arc::clone(&self.program)
+    }
+
+    /// Snapshot of the architectural register file.
+    pub fn arch_regs(&self) -> [u64; Reg::COUNT] {
+        self.regs
+    }
+
+    /// The architectural NZCV flags.
+    pub fn arch_flags(&self) -> Flags {
+        self.flags
+    }
+
+    /// The pc the first instruction will commit from.
+    pub fn start_pc(&self) -> usize {
+        self.program.entry()
+    }
+
+    /// Whether the active policy raises architectural MTE faults at commit.
+    pub fn enforces_mte(&self) -> bool {
+        self.policy.enforces_mte_at_commit()
+    }
+
+    /// Snapshots the core for a crash dump.
+    pub fn dump(&self, cycle: u64) -> CoreDump {
+        let uop = |u: &InFlight| UopDump {
+            seq: u.seq,
+            pc: u.pc,
+            inst: u.inst.to_string(),
+            state: if u.is_mem() {
+                format!("{:?}/{:?}", u.state, u.tcs)
+            } else {
+                format!("{:?}", u.state)
+            },
+        };
+        let head: Vec<UopDump> = self.rob.iter().take(4).map(uop).collect();
+        let tail: Vec<UopDump> =
+            if self.rob.len() > 8 { self.rob.iter().rev().take(4).rev().map(uop).collect() } else {
+                self.rob.iter().skip(head.len()).map(uop).collect()
+            };
+        CoreDump {
+            id: self.id,
+            fetch_pc: self.fetch_pc,
+            committed: self.stats.committed,
+            last_commit_cycle: self.last_commit_cycle,
+            rob: self.rob.len(),
+            lq: self.lq_occupancy(),
+            sq: self.sq_occupancy(cycle),
+            iq: self.iq_occupancy(),
+            head,
+            tail,
+        }
+    }
+
     // ------------------------------------------------------------------
     // helpers
     // ------------------------------------------------------------------
@@ -337,6 +483,24 @@ impl Core {
             return Some(0);
         }
         self.reg_value(reg, Self::producer_of(u, reg))
+    }
+
+    /// A source the scheduler promised was ready; a miss is a broken
+    /// invariant reported as a [`SimError`] instead of a panic.
+    fn need_src(&self, u: &InFlight, reg: Reg, site: &'static str) -> Result<u64, SimError> {
+        self.src_value(u, reg).ok_or(SimError::Internal { context: site })
+    }
+
+    fn need_operand(
+        &self,
+        u: &InFlight,
+        o: Operand,
+        site: &'static str,
+    ) -> Result<u64, SimError> {
+        match o {
+            Operand::Imm(v) => Ok(v),
+            Operand::Reg(r) => self.need_src(u, r, site),
+        }
     }
 
     /// Is there an unresolved branch older than `seq`? A branch counts as
@@ -430,7 +594,21 @@ impl Core {
                     // Prediction indexes with the *committed* history (the
                     // GHR advances in order at commit), so the index used
                     // here always matches a trained context.
-                    if self.pred.gshare.predict(pc) {
+                    let mut taken = self.pred.gshare.predict(pc);
+                    if let Some(f) = &mut self.faults {
+                        // Forced mispredictions: invert this prediction (or a
+                        // whole storm of them) to drive squash/replay paths.
+                        if f.storm_left > 0 {
+                            f.storm_left -= 1;
+                            taken = !taken;
+                        } else if f.storm.fires() {
+                            f.storm_left = 7;
+                            taken = !taken;
+                        } else if f.mispredict.fires() {
+                            taken = !taken;
+                        }
+                    }
+                    if taken {
                         target
                     } else {
                         pc + 1
@@ -544,7 +722,7 @@ impl Core {
             if inst.is_store() && self.sq_occupancy(cycle) >= self.cfg.sq_entries {
                 break;
             }
-            let fe = self.fetch_queue.pop_front().expect("front checked");
+            let Some(fe) = self.fetch_queue.pop_front() else { break };
             let seq = self.next_seq;
             self.next_seq += 1;
 
@@ -651,10 +829,10 @@ impl Core {
     fn stl_lookup(
         &mut self,
         load_idx: usize,
+        laddr: VirtAddr,
         speculative: bool,
     ) -> Result<Option<(Option<u64>, u64, bool, TagCheckOutcome)>, DelayCause> {
         let load = &self.rob[load_idx];
-        let laddr = load.addr.expect("address computed");
         let lw = load.width;
         let lseq = load.seq;
         let la = laddr.untagged().raw();
@@ -760,7 +938,7 @@ impl Core {
         Ok(None)
     }
 
-    fn issue(&mut self, cycle: u64, mem: &mut MemSystem) {
+    fn issue(&mut self, cycle: u64, mem: &mut MemSystem) -> Result<(), SimError> {
         let mut issued = 0;
         let mut alu_used = 0;
         let mut load_used = 0;
@@ -847,7 +1025,7 @@ impl Core {
                     if load_used >= self.cfg.load_ports {
                         continue;
                     }
-                    self.execute_amo(idx, cycle, mem);
+                    self.execute_amo(idx, cycle, mem)?;
                     load_used += 1;
                     issued += 1;
                 }
@@ -855,7 +1033,7 @@ impl Core {
                     if load_used >= self.cfg.load_ports {
                         continue;
                     }
-                    if self.try_issue_load(idx, cycle, mem, spec_branch) {
+                    if self.try_issue_load(idx, cycle, mem, spec_branch)? {
                         load_used += 1;
                         issued += 1;
                     }
@@ -892,7 +1070,7 @@ impl Core {
                             continue;
                         }
                     }
-                    self.execute_branch(idx, cycle);
+                    self.execute_branch(idx, cycle)?;
                     alu_used += 1;
                     issued += 1;
                 }
@@ -910,7 +1088,7 @@ impl Core {
                     } else if alu_used >= self.cfg.alu_ports {
                         continue;
                     }
-                    self.execute_alu(idx, cycle, mem);
+                    self.execute_alu(idx, cycle, mem)?;
                     if is_div {
                         // Occupy the non-pipelined divider until the result
                         // is ready (data-dependent latency set above).
@@ -924,6 +1102,7 @@ impl Core {
                 }
             }
         }
+        Ok(())
     }
 
     fn charge_delay(&mut self, idx: usize, cause: DelayCause, cycles: u64) {
@@ -939,25 +1118,19 @@ impl Core {
         }
     }
 
-    fn execute_alu(&mut self, idx: usize, cycle: u64, mem: &MemSystem) {
-        // Draw the IRG tag up front: the value closures below borrow `self`.
+    fn execute_alu(&mut self, idx: usize, cycle: u64, mem: &MemSystem) -> Result<(), SimError> {
+        const SITE: &str = "execute_alu: source not ready";
+        // Draw the IRG tag up front: the value reads below borrow `self`.
         let next_irg_tag = if matches!(self.rob[idx].inst, Inst::Irg { .. }) {
             Some(self.irg.next_tag(1))
         } else {
             None
         };
         let u = &self.rob[idx];
-        let val = |r: Reg| -> u64 { self.src_value(u, r).expect("sources checked ready") };
-        let operand = |o: Operand| -> u64 {
-            match o {
-                Operand::Imm(v) => v,
-                Operand::Reg(r) => val(r),
-            }
-        };
         let (result, flags_out, latency) = match u.inst {
             Inst::Alu { op, lhs, rhs, .. } => {
-                let l = val(lhs);
-                let r = operand(rhs);
+                let l = self.need_src(u, lhs, SITE)?;
+                let r = self.need_operand(u, rhs, SITE)?;
                 let lat = match op {
                     AluOp::Mul => self.cfg.mul_latency,
                     AluOp::UDiv | AluOp::SDiv => {
@@ -974,25 +1147,28 @@ impl Core {
                 (Some((imm as u64) << (16 * shift)), None, self.cfg.alu_latency)
             }
             Inst::MovK { dst, imm, shift } => {
-                let old = val(dst);
+                let old = self.need_src(u, dst, SITE)?;
                 let m = 0xFFFFu64 << (16 * shift);
                 (Some((old & !m) | ((imm as u64) << (16 * shift))), None, self.cfg.alu_latency)
             }
             Inst::Cmp { lhs, rhs } => {
-                (None, Some(Flags::from_cmp(val(lhs), operand(rhs))), self.cfg.alu_latency)
+                let l = self.need_src(u, lhs, SITE)?;
+                let r = self.need_operand(u, rhs, SITE)?;
+                (None, Some(Flags::from_cmp(l, r)), self.cfg.alu_latency)
             }
             Inst::Irg { src, .. } => {
-                let s = val(src);
-                let t = next_irg_tag.expect("drawn above");
+                let s = self.need_src(u, src, SITE)?;
+                let t = next_irg_tag
+                    .ok_or(SimError::Internal { context: "execute_alu: IRG tag not drawn" })?;
                 (Some(VirtAddr::new(s).with_key(t).raw()), None, self.cfg.alu_latency)
             }
             Inst::Addg { src, offset, tag_offset, .. } => {
-                let a = VirtAddr::new(val(src));
+                let a = VirtAddr::new(self.need_src(u, src, SITE)?);
                 let nk = a.key().wrapping_add(tag_offset);
                 (Some(a.offset(offset as i64).with_key(nk).raw()), None, self.cfg.alu_latency)
             }
             Inst::Subg { src, offset, tag_offset, .. } => {
-                let a = VirtAddr::new(val(src));
+                let a = VirtAddr::new(self.need_src(u, src, SITE)?);
                 let nk = a.key().wrapping_add(16 - (tag_offset % 16));
                 (Some(a.offset(-(offset as i64)).with_key(nk).raw()), None, self.cfg.alu_latency)
             }
@@ -1000,11 +1176,11 @@ impl Core {
                 (None, None, self.cfg.alu_latency)
             }
             Inst::Ldg { base, .. } => {
-                let a = VirtAddr::new(val(base));
+                let a = VirtAddr::new(self.need_src(u, base, SITE)?);
                 let t = mem.load_tag(a);
                 (Some(a.with_key(t).raw()), None, self.cfg.alu_latency + 1)
             }
-            other => unreachable!("execute_alu on {other}"),
+            _ => return Err(SimError::Internal { context: "execute_alu: non-ALU uop issued" }),
         };
         let taint_root = self.operand_taint_root(&self.rob[idx]);
         let carried = self.root_tainted(taint_root);
@@ -1014,29 +1190,34 @@ impl Core {
         u.taint_root = taint_root;
         u.carried_taint |= carried;
         u.state = UopState::Executing(cycle + latency);
+        Ok(())
     }
 
-    fn execute_branch(&mut self, idx: usize, cycle: u64) {
+    fn execute_branch(&mut self, idx: usize, cycle: u64) -> Result<(), SimError> {
+        const SITE: &str = "execute_branch: source not ready";
         let u = &self.rob[idx];
-        let val = |r: Reg| -> u64 { self.src_value(u, r).expect("sources checked ready") };
         let pc = u.pc;
         let (actual, link): (usize, bool) = match u.inst {
             Inst::B { target } => (target, false),
             Inst::Bl { target } => (target, true),
             Inst::BCond { cond, target } => {
-                let f = self.flags_value(u.flags_src).expect("flags ready");
+                let f = self
+                    .flags_value(u.flags_src)
+                    .ok_or(SimError::Internal { context: "execute_branch: flags not ready" })?;
                 (if cond.holds(f) { target } else { pc + 1 }, false)
             }
             Inst::Cbz { target, reg } => {
-                (if val(reg) == 0 { target } else { pc + 1 }, false)
+                (if self.need_src(u, reg, SITE)? == 0 { target } else { pc + 1 }, false)
             }
             Inst::Cbnz { target, reg } => {
-                (if val(reg) != 0 { target } else { pc + 1 }, false)
+                (if self.need_src(u, reg, SITE)? != 0 { target } else { pc + 1 }, false)
             }
-            Inst::Br { reg } => (val(reg) as usize, false),
-            Inst::Blr { reg } => (val(reg) as usize, true),
-            Inst::Ret => (val(Reg::LR) as usize, false),
-            other => unreachable!("execute_branch on {other}"),
+            Inst::Br { reg } => (self.need_src(u, reg, SITE)? as usize, false),
+            Inst::Blr { reg } => (self.need_src(u, reg, SITE)? as usize, true),
+            Inst::Ret => (self.need_src(u, Reg::LR, SITE)? as usize, false),
+            _ => {
+                return Err(SimError::Internal { context: "execute_branch: non-branch uop issued" })
+            }
         };
 
         // Train predictors with the fetch-time history snapshot.
@@ -1083,6 +1264,7 @@ impl Core {
         let seq = self.rob[idx].seq;
         self.trace.emit(TraceEvent::BranchResolved { cycle, seq, mispredicted });
         self.policy.on_branch_resolved(seq, mispredicted);
+        Ok(())
     }
 
     /// First half of a split store: the address becomes visible to the LSQ
@@ -1119,8 +1301,9 @@ impl Core {
                 self.mdu[mi] = 3;
             }
             // Squash from the violating load (inclusive): replay.
-            let redirect = self.find(vseq).map(|l| l.pc).expect("violator in ROB");
-            self.squash_after(vseq - 1, redirect, cycle, None);
+            if let Some(redirect) = self.find(vseq).map(|l| l.pc) {
+                self.squash_after(vseq - 1, redirect, cycle, None);
+            }
         }
         let _ = cycle;
     }
@@ -1145,21 +1328,26 @@ impl Core {
         cycle: u64,
         mem: &mut MemSystem,
         spec_branch: bool,
-    ) -> bool {
+    ) -> Result<bool, SimError> {
         // Address generation.
-        if self.rob[idx].addr.is_none() {
-            let Some(addr) = self.compute_address(&self.rob[idx]) else { return false };
-            self.rob[idx].addr = Some(addr);
-        }
+        let addr = match self.rob[idx].addr {
+            Some(a) => a,
+            None => match self.compute_address(&self.rob[idx]) {
+                Some(a) => {
+                    self.rob[idx].addr = Some(a);
+                    a
+                }
+                None => return Ok(false),
+            },
+        };
         let seq = self.rob[idx].seq;
-        let addr = self.rob[idx].addr.expect("set above");
         let pc = self.rob[idx].pc;
 
         // Memory-dependence handling.
         let older_unknown_store = self.has_older_unknown_store(seq);
         if older_unknown_store && self.mdu[self.mdu_index(pc)] >= 2 {
             self.charge_delay(idx, DelayCause::MemDepWait, 1);
-            return false;
+            return Ok(false);
         }
         let spec_mdu = older_unknown_store;
 
@@ -1183,17 +1371,17 @@ impl Core {
             IssueDecision::Proceed(m) => m,
             IssueDecision::Delay(cause) => {
                 self.charge_delay(idx, cause, 1);
-                return false;
+                return Ok(false);
             }
         };
 
         // Store-to-load forwarding / Fallout false forward. A faulting load
         // may also pick up a 4K-aliasing false forward (the Fallout channel
         // is driven by faulting loads on the committed path).
-        match self.stl_lookup(idx, speculative || faulting) {
+        match self.stl_lookup(idx, addr, speculative || faulting) {
             Err(cause) => {
                 self.charge_delay(idx, cause, 1);
-                return false;
+                return Ok(false);
             }
             Ok(Some((value, sseq, false_fwd, outcome))) => {
                 let taint_root = self.operand_taint_root(&self.rob[idx]);
@@ -1226,7 +1414,7 @@ impl Core {
                         self.charge_delay(idx, DelayCause::ForwardBlocked, 1);
                     }
                 }
-                return true;
+                return Ok(true);
             }
             Ok(None) => {}
         }
@@ -1238,7 +1426,7 @@ impl Core {
         if self.trace.enabled() {
             self.trace.emit(TraceEvent::LoadIssue { cycle, seq, addr, speculative });
         }
-        let res = mem.load(self.id, addr, self.rob[idx].width.max(1), cycle + 1, mode, faulting);
+        let res = mem.load(self.id, addr, self.rob[idx].width.max(1), cycle + 1, mode, faulting)?;
         let value = if let Some(stale) = res.stale_lfb_data {
             stale
         } else {
@@ -1272,20 +1460,28 @@ impl Core {
             self.charge_delay(idx, DelayCause::UnsafeAccessWait, res.latency.max(1));
             self.trace.emit(TraceEvent::UnsafeBlocked { cycle, seq });
         }
-        true
+        Ok(true)
     }
 
-    fn execute_amo(&mut self, idx: usize, cycle: u64, mem: &mut MemSystem) {
-        let Some(addr) = self.compute_address(&self.rob[idx]) else { return };
+    fn execute_amo(
+        &mut self,
+        idx: usize,
+        cycle: u64,
+        mem: &mut MemSystem,
+    ) -> Result<(), SimError> {
+        const SITE: &str = "execute_amo: source not ready";
+        let Some(addr) = self.compute_address(&self.rob[idx]) else { return Ok(()) };
         let u = &self.rob[idx];
-        let Inst::Amo { op, src, expected, .. } = u.inst else { unreachable!() };
-        let srcv = self.src_value(u, src).expect("ready");
+        let Inst::Amo { op, src, expected, .. } = u.inst else {
+            return Err(SimError::Internal { context: "execute_amo: non-AMO uop issued" });
+        };
+        let srcv = self.need_src(u, src, SITE)?;
         let old = mem.read_arch(addr, 8);
         let new = match op {
             AmoOp::Add => old.wrapping_add(srcv),
             AmoOp::Swap => srcv,
             AmoOp::Cas => {
-                let exp = self.src_value(u, expected).expect("ready");
+                let exp = self.need_src(u, expected, SITE)?;
                 if old == exp {
                     srcv
                 } else {
@@ -1293,15 +1489,16 @@ impl Core {
                 }
             }
         };
-        let res = mem.load(self.id, addr, 8, cycle + 1, FillMode::Install, false);
+        let res = mem.load(self.id, addr, 8, cycle + 1, FillMode::Install, false)?;
         mem.write_arch(addr, 8, new);
-        mem.store(self.id, addr, 8, cycle + 1, FillMode::Install);
+        mem.store(self.id, addr, 8, cycle + 1, FillMode::Install)?;
         let u = &mut self.rob[idx];
         u.addr = Some(addr);
         u.result = Some(old);
         u.outcome = Some(res.outcome);
         u.tcs = Tcs::Safe;
         u.state = UopState::Executing(cycle + 1 + res.latency);
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -1379,7 +1576,7 @@ impl Core {
     // commit
     // ------------------------------------------------------------------
 
-    fn commit(&mut self, cycle: u64, mem: &mut MemSystem) {
+    fn commit(&mut self, cycle: u64, mem: &mut MemSystem) -> Result<(), SimError> {
         self.drain_slots.retain(|d| d.done_at > cycle);
         let mut committed = 0;
         while committed < self.cfg.commit_width {
@@ -1388,9 +1585,9 @@ impl Core {
 
             match head.state {
                 UopState::BlockedUnsafe => {
+                    let (hpc, haddr) = (head.pc, head.addr);
                     if self.trace_loads {
-                        let h = self.rob.front().expect("head");
-                        eprintln!("[fault?] BlockedUnsafe head pc={} outcome={:?} fwd={:?} ff={}", h.pc, h.outcome, h.forwarded_from, h.false_forward);
+                        eprintln!("[fault?] BlockedUnsafe head pc={} outcome={:?} fwd={:?} ff={}", head.pc, head.outcome, head.forwarded_from, head.false_forward);
                     }
                     // Fig. 4: if speculation resolved in the access's favour
                     // and the tag check failed, raise a tag-check fault. The
@@ -1401,11 +1598,10 @@ impl Core {
                         && !self.has_older_unknown_store(seq)
                         && self.pending_fault.is_none()
                     {
-                        let head = self.rob.front().expect("head exists");
                         let info = FaultInfo {
                             kind: FaultKind::TagCheck,
-                            pc: head.pc,
-                            addr: head.addr,
+                            pc: hpc,
+                            addr: haddr,
                             cycle,
                         };
                         self.pending_fault = Some((info, cycle + self.cfg.fault_window));
@@ -1417,7 +1613,7 @@ impl Core {
                 _ => break,
             }
 
-            let head = self.rob.front().expect("head exists");
+            let Some(head) = self.rob.front() else { break };
 
             // A false (4K-alias) forward that survived to commit replays
             // from this load — before any tag judgement: the forwarded data
@@ -1475,11 +1671,15 @@ impl Core {
             // applies to the store address too (G2): a mismatch on the
             // committed path is an architectural tag fault.
             if head.is_store() && !matches!(head.inst, Inst::Amo { .. }) {
-                let addr = head.addr.expect("store executed");
+                let Some(addr) = head.addr else {
+                    return Err(SimError::Internal {
+                        context: "commit: store retired without an address",
+                    });
+                };
                 let width = head.width;
                 let inst = head.inst;
                 let value = head.store_value.unwrap_or(0);
-                let res = mem.store(self.id, addr, width.max(1), cycle, FillMode::Install);
+                let res = mem.store(self.id, addr, width.max(1), cycle, FillMode::Install)?;
                 if self.policy.enforces_mte_at_commit()
                     && res.outcome == TagCheckOutcome::Unsafe
                     && !matches!(inst, Inst::Stg { .. } | Inst::St2g { .. })
@@ -1519,7 +1719,20 @@ impl Core {
                 self.stats.stores_committed += 1;
             }
 
-            let head = self.rob.pop_front().expect("head exists");
+            let Some(head) = self.rob.pop_front() else { break };
+            if self.record_commits {
+                self.retired.push(CommitRecord {
+                    core: self.id,
+                    cycle,
+                    seq: head.seq,
+                    pc: head.pc,
+                    inst: head.inst,
+                    result: head.result,
+                    flags: head.flags_out,
+                    addr: head.addr,
+                    store_value: head.store_value,
+                });
+            }
             // Cache maintenance applies architecturally at commit.
             if let Inst::Flush { base, offset } = head.inst {
                 let b = if base.is_zero() { 0 } else { self.regs[base.index()] };
@@ -1584,6 +1797,7 @@ impl Core {
                 break;
             }
         }
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -1591,9 +1805,15 @@ impl Core {
     // ------------------------------------------------------------------
 
     /// Advances the core by one cycle against the shared memory system.
-    pub fn tick(&mut self, mem: &mut MemSystem, cycle: u64) {
+    ///
+    /// # Errors
+    ///
+    /// A broken internal invariant (possibly provoked by an armed
+    /// [`FaultPlan`]) surfaces as a [`SimError`] instead of a panic; the
+    /// driver turns it into `RunExit::Error` with a crash dump attached.
+    pub fn tick(&mut self, mem: &mut MemSystem, cycle: u64) -> Result<(), SimError> {
         if self.finished {
-            return;
+            return Ok(());
         }
         self.stats.cycles = cycle + 1;
         if let Some((info, halt_at)) = self.pending_fault {
@@ -1601,18 +1821,19 @@ impl Core {
                 self.trace.emit(TraceEvent::Fault { cycle, pc: info.pc });
                 self.fault = Some(info);
                 self.finished = true;
-                return;
+                return Ok(());
             }
         }
-        self.commit(cycle, mem);
+        self.commit(cycle, mem)?;
         if self.finished {
-            return;
+            return Ok(());
         }
         self.writeback_with_mem(cycle, mem);
-        self.issue(cycle, mem);
+        self.issue(cycle, mem)?;
         self.dispatch(cycle);
         self.fetch(cycle);
         self.stats.predictor = self.pred.stats;
+        Ok(())
     }
 
     fn writeback_with_mem(&mut self, cycle: u64, mem: &mut MemSystem) {

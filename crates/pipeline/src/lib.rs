@@ -25,12 +25,15 @@ pub mod system;
 pub mod trace;
 
 pub use config::CoreConfig;
-pub use core::{Core, FaultInfo, FaultKind, Tcs};
+pub use core::{Core, CoreDump, FaultInfo, FaultKind, Tcs, UopDump};
+pub use sas_mem::SimError;
+pub use sas_oracle::{Divergence, DivergenceKind, Oracle};
+pub use sas_ptest::{FaultPlan, InjectionPoint};
 pub use policy::{
     DelayCause, IndirectKind, IssueDecision, LoadIssueCtx, LoadRespCtx, MitigationPolicy,
     MteOnlyPolicy, NoPolicy, RespDecision,
 };
 pub use predictor::{BranchPredictor, Btb, Gshare, PredictorStats, Rsb};
 pub use stats::CoreStats;
-pub use system::{RunExit, RunResult, System};
+pub use system::{CrashDump, RunExit, RunResult, System};
 pub use trace::{Trace, TraceEvent};

@@ -1,11 +1,20 @@
 //! The multi-core simulation driver.
+//!
+//! Besides stepping cores against the shared memory hierarchy, the driver
+//! hosts the robustness machinery: a lockstep [`Oracle`] validating every
+//! retired instruction, deterministic fault injection armed from a
+//! [`FaultPlan`], and [`CrashDump`] diagnostics attached to every abnormal
+//! exit.
 
 use crate::config::CoreConfig;
-use crate::core::{Core, FaultInfo};
+use crate::core::{Core, CoreDump, FaultInfo, FaultKind};
 use crate::policy::MitigationPolicy;
 use crate::stats::CoreStats;
 use sas_isa::Program;
-use sas_mem::{MemConfig, MemSystem, MemSystemStats};
+use sas_mem::{MemConfig, MemSystem, MemSystemStats, MshrEntry, SimError};
+use sas_oracle::{Divergence, FaultClass, Oracle};
+use sas_ptest::FaultPlan;
+use std::fmt;
 use std::sync::Arc;
 
 /// Why a run ended.
@@ -18,8 +27,55 @@ pub enum RunExit {
     /// The cycle budget was exhausted first.
     CycleLimit,
     /// No core committed anything for the deadlock window — a simulator or
-    /// program bug.
-    Deadlock,
+    /// program bug; the crash dump shows what everything was stuck on.
+    Deadlock(Box<CrashDump>),
+    /// The lockstep oracle caught the pipeline committing wrong
+    /// architectural state (see [`System::enable_oracle`]).
+    Divergence(Box<Divergence>),
+    /// A simulator invariant broke; reported instead of panicking.
+    Error(SimError),
+}
+
+/// Micro-architectural post-mortem attached to abnormal exits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrashDump {
+    /// Cycle the run aborted.
+    pub cycle: u64,
+    /// Per-core pipeline snapshots.
+    pub cores: Vec<CoreDump>,
+    /// Outstanding MSHR entries per file (`"l1[0]"`, `"l2"`, ...).
+    pub mshrs: Vec<(String, Vec<MshrEntry>)>,
+    /// `describe()` of the armed fault plan, if any — everything needed to
+    /// replay the failure from its seed.
+    pub fault_plan: Option<String>,
+}
+
+impl fmt::Display for CrashDump {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "crash dump at cycle {}", self.cycle)?;
+        for c in &self.cores {
+            writeln!(
+                f,
+                "  core {}: committed {} (last at cycle {}), fetch_pc {:?}, rob {} lq {} sq {} iq {}",
+                c.id, c.committed, c.last_commit_cycle, c.fetch_pc, c.rob, c.lq, c.sq, c.iq
+            )?;
+            for u in &c.head {
+                writeln!(f, "    head seq {} pc {} `{}` [{}]", u.seq, u.pc, u.inst, u.state)?;
+            }
+            for u in &c.tail {
+                writeln!(f, "    tail seq {} pc {} `{}` [{}]", u.seq, u.pc, u.inst, u.state)?;
+            }
+        }
+        for (name, entries) in &self.mshrs {
+            if !entries.is_empty() {
+                writeln!(f, "  mshr {name}: {entries:?}")?;
+            }
+        }
+        match &self.fault_plan {
+            Some(p) => write!(f, "  fault plan: {p}"),
+            None => write!(f, "  fault plan: none"),
+        }
+    }
 }
 
 /// Result of [`System::run`].
@@ -33,6 +89,9 @@ pub struct RunResult {
     pub core_stats: Vec<CoreStats>,
     /// Memory-system statistics.
     pub mem_stats: MemSystemStats,
+    /// Pipeline post-mortem for abnormal exits (`Faulted`, `Deadlock`,
+    /// `Divergence`, `Error`); `None` on clean or cycle-limit exits.
+    pub dump: Option<Box<CrashDump>>,
 }
 
 impl RunResult {
@@ -66,6 +125,8 @@ pub struct System {
     cores: Vec<Core>,
     cycle: u64,
     deadlock_window: u64,
+    oracle: Option<Oracle>,
+    fault_plan_desc: Option<String>,
 }
 
 impl System {
@@ -84,6 +145,8 @@ impl System {
             cores: vec![Core::new(0, cfg, program, policy)],
             cycle: 0,
             deadlock_window: 100_000,
+            oracle: None,
+            fault_plan_desc: None,
         }
     }
 
@@ -115,6 +178,8 @@ impl System {
                 .collect(),
             cycle: 0,
             deadlock_window: 100_000,
+            oracle: None,
+            fault_plan_desc: None,
         }
     }
 
@@ -148,24 +213,120 @@ impl System {
         self.deadlock_window = cycles;
     }
 
-    /// Runs until every core halts, any core faults, or `max_cycles` pass.
+    /// Attaches the lockstep architectural oracle. Every retired instruction
+    /// is replayed on a simple in-order reference model with bit-exact MTE
+    /// semantics; the first mismatch ends the run with
+    /// [`RunExit::Divergence`].
+    ///
+    /// Call after all architectural setup (registers, memory, tags,
+    /// protected ranges) and before the first cycle — the oracle snapshots
+    /// that state. Single-core systems only.
+    pub fn enable_oracle(&mut self) {
+        assert_eq!(self.cores.len(), 1, "the lockstep oracle supports single-core systems");
+        assert_eq!(self.cycle, 0, "attach the oracle before the first cycle");
+        let mut o = Oracle::new(
+            self.mem.arch.clone(),
+            self.mem.tags.clone(),
+            self.mem.protected_ranges().to_vec(),
+        );
+        let c = &mut self.cores[0];
+        o.add_core(c.program(), c.arch_regs(), c.arch_flags(), c.start_pc(), c.enforces_mte());
+        c.set_record_commits(true);
+        self.oracle = Some(o);
+    }
+
+    /// The attached oracle (for final-state audits), if enabled.
+    pub fn oracle(&self) -> Option<&Oracle> {
+        self.oracle.as_ref()
+    }
+
+    /// Arms every injection point of `plan` across the machine: tag flips
+    /// and fill perturbations in the memory system, forced mispredictions
+    /// and squash storms in the cores' front ends.
+    pub fn arm_faults(&mut self, plan: &FaultPlan) {
+        self.mem.arm_faults(plan);
+        for c in &mut self.cores {
+            c.arm_faults(plan);
+        }
+        self.fault_plan_desc = Some(plan.describe());
+    }
+
+    /// Total injections so far across all armed points (including benign
+    /// ones like fill delays and forced mispredictions).
+    pub fn fault_injections(&self) -> u64 {
+        self.mem.fault_injections() + self.cores.iter().map(|c| c.fault_injections()).sum::<u64>()
+    }
+
+    /// Injections that corrupt state an oracle or checker must catch
+    /// (tag flips, architectural bit flips, dropped fills).
+    pub fn corruption_injections(&self) -> u64 {
+        self.mem.corruption_injections()
+    }
+
+    fn crash_dump(&self) -> Box<CrashDump> {
+        Box::new(CrashDump {
+            cycle: self.cycle,
+            cores: self.cores.iter().map(|c| c.dump(self.cycle)).collect(),
+            mshrs: self.mem.mshr_snapshot(),
+            fault_plan: self.fault_plan_desc.clone(),
+        })
+    }
+
+    /// Feeds core `i`'s freshly retired instructions to the oracle.
+    fn validate_commits(&mut self, i: usize) -> Option<Box<Divergence>> {
+        let recs = self.cores[i].take_retired();
+        let oracle = self.oracle.as_mut()?;
+        for rec in recs {
+            if let Err(d) = oracle.on_commit(&rec) {
+                return Some(Box::new(d));
+            }
+        }
+        None
+    }
+
+    /// Checks a raised fault against the oracle: an architecturally
+    /// unjustified fault (e.g. provoked by an injected tag flip) diverges.
+    fn validate_fault(&self, i: usize, f: &FaultInfo) -> Option<Box<Divergence>> {
+        let oracle = self.oracle.as_ref()?;
+        let class = match f.kind {
+            FaultKind::TagCheck => FaultClass::TagCheck,
+            FaultKind::Permission => FaultClass::Permission,
+        };
+        oracle.on_fault(i, class, f.pc, f.cycle).err().map(Box::new)
+    }
+
+    /// Runs until every core halts, any core faults, the oracle diverges,
+    /// an invariant breaks, or `max_cycles` pass.
     pub fn run(&mut self, max_cycles: u64) -> RunResult {
         let mut exit = RunExit::CycleLimit;
         let mut last_progress = self.cycle;
         let mut last_total: u64 = self.cores.iter().map(|c| c.stats.committed).sum();
         while self.cycle < max_cycles {
             let mut all_done = true;
-            for core in &mut self.cores {
-                core.tick(&mut self.mem, self.cycle);
-                if let Some(f) = core.fault() {
-                    exit = RunExit::Faulted(*f);
-                    all_done = true;
+            let mut stop = false;
+            for i in 0..self.cores.len() {
+                if let Err(e) = self.cores[i].tick(&mut self.mem, self.cycle) {
+                    exit = RunExit::Error(e);
+                    stop = true;
                     break;
                 }
-                all_done &= core.finished();
+                if let Some(d) = self.validate_commits(i) {
+                    exit = RunExit::Divergence(d);
+                    stop = true;
+                    break;
+                }
+                if let Some(f) = self.cores[i].fault().copied() {
+                    exit = match self.validate_fault(i, &f) {
+                        Some(d) => RunExit::Divergence(d),
+                        None => RunExit::Faulted(f),
+                    };
+                    stop = true;
+                    break;
+                }
+                all_done &= self.cores[i].finished();
             }
             self.cycle += 1;
-            if matches!(exit, RunExit::Faulted(_)) {
+            if stop {
                 break;
             }
             if all_done {
@@ -177,15 +338,23 @@ impl System {
                 last_total = total;
                 last_progress = self.cycle;
             } else if self.cycle - last_progress > self.deadlock_window {
-                exit = RunExit::Deadlock;
+                exit = RunExit::Deadlock(self.crash_dump());
                 break;
             }
         }
+        let dump = match &exit {
+            RunExit::Halted | RunExit::CycleLimit => None,
+            RunExit::Deadlock(d) => Some(d.clone()),
+            RunExit::Faulted(_) | RunExit::Divergence(_) | RunExit::Error(_) => {
+                Some(self.crash_dump())
+            }
+        };
         RunResult {
             exit,
             cycles: self.cycle,
             core_stats: self.cores.iter().map(|c| c.stats.clone()).collect(),
             mem_stats: self.mem.stats(),
+            dump,
         }
     }
 

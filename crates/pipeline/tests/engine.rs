@@ -369,7 +369,7 @@ fn deadlock_detection_fires_on_infinite_loop() {
     let r = sys.run(100_000);
     // An infinite branch loop commits branches forever, so it hits the cycle
     // limit rather than deadlock; both are acceptable non-hang outcomes.
-    assert!(matches!(r.exit, RunExit::CycleLimit | RunExit::Deadlock));
+    assert!(matches!(r.exit, RunExit::CycleLimit | RunExit::Deadlock(_)));
 }
 
 #[test]

@@ -14,6 +14,11 @@
 //!   `SAS_PTEST_SEED=<seed>` replays exactly the failing case.
 //!   `SAS_PTEST_CASES=<n>` overrides the case count for soak runs.
 //!
+//! The [`fault`] module reuses the same PRNG and seed-derivation scheme to
+//! build replayable chaos campaigns ([`FaultPlan`], `SAS_FAULT_SEED`): the
+//! simulator polls per-injection-point [`FaultStream`]s that are pure
+//! functions of one campaign seed.
+//!
 //! A ported property looks like:
 //!
 //! ```
@@ -31,11 +36,13 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod fault;
 pub mod gen;
 pub mod gens;
 mod rng;
 mod runner;
 
+pub use fault::{FaultPlan, FaultStream, InjectionPoint};
 pub use gen::Gen;
 pub use rng::Rng;
 pub use runner::{case_seed, check};

@@ -21,4 +21,10 @@ cargo test -q --offline
 echo "== tier1: bench smoke (SAS_BENCH_ITERS=2, fig6) =="
 SAS_BENCH_ITERS=2 cargo bench -q --offline -p sas-bench --bench fig6_spec_overhead
 
+echo "== tier1: chaos smoke (60 seeded fault campaigns) =="
+# Every injected corruption must be caught (oracle divergence, fault,
+# deadlock, or post-run audit) and replay exactly from its reported seed;
+# sas-chaos exits nonzero on any silent escape, stressor divergence or panic.
+cargo run -q --release --offline --bin sas-chaos -- 60
+
 echo "== tier1: OK =="

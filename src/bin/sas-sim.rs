@@ -9,8 +9,9 @@
 //! ```
 
 use sas_attacks::{all_attacks, bonus_attacks, security_matrix, GadgetFlavor};
+use sas_pipeline::RunExit;
 use sas_workloads::{build_workload, parsec_suite, spec_suite};
-use specasan::{build_system, Mitigation, SimConfig};
+use specasan::{Mitigation, SimConfig, Simulator};
 use std::process::ExitCode;
 
 fn parse_mitigation(s: &str) -> Option<Mitigation> {
@@ -122,19 +123,35 @@ fn cmd_workload(args: &[String]) -> ExitCode {
         return ExitCode::from(2);
     };
     let w = build_workload(profile, iters, 0x5A5_CA5A, 0);
-    let mut sys = build_system(&SimConfig::table2(), w.program.clone(), m);
-    w.setup.apply(&mut sys);
-    let r = sys.run(2_000_000_000);
+    // The facade arms `SAS_FAULT_SEED` fault plans and can attach the
+    // lockstep oracle; see DESIGN.md §6.
+    let mut sim = Simulator::builder()
+        .config(SimConfig::table2())
+        .mitigation(m)
+        .program(w.program.clone())
+        .max_cycles(2_000_000_000)
+        .build();
+    w.setup.apply(sim.system_mut());
+    let rep = sim.run();
+    let r = &rep.result;
     let s = &r.core_stats[0];
     println!("workload    : {} ({iters} iterations)", profile.name);
     println!("mitigation  : {m}");
-    println!("exit        : {:?}", r.exit);
+    println!("exit        : {}", match &r.exit {
+        RunExit::Halted => "Halted".to_string(),
+        RunExit::Deadlock(_) => "Deadlock (crash dump below)".to_string(),
+        RunExit::Divergence(d) => format!("Divergence\n{d}"),
+        other => format!("{other:?}"),
+    });
     println!("cycles      : {}", r.cycles);
     println!("instructions: {}", s.committed);
     println!("IPC         : {:.3}", s.ipc());
     println!("restricted  : {:.2}%", 100.0 * s.restricted_fraction());
     println!("mispredicts : {}/{}", s.predictor.cond_mispredicts, s.predictor.cond_predictions);
     println!("L1D hit rate: {:.1}%", 100.0 * r.mem_stats.l1d[0].hit_rate());
+    if let Some(d) = rep.crash_dump() {
+        println!("{d}");
+    }
     ExitCode::SUCCESS
 }
 
