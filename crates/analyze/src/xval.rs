@@ -1,0 +1,113 @@
+//! Cross-validation of static verdicts against the dynamic attack suite.
+//!
+//! For every PoC in [`sas_attacks::all_attacks`], the same program the
+//! simulator executes (via [`sas_attacks::TransientAttack::program`]) is fed
+//! to [`analyze`] under the shared victim memory layout. The claim checked:
+//!
+//! * an attack whose **unmitigated** dynamic run leaks must produce at least
+//!   one gadget finding (no false negatives on the suite), and
+//! * the [`harden`]-suggested `CSDB` cut set must bring the static gadget
+//!   count to zero (the suggestion actually cuts every window).
+
+use crate::{analyze, harden, AnalysisConfig};
+use sas_attacks::layout::{
+    ARRAY1, ARRAY1_KEY, PROT_BASE, PROT_LEN, SECRET_ADDR, SECRET_KEY, VICTIM_SLOT,
+};
+use sas_attacks::lvi::{LVI_SLOT, LVI_SLOT_KEY};
+use sas_attacks::mds::MDS_SLOT_KEY;
+use sas_attacks::meltdown::{KERNEL_KEY, KERNEL_SECRET_ADDR};
+use sas_attacks::spectre::{STL_SLOT, STL_SLOT_KEY};
+use sas_attacks::{all_attacks, GadgetFlavor};
+use specasan::{Mitigation, SimConfig};
+
+/// The analysis configuration matching the attack suite's victim
+/// environment: the protected kernel range and every granule lock the
+/// harnesses install before running a PoC.
+pub fn victim_config() -> AnalysisConfig {
+    AnalysisConfig {
+        protected: vec![(PROT_BASE, PROT_BASE + PROT_LEN)],
+        granule_tags: vec![
+            (ARRAY1, 16, ARRAY1_KEY),
+            (SECRET_ADDR, 16, SECRET_KEY),
+            (STL_SLOT, 16, STL_SLOT_KEY),
+            (VICTIM_SLOT, 16, MDS_SLOT_KEY),
+            (LVI_SLOT, 16, LVI_SLOT_KEY),
+            (KERNEL_SECRET_ADDR, 16, KERNEL_KEY),
+        ],
+        ..AnalysisConfig::default()
+    }
+}
+
+/// One attack's static-vs-dynamic comparison.
+#[derive(Debug, Clone)]
+pub struct AttackVerdict {
+    /// Attack display name (Table 1 row).
+    pub name: &'static str,
+    /// Did the unmitigated dynamic run leak the secret?
+    pub dynamic_leak: bool,
+    /// Gadget findings on the unmodified PoC program.
+    pub gadget_count: usize,
+    /// Gadget findings after inserting the suggested cut set
+    /// (`usize::MAX` if [`harden`] failed to converge).
+    pub hardened_gadgets: usize,
+    /// Number of suggested `CSDB` insertion points.
+    pub cuts: usize,
+}
+
+impl AttackVerdict {
+    /// Whether the static verdict matches the dynamic one.
+    pub fn agrees(&self) -> bool {
+        self.dynamic_leak == (self.gadget_count > 0)
+    }
+}
+
+/// Runs every attack both ways and collects the verdicts.
+pub fn cross_validate(cfg: &SimConfig) -> Vec<AttackVerdict> {
+    let acfg = victim_config();
+    all_attacks()
+        .iter()
+        .map(|a| {
+            let program = a.program(cfg, GadgetFlavor::TagViolating);
+            let gadget_count = analyze(&program, &acfg).gadget_count();
+            let dynamic = a.run(cfg, Mitigation::Unsafe, GadgetFlavor::TagViolating);
+            let (hardened_gadgets, cuts) = match harden(&program, &acfg) {
+                Ok(h) => (analyze(&h.program, &acfg).gadget_count(), h.cuts.len()),
+                Err(_) => (usize::MAX, 0),
+            };
+            AttackVerdict {
+                name: a.name(),
+                dynamic_leak: dynamic.leaked,
+                gadget_count,
+                hardened_gadgets,
+                cuts,
+            }
+        })
+        .collect()
+}
+
+/// Number of attacks where static and dynamic verdicts disagree, or the
+/// suggested cut set fails to reach zero gadgets.
+pub fn failures(verdicts: &[AttackVerdict]) -> usize {
+    verdicts.iter().filter(|v| !v.agrees() || v.hardened_gadgets != 0).count()
+}
+
+/// Deterministic text table of the verdicts (the `--expect` format).
+pub fn verdict_table(verdicts: &[AttackVerdict]) -> String {
+    let mut s = String::new();
+    s.push_str(&row("attack", "dynamic", "gadgets", "agree", "hardened", "cuts"));
+    for v in verdicts {
+        s.push_str(&row(
+            v.name,
+            if v.dynamic_leak { "leak" } else { "clean" },
+            &v.gadget_count.to_string(),
+            if v.agrees() { "yes" } else { "NO" },
+            &v.hardened_gadgets.to_string(),
+            &v.cuts.to_string(),
+        ));
+    }
+    s
+}
+
+fn row(name: &str, dynamic: &str, gadgets: &str, agree: &str, hardened: &str, cuts: &str) -> String {
+    format!("{name:<26} {dynamic:<8} {gadgets:>7} {agree:<6} {hardened:>8} {cuts:>5}\n")
+}

@@ -1,0 +1,41 @@
+//! Tentpole acceptance: static verdicts cross-validated against the dynamic
+//! attack suite, attack by attack.
+
+use sas_analyze::xval::{cross_validate, failures, verdict_table};
+use specasan::SimConfig;
+
+#[test]
+fn static_verdicts_match_dynamic_leaks_attack_by_attack() {
+    let verdicts = cross_validate(&SimConfig::table2());
+    assert_eq!(verdicts.len(), 11, "all Table 1 attacks participate");
+    for v in &verdicts {
+        assert!(
+            v.dynamic_leak,
+            "{}: every suite PoC leaks when unmitigated",
+            v.name
+        );
+        assert!(
+            v.gadget_count > 0,
+            "{}: a dynamically-leaking PoC must be statically flagged",
+            v.name
+        );
+        assert!(v.agrees(), "{}: static and dynamic verdicts disagree", v.name);
+        assert_eq!(
+            v.hardened_gadgets, 0,
+            "{}: the suggested CSDB cut set must kill every gadget finding",
+            v.name
+        );
+        assert!(v.cuts > 0, "{}: hardening a leaking PoC needs at least one cut", v.name);
+    }
+    assert_eq!(failures(&verdicts), 0);
+}
+
+#[test]
+fn verdict_table_matches_checked_in_expectation() {
+    let verdicts = cross_validate(&SimConfig::table2());
+    assert_eq!(
+        verdict_table(&verdicts),
+        include_str!("../expected_verdicts.txt"),
+        "regenerate with: cargo run -p sas-analyze --bin sas-lint -- --all-attacks"
+    );
+}

@@ -38,6 +38,7 @@ pub use matrix::{security_matrix, MatrixCell, MitigationRating, SecurityMatrix};
 pub use meltdown::bonus_attacks;
 pub use oracle::{AttackOutcome, GadgetFlavor};
 
+use sas_isa::Program;
 use specasan::{Mitigation, SimConfig};
 
 /// Taxonomy rows of Table 1.
@@ -63,6 +64,11 @@ pub trait TransientAttack {
     fn has_matching_flavor(&self) -> bool {
         false
     }
+
+    /// The PoC's program, exactly as [`TransientAttack::run`] would execute
+    /// it (including any per-attack config adjustments), so static tooling
+    /// can analyse the same code the simulator runs.
+    fn program(&self, cfg: &SimConfig, flavor: GadgetFlavor) -> Program;
 
     /// Runs the PoC under a mitigation and reports whether the secret leaked.
     fn run(&self, cfg: &SimConfig, mitigation: Mitigation, flavor: GadgetFlavor) -> AttackOutcome;

@@ -106,6 +106,10 @@ impl TransientAttack for LoadValueInjection {
         AttackClass::Mds
     }
 
+    fn program(&self, cfg: &SimConfig, flavor: GadgetFlavor) -> Program {
+        lvi_program(cfg, flavor)
+    }
+
     fn run(&self, cfg: &SimConfig, m: Mitigation, flavor: GadgetFlavor) -> AttackOutcome {
         let mut sys = build_system(cfg, lvi_program(cfg, flavor), m);
         layout::install_victim(&mut sys);

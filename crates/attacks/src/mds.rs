@@ -70,6 +70,10 @@ impl TransientAttack for Fallout {
         AttackClass::Mds
     }
 
+    fn program(&self, cfg: &SimConfig, flavor: GadgetFlavor) -> Program {
+        fallout_program(cfg, flavor)
+    }
+
     fn run(&self, cfg: &SimConfig, m: Mitigation, flavor: GadgetFlavor) -> AttackOutcome {
         let mut sys = build_system(cfg, fallout_program(cfg, flavor), m);
         layout::install_victim(&mut sys);
@@ -118,6 +122,10 @@ impl TransientAttack for Ridl {
         AttackClass::Mds
     }
 
+    fn program(&self, cfg: &SimConfig, flavor: GadgetFlavor) -> Program {
+        ridl_program(cfg, flavor)
+    }
+
     fn run(&self, cfg: &SimConfig, m: Mitigation, flavor: GadgetFlavor) -> AttackOutcome {
         let mut sys = build_system(cfg, ridl_program(cfg, flavor), m);
         layout::install_victim(&mut sys);
@@ -162,6 +170,10 @@ impl TransientAttack for ZombieLoad {
 
     fn class(&self) -> AttackClass {
         AttackClass::Mds
+    }
+
+    fn program(&self, cfg: &SimConfig, flavor: GadgetFlavor) -> Program {
+        zombieload_program(cfg, flavor)
     }
 
     fn run(&self, cfg: &SimConfig, m: Mitigation, flavor: GadgetFlavor) -> AttackOutcome {

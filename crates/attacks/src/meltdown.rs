@@ -50,6 +50,10 @@ impl TransientAttack for Meltdown {
         AttackClass::Mds
     }
 
+    fn program(&self, cfg: &SimConfig, flavor: GadgetFlavor) -> Program {
+        meltdown_program(cfg, flavor)
+    }
+
     fn run(&self, cfg: &SimConfig, m: Mitigation, flavor: GadgetFlavor) -> AttackOutcome {
         let mut sys = build_system(cfg, meltdown_program(cfg, flavor), m);
         layout::install_victim(&mut sys);

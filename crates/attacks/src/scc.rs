@@ -133,6 +133,10 @@ impl TransientAttack for SpectreRewind {
         AttackClass::Scc
     }
 
+    fn program(&self, cfg: &SimConfig, flavor: GadgetFlavor) -> Program {
+        rewind_program(cfg, flavor)
+    }
+
     fn run(&self, cfg: &SimConfig, m: Mitigation, flavor: GadgetFlavor) -> AttackOutcome {
         timing_outcome(|| rewind_program(cfg, flavor), cfg, m, |_| {})
     }
@@ -201,6 +205,12 @@ impl TransientAttack for SmotherSpectre {
 
     fn has_matching_flavor(&self) -> bool {
         true
+    }
+
+    fn program(&self, cfg: &SimConfig, flavor: GadgetFlavor) -> Program {
+        let mut cfg = *cfg;
+        cfg.core.btb_history_bits = 0; // mirror [`SmotherSpectre::run`]
+        smother_program(&cfg, flavor)
     }
 
     fn run(&self, cfg: &SimConfig, m: Mitigation, flavor: GadgetFlavor) -> AttackOutcome {
@@ -290,6 +300,10 @@ impl TransientAttack for SpeculativeInterference {
 
     fn class(&self) -> AttackClass {
         AttackClass::Scc
+    }
+
+    fn program(&self, cfg: &SimConfig, flavor: GadgetFlavor) -> Program {
+        interference_program(cfg, flavor)
     }
 
     fn run(&self, cfg: &SimConfig, m: Mitigation, flavor: GadgetFlavor) -> AttackOutcome {

@@ -102,6 +102,10 @@ impl TransientAttack for SpectreV1 {
         AttackClass::Spectre
     }
 
+    fn program(&self, cfg: &SimConfig, flavor: GadgetFlavor) -> Program {
+        spectre_v1_program(cfg, flavor)
+    }
+
     fn run(&self, cfg: &SimConfig, m: Mitigation, flavor: GadgetFlavor) -> AttackOutcome {
         let mut sys = build_system(cfg, spectre_v1_program(cfg, flavor), m);
         layout::install_victim(&mut sys);
@@ -180,6 +184,12 @@ impl TransientAttack for SpectreV2 {
 
     fn has_matching_flavor(&self) -> bool {
         true
+    }
+
+    fn program(&self, cfg: &SimConfig, flavor: GadgetFlavor) -> Program {
+        let mut cfg = *cfg;
+        cfg.core.btb_history_bits = 0; // mirror [`SpectreV2::run`]
+        spectre_v2_program(&cfg, flavor)
     }
 
     fn run(&self, cfg: &SimConfig, m: Mitigation, flavor: GadgetFlavor) -> AttackOutcome {
@@ -285,6 +295,10 @@ impl TransientAttack for SpectreRsb {
         true
     }
 
+    fn program(&self, cfg: &SimConfig, flavor: GadgetFlavor) -> Program {
+        spectre_rsb_program(cfg, flavor)
+    }
+
     fn run(&self, cfg: &SimConfig, m: Mitigation, flavor: GadgetFlavor) -> AttackOutcome {
         let mut sys = build_system(cfg, spectre_rsb_program(cfg, flavor), m);
         layout::install_victim(&mut sys);
@@ -354,6 +368,10 @@ impl TransientAttack for SpectreStl {
 
     fn class(&self) -> AttackClass {
         AttackClass::Spectre
+    }
+
+    fn program(&self, cfg: &SimConfig, flavor: GadgetFlavor) -> Program {
+        spectre_stl_program(cfg, flavor)
     }
 
     fn run(&self, cfg: &SimConfig, m: Mitigation, flavor: GadgetFlavor) -> AttackOutcome {
@@ -483,6 +501,10 @@ impl TransientAttack for SpectreBhb {
 
     fn has_matching_flavor(&self) -> bool {
         true
+    }
+
+    fn program(&self, cfg: &SimConfig, flavor: GadgetFlavor) -> Program {
+        spectre_bhb_program(cfg, flavor)
     }
 
     fn run(&self, cfg: &SimConfig, m: Mitigation, flavor: GadgetFlavor) -> AttackOutcome {

@@ -452,7 +452,16 @@ pub enum Inst {
 
 impl Inst {
     /// Registers read by this instruction (up to 3).
+    ///
+    /// Alias of [`Inst::uses`], kept for the pipeline's historical name.
     pub fn sources(&self) -> Vec<Reg> {
+        self.uses()
+    }
+
+    /// Registers read by this instruction (up to 3), including implicit
+    /// reads (`MOVK` reads its destination, `RET` reads `LR`). `XZR` never
+    /// appears: reading the zero register is not a data dependency.
+    pub fn uses(&self) -> Vec<Reg> {
         let mut v = Vec::with_capacity(3);
         match *self {
             Inst::Alu { lhs, rhs, .. } => {
@@ -503,6 +512,14 @@ impl Inst {
         }
         v.retain(|r| !r.is_zero());
         v
+    }
+
+    /// Registers written by this instruction, including implicit writes
+    /// (`BL`/`BLR` link into `LR`). Writes to `XZR` are discarded by the
+    /// architecture and therefore not reported. At most one register today;
+    /// a `Vec` keeps the def-use API symmetric for future pair-writing ops.
+    pub fn defs(&self) -> Vec<Reg> {
+        self.dest().into_iter().collect()
     }
 
     /// Register written by this instruction, if any.
@@ -590,6 +607,50 @@ impl Inst {
                 | Inst::St2g { .. }
                 | Inst::Ldg { .. }
         )
+    }
+
+    /// The static branch target (instruction index) of a direct branch.
+    pub fn target(&self) -> Option<usize> {
+        match *self {
+            Inst::B { target }
+            | Inst::BCond { target, .. }
+            | Inst::Cbz { target, .. }
+            | Inst::Cbnz { target, .. }
+            | Inst::Bl { target } => Some(target),
+            _ => None,
+        }
+    }
+
+    /// The address operands of a *data* memory access, as
+    /// `(base, index, immediate offset)`. Cache maintenance (`DC CIVAC`)
+    /// carries an address but is not a data access and returns `None`.
+    pub fn addr_operands(&self) -> Option<(Reg, Option<Reg>, i64)> {
+        Some(match *self {
+            Inst::Ldr { base, offset, .. } | Inst::Str { base, offset, .. } => {
+                (base, None, offset)
+            }
+            Inst::LdrIdx { base, index, .. } | Inst::StrIdx { base, index, .. } => {
+                (base, Some(index), 0)
+            }
+            Inst::Stg { base, offset } | Inst::St2g { base, offset } => (base, None, offset),
+            Inst::Ldg { base, .. } => (base, None, 0),
+            Inst::Amo { addr, .. } => (addr, None, 0),
+            _ => return None,
+        })
+    }
+
+    /// Access width in bytes of a data memory access (`None` for
+    /// non-memory instructions). Tag-granule operations report one granule.
+    pub fn access_width(&self) -> Option<u64> {
+        Some(match *self {
+            Inst::Ldr { width, .. }
+            | Inst::LdrIdx { width, .. }
+            | Inst::Str { width, .. }
+            | Inst::StrIdx { width, .. } => width.bytes(),
+            Inst::Stg { .. } | Inst::St2g { .. } | Inst::Ldg { .. } => 16,
+            Inst::Amo { .. } => 8,
+            _ => return None,
+        })
     }
 }
 
@@ -757,5 +818,40 @@ mod tests {
         let i = Inst::Ldr { dst: Reg::X5, base: Reg::X2, offset: 0, width: MemWidth::B8 };
         assert_eq!(i.to_string(), "LDR X5, [X2, #0]");
         assert_eq!(Inst::SpecBarrier.to_string(), "CSDB");
+    }
+
+    #[test]
+    fn defs_and_uses_mirror_dest_and_sources() {
+        let bl = Inst::Bl { target: 7 };
+        assert_eq!(bl.defs(), vec![Reg::LR], "BL links into LR");
+        assert!(bl.uses().is_empty());
+        assert_eq!(Inst::Ret.uses(), vec![Reg::LR], "RET consumes LR");
+        assert!(Inst::Ret.defs().is_empty());
+        let st = Inst::StrIdx { src: Reg::X1, base: Reg::X2, index: Reg::X3, width: MemWidth::B8 };
+        assert_eq!(st.uses(), st.sources());
+        assert!(st.defs().is_empty());
+    }
+
+    #[test]
+    fn addr_operands_cover_every_data_access_shape() {
+        let ld = Inst::Ldr { dst: Reg::X5, base: Reg::X2, offset: 8, width: MemWidth::B1 };
+        assert_eq!(ld.addr_operands(), Some((Reg::X2, None, 8)));
+        assert_eq!(ld.access_width(), Some(1));
+        let li = Inst::LdrIdx { dst: Reg::X5, base: Reg::X2, index: Reg::X0, width: MemWidth::B8 };
+        assert_eq!(li.addr_operands(), Some((Reg::X2, Some(Reg::X0), 0)));
+        let stg = Inst::Stg { base: Reg::X6, offset: 16 };
+        assert_eq!(stg.addr_operands(), Some((Reg::X6, None, 16)));
+        assert_eq!(stg.access_width(), Some(16));
+        // Cache maintenance carries an address but is not a data access.
+        assert_eq!(Inst::Flush { base: Reg::X9, offset: 0 }.addr_operands(), None);
+        assert_eq!(Inst::Nop.addr_operands(), None);
+    }
+
+    #[test]
+    fn target_reports_direct_branches_only() {
+        assert_eq!(Inst::B { target: 3 }.target(), Some(3));
+        assert_eq!(Inst::Cbnz { reg: Reg::X0, target: 9 }.target(), Some(9));
+        assert_eq!(Inst::Br { reg: Reg::X7 }.target(), None);
+        assert_eq!(Inst::Halt.target(), None);
     }
 }

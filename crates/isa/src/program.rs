@@ -94,7 +94,9 @@ impl Program {
         self.entry = entry;
     }
 
-    /// Renders a human-readable listing (one instruction per line).
+    /// Renders a human-readable listing (one instruction per line). Branch
+    /// targets that coincide with a named label are annotated with the
+    /// label's name, so diagnostics that quote listing lines stay readable.
     pub fn listing(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
@@ -104,9 +106,22 @@ impl Program {
             if let Some(name) = rev.get(&i) {
                 let _ = writeln!(out, "{name}:");
             }
-            let _ = writeln!(out, "  {i:4}: {inst}");
+            match inst.target().and_then(|t| rev.get(&t)) {
+                Some(name) => {
+                    let _ = writeln!(out, "  {i:4}: {inst}  ; -> {name}");
+                }
+                None => {
+                    let _ = writeln!(out, "  {i:4}: {inst}");
+                }
+            }
         }
         out
+    }
+
+    /// All named labels of the program, as `(name, instruction index)`
+    /// pairs in unspecified order.
+    pub fn labels(&self) -> impl Iterator<Item = (&str, usize)> {
+        self.label_addrs.iter().map(|(k, &v)| (k.as_str(), v))
     }
 }
 
@@ -570,5 +585,32 @@ mod tests {
         let text = p.listing();
         assert!(text.contains("loop:"));
         assert!(text.contains("NOP"));
+    }
+
+    #[test]
+    fn listing_annotates_branch_targets_with_label_names() {
+        let mut asm = ProgramBuilder::new();
+        let victim = asm.named_label("victim");
+        asm.bl(victim);
+        asm.halt();
+        asm.bind(victim);
+        asm.cbz(Reg::X0, victim);
+        let p = asm.build().unwrap();
+        let text = p.listing();
+        assert!(text.contains("BL @2  ; -> victim"), "{text}");
+        assert!(text.contains("CBZ X0, @2  ; -> victim"), "{text}");
+        // Unnamed targets keep the bare index rendering.
+        assert!(!text.contains("HALT  ;"), "{text}");
+    }
+
+    #[test]
+    fn labels_are_enumerable() {
+        let mut asm = ProgramBuilder::new();
+        let l = asm.named_label("f");
+        asm.nop();
+        asm.bind(l);
+        asm.halt();
+        let p = asm.build().unwrap();
+        assert_eq!(p.labels().collect::<Vec<_>>(), vec![("f", 1)]);
     }
 }

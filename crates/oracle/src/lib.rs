@@ -173,30 +173,17 @@ fn ov(regs: &[u64; Reg::COUNT], o: Operand) -> u64 {
 }
 
 /// The effective address and width of a memory instruction, evaluated on
-/// `regs` — `None` for non-memory instructions.
+/// `regs` — `None` for non-memory instructions. Built on the shared
+/// [`Inst::addr_operands`]/[`Inst::access_width`] accessors so the oracle
+/// and the static analyzer agree on what constitutes a data access.
 fn access_of(inst: Inst, regs: &[u64; Reg::COUNT]) -> Option<(VirtAddr, u64)> {
-    Some(match inst {
-        Inst::Ldr { base, offset, width, .. } => {
-            (VirtAddr::new(rv(regs, base)).offset(offset), width.bytes())
-        }
-        Inst::LdrIdx { base, index, width, .. } => (
-            VirtAddr::new(rv(regs, base)).offset(rv(regs, index) as i64),
-            width.bytes(),
-        ),
-        Inst::Str { base, offset, width, .. } => {
-            (VirtAddr::new(rv(regs, base)).offset(offset), width.bytes())
-        }
-        Inst::StrIdx { base, index, width, .. } => (
-            VirtAddr::new(rv(regs, base)).offset(rv(regs, index) as i64),
-            width.bytes(),
-        ),
-        Inst::Stg { base, offset } | Inst::St2g { base, offset } => {
-            (VirtAddr::new(rv(regs, base)).offset(offset), 16)
-        }
-        Inst::Ldg { base, .. } => (VirtAddr::new(rv(regs, base)), 16),
-        Inst::Amo { addr, .. } => (VirtAddr::new(rv(regs, addr)), 8),
-        _ => return None,
-    })
+    let (base, index, offset) = inst.addr_operands()?;
+    let width = inst.access_width()?;
+    let mut ea = VirtAddr::new(rv(regs, base)).offset(offset);
+    if let Some(i) = index {
+        ea = ea.offset(rv(regs, i) as i64);
+    }
+    Some((ea, width))
 }
 
 impl Oracle {
@@ -307,7 +294,9 @@ impl Oracle {
     }
 
     /// Checks that the committed destination write matches `expected`, then
-    /// applies it to the reference register file.
+    /// applies it to the reference register file. On mismatch the report
+    /// quotes the reference values of every register the instruction read
+    /// (via [`Inst::uses`]), so the bad input is visible at a glance.
     fn check_write(
         &mut self,
         idx: usize,
@@ -323,15 +312,29 @@ impl Oracle {
                 self.cores[idx].regs[dst.index()] = v;
                 Ok(())
             }
-            other => Err(Self::diverge(
-                rec,
-                DivergenceKind::RegValue,
-                format!("{dst} = {expected:#x}"),
-                match other {
-                    Some(v) => format!("{dst} = {v:#x}"),
-                    None => format!("{dst} unwritten"),
-                },
-            )),
+            other => {
+                let regs = &self.cores[idx].regs;
+                let inputs = rec
+                    .inst
+                    .uses()
+                    .iter()
+                    .map(|&r| format!("{r}={:#x}", rv(regs, r)))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                let mut expected = format!("{dst} = {expected:#x}");
+                if !inputs.is_empty() {
+                    expected.push_str(&format!(" (inputs: {inputs})"));
+                }
+                Err(Self::diverge(
+                    rec,
+                    DivergenceKind::RegValue,
+                    expected,
+                    match other {
+                        Some(v) => format!("{dst} = {v:#x}"),
+                        None => format!("{dst} unwritten"),
+                    },
+                ))
+            }
         }
     }
 
@@ -572,13 +575,18 @@ impl Oracle {
                 }
             }
             Inst::Bl { target } => {
-                self.check_write(idx, rec, Reg::LR, (rec.pc + 1) as u64)?;
+                for d in inst.defs() {
+                    // The implicit link write (LR) is the only def.
+                    self.check_write(idx, rec, d, (rec.pc + 1) as u64)?;
+                }
                 next = target;
             }
             Inst::Br { reg } => next = rv(&self.cores[idx].regs, reg) as usize,
             Inst::Blr { reg } => {
                 let t = rv(&self.cores[idx].regs, reg) as usize;
-                self.check_write(idx, rec, Reg::LR, (rec.pc + 1) as u64)?;
+                for d in inst.defs() {
+                    self.check_write(idx, rec, d, (rec.pc + 1) as u64)?;
+                }
                 next = t;
             }
             Inst::Ret => next = rv(&self.cores[idx].regs, Reg::LR) as usize,

@@ -21,6 +21,13 @@ cargo test -q --offline
 echo "== tier1: bench smoke (SAS_BENCH_ITERS=2, fig6) =="
 SAS_BENCH_ITERS=2 cargo bench -q --offline -p sas-bench --bench fig6_spec_overhead
 
+echo "== tier1: static analysis cross-validation (sas-lint --all-attacks) =="
+# The static analyzer must flag exactly the attacks whose dynamic run leaks,
+# its CSDB suggestions must reach zero gadget findings, and the verdict
+# table must be byte-identical to the checked-in expectation (determinism).
+cargo run -q --release --offline -p sas-analyze --bin sas-lint -- \
+  --all-attacks --expect crates/analyze/expected_verdicts.txt
+
 echo "== tier1: chaos smoke (60 seeded fault campaigns) =="
 # Every injected corruption must be caught (oracle divergence, fault,
 # deadlock, or post-run audit) and replay exactly from its reported seed;
