@@ -70,9 +70,17 @@ fn bench_pipeline() {
 
 fn main() {
     println!("== Microbenchmarks (internal timing harness) ==");
-    bench_tag_check();
-    bench_cache();
-    bench_lfb();
-    bench_mem_load();
-    bench_pipeline();
+    // Single-cell mode: `SAS_RUNNER_CELL=<group>` runs one group of cases.
+    let groups: [(&str, fn()); 5] = [
+        ("tag_check", bench_tag_check),
+        ("cache", bench_cache),
+        ("lfb", bench_lfb),
+        ("mem_load", bench_mem_load),
+        ("pipeline", bench_pipeline),
+    ];
+    for (name, run) in groups {
+        if sas_bench::benchmark_enabled(name) {
+            run();
+        }
+    }
 }

@@ -114,6 +114,12 @@ pub fn render(bench: &str, fields: &[(&str, Value)]) -> String {
 
 /// Emits one result record: prints the JSON line to stdout and appends it to
 /// the file named by `SAS_BENCH_JSONL`, if that variable is set.
+///
+/// The file append is torn-write-safe: the record and its newline go down in
+/// a **single** `write` on a descriptor opened in append mode, then the file
+/// is flushed — so concurrent worker processes cannot interleave inside one
+/// another's rows, and a child killed mid-record can tear at most its own
+/// trailing line (which manifest readers detect and truncate).
 pub fn emit(bench: &str, fields: &[(&str, Value)]) {
     let line = render(bench, fields);
     println!("{line}");
@@ -122,7 +128,10 @@ pub fn emit(bench: &str, fields: &[(&str, Value)]) {
             if let Ok(mut f) =
                 std::fs::OpenOptions::new().create(true).append(true).open(&path)
             {
-                let _ = writeln!(f, "{line}");
+                let mut rec = line;
+                rec.push('\n');
+                let _ = f.write_all(rec.as_bytes());
+                let _ = f.flush();
             }
         }
     }

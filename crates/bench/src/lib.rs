@@ -12,9 +12,10 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-use sas_pipeline::{RunExit, RunResult};
+use sas_pipeline::{FaultPlan, RunExit, RunResult, System};
 use sas_workloads::{build_parsec_workload, build_workload, Profile, Workload};
 use specasan::{build_multicore, build_system, Mitigation, SimConfig};
+use std::fmt;
 
 pub mod jsonl;
 pub mod timing;
@@ -26,6 +27,117 @@ pub fn bench_iterations() -> u32 {
 
 /// Deterministic seed used by every harness.
 pub const SEED: u64 = 0x5A5_CA5A;
+
+/// Environment variable carrying a [`FaultPlan`] spec string
+/// (`FaultPlan::to_spec`) that every bench cell arms before running. The
+/// `sas-runner` supervisor sets it on the one child it wants to perturb;
+/// `SAS_FAULT_SEED` (the ad-hoc low-rate profile) is honoured as a fallback.
+pub const FAULT_PLAN_ENV: &str = "SAS_RUNNER_FAULT_PLAN";
+
+/// Environment variable restricting a bench target to one cell:
+/// `<benchmark>/<mitigation-token>` (either side may be `*`). Set by the
+/// `sas-runner` supervisor's child processes so a crash in one cell can only
+/// ever take down that cell.
+pub const CELL_ENV: &str = "SAS_RUNNER_CELL";
+
+/// The single-cell filter from [`CELL_ENV`], if set.
+///
+/// Bench targets consult this in their row/column loops: a non-matching
+/// benchmark row or mitigation column is skipped entirely (baseline runs
+/// needed for normalization still execute).
+pub fn cell_filter() -> Option<CellFilter> {
+    let spec = std::env::var(CELL_ENV).ok()?;
+    let spec = spec.trim();
+    if spec.is_empty() {
+        return None;
+    }
+    let (benchmark, mitigation) = match spec.split_once('/') {
+        Some((b, m)) => (b.to_string(), m.to_string()),
+        None => (spec.to_string(), "*".to_string()),
+    };
+    Some(CellFilter { benchmark, mitigation })
+}
+
+/// A `<benchmark>/<mitigation>` restriction parsed from [`CELL_ENV`].
+#[derive(Debug, Clone)]
+pub struct CellFilter {
+    benchmark: String,
+    mitigation: String,
+}
+
+impl CellFilter {
+    /// Whether `benchmark` should run at all under this filter.
+    pub fn wants_benchmark(&self, benchmark: &str) -> bool {
+        self.benchmark == "*" || self.benchmark == benchmark
+    }
+
+    /// Whether the `(benchmark, mitigation)` cell should run.
+    pub fn wants(&self, benchmark: &str, m: Mitigation) -> bool {
+        self.wants_benchmark(benchmark)
+            && (self.mitigation == "*" || self.mitigation == m.token())
+    }
+}
+
+/// Convenience: `true` when the cell passes the ambient [`cell_filter`]
+/// (or no filter is set).
+pub fn cell_enabled(benchmark: &str, m: Mitigation) -> bool {
+    cell_filter().map_or(true, |f| f.wants(benchmark, m))
+}
+
+/// Convenience: `true` when the benchmark row passes the ambient filter.
+pub fn benchmark_enabled(benchmark: &str) -> bool {
+    cell_filter().map_or(true, |f| f.wants_benchmark(benchmark))
+}
+
+/// The fault plan ambient bench runs must arm, if any: a full spec string
+/// from [`FAULT_PLAN_ENV`] wins over the ad-hoc `SAS_FAULT_SEED` profile.
+pub fn ambient_fault_plan() -> Option<FaultPlan> {
+    if let Ok(spec) = std::env::var(FAULT_PLAN_ENV) {
+        if !spec.trim().is_empty() {
+            match FaultPlan::from_spec(&spec) {
+                Ok(plan) => return Some(plan),
+                Err(e) => panic!("{FAULT_PLAN_ENV}={spec:?}: {e}"),
+            }
+        }
+    }
+    FaultPlan::from_env()
+}
+
+/// Why a (benchmark, mitigation) cell produced no valid numbers. Returned by
+/// [`check_clean_exit`] so abort handling is the *caller's* policy: direct
+/// `cargo bench` runs panic with the crash dump ([`require_clean_exit`]),
+/// while the `sas-runner` supervisor records the failure and moves on.
+#[derive(Debug, Clone)]
+pub struct CellFailure {
+    /// Bench target name (`fig6`, `fig7`, …).
+    pub bench: String,
+    /// Benchmark row.
+    pub benchmark: String,
+    /// Mitigation column.
+    pub mitigation: Mitigation,
+    /// Stable exit tag (`deadlock`, `divergence`, `faulted`, …).
+    pub exit: &'static str,
+    /// Human diagnostic (divergence report, fault, error).
+    pub detail: String,
+    /// Rendered crash dump, when the run attached one.
+    pub dump: Option<String>,
+}
+
+impl fmt::Display for CellFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} under {}: {} ({})",
+            self.benchmark, self.mitigation, self.detail, self.exit
+        )?;
+        if let Some(d) = &self.dump {
+            write!(f, "\n{d}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for CellFailure {}
 
 /// Result of one (benchmark, mitigation) cell.
 #[derive(Debug, Clone)]
@@ -40,37 +152,80 @@ pub struct Cell {
     pub run: RunResult,
 }
 
-/// Runs one SPEC-style (single-core) workload under a mitigation.
-pub fn run_spec(profile: &Profile, m: Mitigation, iterations: u32) -> Cell {
+/// Runs one SPEC-style (single-core) workload under a mitigation,
+/// returning the failure instead of panicking on an aborted run.
+pub fn run_spec_checked(
+    profile: &Profile,
+    m: Mitigation,
+    iterations: u32,
+) -> Result<Cell, Box<CellFailure>> {
     let w = build_workload(profile, iterations, SEED, 0);
     let mut sys = build_system(&SimConfig::table2(), w.program.clone(), m);
     w.setup.apply(&mut sys);
+    arm_ambient_faults(&mut sys);
     let run = sys.run(1_000_000_000);
-    require_clean_exit("spec", profile.name, m, &run);
-    finish(run)
+    check_clean_exit("spec", profile.name, m, &run)?;
+    Ok(finish(run))
 }
 
-/// Runs one PARSEC-style (4-core) workload under a mitigation.
-pub fn run_parsec(profile: &Profile, m: Mitigation, iterations: u32) -> Cell {
+/// Runs one SPEC-style (single-core) workload under a mitigation.
+///
+/// # Panics
+///
+/// Panics with the crash dump on any aborted run; use
+/// [`run_spec_checked`] to handle the failure yourself.
+pub fn run_spec(profile: &Profile, m: Mitigation, iterations: u32) -> Cell {
+    run_spec_checked(profile, m, iterations).unwrap_or_else(|f| panic!("{f}"))
+}
+
+/// Runs one PARSEC-style (4-core) workload under a mitigation,
+/// returning the failure instead of panicking on an aborted run.
+pub fn run_parsec_checked(
+    profile: &Profile,
+    m: Mitigation,
+    iterations: u32,
+) -> Result<Cell, Box<CellFailure>> {
     let ws: Vec<Workload> = build_parsec_workload(profile, iterations, SEED, 4);
     let mut sys =
         build_multicore(&SimConfig::table2(), ws.iter().map(|w| w.program.clone()).collect(), m);
     for w in &ws {
         w.setup.apply(&mut sys);
     }
+    arm_ambient_faults(&mut sys);
     let run = sys.run(1_000_000_000);
-    require_clean_exit("parsec", profile.name, m, &run);
-    finish(run)
+    check_clean_exit("parsec", profile.name, m, &run)?;
+    Ok(finish(run))
+}
+
+/// Runs one PARSEC-style (4-core) workload under a mitigation.
+///
+/// # Panics
+///
+/// Panics with the crash dump on any aborted run; use
+/// [`run_parsec_checked`] to handle the failure yourself.
+pub fn run_parsec(profile: &Profile, m: Mitigation, iterations: u32) -> Cell {
+    run_parsec_checked(profile, m, iterations).unwrap_or_else(|f| panic!("{f}"))
+}
+
+fn arm_ambient_faults(sys: &mut System) {
+    if let Some(plan) = ambient_fault_plan() {
+        sys.arm_faults(&plan);
+    }
 }
 
 /// Gate on a cell's exit: clean halts pass; any aborted run (cycle limit,
 /// deadlock, fault, oracle divergence, internal error) is first emitted as a
-/// tagged invalid record — so the JSONL stream records the abort instead of a
-/// silent gap — and then stops the harness with the crash dump, if one was
-/// attached.
-pub fn require_clean_exit(bench: &str, benchmark: &str, m: Mitigation, run: &RunResult) {
+/// tagged invalid record — so the JSONL stream records the abort instead of
+/// a silent gap — and then returned as a [`CellFailure`] for the caller to
+/// apply its own policy (panic, record-and-continue, retry, …).
+pub fn check_clean_exit(
+    bench: &str,
+    benchmark: &str,
+    m: Mitigation,
+    run: &RunResult,
+) -> Result<(), Box<CellFailure>> {
     if jsonl::valid_cell(&run.exit) {
-        return;
+        return Ok(());
     }
     let ms = m.to_string();
     let mut fields =
@@ -83,9 +238,25 @@ pub fn require_clean_exit(bench: &str, benchmark: &str, m: Mitigation, run: &Run
         RunExit::Error(e) => e.to_string(),
         other => jsonl::exit_tag(other).to_string(),
     };
-    match &run.dump {
-        Some(d) => panic!("{benchmark} under {m}: {detail}\n{d}"),
-        None => panic!("{benchmark} under {m}: {detail}"),
+    Err(Box::new(CellFailure {
+        bench: bench.to_string(),
+        benchmark: benchmark.to_string(),
+        mitigation: m,
+        exit: jsonl::exit_tag(&run.exit),
+        detail,
+        dump: run.dump.as_ref().map(|d| d.to_string()),
+    }))
+}
+
+/// The pre-refactor panicking gate, kept for direct `cargo bench` runs
+/// where dying on the first aborted cell *is* the desired policy.
+///
+/// # Panics
+///
+/// Panics with the cell's diagnostic and crash dump on any aborted run.
+pub fn require_clean_exit(bench: &str, benchmark: &str, m: Mitigation, run: &RunResult) {
+    if let Err(f) = check_clean_exit(bench, benchmark, m, run) {
+        panic!("{f}");
     }
 }
 

@@ -57,6 +57,37 @@ impl Mitigation {
         [Mitigation::SpecCfi, Mitigation::SpecAsan, Mitigation::SpecAsanCfi]
     }
 
+    /// Short stable token naming the mitigation in CLIs, environment
+    /// variables and manifest cell ids. [`Mitigation::parse`] accepts every
+    /// token (plus a few aliases).
+    pub fn token(self) -> &'static str {
+        match self {
+            Mitigation::Unsafe => "unsafe",
+            Mitigation::MteOnly => "mte",
+            Mitigation::Fence => "fence",
+            Mitigation::Stt => "stt",
+            Mitigation::GhostMinion => "ghostminion",
+            Mitigation::SpecAsan => "specasan",
+            Mitigation::SpecCfi => "speccfi",
+            Mitigation::SpecAsanCfi => "specasan+cfi",
+        }
+    }
+
+    /// Parses a mitigation token or alias, case-insensitively.
+    pub fn parse(s: &str) -> Option<Mitigation> {
+        Some(match s.to_ascii_lowercase().as_str() {
+            "unsafe" | "baseline" | "none" => Mitigation::Unsafe,
+            "mte" | "mte-only" => Mitigation::MteOnly,
+            "fence" | "barriers" => Mitigation::Fence,
+            "stt" => Mitigation::Stt,
+            "ghostminion" | "ghost" | "gm" => Mitigation::GhostMinion,
+            "specasan" | "asan" => Mitigation::SpecAsan,
+            "speccfi" | "cfi" => Mitigation::SpecCfi,
+            "specasan+cfi" | "combo" | "specasan-cfi" => Mitigation::SpecAsanCfi,
+            _ => return None,
+        })
+    }
+
     /// Instantiates a fresh policy object.
     pub fn build_policy(self) -> Box<dyn MitigationPolicy> {
         match self {
@@ -112,6 +143,15 @@ mod tests {
             let p = m.build_policy();
             assert!(!p.name().is_empty());
         }
+    }
+
+    #[test]
+    fn tokens_round_trip_through_parse() {
+        for m in Mitigation::all() {
+            assert_eq!(Mitigation::parse(m.token()), Some(m), "{m}");
+        }
+        assert_eq!(Mitigation::parse("GM"), Some(Mitigation::GhostMinion));
+        assert_eq!(Mitigation::parse("bogus"), None);
     }
 
     #[test]

@@ -622,6 +622,54 @@ mod tests {
     }
 
     #[test]
+    fn to_sasm_round_trips_through_the_parser() {
+        let original = parse_program(
+            r#"
+            .data 0x4000 = 7, 9, 0xFF
+            .entry main
+            helper:
+                BTI  c
+                AMO.CAS X11, [X2], X3, X4
+                RET
+            main:
+                MOVZ X0, #5
+            top:
+                SUB  X0, X0, #1
+                LDR  X5, [X2, #-8]
+                CBNZ X0, top
+                B.EQ top
+                BL   helper
+                CSDB
+                HALT
+            "#,
+        )
+        .unwrap();
+        let text = original.to_sasm();
+        let back = parse_program(&text).unwrap();
+        assert_eq!(original.insts(), back.insts(), "{text}");
+        assert_eq!(original.entry(), back.entry());
+        let flat = |p: &Program| {
+            let mut v: Vec<(u64, u8)> = p
+                .data()
+                .iter()
+                .flat_map(|s| s.bytes.iter().enumerate().map(move |(i, &b)| (s.base + i as u64, b)))
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(flat(&original), flat(&back));
+    }
+
+    #[test]
+    fn with_nops_preserves_branch_targets() {
+        let p = parse_program("MOVZ X0, #2\ntop: SUB X0, X0, #1\nCBNZ X0, top\nHALT\n").unwrap();
+        let q = p.with_nops(&[0, 99]);
+        assert_eq!(q.fetch(0), Some(Inst::Nop));
+        assert_eq!(q.fetch(2), p.fetch(2), "branch target untouched");
+        assert_eq!(q.len(), p.len());
+    }
+
+    #[test]
     fn label_and_instruction_on_one_line() {
         let p = parse_program("top: NOP\nB top\nHALT\n").unwrap();
         assert_eq!(p.label("top"), Some(0));

@@ -123,6 +123,78 @@ impl Program {
     pub fn labels(&self) -> impl Iterator<Item = (&str, usize)> {
         self.label_addrs.iter().map(|(k, &v)| (k.as_str(), v))
     }
+
+    /// A copy of the program with the instructions at `nopped` replaced by
+    /// `NOP`. Indices (and therefore every branch target) are preserved, so
+    /// any subset is valid — this is the mutation the failure shrinker
+    /// delta-debugs over. Out-of-range indices are ignored.
+    pub fn with_nops(&self, nopped: &[usize]) -> Program {
+        let mut p = self.clone();
+        for &i in nopped {
+            if i < p.insts.len() {
+                p.insts[i] = Inst::Nop;
+            }
+        }
+        p
+    }
+
+    /// Serializes the program as text the [`crate::parse_program`] assembler
+    /// accepts back: synthetic `L<i>:` labels at every branch target, an
+    /// `.entry` directive when the entry is not instruction 0, and `.data`
+    /// directives for the initial memory image. Round-trips instruction
+    /// streams exactly; long data segments are split across directives.
+    pub fn to_sasm(&self) -> String {
+        use std::collections::BTreeSet;
+        use std::fmt::Write as _;
+        let mut targets: BTreeSet<usize> = self.insts.iter().filter_map(|i| i.target()).collect();
+        if self.entry != 0 {
+            targets.insert(self.entry);
+        }
+        let label = |t: usize| format!("L{t}");
+        let mut out = String::new();
+        if self.entry != 0 {
+            let _ = writeln!(out, ".entry {}", label(self.entry));
+        }
+        for (i, inst) in self.insts.iter().enumerate() {
+            if targets.contains(&i) {
+                let _ = writeln!(out, "{}:", label(i));
+            }
+            // Branches, BTI and CAS atomics need spellings the parser
+            // accepts; everything else round-trips through Display.
+            let line = match *inst {
+                Inst::B { target } => format!("B {}", label(target)),
+                Inst::BCond { cond, target } => format!("B.{cond:?} {}", label(target)),
+                Inst::Cbz { reg, target } => format!("CBZ {reg}, {}", label(target)),
+                Inst::Cbnz { reg, target } => format!("CBNZ {reg}, {}", label(target)),
+                Inst::Bl { target } => format!("BL {}", label(target)),
+                Inst::Bti { kind } => format!(
+                    "BTI {}",
+                    match kind {
+                        BtiKind::JumpCall => "jc",
+                        BtiKind::Call => "c",
+                        BtiKind::Jump => "j",
+                    }
+                ),
+                Inst::Amo { op: AmoOp::Cas, dst, addr, src, expected } => {
+                    format!("AMO.CAS {dst}, [{addr}], {src}, {expected}")
+                }
+                ref other => other.to_string(),
+            };
+            let _ = writeln!(out, "    {line}");
+        }
+        for seg in &self.data {
+            for (k, chunk) in seg.bytes.chunks(32).enumerate() {
+                let bytes: Vec<String> = chunk.iter().map(|b| b.to_string()).collect();
+                let _ = writeln!(
+                    out,
+                    ".data {:#x} = {}",
+                    seg.base + (k as u64) * 32,
+                    bytes.join(", ")
+                );
+            }
+        }
+        out
+    }
 }
 
 /// Incremental assembler with forward-referencable labels.

@@ -161,6 +161,82 @@ impl FaultPlan {
         Some(plan)
     }
 
+    /// Renders the plan as a machine-readable spec string that
+    /// [`FaultPlan::from_spec`] parses back: `seed=<hex>` first, then
+    /// `window=<base>+<len>` if set, then one `<point>=<rate>,<max>,<warmup>`
+    /// per enabled point. Repro bundles and the `SAS_RUNNER_FAULT_PLAN`
+    /// contract carry plans in this form.
+    pub fn to_spec(&self) -> String {
+        let mut s = format!("seed={:#x}", self.seed);
+        if self.target_len > 0 {
+            s.push_str(&format!(" window={:#x}+{:#x}", self.target_base, self.target_len));
+        }
+        for p in InjectionPoint::ALL {
+            let cfg = self.points[p.index()];
+            if cfg.max_events > 0 && cfg.rate_pm > 0 {
+                s.push_str(&format!(
+                    " {}={},{},{}",
+                    p.name(),
+                    cfg.rate_pm,
+                    cfg.max_events,
+                    cfg.warmup
+                ));
+            }
+        }
+        s
+    }
+
+    /// Parses a [`FaultPlan::to_spec`] string. Whitespace-separated
+    /// `key=value` tokens; unknown keys are an error so typos never silently
+    /// disarm a repro.
+    pub fn from_spec(spec: &str) -> Result<FaultPlan, String> {
+        fn num(s: &str) -> Result<u64, String> {
+            let s = s.trim();
+            match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+                Some(h) => u64::from_str_radix(h, 16).map_err(|_| format!("bad number {s:?}")),
+                None => s.parse().map_err(|_| format!("bad number {s:?}")),
+            }
+        }
+        let mut plan: Option<FaultPlan> = None;
+        let mut window: Option<(u64, u64)> = None;
+        let mut enables: Vec<(InjectionPoint, u32, u64, u64)> = Vec::new();
+        for tok in spec.split_whitespace() {
+            let (key, value) =
+                tok.split_once('=').ok_or_else(|| format!("expected key=value, got {tok:?}"))?;
+            match key {
+                "seed" => plan = Some(FaultPlan::new(num(value)?)),
+                "window" => {
+                    let (b, l) = value
+                        .split_once('+')
+                        .ok_or_else(|| format!("window needs base+len, got {value:?}"))?;
+                    window = Some((num(b)?, num(l)?));
+                }
+                name => {
+                    let point = InjectionPoint::ALL
+                        .into_iter()
+                        .find(|p| p.name() == name)
+                        .ok_or_else(|| format!("unknown injection point {name:?}"))?;
+                    let parts: Vec<&str> = value.split(',').collect();
+                    if parts.len() != 2 && parts.len() != 3 {
+                        return Err(format!("{name} needs rate,max[,warmup], got {value:?}"));
+                    }
+                    let rate = num(parts[0])? as u32;
+                    let max = num(parts[1])?;
+                    let warmup = if parts.len() == 3 { num(parts[2])? } else { 0 };
+                    enables.push((point, rate, max, warmup));
+                }
+            }
+        }
+        let mut plan = plan.ok_or_else(|| "spec is missing seed=".to_string())?;
+        if let Some((b, l)) = window {
+            plan = plan.target_window(b, l);
+        }
+        for (p, rate, max, warmup) in enables {
+            plan = plan.enable(p, rate, max).warmup(p, warmup);
+        }
+        Ok(plan)
+    }
+
     /// Derives the independent stream for `point`. Same plan + same point →
     /// identical sequence, always.
     pub fn stream(&self, point: InjectionPoint) -> FaultStream {
@@ -343,6 +419,32 @@ mod tests {
         assert!((0..100).all(|_| !s.fires()));
         let mut d = FaultStream::disabled(InjectionPoint::TagFlip);
         assert!((0..100).all(|_| !d.fires()));
+    }
+
+    #[test]
+    fn spec_round_trips_and_replays_identically() {
+        let plan = FaultPlan::new(0xDEAD_BEEF)
+            .enable(InjectionPoint::TagFlip, 250, 8)
+            .enable(InjectionPoint::SquashStorm, 100, 4)
+            .warmup(InjectionPoint::TagFlip, 7)
+            .target_window(0x4000, 0x200);
+        let spec = plan.to_spec();
+        let back = FaultPlan::from_spec(&spec).unwrap();
+        assert_eq!(plan, back, "{spec}");
+        let mut a = plan.stream(InjectionPoint::TagFlip);
+        let mut b = back.stream(InjectionPoint::TagFlip);
+        let fa: Vec<bool> = (0..64).map(|_| a.fires()).collect();
+        let fb: Vec<bool> = (0..64).map(|_| b.fires()).collect();
+        assert_eq!(fa, fb);
+    }
+
+    #[test]
+    fn from_spec_rejects_garbage() {
+        assert!(FaultPlan::from_spec("").is_err(), "missing seed");
+        assert!(FaultPlan::from_spec("seed=1 bogus_point=1000,1").is_err());
+        assert!(FaultPlan::from_spec("seed=1 tag_flip=1000").is_err(), "missing max");
+        assert!(FaultPlan::from_spec("seed=1 window=0x4000").is_err(), "missing len");
+        assert!(FaultPlan::from_spec("tag_flip=1000,1").is_err(), "no seed");
     }
 
     #[test]

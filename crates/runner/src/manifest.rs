@@ -1,0 +1,375 @@
+//! Crash-safe JSONL campaign manifest.
+//!
+//! One flat JSON object per line, one line per supervised cell. Writes are
+//! torn-write-safe: each record goes down as a **single** `write` (record +
+//! trailing newline) on a descriptor opened in append mode, followed by a
+//! flush — so concurrent workers never interleave inside a row and a
+//! supervisor killed mid-write can tear at most the trailing line.
+//!
+//! The manifest doubles as the campaign checkpoint: [`load_and_repair`]
+//! parses it back, truncates a torn trailing line in place, and returns the
+//! valid records so `--resume` can skip every cell that already has a row
+//! (failed rows count as completed — a deterministic failure would only
+//! reproduce).
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read as _, Write as _};
+use std::path::Path;
+
+/// One supervised cell's outcome — a manifest row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Cell id (`spec/505.mcf_r/stt`, `chaos/0xc4a05eed`, …).
+    pub cell: String,
+    /// Whether the cell produced valid numbers.
+    pub ok: bool,
+    /// Stable exit tag (`halted`, `deadlock`, `timeout`, `panic`, …).
+    pub exit: String,
+    /// Human diagnostic for failures (truncated; full dumps stay in logs).
+    pub detail: String,
+    /// Spawn attempts consumed (>1 means environmental retries happened).
+    pub attempts: u32,
+    /// Simulated cycles (0 when the cell never finished).
+    pub cycles: u64,
+    /// Wall-clock supervision time for the cell, in milliseconds.
+    pub duration_ms: u64,
+    /// Repro-bundle directory written by the shrinker, if any.
+    pub repro: Option<String>,
+}
+
+impl Record {
+    /// Renders the record as one JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        push_str_field(&mut out, "cell", &self.cell, true);
+        push_raw_field(&mut out, "ok", &self.ok.to_string());
+        push_str_field(&mut out, "exit", &self.exit, false);
+        push_str_field(&mut out, "detail", &self.detail, false);
+        push_raw_field(&mut out, "attempts", &self.attempts.to_string());
+        push_raw_field(&mut out, "cycles", &self.cycles.to_string());
+        push_raw_field(&mut out, "duration_ms", &self.duration_ms.to_string());
+        if let Some(r) = &self.repro {
+            push_str_field(&mut out, "repro", r, false);
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parses a record from one manifest line.
+    pub fn from_json(line: &str) -> Option<Record> {
+        let map = parse_flat(line)?;
+        Some(Record {
+            cell: map.get("cell")?.as_str()?.to_string(),
+            ok: map.get("ok")?.as_bool()?,
+            exit: map.get("exit")?.as_str()?.to_string(),
+            detail: map.get("detail")?.as_str()?.to_string(),
+            attempts: map.get("attempts")?.as_u64()? as u32,
+            cycles: map.get("cycles")?.as_u64()?,
+            duration_ms: map.get("duration_ms")?.as_u64()?,
+            repro: map.get("repro").and_then(|v| v.as_str()).map(str::to_string),
+        })
+    }
+}
+
+fn push_str_field(out: &mut String, key: &str, value: &str, first: bool) {
+    if !first {
+        out.push(',');
+    }
+    let _ = write!(out, "\"{key}\":");
+    push_escaped(out, value);
+}
+
+fn push_raw_field(out: &mut String, key: &str, raw: &str) {
+    let _ = write!(out, ",\"{key}\":{raw}");
+}
+
+fn push_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A scalar value in a flat JSON object.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Scalar {
+    /// A JSON string.
+    Str(String),
+    /// A non-negative JSON number.
+    Num(u64),
+    /// A JSON boolean.
+    Bool(bool),
+}
+
+impl Scalar {
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Scalar::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Scalar::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Scalar::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one flat JSON object (`{"k":scalar,...}`; no nesting, no arrays,
+/// no floats) — the exact shape every runner record uses. Returns `None` on
+/// any syntax it does not understand, which is how torn manifest lines are
+/// detected.
+pub fn parse_flat(line: &str) -> Option<HashMap<String, Scalar>> {
+    let mut chars = line.trim().chars().peekable();
+    if chars.next()? != '{' {
+        return None;
+    }
+    let mut map = HashMap::new();
+    loop {
+        match chars.peek()? {
+            '}' => {
+                chars.next();
+                break;
+            }
+            ',' => {
+                chars.next();
+            }
+            _ => {}
+        }
+        if *chars.peek()? == '}' {
+            chars.next();
+            break;
+        }
+        let key = parse_string(&mut chars)?;
+        if chars.next()? != ':' {
+            return None;
+        }
+        let value = match *chars.peek()? {
+            '"' => Scalar::Str(parse_string(&mut chars)?),
+            't' | 'f' => {
+                let mut word = String::new();
+                while chars.peek().is_some_and(|c| c.is_ascii_alphabetic()) {
+                    word.push(chars.next()?);
+                }
+                match word.as_str() {
+                    "true" => Scalar::Bool(true),
+                    "false" => Scalar::Bool(false),
+                    _ => return None,
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut num = String::new();
+                while chars.peek().is_some_and(|c| c.is_ascii_digit()) {
+                    num.push(chars.next()?);
+                }
+                Scalar::Num(num.parse().ok()?)
+            }
+            _ => return None,
+        };
+        map.insert(key, value);
+    }
+    if chars.next().is_some() {
+        return None;
+    }
+    Some(map)
+}
+
+fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars>) -> Option<String> {
+    if chars.next()? != '"' {
+        return None;
+    }
+    let mut out = String::new();
+    loop {
+        match chars.next()? {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let mut code = 0u32;
+                    for _ in 0..4 {
+                        code = code * 16 + chars.next()?.to_digit(16)?;
+                    }
+                    out.push(char::from_u32(code)?);
+                }
+                _ => return None,
+            },
+            c => out.push(c),
+        }
+    }
+}
+
+/// Append-mode manifest writer; every [`Writer::append`] is one atomic-ish
+/// `write` + flush (see module docs).
+#[derive(Debug)]
+pub struct Writer {
+    file: File,
+}
+
+impl Writer {
+    /// Opens (creating if needed) `path` for appending.
+    pub fn open(path: &Path) -> io::Result<Writer> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Writer { file })
+    }
+
+    /// Appends one record as a single write, then flushes.
+    pub fn append(&mut self, record: &Record) -> io::Result<()> {
+        let mut line = record.to_json();
+        line.push('\n');
+        self.file.write_all(line.as_bytes())?;
+        self.file.flush()
+    }
+}
+
+/// Loads a manifest, repairing torn state in place: parsing stops at the
+/// first line that is incomplete (no trailing newline) or unparsable, the
+/// file is truncated to the end of the last good line, and the good records
+/// are returned. A missing manifest is an empty campaign, not an error.
+pub fn load_and_repair(path: &Path) -> io::Result<Vec<Record>> {
+    let mut file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes)?;
+    drop(file);
+    let mut records = Vec::new();
+    let mut good_len = 0usize;
+    let mut start = 0usize;
+    while start < bytes.len() {
+        let Some(nl) = bytes[start..].iter().position(|&b| b == b'\n') else {
+            break; // torn trailing line: no newline
+        };
+        let line = String::from_utf8_lossy(&bytes[start..start + nl]);
+        match Record::from_json(&line) {
+            Some(r) => {
+                records.push(r);
+                start += nl + 1;
+                good_len = start;
+            }
+            None => break, // torn or corrupt: stop trusting the rest
+        }
+    }
+    if good_len < bytes.len() {
+        OpenOptions::new().write(true).open(path)?.set_len(good_len as u64)?;
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("sas-runner-manifest-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("manifest.jsonl")
+    }
+
+    fn sample(cell: &str, ok: bool) -> Record {
+        Record {
+            cell: cell.to_string(),
+            ok,
+            exit: if ok { "halted".into() } else { "deadlock".into() },
+            detail: if ok { String::new() } else { "MSHR wedged \"hard\"\nline2".into() },
+            attempts: 2,
+            cycles: 123_456,
+            duration_ms: 78,
+            repro: if ok { None } else { Some("target/repro/x".into()) },
+        }
+    }
+
+    #[test]
+    fn records_round_trip_through_json() {
+        for r in [sample("spec/505.mcf_r/stt", true), sample("chaos/0xc4a05eed", false)] {
+            assert_eq!(Record::from_json(&r.to_json()), Some(r));
+        }
+    }
+
+    #[test]
+    fn writer_appends_and_loader_reads_back() {
+        let path = tmp("roundtrip");
+        let mut w = Writer::open(&path).unwrap();
+        let a = sample("spec/505.mcf_r/stt", true);
+        let b = sample("spec/505.mcf_r/fence", false);
+        w.append(&a).unwrap();
+        w.append(&b).unwrap();
+        assert_eq!(load_and_repair(&path).unwrap(), vec![a, b]);
+    }
+
+    #[test]
+    fn torn_trailing_line_is_truncated_in_place() {
+        let path = tmp("torn");
+        let mut w = Writer::open(&path).unwrap();
+        let a = sample("spec/505.mcf_r/stt", true);
+        w.append(&a).unwrap();
+        // Simulate a supervisor killed mid-write: a partial row, no newline.
+        use std::io::Write as _;
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"cell\":\"spec/505.mcf_r/fe").unwrap();
+        drop(f);
+        let records = load_and_repair(&path).unwrap();
+        assert_eq!(records, vec![a.clone()]);
+        // The file itself was repaired: loading again sees the same rows and
+        // appending continues cleanly.
+        let mut w = Writer::open(&path).unwrap();
+        let b = sample("spec/505.mcf_r/fence", false);
+        w.append(&b).unwrap();
+        assert_eq!(load_and_repair(&path).unwrap(), vec![a, b]);
+    }
+
+    #[test]
+    fn corrupt_middle_line_stops_the_parse() {
+        let path = tmp("corrupt");
+        std::fs::write(&path, format!("{}\nnot json\n{}\n", sample("a", true).to_json(), sample("b", true).to_json())).unwrap();
+        let records = load_and_repair(&path).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].cell, "a");
+        // Everything after the corruption was discarded from the file too.
+        assert_eq!(std::fs::read_to_string(&path).unwrap().lines().count(), 1);
+    }
+
+    #[test]
+    fn missing_manifest_is_an_empty_campaign() {
+        let path = tmp("missing").with_file_name("never-written.jsonl");
+        assert_eq!(load_and_repair(&path).unwrap(), Vec::new());
+    }
+}

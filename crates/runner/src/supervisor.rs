@@ -1,0 +1,509 @@
+//! The campaign supervisor: process isolation, watchdogs, retry/backoff,
+//! checkpointed manifests and graceful degradation.
+//!
+//! Every cell runs in a **child process** — the current executable re-invoked
+//! as `sas-runner cell <id>` — so a deadlocked simulator, a panicking
+//! harness or an OOM kill can only ever take down one cell. The parent
+//! enforces a wall-clock watchdog per cell, classifies failures into
+//! *deterministic* (recorded, never retried — the simulator is
+//! deterministic, a retry would reproduce the failure bit-for-bit) and
+//! *environmental* (spawn errors, signal kills: retried with exponential
+//! backoff), and appends every outcome to the crash-safe manifest the
+//! campaign can later `--resume` from.
+
+use crate::cell::{self, CellId, CellOutcome};
+use crate::manifest::{self, Record};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::io::Read as _;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Environment variable selecting the default worker count.
+pub const JOBS_ENV: &str = "SAS_RUNNER_JOBS";
+
+/// Child exit code for a deterministic cell failure (no retry).
+pub const EXIT_DETERMINISTIC: i32 = 10;
+
+/// Child exit code for an environmental (retriable) cell failure.
+pub const EXIT_ENVIRONMENTAL: i32 = 11;
+
+/// Supervision policy for one campaign.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Concurrent worker threads (each supervising one child at a time).
+    pub jobs: usize,
+    /// Per-cell wall-clock watchdog budget.
+    pub timeout: Duration,
+    /// Environmental retries per cell (attempts = retries + 1).
+    pub retries: u32,
+    /// Base backoff before the first environmental retry; doubles per retry.
+    pub backoff: Duration,
+    /// Manifest path (checkpoint + result log).
+    pub manifest_path: PathBuf,
+    /// Skip cells that already have a manifest row.
+    pub resume: bool,
+    /// Outer-loop iterations handed to bench cells.
+    pub iters: u32,
+    /// Cell id whose child gets [`sas_bench::FAULT_PLAN_ENV`] armed.
+    pub fault_cell: Option<String>,
+    /// The fault-plan spec to arm on that cell.
+    pub fault_plan: Option<String>,
+    /// Shrink deterministic failures into repro bundles.
+    pub shrink: bool,
+    /// Where repro bundles are written.
+    pub repro_dir: PathBuf,
+    /// The executable to re-invoke for child cells (defaults to
+    /// `current_exe`).
+    pub child_exe: PathBuf,
+}
+
+impl Config {
+    /// A default policy writing to `manifest_path`: jobs from
+    /// [`JOBS_ENV`] (default 1), 120 s watchdog, 2 environmental retries
+    /// with 200 ms base backoff, shrinking enabled into `target/repro`.
+    pub fn new(manifest_path: PathBuf) -> Config {
+        let jobs = std::env::var(JOBS_ENV)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&j| j >= 1)
+            .unwrap_or(1);
+        Config {
+            jobs,
+            timeout: Duration::from_secs(120),
+            retries: 2,
+            backoff: Duration::from_millis(200),
+            manifest_path,
+            resume: false,
+            iters: sas_bench::bench_iterations(),
+            fault_cell: None,
+            fault_plan: None,
+            shrink: true,
+            repro_dir: PathBuf::from("target/repro"),
+            child_exe: std::env::current_exe().unwrap_or_else(|_| PathBuf::from("sas-runner")),
+        }
+    }
+}
+
+/// What one supervised campaign did.
+#[derive(Debug)]
+pub struct CampaignReport {
+    /// Rows recorded by *this* run, in completion order.
+    pub records: Vec<Record>,
+    /// Rows inherited from the manifest via `--resume` (not re-run).
+    pub resumed: Vec<Record>,
+    /// The manifest everything was appended to.
+    pub manifest_path: PathBuf,
+}
+
+impl CampaignReport {
+    /// Every failed row, resumed ones included.
+    pub fn failures(&self) -> Vec<&Record> {
+        self.resumed.iter().chain(&self.records).filter(|r| !r.ok).collect()
+    }
+
+    /// Whether the campaign is fully green.
+    pub fn all_ok(&self) -> bool {
+        self.failures().is_empty()
+    }
+
+    /// The human failure summary printed at campaign end: one line per
+    /// failed cell, or an all-green note.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let total = self.records.len() + self.resumed.len();
+        let failures = self.failures();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "sas-runner: {total} cell(s) — {} ok, {} failed, {} resumed from {}",
+            total - failures.len(),
+            failures.len(),
+            self.resumed.len(),
+            self.manifest_path.display()
+        );
+        for f in &failures {
+            let _ = write!(out, "  FAILED {} [{}] after {} attempt(s)", f.cell, f.exit, f.attempts);
+            if let Some(repro) = &f.repro {
+                let _ = write!(out, " — repro: {repro}");
+            }
+            if !f.detail.is_empty() {
+                let first = f.detail.lines().next().unwrap_or_default();
+                let _ = write!(out, "\n         {first}");
+            }
+            let _ = writeln!(out);
+        }
+        if failures.is_empty() {
+            let _ = writeln!(out, "sas-runner: OK — no failed cells");
+        }
+        out
+    }
+}
+
+/// Runs a campaign under the supervision policy: dispatches `cells` across
+/// `cfg.jobs` workers, records every outcome in the manifest, and returns
+/// the report. Never aborts on a failed cell.
+pub fn run_campaign(cells: &[CellId], cfg: &Config) -> std::io::Result<CampaignReport> {
+    let mut resumed = Vec::new();
+    if cfg.resume {
+        let existing = manifest::load_and_repair(&cfg.manifest_path)?;
+        let wanted: HashSet<String> = cells.iter().map(|c| c.to_string()).collect();
+        let mut seen = HashSet::new();
+        for r in existing {
+            if wanted.contains(&r.cell) && seen.insert(r.cell.clone()) {
+                resumed.push(r);
+            }
+        }
+    } else if cfg.manifest_path.exists() {
+        std::fs::write(&cfg.manifest_path, b"")?;
+    }
+    let done: HashSet<&str> = resumed.iter().map(|r| r.cell.as_str()).collect();
+    let queue: VecDeque<CellId> =
+        cells.iter().filter(|c| !done.contains(c.to_string().as_str())).cloned().collect();
+    for r in &resumed {
+        eprintln!("sas-runner: resume — skipping completed cell {} [{}]", r.cell, r.exit);
+    }
+
+    let queue = Mutex::new(queue);
+    let writer = Mutex::new(manifest::Writer::open(&cfg.manifest_path)?);
+    let records = Mutex::new(Vec::new());
+    let workers = cfg.jobs.max(1).min(cells.len().max(1));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let Some(cell) = queue.lock().expect("queue lock").pop_front() else {
+                    return;
+                };
+                let mut record = supervise_cell(&cell, cfg);
+                if !record.ok && cfg.shrink && cell.shrinkable() && record.exit != "timeout" {
+                    if let Some(outcome) = crate::shrink::shrink_cell(&cell, cfg) {
+                        record.repro = Some(outcome.dir.display().to_string());
+                    }
+                }
+                writer
+                    .lock()
+                    .expect("manifest lock")
+                    .append(&record)
+                    .expect("manifest append");
+                records.lock().expect("records lock").push(record);
+            });
+        }
+    });
+    Ok(CampaignReport {
+        records: records.into_inner().expect("records lock"),
+        resumed,
+        manifest_path: cfg.manifest_path.clone(),
+    })
+}
+
+enum ChildEnd {
+    /// Clean exit 0 with a parsed result line.
+    Ok(CellOutcome),
+    /// Deterministic failure — do not retry.
+    Deterministic(CellOutcome),
+    /// Watchdog kill — recorded as `timeout`, not retried.
+    Timeout,
+    /// Environmental failure — retry with backoff.
+    Environmental(CellOutcome),
+}
+
+/// Supervises one cell to completion: spawn, watchdog, classify, retry.
+pub fn supervise_cell(cell: &CellId, cfg: &Config) -> Record {
+    let id = cell.to_string();
+    let start = Instant::now();
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        let end = run_child(cell, cfg, attempt);
+        let finish = |ok: bool, exit: String, detail: String, cycles: u64| Record {
+            cell: id.clone(),
+            ok,
+            exit,
+            detail,
+            attempts: attempt,
+            cycles,
+            duration_ms: start.elapsed().as_millis() as u64,
+            repro: None,
+        };
+        match end {
+            ChildEnd::Ok(o) => return finish(true, o.exit, o.detail, o.cycles),
+            ChildEnd::Deterministic(o) => return finish(false, o.exit, o.detail, o.cycles),
+            ChildEnd::Timeout => {
+                return finish(
+                    false,
+                    "timeout".to_string(),
+                    format!("watchdog killed the cell after {} ms", cfg.timeout.as_millis()),
+                    0,
+                )
+            }
+            ChildEnd::Environmental(o) => {
+                if attempt > cfg.retries {
+                    return finish(false, o.exit, o.detail, o.cycles);
+                }
+                let backoff = cfg.backoff * 2u32.saturating_pow(attempt - 1);
+                eprintln!(
+                    "sas-runner: {} attempt {attempt} failed environmentally ({}); retrying in {} ms",
+                    id,
+                    o.exit,
+                    backoff.as_millis()
+                );
+                std::thread::sleep(backoff);
+            }
+        }
+    }
+}
+
+fn env_failure(cell: &CellId, exit: &str, detail: String) -> CellOutcome {
+    CellOutcome {
+        cell: cell.to_string(),
+        ok: false,
+        exit: exit.to_string(),
+        detail,
+        cycles: 0,
+        retriable: true,
+    }
+}
+
+fn run_child(cell: &CellId, cfg: &Config, attempt: u32) -> ChildEnd {
+    let id = cell.to_string();
+    let mut cmd = Command::new(&cfg.child_exe);
+    cmd.arg("cell")
+        .arg(&id)
+        .arg("--iters")
+        .arg(cfg.iters.to_string())
+        .env_remove(sas_bench::FAULT_PLAN_ENV)
+        .env_remove(sas_bench::CELL_ENV)
+        .env(cell::ATTEMPT_ENV, attempt.to_string())
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped());
+    if let (Some(fault_cell), Some(plan)) = (&cfg.fault_cell, &cfg.fault_plan) {
+        if fault_cell == &id {
+            cmd.env(sas_bench::FAULT_PLAN_ENV, plan);
+        }
+    }
+    let mut child = match cmd.spawn() {
+        Ok(c) => c,
+        Err(e) => return ChildEnd::Environmental(env_failure(cell, "spawn", e.to_string())),
+    };
+    // Drain both pipes on reader threads so a chatty child never blocks on a
+    // full pipe while the parent only polls `try_wait`.
+    let mut stdout_pipe = child.stdout.take().expect("piped stdout");
+    let mut stderr_pipe = child.stderr.take().expect("piped stderr");
+    let stdout_reader = std::thread::spawn(move || {
+        let mut buf = Vec::new();
+        let _ = stdout_pipe.read_to_end(&mut buf);
+        buf
+    });
+    let stderr_reader = std::thread::spawn(move || {
+        let mut buf = Vec::new();
+        let _ = stderr_pipe.read_to_end(&mut buf);
+        buf
+    });
+
+    let started = Instant::now();
+    let status = loop {
+        match child.try_wait() {
+            Ok(Some(status)) => break status,
+            Ok(None) => {
+                if started.elapsed() >= cfg.timeout {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    let _ = stdout_reader.join();
+                    let _ = stderr_reader.join();
+                    return ChildEnd::Timeout;
+                }
+                std::thread::sleep(Duration::from_millis(15));
+            }
+            Err(e) => {
+                let _ = child.kill();
+                let _ = child.wait();
+                let _ = stdout_reader.join();
+                let _ = stderr_reader.join();
+                return ChildEnd::Environmental(env_failure(cell, "wait", e.to_string()));
+            }
+        }
+    };
+    let stdout = String::from_utf8_lossy(&stdout_reader.join().unwrap_or_default()).into_owned();
+    let stderr = String::from_utf8_lossy(&stderr_reader.join().unwrap_or_default()).into_owned();
+    let reported = parse_result_line(&stdout);
+    match status.code() {
+        Some(0) => match reported {
+            Some(o) if o.ok => ChildEnd::Ok(o),
+            // An exit-0 child that reported a failure (or nothing) broke the
+            // protocol; treat as environmental once, deterministic when it
+            // persists — retries sort it out.
+            _ => ChildEnd::Environmental(env_failure(
+                cell,
+                "protocol",
+                "child exited 0 without an ok result line".to_string(),
+            )),
+        },
+        Some(EXIT_DETERMINISTIC) => ChildEnd::Deterministic(reported.unwrap_or_else(|| {
+            let mut o = env_failure(cell, "failed", tail(&stderr));
+            o.retriable = false;
+            o
+        })),
+        Some(EXIT_ENVIRONMENTAL) => ChildEnd::Environmental(
+            reported.unwrap_or_else(|| env_failure(cell, "environmental", tail(&stderr))),
+        ),
+        // A raw panic (or any unexpected exit code) is deterministic: the
+        // simulator and harnesses are seeded, so re-running reproduces it.
+        Some(code) => {
+            let exit = if code == 101 { "panic".to_string() } else { format!("exit:{code}") };
+            ChildEnd::Deterministic(CellOutcome {
+                cell: id,
+                ok: false,
+                exit,
+                detail: tail(&stderr),
+                cycles: 0,
+                retriable: false,
+            })
+        }
+        // Killed by a signal (OOM killer, operator): environmental.
+        None => ChildEnd::Environmental(env_failure(cell, "signal", tail(&stderr))),
+    }
+}
+
+/// The child's final `SAS_RUNNER_RESULT` line, if it printed one.
+fn parse_result_line(stdout: &str) -> Option<CellOutcome> {
+    stdout
+        .lines()
+        .rev()
+        .find_map(|l| l.trim().strip_prefix(cell::RESULT_MARKER))
+        .and_then(CellOutcome::from_json)
+}
+
+/// The last few stderr lines, for failure diagnostics.
+fn tail(stderr: &str) -> String {
+    let lines: Vec<&str> = stderr.lines().collect();
+    let start = lines.len().saturating_sub(6);
+    lines[start..].join("\n")
+}
+
+/// Renders a normalized-overhead summary for a completed fig6/fig7-style
+/// campaign from its manifest rows: per benchmark, each mitigation's cycles
+/// over the unsafe baseline's, plus the geomean row. Benchmarks missing
+/// their baseline (it failed) are listed as unnormalizable.
+pub fn norm_summary(records: &[Record]) -> String {
+    use std::fmt::Write as _;
+    // benchmark -> mitigation-token -> cycles
+    let mut grid: HashMap<String, HashMap<String, u64>> = HashMap::new();
+    let mut benchmarks: Vec<String> = Vec::new();
+    for r in records.iter().filter(|r| r.ok) {
+        if let Ok(CellId::Spec { benchmark, mitigation } | CellId::Parsec { benchmark, mitigation }) =
+            CellId::parse(&r.cell)
+        {
+            if !grid.contains_key(&benchmark) {
+                benchmarks.push(benchmark.clone());
+            }
+            grid.entry(benchmark).or_default().insert(mitigation.token().to_string(), r.cycles);
+        }
+    }
+    if benchmarks.is_empty() {
+        return String::new();
+    }
+    let columns: Vec<&str> = ["fence", "stt", "ghostminion", "specasan"]
+        .into_iter()
+        .filter(|c| grid.values().any(|row| row.contains_key(*c)))
+        .collect();
+    let mut out = String::new();
+    let _ = write!(out, "{:<16}", "Benchmark");
+    for c in &columns {
+        let _ = write!(out, " {c:>12}");
+    }
+    let _ = writeln!(out);
+    let mut per_col: Vec<Vec<f64>> = vec![Vec::new(); columns.len()];
+    for b in &benchmarks {
+        let row = &grid[b];
+        let Some(&base) = row.get("unsafe").filter(|&&c| c > 0) else {
+            let _ = writeln!(out, "{b:<16}  (no unsafe baseline — unnormalizable)");
+            continue;
+        };
+        let _ = write!(out, "{b:<16}");
+        for (i, c) in columns.iter().enumerate() {
+            match row.get(*c) {
+                Some(&cycles) => {
+                    let norm = cycles as f64 / base as f64;
+                    per_col[i].push(norm);
+                    let _ = write!(out, " {norm:>12.3}");
+                }
+                None => {
+                    let _ = write!(out, " {:>12}", "-");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    let _ = write!(out, "{:<16}", "geomean");
+    for norms in &per_col {
+        if norms.is_empty() {
+            let _ = write!(out, " {:>12}", "-");
+        } else {
+            let _ = write!(out, " {:>12.3}", sas_bench::geomean(norms));
+        }
+    }
+    let _ = writeln!(out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(cell: &str, ok: bool, cycles: u64) -> Record {
+        Record {
+            cell: cell.into(),
+            ok,
+            exit: if ok { "halted".into() } else { "deadlock".into() },
+            detail: String::new(),
+            attempts: 1,
+            cycles,
+            duration_ms: 1,
+            repro: None,
+        }
+    }
+
+    #[test]
+    fn summary_names_every_failed_cell() {
+        let report = CampaignReport {
+            records: vec![rec("spec/505.mcf_r/stt", false, 0), rec("spec/505.mcf_r/fence", true, 10)],
+            resumed: vec![rec("spec/505.mcf_r/specasan", true, 9)],
+            manifest_path: PathBuf::from("m.jsonl"),
+        };
+        let s = report.summary();
+        assert!(s.contains("FAILED spec/505.mcf_r/stt [deadlock]"), "{s}");
+        assert!(s.contains("3 cell(s)"), "{s}");
+        assert!(!report.all_ok());
+    }
+
+    #[test]
+    fn norm_summary_normalizes_against_the_unsafe_baseline() {
+        let records = vec![
+            rec("spec/505.mcf_r/unsafe", true, 1000),
+            rec("spec/505.mcf_r/stt", true, 1500),
+            rec("spec/505.mcf_r/specasan", true, 1020),
+            rec("spec/519.lbm_r/stt", true, 999), // baseline missing
+        ];
+        let s = norm_summary(&records);
+        assert!(s.contains("1.500"), "{s}");
+        assert!(s.contains("1.020"), "{s}");
+        assert!(s.contains("unnormalizable"), "{s}");
+    }
+
+    #[test]
+    fn result_lines_parse_from_mixed_stdout() {
+        let o = CellOutcome {
+            cell: "selftest/ok".into(),
+            ok: true,
+            exit: "halted".into(),
+            detail: String::new(),
+            cycles: 5,
+            retriable: false,
+        };
+        let stdout = format!("noise\nmore noise\n{}{}\n", cell::RESULT_MARKER, o.to_json());
+        assert_eq!(parse_result_line(&stdout), Some(o));
+        assert_eq!(parse_result_line("no marker here\n"), None);
+    }
+}

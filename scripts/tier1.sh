@@ -6,6 +6,11 @@
 # dependency will fail this script — that is intentional (see ISSUE 1 /
 # CHANGES.md): reproductions must build from source alone.
 #
+# Campaign-shaped stages (bench smoke, chaos, fault-injection acceptance)
+# run through sas-runner (DESIGN.md §8): every cell is an isolated child
+# process with a watchdog, failures are recorded instead of aborting the
+# campaign, and deterministic failures get minimized repro bundles.
+#
 # Usage: scripts/tier1.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -18,8 +23,9 @@ cargo build --release --offline --workspace --benches --examples --bins
 echo "== tier1: offline test suite =="
 cargo test -q --offline
 
-echo "== tier1: bench smoke (SAS_BENCH_ITERS=2, fig6) =="
-SAS_BENCH_ITERS=2 cargo bench -q --offline -p sas-bench --bench fig6_spec_overhead
+echo "== tier1: bench smoke (fig6 grid via sas-runner, 75 isolated cells) =="
+./target/release/sas-runner fig6 --iters 2 --jobs 2 --timeout-ms 120000 \
+  --manifest target/sas-runner/tier1-fig6.jsonl
 
 echo "== tier1: static analysis cross-validation (sas-lint --all-attacks) =="
 # The static analyzer must flag exactly the attacks whose dynamic run leaks,
@@ -28,10 +34,37 @@ echo "== tier1: static analysis cross-validation (sas-lint --all-attacks) =="
 cargo run -q --release --offline -p sas-analyze --bin sas-lint -- \
   --all-attacks --expect crates/analyze/expected_verdicts.txt
 
-echo "== tier1: chaos smoke (60 seeded fault campaigns) =="
+echo "== tier1: chaos campaigns (60 seeded fault campaigns via sas-runner) =="
 # Every injected corruption must be caught (oracle divergence, fault,
 # deadlock, or post-run audit) and replay exactly from its reported seed;
-# sas-chaos exits nonzero on any silent escape, stressor divergence or panic.
-cargo run -q --release --offline --bin sas-chaos -- 60
+# a silent escape, stressor divergence or panic fails its cell.
+./target/release/sas-runner chaos --campaigns 60 --jobs 2 --timeout-ms 120000 \
+  --manifest target/sas-runner/tier1-chaos.jsonl
+
+echo "== tier1: supervisor kill-path selftest (panic / hang / flaky cells) =="
+# Self-verifying campaign over deliberately misbehaving cells: a panicking
+# child is recorded without aborting the campaign, a hung child is killed by
+# the watchdog and recorded as exit:"timeout", and an environmental flake
+# succeeds on retry. SAS_RUNNER_SELFTEST=1 opts the hang cell in.
+SAS_RUNNER_SELFTEST=1 ./target/release/sas-runner selftest --timeout-ms 5000 \
+  --manifest target/sas-runner/tier1-selftest.jsonl
+
+echo "== tier1: fault-injection acceptance (graceful degradation + repro replay) =="
+# A fault plan deterministically deadlocks one SPEC cell. The campaign must
+# complete every other cell, exit nonzero naming the failed cell, and write
+# a minimized repro bundle whose replay reproduces the failure class.
+rm -rf target/repro-tier1 target/sas-runner/tier1-acceptance.jsonl
+if ./target/release/sas-runner fig6 --benchmarks 505.mcf_r --iters 2 --jobs 2 \
+    --timeout-ms 120000 \
+    --fault-cell spec/505.mcf_r/stt --fault-plan "seed=0x2a mshr_drop_fill=1000,2" \
+    --manifest target/sas-runner/tier1-acceptance.jsonl \
+    --repro-dir target/repro-tier1; then
+  echo "tier1: FAIL — campaign with an injected fault must exit nonzero" >&2
+  exit 1
+fi
+grep -q '"cell":"spec/505.mcf_r/stt","ok":false' \
+  target/sas-runner/tier1-acceptance.jsonl
+[ "$(grep -c '"ok":true' target/sas-runner/tier1-acceptance.jsonl)" -eq 4 ]
+./target/release/sas-runner replay target/repro-tier1/spec-505.mcf_r-stt
 
 echo "== tier1: OK =="

@@ -1,8 +1,11 @@
 //! `sas-chaos` — seeded fault-injection campaigns against the simulator.
 //!
-//! Each campaign derives everything — the victim program, the fault plan,
-//! the mitigation under test — from one 64-bit seed, runs the pipeline with
-//! the lockstep architectural oracle attached, and demands that:
+//! Campaign construction and judging live in [`specasan::chaos`], so this
+//! CLI, the `sas-runner` supervisor and repro-bundle replays all share one
+//! code path. Each campaign derives everything — the victim program, the
+//! fault plan, the mitigation under test — from one 64-bit seed, runs the
+//! pipeline with the lockstep architectural oracle attached, and demands
+//! that:
 //!
 //! * every injected *corruption* (tag flip, architectural bit flip, dropped
 //!   fill) is caught — by an oracle divergence, a fault, the deadlock
@@ -24,269 +27,8 @@
 //! Exits nonzero on any silent escape, stressor divergence, replay mismatch
 //! or panic.
 
-use sas_isa::{Cond, Operand, Program, ProgramBuilder, Reg};
-use sas_pipeline::{FaultPlan, InjectionPoint, RunExit};
-use sas_ptest::Rng;
-use specasan::{Mitigation, Simulator};
-use std::panic::{catch_unwind, AssertUnwindSafe};
+use specasan::chaos::{campaign_seed, judge, Class};
 use std::process::ExitCode;
-
-/// Scratch window every campaign program works in.
-const BASE: u64 = 0x4000;
-/// Window length: 64 8-byte slots, 32 tag granules, 8 cache lines.
-const LEN: u64 = 0x200;
-/// Stores stay in the lower half; corruption targeting the upper half can
-/// never be masked by a later architectural write, so detection is exact.
-const STORE_HALF: u64 = 0x100;
-
-/// Fault classes, one per campaign, selected by `seed % 4`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Class {
-    TagFlip,
-    ArchBitFlip,
-    DroppedFill,
-    Stressor,
-}
-
-impl Class {
-    fn of(seed: u64) -> Class {
-        match seed % 4 {
-            0 => Class::TagFlip,
-            1 => Class::ArchBitFlip,
-            2 => Class::DroppedFill,
-            _ => Class::Stressor,
-        }
-    }
-
-    fn corrupting(self) -> bool {
-        self != Class::Stressor
-    }
-
-    fn name(self) -> &'static str {
-        match self {
-            Class::TagFlip => "tag_flip",
-            Class::ArchBitFlip => "arch_bit_flip",
-            Class::DroppedFill => "dropped_fill",
-            Class::Stressor => "stressor",
-        }
-    }
-}
-
-fn plan_for(seed: u64, class: Class) -> FaultPlan {
-    let p = FaultPlan::new(seed);
-    match class {
-        // Corruptions fire deterministically (rate 1000‰) exactly once, in
-        // the read-only half of the window where no store can mask them.
-        Class::TagFlip => p
-            .enable(InjectionPoint::TagFlip, 1000, 1)
-            .target_window(BASE + STORE_HALF, LEN - STORE_HALF),
-        Class::ArchBitFlip => p
-            .enable(InjectionPoint::ArchBitFlip, 1000, 1)
-            .target_window(BASE + STORE_HALF, LEN - STORE_HALF),
-        Class::DroppedFill => p.enable(InjectionPoint::MshrDropFill, 1000, 1),
-        Class::Stressor => p
-            .enable(InjectionPoint::ForceMispredict, 300, 16)
-            .enable(InjectionPoint::SquashStorm, 100, 4),
-    }
-}
-
-/// A deterministic victim program: random ALU/memory traffic over the
-/// scratch window, then two self-checking sweeps — an 8-byte XOR checksum
-/// of every slot and an LDG XOR checksum of every granule's allocation tag.
-/// The sweeps guarantee every corrupted byte and tag is re-read before HALT,
-/// and the oracle cross-checks each retired value in lockstep.
-fn campaign_program(seed: u64) -> Program {
-    let mut rng = Rng::new(seed);
-    let mut asm = ProgramBuilder::new();
-    asm.mov_imm64(Reg::x(6), BASE);
-    for k in 0..24u64 {
-        match rng.below(5) {
-            0 => {
-                let d = Reg::x(rng.below(4) as u8);
-                asm.add(d, Reg::x(rng.below(4) as u8), Operand::Imm(rng.below(256)));
-            }
-            1 => {
-                let d = Reg::x(rng.below(4) as u8);
-                asm.eor(d, Reg::x(rng.below(4) as u8), Operand::Imm(rng.below(256)));
-            }
-            2 => {
-                let slot = rng.below(64) * 8;
-                asm.ldr(Reg::x(rng.below(4) as u8), Reg::x(6), slot as i64);
-            }
-            3 => {
-                // Stores stay below STORE_HALF (see above).
-                let slot = rng.below(STORE_HALF / 8) * 8;
-                asm.str(Reg::x(rng.below(4) as u8), Reg::x(6), slot as i64);
-            }
-            _ => {
-                asm.movz(Reg::x(rng.below(4) as u8), rng.below(0x10000) as u16, 0);
-            }
-        }
-        if k % 6 == 5 {
-            // A branch whose taken and fall-through targets coincide: it is
-            // architecturally a no-op, but gives forced mispredictions and
-            // squash storms real squashes to provoke.
-            asm.cmp(Reg::x(rng.below(4) as u8), Operand::Imm(rng.below(128)));
-            let next = asm.here() + 1;
-            asm.b_cond_idx(Cond::Eq, next);
-        }
-    }
-    // Data checksum: x0 = XOR of all 64 slots.
-    asm.movz(Reg::x(0), 0, 0);
-    for slot in 0..(LEN / 8) {
-        asm.ldr(Reg::x(1), Reg::x(6), (slot * 8) as i64);
-        asm.eor(Reg::x(0), Reg::x(0), Operand::Reg(Reg::x(1)));
-    }
-    // Tag checksum: x2 = XOR of all 32 granule tags.
-    asm.mov_imm64(Reg::x(5), BASE);
-    asm.movz(Reg::x(2), 0, 0);
-    for _ in 0..(LEN / 16) {
-        asm.ldg(Reg::x(3), Reg::x(5));
-        asm.eor(Reg::x(2), Reg::x(2), Operand::Reg(Reg::x(3)));
-        asm.add(Reg::x(5), Reg::x(5), Operand::Imm(16));
-    }
-    asm.halt();
-    let fill: Vec<u8> = (0..LEN).map(|i| (i as u8).wrapping_mul(0xA5) ^ seed as u8).collect();
-    asm.data_segment(BASE, fill);
-    asm.build().expect("campaign programs always assemble")
-}
-
-/// Everything one campaign run is judged on — and everything that must be
-/// identical when the campaign is replayed from its seed.
-#[derive(Debug, Clone, PartialEq, Eq)]
-struct Outcome {
-    exit: &'static str,
-    cycles: u64,
-    corruptions: u64,
-    perturbations: u64,
-    audit_clean: bool,
-    detail: String,
-}
-
-impl Outcome {
-    /// An injected corruption was observed by *some* detector.
-    fn detected(&self) -> bool {
-        self.exit != "halted" || !self.audit_clean
-    }
-}
-
-fn run_campaign(seed: u64) -> Outcome {
-    let class = Class::of(seed);
-    let m = Mitigation::all()[((seed / 4) % 8) as usize];
-    let mut sim = Simulator::builder()
-        .mitigation(m)
-        .program(campaign_program(seed))
-        .tag_range(BASE, LEN, 5)
-        .fault_plan(plan_for(seed, class))
-        .oracle()
-        .max_cycles(2_000_000)
-        .build();
-    let rep = sim.run();
-    let corruptions = sim.system().corruption_injections();
-    let perturbations = sim.system().fault_injections();
-    let oracle = sim.system().oracle().expect("oracle attached");
-    let audit = oracle.audit_memory(sim.system().mem(), BASE, BASE + LEN);
-    let detail = match (&rep.result.exit, &audit) {
-        (RunExit::Divergence(d), _) => d.to_string(),
-        (_, Err(d)) => format!("audit: {d}"),
-        (RunExit::Faulted(f), _) => format!("{f:?}"),
-        _ => String::new(),
-    };
-    Outcome {
-        exit: sas_bench_exit_tag(&rep.result.exit),
-        cycles: rep.result.cycles,
-        corruptions,
-        perturbations,
-        audit_clean: audit.is_ok(),
-        detail,
-    }
-}
-
-/// Local copy of the bench emitter's exit tagging (the umbrella binary does
-/// not link `sas-bench`).
-fn sas_bench_exit_tag(exit: &RunExit) -> &'static str {
-    match exit {
-        RunExit::Halted => "halted",
-        RunExit::Faulted(_) => "faulted",
-        RunExit::CycleLimit => "cycle_limit",
-        RunExit::Deadlock(_) => "deadlock",
-        RunExit::Divergence(_) => "divergence",
-        RunExit::Error(_) => "error",
-    }
-}
-
-/// Runs one campaign twice (run + replay) under a panic guard and returns
-/// the failure reasons, if any.
-fn judge(seed: u64, verbose: bool) -> Vec<String> {
-    let class = Class::of(seed);
-    let mut failures = Vec::new();
-    let run = |label: &str, failures: &mut Vec<String>| -> Option<Outcome> {
-        match catch_unwind(AssertUnwindSafe(|| run_campaign(seed))) {
-            Ok(o) => Some(o),
-            Err(_) => {
-                failures.push(format!(
-                    "seed {seed:#x} ({}): PANIC escaped the SimError path on {label}",
-                    class.name()
-                ));
-                None
-            }
-        }
-    };
-    let Some(first) = run("first run", &mut failures) else { return failures };
-    if class.corrupting() {
-        if first.corruptions == 0 {
-            failures.push(format!(
-                "seed {seed:#x} ({}): corruption plan never fired",
-                class.name()
-            ));
-        } else if !first.detected() {
-            failures.push(format!(
-                "seed {seed:#x} ({}): {} corruption(s) escaped silently (exit {}, audit clean)",
-                class.name(),
-                first.corruptions,
-                first.exit
-            ));
-        }
-    } else {
-        if first.exit != "halted" {
-            failures.push(format!(
-                "seed {seed:#x} (stressor): benign perturbations changed the exit to {} — {}",
-                first.exit, first.detail
-            ));
-        }
-        if !first.audit_clean {
-            failures.push(format!(
-                "seed {seed:#x} (stressor): benign perturbations corrupted memory — {}",
-                first.detail
-            ));
-        }
-    }
-    if let Some(second) = run("replay", &mut failures) {
-        if second != first {
-            failures.push(format!(
-                "seed {seed:#x} ({}): replay mismatch — first {first:?}, replay {second:?}",
-                class.name()
-            ));
-        }
-    }
-    if verbose {
-        println!(
-            "seed {seed:#x}: class {} mitigation {} exit {} cycles {} \
-             corruptions {} perturbations {} audit_clean {}",
-            class.name(),
-            Mitigation::all()[((seed / 4) % 8) as usize],
-            first.exit,
-            first.cycles,
-            first.corruptions,
-            first.perturbations,
-            first.audit_clean,
-        );
-        if !first.detail.is_empty() {
-            println!("  {}", first.detail);
-        }
-    }
-    failures
-}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -311,8 +53,7 @@ fn main() -> ExitCode {
     let mut per_class = [0u64; 4];
     let mut detected = 0u64;
     for i in 0..n {
-        // An odd-multiplier walk visits every class and mitigation residue.
-        let seed = 0xC4A0_5EEDu64.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let seed = campaign_seed(i);
         let class = Class::of(seed);
         per_class[seed as usize % 4] += 1;
         let fs = judge(seed, false);

@@ -15,17 +15,7 @@ use specasan::{Mitigation, SimConfig, Simulator};
 use std::process::ExitCode;
 
 fn parse_mitigation(s: &str) -> Option<Mitigation> {
-    Some(match s.to_ascii_lowercase().as_str() {
-        "unsafe" | "baseline" | "none" => Mitigation::Unsafe,
-        "mte" | "mte-only" => Mitigation::MteOnly,
-        "fence" | "barriers" => Mitigation::Fence,
-        "stt" => Mitigation::Stt,
-        "ghostminion" | "ghost" | "gm" => Mitigation::GhostMinion,
-        "specasan" | "asan" => Mitigation::SpecAsan,
-        "speccfi" | "cfi" => Mitigation::SpecCfi,
-        "specasan+cfi" | "combo" | "specasan-cfi" => Mitigation::SpecAsanCfi,
-        _ => return None,
-    })
+    Mitigation::parse(s)
 }
 
 fn usage() -> ExitCode {
