@@ -24,6 +24,7 @@ fn main() {
         }
         let base = run_spec(&p, Mitigation::Unsafe, iters);
         if filtered && cell_enabled(p.name, Mitigation::Unsafe) {
+            let cpi = sas_bench::cpi_json(&base);
             jsonl::emit(
                 "fig6",
                 &[
@@ -31,6 +32,7 @@ fn main() {
                     ("mitigation", "unsafe".into()),
                     ("cycles", base.cycles.into()),
                     ("norm", 1.0.into()),
+                    ("cpi", jsonl::Value::Raw(&cpi)),
                 ],
             );
         }
@@ -44,6 +46,7 @@ fn main() {
             per_col[i].push(norm);
             row.push(norm);
             let ms = m.to_string();
+            let cpi = sas_bench::cpi_json(&c);
             jsonl::emit(
                 "fig6",
                 &[
@@ -51,6 +54,7 @@ fn main() {
                     ("mitigation", ms.as_str().into()),
                     ("cycles", c.cycles.into()),
                     ("norm", norm.into()),
+                    ("cpi", jsonl::Value::Raw(&cpi)),
                 ],
             );
         }

@@ -21,6 +21,7 @@ fn main() {
         }
         let base = run_parsec(&p, Mitigation::Unsafe, iters);
         if filtered && cell_enabled(p.name, Mitigation::Unsafe) {
+            let cpi = sas_bench::cpi_json(&base);
             jsonl::emit(
                 "fig7",
                 &[
@@ -28,6 +29,7 @@ fn main() {
                     ("mitigation", "unsafe".into()),
                     ("cycles", base.cycles.into()),
                     ("norm", 1.0.into()),
+                    ("cpi", jsonl::Value::Raw(&cpi)),
                 ],
             );
         }
@@ -41,6 +43,7 @@ fn main() {
             per_col[i].push(norm);
             row.push(norm);
             let ms = m.to_string();
+            let cpi = sas_bench::cpi_json(&c);
             jsonl::emit(
                 "fig7",
                 &[
@@ -48,6 +51,7 @@ fn main() {
                     ("mitigation", ms.as_str().into()),
                     ("cycles", c.cycles.into()),
                     ("norm", norm.into()),
+                    ("cpi", jsonl::Value::Raw(&cpi)),
                 ],
             );
         }

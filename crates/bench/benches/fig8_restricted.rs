@@ -32,6 +32,7 @@ fn main() {
             row.push(100.0 * r);
             sums[i] += r;
             let ms = m.to_string();
+            let cpi = sas_bench::cpi_json(&c);
             jsonl::emit(
                 "fig8",
                 &[
@@ -39,6 +40,7 @@ fn main() {
                     ("benchmark", p.name.into()),
                     ("mitigation", ms.as_str().into()),
                     ("restricted_pct", (100.0 * r).into()),
+                    ("cpi", jsonl::Value::Raw(&cpi)),
                 ],
             );
         }
@@ -68,6 +70,7 @@ fn main() {
             row.push(100.0 * r);
             sums[i] += r;
             let ms = m.to_string();
+            let cpi = sas_bench::cpi_json(&c);
             jsonl::emit(
                 "fig8",
                 &[
@@ -75,6 +78,7 @@ fn main() {
                     ("benchmark", p.name.into()),
                     ("mitigation", ms.as_str().into()),
                     ("restricted_pct", (100.0 * r).into()),
+                    ("cpi", jsonl::Value::Raw(&cpi)),
                 ],
             );
         }

@@ -31,6 +31,7 @@ fn main() {
             per_col[i].push(norm);
             row.push(norm);
             let ms = m.to_string();
+            let cpi = sas_bench::cpi_json(&c);
             jsonl::emit(
                 "fig9",
                 &[
@@ -38,6 +39,7 @@ fn main() {
                     ("mitigation", ms.as_str().into()),
                     ("cycles", c.cycles.into()),
                     ("norm", norm.into()),
+                    ("cpi", jsonl::Value::Raw(&cpi)),
                 ],
             );
         }

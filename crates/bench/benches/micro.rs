@@ -3,10 +3,11 @@
 //! internal harness (`sas_bench::timing`).
 
 use sas_bench::timing::run_case;
-use sas_isa::{Cond, Operand, ProgramBuilder, Reg, TagNibble, VirtAddr};
+use sas_isa::{Cond, Operand, Program, ProgramBuilder, Reg, TagNibble, VirtAddr};
 use sas_mem::{Cache, CacheConfig, FillMode, LineFillBuffer, MemConfig, MemSystem};
 use sas_mte::{check_access, TagStorage};
-use sas_pipeline::{CoreConfig, NoPolicy, System};
+use sas_pipeline::{CoreConfig, CoreStats, DelayCause, NoPolicy, System};
+use std::collections::HashMap;
 use std::hint::black_box;
 
 fn bench_tag_check() {
@@ -46,24 +47,65 @@ fn bench_mem_load() {
     });
 }
 
+fn bench_stats() {
+    // The delay-accounting hot path: every stalled uop charges a cause each
+    // cycle. Typed `DelayTable` indexing (an array index) vs the pre-PR-5
+    // scheme of a `HashMap<String, u64>` keyed by `format!("{cause:?}")`.
+    run_case("micro", "stats/record_delay_typed", || {
+        let mut s = CoreStats::default();
+        for _ in 0..64 {
+            for c in DelayCause::ALL {
+                s.record_delay(c, 1);
+            }
+        }
+        s.total_delay_cycles()
+    });
+    run_case("micro", "stats/record_delay_string_keys", || {
+        let mut cycles: HashMap<String, u64> = HashMap::new();
+        let mut events: HashMap<String, u64> = HashMap::new();
+        for _ in 0..64 {
+            for c in DelayCause::ALL {
+                *cycles.entry(format!("{c:?}")).or_insert(0) += 1;
+                *events.entry(format!("{c:?}")).or_insert(0) += 1;
+            }
+        }
+        cycles.values().sum::<u64>()
+    });
+}
+
+fn loop_program() -> Program {
+    let mut asm = ProgramBuilder::new();
+    asm.movz(Reg::X0, 250, 0);
+    let top = asm.here();
+    asm.add(Reg::X1, Reg::X1, Operand::imm(1));
+    asm.sub(Reg::X0, Reg::X0, Operand::imm(1));
+    asm.cmp(Reg::X0, Operand::imm(0));
+    asm.b_cond_idx(Cond::Ne, top);
+    asm.halt();
+    asm.build().unwrap()
+}
+
 fn bench_pipeline() {
     // Whole-machine throughput: simulated instructions per host second on a
-    // small loop.
+    // small loop. Telemetry is disabled by default; the second case enables
+    // it so any overhead of the default-off path shows up as a delta here.
     run_case("micro", "pipeline/loop_1k_insts", || {
-        let mut asm = ProgramBuilder::new();
-        asm.movz(Reg::X0, 250, 0);
-        let top = asm.here();
-        asm.add(Reg::X1, Reg::X1, Operand::imm(1));
-        asm.sub(Reg::X0, Reg::X0, Operand::imm(1));
-        asm.cmp(Reg::X0, Operand::imm(0));
-        asm.b_cond_idx(Cond::Ne, top);
-        asm.halt();
         let mut sys = System::single_core(
             CoreConfig::table2(),
             MemConfig::default(),
-            asm.build().unwrap(),
+            loop_program(),
             Box::new(NoPolicy),
         );
+        black_box(sys.run(100_000))
+    });
+    run_case("micro", "pipeline/loop_1k_telemetry", || {
+        let mut sys = System::single_core(
+            CoreConfig::table2(),
+            MemConfig::default(),
+            loop_program(),
+            Box::new(NoPolicy),
+        );
+        sys.enable_telemetry(64, 4096);
         black_box(sys.run(100_000))
     });
 }
@@ -71,11 +113,12 @@ fn bench_pipeline() {
 fn main() {
     println!("== Microbenchmarks (internal timing harness) ==");
     // Single-cell mode: `SAS_RUNNER_CELL=<group>` runs one group of cases.
-    let groups: [(&str, fn()); 5] = [
+    let groups: [(&str, fn()); 6] = [
         ("tag_check", bench_tag_check),
         ("cache", bench_cache),
         ("lfb", bench_lfb),
         ("mem_load", bench_mem_load),
+        ("stats", bench_stats),
         ("pipeline", bench_pipeline),
     ];
     for (name, run) in groups {

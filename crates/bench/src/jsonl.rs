@@ -21,6 +21,11 @@ pub enum Value<'a> {
     U64(u64),
     /// A boolean field.
     Bool(bool),
+    /// A pre-serialized JSON fragment spliced in verbatim (e.g. the nested
+    /// `cpi` breakdown from `CpiStack::to_json`). The caller guarantees it
+    /// is well-formed JSON; note the runner's manifest parser is flat-only
+    /// and must never be fed records with `Raw` objects.
+    Raw(&'a str),
 }
 
 impl<'a> From<&'a str> for Value<'a> {
@@ -106,6 +111,7 @@ pub fn render(bench: &str, fields: &[(&str, Value)]) -> String {
             Value::Bool(b) => {
                 let _ = write!(out, "{b}");
             }
+            Value::Raw(j) => out.push_str(j),
         }
     }
     out.push('}');
@@ -156,6 +162,15 @@ mod tests {
             line,
             "{\"bench\":\"fig6\",\"benchmark\":\"505.mcf_r\",\"norm\":1.25,\"cycles\":42,\"leaked\":false}"
         );
+    }
+
+    #[test]
+    fn raw_fragments_are_spliced_verbatim() {
+        let line = render(
+            "fig6",
+            &[("norm", Value::F64(1.0)), ("cpi", Value::Raw("{\"base\":7,\"mitigation\":{}}"))],
+        );
+        assert_eq!(line, "{\"bench\":\"fig6\",\"norm\":1,\"cpi\":{\"base\":7,\"mitigation\":{}}}");
     }
 
     #[test]

@@ -12,7 +12,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-use sas_pipeline::{FaultPlan, RunExit, RunResult, System};
+use sas_pipeline::{CpiStack, DelayCause, FaultPlan, RunExit, RunResult, System};
 use sas_workloads::{build_parsec_workload, build_workload, Profile, Workload};
 use specasan::{build_multicore, build_system, Mitigation, SimConfig};
 use std::fmt;
@@ -33,6 +33,15 @@ pub const SEED: u64 = 0x5A5_CA5A;
 /// `sas-runner` supervisor sets it on the one child it wants to perturb;
 /// `SAS_FAULT_SEED` (the ad-hoc low-rate profile) is honoured as a fallback.
 pub const FAULT_PLAN_ENV: &str = "SAS_RUNNER_FAULT_PLAN";
+
+/// Environment variable naming a heartbeat file: when set, bench runs call
+/// `System::set_heartbeat` so the supervisor can watch progress. The file is
+/// truncate-rewritten with `{"cycle":N,"committed":M}` every
+/// [`HEARTBEAT_EVERY_ENV`] cycles (default 100 000).
+pub const HEARTBEAT_ENV: &str = "SAS_RUNNER_HEARTBEAT";
+
+/// Environment variable overriding the heartbeat rewrite period, in cycles.
+pub const HEARTBEAT_EVERY_ENV: &str = "SAS_RUNNER_HEARTBEAT_EVERY";
 
 /// Environment variable restricting a bench target to one cell:
 /// `<benchmark>/<mitigation-token>` (either side may be `*`). Set by the
@@ -211,6 +220,21 @@ fn arm_ambient_faults(sys: &mut System) {
     if let Some(plan) = ambient_fault_plan() {
         sys.arm_faults(&plan);
     }
+    arm_ambient_heartbeat(sys);
+}
+
+/// Arms the supervisor heartbeat from [`HEARTBEAT_ENV`], if set.
+fn arm_ambient_heartbeat(sys: &mut System) {
+    let Ok(path) = std::env::var(HEARTBEAT_ENV) else { return };
+    if path.trim().is_empty() {
+        return;
+    }
+    let every = std::env::var(HEARTBEAT_EVERY_ENV)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(100_000);
+    sys.set_heartbeat(path, every);
 }
 
 /// Gate on a cell's exit: clean halts pass; any aborted run (cycle limit,
@@ -269,6 +293,23 @@ fn finish(run: RunResult) -> Cell {
         restricted: if committed == 0 { 0.0 } else { restricted as f64 / committed as f64 },
         run,
     }
+}
+
+/// The run's commit-time CPI stack, merged across cores. Each core's
+/// cycles are attributed to exactly one bucket, so the merged stack sums to
+/// the per-core cycle total (which on multicore exceeds wall-clock cycles).
+pub fn cpi_breakdown(run: &RunResult) -> CpiStack {
+    let mut cpi = CpiStack::default();
+    for s in &run.core_stats {
+        cpi.merge(&s.cpi);
+    }
+    cpi
+}
+
+/// The nested-JSON `cpi` field value for a cell's JSONL record; splice it
+/// in with [`jsonl::Value::Raw`].
+pub fn cpi_json(cell: &Cell) -> String {
+    cpi_breakdown(&cell.run).to_json(&DelayCause::ALL.map(|c| c.name()))
 }
 
 /// The Figure 8 restriction metric for one cell: STT counts instructions it

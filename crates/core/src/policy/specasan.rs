@@ -3,7 +3,9 @@
 use sas_isa::TagNibble;
 use sas_mem::FillMode;
 use sas_mte::TagCheckOutcome;
-use sas_pipeline::{IssueDecision, LoadIssueCtx, LoadRespCtx, MitigationPolicy, RespDecision};
+use sas_pipeline::{
+    IssueDecision, LoadIssueCtx, LoadRespCtx, MetricsRegistry, MitigationPolicy, RespDecision,
+};
 
 /// Speculative Address Sanitization (§3).
 ///
@@ -100,6 +102,11 @@ impl MitigationPolicy for SpecAsanPolicy {
             self.forwards_blocked += 1;
         }
         ok
+    }
+
+    fn export_metrics(&self, reg: &mut MetricsRegistry) {
+        reg.counter("policy.specasan.unsafe_waits", self.unsafe_waits);
+        reg.counter("policy.specasan.forwards_blocked", self.forwards_blocked);
     }
 }
 

@@ -1,7 +1,7 @@
 //! The Speculative Taint Tracking (STT) baseline.
 
 use sas_mem::FillMode;
-use sas_pipeline::{DelayCause, IssueDecision, LoadIssueCtx, MitigationPolicy};
+use sas_pipeline::{DelayCause, IssueDecision, LoadIssueCtx, MetricsRegistry, MitigationPolicy};
 
 /// STT (Yu et al., MICRO'19), the paper's dynamic information-flow baseline.
 ///
@@ -53,6 +53,10 @@ impl MitigationPolicy for SttPolicy {
 
     fn blocks_tainted_branches(&self) -> bool {
         true
+    }
+
+    fn export_metrics(&self, reg: &mut MetricsRegistry) {
+        reg.counter("policy.stt.transmit_delays", self.transmit_delays);
     }
 }
 

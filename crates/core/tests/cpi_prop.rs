@@ -1,0 +1,60 @@
+//! Property tests for the commit-time CPI stack (PR 5 satellite).
+//!
+//! The attribution invariant: every counted cycle lands in exactly one CPI
+//! bucket, so the buckets sum *exactly* to the core's cycle count — and the
+//! mitigation-delay bucket is the same accounting as the stats-side
+//! `total_delay_cycles()`, by construction. Both must hold for arbitrary
+//! programs under every mitigation, telemetry on or off.
+//! A failing case prints its seed; `SAS_PTEST_SEED=<seed>` replays it.
+
+use sas_ptest::{check, gens};
+use specasan::{Mitigation, Simulator};
+
+/// CPI buckets sum exactly to `cycles`, and the mitigation-delay bucket
+/// equals `total_delay_cycles()`, across random programs × all mitigations.
+#[test]
+fn cpi_buckets_sum_exactly_to_cycles_under_every_mitigation() {
+    check("cpi_buckets_sum_exactly_to_cycles_under_every_mitigation", 24, |rng| {
+        let program = gens::terminating_program(8..40).sample(rng);
+        for m in Mitigation::all() {
+            let mut sim = Simulator::builder().mitigation(m).program(program.clone()).build();
+            let rep = sim.run();
+            assert!(rep.halted_cleanly(), "{m:?}: {}", rep.summary());
+            for (i, s) in rep.result.core_stats.iter().enumerate() {
+                assert_eq!(
+                    s.cpi.total(),
+                    s.cycles,
+                    "{m:?} core {i}: CPI buckets must sum exactly to cycles\n{:?}",
+                    s.cpi
+                );
+                assert_eq!(
+                    s.cpi.mitigation_total(),
+                    s.total_delay_cycles(),
+                    "{m:?} core {i}: mitigation bucket must equal total_delay_cycles()"
+                );
+            }
+        }
+    });
+}
+
+/// The invariants are telemetry-independent: enabling timelines, histograms
+/// and gauge sampling must not perturb the attribution (or the run at all).
+#[test]
+fn cpi_attribution_is_identical_with_telemetry_enabled() {
+    check("cpi_attribution_is_identical_with_telemetry_enabled", 12, |rng| {
+        let program = gens::terminating_program(8..32).sample(rng);
+        for m in [Mitigation::Unsafe, Mitigation::SpecAsan, Mitigation::Stt] {
+            let mut plain = Simulator::builder().mitigation(m).program(program.clone()).build();
+            let p = plain.run();
+            let mut traced = Simulator::builder().mitigation(m).program(program.clone()).build();
+            traced.system_mut().enable_telemetry(16, 4096);
+            let t = traced.run();
+            assert!(p.halted_cleanly() && t.halted_cleanly(), "{m:?}");
+            assert_eq!(p.result.cycles, t.result.cycles, "{m:?}: telemetry changed timing");
+            for (ps, ts) in p.result.core_stats.iter().zip(&t.result.core_stats) {
+                assert_eq!(ps.cpi, ts.cpi, "{m:?}: telemetry changed the CPI stack");
+                assert_eq!(ts.cpi.total(), ts.cycles, "{m:?}: sum invariant with telemetry");
+            }
+        }
+    });
+}

@@ -898,6 +898,51 @@ impl MemSystem {
         self.lfb[core].occupancy()
     }
 
+    /// Outstanding misses in a core's L1 MSHR file at `cycle`.
+    pub fn l1_mshr_occupancy(&self, core: usize, cycle: u64) -> usize {
+        self.l1_mshr[core].in_flight(cycle)
+    }
+
+    /// Outstanding misses in the shared L2 MSHR file at `cycle`.
+    pub fn l2_mshr_occupancy(&self, cycle: u64) -> usize {
+        self.l2_mshr.in_flight(cycle)
+    }
+
+    /// Exports cache and hierarchy counters under `mem.*` names.
+    pub fn export_metrics(&self, reg: &mut sas_telemetry::MetricsRegistry) {
+        let s = self.stats();
+        for (i, c) in s.l1d.iter().enumerate() {
+            let p = format!("mem.l1d{i}");
+            reg.counter(format!("{p}.hits"), c.hits);
+            reg.counter(format!("{p}.misses"), c.misses);
+            reg.counter(format!("{p}.fills"), c.fills);
+            reg.counter(format!("{p}.invalidations"), c.invalidations);
+            reg.counter(format!("{p}.tag_checks"), c.tag_checks);
+            reg.counter(format!("{p}.tag_mismatches"), c.tag_mismatches);
+        }
+        reg.counter("mem.l2.hits", s.l2.hits);
+        reg.counter("mem.l2.misses", s.l2.misses);
+        reg.counter("mem.l2.fills", s.l2.fills);
+        reg.counter("mem.l2.invalidations", s.l2.invalidations);
+        reg.counter("mem.l2.tag_checks", s.l2.tag_checks);
+        reg.counter("mem.l2.tag_mismatches", s.l2.tag_mismatches);
+        reg.counter("mem.suppressed_fills", s.suppressed_fills);
+        reg.counter("mem.stale_forwards", s.stale_forwards);
+        reg.counter("mem.stale_forwards_blocked", s.stale_forwards_blocked);
+        reg.counter("mem.ghost_fills", s.ghost_fills);
+        reg.counter("mem.ghost_promotions", s.ghost_promotions);
+        reg.counter("mem.ghost_drops", s.ghost_drops);
+        reg.counter("mem.lock_maintenance_updates", s.lock_maintenance_updates);
+        reg.counter("mem.coherence_invalidations", s.coherence_invalidations);
+        reg.counter("mem.prefetches_issued", s.prefetches_issued);
+        reg.counter("mem.prefetches_suppressed", s.prefetches_suppressed);
+        reg.counter("mem.tag_hint_hits", s.tag_hint_hits);
+        for (i, m) in self.l1_mshr.iter().enumerate() {
+            reg.counter(format!("mem.l1_mshr{i}.peak_occupancy"), m.peak_occupancy() as u64);
+        }
+        reg.counter("mem.l2_mshr.peak_occupancy", self.l2_mshr.peak_occupancy() as u64);
+    }
+
     /// Snapshot of the statistics (L1 cache-internal stats merged in).
     pub fn stats(&self) -> MemSystemStats {
         let mut s = self.stats.clone();

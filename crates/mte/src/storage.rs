@@ -94,6 +94,13 @@ impl TagStorage {
         self.reads
     }
 
+    /// Exports tag-storage counters under `mte.*` names.
+    pub fn export_metrics(&self, reg: &mut sas_telemetry::MetricsRegistry) {
+        reg.counter("mte.tagged_granules", self.tagged_granules() as u64);
+        reg.counter("mte.tag_writes", self.write_count());
+        reg.counter("mte.tag_reads", self.read_count());
+    }
+
     /// Whether any granule of the line containing `addr` is tagged. Lines
     /// with no tagged granule can skip the tag-storage fetch entirely.
     pub fn line_is_tagged(&self, addr: VirtAddr) -> bool {

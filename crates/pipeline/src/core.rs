@@ -21,6 +21,7 @@ use sas_mem::{FillMode, MemSystem, SimError};
 use sas_mte::{IrgRng, TagCheckOutcome};
 use sas_oracle::CommitRecord;
 use sas_ptest::fault::{FaultPlan, FaultStream, InjectionPoint};
+use sas_telemetry::{CpiBucket, Histogram, MetricsRegistry, Timeline};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -187,6 +188,30 @@ pub struct CoreDump {
     pub tail: Vec<UopDump>,
 }
 
+/// Deep-telemetry state: per-instruction stage timestamps plus event
+/// histograms. Boxed and absent by default, so when telemetry is off every
+/// hook site pays a single null check and nothing else.
+#[derive(Debug)]
+struct CoreTelemetry {
+    timeline: Timeline,
+    load_latency: Histogram,
+    spec_window_depth: Histogram,
+    squash_size: Histogram,
+    delay_per_cause: [Histogram; DelayCause::COUNT],
+}
+
+impl CoreTelemetry {
+    fn new(timeline_cap: usize) -> CoreTelemetry {
+        CoreTelemetry {
+            timeline: Timeline::new(timeline_cap),
+            load_latency: Histogram::new(),
+            spec_window_depth: Histogram::new(),
+            squash_size: Histogram::new(),
+            delay_per_cause: std::array::from_fn(|_| Histogram::new()),
+        }
+    }
+}
+
 /// A committed store still draining to the memory system — the store-buffer
 /// window Fallout samples.
 #[derive(Debug, Clone, Copy)]
@@ -244,6 +269,14 @@ pub struct Core {
     pending_fault: Option<(FaultInfo, u64)>,
     last_commit_cycle: u64,
 
+    // CPI attribution (always on — two words of state per cycle)
+    /// First mitigation delay charged this cycle; cleared every tick.
+    cycle_delay: Option<DelayCause>,
+    /// End of the current squash-recovery window (redirect + refill).
+    recover_until: u64,
+    /// Deep telemetry (stage timestamps, histograms); off by default.
+    telemetry: Option<Box<CoreTelemetry>>,
+
     /// Statistics.
     pub stats: CoreStats,
 }
@@ -299,6 +332,9 @@ impl Core {
             fault: None,
             pending_fault: None,
             last_commit_cycle: 0,
+            cycle_delay: None,
+            recover_until: 0,
+            telemetry: None,
             stats: CoreStats::default(),
         }
     }
@@ -780,12 +816,27 @@ impl Core {
                 self.flags_rename = Some(seq);
             }
             if fe.cfi_stalled {
-                // The whole front end is stalled on this branch; account it.
-                self.stats.record_delay(DelayCause::CfiIndirectStall, 1);
+                // The whole front end is stalled on this branch; account it
+                // like any other mitigation delay (one event per instruction,
+                // the cycle itself attributed by `attribute_cycle`).
+                self.stats.delay_events.add(DelayCause::CfiIndirectStall, 1);
+                if self.cycle_delay.is_none() {
+                    self.cycle_delay = Some(DelayCause::CfiIndirectStall);
+                }
             }
             if self.trace.enabled() {
                 let speculative = self.has_older_unresolved_branch(seq);
                 self.trace.emit(TraceEvent::Dispatch { cycle, seq, pc: u.pc, speculative });
+            }
+            if let Some(t) = self.telemetry.as_mut() {
+                let fetch_cycle = fe.available_at.saturating_sub(self.cfg.front_end_delay);
+                t.timeline.on_dispatch(
+                    seq,
+                    u.pc as u64,
+                    u.inst.to_string(),
+                    Some(fetch_cycle),
+                    cycle,
+                );
             }
             self.rob.push_back(u);
         }
@@ -1101,20 +1152,45 @@ impl Core {
                     issued += 1;
                 }
             }
+            // Timeline: the uop issued iff it left `Waiting` this iteration
+            // (re-resolve by seq — an order-violation squash above may have
+            // rebuilt the ROB).
+            if self.telemetry.is_some() {
+                let left_waiting = self
+                    .rob
+                    .iter()
+                    .find(|u| u.seq == seq)
+                    .is_some_and(|u| !matches!(u.state, UopState::Waiting));
+                if left_waiting {
+                    if let Some(t) = self.telemetry.as_mut() {
+                        t.timeline.on_issue(seq, cycle);
+                    }
+                }
+            }
         }
         Ok(())
     }
 
+    /// Charges a mitigation delay against the instruction at `idx`.
+    ///
+    /// Per-instruction accounting (`u.delay_cycles`, the Figure 8 restricted
+    /// classification, one `delay_events` tick per instruction) happens here;
+    /// per-*cycle* accounting happens in [`Core::attribute_cycle`], which
+    /// charges `stats.delay_cycles` exactly one cycle for the first cause
+    /// recorded in `cycle_delay` — keeping the stall table equal to the CPI
+    /// stack's mitigation bucket by construction.
     fn charge_delay(&mut self, idx: usize, cause: DelayCause, cycles: u64) {
         let u = &mut self.rob[idx];
         u.delay_cycles += cycles;
         if !u.delay_recorded {
             u.delay_recorded = true;
-            self.stats.record_delay(cause, cycles);
-        } else {
-            // accumulate cycles under the same cause
-            let key = format!("{cause:?}");
-            *self.stats.delay_cycles.entry(key).or_insert(0) += cycles;
+            self.stats.delay_events.add(cause, 1);
+        }
+        if self.cycle_delay.is_none() {
+            self.cycle_delay = Some(cause);
+        }
+        if let Some(t) = self.telemetry.as_mut() {
+            t.delay_per_cause[cause.index()].observe(cycles);
         }
     }
 
@@ -1426,7 +1502,20 @@ impl Core {
         if self.trace.enabled() {
             self.trace.emit(TraceEvent::LoadIssue { cycle, seq, addr, speculative });
         }
+        if self.telemetry.is_some() {
+            let depth = self
+                .rob
+                .iter()
+                .filter(|b| b.seq < seq && b.is_branch() && !b.resolved)
+                .count() as u64;
+            if let Some(t) = self.telemetry.as_mut() {
+                t.spec_window_depth.observe(depth);
+            }
+        }
         let res = mem.load(self.id, addr, self.rob[idx].width.max(1), cycle + 1, mode, faulting)?;
+        if let Some(t) = self.telemetry.as_mut() {
+            t.load_latency.observe(res.latency);
+        }
         let value = if let Some(stale) = res.stale_lfb_data {
             stale
         } else {
@@ -1532,6 +1621,16 @@ impl Core {
             after_seq,
             count: removed.len() as u64,
         });
+        // Redirect + refill: the front end cannot feed dispatch again before
+        // `resume_at + front_end_delay`; zero-commit cycles until then are
+        // attributed to mispredict recovery.
+        self.recover_until = self.recover_until.max(resume_at + self.cfg.front_end_delay);
+        if let Some(t) = self.telemetry.as_mut() {
+            t.squash_size.observe(removed.len() as u64);
+            for u in &removed {
+                t.timeline.on_squash(u.seq, resume_at);
+            }
+        }
         self.rob.retain(|u| u.seq <= after_seq);
 
         // Rebuild rename state from the surviving ROB.
@@ -1788,6 +1887,9 @@ impl Core {
                 self.stats.tainted_committed += 1;
             }
             self.trace.emit(TraceEvent::Commit { cycle, seq: head.seq, pc: head.pc });
+            if let Some(t) = self.telemetry.as_mut() {
+                t.timeline.on_commit(head.seq, cycle);
+            }
             self.stats.committed += 1;
             self.last_commit_cycle = cycle;
             committed += 1;
@@ -1815,6 +1917,16 @@ impl Core {
         if self.finished {
             return Ok(());
         }
+        self.cycle_delay = None;
+        let committed_before = self.stats.committed;
+        let r = self.tick_inner(mem, cycle);
+        // Every counted cycle — including the pending-fault drain — gets
+        // exactly one CPI bucket, so the stack always sums to `cycles`.
+        self.attribute_cycle(cycle, committed_before);
+        r
+    }
+
+    fn tick_inner(&mut self, mem: &mut MemSystem, cycle: u64) -> Result<(), SimError> {
         self.stats.cycles = cycle + 1;
         if let Some((info, halt_at)) = self.pending_fault {
             if cycle >= halt_at {
@@ -1834,6 +1946,40 @@ impl Core {
         self.fetch(cycle);
         self.stats.predictor = self.pred.stats;
         Ok(())
+    }
+
+    /// Attributes the cycle that just ran to exactly one CPI bucket.
+    ///
+    /// Priority: commits beat everything (the machine did useful work);
+    /// then a charged mitigation delay (which also pays one cycle into
+    /// `stats.delay_cycles`, keeping the mitigation bucket equal to
+    /// `total_delay_cycles()`); then a TSH unsafe-block or memory wait at
+    /// the ROB head; an empty window classifies as mispredict recovery or
+    /// fetch starvation; anything else (dependency chains, port conflicts,
+    /// multi-cycle ALU work) counts as base.
+    fn attribute_cycle(&mut self, cycle: u64, committed_before: u64) {
+        let bucket = if self.stats.committed > committed_before {
+            CpiBucket::Base
+        } else if let Some(cause) = self.cycle_delay {
+            self.stats.delay_cycles.add(cause, 1);
+            CpiBucket::MitigationDelay(cause.index())
+        } else if let Some(head) = self.rob.front() {
+            if matches!(head.state, UopState::BlockedUnsafe) {
+                CpiBucket::TshUnsafeBlock
+            } else if head.is_mem()
+                && (matches!(head.state, UopState::Executing(done) if done > cycle)
+                    || head.tcs == Tcs::Wait)
+            {
+                CpiBucket::MemoryBound
+            } else {
+                CpiBucket::Base
+            }
+        } else if cycle < self.recover_until {
+            CpiBucket::MispredictRecovery
+        } else {
+            CpiBucket::FetchStall
+        };
+        self.stats.cpi.add(bucket, 1);
     }
 
     fn writeback_with_mem(&mut self, cycle: u64, mem: &mut MemSystem) {
@@ -1883,6 +2029,9 @@ impl Core {
                                     _ => Tcs::Safe,
                                 };
                                 self.rob[i].state = UopState::Done;
+                                if let Some(t) = self.telemetry.as_mut() {
+                                    t.timeline.on_complete(seq, cycle);
+                                }
                             }
                             RespDecision::Block => {
                                 self.rob[i].tcs = Tcs::Unsafe;
@@ -1899,6 +2048,10 @@ impl Core {
                         {
                             self.active_barrier = None;
                         }
+                        let seq = self.rob[i].seq;
+                        if let Some(t) = self.telemetry.as_mut() {
+                            t.timeline.on_complete(seq, cycle);
+                        }
                     }
                 }
             }
@@ -1913,6 +2066,105 @@ impl Core {
     /// Number of in-flight instructions (test hook).
     pub fn rob_occupancy(&self) -> usize {
         self.rob.len()
+    }
+
+    /// Load-queue occupancy (gauge sampling).
+    pub fn lq_len(&self) -> usize {
+        self.lq_occupancy()
+    }
+
+    /// Store-queue occupancy, including draining committed stores.
+    pub fn sq_len(&self, cycle: u64) -> usize {
+        self.sq_occupancy(cycle)
+    }
+
+    /// Issue-queue occupancy (uops waiting to issue).
+    pub fn iq_len(&self) -> usize {
+        self.iq_occupancy()
+    }
+
+    /// Accesses parked *unsafe* in the Tag-check Status Handler, waiting
+    /// for speculation to resolve.
+    pub fn tsh_pending(&self) -> usize {
+        self.rob.iter().filter(|u| matches!(u.state, UopState::BlockedUnsafe)).count()
+    }
+
+    /// Enables deep telemetry: per-instruction stage timestamps (up to
+    /// `timeline_cap` instructions) and event histograms. Off by default;
+    /// when off, the hook sites cost one null check each.
+    pub fn enable_telemetry(&mut self, timeline_cap: usize) {
+        self.telemetry = Some(Box::new(CoreTelemetry::new(timeline_cap)));
+    }
+
+    /// The per-instruction stage timeline, when telemetry is enabled.
+    pub fn timeline(&self) -> Option<&Timeline> {
+        self.telemetry.as_deref().map(|t| &t.timeline)
+    }
+
+    /// Exports this core's counters, delay tables, CPI stack and — when
+    /// deep telemetry is enabled — histograms, under `pipeline.core<id>.*`.
+    /// Delay and CPI keys cover every [`DelayCause`] (zeros included) so
+    /// the metrics schema is identical across mitigations.
+    pub fn export_metrics(&self, reg: &mut MetricsRegistry) {
+        let p = format!("pipeline.core{}", self.id);
+        let s = &self.stats;
+        reg.counter(format!("{p}.cycles"), s.cycles);
+        reg.counter(format!("{p}.committed"), s.committed);
+        reg.counter(format!("{p}.fetched"), s.fetched);
+        reg.counter(format!("{p}.squashed"), s.squashed);
+        reg.counter(format!("{p}.squash_events"), s.squash_events);
+        reg.counter(format!("{p}.order_violations"), s.order_violations);
+        reg.counter(format!("{p}.restricted_committed"), s.restricted_committed);
+        reg.counter(format!("{p}.tainted_committed"), s.tainted_committed);
+        reg.counter(format!("{p}.loads_committed"), s.loads_committed);
+        reg.counter(format!("{p}.stores_committed"), s.stores_committed);
+        reg.counter(format!("{p}.tag_faults"), s.tag_faults);
+        reg.counter(format!("{p}.arch_faults"), s.arch_faults);
+        reg.counter(format!("{p}.stl_forwards"), s.stl_forwards);
+        reg.counter(format!("{p}.stl_blocked"), s.stl_blocked);
+        reg.counter(format!("{p}.unsafe_spec_accesses"), s.unsafe_spec_accesses);
+        reg.counter(format!("{p}.trace_dropped_events"), self.trace.dropped_events());
+        reg.counter(format!("{p}.predictor.cond_predictions"), s.predictor.cond_predictions);
+        reg.counter(format!("{p}.predictor.cond_mispredicts"), s.predictor.cond_mispredicts);
+        reg.counter(
+            format!("{p}.predictor.indirect_predictions"),
+            s.predictor.indirect_predictions,
+        );
+        reg.counter(
+            format!("{p}.predictor.indirect_mispredicts"),
+            s.predictor.indirect_mispredicts,
+        );
+        reg.counter(format!("{p}.predictor.return_predictions"), s.predictor.return_predictions);
+        reg.counter(format!("{p}.predictor.return_mispredicts"), s.predictor.return_mispredicts);
+        for c in DelayCause::ALL {
+            reg.counter(format!("{p}.delay_cycles.{}", c.name()), s.delay_cycles[c]);
+            reg.counter(format!("{p}.delay_events.{}", c.name()), s.delay_events[c]);
+        }
+        reg.counter(format!("{p}.cpi.base"), s.cpi.base);
+        reg.counter(format!("{p}.cpi.fetch_stall"), s.cpi.fetch_stall);
+        reg.counter(format!("{p}.cpi.mispredict_recovery"), s.cpi.mispredict_recovery);
+        reg.counter(format!("{p}.cpi.memory_bound"), s.cpi.memory_bound);
+        reg.counter(format!("{p}.cpi.tsh_unsafe_block"), s.cpi.tsh_unsafe_block);
+        for c in DelayCause::ALL {
+            reg.counter(format!("{p}.cpi.mitigation.{}", c.name()), s.cpi.mitigation[c.index()]);
+        }
+        if let Some(t) = self.telemetry.as_deref() {
+            reg.counter(format!("{p}.timeline_dropped"), t.timeline.dropped());
+            reg.histogram(format!("{p}.hist.load_latency"), &t.load_latency);
+            reg.histogram(format!("{p}.hist.spec_window_depth"), &t.spec_window_depth);
+            reg.histogram(format!("{p}.hist.squash_size"), &t.squash_size);
+            for c in DelayCause::ALL {
+                reg.histogram(
+                    format!("{p}.hist.delay.{}", c.name()),
+                    &t.delay_per_cause[c.index()],
+                );
+            }
+        }
+    }
+
+    /// Exports the active policy's internal counters (`policy.*` names).
+    pub fn export_policy_metrics(&self, reg: &mut MetricsRegistry) {
+        self.policy.export_metrics(reg);
     }
 }
 

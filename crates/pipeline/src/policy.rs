@@ -37,6 +37,52 @@ pub enum DelayCause {
     ExplicitBarrier,
 }
 
+impl DelayCause {
+    /// Number of variants (the width of [`crate::stats::DelayTable`] and of
+    /// the CPI stack's mitigation sub-buckets).
+    pub const COUNT: usize = 9;
+
+    /// Every variant, in declaration order — the canonical cause axis for
+    /// delay tables, CPI stacks and exported metric names.
+    pub const ALL: [DelayCause; DelayCause::COUNT] = [
+        DelayCause::BarrierSpecLoad,
+        DelayCause::TaintedAddress,
+        DelayCause::TaintedBranch,
+        DelayCause::UnsafeAccessWait,
+        DelayCause::ForwardBlocked,
+        DelayCause::CfiIndirectStall,
+        DelayCause::MemDepWait,
+        DelayCause::TaggedMduWait,
+        DelayCause::ExplicitBarrier,
+    ];
+
+    /// Dense index of this cause in [`DelayCause::ALL`].
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable display name (matches the `Debug` rendering).
+    pub fn name(self) -> &'static str {
+        match self {
+            DelayCause::BarrierSpecLoad => "BarrierSpecLoad",
+            DelayCause::TaintedAddress => "TaintedAddress",
+            DelayCause::TaintedBranch => "TaintedBranch",
+            DelayCause::UnsafeAccessWait => "UnsafeAccessWait",
+            DelayCause::ForwardBlocked => "ForwardBlocked",
+            DelayCause::CfiIndirectStall => "CfiIndirectStall",
+            DelayCause::MemDepWait => "MemDepWait",
+            DelayCause::TaggedMduWait => "TaggedMduWait",
+            DelayCause::ExplicitBarrier => "ExplicitBarrier",
+        }
+    }
+
+    /// Inverse of [`DelayCause::name`].
+    pub fn from_name(name: &str) -> Option<DelayCause> {
+        DelayCause::ALL.into_iter().find(|c| c.name() == name)
+    }
+}
+
 /// Everything a policy may inspect when a load wants to issue to memory.
 #[derive(Debug, Clone, Copy)]
 pub struct LoadIssueCtx {
@@ -183,6 +229,10 @@ pub trait MitigationPolicy {
 
     /// Notification: everything younger than `seq` was squashed.
     fn on_squash(&mut self, _after_seq: u64) {}
+
+    /// Exports policy-internal counters into the metrics registry under
+    /// `policy.*` names. The baseline has nothing to report.
+    fn export_metrics(&self, _reg: &mut sas_telemetry::MetricsRegistry) {}
 }
 
 /// The unprotected baseline: speculate freely, never check tags.

@@ -2,7 +2,67 @@
 
 use crate::policy::DelayCause;
 use crate::predictor::PredictorStats;
-use std::collections::HashMap;
+use sas_telemetry::CpiStack;
+use std::fmt;
+use std::ops::Index;
+
+/// Per-cause delay counters: a dense array indexed by [`DelayCause`].
+///
+/// Replaces the `HashMap<String, u64>` keyed by `format!("{cause:?}")` the
+/// pipeline hot path used to allocate into — indexing is now a single array
+/// access. For compatibility the table still indexes by the cause's `Debug`
+/// name (`table["BarrierSpecLoad"]`); an unknown name panics, like a missing
+/// `HashMap` key did.
+#[derive(Clone, Copy, Default, PartialEq, Eq)]
+pub struct DelayTable([u64; DelayCause::COUNT]);
+
+impl DelayTable {
+    /// Adds `n` to the counter for `cause`.
+    #[inline]
+    pub fn add(&mut self, cause: DelayCause, n: u64) {
+        self.0[cause.index()] += n;
+    }
+
+    /// Counter for `cause`.
+    #[inline]
+    pub fn get(&self, cause: DelayCause) -> u64 {
+        self.0[cause.index()]
+    }
+
+    /// Sum over all causes.
+    pub fn total(&self) -> u64 {
+        self.0.iter().sum()
+    }
+
+    /// Nonzero entries as `(cause, count)`, in declaration order.
+    pub fn iter(&self) -> impl Iterator<Item = (DelayCause, u64)> + '_ {
+        DelayCause::ALL.into_iter().map(|c| (c, self.0[c.index()])).filter(|&(_, n)| n > 0)
+    }
+}
+
+impl Index<DelayCause> for DelayTable {
+    type Output = u64;
+    fn index(&self, cause: DelayCause) -> &u64 {
+        &self.0[cause.index()]
+    }
+}
+
+impl Index<&str> for DelayTable {
+    type Output = u64;
+    fn index(&self, name: &str) -> &u64 {
+        let cause = DelayCause::from_name(name)
+            .unwrap_or_else(|| panic!("unknown delay cause name: {name:?}"));
+        &self.0[cause.index()]
+    }
+}
+
+impl fmt::Debug for DelayTable {
+    /// Map-style rendering of the nonzero entries, matching how the old
+    /// `HashMap` printed (minus the nondeterministic ordering).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter().map(|(c, n)| (c.name(), n))).finish()
+    }
+}
 
 /// Counters collected by one core over a run.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -23,10 +83,17 @@ pub struct CoreStats {
     /// Committed instructions that suffered at least one mitigation-induced
     /// delay — the numerator of Figure 8.
     pub restricted_committed: u64,
-    /// Total mitigation-induced delay cycles, by cause.
-    pub delay_cycles: HashMap<String, u64>,
-    /// Delayed-instruction counts, by cause.
-    pub delay_events: HashMap<String, u64>,
+    /// Cycles the core spent stalled on the mitigation, by cause. Each
+    /// simulated cycle charges at most one cause (the first charged that
+    /// cycle), so the total never exceeds `cycles` and equals the CPI
+    /// stack's mitigation-delay bucket.
+    pub delay_cycles: DelayTable,
+    /// Delayed-instruction counts, by cause (each instruction counted once
+    /// per cause, at its first delay).
+    pub delay_events: DelayTable,
+    /// Commit-time CPI stack: every simulated cycle attributed to exactly
+    /// one bucket, summing to `cycles`.
+    pub cpi: CpiStack,
     /// Branch predictor counters.
     pub predictor: PredictorStats,
     /// Loads executed (committed path).
@@ -69,15 +136,18 @@ impl CoreStats {
     }
 
     /// Records a delay event of `cycles` cycles attributed to `cause`.
+    ///
+    /// Compatibility entry point for code that accounts delays outside the
+    /// core's per-cycle attribution (which charges `delay_cycles` one cycle
+    /// at a time from `Core::tick`).
     pub fn record_delay(&mut self, cause: DelayCause, cycles: u64) {
-        let key = format!("{cause:?}");
-        *self.delay_cycles.entry(key.clone()).or_insert(0) += cycles;
-        *self.delay_events.entry(key).or_insert(0) += 1;
+        self.delay_cycles.add(cause, cycles);
+        self.delay_events.add(cause, 1);
     }
 
     /// Total delay cycles across causes.
     pub fn total_delay_cycles(&self) -> u64 {
-        self.delay_cycles.values().sum()
+        self.delay_cycles.total()
     }
 }
 
@@ -106,5 +176,22 @@ mod tests {
         assert_eq!(s.total_delay_cycles(), 10);
         assert_eq!(s.delay_events["BarrierSpecLoad"], 2);
         assert_eq!(s.delay_cycles["TaintedAddress"], 2);
+    }
+
+    #[test]
+    fn delay_table_indexes_by_cause_and_name() {
+        let mut t = DelayTable::default();
+        t.add(DelayCause::ForwardBlocked, 4);
+        assert_eq!(t[DelayCause::ForwardBlocked], 4);
+        assert_eq!(t["ForwardBlocked"], 4);
+        assert_eq!(t.total(), 4);
+        assert_eq!(t.iter().collect::<Vec<_>>(), vec![(DelayCause::ForwardBlocked, 4)]);
+        assert_eq!(format!("{t:?}"), "{\"ForwardBlocked\": 4}");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown delay cause name")]
+    fn delay_table_panics_on_unknown_name() {
+        let _ = DelayTable::default()["NotACause"];
     }
 }

@@ -14,7 +14,9 @@ use sas_isa::Program;
 use sas_mem::{MemConfig, MemSystem, MemSystemStats, MshrEntry, SimError};
 use sas_oracle::{Divergence, FaultClass, Oracle};
 use sas_ptest::FaultPlan;
+use sas_telemetry::{GaugeSeries, MetricsRegistry, Timeline};
 use std::fmt;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 /// Why a run ended.
@@ -101,6 +103,25 @@ impl RunResult {
     }
 }
 
+/// Per-core occupancy gauge set, in sampling order.
+const CORE_GAUGES: [&str; 5] = ["rob", "iq", "lq", "sq", "tsh_pending"];
+
+/// Bounded points kept per gauge series (summary stats stay exact).
+const GAUGE_SERIES_CAP: usize = 4096;
+
+/// Structure-occupancy gauges sampled every `interval` cycles while the
+/// machine runs (present only after [`System::enable_telemetry`]).
+#[derive(Debug)]
+struct SystemTelemetry {
+    interval: u64,
+    /// Per core: one series per [`CORE_GAUGES`] entry.
+    per_core: Vec<[GaugeSeries; 5]>,
+    /// Per core: line-fill-buffer and L1 MSHR occupancy.
+    lfb: Vec<GaugeSeries>,
+    l1_mshr: Vec<GaugeSeries>,
+    l2_mshr: GaugeSeries,
+}
+
 /// A complete simulated machine: cores + shared memory system.
 ///
 /// ```
@@ -127,6 +148,9 @@ pub struct System {
     deadlock_window: u64,
     oracle: Option<Oracle>,
     fault_plan_desc: Option<String>,
+    telemetry: Option<SystemTelemetry>,
+    /// Liveness file rewritten every `.1` cycles with `{"cycle","committed"}`.
+    heartbeat: Option<(PathBuf, u64)>,
 }
 
 impl System {
@@ -147,6 +171,8 @@ impl System {
             deadlock_window: 100_000,
             oracle: None,
             fault_plan_desc: None,
+            telemetry: None,
+            heartbeat: None,
         }
     }
 
@@ -180,6 +206,8 @@ impl System {
             deadlock_window: 100_000,
             oracle: None,
             fault_plan_desc: None,
+            telemetry: None,
+            heartbeat: None,
         }
     }
 
@@ -211,6 +239,103 @@ impl System {
     /// Overrides the deadlock-detection window (cycles without any commit).
     pub fn set_deadlock_window(&mut self, cycles: u64) {
         self.deadlock_window = cycles;
+    }
+
+    /// Turns on deep telemetry: per-core stage timelines (each bounded to
+    /// `timeline_cap` instructions) and structure-occupancy gauges (ROB,
+    /// IQ, LQ, SQ, TSH-pending, LFB, L1/L2 MSHR) sampled every
+    /// `sample_interval` cycles. Costs nothing until enabled.
+    pub fn enable_telemetry(&mut self, sample_interval: u64, timeline_cap: usize) {
+        let n = self.cores.len();
+        for c in &mut self.cores {
+            c.enable_telemetry(timeline_cap);
+        }
+        self.telemetry = Some(SystemTelemetry {
+            interval: sample_interval.max(1),
+            per_core: (0..n)
+                .map(|_| std::array::from_fn(|_| GaugeSeries::new(GAUGE_SERIES_CAP)))
+                .collect(),
+            lfb: (0..n).map(|_| GaugeSeries::new(GAUGE_SERIES_CAP)).collect(),
+            l1_mshr: (0..n).map(|_| GaugeSeries::new(GAUGE_SERIES_CAP)).collect(),
+            l2_mshr: GaugeSeries::new(GAUGE_SERIES_CAP),
+        });
+    }
+
+    /// Arms a liveness heartbeat: every `every` cycles the file at `path`
+    /// is atomically rewritten with one line,
+    /// `{"cycle":<current>,"committed":<total>}` — cheap enough for long
+    /// campaigns and trivially parseable by a supervisor polling the file.
+    pub fn set_heartbeat(&mut self, path: impl Into<PathBuf>, every: u64) {
+        self.heartbeat = Some((path.into(), every.max(1)));
+    }
+
+    /// Core `i`'s per-instruction stage timeline (telemetry must be on).
+    pub fn timeline(&self, i: usize) -> Option<&Timeline> {
+        self.cores[i].timeline()
+    }
+
+    /// All sampled occupancy gauges as `(metric_name, series)`, in a stable
+    /// order. Empty when telemetry is off.
+    pub fn occupancy_gauges(&self) -> Vec<(String, &GaugeSeries)> {
+        let Some(t) = &self.telemetry else { return Vec::new() };
+        let mut out = Vec::new();
+        for (i, set) in t.per_core.iter().enumerate() {
+            for (g, name) in set.iter().zip(CORE_GAUGES) {
+                out.push((format!("pipeline.core{i}.occ.{name}"), g));
+            }
+            out.push((format!("mem.core{i}.occ.lfb"), &t.lfb[i]));
+            out.push((format!("mem.core{i}.occ.l1_mshr"), &t.l1_mshr[i]));
+        }
+        out.push(("mem.occ.l2_mshr".to_string(), &t.l2_mshr));
+        out
+    }
+
+    /// Exports every layer's metrics — per-core pipeline counters, delay
+    /// tables, CPI stacks and histograms; occupancy gauges; memory-system
+    /// and MTE tag-storage counters; and finally any `policy.*` counters
+    /// the active mitigation reports.
+    pub fn export_metrics(&self) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        for c in &self.cores {
+            c.export_metrics(&mut reg);
+        }
+        for (name, g) in self.occupancy_gauges() {
+            reg.gauge(name, g);
+        }
+        self.mem.export_metrics(&mut reg);
+        self.mem.tags.export_metrics(&mut reg);
+        for c in &self.cores {
+            c.export_policy_metrics(&mut reg);
+        }
+        reg
+    }
+
+    /// Samples occupancy gauges and rewrites the heartbeat file when their
+    /// respective intervals come due.
+    fn sample_telemetry(&mut self) {
+        if let Some(t) = &mut self.telemetry {
+            if self.cycle % t.interval == 0 {
+                for (i, c) in self.cores.iter().enumerate() {
+                    let set = &mut t.per_core[i];
+                    set[0].record(self.cycle, c.rob_occupancy() as u64);
+                    set[1].record(self.cycle, c.iq_len() as u64);
+                    set[2].record(self.cycle, c.lq_len() as u64);
+                    set[3].record(self.cycle, c.sq_len(self.cycle) as u64);
+                    set[4].record(self.cycle, c.tsh_pending() as u64);
+                    t.lfb[i].record(self.cycle, self.mem.lfb_occupancy(i) as u64);
+                    t.l1_mshr[i]
+                        .record(self.cycle, self.mem.l1_mshr_occupancy(i, self.cycle) as u64);
+                }
+                t.l2_mshr.record(self.cycle, self.mem.l2_mshr_occupancy(self.cycle) as u64);
+            }
+        }
+        if let Some((path, every)) = &self.heartbeat {
+            if self.cycle % *every == 0 {
+                let committed: u64 = self.cores.iter().map(|c| c.stats.committed).sum();
+                let line = format!("{{\"cycle\":{},\"committed\":{committed}}}\n", self.cycle);
+                let _ = std::fs::write(path, line);
+            }
+        }
     }
 
     /// Attaches the lockstep architectural oracle. Every retired instruction
@@ -324,6 +449,9 @@ impl System {
                     break;
                 }
                 all_done &= self.cores[i].finished();
+            }
+            if self.telemetry.is_some() || self.heartbeat.is_some() {
+                self.sample_telemetry();
             }
             self.cycle += 1;
             if stop {

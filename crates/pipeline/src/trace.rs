@@ -139,16 +139,23 @@ impl fmt::Display for TraceEvent {
 }
 
 /// A bounded event recorder.
+///
+/// Drop policy: the log keeps the *first* `cap` events of the run and drops
+/// everything emitted after that (head-preserving, tail-dropping — it is
+/// **not** a ring buffer of the most recent events). Dropped events are
+/// counted in [`Trace::dropped_events`] so a saturated trace is visible
+/// rather than silent.
 #[derive(Debug, Clone, Default)]
 pub struct Trace {
     events: Vec<TraceEvent>,
     cap: usize,
     enabled: bool,
+    dropped: u64,
 }
 
 impl Trace {
-    /// Enables recording of up to `cap` events (older events are kept; the
-    /// log simply stops growing at capacity).
+    /// Enables recording of up to `cap` events. Once the log is full, newer
+    /// events are dropped (and counted), never the recorded prefix.
     pub fn enable(&mut self, cap: usize) {
         self.enabled = true;
         self.cap = cap;
@@ -161,12 +168,23 @@ impl Trace {
         self.enabled
     }
 
-    /// Records an event (no-op when disabled or full).
+    /// Records an event. A no-op when disabled; counted as dropped when the
+    /// log is at capacity.
     #[inline]
     pub fn emit(&mut self, e: TraceEvent) {
-        if self.enabled && self.events.len() < self.cap {
-            self.events.push(e);
+        if self.enabled {
+            if self.events.len() < self.cap {
+                self.events.push(e);
+            } else {
+                self.dropped += 1;
+            }
         }
+    }
+
+    /// Events emitted after the log reached capacity (0 for an untruncated
+    /// trace).
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped
     }
 
     /// The recorded events.
@@ -206,14 +224,25 @@ mod tests {
     }
 
     #[test]
-    fn capacity_is_respected() {
+    fn capacity_keeps_the_oldest_and_counts_drops() {
         let mut t = Trace::default();
         t.enable(2);
         for i in 0..5 {
             t.emit(TraceEvent::Commit { cycle: i, seq: i, pc: 0 });
         }
+        // Head-preserving: the first two events survive, the rest are
+        // dropped and counted.
         assert_eq!(t.events().len(), 2);
         assert_eq!(t.events()[0].cycle(), 0);
+        assert_eq!(t.events()[1].cycle(), 1);
+        assert_eq!(t.dropped_events(), 3);
+    }
+
+    #[test]
+    fn disabled_trace_counts_no_drops() {
+        let mut t = Trace::default();
+        t.emit(TraceEvent::Fault { cycle: 1, pc: 2 });
+        assert_eq!(t.dropped_events(), 0);
     }
 
     #[test]

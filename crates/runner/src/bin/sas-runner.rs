@@ -278,6 +278,7 @@ fn cmd_cell(args: &[String]) -> ExitCode {
                 detail: msg,
                 cycles: 0,
                 retriable: false,
+                cpi: None,
             }
         }
     };

@@ -217,6 +217,9 @@ pub struct CellOutcome {
     /// Whether a failure looks environmental (worth retrying) rather than
     /// deterministic.
     pub retriable: bool,
+    /// Final commit-time CPI stack, flat-encoded (`CpiStack::encode_flat`),
+    /// for cells that ran a pipeline to completion.
+    pub cpi: Option<String>,
 }
 
 impl CellOutcome {
@@ -228,7 +231,17 @@ impl CellOutcome {
             detail: String::new(),
             cycles,
             retriable: false,
+            cpi: None,
         }
+    }
+
+    fn ok_with_cpi(cell: &CellId, c: &sas_bench::Cell) -> CellOutcome {
+        let mut o = CellOutcome::ok(cell, c.cycles);
+        o.cpi = Some(
+            sas_bench::cpi_breakdown(&c.run)
+                .encode_flat(&sas_pipeline::DelayCause::ALL.map(|c| c.name())),
+        );
+        o
     }
 
     fn failed(cell: &CellId, exit: &str, detail: String, retriable: bool) -> CellOutcome {
@@ -239,6 +252,7 @@ impl CellOutcome {
             detail: clip(&detail),
             cycles: 0,
             retriable,
+            cpi: None,
         }
     }
 
@@ -253,6 +267,7 @@ impl CellOutcome {
             cycles: self.cycles,
             duration_ms: 0,
             repro: None,
+            cpi: self.cpi.clone(),
         };
         r.to_json()
     }
@@ -267,6 +282,7 @@ impl CellOutcome {
             detail: r.detail,
             cycles: r.cycles,
             retriable: r.attempts != 0,
+            cpi: r.cpi,
         })
     }
 }
@@ -303,7 +319,7 @@ pub fn run_in_process(cell: &CellId, iters: u32) -> CellOutcome {
                 );
             };
             match run_spec_checked(&p, *mitigation, iters) {
-                Ok(c) => CellOutcome::ok(cell, c.cycles),
+                Ok(c) => CellOutcome::ok_with_cpi(cell, &c),
                 Err(f) => CellOutcome::failed(cell, f.exit, f.detail, false),
             }
         }
@@ -317,7 +333,7 @@ pub fn run_in_process(cell: &CellId, iters: u32) -> CellOutcome {
                 );
             };
             match run_parsec_checked(&p, *mitigation, iters) {
-                Ok(c) => CellOutcome::ok(cell, c.cycles),
+                Ok(c) => CellOutcome::ok_with_cpi(cell, &c),
                 Err(f) => CellOutcome::failed(cell, f.exit, f.detail, false),
             }
         }
@@ -527,6 +543,7 @@ mod tests {
             detail: "MSHR \"wedged\"".into(),
             cycles: 0,
             retriable: false,
+            cpi: Some("base=1;memory_bound=2".into()),
         };
         assert_eq!(CellOutcome::from_json(&o.to_json()), Some(o));
     }

@@ -37,6 +37,10 @@ pub struct Record {
     pub duration_ms: u64,
     /// Repro-bundle directory written by the shrinker, if any.
     pub repro: Option<String>,
+    /// The child's final commit-time CPI stack, flat-encoded
+    /// (`CpiStack::encode_flat`: `base=12;fetch_stall=3;...`) so it stays a
+    /// scalar string through the flat-only manifest parser.
+    pub cpi: Option<String>,
 }
 
 impl Record {
@@ -52,6 +56,9 @@ impl Record {
         push_raw_field(&mut out, "duration_ms", &self.duration_ms.to_string());
         if let Some(r) = &self.repro {
             push_str_field(&mut out, "repro", r, false);
+        }
+        if let Some(c) = &self.cpi {
+            push_str_field(&mut out, "cpi", c, false);
         }
         out.push('}');
         out
@@ -69,6 +76,7 @@ impl Record {
             cycles: map.get("cycles")?.as_u64()?,
             duration_ms: map.get("duration_ms")?.as_u64()?,
             repro: map.get("repro").and_then(|v| v.as_str()).map(str::to_string),
+            cpi: map.get("cpi").and_then(|v| v.as_str()).map(str::to_string),
         })
     }
 }
@@ -314,6 +322,7 @@ mod tests {
             cycles: 123_456,
             duration_ms: 78,
             repro: if ok { None } else { Some("target/repro/x".into()) },
+            cpi: if ok { Some("base=100;fetch_stall=2;TaintedAddress=9".into()) } else { None },
         }
     }
 

@@ -216,30 +216,34 @@ pub fn supervise_cell(cell: &CellId, cfg: &Config) -> Record {
     loop {
         attempt += 1;
         let end = run_child(cell, cfg, attempt);
-        let finish = |ok: bool, exit: String, detail: String, cycles: u64| Record {
-            cell: id.clone(),
-            ok,
-            exit,
-            detail,
-            attempts: attempt,
-            cycles,
-            duration_ms: start.elapsed().as_millis() as u64,
-            repro: None,
+        let finish = |ok: bool, exit: String, detail: String, cycles: u64, cpi: Option<String>| {
+            Record {
+                cell: id.clone(),
+                ok,
+                exit,
+                detail,
+                attempts: attempt,
+                cycles,
+                duration_ms: start.elapsed().as_millis() as u64,
+                repro: None,
+                cpi,
+            }
         };
         match end {
-            ChildEnd::Ok(o) => return finish(true, o.exit, o.detail, o.cycles),
-            ChildEnd::Deterministic(o) => return finish(false, o.exit, o.detail, o.cycles),
+            ChildEnd::Ok(o) => return finish(true, o.exit, o.detail, o.cycles, o.cpi),
+            ChildEnd::Deterministic(o) => return finish(false, o.exit, o.detail, o.cycles, o.cpi),
             ChildEnd::Timeout => {
                 return finish(
                     false,
                     "timeout".to_string(),
                     format!("watchdog killed the cell after {} ms", cfg.timeout.as_millis()),
                     0,
+                    None,
                 )
             }
             ChildEnd::Environmental(o) => {
                 if attempt > cfg.retries {
-                    return finish(false, o.exit, o.detail, o.cycles);
+                    return finish(false, o.exit, o.detail, o.cycles, o.cpi);
                 }
                 let backoff = cfg.backoff * 2u32.saturating_pow(attempt - 1);
                 eprintln!(
@@ -262,11 +266,35 @@ fn env_failure(cell: &CellId, exit: &str, detail: String) -> CellOutcome {
         detail,
         cycles: 0,
         retriable: true,
+        cpi: None,
     }
+}
+
+/// How often the supervisor reports child heartbeats on stderr.
+const HEARTBEAT_PRINT_PERIOD: Duration = Duration::from_secs(2);
+
+/// Where a child's heartbeat file lives: the system temp dir, keyed by the
+/// supervisor pid and the (sanitized) cell id so concurrent campaigns and
+/// workers never collide.
+fn heartbeat_path(id: &str) -> PathBuf {
+    let safe: String =
+        id.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '-' }).collect();
+    std::env::temp_dir().join(format!("sas-runner-hb-{}-{safe}.json", std::process::id()))
+}
+
+/// Reads the child's latest heartbeat: the `{"cycle":N,"committed":M}` line
+/// `System::set_heartbeat` truncate-rewrites. `None` until the child arms
+/// its heartbeat (or for cells that never run a pipeline).
+fn read_heartbeat(path: &PathBuf) -> Option<(u64, u64)> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let map = manifest::parse_flat(text.trim())?;
+    Some((map.get("cycle")?.as_u64()?, map.get("committed")?.as_u64()?))
 }
 
 fn run_child(cell: &CellId, cfg: &Config, attempt: u32) -> ChildEnd {
     let id = cell.to_string();
+    let hb_path = heartbeat_path(&id);
+    let _ = std::fs::remove_file(&hb_path);
     let mut cmd = Command::new(&cfg.child_exe);
     cmd.arg("cell")
         .arg(&id)
@@ -275,6 +303,7 @@ fn run_child(cell: &CellId, cfg: &Config, attempt: u32) -> ChildEnd {
         .env_remove(sas_bench::FAULT_PLAN_ENV)
         .env_remove(sas_bench::CELL_ENV)
         .env(cell::ATTEMPT_ENV, attempt.to_string())
+        .env(sas_bench::HEARTBEAT_ENV, &hb_path)
         .stdin(Stdio::null())
         .stdout(Stdio::piped())
         .stderr(Stdio::piped());
@@ -303,6 +332,7 @@ fn run_child(cell: &CellId, cfg: &Config, attempt: u32) -> ChildEnd {
     });
 
     let started = Instant::now();
+    let mut last_print = Instant::now();
     let status = loop {
         match child.try_wait() {
             Ok(Some(status)) => break status,
@@ -312,7 +342,22 @@ fn run_child(cell: &CellId, cfg: &Config, attempt: u32) -> ChildEnd {
                     let _ = child.wait();
                     let _ = stdout_reader.join();
                     let _ = stderr_reader.join();
+                    let _ = std::fs::remove_file(&hb_path);
                     return ChildEnd::Timeout;
+                }
+                // Each watchdog poll also checks the child's heartbeat file;
+                // progress lines are throttled so they stay readable.
+                if last_print.elapsed() >= HEARTBEAT_PRINT_PERIOD {
+                    last_print = Instant::now();
+                    if let Some((cycle, committed)) = read_heartbeat(&hb_path) {
+                        eprintln!(
+                            "sas-runner: {} heartbeat — {:.1}s elapsed, cycle {}, {} committed",
+                            id,
+                            started.elapsed().as_secs_f64(),
+                            cycle,
+                            committed
+                        );
+                    }
                 }
                 std::thread::sleep(Duration::from_millis(15));
             }
@@ -321,10 +366,12 @@ fn run_child(cell: &CellId, cfg: &Config, attempt: u32) -> ChildEnd {
                 let _ = child.wait();
                 let _ = stdout_reader.join();
                 let _ = stderr_reader.join();
+                let _ = std::fs::remove_file(&hb_path);
                 return ChildEnd::Environmental(env_failure(cell, "wait", e.to_string()));
             }
         }
     };
+    let _ = std::fs::remove_file(&hb_path);
     let stdout = String::from_utf8_lossy(&stdout_reader.join().unwrap_or_default()).into_owned();
     let stderr = String::from_utf8_lossy(&stderr_reader.join().unwrap_or_default()).into_owned();
     let reported = parse_result_line(&stdout);
@@ -359,6 +406,7 @@ fn run_child(cell: &CellId, cfg: &Config, attempt: u32) -> ChildEnd {
                 detail: tail(&stderr),
                 cycles: 0,
                 retriable: false,
+                cpi: None,
             })
         }
         // Killed by a signal (OOM killer, operator): environmental.
@@ -462,6 +510,7 @@ mod tests {
             cycles,
             duration_ms: 1,
             repro: None,
+            cpi: None,
         }
     }
 
@@ -501,6 +550,7 @@ mod tests {
             detail: String::new(),
             cycles: 5,
             retriable: false,
+            cpi: Some("base=4;memory_bound=1".into()),
         };
         let stdout = format!("noise\nmore noise\n{}{}\n", cell::RESULT_MARKER, o.to_json());
         assert_eq!(parse_result_line(&stdout), Some(o));

@@ -1,0 +1,106 @@
+//! Konata (Kanata log, version 0004) exporter.
+//!
+//! The per-instruction stage-timeline format the Konata pipeline viewer
+//! and gem5's O3PipeView tooling consume: instructions are introduced with
+//! `I`/`L` lines, move between stages with `S`/`E` lines grouped under
+//! cycle-advance (`C`) lines, and leave with an `R` line whose flag
+//! distinguishes retirement (0) from a squash (1).
+
+use crate::timeline::Timeline;
+
+/// Stage mnemonics used in `S` lines, in pipeline order.
+pub const STAGES: [&str; 4] = ["F", "Ds", "Ex", "Cm"];
+
+/// Renders one core's timeline as a Kanata 0004 log. Returns an empty log
+/// header when the timeline holds no records.
+pub fn export(tl: &Timeline) -> String {
+    // Collect (cycle, order, line) so we can group by cycle with C deltas.
+    let mut events: Vec<(u64, u8, String)> = Vec::new();
+    for (uid, r) in tl.records().iter().enumerate() {
+        let start = r.fetch.or(r.dispatch).unwrap_or(0);
+        events.push((start, 0, format!("I\t{uid}\t{}\t0", r.seq)));
+        events.push((start, 1, format!("L\t{uid}\t0\t{}: pc={} {}", r.seq, r.pc, r.disasm)));
+        events.push((start, 2, format!("S\t{uid}\t0\tF")));
+        if let Some(d) = r.dispatch {
+            events.push((d, 2, format!("S\t{uid}\t0\tDs")));
+        }
+        if let Some(i) = r.issue {
+            events.push((i, 2, format!("S\t{uid}\t0\tEx")));
+        }
+        if let Some(c) = r.complete {
+            events.push((c, 2, format!("S\t{uid}\t0\tCm")));
+        }
+        match (r.commit, r.squashed) {
+            (Some(cm), _) => events.push((cm, 3, format!("R\t{uid}\t{}\t0", r.seq))),
+            (None, Some(sq)) => events.push((sq, 3, format!("R\t{uid}\t{}\t1", r.seq))),
+            // Still in flight when the run ended: retire it at its last
+            // known cycle so the viewer closes the lane.
+            (None, None) => {
+                let last = r.complete.or(r.issue).or(r.dispatch).unwrap_or(start);
+                events.push((last, 3, format!("R\t{uid}\t{}\t1", r.seq)));
+            }
+        }
+    }
+    events.sort_by_key(|(cycle, order, _)| (*cycle, *order));
+
+    let first = events.first().map(|(c, ..)| *c).unwrap_or(0);
+    let mut out = String::from("Kanata\t0004\n");
+    out.push_str(&format!("C=\t{first}\n"));
+    let mut cur = first;
+    for (cycle, _, line) in events {
+        if cycle > cur {
+            out.push_str(&format!("C\t{}\n", cycle - cur));
+            cur = cycle;
+        }
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+/// Sequence numbers retired (flag-0 `R` lines) in `log` — the coverage set
+/// tier-1 checks against the simulator's committed instructions.
+pub fn retired_seqs(log: &str) -> Vec<u64> {
+    log.lines()
+        .filter_map(|l| {
+            let mut f = l.split('\t');
+            if f.next() != Some("R") {
+                return None;
+            }
+            let _uid = f.next()?;
+            let seq: u64 = f.next()?.parse().ok()?;
+            match f.next() {
+                Some("0") => Some(seq),
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_covers_committed_and_marks_squashes() {
+        let mut tl = Timeline::new(8);
+        tl.on_dispatch(1, 0, "movz".into(), Some(0), 1);
+        tl.on_issue(1, 2);
+        tl.on_complete(1, 3);
+        tl.on_commit(1, 4);
+        tl.on_dispatch(2, 1, "ldr".into(), Some(0), 1);
+        tl.on_squash(2, 5);
+        let log = export(&tl);
+        assert!(log.starts_with("Kanata\t0004\n"));
+        assert_eq!(retired_seqs(&log), vec![1]);
+        assert!(log.contains("R\t1\t2\t1"), "squash must be a flag-1 retire: {log}");
+        // Cycle deltas must reconstruct monotonically.
+        let mut cycles_seen = 0u64;
+        for l in log.lines() {
+            if let Some(d) = l.strip_prefix("C\t") {
+                cycles_seen += d.parse::<u64>().unwrap();
+            }
+        }
+        assert_eq!(cycles_seen, 5, "first event at fetch cycle 0, last at cycle 5");
+    }
+}

@@ -1,0 +1,37 @@
+//! # Run telemetry: metrics, CPI stacks and pipeline trace export
+//!
+//! Every figure the suite regenerates is an *endpoint* number (normalized
+//! IPC, restricted fraction). This crate holds the instrumentation that
+//! explains those numbers instead of merely reporting them:
+//!
+//! * [`MetricsRegistry`] — a zero-dependency hierarchical registry of named
+//!   counters, sampled gauge series and log2-bucketed histograms that the
+//!   `pipeline`, `mem`, `mte` and policy layers export into
+//!   (dot-separated names such as `pipeline.core0.cpi.base`);
+//! * [`CpiStack`] — commit-time cycle attribution: every simulated cycle
+//!   lands in exactly one top-down bucket (base / fetch-stall /
+//!   mispredict-recovery / memory-bound / mitigation-delay-by-cause /
+//!   TSH-unsafe-block), so the buckets always sum to total cycles;
+//! * [`Timeline`] — per-instruction stage timestamps
+//!   (fetch/dispatch/issue/complete/commit or squash) feeding the
+//!   [`chrome`] (`trace_event` JSON, Perfetto-loadable) and [`konata`]
+//!   (Kanata stage-timeline text) exporters;
+//! * [`json`] — a small strict JSON parser used as the checked-in validator
+//!   for the Chrome export (and for `--metrics` JSONL lines).
+//!
+//! The crate is deliberately at the bottom of the workspace dependency
+//! graph (no dependencies at all) so every layer can register into it.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod chrome;
+pub mod cpi;
+pub mod json;
+pub mod konata;
+pub mod registry;
+pub mod timeline;
+
+pub use cpi::{CpiBucket, CpiStack, MITIGATION_CAUSE_SLOTS};
+pub use registry::{GaugeSeries, Histogram, MetricsRegistry};
+pub use timeline::{InstRecord, Timeline};

@@ -1,0 +1,381 @@
+//! Hierarchical metrics registry: counters, sampled gauges, log2 histograms.
+//!
+//! The live handles ([`GaugeSeries`], [`Histogram`]) are plain values owned
+//! by whatever layer produces them (a core, the memory system) — recording
+//! into one is a couple of arithmetic ops, no allocation, no locking. At
+//! the end of a run every layer *exports* its handles and counters into a
+//! [`MetricsRegistry`] under dot-separated hierarchical names
+//! (`pipeline.core0.rob_occupancy`, `mem.l2.misses`, `mte.tag_reads`),
+//! which renders to JSONL for `sas-trace --metrics` and to Chrome counter
+//! tracks for `--chrome`.
+
+/// Number of log2 buckets: bucket 0 holds value 0, bucket `i` holds values
+/// with `bit_length == i`, so 65 buckets cover all of `u64`.
+pub const HIST_BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram of `u64` samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; HIST_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram { buckets: [0; HIST_BUCKETS], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Bucket index of a value: 0 for 0, else its bit length.
+    #[inline]
+    pub fn bucket_of(value: u64) -> usize {
+        (64 - value.leading_zeros()) as usize
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn observe(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample value.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Nonzero buckets as `(bucket_index, count)`; the bucket covers values
+    /// in `[2^(i-1), 2^i)` (and bucket 0 covers exactly 0).
+    pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (i, n))
+            .collect()
+    }
+}
+
+/// A gauge sampled on a fixed cycle interval, kept bounded by doubling the
+/// effective sampling stride once the series is full (classic reservoir
+/// decimation — old points are thinned, never silently dropped from the
+/// summary statistics).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GaugeSeries {
+    points: Vec<(u64, u64)>, // (cycle, value)
+    cap: usize,
+    keep_every: u64,
+    seen: u64,
+    min: u64,
+    max: u64,
+    sum: u64,
+    count: u64,
+    last: u64,
+}
+
+impl GaugeSeries {
+    /// Creates a series holding at most `cap` points (`cap >= 2`).
+    pub fn new(cap: usize) -> GaugeSeries {
+        GaugeSeries {
+            points: Vec::new(),
+            cap: cap.max(2),
+            keep_every: 1,
+            seen: 0,
+            min: u64::MAX,
+            max: 0,
+            sum: 0,
+            count: 0,
+            last: 0,
+        }
+    }
+
+    /// Records one sample. Summary statistics see every sample; the stored
+    /// series is decimated once it reaches capacity.
+    pub fn record(&mut self, cycle: u64, value: u64) {
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.sum += value;
+        self.count += 1;
+        self.last = value;
+        if self.seen % self.keep_every == 0 {
+            if self.points.len() >= self.cap {
+                // Thin to every other stored point and double the stride.
+                let mut i = 0;
+                self.points.retain(|_| {
+                    i += 1;
+                    (i - 1) % 2 == 0
+                });
+                self.keep_every *= 2;
+            }
+            if self.seen % self.keep_every == 0 {
+                self.points.push((cycle, value));
+            }
+        }
+        self.seen += 1;
+    }
+
+    /// The stored (possibly decimated) series.
+    pub fn points(&self) -> &[(u64, u64)] {
+        &self.points
+    }
+
+    /// Number of samples recorded (before decimation).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample value.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Most recent sample.
+    pub fn last(&self) -> u64 {
+        self.last
+    }
+}
+
+/// One exported metric.
+#[derive(Debug, Clone, PartialEq)]
+enum MetricValue {
+    Counter(u64),
+    Gauge(GaugeSeries),
+    Histogram(Histogram),
+}
+
+/// The export-time registry: hierarchical names mapped to metric values,
+/// in registration order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    entries: Vec<(String, MetricValue)>,
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Exports a counter under `name`.
+    pub fn counter(&mut self, name: impl Into<String>, value: u64) {
+        self.entries.push((name.into(), MetricValue::Counter(value)));
+    }
+
+    /// Exports a gauge series under `name`.
+    pub fn gauge(&mut self, name: impl Into<String>, series: &GaugeSeries) {
+        self.entries.push((name.into(), MetricValue::Gauge(series.clone())));
+    }
+
+    /// Exports a histogram under `name`.
+    pub fn histogram(&mut self, name: impl Into<String>, hist: &Histogram) {
+        self.entries.push((name.into(), MetricValue::Histogram(hist.clone())));
+    }
+
+    /// Number of exported metrics.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no metric was exported.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All metric names, in registration order.
+    pub fn keys(&self) -> Vec<&str> {
+        self.entries.iter().map(|(k, _)| k.as_str()).collect()
+    }
+
+    /// Looks up a counter value by exact name.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        self.entries.iter().find_map(|(k, v)| match v {
+            MetricValue::Counter(c) if k == name => Some(*c),
+            _ => None,
+        })
+    }
+
+    /// Gauge series under `name`, if exported.
+    pub fn gauge_series(&self, name: &str) -> Option<&GaugeSeries> {
+        self.entries.iter().find_map(|(k, v)| match v {
+            MetricValue::Gauge(g) if k == name => Some(g),
+            _ => None,
+        })
+    }
+
+    /// All exported gauges as `(name, series)`.
+    pub fn gauges(&self) -> Vec<(&str, &GaugeSeries)> {
+        self.entries
+            .iter()
+            .filter_map(|(k, v)| match v {
+                MetricValue::Gauge(g) => Some((k.as_str(), g)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Renders one JSON line per metric. Counter lines are flat; gauge and
+    /// histogram lines carry summary fields plus a nested series/buckets
+    /// array.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.entries {
+            let name = escape(name);
+            match v {
+                MetricValue::Counter(c) => {
+                    out.push_str(&format!(
+                        "{{\"metric\":\"{name}\",\"type\":\"counter\",\"value\":{c}}}\n"
+                    ));
+                }
+                MetricValue::Gauge(g) => {
+                    let series: Vec<String> =
+                        g.points().iter().map(|(c, v)| format!("[{c},{v}]")).collect();
+                    out.push_str(&format!(
+                        "{{\"metric\":\"{name}\",\"type\":\"gauge\",\"last\":{},\"min\":{},\"max\":{},\"mean\":{:.3},\"samples\":{},\"series\":[{}]}}\n",
+                        g.last(), g.min(), g.max(), g.mean(), g.count(), series.join(",")
+                    ));
+                }
+                MetricValue::Histogram(h) => {
+                    let buckets: Vec<String> =
+                        h.nonzero_buckets().iter().map(|(i, n)| format!("[{i},{n}]")).collect();
+                    out.push_str(&format!(
+                        "{{\"metric\":\"{name}\",\"type\":\"histogram\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{:.3},\"buckets\":[{}]}}\n",
+                        h.count(), h.sum(), h.min(), h.max(), h.mean(), buckets.join(",")
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_bit_length() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 1000, u64::MAX] {
+            h.observe(v);
+        }
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), u64::MAX);
+        let total: u64 = h.nonzero_buckets().iter().map(|(_, n)| n).sum();
+        assert_eq!(total, 7);
+    }
+
+    #[test]
+    fn gauge_series_decimates_but_keeps_exact_summary() {
+        let mut g = GaugeSeries::new(16);
+        for i in 0..1000u64 {
+            g.record(i * 10, i);
+        }
+        assert_eq!(g.count(), 1000);
+        assert_eq!(g.min(), 0);
+        assert_eq!(g.max(), 999);
+        assert_eq!(g.last(), 999);
+        assert!(g.points().len() <= 16, "decimation bounds the series");
+        assert!(g.points().len() >= 4, "decimation keeps a usable series");
+    }
+
+    #[test]
+    fn registry_jsonl_lines_are_valid_json() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("pipeline.core0.cycles", 1234);
+        let mut g = GaugeSeries::new(8);
+        g.record(0, 3);
+        g.record(64, 5);
+        reg.gauge("pipeline.core0.rob_occupancy", &g);
+        let mut h = Histogram::new();
+        h.observe(7);
+        reg.histogram("mem.load_latency", &h);
+        let jsonl = reg.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 3);
+        for line in jsonl.lines() {
+            crate::json::parse(line).expect("metrics line parses as JSON");
+        }
+        assert_eq!(reg.counter_value("pipeline.core0.cycles"), Some(1234));
+        assert_eq!(reg.keys().len(), 3);
+    }
+}

@@ -27,6 +27,22 @@ echo "== tier1: bench smoke (fig6 grid via sas-runner, 75 isolated cells) =="
 ./target/release/sas-runner fig6 --iters 2 --jobs 2 --timeout-ms 120000 \
   --manifest target/sas-runner/tier1-fig6.jsonl
 
+echo "== tier1: telemetry exports (sas-trace on spectre-v1, every mitigation) =="
+# For each mitigation, one telemetry-enabled spectre-v1 run must export a
+# Chrome trace that passes the checked-in trace_event validator, a Konata
+# log covering every committed instruction, a CPI stack whose buckets sum
+# exactly to the cycle count (--verify checks all three), and a metrics
+# JSONL whose non-policy key schema matches the checked-in golden list.
+mkdir -p target/sas-trace
+for m in unsafe mte fence stt ghostminion specasan speccfi specasan+cfi; do
+  safe=${m//+/-}
+  ./target/release/sas-trace spectre-v1 --mitigation "$m" \
+    --chrome "target/sas-trace/tier1-$safe.json" \
+    --konata "target/sas-trace/tier1-$safe.konata" \
+    --metrics "target/sas-trace/tier1-$safe.jsonl" \
+    --verify --golden crates/telemetry/golden_metrics.txt >/dev/null
+done
+
 echo "== tier1: static analysis cross-validation (sas-lint --all-attacks) =="
 # The static analyzer must flag exactly the attacks whose dynamic run leaks,
 # its CSDB suggestions must reach zero gadget findings, and the verdict

@@ -1,0 +1,263 @@
+//! `sas-trace` — run one (target, mitigation) cell with telemetry enabled
+//! and export the run for inspection.
+//!
+//! ```text
+//! sas-trace spectre-v1 --mitigation specasan --chrome out.json
+//! sas-trace 505.mcf_r --mitigation stt --konata out.log --cpi-stack
+//! sas-trace spectre-v1 --metrics - --verify --golden crates/telemetry/golden_metrics.txt
+//! ```
+//!
+//! `--chrome` output loads in `ui.perfetto.dev` (or `chrome://tracing`);
+//! `--konata` output follows the Kanata 0004 pipeline-viewer format. See
+//! DESIGN.md §9 and the README's "Inspecting a run" walkthrough.
+
+use sas_attacks::spectre::spectre_v1_program;
+use sas_attacks::{layout, GadgetFlavor};
+use sas_pipeline::{CpiStack, DelayCause, RunExit, System};
+use sas_telemetry::json::validate_chrome_trace;
+use sas_telemetry::{chrome, konata};
+use sas_workloads::{build_workload, spec_suite};
+use specasan::{build_system, Mitigation, SimConfig};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "sas-trace — telemetry-enabled single-cell runner and trace exporter
+
+USAGE:
+  sas-trace <target> [flags]
+  sas-trace list
+
+TARGETS:
+  spectre-v1                  the Listing-1 bounds-check-bypass PoC
+  <spec workload name>        any SPEC CPU2017 profile (see `sas-trace list`)
+
+FLAGS:
+  --mitigation M              unsafe|mte|fence|stt|ghostminion|specasan|speccfi|specasan+cfi
+  --matching                  use the tag-matching gadget flavour (spectre-v1)
+  --iters N                   workload iterations (default 50)
+  --sample-interval N         gauge sampling period in cycles (default 64)
+  --timeline-cap N            max per-core instruction records (default 65536)
+  --chrome FILE               write a Chrome trace_event JSON (Perfetto-loadable)
+  --konata FILE               write a Konata/Kanata 0004 pipeline log
+  --metrics FILE              write the metrics registry as JSONL ('-' = stdout)
+  --cpi-stack                 print the commit-time CPI stack table
+  --verify                    validate the exports (Chrome JSON well-formedness,
+                              Konata retirement coverage, CPI-sum invariant)
+  --golden FILE               diff metric keys (minus policy.*) against FILE
+"
+    );
+    ExitCode::from(2)
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+/// Builds the target's system (program loaded, victim/workload data
+/// installed) without running it.
+fn build_target(name: &str, m: Mitigation, args: &[String]) -> Result<System, String> {
+    let cfg = SimConfig::table2();
+    if name.eq_ignore_ascii_case("spectre-v1") {
+        let flavor = if has_flag(args, "--matching") {
+            GadgetFlavor::TagMatching
+        } else {
+            GadgetFlavor::TagViolating
+        };
+        let program = spectre_v1_program(&cfg, flavor);
+        let mut sys = build_system(&cfg, program, m);
+        layout::install_victim(&mut sys);
+        return Ok(sys);
+    }
+    let iters: u32 = flag_value(args, "--iters").and_then(|s| s.parse().ok()).unwrap_or(50);
+    let suite = spec_suite();
+    let Some(profile) = suite.iter().find(|p| p.name.eq_ignore_ascii_case(name)) else {
+        return Err(format!("unknown target {name:?}; see `sas-trace list`"));
+    };
+    let w = build_workload(profile, iters, 0x5A5_CA5A, 0);
+    let mut sys = build_system(&cfg, w.program.clone(), m);
+    w.setup.apply(&mut sys);
+    Ok(sys)
+}
+
+fn cmd_list() -> ExitCode {
+    println!("targets:");
+    println!("  spectre-v1");
+    for p in spec_suite() {
+        println!("  {}", p.name);
+    }
+    println!("\nmitigations: unsafe, mte, fence, stt, ghostminion, specasan, speccfi, specasan+cfi");
+    ExitCode::SUCCESS
+}
+
+/// Verifies the golden metric-key list: every non-`policy.*` registry key
+/// must appear in the golden file and vice versa.
+fn verify_golden(keys: &[&str], golden_path: &str) -> Result<(), String> {
+    let golden = std::fs::read_to_string(golden_path)
+        .map_err(|e| format!("cannot read golden file {golden_path}: {e}"))?;
+    let want: Vec<&str> =
+        golden.lines().map(str::trim).filter(|l| !l.is_empty() && !l.starts_with('#')).collect();
+    let got: Vec<&str> = keys.iter().copied().filter(|k| !k.starts_with("policy.")).collect();
+    let missing: Vec<&str> = want.iter().copied().filter(|k| !got.contains(k)).collect();
+    let extra: Vec<&str> = got.iter().copied().filter(|k| !want.contains(k)).collect();
+    if missing.is_empty() && extra.is_empty() {
+        return Ok(());
+    }
+    let mut msg = String::from("metric schema drift vs golden list:");
+    for k in missing {
+        msg.push_str(&format!("\n  missing: {k}"));
+    }
+    for k in extra {
+        msg.push_str(&format!("\n  extra:   {k}"));
+    }
+    Err(msg)
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(target) = args.first().cloned() else { return Ok(usage()) };
+    if target == "list" {
+        return Ok(cmd_list());
+    }
+    if target.starts_with('-') {
+        return Ok(usage());
+    }
+    let m = match flag_value(&args, "--mitigation") {
+        Some(s) => {
+            Mitigation::parse(&s).ok_or_else(|| format!("unknown mitigation {s:?}"))?
+        }
+        None => Mitigation::SpecAsan,
+    };
+    let sample_interval: u64 =
+        flag_value(&args, "--sample-interval").and_then(|s| s.parse().ok()).unwrap_or(64);
+    let timeline_cap: usize =
+        flag_value(&args, "--timeline-cap").and_then(|s| s.parse().ok()).unwrap_or(65_536);
+
+    let mut sys = build_target(&target, m, &args)?;
+    sys.enable_telemetry(sample_interval, timeline_cap);
+    let result = sys.run(20_000_000);
+
+    let cause_names = DelayCause::ALL.map(|c| c.name());
+    let mut cpi = CpiStack::default();
+    for s in &result.core_stats {
+        cpi.merge(&s.cpi);
+    }
+
+    // --- exports -----------------------------------------------------------
+    let chrome_path = flag_value(&args, "--chrome");
+    let konata_path = flag_value(&args, "--konata");
+    let metrics_path = flag_value(&args, "--metrics");
+    let verify = has_flag(&args, "--verify");
+
+    let mut chrome_doc = None;
+    if chrome_path.is_some() || verify {
+        let timelines: Vec<(usize, &sas_telemetry::Timeline)> =
+            (0..sys.cores()).filter_map(|i| sys.timeline(i).map(|t| (i, t))).collect();
+        let gauges = sys.occupancy_gauges();
+        let gauge_refs: Vec<(&str, &sas_telemetry::GaugeSeries)> =
+            gauges.iter().map(|(n, g)| (n.as_str(), *g)).collect();
+        chrome_doc = Some(chrome::export(&timelines, &gauge_refs));
+    }
+    if let Some(path) = &chrome_path {
+        let doc = chrome_doc.as_ref().expect("chrome doc built above");
+        std::fs::write(path, doc).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote Chrome trace to {path} (load it in ui.perfetto.dev)");
+    }
+
+    let mut konata_doc = None;
+    if konata_path.is_some() || verify {
+        let tl = sys.timeline(0).ok_or("telemetry timeline missing for core 0")?;
+        konata_doc = Some(konata::export(tl));
+    }
+    if let Some(path) = &konata_path {
+        let doc = konata_doc.as_ref().expect("konata doc built above");
+        std::fs::write(path, doc).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote Konata log to {path}");
+    }
+
+    let reg = sys.export_metrics();
+    if let Some(path) = &metrics_path {
+        let jsonl = reg.to_jsonl();
+        if path == "-" {
+            print!("{jsonl}");
+        } else {
+            std::fs::write(path, jsonl).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("wrote metrics JSONL to {path}");
+        }
+    }
+
+    // --- verification ------------------------------------------------------
+    if verify {
+        let doc = chrome_doc.as_ref().expect("built above");
+        let events =
+            validate_chrome_trace(doc).map_err(|e| format!("chrome trace invalid: {e}"))?;
+        let log = konata_doc.as_ref().expect("built above");
+        let retired = konata::retired_seqs(log);
+        let tl = sys.timeline(0).expect("telemetry enabled");
+        let committed: Vec<u64> =
+            tl.records().iter().filter(|r| r.commit.is_some()).map(|r| r.seq).collect();
+        for seq in &committed {
+            if !retired.contains(seq) {
+                return Err(format!("konata log is missing committed seq {seq}"));
+            }
+        }
+        for s in &result.core_stats {
+            if s.cpi.total() != s.cycles {
+                return Err(format!(
+                    "CPI buckets sum to {} but the core ran {} cycles",
+                    s.cpi.total(),
+                    s.cycles
+                ));
+            }
+            if s.cpi.mitigation_total() != s.total_delay_cycles() {
+                return Err(format!(
+                    "CPI mitigation bucket {} != total delay cycles {}",
+                    s.cpi.mitigation_total(),
+                    s.total_delay_cycles()
+                ));
+            }
+        }
+        eprintln!(
+            "verify: chrome ok ({events} events), konata covers {} committed seqs, CPI sums hold",
+            committed.len()
+        );
+    }
+    if let Some(golden) = flag_value(&args, "--golden") {
+        let keys = reg.keys();
+        verify_golden(&keys, &golden)?;
+        eprintln!("verify: metric key schema matches {golden}");
+    }
+
+    // --- summary -----------------------------------------------------------
+    println!("target     : {target}");
+    println!("mitigation : {m}");
+    println!(
+        "exit       : {}",
+        match &result.exit {
+            RunExit::Halted => "Halted".to_string(),
+            other => format!("{other:?}"),
+        }
+    );
+    println!("cycles     : {}", result.cycles);
+    let committed: u64 = result.core_stats.iter().map(|s| s.committed).sum();
+    println!("committed  : {committed}");
+    if has_flag(&args, "--cpi-stack") {
+        println!("\nCPI stack (cycles attributed at commit):");
+        print!("{}", cpi.render_table(&cause_names));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("sas-trace: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
