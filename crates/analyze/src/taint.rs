@@ -285,7 +285,7 @@ fn transfer(
         Inst::Subg { dst, src, offset, tag_offset } => {
             let val = st.rd(src).map(|v| {
                 let a = VirtAddr::new(v);
-                let nk = a.key().wrapping_add(16 - (tag_offset % 16));
+                let nk = a.key().wrapping_sub(tag_offset);
                 a.offset(-(offset as i64)).with_key(nk).raw()
             });
             out.write(dst, val, st.taint_of(src), true);

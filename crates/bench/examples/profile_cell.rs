@@ -1,0 +1,37 @@
+//! Phase-level wall-time profile of one fig6 cell (setup vs run), used to
+//! attribute smoke-cell cost between workload construction and the tick
+//! loop. `cargo run --release --example profile_cell -- <benchmark> [iters]`.
+
+use sas_bench::SEED;
+use sas_workloads::{build_workload, spec_suite};
+use specasan::{build_system, Mitigation, SimConfig};
+use std::time::Instant;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "505.mcf_r".into());
+    let iters: u32 = std::env::args().nth(2).and_then(|v| v.parse().ok()).unwrap_or(2);
+    let p = spec_suite().into_iter().find(|p| p.name == name).expect("unknown benchmark");
+
+    let t = Instant::now();
+    let w = build_workload(&p, iters, SEED, 0);
+    println!("build_workload: {:>10.3} ms", t.elapsed().as_secs_f64() * 1e3);
+
+    let t = Instant::now();
+    let mut sys = build_system(&SimConfig::table2(), w.program.clone(), Mitigation::Unsafe);
+    println!("build_system:   {:>10.3} ms", t.elapsed().as_secs_f64() * 1e3);
+
+    let t = Instant::now();
+    w.setup.apply(&mut sys);
+    println!("setup.apply:    {:>10.3} ms", t.elapsed().as_secs_f64() * 1e3);
+
+    let t = Instant::now();
+    let run = sys.run(1_000_000_000);
+    let ms = t.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "run:            {:>10.3} ms  ({} cycles, {} committed, {:.1} us/cycle)",
+        ms,
+        run.cycles,
+        run.committed(),
+        ms * 1e3 / run.cycles.max(1) as f64
+    );
+}

@@ -1,0 +1,298 @@
+//! `sas-perf` — the BENCH_fig6.json performance-trajectory recorder.
+//!
+//! Times every (benchmark, mitigation) cell of the Figure 6 grid at the
+//! tier-1 smoke length and writes `BENCH_fig6.json`: per-cell wall time,
+//! simulated-instructions/sec and cycles/sec, plus suite totals, the
+//! recorded pre-overhaul baseline, and the speedup against it. The tier-1
+//! bench stage runs this after every build so PR-to-PR performance deltas
+//! are on record (ROADMAP open item 2).
+//!
+//! Modes:
+//!
+//! * `sas-perf --out BENCH_fig6.json` — measure, carry the `baseline`
+//!   section forward from the existing file, rewrite it, and **warn** (exit
+//!   0) when total sim-instructions/sec dropped more than 20% versus the
+//!   previous recording's `total`.
+//! * `sas-perf --record-baseline LABEL` — measure and store the result as
+//!   the baseline too (used once, before the hot-loop overhaul).
+//! * `sas-perf --validate PATH` — schema-check an existing trajectory file
+//!   without running anything; nonzero exit on a malformed file.
+
+use sas_bench::run_spec;
+use sas_workloads::spec_suite;
+use specasan::Mitigation;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const SCHEMA: &str = "sas-bench-fig6-v1";
+
+#[derive(Clone, Debug)]
+struct CellPerf {
+    benchmark: String,
+    mitigation: String,
+    cycles: u64,
+    committed: u64,
+    wall_ms: f64,
+}
+
+impl CellPerf {
+    fn sim_ips(&self) -> f64 {
+        self.committed as f64 / (self.wall_ms / 1000.0).max(1e-9)
+    }
+    fn cycles_per_sec(&self) -> f64 {
+        self.cycles as f64 / (self.wall_ms / 1000.0).max(1e-9)
+    }
+}
+
+fn main() {
+    let mut iters = 2u32;
+    let mut out = "BENCH_fig6.json".to_string();
+    let mut record_baseline: Option<String> = None;
+    let mut validate: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--iters" => iters = req(&mut args, "--iters").parse().expect("--iters: integer"),
+            "--out" => out = req(&mut args, "--out"),
+            "--record-baseline" => record_baseline = Some(req(&mut args, "--record-baseline")),
+            "--validate" => validate = Some(req(&mut args, "--validate")),
+            "--help" | "-h" => {
+                println!(
+                    "usage: sas-perf [--iters N] [--out PATH] \
+                     [--record-baseline LABEL] [--validate PATH]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("sas-perf: unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if let Some(path) = validate {
+        let body = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+        match validate_schema(&body) {
+            Ok(n) => println!("sas-perf: {path}: schema OK ({n} cells)"),
+            Err(e) => fail(&format!("{path}: schema violation: {e}")),
+        }
+        return;
+    }
+
+    let prior = std::fs::read_to_string(&out).ok();
+    let cells = measure(iters);
+    let total = totals(&cells);
+    println!(
+        "sas-perf: {} cells, {:.1} ms wall, {:.0} sim-instructions/sec, {:.0} cycles/sec",
+        cells.len(),
+        total.wall_ms,
+        total.sim_ips(),
+        total.cycles_per_sec()
+    );
+
+    // Baseline: an explicit re-record wins; otherwise carry forward the one
+    // committed in the existing trajectory file; otherwise this first
+    // recording becomes its own baseline.
+    let baseline = match &record_baseline {
+        Some(label) => render_total(&total, Some(label)),
+        None => match prior.as_deref().and_then(|p| extract_object(p, "baseline")) {
+            Some(b) => b.to_string(),
+            None => render_total(&total, Some("first recording")),
+        },
+    };
+    let base_ips = number_field(&baseline, "sim_ips")
+        .unwrap_or_else(|| fail("baseline section lacks sim_ips"));
+    let speedup = total.sim_ips() / base_ips.max(1e-9);
+    println!("sas-perf: {speedup:.2}x sim-instructions/sec vs baseline");
+
+    // Regression warning (not a gate): compare against the *previous*
+    // recording's total, which is what the last green tier-1 committed.
+    if let Some(prev) =
+        prior.as_deref().and_then(|p| extract_object(p, "total")).and_then(|t| number_field(t, "sim_ips"))
+    {
+        if total.sim_ips() < 0.8 * prev {
+            println!(
+                "sas-perf: WARNING: sim-instructions/sec dropped {:.1}% vs previous \
+                 trajectory ({:.0} -> {:.0})",
+                100.0 * (1.0 - total.sim_ips() / prev),
+                prev,
+                total.sim_ips()
+            );
+        }
+    }
+
+    let body = render(iters, &cells, &total, &baseline, speedup);
+    validate_schema(&body).unwrap_or_else(|e| fail(&format!("generated file fails schema: {e}")));
+    std::fs::write(&out, body).unwrap_or_else(|e| fail(&format!("cannot write {out}: {e}")));
+    println!("sas-perf: wrote {out}");
+}
+
+fn req(args: &mut impl Iterator<Item = String>, flag: &str) -> String {
+    args.next().unwrap_or_else(|| fail(&format!("{flag} needs a value")))
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("sas-perf: {msg}");
+    std::process::exit(1);
+}
+
+/// Times every fig6 cell sequentially (parallel timing would contend for
+/// cores and distort per-cell wall numbers).
+fn measure(iters: u32) -> Vec<CellPerf> {
+    let mut cols = vec![Mitigation::Unsafe];
+    cols.extend(Mitigation::figure6_set());
+    let mut cells = Vec::new();
+    for p in spec_suite() {
+        for &m in &cols {
+            let t = Instant::now();
+            let c = run_spec(&p, m, iters);
+            let wall_ms = t.elapsed().as_secs_f64() * 1000.0;
+            cells.push(CellPerf {
+                benchmark: p.name.to_string(),
+                mitigation: m.token().to_string(),
+                cycles: c.cycles,
+                committed: c.committed,
+                wall_ms,
+            });
+        }
+    }
+    cells
+}
+
+fn totals(cells: &[CellPerf]) -> CellPerf {
+    CellPerf {
+        benchmark: "total".into(),
+        mitigation: "*".into(),
+        cycles: cells.iter().map(|c| c.cycles).sum(),
+        committed: cells.iter().map(|c| c.committed).sum(),
+        wall_ms: cells.iter().map(|c| c.wall_ms).sum(),
+    }
+}
+
+fn render_total(t: &CellPerf, label: Option<&str>) -> String {
+    let mut s = String::from("{");
+    if let Some(l) = label {
+        let _ = write!(s, "\"label\":\"{}\",", l.replace('"', "'"));
+    }
+    let _ = write!(
+        s,
+        "\"wall_ms\":{:.3},\"committed\":{},\"cycles\":{},\
+         \"sim_ips\":{:.1},\"cycles_per_sec\":{:.1}}}",
+        t.wall_ms,
+        t.committed,
+        t.cycles,
+        t.sim_ips(),
+        t.cycles_per_sec()
+    );
+    s
+}
+
+fn render(
+    iters: u32,
+    cells: &[CellPerf],
+    total: &CellPerf,
+    baseline: &str,
+    speedup: f64,
+) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"schema\": \"{SCHEMA}\",");
+    let _ = writeln!(s, "  \"bench\": \"fig6\",");
+    let _ = writeln!(s, "  \"iters\": {iters},");
+    let _ = writeln!(s, "  \"cells\": [");
+    for (i, c) in cells.iter().enumerate() {
+        let comma = if i + 1 == cells.len() { "" } else { "," };
+        let _ = writeln!(
+            s,
+            "    {{\"benchmark\":\"{}\",\"mitigation\":\"{}\",\"cycles\":{},\
+             \"committed\":{},\"wall_ms\":{:.3},\"sim_ips\":{:.1},\
+             \"cycles_per_sec\":{:.1}}}{comma}",
+            c.benchmark,
+            c.mitigation,
+            c.cycles,
+            c.committed,
+            c.wall_ms,
+            c.sim_ips(),
+            c.cycles_per_sec()
+        );
+    }
+    let _ = writeln!(s, "  ],");
+    let _ = writeln!(s, "  \"total\": {},", render_total(total, None));
+    let _ = writeln!(s, "  \"baseline\": {baseline},");
+    let _ = writeln!(s, "  \"speedup_sim_ips\": {speedup:.3}");
+    let _ = writeln!(s, "}}");
+    s
+}
+
+/// Extracts the balanced-brace object following `"key":` from a JSON
+/// document. A full parser is overkill for the two fixed sections this tool
+/// reads back out of its own output format.
+fn extract_object<'a>(doc: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let at = doc.find(&pat)?;
+    let rest = doc[at + pat.len()..].trim_start();
+    if !rest.starts_with('{') {
+        return None;
+    }
+    let mut depth = 0usize;
+    for (i, b) in rest.bytes().enumerate() {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&rest[..=i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Extracts a numeric field from a flat JSON object snippet.
+fn number_field(obj: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = obj.find(&pat)?;
+    let rest = obj[at + pat.len()..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Structural check of a trajectory file: schema tag, a non-empty `cells`
+/// array whose every row carries the per-cell metrics, and `total` /
+/// `baseline` sections with throughput numbers. Returns the cell count.
+fn validate_schema(doc: &str) -> Result<usize, String> {
+    if !doc.contains(&format!("\"schema\": \"{SCHEMA}\"")) {
+        return Err(format!("missing schema tag {SCHEMA:?}"));
+    }
+    let cells_at = doc.find("\"cells\": [").ok_or("missing cells array")?;
+    let cells_end = doc[cells_at..].find(']').ok_or("unterminated cells array")? + cells_at;
+    let rows: Vec<&str> =
+        doc[cells_at..cells_end].lines().filter(|l| l.trim_start().starts_with('{')).collect();
+    if rows.is_empty() {
+        return Err("empty cells array".into());
+    }
+    for (i, row) in rows.iter().enumerate() {
+        for field in
+            ["benchmark", "mitigation", "cycles", "committed", "wall_ms", "sim_ips", "cycles_per_sec"]
+        {
+            if !row.contains(&format!("\"{field}\":")) {
+                return Err(format!("cell {i} lacks field {field:?}"));
+            }
+        }
+    }
+    for section in ["total", "baseline"] {
+        let obj = extract_object(doc, section).ok_or(format!("missing {section} section"))?;
+        for field in ["wall_ms", "committed", "cycles", "sim_ips", "cycles_per_sec"] {
+            if number_field(obj, field).is_none() {
+                return Err(format!("{section} section lacks numeric {field:?}"));
+            }
+        }
+    }
+    number_field(doc, "speedup_sim_ips").ok_or("missing speedup_sim_ips")?;
+    Ok(rows.len())
+}

@@ -15,7 +15,9 @@
 use sas_pipeline::{CpiStack, DelayCause, FaultPlan, RunExit, RunResult, System};
 use sas_workloads::{build_parsec_workload, build_workload, Profile, Workload};
 use specasan::{build_multicore, build_system, Mitigation, SimConfig};
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::{Arc, Mutex, OnceLock};
 
 pub mod jsonl;
 pub mod timing;
@@ -161,6 +163,27 @@ pub struct Cell {
     pub run: RunResult,
 }
 
+/// Memoized workload construction: every mitigation column of a figure row
+/// runs the *same* generated program, so harnesses share one build per
+/// `(suite, benchmark, iterations)` instead of regenerating the multi-MB
+/// data segments per cell. Generation is deterministic (fixed [`SEED`]), so
+/// caching cannot change what any cell executes.
+fn cached_workloads(
+    key: (&'static str, &'static str, u32),
+    build: impl FnOnce() -> Vec<Workload>,
+) -> Arc<Vec<Workload>> {
+    type Cache = Mutex<HashMap<(&'static str, &'static str, u32), Arc<Vec<Workload>>>>;
+    static CACHE: OnceLock<Cache> = OnceLock::new();
+    let cache = CACHE.get_or_init(Default::default);
+    if let Some(w) = cache.lock().unwrap().get(&key) {
+        return Arc::clone(w);
+    }
+    // Build outside the lock: concurrent misses may build twice, but cells
+    // never block on another row's multi-megabyte generation.
+    let built = Arc::new(build());
+    cache.lock().unwrap().entry(key).or_insert(built).clone()
+}
+
 /// Runs one SPEC-style (single-core) workload under a mitigation,
 /// returning the failure instead of panicking on an aborted run.
 pub fn run_spec_checked(
@@ -168,7 +191,10 @@ pub fn run_spec_checked(
     m: Mitigation,
     iterations: u32,
 ) -> Result<Cell, Box<CellFailure>> {
-    let w = build_workload(profile, iterations, SEED, 0);
+    let ws = cached_workloads(("spec", profile.name, iterations), || {
+        vec![build_workload(profile, iterations, SEED, 0)]
+    });
+    let w = &ws[0];
     let mut sys = build_system(&SimConfig::table2(), w.program.clone(), m);
     w.setup.apply(&mut sys);
     arm_ambient_faults(&mut sys);
@@ -194,10 +220,12 @@ pub fn run_parsec_checked(
     m: Mitigation,
     iterations: u32,
 ) -> Result<Cell, Box<CellFailure>> {
-    let ws: Vec<Workload> = build_parsec_workload(profile, iterations, SEED, 4);
+    let ws = cached_workloads(("parsec", profile.name, iterations), || {
+        build_parsec_workload(profile, iterations, SEED, 4)
+    });
     let mut sys =
         build_multicore(&SimConfig::table2(), ws.iter().map(|w| w.program.clone()).collect(), m);
-    for w in &ws {
+    for w in ws.iter() {
         w.setup.apply(&mut sys);
     }
     arm_ambient_faults(&mut sys);

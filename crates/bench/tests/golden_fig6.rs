@@ -1,0 +1,103 @@
+//! Golden cycle-exactness test for the fig6 grid (ISSUE 6).
+//!
+//! Runs every (benchmark, mitigation) cell of the Figure 6 grid at the
+//! tier-1 smoke length (2 iterations) and compares `cycles`, `committed`
+//! and the full CPI stack bit-for-bit against the checked-in fixture
+//! `crates/bench/golden_fig6_cycles.txt`, which was recorded *before* the
+//! hot-loop overhaul. Any simulator change that alters a single cycle or
+//! shifts one CPI bucket in any cell fails this test.
+//!
+//! Re-recording (only legitimate when an intentional semantic change lands,
+//! with the diff reviewed cell by cell):
+//!
+//! ```text
+//! SAS_GOLDEN_RECORD=1 cargo test -p sas-bench --test golden_fig6
+//! ```
+
+use sas_bench::{cpi_json, run_spec};
+use sas_workloads::spec_suite;
+use specasan::Mitigation;
+use std::sync::Mutex;
+
+/// Smoke length: matches the tier-1 fig6 stage (`--iters 2`).
+const ITERS: u32 = 2;
+
+const FIXTURE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/golden_fig6_cycles.txt");
+
+fn grid() -> Vec<(usize, &'static str, Mitigation)> {
+    let mut cols = vec![Mitigation::Unsafe];
+    cols.extend(Mitigation::figure6_set());
+    let mut cells = Vec::new();
+    for p in spec_suite() {
+        for &m in &cols {
+            cells.push((cells.len(), p.name, m));
+        }
+    }
+    cells
+}
+
+/// Runs the whole grid on a small worker pool (cells are independent
+/// single-core sims; parallelism cannot affect their results — that is
+/// itself asserted by the determinism property test in `sas-core`).
+fn run_grid() -> Vec<String> {
+    let cells = grid();
+    let work = Mutex::new(cells.clone().into_iter());
+    let mut lines: Vec<(usize, String)> = Vec::with_capacity(cells.len());
+    let lines_mx = Mutex::new(&mut lines);
+    let threads = std::thread::available_parallelism().map_or(2, |n| n.get()).min(4);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let next = work.lock().unwrap().next();
+                let Some((i, bench, m)) = next else { break };
+                let profile = spec_suite().into_iter().find(|p| p.name == bench).unwrap();
+                let cell = run_spec(&profile, m, ITERS);
+                let line = format!(
+                    "{}/{} cycles={} committed={} cpi={}",
+                    bench,
+                    m.token(),
+                    cell.cycles,
+                    cell.committed,
+                    cpi_json(&cell)
+                );
+                lines_mx.lock().unwrap().push((i, line));
+            });
+        }
+    });
+    lines.sort_by_key(|&(i, _)| i);
+    lines.into_iter().map(|(_, l)| l).collect()
+}
+
+#[test]
+fn fig6_grid_is_cycle_exact() {
+    let lines = run_grid();
+    let body = lines.join("\n") + "\n";
+    if std::env::var("SAS_GOLDEN_RECORD").is_ok_and(|v| v == "1") {
+        std::fs::write(FIXTURE, &body).unwrap();
+        eprintln!("recorded {} cells into {FIXTURE}", lines.len());
+        return;
+    }
+    let golden = std::fs::read_to_string(FIXTURE)
+        .unwrap_or_else(|e| panic!("missing golden fixture {FIXTURE}: {e}"));
+    let golden_lines: Vec<&str> = golden.lines().collect();
+    assert_eq!(
+        golden_lines.len(),
+        lines.len(),
+        "fig6 grid shape changed: fixture has {} cells, run produced {}",
+        golden_lines.len(),
+        lines.len()
+    );
+    let mut diffs = Vec::new();
+    for (want, got) in golden_lines.iter().zip(&lines) {
+        if want != got {
+            diffs.push(format!("  - {want}\n  + {got}"));
+        }
+    }
+    assert!(
+        diffs.is_empty(),
+        "cycle-exactness violated in {}/{} cells:\n{}",
+        diffs.len(),
+        lines.len(),
+        diffs.join("\n")
+    );
+}

@@ -37,6 +37,42 @@ fn cpi_buckets_sum_exactly_to_cycles_under_every_mitigation() {
     });
 }
 
+/// End-to-end determinism: the same program produces bit-identical cycles,
+/// CPI stack and retired-instruction stream on every run — telemetry on or
+/// off, serial or on four concurrent threads — across every mitigation.
+/// Telemetry sampling bounds the simulator's quiescent skip-ahead, so the
+/// on/off comparison also pins skip-vs-no-skip cycle equivalence.
+#[test]
+fn runs_are_deterministic_across_telemetry_and_concurrency() {
+    check("runs_are_deterministic_across_telemetry_and_concurrency", 6, |rng| {
+        let program = gens::terminating_program(8..32).sample(rng);
+        for m in Mitigation::all() {
+            let run_digest = |telemetry: bool| {
+                let mut sim =
+                    Simulator::builder().mitigation(m).program(program.clone()).build();
+                sim.system_mut().core_mut(0).set_record_commits(true);
+                if telemetry {
+                    sim.system_mut().enable_telemetry(16, 4096);
+                }
+                let rep = sim.run();
+                assert!(rep.halted_cleanly(), "{m:?}: {}", rep.summary());
+                let cpi: Vec<_> = rep.result.core_stats.iter().map(|s| s.cpi.clone()).collect();
+                let retired = sim.system_mut().core_mut(0).take_retired();
+                (rep.result.cycles, cpi, retired)
+            };
+            let base = run_digest(false);
+            assert_eq!(base, run_digest(true), "{m:?}: telemetry must not change the run");
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..4).map(|_| s.spawn(|| run_digest(false))).collect();
+                for h in handles {
+                    let got = h.join().expect("worker must not panic");
+                    assert_eq!(base, got, "{m:?}: concurrent runs must be bit-identical");
+                }
+            });
+        }
+    });
+}
+
 /// The invariants are telemetry-independent: enabling timelines, histograms
 /// and gauge sampling must not perturb the attribution (or the run at all).
 #[test]

@@ -58,6 +58,18 @@ impl TagNibble {
         TagNibble((self.0.wrapping_add(delta)) & 0xF)
     }
 
+    /// Downward tag arithmetic (`SUBG`): wraps modulo 16, so
+    /// `t.wrapping_sub(d) == t.wrapping_add(16 - d % 16)` for every `d`.
+    ///
+    /// ```
+    /// use sas_isa::TagNibble;
+    /// assert_eq!(TagNibble::new(0x2).wrapping_sub(3).value(), 0xF);
+    /// assert_eq!(TagNibble::new(0x2).wrapping_sub(16).value(), 0x2);
+    /// ```
+    pub fn wrapping_sub(self, delta: u8) -> TagNibble {
+        TagNibble((self.0.wrapping_sub(delta)) & 0xF)
+    }
+
     /// Iterator over all sixteen tags.
     pub fn all() -> impl Iterator<Item = TagNibble> {
         (0..16u8).map(TagNibble)

@@ -463,55 +463,65 @@ impl Inst {
     /// appears: reading the zero register is not a data dependency.
     pub fn uses(&self) -> Vec<Reg> {
         let mut v = Vec::with_capacity(3);
+        self.for_each_use(|r| v.push(r));
+        v
+    }
+
+    /// Calls `f` with each register of [`Inst::uses`], in the same order,
+    /// without allocating — the once-per-dispatched-uop rename path.
+    pub fn for_each_use(&self, mut f: impl FnMut(Reg)) {
+        let mut emit = |r: Reg| {
+            if !r.is_zero() {
+                f(r);
+            }
+        };
         match *self {
             Inst::Alu { lhs, rhs, .. } => {
-                v.push(lhs);
+                emit(lhs);
                 if let Some(r) = rhs.source_reg() {
-                    v.push(r);
+                    emit(r);
                 }
             }
             Inst::MovZ { .. } => {}
-            Inst::MovK { dst, .. } => v.push(dst),
+            Inst::MovK { dst, .. } => emit(dst),
             Inst::Cmp { lhs, rhs } => {
-                v.push(lhs);
+                emit(lhs);
                 if let Some(r) = rhs.source_reg() {
-                    v.push(r);
+                    emit(r);
                 }
             }
-            Inst::Ldr { base, .. } => v.push(base),
+            Inst::Ldr { base, .. } => emit(base),
             Inst::LdrIdx { base, index, .. } => {
-                v.push(base);
-                v.push(index);
+                emit(base);
+                emit(index);
             }
             Inst::Str { src, base, .. } => {
-                v.push(src);
-                v.push(base);
+                emit(src);
+                emit(base);
             }
             Inst::StrIdx { src, base, index, .. } => {
-                v.push(src);
-                v.push(base);
-                v.push(index);
+                emit(src);
+                emit(base);
+                emit(index);
             }
-            Inst::Irg { src, .. } | Inst::Addg { src, .. } | Inst::Subg { src, .. } => v.push(src),
+            Inst::Irg { src, .. } | Inst::Addg { src, .. } | Inst::Subg { src, .. } => emit(src),
             Inst::Stg { base, .. } | Inst::St2g { base, .. } | Inst::Flush { base, .. } => {
-                v.push(base)
+                emit(base)
             }
-            Inst::Ldg { base, .. } => v.push(base),
+            Inst::Ldg { base, .. } => emit(base),
             Inst::B { .. } | Inst::BCond { .. } | Inst::Bl { .. } => {}
-            Inst::Cbz { reg, .. } | Inst::Cbnz { reg, .. } => v.push(reg),
-            Inst::Br { reg } | Inst::Blr { reg } => v.push(reg),
-            Inst::Ret => v.push(Reg::LR),
+            Inst::Cbz { reg, .. } | Inst::Cbnz { reg, .. } => emit(reg),
+            Inst::Br { reg } | Inst::Blr { reg } => emit(reg),
+            Inst::Ret => emit(Reg::LR),
             Inst::Amo { addr, src, expected, op, .. } => {
-                v.push(addr);
-                v.push(src);
+                emit(addr);
+                emit(src);
                 if matches!(op, AmoOp::Cas) {
-                    v.push(expected);
+                    emit(expected);
                 }
             }
             Inst::Bti { .. } | Inst::SpecBarrier | Inst::Fence | Inst::Nop | Inst::Halt => {}
         }
-        v.retain(|r| !r.is_zero());
-        v
     }
 
     /// Registers written by this instruction, including implicit writes

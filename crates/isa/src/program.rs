@@ -414,6 +414,11 @@ impl ProgramBuilder {
         self.push(Inst::Addg { dst, src, offset, tag_offset })
     }
 
+    /// `SUBG dst, src, #offset, #tag_offset`.
+    pub fn subg(&mut self, dst: Reg, src: Reg, offset: u64, tag_offset: u8) -> &mut Self {
+        self.push(Inst::Subg { dst, src, offset, tag_offset })
+    }
+
     /// `STG [base, #offset]`.
     pub fn stg(&mut self, base: Reg, offset: i64) -> &mut Self {
         self.push(Inst::Stg { base, offset })

@@ -78,15 +78,45 @@ impl MainMemory {
     }
 
     /// Copies a byte slice into memory at `base`.
+    ///
+    /// Bulk-copies page by page (one page lookup per 4 KiB instead of one
+    /// per byte): segment loading moves megabytes per workload, and the
+    /// per-byte path made system construction dominate short smoke runs.
     pub fn write_bytes(&mut self, base: VirtAddr, bytes: &[u8]) {
-        for (i, &b) in bytes.iter().enumerate() {
-            self.write_byte(base.offset(i as i64), b);
+        let mut a = base.untagged().raw();
+        let mut rest = bytes;
+        while !rest.is_empty() {
+            let off = (a as usize) & (PAGE_BYTES - 1);
+            let n = (PAGE_BYTES - off).min(rest.len());
+            self.page_mut(a >> PAGE_SHIFT)[off..off + n].copy_from_slice(&rest[..n]);
+            a += n as u64;
+            rest = &rest[n..];
         }
     }
 
     /// Reads `len` bytes starting at `base`.
     pub fn read_bytes(&self, base: VirtAddr, len: usize) -> Vec<u8> {
-        (0..len).map(|i| self.read_byte(base.offset(i as i64))).collect()
+        let mut out = vec![0u8; len];
+        self.read_slice(base, &mut out);
+        out
+    }
+
+    /// Fills `out` with the bytes starting at `base`, bulk-copying page by
+    /// page (never-written pages read as zero). The per-line snapshot the
+    /// cache-fill path takes on every miss goes through here.
+    pub fn read_slice(&self, base: VirtAddr, out: &mut [u8]) {
+        let mut a = base.untagged().raw();
+        let mut rest = &mut out[..];
+        while !rest.is_empty() {
+            let off = (a as usize) & (PAGE_BYTES - 1);
+            let n = (PAGE_BYTES - off).min(rest.len());
+            match self.pages.get(&(a >> PAGE_SHIFT)) {
+                Some(p) => rest[..n].copy_from_slice(&p[off..off + n]),
+                None => rest[..n].fill(0),
+            }
+            a += n as u64;
+            rest = &mut rest[n..];
+        }
     }
 
     /// Number of 4 KiB pages materialised.

@@ -307,11 +307,8 @@ impl MemSystem {
     }
 
     fn line_data_snapshot(&self, addr: VirtAddr) -> [u8; LINE_BYTES as usize] {
-        let base = addr.line_base();
         let mut out = [0u8; LINE_BYTES as usize];
-        for (i, b) in out.iter_mut().enumerate() {
-            *b = self.arch.read_byte(base.offset(i as i64));
-        }
+        self.arch.read_slice(addr.line_base(), &mut out);
         out
     }
 

@@ -22,10 +22,20 @@ use std::collections::HashMap;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct TagStorage {
-    granules: HashMap<u64, TagNibble>,
+    /// One byte-per-granule page covering 4 KiB of data each; pages are
+    /// keyed by `granule_index >> 8`. A dense page costs one hash per 256
+    /// granules instead of one per granule, which is what makes bulk
+    /// `set_range` calls (workload setup colours megabytes) and the
+    /// per-line lock fetch on every cache fill cheap.
+    pages: HashMap<u64, Box<[u8; PAGE_GRANULES]>>,
+    /// Granules currently holding a non-zero tag, maintained incrementally.
+    nonzero: usize,
     writes: u64,
     reads: u64,
 }
+
+/// Granules per tag page (4 KiB of data).
+const PAGE_GRANULES: usize = 256;
 
 impl TagStorage {
     /// Creates an empty (all-zero-tag) store.
@@ -35,7 +45,11 @@ impl TagStorage {
 
     /// The allocation tag of the granule containing `addr`.
     pub fn tag_of(&self, addr: VirtAddr) -> TagNibble {
-        self.granules.get(&addr.granule_index()).copied().unwrap_or(TagNibble::ZERO)
+        let g = addr.granule_index();
+        match self.pages.get(&(g >> 8)) {
+            Some(p) => TagNibble::new(p[(g & 0xFF) as usize]),
+            None => TagNibble::ZERO,
+        }
     }
 
     /// The allocation tag of the granule containing `addr`, counting the
@@ -45,15 +59,22 @@ impl TagStorage {
         self.tag_of(addr)
     }
 
+    fn page_mut(&mut self, page: u64) -> &mut [u8; PAGE_GRANULES] {
+        self.pages.entry(page).or_insert_with(|| Box::new([0u8; PAGE_GRANULES]))
+    }
+
     /// Sets the tag of the single granule containing `addr` (the `STG`
     /// instruction).
     pub fn set_granule(&mut self, addr: VirtAddr, tag: TagNibble) {
         self.writes += 1;
-        if tag == TagNibble::ZERO {
-            self.granules.remove(&addr.granule_index());
-        } else {
-            self.granules.insert(addr.granule_index(), tag);
+        let g = addr.granule_index();
+        if tag == TagNibble::ZERO && !self.pages.contains_key(&(g >> 8)) {
+            return;
         }
+        let slot = &mut self.page_mut(g >> 8)[(g & 0xFF) as usize];
+        let delta = (tag != TagNibble::ZERO) as isize - (*slot != 0) as isize;
+        *slot = tag.value();
+        self.nonzero = self.nonzero.checked_add_signed(delta).expect("nonzero underflow");
     }
 
     /// Tags every granule overlapping `[base, base+len)`.
@@ -63,25 +84,50 @@ impl TagStorage {
         }
         let first = base.granule_index();
         let last = base.offset(len as i64 - 1).granule_index();
-        for g in first..=last {
-            self.set_granule(VirtAddr::new(g * GRANULE_BYTES), tag);
+        self.writes += last - first + 1;
+        let mut g = first;
+        while g <= last {
+            let end_in_page = ((g >> 8) << 8) + (PAGE_GRANULES as u64 - 1);
+            let upto = end_in_page.min(last);
+            if tag == TagNibble::ZERO && !self.pages.contains_key(&(g >> 8)) {
+                g = upto + 1;
+                continue;
+            }
+            let lo = (g & 0xFF) as usize;
+            let hi = (upto & 0xFF) as usize;
+            let slice = &mut self.page_mut(g >> 8)[lo..=hi];
+            let was_nonzero = slice.iter().filter(|&&b| b != 0).count();
+            let now_nonzero = if tag == TagNibble::ZERO { 0 } else { slice.len() };
+            slice.fill(tag.value());
+            self.nonzero = self.nonzero + now_nonzero - was_nonzero;
+            g = upto + 1;
         }
     }
 
     /// The four locks of the 64-byte cache line containing `addr`, in granule
     /// order — the layout a tagged cache line stores (Figure 3, right).
+    ///
+    /// A 64-byte line never straddles a tag page, so this is a single page
+    /// lookup plus four byte reads.
     pub fn line_locks(&self, addr: VirtAddr) -> [TagNibble; 4] {
-        let base = addr.line_base();
-        let mut locks = [TagNibble::ZERO; 4];
-        for (i, lock) in locks.iter_mut().enumerate() {
-            *lock = self.tag_of(base.offset((i as i64) * GRANULE_BYTES as i64));
+        let g = addr.line_base().granule_index();
+        match self.pages.get(&(g >> 8)) {
+            Some(p) => {
+                let off = (g & 0xFF) as usize;
+                [
+                    TagNibble::new(p[off]),
+                    TagNibble::new(p[off + 1]),
+                    TagNibble::new(p[off + 2]),
+                    TagNibble::new(p[off + 3]),
+                ]
+            }
+            None => [TagNibble::ZERO; 4],
         }
-        locks
     }
 
     /// Number of granules with a non-zero tag.
     pub fn tagged_granules(&self) -> usize {
-        self.granules.len()
+        self.nonzero
     }
 
     /// Total tag writes performed (STG traffic).
@@ -126,8 +172,15 @@ impl TagStorage {
     /// Returns `LINE_BYTES`-aligned addresses of all lines that contain at
     /// least one tagged granule (used by coherence maintenance tests).
     pub fn tagged_lines(&self) -> Vec<VirtAddr> {
-        let mut lines: Vec<u64> =
-            self.granules.keys().map(|g| (g * GRANULE_BYTES) & !(LINE_BYTES - 1)).collect();
+        let mut lines: Vec<u64> = Vec::new();
+        for (page, bytes) in &self.pages {
+            for (i, &b) in bytes.iter().enumerate() {
+                if b != 0 {
+                    let g = (page << 8) + i as u64;
+                    lines.push((g * GRANULE_BYTES) & !(LINE_BYTES - 1));
+                }
+            }
+        }
         lines.sort_unstable();
         lines.dedup();
         lines.into_iter().map(VirtAddr::new).collect()

@@ -518,7 +518,7 @@ impl Oracle {
             }
             Inst::Subg { dst, src, offset, tag_offset } => {
                 let a = VirtAddr::new(rv(&self.cores[idx].regs, src));
-                let nk = a.key().wrapping_add(16 - (tag_offset % 16));
+                let nk = a.key().wrapping_sub(tag_offset);
                 self.check_write(idx, rec, dst, a.offset(-(offset as i64)).with_key(nk).raw())?;
             }
             Inst::Stg { .. } => {

@@ -8,6 +8,7 @@
 //! Tag-check Status Handler, and commit retires in order, raising tag-check
 //! faults for unsafe accesses that turn out to be architectural.
 
+use crate::arena::{Slab, SlotRef, SrcList};
 use crate::config::CoreConfig;
 use crate::policy::{
     DelayCause, IndirectKind, IssueDecision, LoadIssueCtx, LoadRespCtx, MitigationPolicy,
@@ -22,8 +23,15 @@ use sas_mte::{IrgRng, TagCheckOutcome};
 use sas_oracle::CommitRecord;
 use sas_ptest::fault::{FaultPlan, FaultStream, InjectionPoint};
 use sas_telemetry::{CpiBucket, Histogram, MetricsRegistry, Timeline};
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 use std::sync::Arc;
+
+/// Bound on undrained [`CommitRecord`]s held by a core. The lockstep oracle
+/// drains every cycle, so the cap only bites when commit recording is on
+/// with nobody draining — then the buffer stops growing and
+/// `CoreStats::retired_dropped` counts what was lost.
+pub const RETIRED_CAP: usize = 1 << 16;
 
 /// The paper's two-bit tag-check status (Figure 4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,8 +88,14 @@ struct InFlight {
     predicted_next: usize,
     state: UopState,
     /// Captured producer seq per source register (None = read arch regfile).
-    src_seqs: Vec<(Reg, Option<u64>)>,
+    src_seqs: SrcList,
     flags_src: Option<u64>,
+    /// Producers (register or flags) captured at rename that had not yet
+    /// completed; decremented as they complete. Zero means every renamed
+    /// source can be read — the entry belongs on the ready list.
+    unready: u8,
+    /// Head of this uop's consumer waiter chain (see [`WaiterNode`]).
+    waiter_head: Option<SlotRef>,
     result: Option<u64>,
     flags_out: Option<Flags>,
     // memory
@@ -123,6 +137,36 @@ impl InFlight {
     fn done(&self) -> bool {
         matches!(self.state, UopState::Done)
     }
+}
+
+/// One link of a producer's waiter chain: a consumer waiting for the
+/// producer's result, plus the next link. Nodes live in a generational
+/// [`Slab`]; the chain of a squashed producer is freed wholesale (all its
+/// registered consumers are younger, so they died in the same squash).
+#[derive(Debug, Clone, Copy)]
+struct WaiterNode {
+    consumer: u64,
+    next: Option<SlotRef>,
+}
+
+/// Inserts `seq` into an ascending seq list (no-op if present).
+fn sorted_insert(list: &mut Vec<u64>, seq: u64) {
+    if let Err(i) = list.binary_search(&seq) {
+        list.insert(i, seq);
+    }
+}
+
+/// Removes `seq` from an ascending seq list (no-op if absent).
+fn sorted_remove(list: &mut Vec<u64>, seq: u64) {
+    if let Ok(i) = list.binary_search(&seq) {
+        list.remove(i);
+    }
+}
+
+/// Drops every entry younger than `after_seq` from an ascending seq list.
+fn truncate_sorted(list: &mut Vec<u64>, after_seq: u64) {
+    let keep = list.partition_point(|&s| s <= after_seq);
+    list.truncate(keep);
 }
 
 #[derive(Debug, Clone)]
@@ -253,6 +297,38 @@ pub struct Core {
     active_barrier: Option<u64>,
     drain_slots: Vec<DrainSlot>,
 
+    // Scheduler index structures. All are derived views of the ROB —
+    // maintained incrementally at dispatch/issue/writeback/commit, truncated
+    // on squash — that replace the full ROB scans the hot loop used to do.
+    // Every list of seqs is kept ascending (dispatch appends in seq order).
+    /// (completion cycle, seq) min-heap: one live entry per `Executing` uop.
+    /// Entries for squashed or already-written-back uops go stale and are
+    /// filtered when popped.
+    completion: BinaryHeap<Reverse<(u64, u64)>>,
+    /// `Waiting` uops whose renamed producers have all completed (a superset
+    /// of the truly issue-ready: a producer may complete without a value,
+    /// e.g. a blocked-unsafe load — `sources_ready` stays the final gate).
+    ready: Vec<u64>,
+    /// Branches not yet written back (`!(resolved && done)`).
+    unresolved_branches: Vec<u64>,
+    /// Stores (incl. atomics) whose address is still unknown.
+    unknown_stores: Vec<u64>,
+    /// Memory uops not yet completed (the `FENCE` drain condition).
+    pending_mem: Vec<u64>,
+    /// `SpecBarrier`s not yet completed.
+    pending_barriers: Vec<u64>,
+    /// In-flight loads / stores in seq order (LQ/SQ occupancy and the
+    /// store-to-load / violation scans).
+    load_seqs: VecDeque<u64>,
+    store_seqs: VecDeque<u64>,
+    /// Uops in `Waiting` state (IQ occupancy).
+    waiting_count: usize,
+    /// Producer→consumer wakeup chains.
+    waiters: Slab<WaiterNode>,
+    /// Reused buffers for the per-cycle writeback pop and issue snapshot.
+    scratch_due: Vec<u64>,
+    scratch_candidates: Vec<u64>,
+
     trace_loads: bool,
     trace: Trace,
 
@@ -323,6 +399,18 @@ impl Core {
             div_busy_until: 0,
             active_barrier: None,
             drain_slots: Vec::new(),
+            completion: BinaryHeap::new(),
+            ready: Vec::new(),
+            unresolved_branches: Vec::new(),
+            unknown_stores: Vec::new(),
+            pending_mem: Vec::new(),
+            pending_barriers: Vec::new(),
+            load_seqs: VecDeque::new(),
+            store_seqs: VecDeque::new(),
+            waiting_count: 0,
+            waiters: Slab::new(),
+            scratch_due: Vec::new(),
+            scratch_candidates: Vec::new(),
             trace_loads: std::env::var_os("SAS_TRACE_LOADS").is_some(),
             trace: Trace::default(),
             faults: None,
@@ -473,8 +561,16 @@ impl Core {
     // helpers
     // ------------------------------------------------------------------
 
+    /// ROB position of `seq`. Seqs are allocated monotonically and the ROB
+    /// retires/squashes without reordering, so it is always sorted by seq —
+    /// a binary search replaces the old linear scan. Never-reused seqs also
+    /// make this a generation check: a stale seq simply misses.
+    fn rob_index(&self, seq: u64) -> Option<usize> {
+        self.rob.binary_search_by(|u| u.seq.cmp(&seq)).ok()
+    }
+
     fn find(&self, seq: u64) -> Option<&InFlight> {
-        self.rob.iter().find(|u| u.seq == seq)
+        self.rob_index(seq).map(|i| &self.rob[i])
     }
 
     fn reg_value(&self, reg: Reg, producer: Option<u64>) -> Option<u64> {
@@ -544,12 +640,52 @@ impl Core {
     /// outcome computed at execute becomes visible to younger instructions
     /// no earlier than the squash a misprediction would trigger.
     fn has_older_unresolved_branch(&self, seq: u64) -> bool {
-        self.rob.iter().any(|u| u.seq < seq && u.is_branch() && !(u.resolved && u.done()))
+        self.unresolved_branches.first().is_some_and(|&b| b < seq)
     }
 
     /// Is there an older store with an unknown address?
     fn has_older_unknown_store(&self, seq: u64) -> bool {
-        self.rob.iter().any(|u| u.seq < seq && u.is_store() && u.addr.is_none())
+        self.unknown_stores.first().is_some_and(|&s| s < seq)
+    }
+
+    /// Bookkeeping for a uop leaving `Waiting`: it stops counting against
+    /// the issue queue and leaves the ready list.
+    fn note_issued(&mut self, seq: u64) {
+        self.waiting_count -= 1;
+        sorted_remove(&mut self.ready, seq);
+    }
+
+    /// Index upkeep for the uop at `idx` whose state just became `Done`:
+    /// retire it from the pending lists and wake the consumers chained on
+    /// it (a consumer whose last outstanding producer completes becomes
+    /// ready). Chain nodes of squashed consumers are freed and skipped —
+    /// their seqs no longer resolve.
+    fn on_done(&mut self, idx: usize) {
+        let seq = self.rob[idx].seq;
+        if self.rob[idx].is_branch() {
+            debug_assert!(self.rob[idx].resolved);
+            sorted_remove(&mut self.unresolved_branches, seq);
+        }
+        if self.rob[idx].is_mem() {
+            sorted_remove(&mut self.pending_mem, seq);
+        }
+        if matches!(self.rob[idx].inst, Inst::SpecBarrier) {
+            sorted_remove(&mut self.pending_barriers, seq);
+        }
+        let mut link = self.rob[idx].waiter_head.take();
+        while let Some(r) = link {
+            let Some(node) = self.waiters.remove(r) else { break };
+            link = node.next;
+            if let Some(ci) = self.rob_index(node.consumer) {
+                let c = &mut self.rob[ci];
+                if matches!(c.state, UopState::Waiting) && c.unready > 0 {
+                    c.unready -= 1;
+                    if c.unready == 0 {
+                        sorted_insert(&mut self.ready, node.consumer);
+                    }
+                }
+            }
+        }
     }
 
     /// STT taint: a value is tainted while its root load is still
@@ -728,16 +864,15 @@ impl Core {
     // ------------------------------------------------------------------
 
     fn lq_occupancy(&self) -> usize {
-        self.rob.iter().filter(|u| u.is_load()).count()
+        self.load_seqs.len()
     }
 
     fn sq_occupancy(&self, cycle: u64) -> usize {
-        self.rob.iter().filter(|u| u.is_store()).count()
-            + self.drain_slots.iter().filter(|d| d.done_at > cycle).count()
+        self.store_seqs.len() + self.drain_slots.iter().filter(|d| d.done_at > cycle).count()
     }
 
     fn iq_occupancy(&self) -> usize {
-        self.rob.iter().filter(|u| matches!(u.state, UopState::Waiting)).count()
+        self.waiting_count
     }
 
     fn dispatch(&mut self, cycle: u64) {
@@ -762,12 +897,11 @@ impl Core {
             let seq = self.next_seq;
             self.next_seq += 1;
 
-            let src_seqs: Vec<(Reg, Option<u64>)> = fe
-                .inst
-                .sources()
-                .into_iter()
-                .map(|r| (r, self.rename[r.index()]))
-                .collect();
+            let mut src_seqs = SrcList::new();
+            {
+                let rename = &self.rename;
+                fe.inst.for_each_use(|r| src_seqs.push(r, rename[r.index()]));
+            }
             let flags_src = if fe.inst.reads_flags() { self.flags_rename } else { None };
 
             let width = match fe.inst {
@@ -780,6 +914,34 @@ impl Core {
                 _ => 0,
             };
 
+            // Hook this uop onto the waiter chain of each incomplete
+            // producer; with none outstanding it is ready immediately.
+            let mut unready: u8 = 0;
+            for &(_, p) in &src_seqs {
+                if let Some(pseq) = p {
+                    if let Some(pi) = self.rob_index(pseq) {
+                        if !self.rob[pi].done() {
+                            unready += 1;
+                            let node = self
+                                .waiters
+                                .insert(WaiterNode { consumer: seq, next: self.rob[pi].waiter_head });
+                            self.rob[pi].waiter_head = Some(node);
+                        }
+                    }
+                }
+            }
+            if let Some(fseq) = flags_src {
+                if let Some(pi) = self.rob_index(fseq) {
+                    if !self.rob[pi].done() {
+                        unready += 1;
+                        let node = self
+                            .waiters
+                            .insert(WaiterNode { consumer: seq, next: self.rob[pi].waiter_head });
+                        self.rob[pi].waiter_head = Some(node);
+                    }
+                }
+            }
+
             let u = InFlight {
                 seq,
                 pc: fe.pc,
@@ -788,6 +950,8 @@ impl Core {
                 state: UopState::Waiting,
                 src_seqs,
                 flags_src,
+                unready,
+                waiter_head: None,
                 result: None,
                 flags_out: None,
                 addr: None,
@@ -837,6 +1001,27 @@ impl Core {
                     Some(fetch_cycle),
                     cycle,
                 );
+            }
+            // Scheduler indices: dispatch appends in ascending seq order.
+            if unready == 0 {
+                self.ready.push(seq);
+            }
+            self.waiting_count += 1;
+            if u.is_branch() {
+                self.unresolved_branches.push(seq);
+            }
+            if u.is_store() {
+                self.unknown_stores.push(seq);
+                self.store_seqs.push_back(seq);
+            }
+            if u.is_load() {
+                self.load_seqs.push_back(seq);
+            }
+            if u.is_mem() {
+                self.pending_mem.push(seq);
+            }
+            if matches!(u.inst, Inst::SpecBarrier) {
+                self.pending_barriers.push(seq);
             }
             self.rob.push_back(u);
         }
@@ -892,10 +1077,12 @@ impl Core {
         let mut candidate: Option<(u64, VirtAddr, u64, Option<u64>)> = None; // (seq, addr, width, value)
         let mut partial_alias: Option<(u64, Option<u64>, VirtAddr)> = None;
         let _ = &self.drain_slots; // searched below for store-buffer sampling
-        for u in self.rob.iter() {
-            if u.seq >= lseq || !u.is_store() {
-                continue;
+        for &sseq in self.store_seqs.iter() {
+            if sseq >= lseq {
+                break; // ascending: nothing older follows
             }
+            let Some(si) = self.rob_index(sseq) else { continue };
+            let u = &self.rob[si];
             let Some(saddr) = u.addr else { continue };
             let sa = saddr.untagged().raw();
             let overlap = sa < la + lw && la < sa + u.width;
@@ -998,28 +1185,24 @@ impl Core {
         let head_seq = self.rob.front().map(|u| u.seq);
         // Any speculation barrier that has not completed (issued or not)
         // blocks every younger instruction.
-        let barrier_active = self
-            .rob
-            .iter()
-            .filter(|u| matches!(u.inst, Inst::SpecBarrier) && !u.done())
-            .map(|u| u.seq)
-            .min()
-            .or(self.active_barrier);
+        let barrier_active = self.pending_barriers.first().copied().or(self.active_barrier);
 
-        let candidates: Vec<u64> = self
-            .rob
-            .iter()
-            .filter(|u| matches!(u.state, UopState::Waiting))
-            .map(|u| u.seq)
-            .collect();
+        // Snapshot the ready list (ascending seq = ROB order). Source
+        // readiness is frozen across the issue loop — nothing transitions to
+        // `Done` here — so entries becoming ready mid-loop cannot occur, and
+        // non-ready entries fail `sources_ready` below exactly as the old
+        // every-`Waiting`-uop scan silently skipped them.
+        let mut candidates = std::mem::take(&mut self.scratch_candidates);
+        candidates.clear();
+        candidates.extend_from_slice(&self.ready);
 
-        for seq in candidates {
+        for seq in candidates.drain(..) {
             if issued >= self.cfg.issue_width {
                 break;
             }
             // A squash earlier in this loop (order violation) may have
             // removed the candidate; re-resolve it by sequence number.
-            let Some(idx) = self.rob.iter().position(|u| u.seq == seq) else {
+            let Some(idx) = self.rob_index(seq) else {
                 continue;
             };
             if !matches!(self.rob[idx].state, UopState::Waiting) {
@@ -1053,18 +1236,19 @@ impl Core {
                         continue;
                     }
                     self.rob[idx].state = UopState::Executing(cycle + 1);
+                    self.note_issued(seq);
+                    self.completion.push(Reverse((cycle + 1, seq)));
                     self.active_barrier = Some(seq);
                     issued += 1;
                 }
                 Inst::Fence => {
-                    let older_mem_pending = self
-                        .rob
-                        .iter()
-                        .any(|u| u.seq < seq && u.is_mem() && !u.done());
+                    let older_mem_pending = self.pending_mem.first().is_some_and(|&m| m < seq);
                     if older_mem_pending || spec_branch {
                         continue;
                     }
                     self.rob[idx].state = UopState::Executing(cycle + 1);
+                    self.note_issued(seq);
+                    self.completion.push(Reverse((cycle + 1, seq)));
                     issued += 1;
                 }
                 Inst::Amo { .. } => {
@@ -1156,11 +1340,8 @@ impl Core {
             // (re-resolve by seq — an order-violation squash above may have
             // rebuilt the ROB).
             if self.telemetry.is_some() {
-                let left_waiting = self
-                    .rob
-                    .iter()
-                    .find(|u| u.seq == seq)
-                    .is_some_and(|u| !matches!(u.state, UopState::Waiting));
+                let left_waiting =
+                    self.find(seq).is_some_and(|u| !matches!(u.state, UopState::Waiting));
                 if left_waiting {
                     if let Some(t) = self.telemetry.as_mut() {
                         t.timeline.on_issue(seq, cycle);
@@ -1168,6 +1349,7 @@ impl Core {
                 }
             }
         }
+        self.scratch_candidates = candidates;
         Ok(())
     }
 
@@ -1245,7 +1427,7 @@ impl Core {
             }
             Inst::Subg { src, offset, tag_offset, .. } => {
                 let a = VirtAddr::new(self.need_src(u, src, SITE)?);
-                let nk = a.key().wrapping_add(16 - (tag_offset % 16));
+                let nk = a.key().wrapping_sub(tag_offset);
                 (Some(a.offset(-(offset as i64)).with_key(nk).raw()), None, self.cfg.alu_latency)
             }
             Inst::Bti { .. } | Inst::Nop | Inst::Halt | Inst::Flush { .. } => {
@@ -1266,6 +1448,9 @@ impl Core {
         u.taint_root = taint_root;
         u.carried_taint |= carried;
         u.state = UopState::Executing(cycle + latency);
+        let seq = u.seq;
+        self.note_issued(seq);
+        self.completion.push(Reverse((cycle + latency, seq)));
         Ok(())
     }
 
@@ -1338,6 +1523,8 @@ impl Core {
             }
         }
         let seq = self.rob[idx].seq;
+        self.note_issued(seq);
+        self.completion.push(Reverse((cycle + self.cfg.alu_latency, seq)));
         self.trace.emit(TraceEvent::BranchResolved { cycle, seq, mispredicted });
         self.policy.on_branch_resolved(seq, mispredicted);
         Ok(())
@@ -1349,26 +1536,32 @@ impl Core {
     fn resolve_store_address(&mut self, idx: usize, addr: VirtAddr, cycle: u64) {
         let seq = self.rob[idx].seq;
         self.rob[idx].addr = Some(addr);
+        sorted_remove(&mut self.unknown_stores, seq);
 
         // Memory-order violation check: a younger load already executed from
-        // an overlapping address without forwarding from this store.
+        // an overlapping address without forwarding from this store. The LQ
+        // list is ascending, so the first hit is the oldest violator.
         let sa = addr.untagged().raw();
         let sw = self.rob[idx].width;
-        let violator = self
-            .rob
-            .iter()
-            .filter(|l| {
-                l.seq > seq
-                    && l.is_load()
-                    && !matches!(l.state, UopState::Waiting)
-                    && l.forwarded_from != Some(seq)
-                    && l.addr.map_or(false, |la| {
-                        let a = la.untagged().raw();
-                        a < sa + sw && sa < a + l.width
-                    })
-            })
-            .map(|l| l.seq)
-            .min();
+        let mut violator: Option<u64> = None;
+        for &lseq in self.load_seqs.iter() {
+            if lseq <= seq {
+                continue;
+            }
+            let Some(li) = self.rob_index(lseq) else { continue };
+            let l = &self.rob[li];
+            if matches!(l.state, UopState::Waiting) || l.forwarded_from == Some(seq) {
+                continue;
+            }
+            let hit = l.addr.is_some_and(|la| {
+                let a = la.untagged().raw();
+                a < sa + sw && sa < a + l.width
+            });
+            if hit {
+                violator = Some(lseq);
+                break;
+            }
+        }
         if let Some(vseq) = violator {
             self.stats.order_violations += 1;
             // Train the MDU to make this load wait next time.
@@ -1396,6 +1589,9 @@ impl Core {
         u.store_value = value;
         u.taint_root = taint_root;
         u.state = UopState::Executing(cycle + self.cfg.alu_latency);
+        let seq = u.seq;
+        self.note_issued(seq);
+        self.completion.push(Reverse((cycle + self.cfg.alu_latency, seq)));
     }
 
     fn try_issue_load(
@@ -1490,6 +1686,10 @@ impl Core {
                         self.charge_delay(idx, DelayCause::ForwardBlocked, 1);
                     }
                 }
+                self.note_issued(seq);
+                if let UopState::Executing(done) = self.rob[idx].state {
+                    self.completion.push(Reverse((done, seq)));
+                }
                 return Ok(true);
             }
             Ok(None) => {}
@@ -1549,6 +1749,10 @@ impl Core {
             self.charge_delay(idx, DelayCause::UnsafeAccessWait, res.latency.max(1));
             self.trace.emit(TraceEvent::UnsafeBlocked { cycle, seq });
         }
+        self.note_issued(seq);
+        if let UopState::Executing(done) = self.rob[idx].state {
+            self.completion.push(Reverse((done, seq)));
+        }
         Ok(true)
     }
 
@@ -1587,6 +1791,11 @@ impl Core {
         u.outcome = Some(res.outcome);
         u.tcs = Tcs::Safe;
         u.state = UopState::Executing(cycle + 1 + res.latency);
+        let seq = u.seq;
+        // The atomic's store address is now known.
+        sorted_remove(&mut self.unknown_stores, seq);
+        self.note_issued(seq);
+        self.completion.push(Reverse((cycle + 1 + res.latency, seq)));
         Ok(())
     }
 
@@ -1601,10 +1810,10 @@ impl Core {
         resume_at: u64,
         mem: Option<&mut MemSystem>,
     ) {
-        let removed: Vec<InFlight> =
-            self.rob.iter().filter(|u| u.seq > after_seq).cloned().collect();
+        let split = self.rob.partition_point(|u| u.seq <= after_seq);
+        let removed = (self.rob.len() - split) as u64;
         if let Some(mem) = mem {
-            for u in &removed {
+            for u in self.rob.range(split..) {
                 if u.fill_mode_used == Some(FillMode::Ghost) {
                     if let Some(a) = u.addr {
                         mem.drop_ghost_line(self.id, a);
@@ -1612,41 +1821,63 @@ impl Core {
                 }
             }
         }
-        self.stats.squashed += removed.len() as u64;
-        if !removed.is_empty() || self.fetch_pc.map_or(true, |p| p != redirect_pc) {
+        self.stats.squashed += removed;
+        if removed > 0 || self.fetch_pc.map_or(true, |p| p != redirect_pc) {
             self.stats.squash_events += 1;
         }
-        self.trace.emit(TraceEvent::Squash {
-            cycle: resume_at,
-            after_seq,
-            count: removed.len() as u64,
-        });
+        self.trace.emit(TraceEvent::Squash { cycle: resume_at, after_seq, count: removed });
         // Redirect + refill: the front end cannot feed dispatch again before
         // `resume_at + front_end_delay`; zero-commit cycles until then are
         // attributed to mispredict recovery.
         self.recover_until = self.recover_until.max(resume_at + self.cfg.front_end_delay);
         if let Some(t) = self.telemetry.as_mut() {
-            t.squash_size.observe(removed.len() as u64);
-            for u in &removed {
+            t.squash_size.observe(removed);
+            for u in self.rob.range(split..) {
                 t.timeline.on_squash(u.seq, resume_at);
             }
         }
-        self.rob.retain(|u| u.seq <= after_seq);
-
-        // Rebuild rename state from the surviving ROB.
-        self.rename = vec![None; Reg::COUNT];
-        self.flags_rename = None;
-        let mut seen: Vec<(usize, u64)> = Vec::new();
-        for u in self.rob.iter() {
-            if let Some(d) = u.inst.dest() {
-                seen.push((d.index(), u.seq));
+        // Drop the squashed tail and every scheduler-index entry that
+        // referenced it. Waiter chains of removed producers are freed
+        // without waking anybody: every registered consumer is younger than
+        // its producer, so it dies in this squash too. Completion-heap
+        // entries for removed seqs go stale and are filtered at pop time.
+        for i in split..self.rob.len() {
+            if matches!(self.rob[i].state, UopState::Waiting) {
+                self.waiting_count -= 1;
             }
-            if u.inst.writes_flags() {
-                self.flags_rename = Some(u.seq);
+            let mut link = self.rob[i].waiter_head.take();
+            while let Some(r) = link {
+                link = self.waiters.remove(r).and_then(|n| n.next);
             }
         }
-        for (ri, seq) in seen {
-            self.rename[ri] = Some(seq);
+        self.rob.truncate(split);
+        truncate_sorted(&mut self.ready, after_seq);
+        truncate_sorted(&mut self.unresolved_branches, after_seq);
+        truncate_sorted(&mut self.unknown_stores, after_seq);
+        truncate_sorted(&mut self.pending_mem, after_seq);
+        truncate_sorted(&mut self.pending_barriers, after_seq);
+        let keep = self.load_seqs.partition_point(|&s| s <= after_seq);
+        self.load_seqs.truncate(keep);
+        let keep = self.store_seqs.partition_point(|&s| s <= after_seq);
+        self.store_seqs.truncate(keep);
+
+        // Rebuild rename state from the surviving ROB (in order: the
+        // youngest writer of each register wins, as before).
+        for r in self.rename.iter_mut() {
+            *r = None;
+        }
+        self.flags_rename = None;
+        for i in 0..self.rob.len() {
+            let (dest, wf, seq) = {
+                let u = &self.rob[i];
+                (u.inst.dest(), u.inst.writes_flags(), u.seq)
+            };
+            if let Some(d) = dest {
+                self.rename[d.index()] = Some(seq);
+            }
+            if wf {
+                self.flags_rename = Some(seq);
+            }
         }
         if self.active_barrier.map_or(false, |b| b > after_seq) {
             self.active_barrier = None;
@@ -1819,18 +2050,33 @@ impl Core {
             }
 
             let Some(head) = self.rob.pop_front() else { break };
+            // The head retires as the oldest entry of every seq list it
+            // belongs to. (A committing uop is `Done`: its pending-list and
+            // waiter-chain entries were already cleared at writeback.)
+            if head.is_load() {
+                let popped = self.load_seqs.pop_front();
+                debug_assert_eq!(popped, Some(head.seq));
+            }
+            if head.is_store() {
+                let popped = self.store_seqs.pop_front();
+                debug_assert_eq!(popped, Some(head.seq));
+            }
             if self.record_commits {
-                self.retired.push(CommitRecord {
-                    core: self.id,
-                    cycle,
-                    seq: head.seq,
-                    pc: head.pc,
-                    inst: head.inst,
-                    result: head.result,
-                    flags: head.flags_out,
-                    addr: head.addr,
-                    store_value: head.store_value,
-                });
+                if self.retired.len() < RETIRED_CAP {
+                    self.retired.push(CommitRecord {
+                        core: self.id,
+                        cycle,
+                        seq: head.seq,
+                        pc: head.pc,
+                        inst: head.inst,
+                        result: head.result,
+                        flags: head.flags_out,
+                        addr: head.addr,
+                        store_value: head.store_value,
+                    });
+                } else {
+                    self.stats.retired_dropped += 1;
+                }
             }
             // Cache maintenance applies architecturally at commit.
             if let Inst::Flush { base, offset } = head.inst {
@@ -1982,27 +2228,211 @@ impl Core {
         self.stats.cpi.add(bucket, 1);
     }
 
+    // ------------------------------------------------------------------
+    // quiescence / skip-ahead
+    // ------------------------------------------------------------------
+
+    /// If ticking this core at cycle `next` would change nothing except the
+    /// CPI attribution, returns the earliest future cycle at which something
+    /// *can* happen (`u64::MAX` when the core is finished). Returns `None`
+    /// when the core would act at `next` — including "silent" work like
+    /// charging a mitigation-delay retry, which must keep running tick by
+    /// tick because it mutates the delay accounting.
+    ///
+    /// Correctness leans on one asymmetry: waking *early* is always safe
+    /// (the tick re-evaluates everything and attributes the same bucket),
+    /// only waking *late* is a bug. Every check below is therefore allowed
+    /// to be conservative.
+    pub(crate) fn quiescent_wake(&self, next: u64) -> Option<u64> {
+        if self.finished {
+            return Some(u64::MAX);
+        }
+        let mut wake = u64::MAX;
+        // A pending precise fault halts the core at `halt_at`.
+        if let Some((_, halt_at)) = self.pending_fault {
+            wake = wake.min(halt_at);
+        }
+        // Writeback acts as soon as the oldest completion comes due.
+        if let Some(&Reverse((done, _))) = self.completion.peek() {
+            if done <= next {
+                return None;
+            }
+            wake = wake.min(done);
+        }
+        // Commit side: what does the head do?
+        match self.rob.front() {
+            None => {
+                if self.recover_until > next {
+                    // Uniform bucket across the skipped range: stop exactly
+                    // where MispredictRecovery flips to FetchStall.
+                    wake = wake.min(self.recover_until);
+                }
+            }
+            Some(h) => match h.state {
+                // Done head commits (or replays a false forward) right away.
+                UopState::Done => return None,
+                UopState::BlockedUnsafe => {
+                    // Commit raises the tag fault once speculation resolves
+                    // in the access's favour; until then the head holds
+                    // silently (gates can only clear via completions or
+                    // issue actions, both covered by the other checks).
+                    if self.pending_fault.is_none()
+                        && !self.has_older_unresolved_branch(h.seq)
+                        && !self.has_older_unknown_store(h.seq)
+                    {
+                        return None;
+                    }
+                }
+                UopState::Executing(_) | UopState::Waiting => {}
+            },
+        }
+        // Issue side: would any ready uop act (or charge a retry delay)?
+        // Mirrors the silent-continue classes of `issue` exactly; anything
+        // else breaks quiescence.
+        let head_seq = self.rob.front().map(|u| u.seq);
+        let barrier_active = self.pending_barriers.first().copied().or(self.active_barrier);
+        for &seq in &self.ready {
+            let Some(idx) = self.rob_index(seq) else { continue };
+            let u = &self.rob[idx];
+            if !matches!(u.state, UopState::Waiting) {
+                continue;
+            }
+            if barrier_active.is_some_and(|b| seq > b) {
+                continue; // silently barred behind a speculation barrier
+            }
+            if !self.sources_ready(u) {
+                continue; // a completed producer without a value (blocked load)
+            }
+            let spec_branch = self.has_older_unresolved_branch(seq);
+            if spec_branch && self.policy.blocks_full_speculation() {
+                return None; // would charge BarrierSpecLoad
+            }
+            match u.inst {
+                Inst::Fence => {
+                    let older_mem = self.pending_mem.first().is_some_and(|&m| m < seq);
+                    if older_mem || spec_branch {
+                        continue; // silently drains
+                    }
+                    return None;
+                }
+                Inst::Amo { .. } if head_seq != Some(seq) => continue, // head-only
+                Inst::Alu { op: AluOp::UDiv | AluOp::SDiv, .. }
+                    if self.div_busy_until > next =>
+                {
+                    // Non-pipelined divider busy: silent; the occupying div's
+                    // completion is in the heap, so `wake` already covers it.
+                    continue;
+                }
+                _ => return None, // would issue, execute, or charge a delay
+            }
+        }
+        // Dispatch: the front fetch-queue entry either dispatches (activity)
+        // or waits on its decode latency / a full structure. Structures only
+        // free through events covered above, except SQ drain-slot expiry.
+        if let Some(f) = self.fetch_queue.front() {
+            if f.available_at > next {
+                wake = wake.min(f.available_at);
+            } else if self.rob.len() < self.cfg.rob_entries
+                && self.iq_occupancy() < self.cfg.iq_entries
+                && !(f.inst.is_load() && self.lq_occupancy() >= self.cfg.lq_entries)
+                && !(f.inst.is_store() && self.sq_occupancy(next) >= self.cfg.sq_entries)
+            {
+                return None;
+            }
+        }
+        for d in &self.drain_slots {
+            if d.done_at > next {
+                wake = wake.min(d.done_at);
+            }
+        }
+        // Fetch: runs unless stopped (no pc), stalled, or the queue is full.
+        if self.fetch_pc.is_some()
+            && self.fetch_stalled_on.is_none()
+            && self.fetch_queue.len() < self.cfg.fetch_width * 2
+        {
+            if self.fetch_resume_at > next {
+                wake = wake.min(self.fetch_resume_at);
+            } else {
+                return None;
+            }
+        }
+        Some(wake)
+    }
+
+    /// Accounts the quiescent cycles `from..=to` in one step: the CPI bucket
+    /// each skipped tick would have attributed is constant across the gap
+    /// (the machine state that `attribute_cycle` reads is frozen), so the
+    /// whole range lands in that bucket and `stats.cycles` jumps to `to+1` —
+    /// bit-identical to ticking through the gap, minus the time.
+    pub(crate) fn skip_quiescent(&mut self, from: u64, to: u64) {
+        debug_assert!(!self.finished && from <= to);
+        let bucket = match self.rob.front() {
+            Some(h) if matches!(h.state, UopState::BlockedUnsafe) => CpiBucket::TshUnsafeBlock,
+            Some(h)
+                if h.is_mem()
+                    && (matches!(h.state, UopState::Executing(_)) || h.tcs == Tcs::Wait) =>
+            {
+                CpiBucket::MemoryBound
+            }
+            Some(_) => CpiBucket::Base,
+            None => {
+                if from < self.recover_until {
+                    CpiBucket::MispredictRecovery
+                } else {
+                    CpiBucket::FetchStall
+                }
+            }
+        };
+        self.stats.cpi.add(bucket, to - from + 1);
+        self.stats.cycles = to + 1;
+    }
+
+    /// Pops every completion-heap entry due at or before `cycle` into
+    /// `scratch_due`, deduped and sorted ascending by seq — the order the
+    /// old full-ROB writeback scan visited uops in. Stale entries (squashed
+    /// or already-completed uops) are filtered by the state re-check at use.
+    fn collect_due(&mut self, cycle: u64) {
+        self.scratch_due.clear();
+        while let Some(&Reverse((done, seq))) = self.completion.peek() {
+            if done > cycle {
+                break;
+            }
+            self.completion.pop();
+            self.scratch_due.push(seq);
+        }
+        self.scratch_due.sort_unstable();
+        self.scratch_due.dedup();
+    }
+
     fn writeback_with_mem(&mut self, cycle: u64, mem: &mut MemSystem) {
         // Same as writeback() but routes squashes through ghost rollback.
+        self.collect_due(cycle);
+        let due = std::mem::take(&mut self.scratch_due);
+        // Oldest completing mispredicted branch wins the redirect; `due` is
+        // ascending, so the first qualifying entry is it.
         let mut redirect: Option<(u64, usize)> = None;
-        for u in self.rob.iter() {
-            if let UopState::Executing(done) = u.state {
-                if done <= cycle && u.is_branch() && u.mispredicted {
-                    redirect = match redirect {
-                        Some((s, t)) if s < u.seq => Some((s, t)),
-                        _ => Some((u.seq, u.predicted_next)),
-                    };
+        for &seq in &due {
+            if redirect.is_some() {
+                break;
+            }
+            if let Some(u) = self.find(seq) {
+                if let UopState::Executing(done) = u.state {
+                    if done <= cycle && u.is_branch() && u.mispredicted {
+                        redirect = Some((u.seq, u.predicted_next));
+                    }
                 }
             }
         }
-        self.writeback_complete_only(cycle);
+        self.writeback_complete_only(cycle, &due);
+        self.scratch_due = due;
         if let Some((bseq, target)) = redirect {
             self.squash_after_with_mem(bseq, target, cycle + self.cfg.mispredict_penalty, mem);
         }
     }
 
-    fn writeback_complete_only(&mut self, cycle: u64) {
-        for i in 0..self.rob.len() {
+    fn writeback_complete_only(&mut self, cycle: u64, due: &[u64]) {
+        for &dseq in due {
+            let Some(i) = self.rob_index(dseq) else { continue };
             if let UopState::Executing(done) = self.rob[i].state {
                 if done <= cycle {
                     // SpecASan's STL rule: a tagged load that bypassed
@@ -2014,6 +2444,10 @@ impl Core {
                         && self.has_older_unknown_store(self.rob[i].seq)
                     {
                         self.charge_delay(i, DelayCause::TaggedMduWait, 1);
+                        // Still `Executing(done <= cycle)`: re-arm the heap so
+                        // next cycle's writeback revisits the held result.
+                        let seq = self.rob[i].seq;
+                        self.completion.push(Reverse((cycle + 1, seq)));
                         continue;
                     }
                     if self.rob[i].is_load() && self.rob[i].tcs == Tcs::Wait {
@@ -2029,6 +2463,7 @@ impl Core {
                                     _ => Tcs::Safe,
                                 };
                                 self.rob[i].state = UopState::Done;
+                                self.on_done(i);
                                 if let Some(t) = self.telemetry.as_mut() {
                                     t.timeline.on_complete(seq, cycle);
                                 }
@@ -2048,6 +2483,7 @@ impl Core {
                         {
                             self.active_barrier = None;
                         }
+                        self.on_done(i);
                         let seq = self.rob[i].seq;
                         if let Some(t) = self.telemetry.as_mut() {
                             t.timeline.on_complete(seq, cycle);
@@ -2123,6 +2559,7 @@ impl Core {
         reg.counter(format!("{p}.stl_forwards"), s.stl_forwards);
         reg.counter(format!("{p}.stl_blocked"), s.stl_blocked);
         reg.counter(format!("{p}.unsafe_spec_accesses"), s.unsafe_spec_accesses);
+        reg.counter(format!("{p}.retired_dropped"), s.retired_dropped);
         reg.counter(format!("{p}.trace_dropped_events"), self.trace.dropped_events());
         reg.counter(format!("{p}.predictor.cond_predictions"), s.predictor.cond_predictions);
         reg.counter(format!("{p}.predictor.cond_mispredicts"), s.predictor.cond_mispredicts);

@@ -16,6 +16,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod arena;
 pub mod config;
 pub mod core;
 pub mod policy;
@@ -25,7 +26,7 @@ pub mod system;
 pub mod trace;
 
 pub use config::CoreConfig;
-pub use core::{Core, CoreDump, FaultInfo, FaultKind, Tcs, UopDump};
+pub use core::{Core, CoreDump, FaultInfo, FaultKind, Tcs, UopDump, RETIRED_CAP};
 pub use sas_mem::SimError;
 pub use sas_oracle::{Divergence, DivergenceKind, Oracle};
 pub use sas_ptest::{FaultPlan, InjectionPoint};

@@ -114,6 +114,10 @@ pub struct CoreStats {
     /// execution (STT's "protected instruction" classification — the basis
     /// of its restricted-instruction accounting).
     pub tainted_committed: u64,
+    /// Commit records dropped because the retired buffer hit its cap while
+    /// commit recording was on with nothing draining it (never non-zero
+    /// under the lockstep oracle, which drains every cycle).
+    pub retired_dropped: u64,
 }
 
 impl CoreStats {

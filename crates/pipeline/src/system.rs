@@ -333,7 +333,14 @@ impl System {
             if self.cycle % *every == 0 {
                 let committed: u64 = self.cores.iter().map(|c| c.stats.committed).sum();
                 let line = format!("{{\"cycle\":{},\"committed\":{committed}}}\n", self.cycle);
-                let _ = std::fs::write(path, line);
+                // Write-temp-then-rename: the supervisor polls this file from
+                // another process, and a truncate-rewrite would let it observe
+                // an empty or half-written line. A rename swaps the content
+                // atomically, so readers only ever see a complete record.
+                let tmp = path.with_extension("hb.tmp");
+                if std::fs::write(&tmp, line).is_ok() {
+                    let _ = std::fs::rename(&tmp, path);
+                }
             }
         }
     }
@@ -397,8 +404,12 @@ impl System {
         })
     }
 
-    /// Feeds core `i`'s freshly retired instructions to the oracle.
+    /// Feeds core `i`'s freshly retired instructions to the oracle. Without
+    /// an oracle the records are left in place (bounded by the core's cap)
+    /// so a caller that turned on commit recording can collect them after
+    /// the run.
     fn validate_commits(&mut self, i: usize) -> Option<Box<Divergence>> {
+        self.oracle.as_ref()?;
         let recs = self.cores[i].take_retired();
         let oracle = self.oracle.as_mut()?;
         for rec in recs {
@@ -418,6 +429,35 @@ impl System {
             FaultKind::Permission => FaultClass::Permission,
         };
         oracle.on_fault(i, class, f.pc, f.cycle).err().map(Box::new)
+    }
+
+    /// If every core is quiescent at the current cycle, returns the cycle
+    /// at which simulation must resume ticking; `None` when some core would
+    /// act now (or nothing would be skipped).
+    ///
+    /// The wake-up is the earliest core event, clamped so that no skipped
+    /// cycle could have observed anything: telemetry and heartbeat sampling
+    /// boundaries, the deadlock deadline (`last_progress + window + 1`, the
+    /// exact cycle the tick-by-tick loop would declare deadlock), and the
+    /// cycle budget. Skipped cycles are attributed by
+    /// [`Core::skip_quiescent`], which charges the same CPI bucket every
+    /// ticked-through cycle would have — the result is bit-identical to not
+    /// skipping.
+    fn quiescent_until(&self, max_cycles: u64, last_progress: u64) -> Option<u64> {
+        let next = self.cycle;
+        let mut wake = u64::MAX;
+        for c in &self.cores {
+            wake = wake.min(c.quiescent_wake(next)?);
+        }
+        if let Some(t) = &self.telemetry {
+            wake = wake.min(next.div_ceil(t.interval) * t.interval);
+        }
+        if let Some((_, every)) = &self.heartbeat {
+            wake = wake.min(next.div_ceil(*every) * *every);
+        }
+        wake = wake.min(last_progress + self.deadlock_window + 1);
+        wake = wake.min(max_cycles);
+        (wake > next).then_some(wake)
     }
 
     /// Runs until every core halts, any core faults, the oracle diverges,
@@ -468,6 +508,21 @@ impl System {
             } else if self.cycle - last_progress > self.deadlock_window {
                 exit = RunExit::Deadlock(self.crash_dump());
                 break;
+            }
+            // Skip-ahead: when every structure is quiescent, jump straight
+            // to the next cycle anything can happen, attributing the gap in
+            // one step. Cycle-exact by construction (see `quiescent_until`).
+            if let Some(skip_to) = self.quiescent_until(max_cycles, last_progress) {
+                for c in &mut self.cores {
+                    if !c.finished() {
+                        c.skip_quiescent(self.cycle, skip_to - 1);
+                    }
+                }
+                self.cycle = skip_to;
+                if self.cycle - last_progress > self.deadlock_window {
+                    exit = RunExit::Deadlock(self.crash_dump());
+                    break;
+                }
             }
         }
         let dump = match &exit {

@@ -333,6 +333,106 @@ fn mte_mismatch_faults_on_committed_path() {
 }
 
 #[test]
+fn subg_tag_offset_at_granule_boundaries() {
+    // Regression for the SUBG key computation, formerly written as
+    // `wrapping_add(16 - (tag_offset % 16))` — an expression whose boundary
+    // behaviour (tag_offset a multiple of 16) had to be confirmed rather
+    // than read. It is now `TagNibble::wrapping_sub`; this pins the
+    // boundary cases at 0, 16 and 32 through the pipeline, a committed-path
+    // tag check, and the lockstep oracle.
+    let mut asm = ProgramBuilder::new();
+    asm.mov_imm64(Reg::X1, 0x6000);
+    asm.irg(Reg::X2, Reg::X1);
+    asm.stg(Reg::X2, 0);
+    asm.subg(Reg::X3, Reg::X2, 0, 0); // identity
+    asm.subg(Reg::X4, Reg::X2, 16, 16); // key unchanged, address one granule down
+    asm.subg(Reg::X5, Reg::X2, 0, 32); // key unchanged
+    asm.subg(Reg::X6, Reg::X2, 0, 3); // key decremented by 3
+    asm.ldr(Reg::X7, Reg::X3, 0); // matching key: must not fault
+    asm.halt();
+    let mut sys = System::single_core(
+        CoreConfig::table2(),
+        MemConfig::default(),
+        asm.build().unwrap(),
+        Box::new(sas_pipeline::MteOnlyPolicy),
+    );
+    sys.enable_oracle();
+    let r = sys.run(1_000_000);
+    assert_eq!(r.exit, RunExit::Halted, "granule-boundary SUBG must not fault: {:?}", r.exit);
+    let x2 = VirtAddr::new(sys.core(0).reg(Reg::X2));
+    let x4 = VirtAddr::new(sys.core(0).reg(Reg::X4));
+    assert_eq!(sys.core(0).reg(Reg::X3), x2.raw(), "SUBG #0, #0 is the identity");
+    assert_eq!(x4.key(), x2.key(), "tag_offset 16 wraps to the same key");
+    assert_eq!(x4.untagged().raw(), x2.untagged().raw() - 16);
+    assert_eq!(VirtAddr::new(sys.core(0).reg(Reg::X5)).key(), x2.key());
+    assert_eq!(VirtAddr::new(sys.core(0).reg(Reg::X6)).key(), x2.key().wrapping_sub(3));
+}
+
+#[test]
+fn commit_recording_without_consumer_stays_bounded() {
+    // Regression: with commit recording on and nobody draining it (i.e. no
+    // lockstep oracle attached), `Core::retired` grew one record per
+    // committed instruction for the life of the run. The buffer is now
+    // capped at RETIRED_CAP, with the overflow counted in
+    // `stats.retired_dropped` instead of held in memory.
+    use sas_mem::MemSystem;
+    use sas_pipeline::{Core, RETIRED_CAP};
+    use std::sync::Arc;
+
+    let mut asm = ProgramBuilder::new();
+    asm.mov_imm64(Reg::X0, RETIRED_CAP as u64); // iterations: 2 commits each
+    let top = asm.here();
+    asm.sub(Reg::X0, Reg::X0, Operand::imm(1));
+    asm.cbnz_idx(Reg::X0, top);
+    asm.halt();
+    let mut core =
+        Core::new(0, CoreConfig::table2(), Arc::new(asm.build().unwrap()), Box::new(NoPolicy));
+    core.set_record_commits(true);
+    let mut mem = MemSystem::new(1, MemConfig::default());
+    let mut cycle = 0;
+    while !core.finished() && cycle < 10_000_000 {
+        core.tick(&mut mem, cycle).unwrap();
+        cycle += 1;
+    }
+    assert!(core.finished(), "loop must halt");
+    assert!(core.stats.committed as usize > RETIRED_CAP, "run must overflow the record buffer");
+    assert_eq!(core.stats.retired_dropped, core.stats.committed - RETIRED_CAP as u64);
+    assert_eq!(core.take_retired().len(), RETIRED_CAP, "buffer must stop growing at the cap");
+}
+
+#[test]
+fn heartbeat_file_is_replaced_atomically() {
+    // Regression: the heartbeat used to be truncate-rewritten in place, so a
+    // supervisor polling it from another process could read an empty or torn
+    // line. It is now staged to a `.hb.tmp` sibling and renamed over the
+    // target: after a run the target holds one complete record and the
+    // staging file is gone.
+    let path = std::env::temp_dir().join(format!("sas-hb-test-{}.json", std::process::id()));
+    let mut asm = ProgramBuilder::new();
+    asm.movz(Reg::X0, 200, 0);
+    let top = asm.here();
+    asm.sub(Reg::X0, Reg::X0, Operand::imm(1));
+    asm.cbnz_idx(Reg::X0, top);
+    asm.halt();
+    let mut sys = System::single_core(
+        CoreConfig::table2(),
+        MemConfig::default(),
+        asm.build().unwrap(),
+        Box::new(NoPolicy),
+    );
+    sys.set_heartbeat(path.clone(), 1); // rewrite every cycle: maximal rename traffic
+    let r = sys.run(1_000_000);
+    assert_eq!(r.exit, RunExit::Halted);
+    let text = std::fs::read_to_string(&path).expect("heartbeat file must exist");
+    assert!(
+        text.starts_with("{\"cycle\":") && text.trim_end().ends_with('}'),
+        "heartbeat must be one complete record: {text:?}"
+    );
+    assert!(!path.with_extension("hb.tmp").exists(), "staging file must not linger");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
 fn two_cores_share_memory_through_amo() {
     // Both cores atomically add to a shared counter.
     fn worker(n: u16) -> Program {

@@ -304,10 +304,29 @@ fn find_profile(suite: &[Profile], name: &str) -> Option<Profile> {
     suite.iter().find(|p| p.name == name).cloned()
 }
 
+/// Removes the child's heartbeat file (and its rename-staging sibling) once
+/// the cell is done, so a later campaign that lands on the same cell id can
+/// never read this run's stale progress.
+fn clear_heartbeat() {
+    let Ok(path) = std::env::var(sas_bench::HEARTBEAT_ENV) else { return };
+    if path.trim().is_empty() {
+        return;
+    }
+    let path = std::path::PathBuf::from(path);
+    let _ = std::fs::remove_file(path.with_extension("hb.tmp"));
+    let _ = std::fs::remove_file(path);
+}
+
 /// Executes one cell in the current process and reports its outcome. This is
 /// what `sas-runner cell <id>` calls inside the child; panics are the
 /// *caller's* job to catch (the binary wraps this in `catch_unwind`).
 pub fn run_in_process(cell: &CellId, iters: u32) -> CellOutcome {
+    let outcome = run_cell(cell, iters);
+    clear_heartbeat();
+    outcome
+}
+
+fn run_cell(cell: &CellId, iters: u32) -> CellOutcome {
     match cell {
         CellId::Spec { benchmark, mitigation } => {
             let Some(p) = find_profile(&spec_suite(), benchmark) else {
@@ -532,6 +551,22 @@ mod tests {
         assert!(!first.ok && first.retriable && first.exit == "flaky");
         let ok = run_in_process(&CellId::Selftest { kind: SelftestKind::Ok }, 1);
         assert!(ok.ok && ok.exit == "halted");
+    }
+
+    #[test]
+    fn cell_finish_clears_the_heartbeat_file() {
+        // Regression: the heartbeat (and its rename-staging sibling) used to
+        // outlive the child, so a later campaign reusing the same cell id
+        // could read a stale `(cycle, committed)` from the temp dir.
+        let path = std::env::temp_dir().join(format!("sas-cell-hb-{}.json", std::process::id()));
+        std::fs::write(&path, "{\"cycle\":1,\"committed\":1}\n").unwrap();
+        std::fs::write(path.with_extension("hb.tmp"), "torn").unwrap();
+        std::env::set_var(sas_bench::HEARTBEAT_ENV, &path);
+        let out = run_in_process(&CellId::Selftest { kind: SelftestKind::Ok }, 1);
+        std::env::remove_var(sas_bench::HEARTBEAT_ENV);
+        assert!(out.ok);
+        assert!(!path.exists(), "cell finish must delete the heartbeat file");
+        assert!(!path.with_extension("hb.tmp").exists(), "staging sibling must go too");
     }
 
     #[test]

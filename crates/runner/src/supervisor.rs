@@ -282,9 +282,16 @@ fn heartbeat_path(id: &str) -> PathBuf {
     std::env::temp_dir().join(format!("sas-runner-hb-{}-{safe}.json", std::process::id()))
 }
 
+/// Removes a heartbeat file together with its rename-staging sibling.
+fn remove_heartbeat(path: &PathBuf) {
+    let _ = std::fs::remove_file(path.with_extension("hb.tmp"));
+    let _ = std::fs::remove_file(path);
+}
+
 /// Reads the child's latest heartbeat: the `{"cycle":N,"committed":M}` line
-/// `System::set_heartbeat` truncate-rewrites. `None` until the child arms
-/// its heartbeat (or for cells that never run a pipeline).
+/// `System::set_heartbeat` renames into place (write-temp-then-rename, so a
+/// poll never sees a torn line). `None` until the child arms its heartbeat
+/// (or for cells that never run a pipeline).
 fn read_heartbeat(path: &PathBuf) -> Option<(u64, u64)> {
     let text = std::fs::read_to_string(path).ok()?;
     let map = manifest::parse_flat(text.trim())?;
@@ -294,7 +301,7 @@ fn read_heartbeat(path: &PathBuf) -> Option<(u64, u64)> {
 fn run_child(cell: &CellId, cfg: &Config, attempt: u32) -> ChildEnd {
     let id = cell.to_string();
     let hb_path = heartbeat_path(&id);
-    let _ = std::fs::remove_file(&hb_path);
+    remove_heartbeat(&hb_path);
     let mut cmd = Command::new(&cfg.child_exe);
     cmd.arg("cell")
         .arg(&id)
@@ -342,7 +349,7 @@ fn run_child(cell: &CellId, cfg: &Config, attempt: u32) -> ChildEnd {
                     let _ = child.wait();
                     let _ = stdout_reader.join();
                     let _ = stderr_reader.join();
-                    let _ = std::fs::remove_file(&hb_path);
+                    remove_heartbeat(&hb_path);
                     return ChildEnd::Timeout;
                 }
                 // Each watchdog poll also checks the child's heartbeat file;
@@ -366,12 +373,12 @@ fn run_child(cell: &CellId, cfg: &Config, attempt: u32) -> ChildEnd {
                 let _ = child.wait();
                 let _ = stdout_reader.join();
                 let _ = stderr_reader.join();
-                let _ = std::fs::remove_file(&hb_path);
+                remove_heartbeat(&hb_path);
                 return ChildEnd::Environmental(env_failure(cell, "wait", e.to_string()));
             }
         }
     };
-    let _ = std::fs::remove_file(&hb_path);
+    remove_heartbeat(&hb_path);
     let stdout = String::from_utf8_lossy(&stdout_reader.join().unwrap_or_default()).into_owned();
     let stderr = String::from_utf8_lossy(&stderr_reader.join().unwrap_or_default()).into_owned();
     let reported = parse_result_line(&stdout);

@@ -280,8 +280,16 @@ pub(crate) fn build_workload_inner(
             for i in (1..entries).rev() {
                 perm.swap(i, rng.below(i as u64 + 1) as usize);
             }
+            // Inverse permutation so each entry finds its ring successor in
+            // O(1); the old per-entry `position()` scan made ring
+            // construction quadratic in the array size (seconds per cell on
+            // the large-footprint benchmarks, dwarfing the simulation).
+            let mut pos = vec![0usize; entries];
+            for (j, &p) in perm.iter().enumerate() {
+                pos[p] = j;
+            }
             for i in 0..entries {
-                let next = perm[(perm.iter().position(|&p| p == i).unwrap() + 1) % entries];
+                let next = perm[(pos[i] + 1) % entries];
                 let mut ptr = VirtAddr::new(base + next as u64 * 8);
                 if let Some(t) = tag {
                     ptr = ptr.with_key(TagNibble::new(t));

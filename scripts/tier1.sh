@@ -27,6 +27,16 @@ echo "== tier1: bench smoke (fig6 grid via sas-runner, 75 isolated cells) =="
 ./target/release/sas-runner fig6 --iters 2 --jobs 2 --timeout-ms 120000 \
   --manifest target/sas-runner/tier1-fig6.jsonl
 
+echo "== tier1: perf trajectory (sas-perf -> BENCH_fig6.json) =="
+# Re-times the fig6 grid in-process and rewrites the committed trajectory
+# file: per-cell wall time and sim-instructions/sec, suite totals, and the
+# speedup versus the recorded pre-overhaul baseline (carried forward from
+# the existing file). A >20% sim-ips drop versus the previous trajectory
+# prints a WARNING but does not (yet) gate — perf trends are reviewed on the
+# committed file, not enforced blind on shared CI hardware.
+./target/release/sas-perf --iters 2 --out BENCH_fig6.json
+./target/release/sas-perf --validate BENCH_fig6.json
+
 echo "== tier1: telemetry exports (sas-trace on spectre-v1, every mitigation) =="
 # For each mitigation, one telemetry-enabled spectre-v1 run must export a
 # Chrome trace that passes the checked-in trace_event validator, a Konata
