@@ -32,6 +32,7 @@ fn main() {
                     ("mitigation", "unsafe".into()),
                     ("cycles", base.cycles.into()),
                     ("norm", 1.0.into()),
+                    ("restored", base.restored.into()),
                     ("cpi", jsonl::Value::Raw(&cpi)),
                 ],
             );
@@ -54,6 +55,7 @@ fn main() {
                     ("mitigation", ms.as_str().into()),
                     ("cycles", c.cycles.into()),
                     ("norm", norm.into()),
+                    ("restored", c.restored.into()),
                     ("cpi", jsonl::Value::Raw(&cpi)),
                 ],
             );

@@ -29,6 +29,7 @@ fn main() {
                     ("mitigation", "unsafe".into()),
                     ("cycles", base.cycles.into()),
                     ("norm", 1.0.into()),
+                    ("restored", base.restored.into()),
                     ("cpi", jsonl::Value::Raw(&cpi)),
                 ],
             );
@@ -51,6 +52,7 @@ fn main() {
                     ("mitigation", ms.as_str().into()),
                     ("cycles", c.cycles.into()),
                     ("norm", norm.into()),
+                    ("restored", c.restored.into()),
                     ("cpi", jsonl::Value::Raw(&cpi)),
                 ],
             );

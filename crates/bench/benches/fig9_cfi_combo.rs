@@ -39,6 +39,7 @@ fn main() {
                     ("mitigation", ms.as_str().into()),
                     ("cycles", c.cycles.into()),
                     ("norm", norm.into()),
+                    ("restored", c.restored.into()),
                     ("cpi", jsonl::Value::Raw(&cpi)),
                 ],
             );

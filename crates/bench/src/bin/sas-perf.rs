@@ -24,7 +24,7 @@ use specasan::Mitigation;
 use std::fmt::Write as _;
 use std::time::Instant;
 
-const SCHEMA: &str = "sas-bench-fig6-v1";
+const SCHEMA: &str = "sas-bench-fig6-v2";
 
 #[derive(Clone, Debug)]
 struct CellPerf {
@@ -33,6 +33,7 @@ struct CellPerf {
     cycles: u64,
     committed: u64,
     wall_ms: f64,
+    restored: bool,
 }
 
 impl CellPerf {
@@ -154,6 +155,7 @@ fn measure(iters: u32) -> Vec<CellPerf> {
                 cycles: c.cycles,
                 committed: c.committed,
                 wall_ms,
+                restored: c.restored,
             });
         }
     }
@@ -167,6 +169,7 @@ fn totals(cells: &[CellPerf]) -> CellPerf {
         cycles: cells.iter().map(|c| c.cycles).sum(),
         committed: cells.iter().map(|c| c.committed).sum(),
         wall_ms: cells.iter().map(|c| c.wall_ms).sum(),
+        restored: cells.iter().any(|c| c.restored),
     }
 }
 
@@ -207,14 +210,15 @@ fn render(
             s,
             "    {{\"benchmark\":\"{}\",\"mitigation\":\"{}\",\"cycles\":{},\
              \"committed\":{},\"wall_ms\":{:.3},\"sim_ips\":{:.1},\
-             \"cycles_per_sec\":{:.1}}}{comma}",
+             \"cycles_per_sec\":{:.1},\"restored\":{}}}{comma}",
             c.benchmark,
             c.mitigation,
             c.cycles,
             c.committed,
             c.wall_ms,
             c.sim_ips(),
-            c.cycles_per_sec()
+            c.cycles_per_sec(),
+            c.restored
         );
     }
     let _ = writeln!(s, "  ],");
@@ -277,8 +281,16 @@ fn validate_schema(doc: &str) -> Result<usize, String> {
         return Err("empty cells array".into());
     }
     for (i, row) in rows.iter().enumerate() {
-        for field in
-            ["benchmark", "mitigation", "cycles", "committed", "wall_ms", "sim_ips", "cycles_per_sec"]
+        for field in [
+            "benchmark",
+            "mitigation",
+            "cycles",
+            "committed",
+            "wall_ms",
+            "sim_ips",
+            "cycles_per_sec",
+            "restored",
+        ]
         {
             if !row.contains(&format!("\"{field}\":")) {
                 return Err(format!("cell {i} lacks field {field:?}"));

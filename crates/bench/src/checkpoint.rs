@@ -1,0 +1,198 @@
+//! Mid-cell checkpointing, corruption-safe resume and warmed-baseline
+//! forking for supervised bench cells.
+//!
+//! The `sas-runner` supervisor sets these environment variables on the one
+//! child it spawns per cell; direct `cargo bench` runs leave them unset and
+//! get the plain uninterrupted run:
+//!
+//! * [`CHECKPOINT_ENV`] — path of this cell's checkpoint file. The run is
+//!   chunked on [`CHECKPOINT_EVERY_ENV`]-cycle boundaries (default 1 M) and
+//!   the full machine state is written atomically (temp + rename) at each
+//!   boundary. On startup an existing valid checkpoint is restored and the
+//!   run continues **bit-identically** from it; a checkpoint that fails its
+//!   header/version/CRC checks is deleted and the cell degrades to replay
+//!   from the start — corrupted state is never resumed.
+//! * [`WARM_BASE_ENV`] — path of the benchmark's warmed-baseline snapshot.
+//!   The `unsafe` baseline cell creates it after [`WARM_CYCLES_ENV`] cycles
+//!   (default 50 000); every other mitigation cell of the same benchmark
+//!   restores it and skips simulating the warmup phase under its own
+//!   policy. Cycle counts stay comparable because restore resumes the
+//!   absolute cycle counter.
+//! * [`EXIT_AFTER_CHECKPOINTS_ENV`] — test hook: exit with the
+//!   environmental-failure code ([`EXIT_AFTER_CODE`]) after writing N
+//!   checkpoints, simulating a mid-cell crash at a deterministic point so
+//!   the supervisor's retry path resumes from the checkpoint.
+//!
+//! Cells that ran from a restored image (checkpoint or warm base) are
+//! tagged `restored: true` in their JSONL/BENCH rows (see [`crate::Cell`]).
+
+use sas_pipeline::{RunExit, RunResult, System};
+use specasan::snapshot;
+use std::path::PathBuf;
+
+/// Environment variable naming this cell's checkpoint file.
+pub const CHECKPOINT_ENV: &str = "SAS_RUNNER_CHECKPOINT";
+
+/// Environment variable overriding the checkpoint period, in cycles.
+pub const CHECKPOINT_EVERY_ENV: &str = "SAS_RUNNER_CHECKPOINT_EVERY";
+
+/// Environment variable naming the benchmark's warmed-baseline snapshot.
+pub const WARM_BASE_ENV: &str = "SAS_RUNNER_WARM_BASE";
+
+/// Environment variable overriding the warmup length, in cycles.
+pub const WARM_CYCLES_ENV: &str = "SAS_RUNNER_WARM_CYCLES";
+
+/// Environment variable (test hook): exit with [`EXIT_AFTER_CODE`] after
+/// writing this many checkpoints.
+pub const EXIT_AFTER_CHECKPOINTS_ENV: &str = "SAS_RUNNER_EXIT_AFTER_CHECKPOINTS";
+
+/// Exit code of the simulated mid-cell crash — the supervisor's
+/// *environmental* failure code, so the cell is retried (and resumes).
+pub const EXIT_AFTER_CODE: u8 = 11;
+
+/// Result of a supervised run: the final [`RunResult`] plus whether the
+/// machine started from a restored image rather than a cold reset.
+#[derive(Debug, Clone)]
+pub struct SupervisedRun {
+    /// The (cumulative) run result; chunking is invisible in the numbers.
+    pub run: RunResult,
+    /// Whether the run resumed from a checkpoint or warmed-baseline image.
+    pub restored: bool,
+}
+
+fn env_path(var: &str) -> Option<PathBuf> {
+    let v = std::env::var(var).ok()?;
+    let v = v.trim();
+    if v.is_empty() {
+        None
+    } else {
+        Some(PathBuf::from(v))
+    }
+}
+
+fn env_u64(var: &str, default: u64) -> u64 {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(default)
+}
+
+/// Whether every core runs the unprotected baseline (the only policy a
+/// warmed-baseline image may be taken under).
+fn is_baseline(sys: &System) -> bool {
+    (0..sys.cores()).all(|i| sys.core(i).policy_name() == "unsafe-baseline")
+}
+
+/// Runs `sys` to `budget` cycles under the ambient checkpoint/warm-base
+/// protocol described in the module docs. With no relevant environment set
+/// this is exactly `sys.run(budget)`.
+pub fn run_supervised(sys: &mut System, budget: u64) -> SupervisedRun {
+    let ckpt = env_path(CHECKPOINT_ENV);
+    let mut restored = false;
+
+    // 1. Resume from a checkpoint when one exists and is intact. A torn
+    //    temp file (crash mid-write) is deleted — the rename never happened,
+    //    so the main file (if any) is still the last complete image.
+    if let Some(path) = &ckpt {
+        let tmp = sas_snap::temp_path(path);
+        if tmp.exists() {
+            let _ = std::fs::remove_file(&tmp);
+            eprintln!("sas-bench: removed torn checkpoint temp {}", tmp.display());
+        }
+        if path.exists() {
+            match snapshot::restore_system_from(sys, path) {
+                Ok(()) => {
+                    restored = true;
+                    eprintln!(
+                        "sas-bench: resumed from checkpoint {} at cycle {}",
+                        path.display(),
+                        sys.cycle()
+                    );
+                }
+                Err(e) => {
+                    eprintln!(
+                        "sas-bench: checkpoint {} rejected ({e}); replaying from start",
+                        path.display()
+                    );
+                    let _ = std::fs::remove_file(path);
+                }
+            }
+        }
+    }
+
+    // 2. Otherwise fork from the benchmark's warmed-baseline image — or, on
+    //    the baseline cell itself, create it after the warmup phase.
+    if !restored {
+        if let Some(warm) = env_path(WARM_BASE_ENV) {
+            if warm.exists() {
+                match snapshot::restore_system_from(sys, &warm) {
+                    Ok(()) => {
+                        restored = true;
+                        eprintln!(
+                            "sas-bench: warm-forked from {} at cycle {}",
+                            warm.display(),
+                            sys.cycle()
+                        );
+                    }
+                    Err(e) => eprintln!(
+                        "sas-bench: warm base {} rejected ({e}); cold start",
+                        warm.display()
+                    ),
+                }
+            } else if is_baseline(sys) {
+                let warm_at = env_u64(WARM_CYCLES_ENV, 50_000).min(budget);
+                let run = sys.run(warm_at);
+                // Only a still-running machine is a useful fork point; a
+                // workload that finished inside the warmup window leaves no
+                // image and the other cells run cold.
+                if matches!(run.exit, RunExit::CycleLimit) && sys.cycle() < budget {
+                    match snapshot::write_system_snapshot(sys, &warm, true) {
+                        Ok(()) => eprintln!(
+                            "sas-bench: wrote warm base {} at cycle {}",
+                            warm.display(),
+                            sys.cycle()
+                        ),
+                        Err(e) => {
+                            eprintln!("sas-bench: cannot write warm base {}: {e}", warm.display())
+                        }
+                    }
+                } else {
+                    return SupervisedRun { run, restored: false };
+                }
+            }
+        }
+    }
+
+    // 3. The measurement itself, chunked on checkpoint boundaries.
+    let Some(path) = ckpt else {
+        return SupervisedRun { run: sys.run(budget), restored };
+    };
+    let every = env_u64(CHECKPOINT_EVERY_ENV, 1_000_000);
+    let exit_after = env_u64(EXIT_AFTER_CHECKPOINTS_ENV, 0);
+    let mut written = 0u64;
+    loop {
+        let next = (sys.cycle() / every + 1) * every;
+        let run = sys.run(next.min(budget));
+        if !matches!(run.exit, RunExit::CycleLimit) || sys.cycle() >= budget {
+            // Done (or genuinely out of budget): drop the checkpoint so a
+            // later campaign on this cell id cannot resume stale state.
+            let _ = std::fs::remove_file(&path);
+            return SupervisedRun { run, restored };
+        }
+        match snapshot::write_system_snapshot(sys, &path, false) {
+            Ok(()) => {
+                written += 1;
+                if exit_after > 0 && written >= exit_after {
+                    eprintln!(
+                        "sas-bench: simulated crash after {written} checkpoint(s) at cycle {}",
+                        sys.cycle()
+                    );
+                    std::process::exit(i32::from(EXIT_AFTER_CODE));
+                }
+            }
+            // Checkpointing is best-effort; the measurement continues.
+            Err(e) => eprintln!("sas-bench: cannot write checkpoint {}: {e}", path.display()),
+        }
+    }
+}

@@ -19,6 +19,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::{Arc, Mutex, OnceLock};
 
+pub mod checkpoint;
 pub mod jsonl;
 pub mod timing;
 
@@ -159,6 +160,10 @@ pub struct Cell {
     pub committed: u64,
     /// Fraction of committed instructions restricted by the mitigation.
     pub restricted: f64,
+    /// Whether the run resumed from a checkpoint or warmed-baseline image
+    /// rather than a cold reset (see [`checkpoint::run_supervised`]);
+    /// tagged in the cell's JSONL/BENCH rows.
+    pub restored: bool,
     /// Full run result (stats for ablation reporting).
     pub run: RunResult,
 }
@@ -198,9 +203,9 @@ pub fn run_spec_checked(
     let mut sys = build_system(&SimConfig::table2(), w.program.clone(), m);
     w.setup.apply(&mut sys);
     arm_ambient_faults(&mut sys);
-    let run = sys.run(1_000_000_000);
-    check_clean_exit("spec", profile.name, m, &run)?;
-    Ok(finish(run))
+    let sr = checkpoint::run_supervised(&mut sys, 1_000_000_000);
+    check_clean_exit("spec", profile.name, m, &sr.run)?;
+    Ok(finish(sr.run, sr.restored))
 }
 
 /// Runs one SPEC-style (single-core) workload under a mitigation.
@@ -229,9 +234,9 @@ pub fn run_parsec_checked(
         w.setup.apply(&mut sys);
     }
     arm_ambient_faults(&mut sys);
-    let run = sys.run(1_000_000_000);
-    check_clean_exit("parsec", profile.name, m, &run)?;
-    Ok(finish(run))
+    let sr = checkpoint::run_supervised(&mut sys, 1_000_000_000);
+    check_clean_exit("parsec", profile.name, m, &sr.run)?;
+    Ok(finish(sr.run, sr.restored))
 }
 
 /// Runs one PARSEC-style (4-core) workload under a mitigation.
@@ -312,13 +317,14 @@ pub fn require_clean_exit(bench: &str, benchmark: &str, m: Mitigation, run: &Run
     }
 }
 
-fn finish(run: RunResult) -> Cell {
+fn finish(run: RunResult, restored: bool) -> Cell {
     let committed = run.committed();
     let restricted: u64 = run.core_stats.iter().map(|s| s.restricted_committed).sum();
     Cell {
         cycles: run.cycles,
         committed,
         restricted: if committed == 0 { 0.0 } else { restricted as f64 / committed as f64 },
+        restored,
         run,
     }
 }

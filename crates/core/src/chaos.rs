@@ -30,7 +30,7 @@ const STORE_HALF: u64 = 0x100;
 /// Cycle budget of one campaign run.
 pub const MAX_CYCLES: u64 = 2_000_000;
 
-/// Fault classes, one per campaign, selected by `seed % 4`.
+/// Fault classes, one per campaign, selected by `seed % 5`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Class {
     /// Flip one stored tag nibble bit.
@@ -41,21 +41,25 @@ pub enum Class {
     DroppedFill,
     /// Benign perturbations only (forced mispredicts, squash storms).
     Stressor,
+    /// Flip one byte of a mid-run snapshot image; the restore path must
+    /// reject it (CRC/structure), never resume from corrupted state.
+    SnapCorrupt,
 }
 
 impl Class {
     /// The class campaign `seed` exercises.
     pub fn of(seed: u64) -> Class {
-        match seed % 4 {
+        match seed % 5 {
             0 => Class::TagFlip,
             1 => Class::ArchBitFlip,
             2 => Class::DroppedFill,
-            _ => Class::Stressor,
+            3 => Class::Stressor,
+            _ => Class::SnapCorrupt,
         }
     }
 
-    /// Whether this class injects architectural corruption (as opposed to
-    /// benign schedule perturbation).
+    /// Whether this class injects corruption that a detector must catch (as
+    /// opposed to benign schedule perturbation).
     pub fn corrupting(self) -> bool {
         self != Class::Stressor
     }
@@ -67,13 +71,14 @@ impl Class {
             Class::ArchBitFlip => "arch_bit_flip",
             Class::DroppedFill => "dropped_fill",
             Class::Stressor => "stressor",
+            Class::SnapCorrupt => "snap_corrupt",
         }
     }
 }
 
 /// The mitigation campaign `seed` runs under.
 pub fn mitigation_for(seed: u64) -> Mitigation {
-    Mitigation::all()[((seed / 4) % 8) as usize]
+    Mitigation::all()[((seed / 5) % 8) as usize]
 }
 
 /// The fault plan campaign `seed` arms.
@@ -92,13 +97,17 @@ pub fn plan_for(seed: u64, class: Class) -> FaultPlan {
         Class::Stressor => p
             .enable(InjectionPoint::ForceMispredict, 300, 16)
             .enable(InjectionPoint::SquashStorm, 100, 4),
+        // The corruption hits the snapshot *image*, not the machine: no
+        // pipeline injection points are armed.
+        Class::SnapCorrupt => p,
     }
 }
 
 /// The seed of the `i`-th campaign in a default `sas-chaos` run: an
 /// odd-multiplier walk that visits every class and mitigation residue.
+/// (The multiplier must be coprime to 5 so the walk reaches every class.)
 pub fn campaign_seed(i: u64) -> u64 {
-    0xC4A0_5EEDu64.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    0xC4A0_5EEDu64.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C17))
 }
 
 /// A deterministic victim program: random ALU/memory traffic over the
@@ -205,7 +214,64 @@ pub fn exit_tag(exit: &RunExit) -> &'static str {
 /// the window audited afterwards.
 pub fn run_campaign(seed: u64) -> Outcome {
     let class = Class::of(seed);
-    run_campaign_variant(&campaign_program(seed), &plan_for(seed, class), mitigation_for(seed))
+    match class {
+        Class::SnapCorrupt => {
+            run_snap_corrupt(seed, &campaign_program(seed), mitigation_for(seed))
+        }
+        _ => run_campaign_variant(
+            &campaign_program(seed),
+            &plan_for(seed, class),
+            mitigation_for(seed),
+        ),
+    }
+}
+
+/// Runs a [`Class::SnapCorrupt`] campaign: drive the victim to a seeded
+/// mid-run cycle, snapshot it, flip one seeded bit of the image, and demand
+/// the restore path *reject* the damaged snapshot. A corrupt image that
+/// restores without error is a silent escape — the restored machine would
+/// diverge with no detector left to notice.
+pub fn run_snap_corrupt(seed: u64, program: &Program, m: Mitigation) -> Outcome {
+    let build = || {
+        Simulator::builder()
+            .mitigation(m)
+            .program(program.clone())
+            .tag_range(BASE, LEN, WINDOW_TAG)
+            .oracle()
+            .max_cycles(MAX_CYCLES)
+            .build()
+    };
+    let mut rng = Rng::new(seed ^ 0x5A4A_C0DE);
+    let cut = 1 + rng.below(256);
+    let mut victim = build();
+    victim.system_mut().run(cut);
+    let mut bytes = victim.snapshot(false).to_bytes();
+    let at = rng.below(bytes.len() as u64) as usize;
+    let bit = rng.below(8) as u8;
+    bytes[at] ^= 1 << bit;
+    let rejection = match sas_snap::Snapshot::parse(bytes) {
+        Err(e) => Some(e),
+        Ok(snap) => build().restore(&snap).err(),
+    };
+    let cycles = victim.system().cycle();
+    match rejection {
+        Some(e) => Outcome {
+            exit: "snap_rejected",
+            cycles,
+            corruptions: 1,
+            perturbations: 0,
+            audit_clean: true,
+            detail: format!("byte {at} bit {bit}: {e}"),
+        },
+        None => Outcome {
+            exit: "halted",
+            cycles,
+            corruptions: 1,
+            perturbations: 0,
+            audit_clean: true,
+            detail: format!("byte {at} bit {bit}: corrupt snapshot restored without error"),
+        },
+    }
 }
 
 /// Runs one campaign with an explicit program and plan — the entry point the
@@ -327,11 +393,34 @@ mod tests {
 
     #[test]
     fn campaign_walk_covers_every_class() {
-        let mut seen = [false; 4];
+        let mut seen = [false; 5];
         for i in 0..16 {
-            seen[(campaign_seed(i) % 4) as usize] = true;
+            seen[(campaign_seed(i) % 5) as usize] = true;
         }
-        assert_eq!(seen, [true; 4]);
+        assert_eq!(seen, [true; 5]);
+    }
+
+    #[test]
+    fn snap_corrupt_campaigns_always_detect_the_flip() {
+        let mut checked = 0;
+        for i in 0..32 {
+            let seed = campaign_seed(i);
+            if Class::of(seed) != Class::SnapCorrupt {
+                continue;
+            }
+            let out = run_campaign(seed);
+            assert_eq!(
+                out.exit, "snap_rejected",
+                "seed {seed:#x}: corrupt snapshot escaped — {}",
+                out.detail
+            );
+            assert!(out.detected());
+            checked += 1;
+            if checked == 3 {
+                break;
+            }
+        }
+        assert!(checked > 0, "walk never reached a snap_corrupt campaign");
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub mod config;
 pub mod mitigation;
 pub mod policy;
 pub mod simulator;
+pub mod snapshot;
 
 pub use config::SimConfig;
 pub use simulator::{Report, Simulator, SimulatorBuilder};

@@ -48,6 +48,15 @@ impl MitigationPolicy for SpecCfiPolicy {
         }
         ok
     }
+
+    fn snapshot_state(&self, e: &mut sas_snap::Enc) {
+        e.uv(self.stalls);
+    }
+
+    fn restore_state(&mut self, d: &mut sas_snap::Dec) -> Result<(), sas_snap::SnapError> {
+        self.stalls = d.uv()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

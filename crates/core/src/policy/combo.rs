@@ -68,6 +68,16 @@ impl MitigationPolicy for SpecAsanCfiPolicy {
     ) -> bool {
         self.cfi.allow_indirect_speculation(kind, target_has_bti, rsb_match)
     }
+
+    fn snapshot_state(&self, e: &mut sas_snap::Enc) {
+        self.asan.snapshot_state(e);
+        self.cfi.snapshot_state(e);
+    }
+
+    fn restore_state(&mut self, d: &mut sas_snap::Dec) -> Result<(), sas_snap::SnapError> {
+        self.asan.restore_state(d)?;
+        self.cfi.restore_state(d)
+    }
 }
 
 #[cfg(test)]

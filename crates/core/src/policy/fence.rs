@@ -44,6 +44,15 @@ impl MitigationPolicy for FencePolicy {
     fn blocks_full_speculation(&self) -> bool {
         true
     }
+
+    fn snapshot_state(&self, e: &mut sas_snap::Enc) {
+        e.uv(self.delayed);
+    }
+
+    fn restore_state(&mut self, d: &mut sas_snap::Dec) -> Result<(), sas_snap::SnapError> {
+        self.delayed = d.uv()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

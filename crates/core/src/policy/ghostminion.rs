@@ -45,6 +45,15 @@ impl MitigationPolicy for GhostMinionPolicy {
             IssueDecision::Proceed(FillMode::Install)
         }
     }
+
+    fn snapshot_state(&self, e: &mut sas_snap::Enc) {
+        e.uv(self.ghost_issues);
+    }
+
+    fn restore_state(&mut self, d: &mut sas_snap::Dec) -> Result<(), sas_snap::SnapError> {
+        self.ghost_issues = d.uv()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

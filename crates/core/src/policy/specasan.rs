@@ -108,6 +108,17 @@ impl MitigationPolicy for SpecAsanPolicy {
         reg.counter("policy.specasan.unsafe_waits", self.unsafe_waits);
         reg.counter("policy.specasan.forwards_blocked", self.forwards_blocked);
     }
+
+    fn snapshot_state(&self, e: &mut sas_snap::Enc) {
+        e.uv(self.unsafe_waits);
+        e.uv(self.forwards_blocked);
+    }
+
+    fn restore_state(&mut self, d: &mut sas_snap::Dec) -> Result<(), sas_snap::SnapError> {
+        self.unsafe_waits = d.uv()?;
+        self.forwards_blocked = d.uv()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -58,6 +58,15 @@ impl MitigationPolicy for SttPolicy {
     fn export_metrics(&self, reg: &mut MetricsRegistry) {
         reg.counter("policy.stt.transmit_delays", self.transmit_delays);
     }
+
+    fn snapshot_state(&self, e: &mut sas_snap::Enc) {
+        e.uv(self.transmit_delays);
+    }
+
+    fn restore_state(&mut self, d: &mut sas_snap::Dec) -> Result<(), sas_snap::SnapError> {
+        self.transmit_delays = d.uv()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

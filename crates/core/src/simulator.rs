@@ -22,6 +22,8 @@ use crate::config::SimConfig;
 use crate::mitigation::Mitigation;
 use sas_isa::{Program, TagNibble, VirtAddr};
 use sas_pipeline::{CrashDump, Divergence, FaultPlan, RunExit, RunResult, System};
+use sas_snap::{SnapError, Snapshot, SnapshotBuilder};
+use std::path::Path;
 
 /// Builder for a ready-to-run [`Simulator`].
 #[derive(Debug, Default)]
@@ -225,6 +227,46 @@ impl Simulator {
     /// Mutable access (e.g. `set_reg` before running).
     pub fn system_mut(&mut self) -> &mut System {
         &mut self.system
+    }
+
+    /// Captures the complete machine state as a versioned snapshot.
+    ///
+    /// The image covers everything `run` touches — architectural memory and
+    /// MTE tags, caches/MSHRs/LFBs, predictors, the full out-of-order window,
+    /// mitigation-policy counters, statistics, fault-stream cursors and RNG
+    /// state — so a restored simulator continues **bit-identically**.
+    ///
+    /// With `warm_base` the image is marked as a warmed-*baseline* fork
+    /// point: restoring it skips the mitigation-policy fingerprint check and
+    /// keeps the target's own (fresh) policy state, so one baseline image
+    /// warmed past a benchmark's setup phase can seed cells for *any*
+    /// mitigation.
+    pub fn snapshot(&self, warm_base: bool) -> SnapshotBuilder {
+        crate::snapshot::snapshot_system(&self.system, warm_base)
+    }
+
+    /// Restores machine state from a snapshot taken by [`snapshot`].
+    ///
+    /// The target must be built from the same configuration, programs and
+    /// (unless the snapshot is a warmed-baseline image) the same mitigation;
+    /// mismatches are reported as [`SnapError::Mismatch`] rather than
+    /// producing a silently-diverging machine. On error the simulator may be
+    /// left partially restored — rebuild it before further use.
+    ///
+    /// [`snapshot`]: Simulator::snapshot
+    pub fn restore(&mut self, snap: &Snapshot) -> Result<(), SnapError> {
+        crate::snapshot::restore_system(&mut self.system, snap)
+    }
+
+    /// Writes a snapshot to `path` atomically (temp file + rename).
+    pub fn write_snapshot(&self, path: &Path, warm_base: bool) -> Result<(), SnapError> {
+        self.snapshot(warm_base).write_atomic(path)
+    }
+
+    /// Reads, CRC-verifies and restores a snapshot file.
+    pub fn restore_from(&mut self, path: &Path) -> Result<(), SnapError> {
+        let snap = Snapshot::read(path)?;
+        self.restore(&snap)
     }
 }
 

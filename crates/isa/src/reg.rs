@@ -100,6 +100,18 @@ impl Reg {
         Reg::X(n)
     }
 
+    /// The inverse of [`Reg::index`]: `0..=30 -> Xn`, `31 -> XZR`,
+    /// `32 -> SP`; `None` outside the register file (used by snapshot
+    /// decoding, which must reject corrupt indices instead of panicking).
+    pub fn from_index(i: usize) -> Option<Reg> {
+        match i {
+            0..=30 => Some(Reg::X(i as u8)),
+            31 => Some(Reg::XZR),
+            32 => Some(Reg::SP),
+            _ => None,
+        }
+    }
+
     /// A dense index into a register file array: `X0..X30 -> 0..30`,
     /// `XZR -> 31`, `SP -> 32`.
     pub fn index(self) -> usize {
@@ -196,6 +208,16 @@ mod tests {
     #[should_panic(expected = "X0..=X30")]
     fn reg_constructor_rejects_out_of_range() {
         let _ = Reg::x(31);
+    }
+
+    #[test]
+    fn from_index_inverts_index() {
+        for i in 0..Reg::COUNT {
+            let r = Reg::from_index(i).unwrap();
+            assert_eq!(r.index(), i);
+        }
+        assert_eq!(Reg::from_index(Reg::COUNT), None);
+        assert_eq!(Reg::from_index(usize::MAX), None);
     }
 
     #[test]

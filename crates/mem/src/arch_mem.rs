@@ -123,6 +123,44 @@ impl MainMemory {
     pub fn resident_pages(&self) -> usize {
         self.pages.len()
     }
+
+    /// Serializes every materialised page, sorted by page number so the
+    /// byte stream is deterministic regardless of hash-map iteration order.
+    pub fn encode(&self, e: &mut sas_snap::Enc) {
+        let mut keys: Vec<u64> = self.pages.keys().copied().collect();
+        keys.sort_unstable();
+        e.usz(keys.len());
+        for k in keys {
+            e.uv(k);
+            e.bytes(&self.pages[&k][..]);
+        }
+    }
+
+    /// Restores an image serialized by [`MainMemory::encode`], replacing the
+    /// current contents.
+    ///
+    /// # Errors
+    ///
+    /// Truncated input or a page payload that is not exactly 4 KiB.
+    pub fn restore(&mut self, d: &mut sas_snap::Dec) -> Result<(), sas_snap::SnapError> {
+        let n = d.usz_max(1 << 24)?;
+        let mut pages = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let k = d.uv()?;
+            let bytes = d.bytes()?;
+            if bytes.len() != PAGE_BYTES {
+                return Err(sas_snap::SnapError::BadValue {
+                    what: "memory page size",
+                    value: bytes.len() as u64,
+                });
+            }
+            let mut page = Box::new([0u8; PAGE_BYTES]);
+            page.copy_from_slice(bytes);
+            pages.insert(k, page);
+        }
+        self.pages = pages;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -297,6 +297,74 @@ impl Cache {
             }
         }
     }
+
+    /// Serializes the full line array (including invalid ways — their slot
+    /// positions steer fill placement), LRU clock and statistics.
+    pub fn encode(&self, e: &mut sas_snap::Enc) {
+        e.usz(self.sets.len());
+        e.usz(self.cfg.ways);
+        for set in &self.sets {
+            for l in set {
+                e.uv(l.line_addr);
+                e.bool(l.valid);
+                e.bool(l.dirty);
+                for t in l.locks {
+                    e.u8(t.value());
+                }
+                e.uv(l.last_use);
+            }
+        }
+        e.uv(self.use_clock);
+        e.uv(self.stats.hits);
+        e.uv(self.stats.misses);
+        e.uv(self.stats.fills);
+        e.uv(self.stats.invalidations);
+        e.uv(self.stats.tag_checks);
+        e.uv(self.stats.tag_mismatches);
+    }
+
+    /// Restores state serialized by [`Cache::encode`] into a cache built
+    /// with the same geometry.
+    ///
+    /// # Errors
+    ///
+    /// Truncated input, a geometry mismatch, or an out-of-range tag nibble.
+    pub fn restore(&mut self, d: &mut sas_snap::Dec) -> Result<(), sas_snap::SnapError> {
+        let sets = d.usz()?;
+        let ways = d.usz()?;
+        if sets != self.sets.len() || ways != self.cfg.ways {
+            return Err(sas_snap::SnapError::BadValue {
+                what: "cache geometry",
+                value: (sets * ways) as u64,
+            });
+        }
+        for set in &mut self.sets {
+            for l in set {
+                l.line_addr = d.uv()?;
+                l.valid = d.bool()?;
+                l.dirty = d.bool()?;
+                for t in &mut l.locks {
+                    let v = d.u8()?;
+                    if v > 0xF {
+                        return Err(sas_snap::SnapError::BadValue {
+                            what: "cache line lock nibble",
+                            value: v as u64,
+                        });
+                    }
+                    *t = TagNibble::new(v);
+                }
+                l.last_use = d.uv()?;
+            }
+        }
+        self.use_clock = d.uv()?;
+        self.stats.hits = d.uv()?;
+        self.stats.misses = d.uv()?;
+        self.stats.fills = d.uv()?;
+        self.stats.invalidations = d.uv()?;
+        self.stats.tag_checks = d.uv()?;
+        self.stats.tag_mismatches = d.uv()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

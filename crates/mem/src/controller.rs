@@ -112,6 +112,23 @@ impl DramController {
     pub fn tag_requests(&self) -> u64 {
         self.tag_requests
     }
+
+    /// Serializes the request counters (timing is configuration, not state).
+    pub fn encode(&self, e: &mut sas_snap::Enc) {
+        e.uv(self.data_requests);
+        e.uv(self.tag_requests);
+    }
+
+    /// Restores counters serialized by [`DramController::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Truncated input.
+    pub fn restore(&mut self, d: &mut sas_snap::Dec) -> Result<(), sas_snap::SnapError> {
+        self.data_requests = d.uv()?;
+        self.tag_requests = d.uv()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -183,6 +183,57 @@ impl LineFillBuffer {
     pub fn clear(&mut self) {
         self.entries.clear();
     }
+
+    /// Serializes every in-flight entry plus the stall/forward counters
+    /// (capacity and latency are configuration, not state).
+    pub fn encode(&self, e: &mut sas_snap::Enc) {
+        e.seq(&self.entries, |e, en| {
+            e.uv(en.line_addr);
+            e.uv(en.alloc_at);
+            e.uv(en.fills_at);
+            for t in en.locks {
+                e.u8(t.value());
+            }
+            e.bytes(&en.data);
+        });
+        e.uv(self.full_stalls);
+        e.uv(self.stale_forwards);
+    }
+
+    /// Restores state serialized by [`LineFillBuffer::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Truncated input, more entries than this buffer's capacity, a bad tag
+    /// nibble, or a line payload that is not exactly 64 bytes.
+    pub fn restore(&mut self, d: &mut sas_snap::Dec) -> Result<(), sas_snap::SnapError> {
+        self.entries = d.seq(self.capacity, |d| {
+            let line_addr = d.uv()?;
+            let alloc_at = d.uv()?;
+            let fills_at = d.uv()?;
+            let mut locks = [TagNibble::ZERO; 4];
+            for t in &mut locks {
+                let v = d.u8()?;
+                if v > 0xF {
+                    return Err(sas_snap::SnapError::BadValue {
+                        what: "lfb lock nibble",
+                        value: v as u64,
+                    });
+                }
+                *t = TagNibble::new(v);
+            }
+            let bytes = d.bytes()?;
+            let data: [u8; LINE_BYTES as usize] =
+                bytes.try_into().map_err(|_| sas_snap::SnapError::BadValue {
+                    what: "lfb line data size",
+                    value: bytes.len() as u64,
+                })?;
+            Ok(LfbEntry { line_addr, alloc_at, fills_at, locks, data })
+        })?;
+        self.full_stalls = d.uv()?;
+        self.stale_forwards = d.uv()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

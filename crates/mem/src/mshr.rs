@@ -152,6 +152,40 @@ impl MshrFile {
     pub fn capacity(&self) -> usize {
         self.registers
     }
+
+    /// Serializes every outstanding entry plus the occupancy counters
+    /// (register count and level name are configuration, not state).
+    pub fn encode(&self, e: &mut sas_snap::Enc) {
+        e.seq(&self.entries, |e, en| {
+            e.uv(en.line_addr);
+            e.uv(en.completes_at);
+            e.u8(en.outcome.index());
+        });
+        e.usz(self.peak_occupancy);
+        e.uv(self.full_delays);
+    }
+
+    /// Restores state serialized by [`MshrFile::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Truncated input, more entries than registers, or a bad outcome tag.
+    pub fn restore(&mut self, d: &mut sas_snap::Dec) -> Result<(), sas_snap::SnapError> {
+        self.entries = d.seq(self.registers, |d| {
+            let line_addr = d.uv()?;
+            let completes_at = d.uv()?;
+            let tag = d.u8()?;
+            let outcome =
+                TagCheckOutcome::from_index(tag).ok_or(sas_snap::SnapError::BadValue {
+                    what: "mshr outcome tag",
+                    value: tag as u64,
+                })?;
+            Ok(MshrEntry { line_addr, completes_at, outcome })
+        })?;
+        self.peak_occupancy = d.usz_max(self.registers)?;
+        self.full_delays = d.uv()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -134,6 +134,29 @@ impl StridePrefetcher {
         }
         ok
     }
+
+    /// Serializes the stream-detector state and counters.
+    pub fn encode(&self, e: &mut sas_snap::Enc) {
+        e.opt_uv(self.last_line);
+        e.iv(self.stride);
+        e.u8(self.confidence);
+        e.uv(self.stats.issued);
+        e.uv(self.stats.suppressed);
+    }
+
+    /// Restores state serialized by [`StridePrefetcher::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Truncated input.
+    pub fn restore(&mut self, d: &mut sas_snap::Dec) -> Result<(), sas_snap::SnapError> {
+        self.last_line = d.opt_uv()?;
+        self.stride = d.iv()?;
+        self.confidence = d.u8()?;
+        self.stats.issued = d.uv()?;
+        self.stats.suppressed = d.uv()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -980,6 +980,196 @@ impl MemSystem {
         out.push(("l2".to_string(), self.l2_mshr.entries().to_vec()));
         out
     }
+
+    // ---- snapshot support -------------------------------------------------
+
+    /// Serializes every mutable part of the hierarchy. Configuration
+    /// (geometry, latencies, capacities) is not written: a restore target is
+    /// built from the same config, and structural codecs reject mismatches.
+    pub fn encode(&self, e: &mut sas_snap::Enc) {
+        e.usz(self.cores);
+        self.arch.encode(e);
+        self.tags.encode(e);
+        for c in &self.l1d {
+            c.encode(e);
+        }
+        for l in &self.lfb {
+            l.encode(e);
+        }
+        for m in &self.l1_mshr {
+            m.encode(e);
+        }
+        self.l2.encode(e);
+        self.l2_mshr.encode(e);
+        self.dram.encode(e);
+        for g in &self.ghosts {
+            e.seq(&g.entries, |e, en| {
+                e.uv(en.line_addr);
+                for t in en.locks {
+                    e.u8(t.value());
+                }
+                e.uv(en.epoch);
+            });
+        }
+        for p in &self.prefetchers {
+            p.encode(e);
+        }
+        let hints: Vec<(u64, [TagNibble; 4])> = self.tag_hints.iter().copied().collect();
+        e.seq(&hints, |e, (la, locks)| {
+            e.uv(*la);
+            for t in locks {
+                e.u8(t.value());
+            }
+        });
+        e.uv(self.ghost_epoch);
+        e.seq(&self.protected, |e, (lo, hi)| {
+            e.uv(*lo);
+            e.uv(*hi);
+        });
+        e.opt_with(self.faults.as_ref(), |e, f| {
+            f.tag_flip.encode(e);
+            f.arch_flip.encode(e);
+            f.mshr_drop.encode(e);
+            f.fill_delay.encode(e);
+            e.seq(&f.dead_lines, |e, l| e.uv(*l));
+        });
+        for s in &self.stats.l1d {
+            encode_cache_stats(e, s);
+        }
+        encode_cache_stats(e, &self.stats.l2);
+        e.uv(self.stats.suppressed_fills);
+        e.uv(self.stats.stale_forwards);
+        e.uv(self.stats.stale_forwards_blocked);
+        e.uv(self.stats.ghost_fills);
+        e.uv(self.stats.ghost_promotions);
+        e.uv(self.stats.ghost_drops);
+        e.uv(self.stats.lock_maintenance_updates);
+        e.uv(self.stats.coherence_invalidations);
+        e.uv(self.stats.prefetches_issued);
+        e.uv(self.stats.prefetches_suppressed);
+        e.uv(self.stats.tag_hint_hits);
+    }
+
+    /// Restores state serialized by [`MemSystem::encode`] into a system
+    /// built with the same core count and configuration. If the snapshot
+    /// carries a fault cursor, the same fault plan must already be armed
+    /// (via [`MemSystem::arm_faults`]); the cursor then resumes mid-stream.
+    ///
+    /// # Errors
+    ///
+    /// Truncated input, a core-count or geometry mismatch, a fault-arming
+    /// mismatch, or any out-of-range value.
+    pub fn restore(&mut self, d: &mut sas_snap::Dec) -> Result<(), sas_snap::SnapError> {
+        let cores = d.usz()?;
+        if cores != self.cores {
+            return Err(sas_snap::SnapError::BadValue {
+                what: "memory system core count",
+                value: cores as u64,
+            });
+        }
+        self.arch.restore(d)?;
+        self.tags.restore(d)?;
+        for c in &mut self.l1d {
+            c.restore(d)?;
+        }
+        for l in &mut self.lfb {
+            l.restore(d)?;
+        }
+        for m in &mut self.l1_mshr {
+            m.restore(d)?;
+        }
+        self.l2.restore(d)?;
+        self.l2_mshr.restore(d)?;
+        self.dram.restore(d)?;
+        for g in &mut self.ghosts {
+            g.entries = d.seq(g.cap, |d| {
+                let line_addr = d.uv()?;
+                let mut locks = [TagNibble::ZERO; 4];
+                for t in &mut locks {
+                    *t = decode_nibble(d, "ghost lock nibble")?;
+                }
+                let epoch = d.uv()?;
+                Ok(GhostEntry { line_addr, locks, epoch })
+            })?;
+        }
+        for p in &mut self.prefetchers {
+            p.restore(d)?;
+        }
+        let hints = d.seq(1 << 16, |d| {
+            let la = d.uv()?;
+            let mut locks = [TagNibble::ZERO; 4];
+            for t in &mut locks {
+                *t = decode_nibble(d, "tag hint nibble")?;
+            }
+            Ok((la, locks))
+        })?;
+        self.tag_hints = hints.into_iter().collect();
+        self.ghost_epoch = d.uv()?;
+        self.protected = d.seq(1 << 16, |d| Ok((d.uv()?, d.uv()?)))?;
+        let has_faults = d.bool()?;
+        if has_faults != self.faults.is_some() {
+            return Err(sas_snap::SnapError::BadValue {
+                what: "fault arming mismatch",
+                value: has_faults as u64,
+            });
+        }
+        if let Some(f) = &mut self.faults {
+            f.tag_flip.restore(d)?;
+            f.arch_flip.restore(d)?;
+            f.mshr_drop.restore(d)?;
+            f.fill_delay.restore(d)?;
+            f.dead_lines = d.seq(1 << 20, |d| d.uv())?;
+        }
+        for s in &mut self.stats.l1d {
+            restore_cache_stats(d, s)?;
+        }
+        restore_cache_stats(d, &mut self.stats.l2)?;
+        self.stats.suppressed_fills = d.uv()?;
+        self.stats.stale_forwards = d.uv()?;
+        self.stats.stale_forwards_blocked = d.uv()?;
+        self.stats.ghost_fills = d.uv()?;
+        self.stats.ghost_promotions = d.uv()?;
+        self.stats.ghost_drops = d.uv()?;
+        self.stats.lock_maintenance_updates = d.uv()?;
+        self.stats.coherence_invalidations = d.uv()?;
+        self.stats.prefetches_issued = d.uv()?;
+        self.stats.prefetches_suppressed = d.uv()?;
+        self.stats.tag_hint_hits = d.uv()?;
+        Ok(())
+    }
+}
+
+fn encode_cache_stats(e: &mut sas_snap::Enc, s: &CacheStats) {
+    e.uv(s.hits);
+    e.uv(s.misses);
+    e.uv(s.fills);
+    e.uv(s.invalidations);
+    e.uv(s.tag_checks);
+    e.uv(s.tag_mismatches);
+}
+
+fn restore_cache_stats(
+    d: &mut sas_snap::Dec,
+    s: &mut CacheStats,
+) -> Result<(), sas_snap::SnapError> {
+    s.hits = d.uv()?;
+    s.misses = d.uv()?;
+    s.fills = d.uv()?;
+    s.invalidations = d.uv()?;
+    s.tag_checks = d.uv()?;
+    s.tag_mismatches = d.uv()?;
+    Ok(())
+}
+
+fn decode_nibble(
+    d: &mut sas_snap::Dec,
+    what: &'static str,
+) -> Result<TagNibble, sas_snap::SnapError> {
+    let v = d.u8()?;
+    if v > 0xF {
+        return Err(sas_snap::SnapError::BadValue { what, value: v as u64 });
+    }
+    Ok(TagNibble::new(v))
 }
 
 #[cfg(test)]

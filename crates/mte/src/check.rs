@@ -30,6 +30,25 @@ impl TagCheckOutcome {
     pub fn was_checked(self) -> bool {
         !matches!(self, TagCheckOutcome::Unchecked)
     }
+
+    /// Stable wire index (snapshot support).
+    pub fn index(self) -> u8 {
+        match self {
+            TagCheckOutcome::Unchecked => 0,
+            TagCheckOutcome::Safe => 1,
+            TagCheckOutcome::Unsafe => 2,
+        }
+    }
+
+    /// Inverse of [`TagCheckOutcome::index`].
+    pub fn from_index(v: u8) -> Option<TagCheckOutcome> {
+        match v {
+            0 => Some(TagCheckOutcome::Unchecked),
+            1 => Some(TagCheckOutcome::Safe),
+            2 => Some(TagCheckOutcome::Unsafe),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for TagCheckOutcome {

@@ -61,6 +61,16 @@ impl SplitMix64 {
         let p = p.clamp(0.0, 1.0);
         (self.next_u64() as f64 / u64::MAX as f64) < p
     }
+
+    /// The raw generator state (snapshot support).
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Overwrites the generator state (snapshot restore).
+    pub fn set_state(&mut self, state: u64) {
+        self.state = state;
+    }
 }
 
 /// Deterministic random tag generator backing the `IRG` instruction.
@@ -116,6 +126,23 @@ impl IrgRng {
     /// Total number of `IRG` draws served.
     pub fn draw_count(&self) -> u64 {
         self.draws
+    }
+
+    /// Serializes the generator cursor (state + draw count).
+    pub fn encode(&self, e: &mut sas_snap::Enc) {
+        e.uv(self.rng.state());
+        e.uv(self.draws);
+    }
+
+    /// Restores the generator cursor.
+    ///
+    /// # Errors
+    ///
+    /// Truncated input.
+    pub fn restore(&mut self, d: &mut sas_snap::Dec) -> Result<(), sas_snap::SnapError> {
+        self.rng.set_state(d.uv()?);
+        self.draws = d.uv()?;
+        Ok(())
     }
 }
 

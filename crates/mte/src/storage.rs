@@ -169,6 +169,59 @@ impl TagStorage {
         flipped
     }
 
+    /// Serializes the store for a snapshot: pages in ascending key order
+    /// (deterministic bytes for identical state), then the access counters.
+    /// `nonzero` is derived state and is recomputed on restore.
+    pub fn encode(&self, e: &mut sas_snap::Enc) {
+        let mut keys: Vec<u64> = self.pages.keys().copied().collect();
+        keys.sort_unstable();
+        e.usz(keys.len());
+        for k in keys {
+            e.uv(k);
+            e.bytes(&self.pages[&k][..]);
+        }
+        e.uv(self.writes);
+        e.uv(self.reads);
+    }
+
+    /// Restores the store from a snapshot section, replacing all state.
+    ///
+    /// # Errors
+    ///
+    /// Any malformed field (page size, tag value out of nibble range).
+    pub fn restore(&mut self, d: &mut sas_snap::Dec) -> Result<(), sas_snap::SnapError> {
+        let n = d.usz_max(1 << 24)?;
+        let mut pages = HashMap::with_capacity(n);
+        let mut nonzero = 0usize;
+        for _ in 0..n {
+            let k = d.uv()?;
+            let bytes = d.bytes()?;
+            if bytes.len() != PAGE_GRANULES {
+                return Err(sas_snap::SnapError::BadValue {
+                    what: "tag page size",
+                    value: bytes.len() as u64,
+                });
+            }
+            let mut page = Box::new([0u8; PAGE_GRANULES]);
+            for (slot, &b) in page.iter_mut().zip(bytes) {
+                if b > 0xF {
+                    return Err(sas_snap::SnapError::BadValue {
+                        what: "stored tag",
+                        value: b as u64,
+                    });
+                }
+                nonzero += (b != 0) as usize;
+                *slot = b;
+            }
+            pages.insert(k, page);
+        }
+        self.pages = pages;
+        self.nonzero = nonzero;
+        self.writes = d.uv()?;
+        self.reads = d.uv()?;
+        Ok(())
+    }
+
     /// Returns `LINE_BYTES`-aligned addresses of all lines that contain at
     /// least one tagged granule (used by coherence maintenance tests).
     pub fn tagged_lines(&self) -> Vec<VirtAddr> {

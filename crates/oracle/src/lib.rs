@@ -250,6 +250,66 @@ impl Oracle {
         self.protected.iter().any(|&(lo, hi)| a >= lo && a < hi)
     }
 
+    /// Serializes the full reference state (memory image, tag store,
+    /// protected ranges, per-core architectural state, commit count). The
+    /// per-core program is not written — a restore target must be built
+    /// with the same programs.
+    pub fn encode(&self, e: &mut sas_snap::Enc) {
+        self.mem.encode(e);
+        self.tags.encode(e);
+        e.seq(&self.protected, |e, (lo, hi)| {
+            e.uv(*lo);
+            e.uv(*hi);
+        });
+        e.usz(self.cores.len());
+        for c in &self.cores {
+            for &r in &c.regs {
+                e.uv(r);
+            }
+            e.bool(c.flags.n);
+            e.bool(c.flags.z);
+            e.bool(c.flags.c);
+            e.bool(c.flags.v);
+            e.usz(c.pc);
+            e.bool(c.halted);
+            e.bool(c.enforce_mte);
+        }
+        e.uv(self.commits);
+    }
+
+    /// Restores state serialized by [`Oracle::encode`] into an oracle built
+    /// with the same core count (and programs).
+    ///
+    /// # Errors
+    ///
+    /// Truncated input or a core-count mismatch.
+    pub fn restore(&mut self, d: &mut sas_snap::Dec) -> Result<(), sas_snap::SnapError> {
+        self.mem.restore(d)?;
+        self.tags.restore(d)?;
+        self.protected = d.seq(1 << 16, |d| Ok((d.uv()?, d.uv()?)))?;
+        let cores = d.usz()?;
+        if cores != self.cores.len() {
+            return Err(sas_snap::SnapError::BadValue {
+                what: "oracle core count",
+                value: cores as u64,
+            });
+        }
+        for c in &mut self.cores {
+            for r in c.regs.iter_mut() {
+                *r = d.uv()?;
+            }
+            c.flags.n = d.bool()?;
+            c.flags.z = d.bool()?;
+            c.flags.c = d.bool()?;
+            c.flags.v = d.bool()?;
+            c.pc = d.usz()?;
+            c.halted = d.bool()?;
+            c.enforce_mte = d.bool()?;
+        }
+        self.commits = d.uv()?;
+        Ok(())
+    }
+
     /// Bit-exact MTE check against the reference tag store, replicating the
     /// hardware's per-line granule walk (an access running past the line end
     /// checks through granule 3 of its first line).

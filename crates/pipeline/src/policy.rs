@@ -233,6 +233,21 @@ pub trait MitigationPolicy {
     /// Exports policy-internal counters into the metrics registry under
     /// `policy.*` names. The baseline has nothing to report.
     fn export_metrics(&self, _reg: &mut sas_telemetry::MetricsRegistry) {}
+
+    /// Serializes policy-internal mutable state into a snapshot. Stateless
+    /// policies (the baselines) write nothing; stateful policies must
+    /// override both this and [`MitigationPolicy::restore_state`] with
+    /// matching codecs.
+    fn snapshot_state(&self, _e: &mut sas_snap::Enc) {}
+
+    /// Restores state written by [`MitigationPolicy::snapshot_state`].
+    ///
+    /// # Errors
+    ///
+    /// Implementations report truncated or malformed input.
+    fn restore_state(&mut self, _d: &mut sas_snap::Dec) -> Result<(), sas_snap::SnapError> {
+        Ok(())
+    }
 }
 
 /// The unprotected baseline: speculate freely, never check tags.

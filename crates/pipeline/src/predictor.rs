@@ -104,6 +104,39 @@ impl Gshare {
     pub fn set_history(&mut self, ghr: u64) {
         self.ghr = ghr & self.ghr_mask;
     }
+
+    /// Serializes the counter table and history (masks are configuration).
+    pub fn encode(&self, e: &mut sas_snap::Enc) {
+        e.seq(&self.counters, |e, c| e.u8(*c));
+        e.uv(self.ghr);
+    }
+
+    /// Restores state serialized by [`Gshare::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Truncated input, a table-size mismatch, or a counter above 3.
+    pub fn restore(&mut self, d: &mut sas_snap::Dec) -> Result<(), sas_snap::SnapError> {
+        let counters = d.seq(self.counters.len(), |d| {
+            let c = d.u8()?;
+            if c > 3 {
+                return Err(sas_snap::SnapError::BadValue {
+                    what: "gshare counter",
+                    value: c as u64,
+                });
+            }
+            Ok(c)
+        })?;
+        if counters.len() != self.counters.len() {
+            return Err(sas_snap::SnapError::BadValue {
+                what: "gshare table size",
+                value: counters.len() as u64,
+            });
+        }
+        self.counters = counters;
+        self.ghr = d.uv()? & self.ghr_mask;
+        Ok(())
+    }
 }
 
 /// Direct-mapped, tagless BTB. Tagless indexing gives the destructive
@@ -135,6 +168,30 @@ impl Btb {
     pub fn train(&mut self, pc: usize, ghr: u64, target: usize) {
         let i = self.index(pc, ghr);
         self.targets[i] = Some(target);
+    }
+
+    /// Serializes the target table (the mask is configuration).
+    pub fn encode(&self, e: &mut sas_snap::Enc) {
+        e.seq(&self.targets, |e, t| e.opt_uv(t.map(|v| v as u64)));
+    }
+
+    /// Restores state serialized by [`Btb::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Truncated input or a table-size mismatch.
+    pub fn restore(&mut self, d: &mut sas_snap::Dec) -> Result<(), sas_snap::SnapError> {
+        let targets = d.seq(self.targets.len(), |d| {
+            Ok(d.opt_uv()?.map(|v| v as usize))
+        })?;
+        if targets.len() != self.targets.len() {
+            return Err(sas_snap::SnapError::BadValue {
+                what: "btb table size",
+                value: targets.len() as u64,
+            });
+        }
+        self.targets = targets;
+        Ok(())
     }
 }
 
@@ -172,6 +229,21 @@ impl Rsb {
     pub fn depth(&self) -> usize {
         self.stack.len()
     }
+
+    /// Serializes the stack (capacity is configuration).
+    pub fn encode(&self, e: &mut sas_snap::Enc) {
+        e.seq(&self.stack, |e, a| e.usz(*a));
+    }
+
+    /// Restores state serialized by [`Rsb::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Truncated input or more entries than this RSB's capacity.
+    pub fn restore(&mut self, d: &mut sas_snap::Dec) -> Result<(), sas_snap::SnapError> {
+        self.stack = d.seq(self.capacity, |d| d.usz())?;
+        Ok(())
+    }
 }
 
 /// The full prediction complex of one core.
@@ -196,6 +268,38 @@ impl BranchPredictor {
             rsb: Rsb::new(cfg.rsb_entries),
             stats: PredictorStats::default(),
         }
+    }
+
+    /// Serializes the full complex: tables, history, stack and counters.
+    pub fn encode(&self, e: &mut sas_snap::Enc) {
+        self.gshare.encode(e);
+        self.btb.encode(e);
+        self.rsb.encode(e);
+        e.uv(self.stats.cond_predictions);
+        e.uv(self.stats.cond_mispredicts);
+        e.uv(self.stats.indirect_predictions);
+        e.uv(self.stats.indirect_mispredicts);
+        e.uv(self.stats.return_predictions);
+        e.uv(self.stats.return_mispredicts);
+    }
+
+    /// Restores state serialized by [`BranchPredictor::encode`] into a
+    /// complex built from the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Truncated input or a table-geometry mismatch.
+    pub fn restore(&mut self, d: &mut sas_snap::Dec) -> Result<(), sas_snap::SnapError> {
+        self.gshare.restore(d)?;
+        self.btb.restore(d)?;
+        self.rsb.restore(d)?;
+        self.stats.cond_predictions = d.uv()?;
+        self.stats.cond_mispredicts = d.uv()?;
+        self.stats.indirect_predictions = d.uv()?;
+        self.stats.indirect_mispredicts = d.uv()?;
+        self.stats.return_predictions = d.uv()?;
+        self.stats.return_mispredicts = d.uv()?;
+        Ok(())
     }
 }
 

@@ -40,6 +40,27 @@ impl DelayTable {
     }
 }
 
+impl DelayTable {
+    /// Serializes the dense counter array.
+    pub fn encode(&self, e: &mut sas_snap::Enc) {
+        for &v in &self.0 {
+            e.uv(v);
+        }
+    }
+
+    /// Restores counters serialized by [`DelayTable::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Truncated input.
+    pub fn restore(&mut self, d: &mut sas_snap::Dec) -> Result<(), sas_snap::SnapError> {
+        for v in self.0.iter_mut() {
+            *v = d.uv()?;
+        }
+        Ok(())
+    }
+}
+
 impl Index<DelayCause> for DelayTable {
     type Output = u64;
     fn index(&self, cause: DelayCause) -> &u64 {
@@ -152,6 +173,70 @@ impl CoreStats {
     /// Total delay cycles across causes.
     pub fn total_delay_cycles(&self) -> u64 {
         self.delay_cycles.total()
+    }
+
+    /// Serializes every counter, including the CPI stack and predictor
+    /// counters.
+    pub fn encode(&self, e: &mut sas_snap::Enc) {
+        e.uv(self.cycles);
+        e.uv(self.committed);
+        e.uv(self.fetched);
+        e.uv(self.squashed);
+        e.uv(self.squash_events);
+        e.uv(self.order_violations);
+        e.uv(self.restricted_committed);
+        self.delay_cycles.encode(e);
+        self.delay_events.encode(e);
+        self.cpi.encode(e);
+        e.uv(self.predictor.cond_predictions);
+        e.uv(self.predictor.cond_mispredicts);
+        e.uv(self.predictor.indirect_predictions);
+        e.uv(self.predictor.indirect_mispredicts);
+        e.uv(self.predictor.return_predictions);
+        e.uv(self.predictor.return_mispredicts);
+        e.uv(self.loads_committed);
+        e.uv(self.stores_committed);
+        e.uv(self.tag_faults);
+        e.uv(self.arch_faults);
+        e.uv(self.stl_forwards);
+        e.uv(self.stl_blocked);
+        e.uv(self.unsafe_spec_accesses);
+        e.uv(self.tainted_committed);
+        e.uv(self.retired_dropped);
+    }
+
+    /// Restores counters serialized by [`CoreStats::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Truncated input.
+    pub fn restore(&mut self, d: &mut sas_snap::Dec) -> Result<(), sas_snap::SnapError> {
+        self.cycles = d.uv()?;
+        self.committed = d.uv()?;
+        self.fetched = d.uv()?;
+        self.squashed = d.uv()?;
+        self.squash_events = d.uv()?;
+        self.order_violations = d.uv()?;
+        self.restricted_committed = d.uv()?;
+        self.delay_cycles.restore(d)?;
+        self.delay_events.restore(d)?;
+        self.cpi.restore(d)?;
+        self.predictor.cond_predictions = d.uv()?;
+        self.predictor.cond_mispredicts = d.uv()?;
+        self.predictor.indirect_predictions = d.uv()?;
+        self.predictor.indirect_mispredicts = d.uv()?;
+        self.predictor.return_predictions = d.uv()?;
+        self.predictor.return_mispredicts = d.uv()?;
+        self.loads_committed = d.uv()?;
+        self.stores_committed = d.uv()?;
+        self.tag_faults = d.uv()?;
+        self.arch_faults = d.uv()?;
+        self.stl_forwards = d.uv()?;
+        self.stl_blocked = d.uv()?;
+        self.unsafe_spec_accesses = d.uv()?;
+        self.tainted_committed = d.uv()?;
+        self.retired_dropped = d.uv()?;
+        Ok(())
     }
 }
 

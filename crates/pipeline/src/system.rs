@@ -151,6 +151,12 @@ pub struct System {
     telemetry: Option<SystemTelemetry>,
     /// Liveness file rewritten every `.1` cycles with `{"cycle","committed"}`.
     heartbeat: Option<(PathBuf, u64)>,
+    /// Deadlock tracking: cycle of the last committed-count change and the
+    /// count itself. Fields (not `run()` locals) so that a run split into
+    /// multiple `run()` calls — the checkpointing loop — tracks progress
+    /// identically to one uninterrupted call, and so snapshots carry them.
+    last_progress: u64,
+    last_total: u64,
 }
 
 impl System {
@@ -173,6 +179,8 @@ impl System {
             fault_plan_desc: None,
             telemetry: None,
             heartbeat: None,
+            last_progress: 0,
+            last_total: 0,
         }
     }
 
@@ -208,6 +216,8 @@ impl System {
             fault_plan_desc: None,
             telemetry: None,
             heartbeat: None,
+            last_progress: 0,
+            last_total: 0,
         }
     }
 
@@ -464,8 +474,6 @@ impl System {
     /// an invariant breaks, or `max_cycles` pass.
     pub fn run(&mut self, max_cycles: u64) -> RunResult {
         let mut exit = RunExit::CycleLimit;
-        let mut last_progress = self.cycle;
-        let mut last_total: u64 = self.cores.iter().map(|c| c.stats.committed).sum();
         while self.cycle < max_cycles {
             let mut all_done = true;
             let mut stop = false;
@@ -502,24 +510,24 @@ impl System {
                 break;
             }
             let total: u64 = self.cores.iter().map(|c| c.stats.committed).sum();
-            if total != last_total {
-                last_total = total;
-                last_progress = self.cycle;
-            } else if self.cycle - last_progress > self.deadlock_window {
+            if total != self.last_total {
+                self.last_total = total;
+                self.last_progress = self.cycle;
+            } else if self.cycle - self.last_progress > self.deadlock_window {
                 exit = RunExit::Deadlock(self.crash_dump());
                 break;
             }
             // Skip-ahead: when every structure is quiescent, jump straight
             // to the next cycle anything can happen, attributing the gap in
             // one step. Cycle-exact by construction (see `quiescent_until`).
-            if let Some(skip_to) = self.quiescent_until(max_cycles, last_progress) {
+            if let Some(skip_to) = self.quiescent_until(max_cycles, self.last_progress) {
                 for c in &mut self.cores {
                     if !c.finished() {
                         c.skip_quiescent(self.cycle, skip_to - 1);
                     }
                 }
                 self.cycle = skip_to;
-                if self.cycle - last_progress > self.deadlock_window {
+                if self.cycle - self.last_progress > self.deadlock_window {
                     exit = RunExit::Deadlock(self.crash_dump());
                     break;
                 }
@@ -544,5 +552,92 @@ impl System {
     /// Current cycle.
     pub fn cycle(&self) -> u64 {
         self.cycle
+    }
+
+    // ------------------------------------------------------------------
+    // snapshot codec
+    // ------------------------------------------------------------------
+
+    /// Serializes driver-level state: the cycle counter, deadlock-progress
+    /// tracking, occupancy gauges (when telemetry is on) and the lockstep
+    /// oracle (when attached). Configuration — deadlock window, telemetry
+    /// interval, heartbeat — is not serialized; the restore target carries
+    /// it from its own construction.
+    pub fn encode_state(&self, e: &mut sas_snap::Enc) {
+        e.uv(self.cycle);
+        e.uv(self.last_progress);
+        e.uv(self.last_total);
+        e.bool(self.telemetry.is_some());
+        if let Some(t) = &self.telemetry {
+            for (i, set) in t.per_core.iter().enumerate() {
+                for g in set {
+                    g.encode(e);
+                }
+                t.lfb[i].encode(e);
+                t.l1_mshr[i].encode(e);
+            }
+            t.l2_mshr.encode(e);
+        }
+        e.bool(self.oracle.is_some());
+        if let Some(o) = &self.oracle {
+            o.encode(e);
+        }
+    }
+
+    /// Restores state serialized by [`System::encode_state`].
+    ///
+    /// # Errors
+    ///
+    /// Truncated or malformed input, or a telemetry- / oracle-arming
+    /// mismatch between the snapshot and this system.
+    pub fn restore_state(&mut self, d: &mut sas_snap::Dec) -> Result<(), sas_snap::SnapError> {
+        let bad = |what: &'static str, value: u64| sas_snap::SnapError::BadValue { what, value };
+        self.cycle = d.uv()?;
+        self.last_progress = d.uv()?;
+        self.last_total = d.uv()?;
+        let have_telemetry = d.bool()?;
+        if have_telemetry != self.telemetry.is_some() {
+            return Err(bad("telemetry arming mismatch", have_telemetry as u64));
+        }
+        if let Some(t) = self.telemetry.as_mut() {
+            for i in 0..t.per_core.len() {
+                for g in t.per_core[i].iter_mut() {
+                    g.restore(d)?;
+                }
+                t.lfb[i].restore(d)?;
+                t.l1_mshr[i].restore(d)?;
+            }
+            t.l2_mshr.restore(d)?;
+        }
+        let have_oracle = d.bool()?;
+        if have_oracle != self.oracle.is_some() {
+            return Err(bad("oracle arming mismatch", have_oracle as u64));
+        }
+        if let Some(o) = self.oracle.as_mut() {
+            o.restore(d)?;
+        }
+        Ok(())
+    }
+
+    /// Serializes core `i`'s complete state (see `Core`'s codec).
+    pub fn encode_core(&self, i: usize, e: &mut sas_snap::Enc) {
+        self.cores[i].encode(e);
+    }
+
+    /// Restores core `i` from state serialized by [`System::encode_core`].
+    /// `apply_policy` false skips the policy-state blob (warmed-baseline
+    /// forks restore into a different mitigation whose fresh state is kept).
+    ///
+    /// # Errors
+    ///
+    /// Truncated or malformed input, or a structural mismatch against the
+    /// core's configuration.
+    pub fn restore_core(
+        &mut self,
+        i: usize,
+        d: &mut sas_snap::Dec,
+        apply_policy: bool,
+    ) -> Result<(), sas_snap::SnapError> {
+        self.cores[i].restore(d, apply_policy)
     }
 }

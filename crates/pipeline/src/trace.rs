@@ -88,6 +88,108 @@ pub enum TraceEvent {
 }
 
 impl TraceEvent {
+    /// Serializes the event as a tag byte plus its fields.
+    pub fn encode(&self, e: &mut sas_snap::Enc) {
+        match *self {
+            TraceEvent::Dispatch { cycle, seq, pc, speculative } => {
+                e.u8(0);
+                e.uv(cycle);
+                e.uv(seq);
+                e.usz(pc);
+                e.bool(speculative);
+            }
+            TraceEvent::LoadIssue { cycle, seq, addr, speculative } => {
+                e.u8(1);
+                e.uv(cycle);
+                e.uv(seq);
+                e.uv(addr.raw());
+                e.bool(speculative);
+            }
+            TraceEvent::TagCheck { cycle, seq, outcome } => {
+                e.u8(2);
+                e.uv(cycle);
+                e.uv(seq);
+                e.u8(outcome.index());
+            }
+            TraceEvent::UnsafeBlocked { cycle, seq } => {
+                e.u8(3);
+                e.uv(cycle);
+                e.uv(seq);
+            }
+            TraceEvent::BranchResolved { cycle, seq, mispredicted } => {
+                e.u8(4);
+                e.uv(cycle);
+                e.uv(seq);
+                e.bool(mispredicted);
+            }
+            TraceEvent::Squash { cycle, after_seq, count } => {
+                e.u8(5);
+                e.uv(cycle);
+                e.uv(after_seq);
+                e.uv(count);
+            }
+            TraceEvent::Commit { cycle, seq, pc } => {
+                e.u8(6);
+                e.uv(cycle);
+                e.uv(seq);
+                e.usz(pc);
+            }
+            TraceEvent::Fault { cycle, pc } => {
+                e.u8(7);
+                e.uv(cycle);
+                e.usz(pc);
+            }
+        }
+    }
+
+    /// Decodes an event serialized by [`TraceEvent::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Truncated input or an unknown tag.
+    pub fn decode(d: &mut sas_snap::Dec) -> Result<TraceEvent, sas_snap::SnapError> {
+        let tag = d.u8()?;
+        Ok(match tag {
+            0 => TraceEvent::Dispatch {
+                cycle: d.uv()?,
+                seq: d.uv()?,
+                pc: d.usz()?,
+                speculative: d.bool()?,
+            },
+            1 => TraceEvent::LoadIssue {
+                cycle: d.uv()?,
+                seq: d.uv()?,
+                addr: VirtAddr::new(d.uv()?),
+                speculative: d.bool()?,
+            },
+            2 => {
+                let (cycle, seq) = (d.uv()?, d.uv()?);
+                let o = d.u8()?;
+                let outcome =
+                    TagCheckOutcome::from_index(o).ok_or(sas_snap::SnapError::BadValue {
+                        what: "trace tag-check outcome",
+                        value: o as u64,
+                    })?;
+                TraceEvent::TagCheck { cycle, seq, outcome }
+            }
+            3 => TraceEvent::UnsafeBlocked { cycle: d.uv()?, seq: d.uv()? },
+            4 => TraceEvent::BranchResolved {
+                cycle: d.uv()?,
+                seq: d.uv()?,
+                mispredicted: d.bool()?,
+            },
+            5 => TraceEvent::Squash { cycle: d.uv()?, after_seq: d.uv()?, count: d.uv()? },
+            6 => TraceEvent::Commit { cycle: d.uv()?, seq: d.uv()?, pc: d.usz()? },
+            7 => TraceEvent::Fault { cycle: d.uv()?, pc: d.usz()? },
+            _ => {
+                return Err(sas_snap::SnapError::BadValue {
+                    what: "trace event tag",
+                    value: tag as u64,
+                })
+            }
+        })
+    }
+
     /// The cycle the event occurred.
     pub fn cycle(&self) -> u64 {
         match *self {
@@ -200,6 +302,29 @@ impl Trace {
             s.push('\n');
         }
         s
+    }
+
+    /// Serializes the recorder: enable state, capacity, drop counter and
+    /// every recorded event.
+    pub fn encode(&self, e: &mut sas_snap::Enc) {
+        e.bool(self.enabled);
+        e.usz(self.cap);
+        e.uv(self.dropped);
+        e.seq(&self.events, |e, ev| ev.encode(e));
+    }
+
+    /// Restores state serialized by [`Trace::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Truncated input, more events than the stored capacity, or a malformed
+    /// event.
+    pub fn restore(&mut self, d: &mut sas_snap::Dec) -> Result<(), sas_snap::SnapError> {
+        self.enabled = d.bool()?;
+        self.cap = d.usz_max(1 << 24)?;
+        self.dropped = d.uv()?;
+        self.events = d.seq(self.cap, TraceEvent::decode)?;
+        Ok(())
     }
 
     /// Events matching a predicate (e.g. only tag checks).

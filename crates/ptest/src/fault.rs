@@ -349,6 +349,37 @@ impl FaultStream {
     pub fn pick_below(&mut self, bound: u64) -> u64 {
         self.rng.below(bound)
     }
+
+    /// Serializes the stream cursor (call/injection counts + RNG state).
+    /// The static plan parameters (rates, caps, window) are not written:
+    /// restore targets re-arm the identical plan first, so only the cursor
+    /// differs from a freshly armed stream.
+    pub fn encode(&self, e: &mut sas_snap::Enc) {
+        e.uv(self.point.index() as u64);
+        e.uv(self.calls);
+        e.uv(self.injected);
+        e.uv(self.rng.state());
+    }
+
+    /// Restores the stream cursor written by [`FaultStream::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Truncated input, or a cursor recorded for a different injection
+    /// point than this stream drives.
+    pub fn restore(&mut self, d: &mut sas_snap::Dec) -> Result<(), sas_snap::SnapError> {
+        let point = d.uv()?;
+        if point != self.point.index() as u64 {
+            return Err(sas_snap::SnapError::BadValue {
+                what: "fault stream point",
+                value: point,
+            });
+        }
+        self.calls = d.uv()?;
+        self.injected = d.uv()?;
+        self.rng.set_state(d.uv()?);
+        Ok(())
+    }
 }
 
 #[cfg(test)]

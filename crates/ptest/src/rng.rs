@@ -78,6 +78,16 @@ impl Rng {
     pub fn chance(&mut self, p: f64) -> bool {
         self.unit_f64() < p.clamp(0.0, 1.0)
     }
+
+    /// The raw generator state (snapshot support).
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Overwrites the generator state (snapshot restore).
+    pub fn set_state(&mut self, state: u64) {
+        self.state = state;
+    }
 }
 
 /// The SplitMix64 finalizer, also used to derive independent per-case seeds

@@ -18,8 +18,15 @@
 //!   --retries N       environmental retries       (default 2)
 //!   --backoff-ms N    base retry backoff          (default 200)
 //!   --manifest PATH   manifest/checkpoint file    (default target/sas-runner/<cmd>.jsonl)
-//!   --resume          skip cells already recorded in the manifest
+//!   --resume          skip recorded cells; incomplete cells restore their
+//!                     newest valid mid-cell checkpoint
 //!   --iters N         bench iterations            (default $SAS_BENCH_ITERS or 150)
+//!   --checkpoint-dir PATH  mid-cell snapshot dir  (default <manifest>.state)
+//!   --checkpoint-every N   checkpoint period, cycles (default 1000000)
+//!   --no-checkpoint   disable mid-cell checkpointing
+//!   --warm-fork       fork mitigation cells from a per-benchmark warmed
+//!                     unsafe-baseline snapshot (baselines run first)
+//!   --warm-cycles N   warmup length, cycles       (default 50000)
 //!   --fault-cell ID   arm a fault plan on exactly this cell
 //!   --fault-plan SPEC the plan spec to arm (see FaultPlan::from_spec)
 //!   --no-shrink       skip failure minimization
@@ -93,6 +100,23 @@ fn config_from(args: &[String], default_manifest: &str) -> Result<Config, String
     }
     if let Some(d) = flag_value(args, "--repro-dir") {
         cfg.repro_dir = PathBuf::from(d);
+    }
+    cfg.checkpoint_dir = if has_flag(args, "--no-checkpoint") {
+        None
+    } else {
+        Some(
+            flag_value(args, "--checkpoint-dir")
+                .map(PathBuf::from)
+                .unwrap_or_else(|| cfg.manifest_path.with_extension("state")),
+        )
+    };
+    cfg.checkpoint_every = parse_u64("--checkpoint-every")?;
+    cfg.warm_fork = has_flag(args, "--warm-fork");
+    cfg.warm_cycles = parse_u64("--warm-cycles")?;
+    if cfg.warm_fork && cfg.checkpoint_dir.is_none() {
+        return Err("--warm-fork needs a snapshot state dir (drop --no-checkpoint \
+                    or pass --checkpoint-dir)"
+            .to_string());
     }
     Ok(cfg)
 }
@@ -277,6 +301,7 @@ fn cmd_cell(args: &[String]) -> ExitCode {
                 exit: "panic".to_string(),
                 detail: msg,
                 cycles: 0,
+                restored: false,
                 retriable: false,
                 cpi: None,
             }
@@ -328,9 +353,12 @@ fn cmd_probe(args: &[String]) -> ExitCode {
 
 /// Re-checks a repro bundle: replays the recorded recipe in-process and
 /// verifies the failure signature matches the one recorded at shrink time.
+/// Bundles with a `tail.snap` fail-tail restore it and run only the last
+/// stretch; a rejected tail (corrupt, stale) degrades to the full replay.
 fn cmd_replay(args: &[String]) -> ExitCode {
     let Some(dir) = args.first() else { return usage() };
-    let meta = match shrink::load_bundle(std::path::Path::new(dir)) {
+    let dir = std::path::Path::new(dir);
+    let meta = match shrink::load_bundle(dir) {
         Ok(m) => m,
         Err(e) => {
             eprintln!("sas-runner: {e}");
@@ -347,10 +375,26 @@ fn cmd_replay(args: &[String]) -> ExitCode {
         },
         None => None,
     };
-    let sig = catch_unwind(AssertUnwindSafe(|| {
-        cell::probe_signature(&meta.cell, meta.iters, &meta.nops, plan.as_ref())
-    }))
-    .unwrap_or_else(|_| "panic".to_string());
+    let tail_sig = meta.tail_cycle.and_then(|at| {
+        let bytes = std::fs::read(dir.join("tail.snap")).ok()?;
+        match cell::replay_tail(&meta.cell, meta.iters, &meta.nops, plan.as_ref(), bytes) {
+            Ok(sig) => {
+                println!("sas-runner: replay — restored tail.snap at cycle {at}, ran the tail");
+                Some(sig)
+            }
+            Err(e) => {
+                eprintln!("sas-runner: tail.snap rejected ({e}); full replay instead");
+                None
+            }
+        }
+    });
+    let sig = match tail_sig {
+        Some(s) => s,
+        None => catch_unwind(AssertUnwindSafe(|| {
+            cell::probe_signature(&meta.cell, meta.iters, &meta.nops, plan.as_ref())
+        }))
+        .unwrap_or_else(|_| "panic".to_string()),
+    };
     println!(
         "sas-runner: replay {} — recorded {}, observed {sig}",
         meta.cell, meta.signature

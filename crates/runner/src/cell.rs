@@ -214,6 +214,9 @@ pub struct CellOutcome {
     pub detail: String,
     /// Simulated cycles (0 where the notion does not apply).
     pub cycles: u64,
+    /// Whether the cell resumed from a checkpoint or warm-forked from a
+    /// baseline image instead of starting cold.
+    pub restored: bool,
     /// Whether a failure looks environmental (worth retrying) rather than
     /// deterministic.
     pub retriable: bool,
@@ -230,6 +233,7 @@ impl CellOutcome {
             exit: "halted".to_string(),
             detail: String::new(),
             cycles,
+            restored: false,
             retriable: false,
             cpi: None,
         }
@@ -237,6 +241,7 @@ impl CellOutcome {
 
     fn ok_with_cpi(cell: &CellId, c: &sas_bench::Cell) -> CellOutcome {
         let mut o = CellOutcome::ok(cell, c.cycles);
+        o.restored = c.restored;
         o.cpi = Some(
             sas_bench::cpi_breakdown(&c.run)
                 .encode_flat(&sas_pipeline::DelayCause::ALL.map(|c| c.name())),
@@ -251,6 +256,7 @@ impl CellOutcome {
             exit: exit.to_string(),
             detail: clip(&detail),
             cycles: 0,
+            restored: false,
             retriable,
             cpi: None,
         }
@@ -265,6 +271,7 @@ impl CellOutcome {
             detail: self.detail.clone(),
             attempts: u32::from(self.retriable),
             cycles: self.cycles,
+            restored: self.restored,
             duration_ms: 0,
             repro: None,
             cpi: self.cpi.clone(),
@@ -281,6 +288,7 @@ impl CellOutcome {
             exit: r.exit,
             detail: r.detail,
             cycles: r.cycles,
+            restored: r.restored,
             retriable: r.attempts != 0,
             cpi: r.cpi,
         })
@@ -403,38 +411,11 @@ fn run_cell(cell: &CellId, iters: u32) -> CellOutcome {
 /// * `no_fire` — chaos only: a corrupting plan never fired.
 pub fn probe_signature(cell: &CellId, iters: u32, nops: &[usize], plan: Option<&FaultPlan>) -> String {
     match cell {
-        CellId::Spec { benchmark, mitigation } => {
-            let Some(p) = find_profile(&spec_suite(), benchmark) else {
-                return "abort:unknown".to_string();
-            };
-            let w = build_workload(&p, iters, sas_bench::SEED, 0);
-            let mut sys =
-                build_system(&SimConfig::table2(), w.program.with_nops(nops), *mitigation);
-            w.setup.apply(&mut sys);
-            if let Some(plan) = plan {
-                sys.arm_faults(plan);
-            }
-            let run = sys.run(1_000_000_000);
-            spec_signature(&run.exit)
-        }
-        CellId::Parsec { benchmark, mitigation } => {
-            let Some(p) = find_profile(&parsec_suite(), benchmark) else {
-                return "abort:unknown".to_string();
-            };
-            let ws = build_parsec_workload(&p, iters, sas_bench::SEED, 4);
-            let mut programs: Vec<_> = ws.iter().map(|w| w.program.clone()).collect();
-            // Delta-debug over core 0's program; the other cores stay fixed.
-            programs[0] = programs[0].with_nops(nops);
-            let mut sys = build_multicore(&SimConfig::table2(), programs, *mitigation);
-            for w in &ws {
-                w.setup.apply(&mut sys);
-            }
-            if let Some(plan) = plan {
-                sys.arm_faults(plan);
-            }
-            let run = sys.run(1_000_000_000);
-            spec_signature(&run.exit)
-        }
+        CellId::Spec { .. } | CellId::Parsec { .. } => match probe_system(cell, iters, nops, plan)
+        {
+            Some(mut sys) => spec_signature(&sys.run(PROBE_BUDGET_CYCLES).exit),
+            None => "abort:unknown".to_string(),
+        },
         CellId::Chaos { seed } => {
             let class = chaos::Class::of(*seed);
             let default_plan;
@@ -446,7 +427,11 @@ pub fn probe_signature(cell: &CellId, iters: u32, nops: &[usize], plan: Option<&
                 }
             };
             let program = chaos::campaign_program(*seed).with_nops(nops);
-            let out = chaos::run_campaign_variant(&program, plan, chaos::mitigation_for(*seed));
+            let out = if class == chaos::Class::SnapCorrupt {
+                chaos::run_snap_corrupt(*seed, &program, chaos::mitigation_for(*seed))
+            } else {
+                chaos::run_campaign_variant(&program, plan, chaos::mitigation_for(*seed))
+            };
             if out.exit != "halted" {
                 format!("abort:{}", out.exit)
             } else if !out.audit_clean {
@@ -469,6 +454,103 @@ fn spec_signature(exit: &sas_pipeline::RunExit) -> String {
     } else {
         format!("abort:{}", sas_bench::jsonl::exit_tag(exit))
     }
+}
+
+/// Cycle budget for probe and tail-replay runs.
+const PROBE_BUDGET_CYCLES: u64 = 1_000_000_000;
+
+/// Builds the exact system a SPEC/PARSEC probe measures — workload, NOP
+/// mask, mitigation, optional fault plan — without running it. `None` for
+/// cells with no probe system (chaos probes run the campaign harness
+/// instead; selftests have no machine at all).
+fn probe_system(
+    cell: &CellId,
+    iters: u32,
+    nops: &[usize],
+    plan: Option<&FaultPlan>,
+) -> Option<sas_pipeline::System> {
+    let mut sys = match cell {
+        CellId::Spec { benchmark, mitigation } => {
+            let p = find_profile(&spec_suite(), benchmark)?;
+            let w = build_workload(&p, iters, sas_bench::SEED, 0);
+            let mut sys =
+                build_system(&SimConfig::table2(), w.program.with_nops(nops), *mitigation);
+            w.setup.apply(&mut sys);
+            sys
+        }
+        CellId::Parsec { benchmark, mitigation } => {
+            let p = find_profile(&parsec_suite(), benchmark)?;
+            let ws = build_parsec_workload(&p, iters, sas_bench::SEED, 4);
+            let mut programs: Vec<_> = ws.iter().map(|w| w.program.clone()).collect();
+            // Delta-debug over core 0's program; the other cores stay fixed.
+            programs[0] = programs[0].with_nops(nops);
+            let mut sys = build_multicore(&SimConfig::table2(), programs, *mitigation);
+            for w in &ws {
+                w.setup.apply(&mut sys);
+            }
+            sys
+        }
+        CellId::Chaos { .. } | CellId::Selftest { .. } => return None,
+    };
+    if let Some(plan) = plan {
+        sys.arm_faults(plan);
+    }
+    Some(sys)
+}
+
+/// A captured fail-tail: the machine state shortly before the failure.
+#[derive(Debug, Clone)]
+pub struct TailSnapshot {
+    /// The encoded snapshot (a `sas-snap` container).
+    pub bytes: Vec<u8>,
+    /// The absolute cycle the snapshot restores to.
+    pub cycle: u64,
+}
+
+/// Re-runs the (minimized) failing SPEC/PARSEC scenario and snapshots the
+/// machine `lead` cycles before its failure point, so a replay can restore
+/// and run only the last stretch instead of replaying from cycle zero.
+/// `None` when the cell has no probe system, the scenario no longer fails,
+/// or the failure lands inside the first `lead` cycles (replaying from zero
+/// is already that cheap).
+pub fn tail_snapshot(
+    cell: &CellId,
+    iters: u32,
+    nops: &[usize],
+    plan: Option<&FaultPlan>,
+    lead: u64,
+) -> Option<TailSnapshot> {
+    let mut sys = probe_system(cell, iters, nops, plan)?;
+    let run = sys.run(PROBE_BUDGET_CYCLES);
+    if matches!(run.exit, sas_pipeline::RunExit::Halted) {
+        return None;
+    }
+    let at = sys.cycle().saturating_sub(lead);
+    if at == 0 {
+        return None;
+    }
+    let mut warm = probe_system(cell, iters, nops, plan)?;
+    warm.run(at);
+    let bytes = specasan::snapshot::snapshot_system(&warm, false).to_bytes();
+    Some(TailSnapshot { bytes, cycle: warm.cycle() })
+}
+
+/// Replays a captured fail-tail: restores the snapshot into a freshly built
+/// probe system (same recipe, fault plan re-armed) and runs only the
+/// remaining cycles, returning the observed failure signature. Errors are
+/// the snapshot being rejected — parse, CRC, or target mismatch.
+pub fn replay_tail(
+    cell: &CellId,
+    iters: u32,
+    nops: &[usize],
+    plan: Option<&FaultPlan>,
+    bytes: Vec<u8>,
+) -> Result<String, String> {
+    let mut sys = probe_system(cell, iters, nops, plan)
+        .ok_or_else(|| format!("{cell}: cell has no probe system to restore into"))?;
+    let snap = sas_snap::Snapshot::parse(bytes).map_err(|e| e.to_string())?;
+    specasan::snapshot::restore_system(&mut sys, &snap).map_err(|e| e.to_string())?;
+    Ok(spec_signature(&sys.run(PROBE_BUDGET_CYCLES).exit))
 }
 
 /// The cell's (core-0) victim program — the index space the shrinker
@@ -577,6 +659,7 @@ mod tests {
             exit: "deadlock".into(),
             detail: "MSHR \"wedged\"".into(),
             cycles: 0,
+            restored: true,
             retriable: false,
             cpi: Some("base=1;memory_bound=2".into()),
         };

@@ -33,6 +33,9 @@ pub struct Record {
     pub attempts: u32,
     /// Simulated cycles (0 when the cell never finished).
     pub cycles: u64,
+    /// Whether the cell resumed from a checkpoint or warm-forked from a
+    /// baseline image instead of starting cold.
+    pub restored: bool,
     /// Wall-clock supervision time for the cell, in milliseconds.
     pub duration_ms: u64,
     /// Repro-bundle directory written by the shrinker, if any.
@@ -53,6 +56,9 @@ impl Record {
         push_str_field(&mut out, "detail", &self.detail, false);
         push_raw_field(&mut out, "attempts", &self.attempts.to_string());
         push_raw_field(&mut out, "cycles", &self.cycles.to_string());
+        if self.restored {
+            push_raw_field(&mut out, "restored", "true");
+        }
         push_raw_field(&mut out, "duration_ms", &self.duration_ms.to_string());
         if let Some(r) = &self.repro {
             push_str_field(&mut out, "repro", r, false);
@@ -74,6 +80,7 @@ impl Record {
             detail: map.get("detail")?.as_str()?.to_string(),
             attempts: map.get("attempts")?.as_u64()? as u32,
             cycles: map.get("cycles")?.as_u64()?,
+            restored: map.get("restored").and_then(|v| v.as_bool()).unwrap_or(false),
             duration_ms: map.get("duration_ms")?.as_u64()?,
             repro: map.get("repro").and_then(|v| v.as_str()).map(str::to_string),
             cpi: map.get("cpi").and_then(|v| v.as_str()).map(str::to_string),
@@ -320,6 +327,7 @@ mod tests {
             detail: if ok { String::new() } else { "MSHR wedged \"hard\"\nline2".into() },
             attempts: 2,
             cycles: 123_456,
+            restored: ok,
             duration_ms: 78,
             repro: if ok { None } else { Some("target/repro/x".into()) },
             cpi: if ok { Some("base=100;fetch_stall=2;TaintedAddress=9".into()) } else { None },

@@ -14,7 +14,11 @@
 //! * `plan.txt` — the minimized fault-plan spec, when faults were involved;
 //! * `repro.sasm` — the minimized victim program as parseable assembly
 //!   (chaos cells only: SPEC/PARSEC workloads carry multi-megabyte data
-//!   segments, so their bundles stay recipe-based).
+//!   segments, so their bundles stay recipe-based);
+//! * `tail.snap` — SPEC/PARSEC cells only: a `sas-snap` snapshot of the
+//!   minimized scenario [`TAIL_LEAD_CYCLES`] before its failure point, so
+//!   `sas-runner replay` restores and runs just the last stretch instead of
+//!   replaying the whole workload from cycle zero.
 //!
 //! Everything runs under a fixed probe budget; minimization is best-effort
 //! and monotone — the bundle always reproduces the signature, it just may
@@ -31,6 +35,11 @@ use std::time::{Duration, Instant};
 /// Maximum child probes one shrink may spend.
 pub const PROBE_BUDGET: u32 = 40;
 
+/// How many cycles before the failure point a bundle's fail-tail snapshot
+/// is taken: `sas-runner replay` restores it and runs only this last
+/// stretch instead of replaying the whole workload from cycle zero.
+pub const TAIL_LEAD_CYCLES: u64 = 10_000;
+
 /// What the shrinker produced for one failed cell.
 #[derive(Debug, Clone)]
 pub struct ShrinkOutcome {
@@ -46,6 +55,9 @@ pub struct ShrinkOutcome {
     pub total_insts: usize,
     /// The minimized fault-plan spec, when the failure involved one.
     pub plan: Option<String>,
+    /// Absolute cycle the bundle's `tail.snap` restores to, when a
+    /// fail-tail snapshot was captured (SPEC/PARSEC cells).
+    pub tail_cycle: Option<u64>,
 }
 
 struct Prober<'a> {
@@ -70,6 +82,13 @@ impl Prober<'_> {
             .env_remove(sas_bench::FAULT_PLAN_ENV)
             .env_remove(sas_bench::CELL_ENV)
             .env_remove(cell::ATTEMPT_ENV)
+            // Probes must never checkpoint, warm-fork, or crash-on-cue —
+            // shield them from any ambient supervisor/test environment.
+            .env_remove(sas_bench::checkpoint::CHECKPOINT_ENV)
+            .env_remove(sas_bench::checkpoint::CHECKPOINT_EVERY_ENV)
+            .env_remove(sas_bench::checkpoint::WARM_BASE_ENV)
+            .env_remove(sas_bench::checkpoint::WARM_CYCLES_ENV)
+            .env_remove(sas_bench::checkpoint::EXIT_AFTER_CHECKPOINTS_ENV)
             .stdin(Stdio::null())
             .stdout(Stdio::piped())
             .stderr(Stdio::null());
@@ -246,6 +265,11 @@ pub fn shrink_cell(cell: &CellId, cfg: &Config) -> Option<ShrinkOutcome> {
     }
     let plan = plan0.map(|p| minimize_plan(&mut prober, &base_sig, &p));
     let nops = minimize_program(&mut prober, &base_sig, plan.as_deref(), total, &protected);
+    // Capture the fail-tail of the *minimized* scenario: replays restore
+    // this snapshot and run only the last stretch. Best-effort — a scenario
+    // whose minimized form stopped failing in-process just ships without.
+    let parsed_plan = plan.as_deref().and_then(|p| sas_pipeline::FaultPlan::from_spec(p).ok());
+    let tail = cell::tail_snapshot(cell, cfg.iters, &nops, parsed_plan.as_ref(), TAIL_LEAD_CYCLES);
     let outcome = ShrinkOutcome {
         dir: bundle_dir(cfg, cell),
         signature: base_sig,
@@ -253,8 +277,9 @@ pub fn shrink_cell(cell: &CellId, cfg: &Config) -> Option<ShrinkOutcome> {
         nops,
         total_insts: total,
         plan,
+        tail_cycle: tail.as_ref().map(|t| t.cycle),
     };
-    write_bundle(cell, cfg, &outcome).ok()?;
+    write_bundle(cell, cfg, &outcome, tail.as_ref().map(|t| t.bytes.as_slice())).ok()?;
     eprintln!(
         "sas-runner: shrink {cell}: signature {} reproduced with {}/{} instructions NOPped \
          ({} probes) — bundle at {}",
@@ -278,7 +303,21 @@ pub fn bundle_dir(cfg: &Config, cell: &CellId) -> PathBuf {
     cfg.repro_dir.join(sanitized)
 }
 
-fn write_bundle(cell: &CellId, cfg: &Config, out: &ShrinkOutcome) -> std::io::Result<()> {
+/// The final path component of a bundle directory. User-supplied
+/// `sas-runner replay` paths land here, and paths like `/` or one ending in
+/// `..` have no final component — that is a reportable error, not a panic.
+pub fn bundle_name(dir: &std::path::Path) -> Result<String, String> {
+    dir.file_name().map(|n| n.to_string_lossy().into_owned()).ok_or_else(|| {
+        format!("{}: not a repro bundle directory (the path has no final component)", dir.display())
+    })
+}
+
+fn write_bundle(
+    cell: &CellId,
+    cfg: &Config,
+    out: &ShrinkOutcome,
+    tail: Option<&[u8]>,
+) -> std::io::Result<()> {
     use std::fmt::Write as _;
     std::fs::create_dir_all(&out.dir)?;
     let mut meta = String::from("{");
@@ -297,10 +336,16 @@ fn write_bundle(cell: &CellId, cfg: &Config, out: &ShrinkOutcome) -> std::io::Re
     if let Some(p) = &out.plan {
         field(&mut meta, "plan", p, false);
     }
+    if let Some(c) = out.tail_cycle {
+        let _ = write!(meta, ",\"tail_cycle\":{c}");
+    }
     meta.push_str("}\n");
     std::fs::write(out.dir.join("meta.json"), meta)?;
     if let Some(p) = &out.plan {
         std::fs::write(out.dir.join("plan.txt"), format!("{p}\n"))?;
+    }
+    if let Some(bytes) = tail {
+        std::fs::write(out.dir.join("tail.snap"), bytes)?;
     }
     if let Some(sasm) = cell::repro_sasm(cell, &out.nops) {
         std::fs::write(out.dir.join("repro.sasm"), sasm)?;
@@ -329,10 +374,15 @@ pub struct BundleMeta {
     pub nops: Vec<usize>,
     /// The fault-plan spec, if any.
     pub plan: Option<String>,
+    /// Absolute cycle `tail.snap` restores to, when the bundle has one.
+    pub tail_cycle: Option<u64>,
 }
 
 /// Loads a bundle's `meta.json`.
 pub fn load_bundle(dir: &std::path::Path) -> Result<BundleMeta, String> {
+    // Reject pathological replay paths (`/`, `bundle/..`) up front with a
+    // structured message instead of a confusing read error further down.
+    bundle_name(dir)?;
     let text = std::fs::read_to_string(dir.join("meta.json"))
         .map_err(|e| format!("{}: {e}", dir.join("meta.json").display()))?;
     let map = crate::manifest::parse_flat(text.trim()).ok_or("meta.json: unparsable")?;
@@ -356,6 +406,7 @@ pub fn load_bundle(dir: &std::path::Path) -> Result<BundleMeta, String> {
             .ok_or("meta.json: missing iters")? as u32,
         nops,
         plan: get("plan"),
+        tail_cycle: map.get("tail_cycle").and_then(|v| v.as_u64()),
     })
 }
 
@@ -367,9 +418,19 @@ mod tests {
     fn bundle_dirs_are_path_safe() {
         let cfg = Config::new(PathBuf::from("m.jsonl"));
         let dir = bundle_dir(&cfg, &CellId::Chaos { seed: 0xC4A0_5EED });
-        let name = dir.file_name().unwrap().to_string_lossy().into_owned();
+        let name = bundle_name(&dir).expect("generated bundle dirs always have a name");
         assert!(!name.contains('/') && !name.contains('*'), "{name}");
         assert!(name.starts_with("chaos-"), "{name}");
+    }
+
+    #[test]
+    fn nameless_bundle_paths_are_a_structured_error_not_a_panic() {
+        for bad in ["/", "bundle/.."] {
+            let err = bundle_name(std::path::Path::new(bad)).unwrap_err();
+            assert!(err.contains("no final component"), "{err}");
+            let err = load_bundle(std::path::Path::new(bad)).unwrap_err();
+            assert!(err.contains("no final component"), "{err}");
+        }
     }
 
     #[test]

@@ -7,9 +7,19 @@
 //! enforces a wall-clock watchdog per cell, classifies failures into
 //! *deterministic* (recorded, never retried — the simulator is
 //! deterministic, a retry would reproduce the failure bit-for-bit) and
-//! *environmental* (spawn errors, signal kills: retried with exponential
-//! backoff), and appends every outcome to the crash-safe manifest the
-//! campaign can later `--resume` from.
+//! *environmental* (spawn errors, signal kills: retried with capped,
+//! jittered exponential backoff), and appends every outcome to the
+//! crash-safe manifest the campaign can later `--resume` from.
+//!
+//! With a [`Config::checkpoint_dir`] armed, each SPEC/PARSEC child also
+//! writes periodic **mid-cell snapshots** (`sas-bench`'s checkpoint
+//! protocol): a child killed mid-measurement — watchdog, OOM, operator, or
+//! a supervisor SIGKILL — resumes *within* the cell from its newest valid
+//! checkpoint on the next attempt or `--resume`, instead of replaying from
+//! cycle zero. [`Config::warm_fork`] additionally shares one warmed
+//! `unsafe`-baseline snapshot per benchmark: baseline cells are scheduled
+//! first and write the warm image; every other mitigation cell of the same
+//! benchmark forks from it past warmup.
 
 use crate::cell::{self, CellId, CellOutcome};
 use crate::manifest::{self, Record};
@@ -57,6 +67,17 @@ pub struct Config {
     /// The executable to re-invoke for child cells (defaults to
     /// `current_exe`).
     pub child_exe: PathBuf,
+    /// Mid-cell snapshot state directory. When set, SPEC/PARSEC children
+    /// checkpoint periodically and resume from their newest valid
+    /// checkpoint; `None` disables mid-cell checkpointing entirely.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Checkpoint period override, in cycles (`None` = the bench default).
+    pub checkpoint_every: Option<u64>,
+    /// Fork mitigation cells from a per-benchmark warmed-baseline snapshot
+    /// (requires [`Config::checkpoint_dir`] for the shared state files).
+    pub warm_fork: bool,
+    /// Warmup length override, in cycles (`None` = the bench default).
+    pub warm_cycles: Option<u64>,
 }
 
 impl Config {
@@ -82,7 +103,77 @@ impl Config {
             shrink: true,
             repro_dir: PathBuf::from("target/repro"),
             child_exe: std::env::current_exe().unwrap_or_else(|_| PathBuf::from("sas-runner")),
+            checkpoint_dir: None,
+            checkpoint_every: None,
+            warm_fork: false,
+            warm_cycles: None,
         }
+    }
+}
+
+/// Maps a cell id (or benchmark name) to a path-safe file-name stem.
+fn path_safe(id: &str) -> String {
+    id.chars().map(|c| if c.is_ascii_alphanumeric() || c == '.' { c } else { '-' }).collect()
+}
+
+/// The mid-cell checkpoint file for one cell inside the state dir.
+pub fn checkpoint_path(dir: &std::path::Path, cell: &CellId) -> PathBuf {
+    dir.join(format!("{}.ckpt.snap", path_safe(&cell.to_string())))
+}
+
+/// The shared warmed-baseline snapshot for one (suite, benchmark) inside
+/// the state dir.
+pub fn warm_base_path(dir: &std::path::Path, suite: &str, benchmark: &str) -> PathBuf {
+    dir.join(format!("warm-{suite}-{}.snap", path_safe(benchmark)))
+}
+
+/// The (suite token, benchmark) of a cell that runs the bench checkpoint
+/// protocol; `None` for chaos/selftest cells.
+fn bench_target(cell: &CellId) -> Option<(&'static str, &str)> {
+    match cell {
+        CellId::Spec { benchmark, .. } => Some(("spec", benchmark)),
+        CellId::Parsec { benchmark, .. } => Some(("parsec", benchmark)),
+        _ => None,
+    }
+}
+
+/// Whether a cell measures the unprotected baseline (the cells that *write*
+/// warm-base snapshots and therefore must be scheduled first).
+fn is_baseline_cell(cell: &CellId) -> bool {
+    matches!(
+        cell,
+        CellId::Spec { mitigation, .. } | CellId::Parsec { mitigation, .. }
+            if *mitigation == specasan::Mitigation::Unsafe
+    )
+}
+
+/// Prepares the snapshot state dir for a campaign: creates it, and on a
+/// fresh (non-resume) start deletes stale snapshot files so a truncated
+/// manifest can never be paired with last campaign's checkpoints.
+fn prepare_state_dir(cfg: &Config) -> std::io::Result<()> {
+    let Some(dir) = &cfg.checkpoint_dir else { return Ok(()) };
+    std::fs::create_dir_all(dir)?;
+    if cfg.resume {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(dir)?.flatten() {
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.ends_with(".snap") || name.ends_with(".snap.tmp") {
+            let _ = std::fs::remove_file(entry.path());
+        }
+    }
+    Ok(())
+}
+
+/// Drops a finished cell's checkpoint (and its rename-staging sibling): the
+/// manifest row is now the cell's durable outcome, so a later campaign or
+/// `--resume` must never restore this run's mid-cell state.
+fn drop_checkpoint(cfg: &Config, cell: &CellId) {
+    if let Some(dir) = &cfg.checkpoint_dir {
+        let path = checkpoint_path(dir, cell);
+        let _ = std::fs::remove_file(sas_snap::temp_path(&path));
+        let _ = std::fs::remove_file(path);
     }
 }
 
@@ -158,9 +249,18 @@ pub fn run_campaign(cells: &[CellId], cfg: &Config) -> std::io::Result<CampaignR
     } else if cfg.manifest_path.exists() {
         std::fs::write(&cfg.manifest_path, b"")?;
     }
+    prepare_state_dir(cfg)?;
     let done: HashSet<&str> = resumed.iter().map(|r| r.cell.as_str()).collect();
-    let queue: VecDeque<CellId> =
+    let mut pending: Vec<CellId> =
         cells.iter().filter(|c| !done.contains(c.to_string().as_str())).cloned().collect();
+    if cfg.warm_fork {
+        // Baseline cells write the per-benchmark warm images every other
+        // mitigation forks from, so they go first. With `jobs > 1` a sibling
+        // can still start before its baseline finishes; it simply cold-starts
+        // (the fork is an optimization, never a correctness dependency).
+        pending.sort_by_key(|c| usize::from(!is_baseline_cell(c)));
+    }
+    let queue: VecDeque<CellId> = pending.into();
     for r in &resumed {
         eprintln!("sas-runner: resume — skipping completed cell {} [{}]", r.cell, r.exit);
     }
@@ -176,6 +276,10 @@ pub fn run_campaign(cells: &[CellId], cfg: &Config) -> std::io::Result<CampaignR
                     return;
                 };
                 let mut record = supervise_cell(&cell, cfg);
+                // The record is this cell's durable outcome — its mid-cell
+                // checkpoint is stale from here on (a resumed campaign skips
+                // recorded cells outright).
+                drop_checkpoint(cfg, &cell);
                 if !record.ok && cfg.shrink && cell.shrinkable() && record.exit != "timeout" {
                     if let Some(outcome) = crate::shrink::shrink_cell(&cell, cfg) {
                         record.repro = Some(outcome.dir.display().to_string());
@@ -216,36 +320,36 @@ pub fn supervise_cell(cell: &CellId, cfg: &Config) -> Record {
     loop {
         attempt += 1;
         let end = run_child(cell, cfg, attempt);
-        let finish = |ok: bool, exit: String, detail: String, cycles: u64, cpi: Option<String>| {
-            Record {
-                cell: id.clone(),
-                ok,
-                exit,
-                detail,
-                attempts: attempt,
-                cycles,
-                duration_ms: start.elapsed().as_millis() as u64,
-                repro: None,
-                cpi,
-            }
+        let finish = |ok: bool, o: CellOutcome| Record {
+            cell: id.clone(),
+            ok,
+            exit: o.exit,
+            detail: o.detail,
+            attempts: attempt,
+            cycles: o.cycles,
+            restored: o.restored,
+            duration_ms: start.elapsed().as_millis() as u64,
+            repro: None,
+            cpi: o.cpi,
         };
         match end {
-            ChildEnd::Ok(o) => return finish(true, o.exit, o.detail, o.cycles, o.cpi),
-            ChildEnd::Deterministic(o) => return finish(false, o.exit, o.detail, o.cycles, o.cpi),
+            ChildEnd::Ok(o) => return finish(true, o),
+            ChildEnd::Deterministic(o) => return finish(false, o),
             ChildEnd::Timeout => {
                 return finish(
                     false,
-                    "timeout".to_string(),
-                    format!("watchdog killed the cell after {} ms", cfg.timeout.as_millis()),
-                    0,
-                    None,
+                    env_failure(
+                        cell,
+                        "timeout",
+                        format!("watchdog killed the cell after {} ms", cfg.timeout.as_millis()),
+                    ),
                 )
             }
             ChildEnd::Environmental(o) => {
                 if attempt > cfg.retries {
-                    return finish(false, o.exit, o.detail, o.cycles, o.cpi);
+                    return finish(false, o);
                 }
-                let backoff = cfg.backoff * 2u32.saturating_pow(attempt - 1);
+                let backoff = backoff_delay(cfg.backoff, attempt, sas_snap::fnv1a(id.as_bytes()));
                 eprintln!(
                     "sas-runner: {} attempt {attempt} failed environmentally ({}); retrying in {} ms",
                     id,
@@ -258,6 +362,28 @@ pub fn supervise_cell(cell: &CellId, cfg: &Config) -> Record {
     }
 }
 
+/// Ceiling on the environmental-retry backoff, however many attempts have
+/// doubled it.
+pub const BACKOFF_CAP: Duration = Duration::from_secs(10);
+
+/// The delay before environmental retry `attempt` (1-based): exponential
+/// from `base`, capped at [`BACKOFF_CAP`], plus deterministic seeded jitter
+/// of up to +50% (also capped). The jitter is a pure function of
+/// `(seed, attempt)` — reruns back off identically — while distinct seeds
+/// (cell ids) fan out instead of retrying a shared hiccup in lockstep.
+pub fn backoff_delay(base: Duration, attempt: u32, seed: u64) -> Duration {
+    let exp = base.saturating_mul(1 << attempt.saturating_sub(1).min(31)).min(BACKOFF_CAP);
+    // splitmix64-style finalizer over (seed, attempt).
+    let mut h = seed ^ u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^= h >> 31;
+    let jitter = exp.mul_f64((h % 1024) as f64 / 2048.0);
+    (exp + jitter).min(BACKOFF_CAP)
+}
+
 fn env_failure(cell: &CellId, exit: &str, detail: String) -> CellOutcome {
     CellOutcome {
         cell: cell.to_string(),
@@ -265,6 +391,7 @@ fn env_failure(cell: &CellId, exit: &str, detail: String) -> CellOutcome {
         exit: exit.to_string(),
         detail,
         cycles: 0,
+        restored: false,
         retriable: true,
         cpi: None,
     }
@@ -302,6 +429,7 @@ fn run_child(cell: &CellId, cfg: &Config, attempt: u32) -> ChildEnd {
     let id = cell.to_string();
     let hb_path = heartbeat_path(&id);
     remove_heartbeat(&hb_path);
+    use sas_bench::checkpoint as ckpt;
     let mut cmd = Command::new(&cfg.child_exe);
     cmd.arg("cell")
         .arg(&id)
@@ -309,11 +437,33 @@ fn run_child(cell: &CellId, cfg: &Config, attempt: u32) -> ChildEnd {
         .arg(cfg.iters.to_string())
         .env_remove(sas_bench::FAULT_PLAN_ENV)
         .env_remove(sas_bench::CELL_ENV)
+        .env_remove(ckpt::CHECKPOINT_ENV)
+        .env_remove(ckpt::CHECKPOINT_EVERY_ENV)
+        .env_remove(ckpt::WARM_BASE_ENV)
+        .env_remove(ckpt::WARM_CYCLES_ENV)
         .env(cell::ATTEMPT_ENV, attempt.to_string())
         .env(sas_bench::HEARTBEAT_ENV, &hb_path)
         .stdin(Stdio::null())
         .stdout(Stdio::piped())
         .stderr(Stdio::piped());
+    // The simulated-crash test hook may only fire on the first attempt:
+    // retries must be able to resume past it and finish the cell.
+    if attempt > 1 {
+        cmd.env_remove(ckpt::EXIT_AFTER_CHECKPOINTS_ENV);
+    }
+    if let (Some(dir), Some(_)) = (&cfg.checkpoint_dir, bench_target(cell)) {
+        cmd.env(ckpt::CHECKPOINT_ENV, checkpoint_path(dir, cell));
+        if let Some(every) = cfg.checkpoint_every {
+            cmd.env(ckpt::CHECKPOINT_EVERY_ENV, every.to_string());
+        }
+        if cfg.warm_fork {
+            let (suite, benchmark) = bench_target(cell).expect("bench cell");
+            cmd.env(ckpt::WARM_BASE_ENV, warm_base_path(dir, suite, benchmark));
+            if let Some(w) = cfg.warm_cycles {
+                cmd.env(ckpt::WARM_CYCLES_ENV, w.to_string());
+            }
+        }
+    }
     if let (Some(fault_cell), Some(plan)) = (&cfg.fault_cell, &cfg.fault_plan) {
         if fault_cell == &id {
             cmd.env(sas_bench::FAULT_PLAN_ENV, plan);
@@ -412,6 +562,7 @@ fn run_child(cell: &CellId, cfg: &Config, attempt: u32) -> ChildEnd {
                 exit,
                 detail: tail(&stderr),
                 cycles: 0,
+                restored: false,
                 retriable: false,
                 cpi: None,
             })
@@ -515,6 +666,7 @@ mod tests {
             detail: String::new(),
             attempts: 1,
             cycles,
+            restored: false,
             duration_ms: 1,
             repro: None,
             cpi: None,
@@ -549,6 +701,71 @@ mod tests {
     }
 
     #[test]
+    fn backoff_schedule_doubles_then_caps_with_deterministic_jitter() {
+        let base = Duration::from_millis(200);
+        let seed = sas_snap::fnv1a(b"spec/505.mcf_r/stt");
+        // Deterministic: the same (base, attempt, seed) always sleeps the
+        // same time, and the exponential shape dominates the jitter (the
+        // next attempt's floor, 2x, exceeds the previous ceiling, 1.5x).
+        let schedule: Vec<Duration> = (1..=12).map(|a| backoff_delay(base, a, seed)).collect();
+        assert_eq!(schedule, (1..=12).map(|a| backoff_delay(base, a, seed)).collect::<Vec<_>>());
+        for w in schedule.windows(2) {
+            assert!(w[0] <= w[1], "schedule must be monotone: {schedule:?}");
+        }
+        for (i, d) in schedule.iter().enumerate() {
+            let exp = base * 2u32.saturating_pow(i as u32);
+            assert!(*d >= exp.min(BACKOFF_CAP), "attempt {} below exponential floor", i + 1);
+            assert!(*d <= BACKOFF_CAP, "attempt {} exceeds the 10 s cap: {d:?}", i + 1);
+        }
+        // By attempt 12 the uncapped exponential is 409.6 s — the cap must
+        // have engaged exactly.
+        assert_eq!(schedule[11], BACKOFF_CAP);
+        // Distinct cells jitter apart (below the cap there is room to differ).
+        let other = sas_snap::fnv1a(b"spec/505.mcf_r/fence");
+        assert!(
+            (1..=4).any(|a| backoff_delay(base, a, seed) != backoff_delay(base, a, other)),
+            "seeded jitter must separate distinct cells"
+        );
+        // Overflow-proof far past the cap.
+        assert_eq!(backoff_delay(base, u32::MAX, seed), BACKOFF_CAP);
+    }
+
+    #[test]
+    fn snapshot_state_paths_are_path_safe_and_cell_scoped() {
+        let dir = PathBuf::from("state");
+        let a = checkpoint_path(
+            &dir,
+            &CellId::Spec { benchmark: "505.mcf_r".into(), mitigation: specasan::Mitigation::Stt },
+        );
+        let b = checkpoint_path(
+            &dir,
+            &CellId::Spec { benchmark: "505.mcf_r".into(), mitigation: specasan::Mitigation::Fence },
+        );
+        assert_ne!(a, b, "cells must not share checkpoint files");
+        let name = a.file_name().unwrap().to_string_lossy().into_owned();
+        assert!(!name.contains('/') && name.ends_with(".ckpt.snap"), "{name}");
+        let warm = warm_base_path(&dir, "spec", "505.mcf_r");
+        assert!(warm.file_name().unwrap().to_string_lossy().starts_with("warm-spec-"), "{warm:?}");
+    }
+
+    #[test]
+    fn warm_fork_schedules_baselines_first() {
+        use specasan::Mitigation;
+        let spec = |m: Mitigation| CellId::Spec { benchmark: "505.mcf_r".into(), mitigation: m };
+        let mut cells = vec![
+            spec(Mitigation::Stt),
+            spec(Mitigation::Unsafe),
+            CellId::Chaos { seed: 7 },
+            spec(Mitigation::SpecAsan),
+        ];
+        cells.sort_by_key(|c| usize::from(!is_baseline_cell(c)));
+        assert!(is_baseline_cell(&cells[0]), "{cells:?}");
+        // Stable: non-baseline cells keep their relative order.
+        assert_eq!(cells[1], spec(Mitigation::Stt), "{cells:?}");
+        assert_eq!(cells[3], spec(Mitigation::SpecAsan), "{cells:?}");
+    }
+
+    #[test]
     fn result_lines_parse_from_mixed_stdout() {
         let o = CellOutcome {
             cell: "selftest/ok".into(),
@@ -556,6 +773,7 @@ mod tests {
             exit: "halted".into(),
             detail: String::new(),
             cycles: 5,
+            restored: true,
             retriable: false,
             cpi: Some("base=4;memory_bound=1".into()),
         };

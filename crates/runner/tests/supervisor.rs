@@ -32,7 +32,12 @@ fn runner(args: &[&str]) -> Command {
         .env_remove("SAS_RUNNER_FAULT_PLAN")
         .env_remove("SAS_RUNNER_CELL")
         .env_remove("SAS_FAULT_SEED")
-        .env_remove("SAS_RUNNER_SELFTEST");
+        .env_remove("SAS_RUNNER_SELFTEST")
+        .env_remove("SAS_RUNNER_CHECKPOINT")
+        .env_remove("SAS_RUNNER_CHECKPOINT_EVERY")
+        .env_remove("SAS_RUNNER_WARM_BASE")
+        .env_remove("SAS_RUNNER_WARM_CYCLES")
+        .env_remove("SAS_RUNNER_EXIT_AFTER_CHECKPOINTS");
     cmd
 }
 
@@ -289,4 +294,131 @@ fn fig6_campaign_degrades_gracefully_under_an_injected_fault() {
     ]);
     assert!(!ok, "recorded failure keeps the resumed campaign red");
     assert_eq!(stderr.matches("skipping completed cell").count(), 5, "{stderr}");
+}
+
+/// The mid-cell checkpoint acceptance scenario, both crash paths:
+///
+/// 1. *Environmental crash + retry*: the crash hook kills the child right
+///    after its first checkpoint; the supervisor's retry resumes from it and
+///    the recorded cycle count equals an uninterrupted reference run.
+/// 2. *Supervisor SIGKILL + `--resume`*: the supervisor itself is killed
+///    while parked in backoff (no manifest row written); a `--resume`
+///    campaign picks the cell back up from the surviving checkpoint and
+///    again lands on the reference numbers.
+///
+/// Gated like the fig6 scenario: debug SPEC workload setup is ~30 s/cell.
+#[test]
+fn checkpointed_cell_resumes_bit_identically_after_crash_and_sigkill() {
+    if std::env::var("SAS_RUNNER_TEST_FULL").is_err() {
+        eprintln!("skipping: set SAS_RUNNER_TEST_FULL=1 to run the checkpoint scenario");
+        return;
+    }
+    let dir = tmp_dir("ckpt");
+    let cell = "spec/505.mcf_r/unsafe";
+    let common = |manifest: &PathBuf| {
+        vec![
+            "run".to_string(),
+            "--cells".to_string(),
+            cell.to_string(),
+            "--iters".to_string(),
+            // Long enough (tens of thousands of cycles) that several
+            // checkpoint boundaries land strictly inside the run.
+            "25".to_string(),
+            "--timeout-ms".to_string(),
+            "240000".to_string(),
+            "--no-shrink".to_string(),
+            "--manifest".to_string(),
+            manifest.to_str().unwrap().to_string(),
+        ]
+    };
+    let record = |manifest: &PathBuf| {
+        let records = manifest::load_and_repair(manifest).unwrap();
+        assert_eq!(records.len(), 1, "{records:?}");
+        records.into_iter().next().unwrap()
+    };
+
+    // Uninterrupted reference: plain run, no checkpointing.
+    let ref_manifest = dir.join("ref.jsonl");
+    let mut args = common(&ref_manifest);
+    args.push("--no-checkpoint".to_string());
+    let args_ref: Vec<&str> = args.iter().map(String::as_str).collect();
+    let (ok, stdout, stderr) = run_capture(&args_ref);
+    assert!(ok, "reference run must be green\n{stdout}\n{stderr}");
+    let reference = record(&ref_manifest);
+    assert!(reference.ok && !reference.restored, "{reference:?}");
+    assert!(reference.cycles > 10_000, "subject too short to checkpoint: {reference:?}");
+    // Checkpoint well before the end so the crash hook always fires mid-run.
+    let every = (reference.cycles / 4).to_string();
+
+    // Path 1: crash after the first checkpoint, environmental retry resumes.
+    let crash_manifest = dir.join("crash.jsonl");
+    let state = dir.join("state-crash");
+    let mut args = common(&crash_manifest);
+    args.extend(
+        ["--retries", "2", "--backoff-ms", "10", "--checkpoint-dir", state.to_str().unwrap(), "--checkpoint-every", &every]
+            .map(String::from),
+    );
+    let args_crash: Vec<&str> = args.iter().map(String::as_str).collect();
+    let out = runner(&args_crash)
+        .env("SAS_RUNNER_EXIT_AFTER_CHECKPOINTS", "1")
+        .output()
+        .expect("spawn supervisor");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "retry must recover the crash\n{stderr}");
+    let crashed = record(&crash_manifest);
+    assert!(crashed.ok, "{crashed:?}");
+    assert_eq!(crashed.attempts, 2, "exactly one environmental crash: {crashed:?}");
+    assert!(crashed.restored, "the retry must resume from the checkpoint: {crashed:?}");
+    assert_eq!(
+        crashed.cycles, reference.cycles,
+        "resumed run must reproduce the uninterrupted cycle count"
+    );
+
+    // Path 2: SIGKILL the supervisor itself, then --resume.
+    let kill_manifest = dir.join("kill.jsonl");
+    let state = dir.join("state-kill");
+    let ckpt = sas_runner::supervisor::checkpoint_path(&state, &CellId::parse(cell).unwrap());
+    let mut args = common(&kill_manifest);
+    args.extend(
+        ["--retries", "2", "--backoff-ms", "120000", "--checkpoint-dir", state.to_str().unwrap(), "--checkpoint-every", &every]
+            .map(String::from),
+    );
+    let args_kill: Vec<&str> = args.iter().map(String::as_str).collect();
+    let mut child = runner(&args_kill)
+        .env("SAS_RUNNER_EXIT_AFTER_CHECKPOINTS", "1")
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn supervisor");
+    // The child crashes itself right after writing the checkpoint; the
+    // supervisor then parks in backoff — a stable SIGKILL window.
+    let deadline = Instant::now() + Duration::from_secs(180);
+    while !ckpt.exists() {
+        assert!(Instant::now() < deadline, "checkpoint never appeared at {}", ckpt.display());
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    std::thread::sleep(Duration::from_millis(1500));
+    child.kill().expect("kill supervisor");
+    let _ = child.wait();
+    assert!(
+        manifest::load_and_repair(&kill_manifest).unwrap().is_empty(),
+        "the killed campaign must not have recorded the cell"
+    );
+    assert!(ckpt.exists(), "the checkpoint must survive the SIGKILL");
+    // Resume without the crash hook: restores the checkpoint and finishes.
+    let mut args = common(&kill_manifest);
+    args.extend(
+        ["--resume", "--retries", "2", "--backoff-ms", "10", "--checkpoint-dir", state.to_str().unwrap(), "--checkpoint-every", &every]
+            .map(String::from),
+    );
+    let args_resume: Vec<&str> = args.iter().map(String::as_str).collect();
+    let (ok, stdout, stderr) = run_capture(&args_resume);
+    assert!(ok, "resumed campaign must finish green\n{stdout}\n{stderr}");
+    let resumed = record(&kill_manifest);
+    assert!(resumed.ok && resumed.restored, "{resumed:?}");
+    assert_eq!(
+        resumed.cycles, reference.cycles,
+        "a SIGKILLed campaign resumed from its checkpoint must reproduce the reference"
+    );
+    assert!(!ckpt.exists(), "a completed cell must drop its checkpoint");
 }

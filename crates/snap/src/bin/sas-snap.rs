@@ -1,0 +1,146 @@
+//! `sas-snap` — snapshot inspection CLI.
+//!
+//! ```text
+//! sas-snap inspect <file>     dump header + section table + integrity
+//! sas-snap verify  <file>     exit 0 iff header and every section CRC pass
+//! sas-snap diff    <a> <b>    compare two snapshots section by section
+//! ```
+//!
+//! Operates purely at the container level (sas-snap framing + CRCs); it
+//! never interprets payload bytes, so it works on any snapshot regardless
+//! of simulator version drift.
+
+use sas_snap::{Snapshot, FLAG_TELEMETRY, FLAG_WARM_BASE};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: sas-snap inspect <file> | verify <file> | diff <a> <b>");
+    ExitCode::from(2)
+}
+
+fn load(path: &str) -> Result<Snapshot, ExitCode> {
+    match Snapshot::read(Path::new(path)) {
+        Ok(s) => Ok(s),
+        Err(e) => {
+            eprintln!("sas-snap: {path}: {e}");
+            Err(ExitCode::FAILURE)
+        }
+    }
+}
+
+fn flag_names(flags: u16) -> String {
+    let mut names = Vec::new();
+    if flags & FLAG_WARM_BASE != 0 {
+        names.push("warm-base");
+    }
+    if flags & FLAG_TELEMETRY != 0 {
+        names.push("telemetry");
+    }
+    if names.is_empty() {
+        "-".to_string()
+    } else {
+        names.join(",")
+    }
+}
+
+fn inspect(path: &str) -> ExitCode {
+    let snap = match load(path) {
+        Ok(s) => s,
+        Err(c) => return c,
+    };
+    println!("{path}");
+    println!("  version:  {}", snap.version());
+    println!("  flags:    {:#06x} ({})", snap.flags(), flag_names(snap.flags()));
+    let sections = snap.sections();
+    println!("  sections: {}", sections.len());
+    let mut all_ok = true;
+    for s in &sections {
+        all_ok &= s.ok;
+        println!(
+            "    {:<12} {:>10} bytes  crc32 {:08x}  {}",
+            s.name,
+            s.len,
+            s.crc,
+            if s.ok { "ok" } else { "CORRUPT" }
+        );
+    }
+    if all_ok {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("sas-snap: {path}: integrity check failed");
+        ExitCode::FAILURE
+    }
+}
+
+fn verify(path: &str) -> ExitCode {
+    let snap = match load(path) {
+        Ok(s) => s,
+        Err(c) => return c,
+    };
+    match snap.verify() {
+        Ok(()) => {
+            println!("{path}: ok ({} sections)", snap.sections().len());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("sas-snap: {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn diff(a_path: &str, b_path: &str) -> ExitCode {
+    let (a, b) = match (load(a_path), load(b_path)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(c), _) | (_, Err(c)) => return c,
+    };
+    let mut differs = false;
+    if a.version() != b.version() {
+        println!("version: {} vs {}", a.version(), b.version());
+        differs = true;
+    }
+    if a.flags() != b.flags() {
+        println!("flags: {:#06x} vs {:#06x}", a.flags(), b.flags());
+        differs = true;
+    }
+    let (sa, sb) = (a.sections(), b.sections());
+    for s in &sa {
+        match sb.iter().find(|t| t.name == s.name) {
+            None => {
+                println!("section {}: only in {a_path}", s.name);
+                differs = true;
+            }
+            Some(t) if t.crc != s.crc || t.len != s.len => {
+                println!(
+                    "section {}: differs ({} bytes crc {:08x} vs {} bytes crc {:08x})",
+                    s.name, s.len, s.crc, t.len, t.crc
+                );
+                differs = true;
+            }
+            Some(_) => println!("section {}: identical", s.name),
+        }
+    }
+    for t in &sb {
+        if !sa.iter().any(|s| s.name == t.name) {
+            println!("section {}: only in {b_path}", t.name);
+            differs = true;
+        }
+    }
+    if differs {
+        ExitCode::FAILURE
+    } else {
+        println!("snapshots are identical at the section level");
+        ExitCode::SUCCESS
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [cmd, file] if cmd == "inspect" => inspect(file),
+        [cmd, file] if cmd == "verify" => verify(file),
+        [cmd, a, b] if cmd == "diff" => diff(a, b),
+        _ => usage(),
+    }
+}

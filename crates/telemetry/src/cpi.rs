@@ -94,6 +94,35 @@ impl CpiStack {
         }
     }
 
+    /// Serializes the stack.
+    pub fn encode(&self, e: &mut sas_snap::Enc) {
+        e.uv(self.base);
+        e.uv(self.fetch_stall);
+        e.uv(self.mispredict_recovery);
+        e.uv(self.memory_bound);
+        e.uv(self.tsh_unsafe_block);
+        for &v in &self.mitigation {
+            e.uv(v);
+        }
+    }
+
+    /// Restores a stack serialized by [`CpiStack::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Truncated input.
+    pub fn restore(&mut self, d: &mut sas_snap::Dec) -> Result<(), sas_snap::SnapError> {
+        self.base = d.uv()?;
+        self.fetch_stall = d.uv()?;
+        self.mispredict_recovery = d.uv()?;
+        self.memory_bound = d.uv()?;
+        self.tsh_unsafe_block = d.uv()?;
+        for v in self.mitigation.iter_mut() {
+            *v = d.uv()?;
+        }
+        Ok(())
+    }
+
     /// The fixed (non-mitigation) buckets as `(name, value)` pairs.
     fn fixed_buckets(&self) -> [(&'static str, u64); 5] {
         [

@@ -94,6 +94,40 @@ impl Histogram {
             .map(|(i, &n)| (i, n))
             .collect()
     }
+
+    /// Serializes the histogram (sparse bucket list plus summary fields).
+    pub fn encode(&self, e: &mut sas_snap::Enc) {
+        let nz = self.nonzero_buckets();
+        e.usz(nz.len());
+        for (i, n) in nz {
+            e.usz(i);
+            e.uv(n);
+        }
+        e.uv(self.count);
+        e.uv(self.sum);
+        e.uv(self.min);
+        e.uv(self.max);
+    }
+
+    /// Restores a histogram serialized by [`Histogram::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Truncated input or an out-of-range bucket index.
+    pub fn restore(&mut self, d: &mut sas_snap::Dec) -> Result<(), sas_snap::SnapError> {
+        let mut buckets = [0u64; HIST_BUCKETS];
+        let nz = d.usz_max(HIST_BUCKETS)?;
+        for _ in 0..nz {
+            let i = d.usz_max(HIST_BUCKETS - 1)?;
+            buckets[i] = d.uv()?;
+        }
+        self.buckets = buckets;
+        self.count = d.uv()?;
+        self.sum = d.uv()?;
+        self.min = d.uv()?;
+        self.max = d.uv()?;
+        Ok(())
+    }
 }
 
 /// A gauge sampled on a fixed cycle interval, kept bounded by doubling the
@@ -190,6 +224,41 @@ impl GaugeSeries {
     /// Most recent sample.
     pub fn last(&self) -> u64 {
         self.last
+    }
+
+    /// Serializes the full series state, including the decimation cursor, so
+    /// a restored series continues recording exactly as the original would.
+    pub fn encode(&self, e: &mut sas_snap::Enc) {
+        e.usz(self.cap);
+        e.uv(self.keep_every);
+        e.uv(self.seen);
+        e.uv(self.min);
+        e.uv(self.max);
+        e.uv(self.sum);
+        e.uv(self.count);
+        e.uv(self.last);
+        e.seq(&self.points, |e, (c, v)| {
+            e.uv(*c);
+            e.uv(*v);
+        });
+    }
+
+    /// Restores a series serialized by [`GaugeSeries::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Truncated input or a stored series longer than its capacity.
+    pub fn restore(&mut self, d: &mut sas_snap::Dec) -> Result<(), sas_snap::SnapError> {
+        self.cap = d.usz_max(1 << 24)?.max(2);
+        self.keep_every = d.uv()?;
+        self.seen = d.uv()?;
+        self.min = d.uv()?;
+        self.max = d.uv()?;
+        self.sum = d.uv()?;
+        self.count = d.uv()?;
+        self.last = d.uv()?;
+        self.points = d.seq(self.cap, |d| Ok((d.uv()?, d.uv()?)))?;
+        Ok(())
     }
 }
 

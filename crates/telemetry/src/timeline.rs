@@ -135,6 +135,50 @@ impl Timeline {
     pub fn committed(&self) -> usize {
         self.records.iter().filter(|r| r.commit.is_some()).count()
     }
+
+    /// Serializes the collector, including in-flight (not yet retired or
+    /// squashed) records, so a restored timeline keeps filling them in.
+    pub fn encode(&self, e: &mut sas_snap::Enc) {
+        e.usz(self.cap);
+        e.uv(self.base_seq);
+        e.uv(self.dropped);
+        e.seq(&self.records, |e, r| {
+            e.uv(r.seq);
+            e.uv(r.pc);
+            e.str(&r.disasm);
+            e.opt_uv(r.fetch);
+            e.opt_uv(r.dispatch);
+            e.opt_uv(r.issue);
+            e.opt_uv(r.complete);
+            e.opt_uv(r.commit);
+            e.opt_uv(r.squashed);
+        });
+    }
+
+    /// Restores a collector serialized by [`Timeline::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Truncated input or more records than the stored capacity.
+    pub fn restore(&mut self, d: &mut sas_snap::Dec) -> Result<(), sas_snap::SnapError> {
+        self.cap = d.usz_max(1 << 24)?.max(1);
+        self.base_seq = d.uv()?;
+        self.dropped = d.uv()?;
+        self.records = d.seq(self.cap, |d| {
+            Ok(InstRecord {
+                seq: d.uv()?,
+                pc: d.uv()?,
+                disasm: d.str()?,
+                fetch: d.opt_uv()?,
+                dispatch: d.opt_uv()?,
+                issue: d.opt_uv()?,
+                complete: d.opt_uv()?,
+                commit: d.opt_uv()?,
+                squashed: d.opt_uv()?,
+            })
+        })?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -75,6 +75,53 @@ echo "== tier1: supervisor kill-path selftest (panic / hang / flaky cells) =="
 SAS_RUNNER_SELFTEST=1 ./target/release/sas-runner selftest --timeout-ms 5000 \
   --manifest target/sas-runner/tier1-selftest.jsonl
 
+echo "== tier1: snapshot round-trip + checkpoint verify + corruption detection =="
+# In-process bit-identity is property-tested (crates/core/tests/snapshot_prop);
+# this stage proves the same contract across the release binaries: a cell
+# crashed right after its first checkpoint leaves a file `sas-snap verify`
+# accepts, resuming from it reproduces the uninterrupted cycle count exactly,
+# and a single flipped byte is rejected — degrading to replay-from-start with
+# the same numbers, never resuming corrupt state. The chaos cell at the end is
+# a snap_corrupt-class campaign (campaign_seed(1): flips one byte of a mid-run
+# snapshot image; the cell fails unless the restore path detects it).
+SNAPDIR=target/sas-runner/tier1-snap
+rm -rf "$SNAPDIR"; mkdir -p "$SNAPDIR"
+CKPT="$SNAPDIR/cell.ckpt.snap"
+SNAP_CELL="spec/505.mcf_r/unsafe"
+result_cycles() { sed -n 's/^SAS_RUNNER_RESULT .*"cycles":\([0-9]*\).*/\1/p'; }
+ref=$(./target/release/sas-runner cell "$SNAP_CELL" --iters 25 | result_cycles)
+[ -n "$ref" ] && [ "$ref" -gt 10000 ]
+if SAS_RUNNER_CHECKPOINT="$CKPT" SAS_RUNNER_CHECKPOINT_EVERY=5000 \
+   SAS_RUNNER_EXIT_AFTER_CHECKPOINTS=1 \
+   ./target/release/sas-runner cell "$SNAP_CELL" --iters 25 >/dev/null 2>&1; then
+  echo "tier1: FAIL — checkpoint crash hook did not fire" >&2
+  exit 1
+fi
+./target/release/sas-snap verify "$CKPT"
+./target/release/sas-snap inspect "$CKPT" >/dev/null
+resumed=$(SAS_RUNNER_CHECKPOINT="$CKPT" \
+  ./target/release/sas-runner cell "$SNAP_CELL" --iters 25 2>/dev/null)
+echo "$resumed" | grep -q '"restored":true'
+[ "$(echo "$resumed" | result_cycles)" = "$ref" ]
+[ ! -e "$CKPT" ] # completed cells drop their checkpoint
+SAS_RUNNER_CHECKPOINT="$CKPT" SAS_RUNNER_CHECKPOINT_EVERY=5000 \
+  SAS_RUNNER_EXIT_AFTER_CHECKPOINTS=1 \
+  ./target/release/sas-runner cell "$SNAP_CELL" --iters 25 >/dev/null 2>&1 || true
+size=$(wc -c < "$CKPT"); off=$((size / 2))
+byte=$(od -An -tu1 -j"$off" -N1 "$CKPT" | tr -d ' ')
+printf "$(printf '\\%03o' $((byte ^ 64)))" \
+  | dd of="$CKPT" bs=1 seek="$off" count=1 conv=notrunc 2>/dev/null
+if ./target/release/sas-snap verify "$CKPT" 2>/dev/null; then
+  echo "tier1: FAIL — sas-snap verify accepted a flipped byte" >&2
+  exit 1
+fi
+degraded=$(SAS_RUNNER_CHECKPOINT="$CKPT" \
+  ./target/release/sas-runner cell "$SNAP_CELL" --iters 25 2>/dev/null)
+! echo "$degraded" | grep -q '"restored":true'
+[ "$(echo "$degraded" | result_cycles)" = "$ref" ]
+./target/release/sas-runner run --cells chaos/0x9e3779ba43eadb04 --no-shrink \
+  --timeout-ms 120000 --manifest target/sas-runner/tier1-snapcorrupt.jsonl
+
 echo "== tier1: fault-injection acceptance (graceful degradation + repro replay) =="
 # A fault plan deterministically deadlocks one SPEC cell. The campaign must
 # complete every other cell, exit nonzero naming the failed cell, and write

@@ -8,10 +8,10 @@
 //! that:
 //!
 //! * every injected *corruption* (tag flip, architectural bit flip, dropped
-//!   fill) is caught — by an oracle divergence, a fault, the deadlock
-//!   detector, or the post-run memory/tag audit; a corruption that produces
-//!   a clean halt and a clean audit is a **silent escape** and fails the
-//!   campaign;
+//!   fill, snapshot-byte flip) is caught — by an oracle divergence, a fault,
+//!   the deadlock detector, a snapshot CRC rejection, or the post-run
+//!   memory/tag audit; a corruption that produces a clean halt and a clean
+//!   audit is a **silent escape** and fails the campaign;
 //! * every injected *perturbation* (forced mispredicts, squash storms) is
 //!   architecturally invisible: the run must halt cleanly and match the
 //!   oracle exactly;
@@ -50,24 +50,24 @@ fn main() -> ExitCode {
     }
     let n: u64 = args.first().and_then(|s| s.parse().ok()).unwrap_or(60);
     let mut failures = Vec::new();
-    let mut per_class = [0u64; 4];
+    let mut per_class = [0u64; 5];
     let mut detected = 0u64;
     for i in 0..n {
         let seed = campaign_seed(i);
         let class = Class::of(seed);
-        per_class[seed as usize % 4] += 1;
+        per_class[seed as usize % 5] += 1;
         let fs = judge(seed, false);
         if fs.is_empty() && class.corrupting() {
             detected += 1;
         }
         failures.extend(fs);
     }
-    let corrupting: u64 = per_class[0] + per_class[1] + per_class[2];
+    let corrupting: u64 = per_class[0] + per_class[1] + per_class[2] + per_class[4];
     println!(
         "sas-chaos: {n} campaigns (tag_flip {}, arch_bit_flip {}, dropped_fill {}, \
-         stressor {}); {detected}/{corrupting} corruption campaigns detected and \
-         replayed exactly",
-        per_class[0], per_class[1], per_class[2], per_class[3]
+         stressor {}, snap_corrupt {}); {detected}/{corrupting} corruption campaigns \
+         detected and replayed exactly",
+        per_class[0], per_class[1], per_class[2], per_class[3], per_class[4]
     );
     if failures.is_empty() {
         println!("sas-chaos: OK — no silent escapes, no stressor divergence, no panics");
