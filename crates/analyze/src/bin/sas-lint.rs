@@ -1,12 +1,14 @@
 //! `sas-lint` — static speculative-gadget and MTE tag-discipline linter.
 //!
 //! ```text
-//! sas-lint [--json] [--suggest] [--spec-window N] [--taint X0,X1] FILE
+//! sas-lint [--json] [--quiet] [--suggest] [--spec-window N] [--taint X0,X1] FILE
 //! sas-lint --all-attacks [--expect FILE] [--json]
 //! ```
 //!
 //! Exit status: `0` clean, `1` gadget findings / cross-validation failure /
-//! `--expect` mismatch, `2` usage or parse errors.
+//! `--expect` mismatch, `2` usage errors (bad flags, unreadable input,
+//! parse errors). `--quiet` suppresses all stdout; scripts branch on the
+//! exit code alone.
 
 use sas_analyze::{analyze, harden, xval, AnalysisConfig};
 use sas_isa::{parse_program, Reg};
@@ -14,11 +16,12 @@ use specasan::SimConfig;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
-usage: sas-lint [--json] [--suggest] [--spec-window N] [--taint REG[,REG...]] FILE
+usage: sas-lint [--json] [--quiet] [--suggest] [--spec-window N] [--taint REG[,REG...]] FILE
        sas-lint --all-attacks [--expect FILE] [--json]
 
   FILE              SAS-IR assembly file to analyze
   --json            emit findings (or verdicts) as JSON lines
+  --quiet           print nothing; the exit code is the whole answer
   --suggest         also compute and print a minimal CSDB cut set
   --spec-window N   speculative window length in instructions (default 64)
   --taint REGS      registers holding attacker-controlled data at entry
@@ -53,6 +56,7 @@ fn parse_reg(s: &str) -> Option<Reg> {
 
 struct Options {
     json: bool,
+    quiet: bool,
     suggest: bool,
     all_attacks: bool,
     expect: Option<String>,
@@ -64,6 +68,7 @@ struct Options {
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut o = Options {
         json: false,
+        quiet: false,
         suggest: false,
         all_attacks: false,
         expect: None,
@@ -75,6 +80,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--json" => o.json = true,
+            "--quiet" => o.quiet = true,
             "--suggest" => o.suggest = true,
             "--all-attacks" => o.all_attacks = true,
             "--expect" => {
@@ -109,6 +115,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     if o.all_attacks && (o.suggest || o.spec_window.is_some() || !o.taint.is_empty()) {
         return Err("--suggest/--spec-window/--taint only apply to file mode".into());
     }
+    if o.quiet && (o.json || o.suggest) {
+        return Err("--quiet contradicts --json/--suggest".into());
+    }
     Ok(o)
 }
 
@@ -131,16 +140,18 @@ fn lint_file(o: &Options) -> ExitCode {
     }
     acfg.attacker_regs = o.taint.clone();
     let analysis = analyze(&program, &acfg);
-    for f in &analysis.findings {
-        if o.json {
-            println!("{}", f.to_json_line());
-        } else {
-            println!("{}", f.render_human(&program));
+    if !o.quiet {
+        for f in &analysis.findings {
+            if o.json {
+                println!("{}", f.to_json_line());
+            } else {
+                println!("{}", f.render_human(&program));
+            }
         }
     }
     let gadgets = analysis.gadget_count();
     let lints = analysis.lints().count();
-    if !o.json {
+    if !o.json && !o.quiet {
         println!("{gadgets} gadget finding(s), {lints} lint(s)");
     }
     if o.suggest {

@@ -12,13 +12,26 @@
 //! * **faults** — a constant-resolved access that targets a protected range
 //!   or mismatches its granule's MTE lock faults at commit, so everything
 //!   younger is transient;
-//! * **store bypass (STL)** — a store opens an `stl_window`; a younger load
-//!   that may alias it can transiently read the *stale* value.
+//! * **store bypass (STL)** — each in-flight store carries its own TTL of
+//!   `spec_window` instructions (a bound on its store-buffer lifetime under
+//!   the in-order-retire, window-sized ROB); a younger load that may alias a
+//!   *live* store can transiently read the stale value. Aliasing compares
+//!   page offsets (mod 4096) because the pipeline's partial STL matching
+//!   forwards across 4 KiB aliases (the LVI injection channel).
 //!
-//! Within an open window, every loaded value is conservatively [`SECRET`]
+//! Within an open window, a loaded value is conservatively [`SECRET`]
 //! (it may be a transiently-forwarded secret — the paper's rule that any
-//! speculative load is a potential access instruction). `CSDB` closes every
-//! window and scrubs [`SECRET`]; `DMB` drains the store buffer only.
+//! speculative load is a potential access instruction) — *unless* the
+//! load's whole reachable footprint is provably key-clean: constant base,
+//! constant-or-bounded index (bounds come from value-range tracking over
+//! data ops: `AND`-masks, shifts, loads of known width — never from branch
+//! predicates, which transient paths bypass), every touched granule's
+//! installed lock equal to the pointer's key, and no protected-range
+//! overlap. Such an access can only ever see data its own key already
+//! grants, so its result keeps the address taint instead of [`SECRET`],
+//! and a bounded attacker index inside a checked footprint is not an OOB
+//! gadget. `CSDB` closes every window and scrubs [`SECRET`]; `DMB` drains
+//! the store buffer only.
 //!
 //! ## Soundness shape
 //!
@@ -42,12 +55,35 @@ pub const SECRET: u8 = 0b10;
 
 const NREGS: usize = Reg::COUNT;
 const MAX_STORES: usize = 16;
+/// Largest access footprint (in bytes) the key-clean check will walk. Must
+/// admit a full Flush+Reload probe array (256 lines × 64-byte stride) so a
+/// bounded byte shifted into a probe index stays checkable; the granule walk
+/// is at most `FOOTPRINT_CAP / 16` iterations.
+const FOOTPRINT_CAP: u64 = 0x1_0000;
+
+/// Smallest all-ones value covering `x` — the widening ladder for value
+/// bounds (`0, 1, 3, 7, …, u64::MAX`), at most 64 rungs high.
+fn ones_fill(x: u64) -> u64 {
+    let mut v = x;
+    v |= v >> 1;
+    v |= v >> 2;
+    v |= v >> 4;
+    v |= v >> 8;
+    v |= v >> 16;
+    v |= v >> 32;
+    v
+}
 
 /// Abstract state at an instruction boundary.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AbsState {
     /// Known constant per register (`None` = unknown).
     pub consts: [Option<u64>; NREGS],
+    /// Inclusive upper bound per register when the exact constant is
+    /// unknown (`None` = unbounded). Bounds come from data operations
+    /// only — masks, shifts, narrow loads — never from branch predicates,
+    /// which transiently-executed paths bypass.
+    pub bounds: [Option<u64>; NREGS],
     /// Taint bits per register ([`UNTRUSTED`] | [`SECRET`]).
     pub taint: [u8; NREGS],
     /// Provenance: register value flows from `IRG`/`ADDG`/`SUBG`.
@@ -56,12 +92,12 @@ pub struct AbsState {
     pub flags_taint: u8,
     /// Remaining branch/fault mis-speculation window, in instructions.
     pub window: u32,
-    /// Remaining store-to-load-forwarding hazard window.
-    pub stl_window: u32,
-    /// Untagged `[lo, hi)` ranges of in-flight stores with known addresses.
-    pub stores: Vec<(u64, u64)>,
-    /// An in-flight store has an unknown address (aliases everything).
-    pub stores_unknown: bool,
+    /// In-flight stores with known untagged `[lo, hi)` ranges, each with
+    /// its remaining forwarding TTL in instructions.
+    pub stores: Vec<(u64, u64, u32)>,
+    /// Remaining TTL of an in-flight store whose address is unknown
+    /// (aliases everything); `0` = none.
+    pub stores_unknown: u32,
 }
 
 impl AbsState {
@@ -70,17 +106,18 @@ impl AbsState {
     pub fn entry(acfg: &AnalysisConfig) -> AbsState {
         let mut st = AbsState {
             consts: [Some(0); NREGS],
+            bounds: [Some(0); NREGS],
             taint: [0; NREGS],
             derived: [false; NREGS],
             flags_taint: 0,
             window: 0,
-            stl_window: 0,
             stores: Vec::new(),
-            stores_unknown: false,
+            stores_unknown: 0,
         };
         for &r in &acfg.attacker_regs {
             if !r.is_zero() {
                 st.consts[r.index()] = None;
+                st.bounds[r.index()] = None;
                 st.taint[r.index()] = UNTRUSTED;
             }
         }
@@ -94,16 +131,23 @@ impl AbsState {
             if out.consts[i] != other.consts[i] {
                 out.consts[i] = None;
             }
+            if out.bounds[i] != other.bounds[i] {
+                // Widen straight up the ones ladder so loop-carried bounds
+                // stabilize in at most 64 joins.
+                out.bounds[i] = match (out.bounds[i], other.bounds[i]) {
+                    (Some(a), Some(b)) => Some(ones_fill(a.max(b))),
+                    _ => None,
+                };
+            }
             out.taint[i] |= other.taint[i];
             out.derived[i] |= other.derived[i];
         }
         out.flags_taint |= other.flags_taint;
         out.window = out.window.max(other.window);
-        out.stl_window = out.stl_window.max(other.stl_window);
         for &r in &other.stores {
             push_store(&mut out.stores, &mut out.stores_unknown, r);
         }
-        out.stores_unknown |= other.stores_unknown;
+        out.stores_unknown = out.stores_unknown.max(other.stores_unknown);
         out
     }
 
@@ -112,6 +156,28 @@ impl AbsState {
             Some(0)
         } else {
             self.consts[r.index()]
+        }
+    }
+
+    /// Inclusive upper bound on a register's value (exact constants win).
+    fn bound_of(&self, r: Reg) -> Option<u64> {
+        if r.is_zero() {
+            Some(0)
+        } else {
+            self.consts[r.index()].or(self.bounds[r.index()])
+        }
+    }
+
+    fn op_bound(&self, o: Operand) -> Option<u64> {
+        match o {
+            Operand::Reg(r) => self.bound_of(r),
+            Operand::Imm(v) => Some(v),
+        }
+    }
+
+    fn set_bound(&mut self, r: Reg, b: Option<u64>) {
+        if !r.is_zero() {
+            self.bounds[r.index()] = b;
         }
     }
 
@@ -143,21 +209,39 @@ impl AbsState {
             return;
         }
         self.consts[r.index()] = val;
+        // A known constant is its own (exact) bound; unknown values start
+        // unbounded until a data-op rule says otherwise.
+        self.bounds[r.index()] = val;
         self.taint[r.index()] = taint;
         self.derived[r.index()] = derived;
     }
 }
 
-fn push_store(stores: &mut Vec<(u64, u64)>, unknown: &mut bool, range: (u64, u64)) {
-    if stores.contains(&range) {
+fn push_store(stores: &mut Vec<(u64, u64, u32)>, unknown: &mut u32, store: (u64, u64, u32)) {
+    let (lo, hi, ttl) = store;
+    if let Some(e) = stores.iter_mut().find(|e| e.0 == lo && e.1 == hi) {
+        e.2 = e.2.max(ttl);
         return;
     }
     if stores.len() >= MAX_STORES {
-        *unknown = true;
+        *unknown = (*unknown).max(ttl);
         return;
     }
-    stores.push(range);
+    stores.push(store);
     stores.sort_unstable();
+}
+
+/// Whether two untagged byte ranges may alias under the pipeline's partial
+/// store-to-load matching, which compares page offsets only (4 KiB-alias
+/// forwarding — the LVI channel). Ranges that straddle a page boundary are
+/// conservatively aliasing.
+fn pages_alias(alo: u64, ahi: u64, blo: u64, bhi: u64) -> bool {
+    let (ao, bo) = (alo & 0xFFF, blo & 0xFFF);
+    let (aw, bw) = (ahi.wrapping_sub(alo), bhi.wrapping_sub(blo));
+    if ao + aw > 0x1000 || bo + bw > 0x1000 {
+        return true;
+    }
+    ao < bo + bw && bo < ao + aw
 }
 
 /// The untagged effective address of a memory access, when every input is a
@@ -191,6 +275,77 @@ fn store_width(inst: Inst) -> u64 {
     }
 }
 
+/// Whether every byte a (possibly attacker-steered) access can reach is
+/// provably covered by the pointer's own key: constant base, index with a
+/// known upper bound, every touched granule's installed lock equal to the
+/// pointer's key nibble, and no overlap with a protected range. A checked
+/// access can only observe data its key already grants — even transiently —
+/// so it neither yields [`SECRET`] nor constitutes an OOB gadget.
+fn footprint_checked(
+    acfg: &AnalysisConfig,
+    st: &AbsState,
+    base: Reg,
+    index: Option<Reg>,
+    offset: i64,
+    width: u64,
+) -> bool {
+    let Some(b) = st.rd(base) else { return false };
+    let Some(idx_bound) = index.map_or(Some(0), |r| st.bound_of(r)) else { return false };
+    let va = VirtAddr::new(b);
+    let key = va.key().value();
+    let Some(lo) = va.untagged().raw().checked_add_signed(offset) else { return false };
+    let Some(span) = idx_bound.checked_add(width) else { return false };
+    let Some(hi) = lo.checked_add(span) else { return false };
+    if span == 0 || span > FOOTPRINT_CAP {
+        return false;
+    }
+    if acfg.protected.iter().any(|&(plo, phi)| lo < phi && plo < hi) {
+        return false;
+    }
+    let mut g = lo & !0xF;
+    while g < hi {
+        if acfg.lock_of(g) != key {
+            return false;
+        }
+        g += 16;
+    }
+    true
+}
+
+/// Upper bound of an ALU result given operand bounds; `None` = unbounded.
+fn alu_bound(st: &AbsState, op: sas_isa::AluOp, lhs: Reg, rhs: Operand) -> Option<u64> {
+    use sas_isa::AluOp;
+    let lb = st.bound_of(lhs);
+    let rb = st.op_bound(rhs);
+    match op {
+        // x & y never exceeds either operand.
+        AluOp::And => match (lb, rb) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (one, None) | (None, one) => one,
+        },
+        AluOp::Add => lb.zip(rb).and_then(|(a, b)| a.checked_add(b)),
+        AluOp::Mul => lb.zip(rb).and_then(|(a, b)| a.checked_mul(b)),
+        // Bit mixes stay inside the union of the operands' ones-masks.
+        AluOp::Orr | AluOp::Eor => lb.zip(rb).map(|(a, b)| ones_fill(a) | ones_fill(b)),
+        // Shifts by a *known* amount; a variable shift is unbounded.
+        AluOp::Lsl => {
+            let s = st.op_val(rhs)?;
+            let a = lb?;
+            if s >= 64 {
+                return Some(0);
+            }
+            u64::try_from((a as u128) << s).ok()
+        }
+        AluOp::Lsr => {
+            let s = st.op_val(rhs)?;
+            Some(if s >= 64 { 0 } else { lb.unwrap_or(u64::MAX) >> s })
+        }
+        // x / y ≤ x for y ≥ 1, and the ISA defines x / 0 = 0.
+        AluOp::UDiv => lb,
+        AluOp::Sub | AluOp::Asr | AluOp::SDiv => None,
+    }
+}
+
 /// Applies `inst` to `st`, returning the post-state and the successor list
 /// as `(target, opens_window)` pairs. Targets outside the program are
 /// dropped (dead edges).
@@ -211,35 +366,46 @@ fn transfer(
         let faults = addr.map_or(false, |a| access_faults(acfg, a));
         if inst.is_load() {
             let width = inst.access_width().unwrap_or(8);
-            let stl_hazard = st.stl_window > 0
-                && (st.stores_unknown
-                    || match addr {
-                        None => true,
-                        Some(a) => {
-                            let u = VirtAddr::new(a).untagged().raw();
-                            st.stores.iter().any(|&(lo, hi)| u < hi && lo < u.wrapping_add(width))
-                        }
-                    });
+            let stl_hazard = st.stores_unknown > 0
+                || match addr {
+                    None => !st.stores.is_empty(),
+                    Some(a) => {
+                        let u = VirtAddr::new(a).untagged().raw();
+                        st.stores
+                            .iter()
+                            .any(|&(lo, hi, _)| pages_alias(u, u.wrapping_add(width), lo, hi))
+                    }
+                };
+            let checked = footprint_checked(acfg, st, base, index, offset, width);
             let mut t = addr_taint;
-            if st.window > 0 || stl_hazard || faults {
+            if (st.window > 0 && !checked) || stl_hazard || faults {
                 t |= SECRET;
             }
             if let Some(dst) = inst.dest() {
                 out.write(dst, None, t, false);
+                // A narrow load can only produce a narrow value.
+                out.set_bound(
+                    dst,
+                    match width {
+                        1 => Some(0xFF),
+                        2 => Some(0xFFFF),
+                        4 => Some(0xFFFF_FFFF),
+                        _ => None,
+                    },
+                );
             }
         }
         if inst.is_store() {
-            out.stl_window = acfg.spec_window;
             match addr {
                 Some(a) => {
                     let u = VirtAddr::new(a).untagged().raw();
                     push_store(
                         &mut out.stores,
                         &mut out.stores_unknown,
-                        (u, u.wrapping_add(store_width(inst))),
+                        (u, u.wrapping_add(store_width(inst)), acfg.spec_window),
                     );
                 }
-                None => out.stores_unknown = true,
+                None => out.stores_unknown = acfg.spec_window,
             }
         }
         if faults {
@@ -258,6 +424,12 @@ fn transfer(
             let d = st.derived_of(lhs)
                 || rhs.source_reg().map_or(false, |r| st.derived_of(r));
             out.write(dst, val, t, d);
+            if val.is_none() {
+                // Range-track unknown values: an AND mask, narrow shift, or
+                // bounded addition yields a provable upper bound even when
+                // the exact value is attacker-chosen.
+                out.set_bound(dst, alu_bound(st, op, lhs, rhs));
+            }
         }
         Inst::MovZ { dst, imm, shift } => {
             out.write(dst, Some((imm as u64) << (16 * shift)), 0, false);
@@ -298,15 +470,13 @@ fn transfer(
             }
             out.flags_taint &= !SECRET;
             out.window = 0;
-            out.stl_window = 0;
             out.stores.clear();
-            out.stores_unknown = false;
+            out.stores_unknown = 0;
         }
         Inst::Fence => {
             // DMB: drains the store buffer; says nothing about speculation.
-            out.stl_window = 0;
             out.stores.clear();
-            out.stores_unknown = false;
+            out.stores_unknown = 0;
         }
         _ => {}
     }
@@ -376,7 +546,13 @@ pub fn run(program: &Program, acfg: &AnalysisConfig) -> Vec<Option<AbsState>> {
             } else {
                 s.window.saturating_sub(1)
             };
-            s.stl_window = s.stl_window.saturating_sub(1);
+            // Each in-flight store ages independently; expired ones retire
+            // and can no longer forward stale data to a transient load.
+            s.stores.retain_mut(|e| {
+                e.2 -= 1;
+                e.2 > 0
+            });
+            s.stores_unknown = s.stores_unknown.saturating_sub(1);
             let changed = match &mut inn[t] {
                 slot @ None => {
                     *slot = Some(s);
@@ -440,7 +616,17 @@ pub fn findings(
                         guard_note(graph, program, pc)
                     ),
                 });
-            } else if addr_taint & UNTRUSTED != 0 && st.window > 0 {
+            } else if addr_taint & UNTRUSTED != 0
+                && st.window > 0
+                && !footprint_checked(
+                    acfg,
+                    st,
+                    base,
+                    index,
+                    offset,
+                    inst.access_width().unwrap_or(8),
+                )
+            {
                 out.push(Finding {
                     kind: FindingKind::SpeculativeOobAccess,
                     pc,
@@ -785,6 +971,137 @@ mod tests {
             "{:?}",
             a.findings
         );
+    }
+
+    /// Tagged pointer to the key-3 granule at 0x2000.
+    fn key3_base() -> u64 {
+        VirtAddr::new(0x2000).with_key(sas_isa::TagNibble::new(3)).raw()
+    }
+
+    fn attacker_cfg() -> AnalysisConfig {
+        AnalysisConfig { attacker_regs: vec![Reg::X0], ..acfg() }
+    }
+
+    #[test]
+    fn masked_attacker_index_with_matching_key_is_clean() {
+        // AND #7 bounds the attacker index to the pointer's own granule and
+        // the pointer's key matches the installed lock: every transiently
+        // reachable byte is data the key already grants.
+        let mut asm = ProgramBuilder::new();
+        asm.mov_imm64(Reg::X2, key3_base());
+        asm.mov_imm64(Reg::X7, 0x1_0000);
+        asm.and(Reg::X0, Reg::X0, Operand::imm(7));
+        asm.cmp(Reg::X0, Operand::imm(8));
+        let done = asm.new_label();
+        asm.b_cond(sas_isa::Cond::Hs, done);
+        asm.ldrb_idx(Reg::X5, Reg::X2, Reg::X0);
+        asm.ldrb_idx(Reg::X6, Reg::X7, Reg::X5);
+        asm.bind(done);
+        asm.halt();
+        let p = asm.build().unwrap();
+        let a = crate::analyze(&p, &attacker_cfg());
+        assert_eq!(a.gadget_count(), 0, "{:?}", a.findings);
+    }
+
+    #[test]
+    fn unmasked_attacker_index_stays_flagged() {
+        // Identical shape minus the AND mask: the index is unbounded, so the
+        // footprint check cannot discharge the speculative OOB access.
+        let mut asm = ProgramBuilder::new();
+        asm.mov_imm64(Reg::X2, key3_base());
+        asm.cmp(Reg::X0, Operand::imm(8));
+        let done = asm.new_label();
+        asm.b_cond(sas_isa::Cond::Hs, done);
+        asm.ldrb_idx(Reg::X5, Reg::X2, Reg::X0);
+        asm.bind(done);
+        asm.halt();
+        let p = asm.build().unwrap();
+        let a = crate::analyze(&p, &attacker_cfg());
+        assert!(
+            a.gadgets().any(|f| f.kind == FindingKind::SpeculativeOobAccess),
+            "{:?}",
+            a.findings
+        );
+    }
+
+    #[test]
+    fn checked_const_load_in_window_is_clean() {
+        // A constant in-granule load under an open window used to be tainted
+        // SECRET purely for being in-window; the key-clean footprint rule
+        // discharges it.
+        let mut asm = ProgramBuilder::new();
+        asm.mov_imm64(Reg::X2, key3_base());
+        asm.mov_imm64(Reg::X7, 0x1_0000);
+        asm.cmp(Reg::X1, Operand::imm(8));
+        let done = asm.new_label();
+        asm.b_cond(sas_isa::Cond::Hs, done);
+        asm.ldrb(Reg::X5, Reg::X2, 4);
+        asm.ldrb_idx(Reg::X6, Reg::X7, Reg::X5);
+        asm.bind(done);
+        asm.halt();
+        let p = asm.build().unwrap();
+        let a = crate::analyze(&p, &acfg());
+        assert_eq!(a.gadget_count(), 0, "{:?}", a.findings);
+    }
+
+    #[test]
+    fn expired_store_ttl_clears_the_forwarding_hazard() {
+        // The store retires from the store buffer long before the load
+        // issues (per-store TTL = spec_window), so no stale forwarding.
+        let mut asm = ProgramBuilder::new();
+        asm.mov_imm64(Reg::X6, 0x4400);
+        asm.mov_imm64(Reg::X7, 0x1_0000);
+        asm.str(Reg::X1, Reg::X6, 0);
+        for _ in 0..70 {
+            asm.nop();
+        }
+        asm.ldr(Reg::X2, Reg::X6, 0);
+        asm.ldrb_idx(Reg::X3, Reg::X7, Reg::X2);
+        asm.halt();
+        let p = asm.build().unwrap();
+        let a = crate::analyze(&p, &acfg());
+        assert_eq!(a.gadget_count(), 0, "{:?}", a.findings);
+    }
+
+    #[test]
+    fn four_k_aliased_store_still_hazards() {
+        // Store and load differ in address but share a page offset: partial
+        // STL matching (the LVI injection channel) can still forward.
+        let mut asm = ProgramBuilder::new();
+        asm.mov_imm64(Reg::X6, 0x6200);
+        asm.mov_imm64(Reg::X5, 0x5200);
+        asm.mov_imm64(Reg::X7, 0x1_0000);
+        asm.str(Reg::X1, Reg::X6, 0);
+        asm.ldr(Reg::X2, Reg::X5, 0);
+        asm.ldrb_idx(Reg::X3, Reg::X7, Reg::X2);
+        asm.halt();
+        let p = asm.build().unwrap();
+        let a = crate::analyze(&p, &acfg());
+        assert!(
+            a.gadgets().any(|f| f.kind == FindingKind::TransmitLoad),
+            "{:?}",
+            a.findings
+        );
+    }
+
+    #[test]
+    fn masked_loop_walk_converges_and_stays_clean() {
+        // The loop counter widens to unbounded, but the in-loop AND gives
+        // the access a data-op bound that survives widening.
+        let mut asm = ProgramBuilder::new();
+        asm.mov_imm64(Reg::X2, key3_base());
+        asm.mov_imm64(Reg::X1, 0);
+        let top = asm.new_label();
+        asm.bind(top);
+        asm.and(Reg::X7, Reg::X1, Operand::imm(7));
+        asm.ldrb_idx(Reg::X5, Reg::X2, Reg::X7);
+        asm.add(Reg::X1, Reg::X1, Operand::imm(1));
+        asm.cmp(Reg::X1, Operand::imm(8));
+        asm.b_cond(sas_isa::Cond::Lo, top);
+        asm.halt();
+        let p = asm.build().unwrap();
+        let a = crate::analyze(&p, &attacker_cfg());
+        assert_eq!(a.gadget_count(), 0, "{:?}", a.findings);
     }
 
     #[test]

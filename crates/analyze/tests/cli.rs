@@ -1,0 +1,119 @@
+//! `sas-lint` CLI contract: documented exit codes (0 clean / 1 findings /
+//! 2 usage), `--quiet`, and byte-stable `--json` output.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn sas_lint(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_sas-lint"))
+        .args(args)
+        .output()
+        .expect("sas-lint spawns")
+}
+
+fn fixture(name: &str, body: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("sas-lint-cli-{}-{name}", std::process::id()));
+    std::fs::write(&path, body).unwrap();
+    path
+}
+
+const CLEAN: &str = "\
+    MOVZ X1, #4096, LSL #0
+    LDR X0, [X1, #0]
+    HALT
+";
+
+const GADGET: &str = "\
+    MOVZ X2, #8192, LSL #0
+    CMP X0, #16
+    B.Hs L5
+    LDRB X5, [X2, X0]
+    LDRB X6, [X5, #0]
+L5:
+    HALT
+";
+
+#[test]
+fn exit_zero_on_clean_program() {
+    let f = fixture("clean.sasm", CLEAN);
+    let out = sas_lint(&[f.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("0 gadget finding(s)"), "{stdout}");
+}
+
+#[test]
+fn exit_one_on_findings() {
+    let f = fixture("gadget.sasm", GADGET);
+    let out = sas_lint(&["--taint", "X0", f.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    assert!(!out.stdout.is_empty());
+}
+
+#[test]
+fn exit_two_on_usage_parse_and_unreadable_input() {
+    let unreadable = sas_lint(&["/nonexistent/definitely-missing.sasm"]);
+    assert_eq!(unreadable.status.code(), Some(2), "{unreadable:?}");
+    assert!(String::from_utf8_lossy(&unreadable.stderr).contains("cannot read"));
+
+    let parse = sas_lint(&[fixture("bad.sasm", "NOT AN INSTRUCTION\n").to_str().unwrap()]);
+    assert_eq!(parse.status.code(), Some(2), "{parse:?}");
+
+    let flag = sas_lint(&["--warp-drive"]);
+    assert_eq!(flag.status.code(), Some(2), "{flag:?}");
+
+    let conflict = sas_lint(&["--quiet", "--json", fixture("c.sasm", CLEAN).to_str().unwrap()]);
+    assert_eq!(conflict.status.code(), Some(2), "{conflict:?}");
+}
+
+#[test]
+fn quiet_mode_prints_nothing_and_keeps_the_exit_code() {
+    let clean = fixture("quiet-clean.sasm", CLEAN);
+    let out = sas_lint(&["--quiet", clean.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert!(out.stdout.is_empty(), "--quiet must print nothing");
+
+    let gadget = fixture("quiet-gadget.sasm", GADGET);
+    let out = sas_lint(&["--quiet", "--taint", "X0", gadget.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    assert!(out.stdout.is_empty(), "--quiet must print nothing even with findings");
+}
+
+#[test]
+fn json_output_is_byte_stable_and_sorted() {
+    // Findings are sorted by (pc, kind) and deduplicated inside `analyze()`,
+    // so two identical invocations must produce identical bytes — diffable
+    // in CI and stable as a golden artifact.
+    let f = fixture("stable.sasm", GADGET);
+    let a = sas_lint(&["--json", "--taint", "X0", f.to_str().unwrap()]);
+    let b = sas_lint(&["--json", "--taint", "X0", f.to_str().unwrap()]);
+    assert_eq!(a.status.code(), Some(1));
+    assert_eq!(a.stdout, b.stdout, "--json output must be byte-stable across runs");
+
+    let stdout = String::from_utf8(a.stdout).unwrap();
+    let pcs: Vec<u64> = stdout
+        .lines()
+        .map(|l| {
+            let tail = l.split("\"pc\":").nth(1).expect("json line has a pc field");
+            tail.chars().take_while(char::is_ascii_digit).collect::<String>().parse().unwrap()
+        })
+        .collect();
+    assert!(pcs.len() >= 2, "fixture should produce multiple findings: {stdout}");
+    assert!(pcs.windows(2).all(|w| w[0] <= w[1]), "findings must be sorted by pc: {pcs:?}");
+}
+
+#[test]
+fn expect_flag_checks_the_checked_in_verdict_table() {
+    // The documented regen path: sas-lint --all-attacks writes exactly the
+    // bytes of crates/analyze/expected_verdicts.txt, and --expect verifies
+    // the checked-in copy is current.
+    let expected = concat!(env!("CARGO_MANIFEST_DIR"), "/expected_verdicts.txt");
+    let out = sas_lint(&["--all-attacks", "--expect", expected]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stale expected_verdicts.txt — regenerate with:\n  \
+         cargo run -p sas-analyze --bin sas-lint -- --all-attacks > crates/analyze/expected_verdicts.txt\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

@@ -72,3 +72,78 @@ fn suggested_cut_set_is_a_fixpoint() {
         assert_eq!(analyze(&again, &acfg()).gadget_count(), 0);
     });
 }
+
+/// Blocks reachable from the CFG entry, optionally pretending `avoid` has
+/// been deleted from the graph (the brute-force dominance oracle).
+fn reachable_blocks(cfg: &sas_analyze::cfg::Cfg, entry: usize, avoid: Option<usize>) -> Vec<bool> {
+    let mut seen = vec![false; cfg.blocks.len()];
+    if Some(entry) == avoid {
+        return seen;
+    }
+    let mut stack = vec![entry];
+    seen[entry] = true;
+    while let Some(b) = stack.pop() {
+        for &s in &cfg.succs[b] {
+            if Some(s) != avoid && !seen[s] {
+                seen[s] = true;
+                stack.push(s);
+            }
+        }
+    }
+    seen
+}
+
+#[test]
+fn dominators_match_the_path_cutting_oracle() {
+    check("dominator_soundness", 64, |rng| {
+        let program = gens::terminating_program(8..40).sample(rng);
+        let cfg = sas_analyze::cfg::Cfg::build(&program);
+        let entry = cfg.block_of(program.entry().min(program.len() - 1)).unwrap();
+        let reach = reachable_blocks(&cfg, entry, None);
+        for a in 0..cfg.blocks.len() {
+            if !reach[a] {
+                continue;
+            }
+            let without_a = reachable_blocks(&cfg, entry, Some(a));
+            for b in 0..cfg.blocks.len() {
+                if !reach[b] {
+                    continue;
+                }
+                // `a dom b` ⟺ removing `a` cuts every entry→b path.
+                let oracle = a == b || !without_a[b];
+                assert_eq!(
+                    cfg.dominates(a, b),
+                    oracle,
+                    "dominates({a}, {b}) disagrees with the path oracle\n{}",
+                    program.listing()
+                );
+            }
+        }
+    });
+}
+
+#[test]
+fn rpo_is_a_total_order_on_reachable_blocks() {
+    check("rpo_totality", 64, |rng| {
+        let program = gens::terminating_program(8..40).sample(rng);
+        let cfg = sas_analyze::cfg::Cfg::build(&program);
+        let entry = cfg.block_of(program.entry().min(program.len() - 1)).unwrap();
+        let reach = reachable_blocks(&cfg, entry, None);
+        let expected: Vec<usize> = (0..cfg.blocks.len()).filter(|&b| reach[b]).collect();
+        let mut seen = cfg.rpo.clone();
+        seen.sort_unstable();
+        assert_eq!(seen, expected, "rpo must list each reachable block exactly once");
+        assert_eq!(cfg.rpo.first().copied(), Some(entry), "rpo starts at the entry block");
+        // Tree edges respect the order: every reachable non-entry block's
+        // immediate dominator precedes it in RPO.
+        let pos: std::collections::HashMap<usize, usize> =
+            cfg.rpo.iter().enumerate().map(|(i, &b)| (b, i)).collect();
+        for &b in &cfg.rpo {
+            if b == entry {
+                continue;
+            }
+            let d = cfg.idom[b];
+            assert!(pos[&d] < pos[&b], "idom[{b}]={d} must precede {b} in RPO");
+        }
+    });
+}

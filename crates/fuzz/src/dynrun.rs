@@ -1,0 +1,117 @@
+//! The dynamic half of the differential: run a synthesized program on the
+//! unsafe baseline and ask the leak oracle what actually happened.
+
+use crate::scenario::ShapeKind;
+use sas_attacks::layout;
+use sas_attacks::meltdown::{KERNEL_KEY, KERNEL_SECRET_ADDR};
+use sas_attacks::oracle::secret_probe_hot;
+use sas_attacks::spectre::{STL_SLOT, STL_SLOT_KEY};
+use sas_isa::{Program, TagNibble, VirtAddr};
+use sas_pipeline::{RunExit, System};
+use specasan::{build_system, Mitigation, SimConfig};
+
+/// Cycle budget per case; every generated shape halts in a few thousand.
+const RUN_BUDGET: u64 = 500_000;
+
+/// What one unsafe-baseline execution observed.
+#[derive(Debug, Clone)]
+pub struct DynOutcome {
+    /// The leak oracle: is the secret's probe line hot?
+    pub leaked: bool,
+    /// Pipeline squashes (branch/fault/ordering) during the run.
+    pub squash_events: u64,
+    /// Committed-path MTE tag faults.
+    pub tag_faults: u64,
+    /// Architectural (permission) faults.
+    pub arch_faults: u64,
+    /// Whether the run committed its `HALT` (faulting shapes legitimately
+    /// end in [`RunExit::Faulted`]).
+    pub halted: bool,
+    /// Simulated cycles consumed.
+    pub cycles: u64,
+}
+
+impl DynOutcome {
+    /// True when the pipeline never left the architectural path: no squash,
+    /// no fault — so a window-model static flag had nothing to bite on.
+    pub fn architectural_only(&self) -> bool {
+        self.squash_events == 0 && self.tag_faults == 0 && self.arch_faults == 0
+    }
+}
+
+/// Installs the per-shape victim state the attack harnesses would set up
+/// (stale STL secret, warmed kernel byte) on top of the common layout.
+pub fn prepare(kind: ShapeKind, sys: &mut System) {
+    match kind {
+        ShapeKind::StlLeak => {
+            let slot_ptr = VirtAddr::new(STL_SLOT).with_key(TagNibble::new(STL_SLOT_KEY));
+            let mem = sys.mem_mut();
+            mem.write_arch(VirtAddr::new(STL_SLOT), 8, layout::SECRET); // stale secret
+            mem.tags.set_range(VirtAddr::new(STL_SLOT), 16, TagNibble::new(STL_SLOT_KEY));
+            mem.write_arch(VirtAddr::new(layout::PTR_SLOT), 8, slot_ptr.raw());
+        }
+        ShapeKind::FaultProtected => {
+            let mem = sys.mem_mut();
+            mem.write_arch(VirtAddr::new(KERNEL_SECRET_ADDR), 1, layout::SECRET);
+            mem.tags.set_range(
+                VirtAddr::new(KERNEL_SECRET_ADDR),
+                16,
+                TagNibble::new(KERNEL_KEY),
+            );
+            // A syscall just touched the secret with its valid key: the
+            // line is hot, so the transient forward beats the fault.
+            let kptr = VirtAddr::new(KERNEL_SECRET_ADDR).with_key(TagNibble::new(KERNEL_KEY));
+            let r1 = mem.load(0, kptr, 1, 0, sas_mem::FillMode::Install, false).expect("warm");
+            mem.load(0, kptr, 1, r1.latency + 1, sas_mem::FillMode::Install, false)
+                .expect("warm");
+        }
+        _ => {}
+    }
+}
+
+/// Runs `program` under the unsafe baseline with the shape's victim state
+/// and returns the observed outcome.
+pub fn run_dynamic(kind: ShapeKind, cfg: &SimConfig, program: &Program) -> DynOutcome {
+    let mut sys = build_system(cfg, program.clone(), Mitigation::Unsafe);
+    layout::install_victim(&mut sys);
+    prepare(kind, &mut sys);
+    let exit = sys.run(RUN_BUDGET).exit;
+    let stats = &sys.core(0).stats;
+    DynOutcome {
+        leaked: secret_probe_hot(&sys),
+        squash_events: stats.squash_events,
+        tag_faults: stats.tag_faults,
+        arch_faults: stats.arch_faults,
+        halted: matches!(exit, RunExit::Halted),
+        cycles: sys.cycle(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sas_isa::{ProgramBuilder, Reg};
+
+    #[test]
+    fn an_idle_program_neither_leaks_nor_misspeculates() {
+        let mut asm = ProgramBuilder::new();
+        asm.nop();
+        asm.halt();
+        let p = asm.build().unwrap();
+        let d = run_dynamic(ShapeKind::Noise, &SimConfig::table2(), &p);
+        assert!(!d.leaked);
+        assert!(d.halted);
+        assert!(d.architectural_only(), "{d:?}");
+    }
+
+    #[test]
+    fn touching_the_secret_probe_line_trips_the_oracle() {
+        let mut asm = ProgramBuilder::new();
+        asm.mov_imm64(Reg::X1, layout::PROBE + (layout::SECRET << 6));
+        asm.ldrb(Reg::X2, Reg::X1, 0);
+        asm.halt();
+        let p = asm.build().unwrap();
+        let d = run_dynamic(ShapeKind::Noise, &SimConfig::table2(), &p);
+        assert!(d.leaked);
+    }
+}

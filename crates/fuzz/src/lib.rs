@@ -1,0 +1,38 @@
+//! # sas-fuzz — differential gadget-synthesis fuzzer
+//!
+//! Audits the [`sas_analyze`] static gadget scanner against the dynamic
+//! leak oracle from [`sas_attacks`] (DESIGN.md §12):
+//!
+//! 1. **Synthesize** a random gadget program from composable generators
+//!    over SAS-IR ([`scenario`]): bounds-check-bypass families,
+//!    in-bounds array walks, MTE tag (mis)use, store-to-load shapes,
+//!    protected-range faults, and straightline noise. Each shape carries
+//!    a behavioural *intent* (leaky / safe / latent by construction).
+//! 2. **Differential**: run `sas_analyze::analyze()` on the program AND
+//!    execute it on the simulator under the unsafe baseline
+//!    ([`dynrun`]), asking the Flush+Reload oracle whether the secret's
+//!    probe line got hot.
+//! 3. **Classify** every `(static, dynamic)` pair ([`verdict`]): agree,
+//!    documented ◑ imprecision, soundness bug (leak-but-unflagged) or
+//!    precision bug (flagged-but-provably-safe).
+//! 4. **Shrink** each campaign-failing case with the shared ddmin from
+//!    [`sas_ptest::shrink`] into a minimal `.sasm` counterexample and
+//!    keep it in `crates/fuzz/corpus/` ([`corpus`]), replayed forever as
+//!    a regression test.
+//!
+//! The campaign is fully seeded: `sas-fuzz campaign --seed S --cases N`
+//! is reproducible byte-for-byte, and every case prints its own
+//! `--seed` for isolated replay via `sas-fuzz one`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod corpus;
+pub mod dynrun;
+pub mod scenario;
+pub mod verdict;
+
+pub use campaign::{fuzz_config, run_campaign, Campaign, Report};
+pub use corpus::{corpus_dir, replay_dir, CorpusCase};
+pub use verdict::Classification;

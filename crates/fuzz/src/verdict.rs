@@ -1,0 +1,198 @@
+//! The differential verdict taxonomy (DESIGN.md §12).
+//!
+//! Every `(static, dynamic)` pair lands in exactly one bucket:
+//!
+//! * **agree** — both clean, or both leak;
+//! * **known ◑ imprecision** — the disagreement is one of the documented
+//!   over-approximations of a sound static analysis;
+//! * **soundness bug** — the run leaked and the analyzer said clean. Never
+//!   explained away; always fails the campaign;
+//! * **precision bug** — the analyzer flagged a shape the generator
+//!   guarantees leak-free, and no documented imprecision covers it. Fails
+//!   the campaign; these drove the `taint.rs` precision upgrades.
+
+use crate::dynrun::DynOutcome;
+use crate::scenario::Intent;
+use sas_analyze::{Analysis, FindingKind};
+
+/// The facts the classifier keeps from a static analysis run.
+#[derive(Debug, Clone)]
+pub struct StaticSummary {
+    /// Gadget-severity findings (lints are ignored by the differential).
+    pub gadgets: usize,
+    /// At least one finding describes a cache-visible transmitter — the
+    /// only channel the dynamic Flush+Reload oracle can confirm.
+    pub cache_transmit: bool,
+}
+
+impl StaticSummary {
+    /// Summarizes an [`Analysis`] for classification.
+    pub fn of(a: &Analysis) -> StaticSummary {
+        let cache_transmit = a.gadgets().any(|f| {
+            matches!(
+                f.kind,
+                FindingKind::TransmitLoad
+                    | FindingKind::TransmitStore
+                    | FindingKind::SpeculativeOobAccess
+                    | FindingKind::UnsafeSpeculativeAccess
+            )
+        });
+        StaticSummary { gadgets: a.gadget_count(), cache_transmit }
+    }
+
+    /// Whether the analyzer reported any gadget at all.
+    pub fn flagged(&self) -> bool {
+        self.gadgets > 0
+    }
+}
+
+/// The documented static-over-dynamic imprecisions (the ◑ cases).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Imprecision {
+    /// The gadget is real but its attacker input is benign in this run —
+    /// the analyzer models `X0` as attacker-controlled, the concrete run
+    /// enters with `X0 = 0`.
+    LatentInput,
+    /// Every finding is a contention/indirect-target channel the cache
+    /// oracle cannot observe.
+    NonCacheChannel,
+    /// A leaky shape's run never left the architectural path (no squash,
+    /// no fault): the window the analyzer models did not open dynamically.
+    NoMisspeculation,
+    /// A leaky shape mis-speculated but this schedule's window closed
+    /// before the transmit issued.
+    WindowTiming,
+}
+
+impl Imprecision {
+    /// Stable token for reports and corpus directives.
+    pub fn token(self) -> &'static str {
+        match self {
+            Imprecision::LatentInput => "latent-input",
+            Imprecision::NonCacheChannel => "non-cache-channel",
+            Imprecision::NoMisspeculation => "no-misspeculation",
+            Imprecision::WindowTiming => "window-timing",
+        }
+    }
+}
+
+/// Where one differential case landed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Classification {
+    /// Clean on both sides.
+    AgreeClean,
+    /// Leak on both sides.
+    AgreeLeak,
+    /// A documented ◑ disagreement.
+    Known(Imprecision),
+    /// Leak-but-unflagged: a static false negative.
+    SoundnessBug,
+    /// Flagged-but-provably-safe: a static false positive beyond the
+    /// documented cases.
+    PrecisionBug,
+}
+
+impl Classification {
+    /// Campaign-failing classes.
+    pub fn unexplained(self) -> bool {
+        matches!(self, Classification::SoundnessBug | Classification::PrecisionBug)
+    }
+
+    /// Stable token for reports.
+    pub fn token(self) -> &'static str {
+        match self {
+            Classification::AgreeClean => "agree-clean",
+            Classification::AgreeLeak => "agree-leak",
+            Classification::Known(i) => i.token(),
+            Classification::SoundnessBug => "SOUNDNESS-BUG",
+            Classification::PrecisionBug => "PRECISION-BUG",
+        }
+    }
+}
+
+/// Classifies one `(intent, static, dynamic)` triple.
+pub fn classify(intent: Intent, st: &StaticSummary, dy: &DynOutcome) -> Classification {
+    match (st.flagged(), dy.leaked) {
+        (true, true) => Classification::AgreeLeak,
+        (false, false) => Classification::AgreeClean,
+        (false, true) => Classification::SoundnessBug,
+        (true, false) => match intent {
+            Intent::Latent => Classification::Known(Imprecision::LatentInput),
+            Intent::Leaky => {
+                if dy.architectural_only() {
+                    Classification::Known(Imprecision::NoMisspeculation)
+                } else {
+                    Classification::Known(Imprecision::WindowTiming)
+                }
+            }
+            // A safe-by-construction shape: the only excuse is a channel
+            // the oracle cannot see; anything else is a precision bug.
+            Intent::Safe => {
+                if !st.cache_transmit {
+                    Classification::Known(Imprecision::NonCacheChannel)
+                } else {
+                    Classification::PrecisionBug
+                }
+            }
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dy(leaked: bool, squashes: u64) -> DynOutcome {
+        DynOutcome {
+            leaked,
+            squash_events: squashes,
+            tag_faults: 0,
+            arch_faults: 0,
+            halted: true,
+            cycles: 100,
+        }
+    }
+
+    fn st(gadgets: usize, cache: bool) -> StaticSummary {
+        StaticSummary { gadgets, cache_transmit: cache }
+    }
+
+    #[test]
+    fn agreement_wins_regardless_of_intent() {
+        for i in [Intent::Leaky, Intent::Safe, Intent::Latent] {
+            assert_eq!(classify(i, &st(1, true), &dy(true, 3)), Classification::AgreeLeak);
+            assert_eq!(classify(i, &st(0, false), &dy(false, 3)), Classification::AgreeClean);
+        }
+    }
+
+    #[test]
+    fn a_leak_the_analyzer_missed_is_never_explained_away() {
+        for i in [Intent::Leaky, Intent::Safe, Intent::Latent] {
+            assert_eq!(classify(i, &st(0, false), &dy(true, 0)), Classification::SoundnessBug);
+        }
+    }
+
+    #[test]
+    fn flagged_but_clean_explanations_follow_the_intent() {
+        assert_eq!(
+            classify(Intent::Latent, &st(1, true), &dy(false, 5)),
+            Classification::Known(Imprecision::LatentInput)
+        );
+        assert_eq!(
+            classify(Intent::Leaky, &st(1, true), &dy(false, 0)),
+            Classification::Known(Imprecision::NoMisspeculation)
+        );
+        assert_eq!(
+            classify(Intent::Leaky, &st(1, true), &dy(false, 5)),
+            Classification::Known(Imprecision::WindowTiming)
+        );
+        assert_eq!(
+            classify(Intent::Safe, &st(1, false), &dy(false, 5)),
+            Classification::Known(Imprecision::NonCacheChannel)
+        );
+        assert_eq!(
+            classify(Intent::Safe, &st(1, true), &dy(false, 5)),
+            Classification::PrecisionBug
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! Regression gates for the differential fuzzer: the checked-in corpus must
+//! replay green, and a fixed-seed smoke campaign must report zero
+//! unexplained disagreements.
+
+use sas_fuzz::campaign::{self, Campaign};
+use sas_fuzz::{corpus_dir, replay_dir};
+use specasan::SimConfig;
+
+#[test]
+fn checked_in_corpus_replays_green() {
+    let dir = corpus_dir();
+    let cases = sas_fuzz::corpus::load_dir(&dir).expect("corpus parses");
+    assert!(
+        cases.len() >= 20,
+        "the corpus ships both precision counterexamples and soundness guards"
+    );
+    let failures = replay_dir(&dir, &SimConfig::table2()).expect("corpus readable");
+    assert!(
+        failures.is_empty(),
+        "corpus regressions: {:?}",
+        failures
+            .iter()
+            .map(|(p, e)| format!("{}: {e}", p.display()))
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn fixed_seed_smoke_campaign_has_zero_unexplained() {
+    let c = Campaign { cases: 120, shrink_budget: 50, ..Campaign::default() };
+    let report = campaign::run_campaign(&c);
+    assert_eq!(
+        report.tally.unexplained(),
+        0,
+        "unexplained disagreements (replay with the per-case seeds):\n{}",
+        report.render_text()
+    );
+    // The campaign exercises both sides of the differential: some cases
+    // must actually leak and some must be clean, or the oracle is inert.
+    assert!(report.tally.agree_leak > 0, "{}", report.render_text());
+    assert!(report.tally.agree_clean > 0, "{}", report.render_text());
+    campaign::validate_bench(&report.bench_json()).expect("bench artifact is schema-complete");
+}

@@ -14,6 +14,10 @@
 //!   `SAS_PTEST_SEED=<seed>` replays exactly the failing case.
 //!   `SAS_PTEST_CASES=<n>` overrides the case count for soak runs.
 //!
+//! The [`shrink`] module holds the generic chunk-halving NOP-mask delta
+//! debugger shared by the `sas-runner` repro shrinker and the `sas-fuzz`
+//! counterexample minimizer.
+//!
 //! The [`fault`] module reuses the same PRNG and seed-derivation scheme to
 //! build replayable chaos campaigns ([`FaultPlan`], `SAS_FAULT_SEED`): the
 //! simulator polls per-injection-point [`FaultStream`]s that are pure
@@ -41,6 +45,7 @@ pub mod gen;
 pub mod gens;
 mod rng;
 mod runner;
+pub mod shrink;
 
 pub use fault::{FaultPlan, FaultStream, InjectionPoint};
 pub use gen::Gen;

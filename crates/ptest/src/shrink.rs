@@ -1,0 +1,116 @@
+//! Generic delta-debugging over instruction index masks.
+//!
+//! Both failure minimizers in this workspace — the `sas-runner` repro
+//! shrinker and the `sas-fuzz` counterexample shrinker — reduce a program by
+//! replacing instructions with `NOP` and keeping any mask that still
+//! reproduces the interesting behaviour. The chunk-halving loop is identical
+//! in both; only the probe differs (a supervised child process vs. an
+//! in-process re-classification). This module holds that shared loop.
+
+use std::collections::HashSet;
+
+/// Maximizes a set of NOPpable instruction indices by ddmin-style
+/// chunk-halving.
+///
+/// `total` is the program length in instructions; `protected` indices are
+/// never offered (e.g. `HALT`s, whose removal turns every candidate into a
+/// runaway). `probe` is called with a candidate mask (sorted, deduplicated)
+/// and answers:
+///
+/// * `Some(true)` — the program with these indices NOPped still reproduces
+///   the behaviour; the mask is kept;
+/// * `Some(false)` — it does not; the mask is dropped;
+/// * `None` — the probe budget is exhausted; minimization stops and the
+///   best mask so far is returned.
+///
+/// The result is monotone — every returned mask was accepted by `probe` —
+/// and best-effort: it may not be globally minimal.
+///
+/// ```
+/// // Indices 3 and 7 are essential; everything else shrinks away.
+/// let mask = sas_ptest::shrink::ddmin_mask(10, &[9], |cand| {
+///     Some(!cand.contains(&3) && !cand.contains(&7))
+/// });
+/// assert_eq!(mask, vec![0, 1, 2, 4, 5, 6, 8]);
+/// ```
+pub fn ddmin_mask(
+    total: usize,
+    protected: &[usize],
+    mut probe: impl FnMut(&[usize]) -> Option<bool>,
+) -> Vec<usize> {
+    let protected: HashSet<usize> = protected.iter().copied().collect();
+    let mut nopped: HashSet<usize> = HashSet::new();
+    if total == 0 {
+        return Vec::new();
+    }
+    let mut chunk = (total / 2).max(1);
+    'outer: loop {
+        let remaining: Vec<usize> =
+            (0..total).filter(|i| !nopped.contains(i) && !protected.contains(i)).collect();
+        for block in remaining.chunks(chunk) {
+            let mut cand: Vec<usize> = nopped.iter().copied().collect();
+            cand.extend_from_slice(block);
+            cand.sort_unstable();
+            match probe(&cand) {
+                Some(true) => nopped.extend(block.iter().copied()),
+                Some(false) => {}
+                None => break 'outer,
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk = (chunk / 2).max(1);
+    }
+    let mut out: Vec<usize> = nopped.into_iter().collect();
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn essential_indices_survive() {
+        let essential = [2usize, 11, 12];
+        let mut probes = 0u32;
+        let mask = ddmin_mask(16, &[15], |cand| {
+            probes += 1;
+            Some(essential.iter().all(|e| !cand.contains(e)))
+        });
+        for e in essential {
+            assert!(!mask.contains(&e), "{mask:?}");
+        }
+        assert!(!mask.contains(&15), "protected index offered: {mask:?}");
+        // Everything non-essential and non-protected is gone.
+        assert_eq!(mask.len(), 16 - essential.len() - 1, "{mask:?}");
+        assert!(probes > 0);
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_the_accepted_prefix() {
+        let mut budget = 1u32;
+        let mask = ddmin_mask(8, &[], |_| {
+            if budget == 0 {
+                return None;
+            }
+            budget -= 1;
+            Some(true)
+        });
+        // One accepted probe: the first half-sized chunk.
+        assert_eq!(mask, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_and_all_protected_programs_shrink_to_nothing() {
+        assert!(ddmin_mask(0, &[], |_| Some(true)).is_empty());
+        assert!(ddmin_mask(3, &[0, 1, 2], |_| Some(true)).is_empty());
+    }
+
+    #[test]
+    fn rejecting_probe_keeps_the_mask_empty() {
+        let mask = ddmin_mask(9, &[], |_| Some(false));
+        assert!(mask.is_empty(), "{mask:?}");
+    }
+}

@@ -72,6 +72,15 @@ pub enum CellId {
         /// The campaign seed.
         seed: u64,
     },
+    /// One seeded differential fuzzing campaign (`sas-fuzz` semantics):
+    /// fails when the campaign reports an unexplained static/dynamic
+    /// disagreement.
+    Fuzz {
+        /// The campaign seed.
+        seed: u64,
+        /// Number of synthesized cases.
+        cases: u32,
+    },
     /// A supervisor selftest cell.
     Selftest {
         /// Which self-check behaviour.
@@ -89,6 +98,7 @@ impl fmt::Display for CellId {
                 write!(f, "parsec/{benchmark}/{}", mitigation.token())
             }
             CellId::Chaos { seed } => write!(f, "chaos/{seed:#x}"),
+            CellId::Fuzz { seed, cases } => write!(f, "fuzz/{seed:#x}/{cases}"),
             CellId::Selftest { kind } => write!(f, "selftest/{}", kind.token()),
         }
     }
@@ -121,6 +131,17 @@ impl CellId {
                     .ok_or_else(|| format!("{s:?}: bad seed"))?;
                 Ok(CellId::Chaos { seed })
             }
+            "fuzz" => {
+                let seed = parts.next().ok_or_else(|| format!("{s:?}: missing seed"))?;
+                let seed = seed
+                    .strip_prefix("0x")
+                    .map(|h| u64::from_str_radix(h, 16).ok())
+                    .unwrap_or_else(|| seed.parse().ok())
+                    .ok_or_else(|| format!("{s:?}: bad seed"))?;
+                let cases = parts.next().ok_or_else(|| format!("{s:?}: missing case count"))?;
+                let cases = cases.parse().map_err(|_| format!("{s:?}: bad case count"))?;
+                Ok(CellId::Fuzz { seed, cases })
+            }
             "selftest" => {
                 let kind = match parts.next() {
                     Some("ok") => SelftestKind::Ok,
@@ -131,14 +152,14 @@ impl CellId {
                 };
                 Ok(CellId::Selftest { kind })
             }
-            _ => Err(format!("{s:?}: unknown suite (want spec/parsec/chaos/selftest)")),
+            _ => Err(format!("{s:?}: unknown suite (want spec/parsec/chaos/fuzz/selftest)")),
         }
     }
 
     /// Whether failures of this cell are worth shrinking (selftest cells
-    /// fail on purpose).
+    /// fail on purpose; fuzz cells ddmin their own counterexamples).
     pub fn shrinkable(&self) -> bool {
-        !matches!(self, CellId::Selftest { .. })
+        !matches!(self, CellId::Selftest { .. } | CellId::Fuzz { .. })
     }
 }
 
@@ -372,6 +393,29 @@ fn run_cell(cell: &CellId, iters: u32) -> CellOutcome {
                 CellOutcome::failed(cell, "chaos", failures.join("; "), false)
             }
         }
+        CellId::Fuzz { seed, cases } => {
+            let c = sas_fuzz::Campaign { seed: *seed, cases: *cases, ..Default::default() };
+            let report = sas_fuzz::run_campaign(&c);
+            if report.tally.unexplained() == 0 {
+                CellOutcome::ok(cell, 0)
+            } else {
+                let seeds: Vec<String> = report
+                    .disagreements
+                    .iter()
+                    .map(|d| format!("{:#x}", d.case.case_seed))
+                    .collect();
+                CellOutcome::failed(
+                    cell,
+                    "fuzz",
+                    format!(
+                        "{} unexplained disagreement(s); replay: sas-fuzz one --seed {}",
+                        report.tally.unexplained(),
+                        seeds.join(" / ")
+                    ),
+                    false,
+                )
+            }
+        }
         CellId::Selftest { kind } => match kind {
             SelftestKind::Ok => CellOutcome::ok(cell, 0),
             SelftestKind::Panic => panic!("selftest/panic: deliberate deterministic panic"),
@@ -444,7 +488,7 @@ pub fn probe_signature(cell: &CellId, iters: u32, nops: &[usize], plan: Option<&
                 "clean".to_string()
             }
         }
-        CellId::Selftest { .. } => "clean".to_string(),
+        CellId::Fuzz { .. } | CellId::Selftest { .. } => "clean".to_string(),
     }
 }
 
@@ -490,7 +534,7 @@ fn probe_system(
             }
             sys
         }
-        CellId::Chaos { .. } | CellId::Selftest { .. } => return None,
+        CellId::Chaos { .. } | CellId::Fuzz { .. } | CellId::Selftest { .. } => return None,
     };
     if let Some(plan) = plan {
         sys.arm_faults(plan);
@@ -566,7 +610,7 @@ pub fn victim_program(cell: &CellId, iters: u32) -> Option<sas_isa::Program> {
             Some(build_parsec_workload(&p, iters, sas_bench::SEED, 4).swap_remove(0).program)
         }
         CellId::Chaos { seed } => Some(chaos::campaign_program(*seed)),
-        CellId::Selftest { .. } => None,
+        CellId::Fuzz { .. } | CellId::Selftest { .. } => None,
     }
 }
 
@@ -604,6 +648,7 @@ mod tests {
             CellId::Spec { benchmark: "505.mcf_r".into(), mitigation: Mitigation::Stt },
             CellId::Parsec { benchmark: "canneal".into(), mitigation: Mitigation::SpecAsan },
             CellId::Chaos { seed: 0xC4A0_5EED },
+            CellId::Fuzz { seed: 0xC0FFEE, cases: 500 },
             CellId::Selftest { kind: SelftestKind::Hang },
         ];
         for c in cells {
@@ -612,6 +657,19 @@ mod tests {
         assert!(CellId::parse("bogus/x/y").is_err());
         assert!(CellId::parse("spec/505.mcf_r/warp-drive").is_err());
         assert!(CellId::parse("chaos/zzz").is_err());
+        assert!(CellId::parse("fuzz/0xc0ffee").is_err(), "fuzz cells need a case count");
+        assert!(CellId::parse("fuzz/0xc0ffee/many").is_err());
+    }
+
+    #[test]
+    fn fuzz_cell_runs_a_campaign_in_process() {
+        let cell = CellId::Fuzz { seed: 0xC0FFEE, cases: 40 };
+        assert!(!cell.shrinkable(), "the fuzzer ddmins its own counterexamples");
+        assert!(victim_program(&cell, 1).is_none());
+        assert_eq!(probe_signature(&cell, 1, &[], None), "clean");
+        let out = run_in_process(&cell, 1);
+        assert!(out.ok, "fixed-seed smoke campaign must be clean: {}", out.detail);
+        assert_eq!(out.exit, "halted");
     }
 
     #[test]

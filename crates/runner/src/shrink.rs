@@ -26,7 +26,6 @@
 
 use crate::cell::{self, CellId};
 use crate::supervisor::Config;
-use std::collections::HashSet;
 use std::io::Read as _;
 use std::path::PathBuf;
 use std::process::{Command, Stdio};
@@ -213,7 +212,9 @@ fn minimize_plan(
 }
 
 /// Delta-debugs the victim program by NOP-masking chunks of instruction
-/// indices, keeping every mask that preserves the signature.
+/// indices, keeping every mask that preserves the signature. The chunking
+/// loop itself is [`sas_ptest::shrink::ddmin_mask`]; this wires it to the
+/// child-process prober and its budget.
 fn minimize_program(
     prober: &mut Prober<'_>,
     base_sig: &str,
@@ -221,31 +222,12 @@ fn minimize_program(
     total: usize,
     protected: &[usize],
 ) -> Vec<usize> {
-    let protected: HashSet<usize> = protected.iter().copied().collect();
-    let mut nopped: HashSet<usize> = HashSet::new();
-    let mut chunk = (total / 2).max(1);
-    loop {
-        let remaining: Vec<usize> =
-            (0..total).filter(|i| !nopped.contains(i) && !protected.contains(i)).collect();
-        for block in remaining.chunks(chunk) {
-            if prober.probes >= PROBE_BUDGET {
-                break;
-            }
-            let mut cand: Vec<usize> = nopped.iter().copied().collect();
-            cand.extend_from_slice(block);
-            cand.sort_unstable();
-            if prober.probe(&cand, plan).as_deref() == Some(base_sig) {
-                nopped.extend(block.iter().copied());
-            }
+    sas_ptest::shrink::ddmin_mask(total, protected, |cand| {
+        if prober.probes >= PROBE_BUDGET {
+            return None;
         }
-        if chunk == 1 || prober.probes >= PROBE_BUDGET {
-            break;
-        }
-        chunk = (chunk / 2).max(1);
-    }
-    let mut out: Vec<usize> = nopped.into_iter().collect();
-    out.sort_unstable();
-    out
+        Some(prober.probe(cand, plan).as_deref() == Some(base_sig))
+    })
 }
 
 /// Shrinks one deterministically failed cell into a repro bundle. Returns

@@ -60,6 +60,17 @@ echo "== tier1: static analysis cross-validation (sas-lint --all-attacks) =="
 cargo run -q --release --offline -p sas-analyze --bin sas-lint -- \
   --all-attacks --expect crates/analyze/expected_verdicts.txt
 
+echo "== tier1: differential fuzzing (corpus replay + 500-case campaign) =="
+# Every checked-in counterexample in crates/fuzz/corpus/ must replay with
+# its recorded static and dynamic verdicts, and a fixed-seed smoke campaign
+# must classify every synthesized gadget as agree or documented imprecision
+# — an unexplained disagreement fails the stage and prints per-case replay
+# seeds plus the campaign SAS_PTEST_SEED. The campaign also emits the
+# committed BENCH_lint.json throughput/tally artifact.
+./target/release/sas-fuzz replay
+./target/release/sas-fuzz campaign --cases 500 --bench BENCH_lint.json
+./target/release/sas-fuzz validate BENCH_lint.json
+
 echo "== tier1: chaos campaigns (60 seeded fault campaigns via sas-runner) =="
 # Every injected corruption must be caught (oracle divergence, fault,
 # deadlock, or post-run audit) and replay exactly from its reported seed;
