@@ -1,9 +1,25 @@
 //! Mid-cell checkpointing, corruption-safe resume and warmed-baseline
-//! forking for supervised bench cells.
+//! forking for supervised bench cells — and for any other host that wants
+//! to drive a [`System`] in resumable, interruptible chunks.
 //!
-//! The `sas-runner` supervisor sets these environment variables on the one
-//! child it spawns per cell; direct `cargo bench` runs leave them unset and
-//! get the plain uninterrupted run:
+//! The protocol has two layers:
+//!
+//! * [`CheckpointPlan`] + [`run_supervised_with`] — the parameterized core.
+//!   A caller (the `sas-serve` daemon's worker pool, a test harness)
+//!   describes *where* checkpoints go and *how often*, and supplies a
+//!   control callback polled at every cycle-chunk boundary; the callback can
+//!   let the run continue, **park** it (write a checkpoint and stop, so a
+//!   later run resumes bit-identically — graceful drain), or **abort** it
+//!   (stop without a checkpoint — deadline enforcement). Nothing in this
+//!   layer reads the environment or any other global state, so concurrent
+//!   runs in one process are fully independent.
+//! * [`run_supervised`] — the environment shim the `sas-runner` supervisor
+//!   talks through. It builds the plan from the `SAS_RUNNER_*` variables the
+//!   supervisor sets on the one child it spawns per cell and never
+//!   interrupts; direct `cargo bench` runs leave the variables unset and get
+//!   the plain uninterrupted run.
+//!
+//! The environment protocol:
 //!
 //! * [`CHECKPOINT_ENV`] — path of this cell's checkpoint file. The run is
 //!   chunked on [`CHECKPOINT_EVERY_ENV`]-cycle boundaries (default 1 M) and
@@ -50,14 +66,101 @@ pub const EXIT_AFTER_CHECKPOINTS_ENV: &str = "SAS_RUNNER_EXIT_AFTER_CHECKPOINTS"
 /// *environmental* failure code, so the cell is retried (and resumes).
 pub const EXIT_AFTER_CODE: u8 = 11;
 
+/// What a [`run_supervised_with`] control callback tells the run loop at a
+/// cycle-chunk boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Interrupt {
+    /// Keep running.
+    None,
+    /// Write a checkpoint (even off a period boundary) and stop: the job is
+    /// *parked*, and a later run with the same plan resumes bit-identically
+    /// from the image. Used by graceful drain.
+    Park(String),
+    /// Stop now, without writing a checkpoint. Used by deadline enforcement
+    /// and cancellation — the work is discarded, not resumed.
+    Abort(String),
+}
+
+/// How an interrupted run stopped (see [`SupervisedRun::interrupted`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Interrupted {
+    /// Parked behind a checkpoint; resumable.
+    Parked(String),
+    /// Aborted without a checkpoint.
+    Aborted(String),
+}
+
+/// A parameterized description of the checkpoint/warm-fork protocol for one
+/// supervised run. Build one by hand (the `sas-serve` path) or with
+/// [`CheckpointPlan::from_env`] (the `sas-runner` child path).
+#[derive(Debug, Clone, Default)]
+pub struct CheckpointPlan {
+    /// Checkpoint file for this run; `None` disables checkpointing.
+    pub path: Option<PathBuf>,
+    /// Checkpoint period in cycles (0 = the 1 M default).
+    pub every: u64,
+    /// The benchmark's shared warmed-baseline snapshot, if forking.
+    pub warm_base: Option<PathBuf>,
+    /// Warmup length in cycles when *creating* the warm base (0 = 50 000).
+    pub warm_cycles: u64,
+    /// Test hook: crash (exit [`EXIT_AFTER_CODE`]) after N checkpoints.
+    pub exit_after: u64,
+    /// Control-poll period in cycles: the callback runs at least this often
+    /// even between checkpoints. `None` polls only on checkpoint boundaries.
+    pub poll_every: Option<u64>,
+}
+
+impl CheckpointPlan {
+    /// A plan that neither checkpoints nor forks: `run` is one plain
+    /// `sys.run(budget)` (unless `poll_every` is later set).
+    pub fn none() -> CheckpointPlan {
+        CheckpointPlan::default()
+    }
+
+    /// Builds the plan from the ambient `SAS_RUNNER_*` environment (the
+    /// supervisor child protocol described in the module docs).
+    pub fn from_env() -> CheckpointPlan {
+        CheckpointPlan {
+            path: env_path(CHECKPOINT_ENV),
+            every: env_u64(CHECKPOINT_EVERY_ENV, 0),
+            warm_base: env_path(WARM_BASE_ENV),
+            warm_cycles: env_u64(WARM_CYCLES_ENV, 0),
+            exit_after: env_u64(EXIT_AFTER_CHECKPOINTS_ENV, 0),
+            poll_every: None,
+        }
+    }
+
+    /// The effective checkpoint period (defaulted).
+    fn period(&self) -> u64 {
+        if self.every > 0 {
+            self.every
+        } else {
+            1_000_000
+        }
+    }
+
+    /// The effective warmup length (defaulted).
+    fn warmup(&self) -> u64 {
+        if self.warm_cycles > 0 {
+            self.warm_cycles
+        } else {
+            50_000
+        }
+    }
+}
+
 /// Result of a supervised run: the final [`RunResult`] plus whether the
-/// machine started from a restored image rather than a cold reset.
+/// machine started from a restored image rather than a cold reset, and
+/// whether the control callback cut the run short.
 #[derive(Debug, Clone)]
 pub struct SupervisedRun {
     /// The (cumulative) run result; chunking is invisible in the numbers.
     pub run: RunResult,
     /// Whether the run resumed from a checkpoint or warmed-baseline image.
     pub restored: bool,
+    /// `Some` when the control callback stopped the run before the budget
+    /// (parked behind a checkpoint, or aborted).
+    pub interrupted: Option<Interrupted>,
 }
 
 fn env_path(var: &str) -> Option<PathBuf> {
@@ -85,16 +188,28 @@ fn is_baseline(sys: &System) -> bool {
 }
 
 /// Runs `sys` to `budget` cycles under the ambient checkpoint/warm-base
-/// protocol described in the module docs. With no relevant environment set
-/// this is exactly `sys.run(budget)`.
+/// environment protocol described in the module docs. With no relevant
+/// environment set this is exactly `sys.run(budget)`.
 pub fn run_supervised(sys: &mut System, budget: u64) -> SupervisedRun {
-    let ckpt = env_path(CHECKPOINT_ENV);
+    run_supervised_with(sys, budget, &CheckpointPlan::from_env(), |_| Interrupt::None)
+}
+
+/// Runs `sys` to `budget` cycles under `plan`, polling `control` at every
+/// cycle-chunk boundary (checkpoint periods, plus `plan.poll_every` when
+/// set). See [`Interrupt`] for what the callback can do; chunking is proven
+/// bit-identical to an uninterrupted `sys.run(budget)`.
+pub fn run_supervised_with(
+    sys: &mut System,
+    budget: u64,
+    plan: &CheckpointPlan,
+    mut control: impl FnMut(&System) -> Interrupt,
+) -> SupervisedRun {
     let mut restored = false;
 
     // 1. Resume from a checkpoint when one exists and is intact. A torn
     //    temp file (crash mid-write) is deleted — the rename never happened,
     //    so the main file (if any) is still the last complete image.
-    if let Some(path) = &ckpt {
+    if let Some(path) = &plan.path {
         let tmp = sas_snap::temp_path(path);
         if tmp.exists() {
             let _ = std::fs::remove_file(&tmp);
@@ -124,9 +239,9 @@ pub fn run_supervised(sys: &mut System, budget: u64) -> SupervisedRun {
     // 2. Otherwise fork from the benchmark's warmed-baseline image — or, on
     //    the baseline cell itself, create it after the warmup phase.
     if !restored {
-        if let Some(warm) = env_path(WARM_BASE_ENV) {
+        if let Some(warm) = &plan.warm_base {
             if warm.exists() {
-                match snapshot::restore_system_from(sys, &warm) {
+                match snapshot::restore_system_from(sys, warm) {
                     Ok(()) => {
                         restored = true;
                         eprintln!(
@@ -141,13 +256,13 @@ pub fn run_supervised(sys: &mut System, budget: u64) -> SupervisedRun {
                     ),
                 }
             } else if is_baseline(sys) {
-                let warm_at = env_u64(WARM_CYCLES_ENV, 50_000).min(budget);
+                let warm_at = plan.warmup().min(budget);
                 let run = sys.run(warm_at);
                 // Only a still-running machine is a useful fork point; a
                 // workload that finished inside the warmup window leaves no
                 // image and the other cells run cold.
                 if matches!(run.exit, RunExit::CycleLimit) && sys.cycle() < budget {
-                    match snapshot::write_system_snapshot(sys, &warm, true) {
+                    match snapshot::write_system_snapshot(sys, warm, true) {
                         Ok(()) => eprintln!(
                             "sas-bench: wrote warm base {} at cycle {}",
                             warm.display(),
@@ -158,41 +273,75 @@ pub fn run_supervised(sys: &mut System, budget: u64) -> SupervisedRun {
                         }
                     }
                 } else {
-                    return SupervisedRun { run, restored: false };
+                    return SupervisedRun { run, restored: false, interrupted: None };
                 }
             }
         }
     }
 
-    // 3. The measurement itself, chunked on checkpoint boundaries.
-    let Some(path) = ckpt else {
-        return SupervisedRun { run: sys.run(budget), restored };
-    };
-    let every = env_u64(CHECKPOINT_EVERY_ENV, 1_000_000);
-    let exit_after = env_u64(EXIT_AFTER_CHECKPOINTS_ENV, 0);
+    // 3. The measurement itself, chunked on checkpoint and poll boundaries.
+    if plan.path.is_none() && plan.poll_every.is_none() {
+        return SupervisedRun { run: sys.run(budget), restored, interrupted: None };
+    }
+    let every = plan.period();
     let mut written = 0u64;
+    // Parks the run behind a checkpoint (when one is configured); a parked
+    // job without a checkpoint path is simply cut short and must replay.
+    let park = |sys: &mut System, run: RunResult, reason: String, restored: bool| {
+        if let Some(path) = &plan.path {
+            if let Err(e) = snapshot::write_system_snapshot(sys, path, false) {
+                eprintln!("sas-bench: cannot write park checkpoint {}: {e}", path.display());
+            }
+        }
+        SupervisedRun { run, restored, interrupted: Some(Interrupted::Parked(reason)) }
+    };
     loop {
-        let next = (sys.cycle() / every + 1) * every;
-        let run = sys.run(next.min(budget));
+        let next_ckpt = if plan.path.is_some() {
+            (sys.cycle() / every + 1) * every
+        } else {
+            budget
+        };
+        let next_poll = match plan.poll_every.filter(|&p| p > 0) {
+            Some(p) => (sys.cycle() / p + 1) * p,
+            None => budget,
+        };
+        let next = next_ckpt.min(next_poll).min(budget);
+        let run = sys.run(next);
         if !matches!(run.exit, RunExit::CycleLimit) || sys.cycle() >= budget {
             // Done (or genuinely out of budget): drop the checkpoint so a
-            // later campaign on this cell id cannot resume stale state.
-            let _ = std::fs::remove_file(&path);
-            return SupervisedRun { run, restored };
+            // later run of this job cannot resume stale state.
+            if let Some(path) = &plan.path {
+                let _ = std::fs::remove_file(path);
+            }
+            return SupervisedRun { run, restored, interrupted: None };
         }
-        match snapshot::write_system_snapshot(sys, &path, false) {
-            Ok(()) => {
-                written += 1;
-                if exit_after > 0 && written >= exit_after {
-                    eprintln!(
-                        "sas-bench: simulated crash after {written} checkpoint(s) at cycle {}",
-                        sys.cycle()
-                    );
-                    std::process::exit(i32::from(EXIT_AFTER_CODE));
+        if plan.path.is_some() && sys.cycle() >= next_ckpt {
+            let path = plan.path.as_ref().expect("checked above");
+            match snapshot::write_system_snapshot(sys, path, false) {
+                Ok(()) => {
+                    written += 1;
+                    if plan.exit_after > 0 && written >= plan.exit_after {
+                        eprintln!(
+                            "sas-bench: simulated crash after {written} checkpoint(s) at cycle {}",
+                            sys.cycle()
+                        );
+                        std::process::exit(i32::from(EXIT_AFTER_CODE));
+                    }
+                }
+                // Checkpointing is best-effort; the measurement continues.
+                Err(e) => eprintln!("sas-bench: cannot write checkpoint {}: {e}", path.display()),
+            }
+        }
+        match control(sys) {
+            Interrupt::None => {}
+            Interrupt::Park(reason) => return park(sys, run, reason, restored),
+            Interrupt::Abort(reason) => {
+                return SupervisedRun {
+                    run,
+                    restored,
+                    interrupted: Some(Interrupted::Aborted(reason)),
                 }
             }
-            // Checkpointing is best-effort; the measurement continues.
-            Err(e) => eprintln!("sas-bench: cannot write checkpoint {}: {e}", path.display()),
         }
     }
 }

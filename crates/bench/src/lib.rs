@@ -189,6 +189,34 @@ fn cached_workloads(
     cache.lock().unwrap().entry(key).or_insert(built).clone()
 }
 
+/// Builds the single-core system for one SPEC workload — program loaded,
+/// data installed, *not* run — through the shared workload cache. Hosts
+/// that drive runs themselves (the `sas-serve` worker pool, through
+/// [`checkpoint::run_supervised_with`]) start here; [`run_spec_checked`] is
+/// the batteries-included wrapper.
+pub fn build_spec_system(profile: &Profile, m: Mitigation, iterations: u32) -> System {
+    let ws = cached_workloads(("spec", profile.name, iterations), || {
+        vec![build_workload(profile, iterations, SEED, 0)]
+    });
+    let mut sys = build_system(&SimConfig::table2(), ws[0].program.clone(), m);
+    ws[0].setup.apply(&mut sys);
+    sys
+}
+
+/// Builds the 4-core system for one PARSEC workload (see
+/// [`build_spec_system`]).
+pub fn build_parsec_system(profile: &Profile, m: Mitigation, iterations: u32) -> System {
+    let ws = cached_workloads(("parsec", profile.name, iterations), || {
+        build_parsec_workload(profile, iterations, SEED, 4)
+    });
+    let mut sys =
+        build_multicore(&SimConfig::table2(), ws.iter().map(|w| w.program.clone()).collect(), m);
+    for w in ws.iter() {
+        w.setup.apply(&mut sys);
+    }
+    sys
+}
+
 /// Runs one SPEC-style (single-core) workload under a mitigation,
 /// returning the failure instead of panicking on an aborted run.
 pub fn run_spec_checked(
@@ -196,12 +224,7 @@ pub fn run_spec_checked(
     m: Mitigation,
     iterations: u32,
 ) -> Result<Cell, Box<CellFailure>> {
-    let ws = cached_workloads(("spec", profile.name, iterations), || {
-        vec![build_workload(profile, iterations, SEED, 0)]
-    });
-    let w = &ws[0];
-    let mut sys = build_system(&SimConfig::table2(), w.program.clone(), m);
-    w.setup.apply(&mut sys);
+    let mut sys = build_spec_system(profile, m, iterations);
     arm_ambient_faults(&mut sys);
     let sr = checkpoint::run_supervised(&mut sys, 1_000_000_000);
     check_clean_exit("spec", profile.name, m, &sr.run)?;
@@ -225,14 +248,7 @@ pub fn run_parsec_checked(
     m: Mitigation,
     iterations: u32,
 ) -> Result<Cell, Box<CellFailure>> {
-    let ws = cached_workloads(("parsec", profile.name, iterations), || {
-        build_parsec_workload(profile, iterations, SEED, 4)
-    });
-    let mut sys =
-        build_multicore(&SimConfig::table2(), ws.iter().map(|w| w.program.clone()).collect(), m);
-    for w in ws.iter() {
-        w.setup.apply(&mut sys);
-    }
+    let mut sys = build_parsec_system(profile, m, iterations);
     arm_ambient_faults(&mut sys);
     let sr = checkpoint::run_supervised(&mut sys, 1_000_000_000);
     check_clean_exit("parsec", profile.name, m, &sr.run)?;

@@ -1,0 +1,98 @@
+//! The supervisor side of the heartbeat protocol.
+//!
+//! Children arm `System::set_heartbeat`, which atomically rewrites a
+//! one-line `{"cycle":N,"committed":M}` file every N cycles
+//! (write-temp-then-rename, so a poll never reads a torn line). Supervisors
+//! — the `sas-runner` watchdog loop and the `sas-serve` hung-worker
+//! monitor — poll that file to distinguish *slow* from *stuck*.
+//!
+//! Heartbeat files are process-scoped scratch state, not durable artifacts:
+//! they are keyed by the supervisor pid so concurrent campaigns never
+//! collide, removed when the supervised work ends, and swept by
+//! [`crate::sweep`] at startup when a SIGKILLed supervisor leaves orphans
+//! behind in a state dir.
+
+use crate::manifest;
+use std::path::{Path, PathBuf};
+
+/// Prefix of heartbeat file names inside a shared state dir (what
+/// [`crate::sweep`] matches on).
+pub const FILE_PREFIX: &str = "hb-";
+
+/// A parsed heartbeat sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Heartbeat {
+    /// The child's current simulation cycle.
+    pub cycle: u64,
+    /// Instructions committed so far.
+    pub committed: u64,
+}
+
+fn sanitize(id: &str) -> String {
+    id.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '-' }).collect()
+}
+
+/// The heartbeat file for supervised work `id` inside a shared state dir,
+/// keyed by this process's pid.
+pub fn path_in(dir: &Path, id: &str) -> PathBuf {
+    dir.join(format!("{FILE_PREFIX}{}-{}.json", std::process::id(), sanitize(id)))
+}
+
+/// The heartbeat file for supervised work `id` when no state dir exists:
+/// the system temp dir, pid-keyed.
+pub fn default_path(id: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("sas-runner-hb-{}-{}.json", std::process::id(), sanitize(id)))
+}
+
+/// Whether a state-dir file name is a (possibly orphaned) heartbeat file.
+pub fn is_heartbeat_file(name: &str) -> bool {
+    name.starts_with(FILE_PREFIX) && name.ends_with(".json")
+}
+
+/// Removes a heartbeat file together with its rename-staging sibling.
+pub fn remove(path: &Path) {
+    let _ = std::fs::remove_file(path.with_extension("hb.tmp"));
+    let _ = std::fs::remove_file(path);
+}
+
+/// Reads the latest heartbeat sample. `None` until the child arms its
+/// heartbeat (or for work that never runs a pipeline).
+pub fn read(path: &Path) -> Option<Heartbeat> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let map = manifest::parse_flat(text.trim())?;
+    Some(Heartbeat {
+        cycle: map.get("cycle")?.as_u64()?,
+        committed: map.get("committed")?.as_u64()?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paths_are_pid_keyed_and_sanitized() {
+        let dir = PathBuf::from("state");
+        let p = path_in(&dir, "spec/505.mcf_r/stt");
+        let name = p.file_name().unwrap().to_string_lossy().into_owned();
+        assert!(is_heartbeat_file(&name), "{name}");
+        assert!(name.contains(&std::process::id().to_string()), "{name}");
+        assert!(!name.contains('/'), "{name}");
+        assert_ne!(path_in(&dir, "a"), path_in(&dir, "b"));
+    }
+
+    #[test]
+    fn read_round_trips_the_child_line() {
+        let dir = std::env::temp_dir().join(format!("sas-hb-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = path_in(&dir, "unit");
+        std::fs::write(&p, "{\"cycle\":1234,\"committed\":567}\n").unwrap();
+        assert_eq!(read(&p), Some(Heartbeat { cycle: 1234, committed: 567 }));
+        // A torn/partial line is not a sample.
+        std::fs::write(&p, "{\"cycle\":12").unwrap();
+        assert_eq!(read(&p), None);
+        remove(&p);
+        assert!(!p.exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

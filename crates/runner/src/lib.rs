@@ -33,10 +33,13 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod capture;
 pub mod cell;
+pub mod heartbeat;
 pub mod manifest;
 pub mod shrink;
 pub mod supervisor;
+pub mod sweep;
 
 pub use cell::{CellId, CellOutcome, SelftestKind};
 pub use manifest::Record;

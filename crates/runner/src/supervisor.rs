@@ -23,8 +23,8 @@
 
 use crate::cell::{self, CellId, CellOutcome};
 use crate::manifest::{self, Record};
+use crate::{capture, heartbeat, sweep};
 use std::collections::{HashMap, HashSet, VecDeque};
-use std::io::Read as _;
 use std::path::PathBuf;
 use std::process::{Command, Stdio};
 use std::sync::Mutex;
@@ -147,21 +147,17 @@ fn is_baseline_cell(cell: &CellId) -> bool {
     )
 }
 
-/// Prepares the snapshot state dir for a campaign: creates it, and on a
-/// fresh (non-resume) start deletes stale snapshot files so a truncated
-/// manifest can never be paired with last campaign's checkpoints.
+/// Prepares the snapshot state dir for a campaign: creates it, then sweeps
+/// stale artifacts a SIGKILLed predecessor left behind — rename-staging
+/// `*.tmp` files and orphaned heartbeats always; snapshot images too on a
+/// fresh (non-resume) start, so a truncated manifest can never be paired
+/// with last campaign's checkpoints.
 fn prepare_state_dir(cfg: &Config) -> std::io::Result<()> {
     let Some(dir) = &cfg.checkpoint_dir else { return Ok(()) };
     std::fs::create_dir_all(dir)?;
-    if cfg.resume {
-        return Ok(());
-    }
-    for entry in std::fs::read_dir(dir)?.flatten() {
-        let name = entry.file_name();
-        let name = name.to_string_lossy();
-        if name.ends_with(".snap") || name.ends_with(".snap.tmp") {
-            let _ = std::fs::remove_file(entry.path());
-        }
+    let removed = sweep::sweep_stale_artifacts(dir, cfg.resume)?;
+    if !removed.is_empty() {
+        eprintln!("sas-runner: swept {} stale artifact(s) from {}", removed.len(), dir.display());
     }
     Ok(())
 }
@@ -400,35 +396,15 @@ fn env_failure(cell: &CellId, exit: &str, detail: String) -> CellOutcome {
 /// How often the supervisor reports child heartbeats on stderr.
 const HEARTBEAT_PRINT_PERIOD: Duration = Duration::from_secs(2);
 
-/// Where a child's heartbeat file lives: the system temp dir, keyed by the
-/// supervisor pid and the (sanitized) cell id so concurrent campaigns and
-/// workers never collide.
-fn heartbeat_path(id: &str) -> PathBuf {
-    let safe: String =
-        id.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '-' }).collect();
-    std::env::temp_dir().join(format!("sas-runner-hb-{}-{safe}.json", std::process::id()))
-}
-
-/// Removes a heartbeat file together with its rename-staging sibling.
-fn remove_heartbeat(path: &PathBuf) {
-    let _ = std::fs::remove_file(path.with_extension("hb.tmp"));
-    let _ = std::fs::remove_file(path);
-}
-
-/// Reads the child's latest heartbeat: the `{"cycle":N,"committed":M}` line
-/// `System::set_heartbeat` renames into place (write-temp-then-rename, so a
-/// poll never sees a torn line). `None` until the child arms its heartbeat
-/// (or for cells that never run a pipeline).
-fn read_heartbeat(path: &PathBuf) -> Option<(u64, u64)> {
-    let text = std::fs::read_to_string(path).ok()?;
-    let map = manifest::parse_flat(text.trim())?;
-    Some((map.get("cycle")?.as_u64()?, map.get("committed")?.as_u64()?))
-}
-
 fn run_child(cell: &CellId, cfg: &Config, attempt: u32) -> ChildEnd {
     let id = cell.to_string();
-    let hb_path = heartbeat_path(&id);
-    remove_heartbeat(&hb_path);
+    // With a state dir armed, heartbeats live next to the checkpoints so the
+    // startup sweep can reclaim orphans after a SIGKILLed supervisor.
+    let hb_path = match &cfg.checkpoint_dir {
+        Some(dir) => heartbeat::path_in(dir, &id),
+        None => heartbeat::default_path(&id),
+    };
+    heartbeat::remove(&hb_path);
     use sas_bench::checkpoint as ckpt;
     let mut cmd = Command::new(&cfg.child_exe);
     cmd.arg("cell")
@@ -474,19 +450,15 @@ fn run_child(cell: &CellId, cfg: &Config, attempt: u32) -> ChildEnd {
         Err(e) => return ChildEnd::Environmental(env_failure(cell, "spawn", e.to_string())),
     };
     // Drain both pipes on reader threads so a chatty child never blocks on a
-    // full pipe while the parent only polls `try_wait`.
-    let mut stdout_pipe = child.stdout.take().expect("piped stdout");
-    let mut stderr_pipe = child.stderr.take().expect("piped stderr");
-    let stdout_reader = std::thread::spawn(move || {
-        let mut buf = Vec::new();
-        let _ = stdout_pipe.read_to_end(&mut buf);
-        buf
-    });
-    let stderr_reader = std::thread::spawn(move || {
-        let mut buf = Vec::new();
-        let _ = stderr_pipe.read_to_end(&mut buf);
-        buf
-    });
+    // full pipe while the parent only polls `try_wait`; the captures are
+    // byte-bounded (head + tail) so a looping child cannot OOM the
+    // supervisor either.
+    let stdout_pipe = child.stdout.take().expect("piped stdout");
+    let stderr_pipe = child.stderr.take().expect("piped stderr");
+    let stdout_reader =
+        std::thread::spawn(move || capture::capture_bounded(stdout_pipe, capture::DEFAULT_CAP));
+    let stderr_reader =
+        std::thread::spawn(move || capture::capture_bounded(stderr_pipe, capture::DEFAULT_CAP));
 
     let started = Instant::now();
     let mut last_print = Instant::now();
@@ -499,20 +471,20 @@ fn run_child(cell: &CellId, cfg: &Config, attempt: u32) -> ChildEnd {
                     let _ = child.wait();
                     let _ = stdout_reader.join();
                     let _ = stderr_reader.join();
-                    remove_heartbeat(&hb_path);
+                    heartbeat::remove(&hb_path);
                     return ChildEnd::Timeout;
                 }
                 // Each watchdog poll also checks the child's heartbeat file;
                 // progress lines are throttled so they stay readable.
                 if last_print.elapsed() >= HEARTBEAT_PRINT_PERIOD {
                     last_print = Instant::now();
-                    if let Some((cycle, committed)) = read_heartbeat(&hb_path) {
+                    if let Some(hb) = heartbeat::read(&hb_path) {
                         eprintln!(
                             "sas-runner: {} heartbeat — {:.1}s elapsed, cycle {}, {} committed",
                             id,
                             started.elapsed().as_secs_f64(),
-                            cycle,
-                            committed
+                            hb.cycle,
+                            hb.committed
                         );
                     }
                 }
@@ -523,14 +495,14 @@ fn run_child(cell: &CellId, cfg: &Config, attempt: u32) -> ChildEnd {
                 let _ = child.wait();
                 let _ = stdout_reader.join();
                 let _ = stderr_reader.join();
-                remove_heartbeat(&hb_path);
+                heartbeat::remove(&hb_path);
                 return ChildEnd::Environmental(env_failure(cell, "wait", e.to_string()));
             }
         }
     };
-    remove_heartbeat(&hb_path);
-    let stdout = String::from_utf8_lossy(&stdout_reader.join().unwrap_or_default()).into_owned();
-    let stderr = String::from_utf8_lossy(&stderr_reader.join().unwrap_or_default()).into_owned();
+    heartbeat::remove(&hb_path);
+    let stdout = stdout_reader.join().map(capture::BoundedCapture::into_string).unwrap_or_default();
+    let stderr = stderr_reader.join().map(capture::BoundedCapture::into_string).unwrap_or_default();
     let reported = parse_result_line(&stdout);
     match status.code() {
         Some(0) => match reported {

@@ -1,0 +1,98 @@
+//! Startup sweep of stale supervisor artifacts.
+//!
+//! A SIGKILLed supervisor cannot clean up after itself: its state dir
+//! (`<manifest>.state/`, or a `sas-serve` data dir) is left holding
+//! rename-staging `*.tmp` siblings from interrupted atomic writes and
+//! orphaned `hb-*.json` heartbeat files from children that died with it.
+//! Those artifacts are scratch state — **never** inputs — so the next
+//! supervisor sweeps them on startup before trusting the directory.
+//!
+//! What is deliberately *kept*:
+//!
+//! * `*.snap` images (checkpoints, warm bases) — the resumable state a
+//!   `--resume` campaign or journal recovery restores from. A fresh
+//!   (non-resume) campaign passes `keep_snapshots: false` to drop them too,
+//!   so a truncated manifest can never be paired with last campaign's
+//!   checkpoints.
+//! * Everything else (journals, manifests, unknown files) — sweeping is
+//!   allow-listed by name pattern, not "delete what we don't recognize".
+
+use std::path::{Path, PathBuf};
+
+/// Removes stale scratch artifacts from `dir` (non-recursive): every
+/// rename-staging `*.tmp` file, every `hb-*.json` heartbeat file, and —
+/// unless `keep_snapshots` — every `*.snap` image. Returns the removed
+/// paths. A missing `dir` is fine (nothing to sweep).
+pub fn sweep_stale_artifacts(dir: &Path, keep_snapshots: bool) -> std::io::Result<Vec<PathBuf>> {
+    let mut removed = Vec::new();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(removed),
+        Err(e) => return Err(e),
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if !path.is_file() {
+            continue;
+        }
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        let stale = name.ends_with(".tmp")
+            || crate::heartbeat::is_heartbeat_file(&name)
+            || (!keep_snapshots && name.ends_with(".snap"));
+        if stale && std::fs::remove_file(&path).is_ok() {
+            removed.push(path);
+        }
+    }
+    removed.sort();
+    Ok(removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn touch(dir: &Path, name: &str) -> PathBuf {
+        let p = dir.join(name);
+        std::fs::write(&p, b"x").unwrap();
+        p
+    }
+
+    /// Regression test for the stale-artifact sweep: a state dir left by a
+    /// SIGKILLed supervisor — torn staging temps, orphaned heartbeats —
+    /// is cleaned without touching the resumable/durable files.
+    #[test]
+    fn sweep_removes_scratch_and_keeps_durable_state() {
+        let dir = std::env::temp_dir().join(format!("sas-sweep-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let ckpt = touch(&dir, "spec-505.mcf-r-stt.ckpt.snap");
+        let warm = touch(&dir, "warm-spec-505.mcf_r.snap");
+        let journal = touch(&dir, "journal.jsonl");
+        let torn_snap = touch(&dir, "spec-505.mcf-r-stt.ckpt.snap.tmp");
+        let orphan_hb = touch(&dir, "hb-12345-spec-505-mcf-r-stt.json");
+        let torn_hb = touch(&dir, "hb-12345-spec-505-mcf-r-stt.hb.tmp");
+        std::fs::create_dir(dir.join("sub.tmp")).unwrap(); // dirs are never swept
+
+        let removed = sweep_stale_artifacts(&dir, true).unwrap();
+        assert_eq!(removed.len(), 3, "{removed:?}");
+        for p in [&torn_snap, &orphan_hb, &torn_hb] {
+            assert!(!p.exists(), "stale artifact survived: {}", p.display());
+        }
+        for p in [&ckpt, &warm, &journal] {
+            assert!(p.exists(), "durable state swept: {}", p.display());
+        }
+        assert!(dir.join("sub.tmp").exists());
+
+        // A fresh (non-resume) campaign also drops the snapshot images.
+        let removed = sweep_stale_artifacts(&dir, false).unwrap();
+        assert_eq!(removed, vec![ckpt.clone(), warm.clone()]);
+        assert!(journal.exists());
+
+        // Idempotent; and a missing dir is not an error.
+        assert!(sweep_stale_artifacts(&dir, false).unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(sweep_stale_artifacts(&dir, true).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,267 @@
+//! The crash-resilient job journal.
+//!
+//! Every *accepted* job is appended to a JSONL journal **before** it is
+//! enqueued, and every terminal outcome (done / failed / cancelled) is
+//! appended when the job resolves. The file discipline is the same as the
+//! `sas-runner` manifest (DESIGN.md §8): one `write_all` + flush per row so
+//! a crash can tear at most the final line, and recovery truncates a torn
+//! trailing line in place instead of refusing the file.
+//!
+//! On startup [`Journal::open`] replays the journal: rows that parse, pair
+//! up, and an accepted job without a terminal row is **pending** — the
+//! daemon re-enqueues it, and if the job's `sas-snap` checkpoint survived
+//! the crash the simulation resumes mid-run instead of replaying. The
+//! journal is then compacted (rewritten with only the pending rows, via
+//! temp + rename) so it cannot grow without bound across restarts.
+
+use crate::job::JobSpec;
+use crate::queue::Priority;
+use sas_runner::manifest::parse_flat;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// A job recovered from the journal: accepted, never resolved.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PendingJob {
+    /// The job id (ids keep increasing across restarts).
+    pub id: u64,
+    /// Queue priority it was accepted at.
+    pub priority: Priority,
+    /// The work itself.
+    pub spec: JobSpec,
+    /// Remaining deadline budget, in milliseconds (deadlines are durable
+    /// as *budget*, not wall-clock instants: a restart re-arms the clock).
+    pub deadline_ms: u64,
+    /// The submitting client tag.
+    pub client: String,
+}
+
+/// What replaying the journal found.
+#[derive(Debug, Default)]
+pub struct Recovery {
+    /// Accepted jobs without a terminal row, in acceptance order.
+    pub pending: Vec<PendingJob>,
+    /// First job id the restarted daemon may hand out.
+    pub next_job_id: u64,
+    /// Whether a torn trailing line was truncated away.
+    pub truncated: bool,
+    /// Resolved rows dropped by compaction.
+    pub compacted: usize,
+}
+
+/// Append-only journal handle.
+#[derive(Debug)]
+pub struct Journal {
+    file: std::fs::File,
+    path: PathBuf,
+}
+
+impl Journal {
+    /// Opens (or creates) the journal at `path`, replaying and compacting
+    /// any existing contents first.
+    pub fn open(path: &Path) -> std::io::Result<(Journal, Recovery)> {
+        let recovery = replay_and_compact(path)?;
+        let file = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+        Ok((Journal { file, path: path.to_path_buf() }, recovery))
+    }
+
+    /// Where the journal lives.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Records an accepted job. Call **before** enqueueing: a job the
+    /// journal never saw would be lost by a crash, while a journaled job
+    /// that never ran is merely re-run.
+    pub fn accepted(&mut self, job: &PendingJob) -> std::io::Result<()> {
+        let mut row = format!(
+            "{{\"event\":\"accepted\",\"job\":{},\"priority\":\"{}\",\"deadline_ms\":{},\"client\":\"{}\"",
+            job.id,
+            job.priority.token(),
+            job.deadline_ms,
+            crate::http::json_escape(&job.client)
+        );
+        for (key, value) in job.spec.journal_fields() {
+            row.push_str(&format!(",\"{key}\":{value}"));
+        }
+        row.push('}');
+        self.append_line(&row)
+    }
+
+    /// Records a terminal outcome for a job.
+    pub fn resolved(&mut self, id: u64, outcome: &str) -> std::io::Result<()> {
+        self.append_line(&format!(
+            "{{\"event\":\"resolved\",\"job\":{id},\"outcome\":\"{}\"}}",
+            crate::http::json_escape(outcome)
+        ))
+    }
+
+    fn append_line(&mut self, row: &str) -> std::io::Result<()> {
+        // One write, one flush: a crash tears at most this line, and
+        // recovery drops a torn line.
+        self.file.write_all(format!("{row}\n").as_bytes())?;
+        self.file.flush()
+    }
+}
+
+fn replay_and_compact(path: &Path) -> std::io::Result<Recovery> {
+    let mut recovery = Recovery::default();
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(recovery),
+        Err(e) => return Err(e),
+    };
+    let mut pending: Vec<PendingJob> = Vec::new();
+    let mut rows = 0usize;
+    let lines: Vec<&str> = text.lines().collect();
+    for (i, line) in lines.iter().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let parsed = parse_flat(line).and_then(|map| {
+            let event = map.get("event")?.as_str()?.to_string();
+            let id = map.get("job")?.as_u64()?;
+            Some((event, id, map))
+        });
+        let Some((event, id, map)) = parsed else {
+            if i + 1 == lines.len() && !text.ends_with('\n') {
+                // Torn trailing line from a crash mid-append.
+                recovery.truncated = true;
+                continue;
+            }
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("{}: corrupt journal row {}: {line:?}", path.display(), i + 1),
+            ));
+        };
+        rows += 1;
+        recovery.next_job_id = recovery.next_job_id.max(id + 1);
+        match event.as_str() {
+            "accepted" => {
+                let job = (|| {
+                    Some(PendingJob {
+                        id,
+                        priority: Priority::parse(map.get("priority")?.as_str()?)?,
+                        spec: JobSpec::from_journal(&map)?,
+                        deadline_ms: map.get("deadline_ms")?.as_u64()?,
+                        client: map.get("client")?.as_str()?.to_string(),
+                    })
+                })();
+                match job {
+                    Some(j) => pending.push(j),
+                    None => {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::InvalidData,
+                            format!("{}: unreadable accepted row {}", path.display(), i + 1),
+                        ))
+                    }
+                }
+            }
+            "resolved" => pending.retain(|j| j.id != id),
+            _ => {} // forward compatibility: unknown events are ignored
+        }
+    }
+    recovery.compacted = rows.saturating_sub(pending.len());
+    recovery.pending = pending;
+
+    // Compact: rewrite only the pending accepted rows (atomic temp+rename),
+    // so restarts never replay an ever-growing history.
+    let tmp = path.with_extension("jsonl.compact.tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        for job in &recovery.pending {
+            let mut row = format!(
+                "{{\"event\":\"accepted\",\"job\":{},\"priority\":\"{}\",\"deadline_ms\":{},\"client\":\"{}\"",
+                job.id,
+                job.priority.token(),
+                job.deadline_ms,
+                crate::http::json_escape(&job.client)
+            );
+            for (key, value) in job.spec.journal_fields() {
+                row.push_str(&format!(",\"{key}\":{value}"));
+            }
+            row.push('}');
+            writeln!(f, "{row}")?;
+        }
+        f.flush()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(recovery)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobSpec, Target};
+
+    fn dir() -> PathBuf {
+        let d = std::env::temp_dir().join(format!("sas-journal-test-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn spec() -> JobSpec {
+        JobSpec::Simulate {
+            target: Target::Spec("505.mcf_r".into()),
+            mitigation: specasan::Mitigation::Stt,
+            iters: 25,
+        }
+    }
+
+    #[test]
+    fn pending_jobs_survive_reopen_and_resolved_jobs_do_not() {
+        let path = dir().join("j1.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let (mut j, r) = Journal::open(&path).unwrap();
+        assert!(r.pending.is_empty());
+        let a = PendingJob {
+            id: 1,
+            priority: Priority::Normal,
+            spec: spec(),
+            deadline_ms: 60_000,
+            client: "t".into(),
+        };
+        let b = PendingJob { id: 2, ..a.clone() };
+        j.accepted(&a).unwrap();
+        j.accepted(&b).unwrap();
+        j.resolved(1, "completed").unwrap();
+        drop(j);
+        let (_, r) = Journal::open(&path).unwrap();
+        assert_eq!(r.pending, vec![b]);
+        assert_eq!(r.next_job_id, 3);
+        // Compaction dropped the resolved pair.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 1, "{text}");
+    }
+
+    #[test]
+    fn a_torn_trailing_line_is_dropped_not_fatal() {
+        let path = dir().join("j2.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let (mut j, _) = Journal::open(&path).unwrap();
+        let a = PendingJob {
+            id: 7,
+            priority: Priority::High,
+            spec: JobSpec::Lint { program: "ld x1, [x2]\nhlt".into(), suggest: true },
+            deadline_ms: 5_000,
+            client: "c".into(),
+        };
+        j.accepted(&a).unwrap();
+        drop(j);
+        // Simulate a crash mid-append: garbage without a trailing newline.
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"event\":\"resolved\",\"jo").unwrap();
+        drop(f);
+        let (_, r) = Journal::open(&path).unwrap();
+        assert!(r.truncated);
+        assert_eq!(r.pending, vec![a], "the torn terminal row must not resolve job 7");
+    }
+
+    #[test]
+    fn corrupt_interior_rows_are_refused() {
+        let path = dir().join("j3.jsonl");
+        std::fs::write(&path, "not json at all\n{\"event\":\"resolved\",\"job\":1}\n").unwrap();
+        assert!(Journal::open(&path).is_err());
+    }
+}

@@ -1,0 +1,906 @@
+//! The service: accept loop, worker pool, admission control, deadline
+//! watchdog, hung-worker supervision, drain, and crash recovery.
+//!
+//! Concurrency model: one nonblocking accept loop hands connections to
+//! short-lived connection threads; a fixed worker pool (sized by the
+//! `SAS_RUNNER_JOBS` convention) drains the priority queue; one watchdog
+//! thread enforces deadlines and detects wedged workers. All mutable state
+//! lives behind a single mutex ([`State`]) with two condvars — one waking
+//! workers, one waking request threads blocked on job completion — so
+//! every transition is a small critical section around the lock.
+//!
+//! The failure-mode contract (DESIGN.md §13): a full queue is an explicit
+//! 503 with `Retry-After`, a deadline overrun is a structured error that
+//! frees the worker at the next cycle-chunk boundary, a worker that refuses
+//! to yield is failed by the watchdog without touching other jobs, a
+//! SIGKILL loses nothing that was journaled, and drain parks in-flight
+//! simulations behind `sas-snap` checkpoints and exits 0.
+
+use crate::http::{self, json_escape, Request};
+use crate::job::{self, JobEnd, JobSpec, RunPlan};
+use crate::journal::{Journal, PendingJob};
+use crate::queue::{JobQueue, Priority, Reject};
+use sas_runner::{heartbeat, supervisor, sweep};
+use sas_telemetry::json::{self, Json};
+use std::collections::HashMap;
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Bind address (`127.0.0.1:0` for an ephemeral port).
+    pub addr: String,
+    /// Worker threads. Defaults to [`supervisor::JOBS_ENV`] (min 1).
+    pub workers: usize,
+    /// Queue capacity (admission bound).
+    pub queue_cap: usize,
+    /// State directory: journal, job checkpoints, warm bases, heartbeats.
+    pub state_dir: PathBuf,
+    /// Deadline budget for requests that do not set `deadline_ms`.
+    pub default_deadline: Duration,
+    /// How long drain waits for workers to finish or park.
+    pub drain_deadline: Duration,
+    /// Max in-flight (queued + running) jobs per client tag.
+    pub per_client_cap: usize,
+    /// Extra time past its deadline a cancelled job may keep its worker
+    /// before the watchdog declares the worker wedged.
+    pub hang_grace: Duration,
+    /// Cycle-chunk size: checkpoint period, control-poll period.
+    pub chunk: u64,
+}
+
+impl Config {
+    /// Defaults for a daemon keeping state under `state_dir`.
+    pub fn new(state_dir: PathBuf) -> Config {
+        let workers = std::env::var(supervisor::JOBS_ENV)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&j| j >= 1)
+            .unwrap_or(2);
+        Config {
+            addr: "127.0.0.1:0".into(),
+            workers,
+            queue_cap: 32,
+            state_dir,
+            default_deadline: Duration::from_secs(120),
+            drain_deadline: Duration::from_secs(30),
+            per_client_cap: 8,
+            hang_grace: Duration::from_secs(5),
+            chunk: 1_000_000,
+        }
+    }
+}
+
+/// Monotonic service counters (all also surfaced by `status`).
+#[derive(Debug, Default, Clone)]
+pub struct Counters {
+    /// Jobs journaled and enqueued.
+    pub accepted: u64,
+    /// Jobs resumed from the journal at startup.
+    pub resumed: u64,
+    /// Jobs that completed successfully.
+    pub completed: u64,
+    /// Jobs that failed (deadline, cancellation, simulator abort, …).
+    pub failed: u64,
+    /// Queued jobs cancelled before running.
+    pub cancelled: u64,
+    /// Jobs parked behind a checkpoint by drain.
+    pub parked: u64,
+    /// Workers declared wedged by the watchdog.
+    pub stalled: u64,
+    /// 503s: queue full.
+    pub rejected_full: u64,
+    /// 503s: load shedding (low priority above the shed threshold).
+    pub rejected_shed: u64,
+    /// 503s: draining.
+    pub rejected_draining: u64,
+    /// 429s: per-client in-flight cap.
+    pub rejected_client: u64,
+}
+
+#[derive(Debug)]
+enum Phase {
+    Queued,
+    Running {
+        deadline: Instant,
+        hb: PathBuf,
+    },
+    /// Parked behind a checkpoint (drain); resumable after restart.
+    Parked,
+    Done {
+        outcome: String,
+        /// JSON result object for `completed`, human detail otherwise.
+        body: String,
+        ok: bool,
+    },
+}
+
+#[derive(Debug)]
+struct JobEntry {
+    spec: JobSpec,
+    priority: Priority,
+    client: String,
+    deadline_ms: u64,
+    cancel: Arc<AtomicBool>,
+    phase: Phase,
+    /// Set by the watchdog when it resolves this job out from under a
+    /// wedged worker; tells that worker to retire instead of double-
+    /// resolving (a replacement was already spawned).
+    stalled: bool,
+}
+
+struct State {
+    queue: JobQueue,
+    jobs: HashMap<u64, JobEntry>,
+    done_order: Vec<u64>,
+    next_id: u64,
+    running: usize,
+    workers_alive: usize,
+    counters: Counters,
+}
+
+struct Shared {
+    cfg: Config,
+    state: Mutex<State>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+    journal: Mutex<Journal>,
+    draining: AtomicBool,
+    park: Arc<AtomicBool>,
+    connections: AtomicUsize,
+}
+
+/// Cap on concurrently-served connections (beyond it: immediate 503).
+const MAX_CONNECTIONS: usize = 64;
+
+/// Resolved jobs kept for `job`-method polling before the oldest is
+/// forgotten.
+const DONE_RETENTION: usize = 256;
+
+/// A running service instance.
+pub struct Server {
+    shared: Arc<Shared>,
+    port: u16,
+    stop_accept: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Recovers state, binds the listener, and spawns the accept loop,
+    /// worker pool, and watchdog.
+    pub fn start(cfg: Config) -> std::io::Result<Server> {
+        std::fs::create_dir_all(&cfg.state_dir)?;
+        // A SIGKILLed predecessor leaves staging temps and orphaned
+        // heartbeats; checkpoints and warm bases are kept — they are the
+        // resumable state.
+        let swept = sweep::sweep_stale_artifacts(&cfg.state_dir, true)?;
+        if !swept.is_empty() {
+            eprintln!("sas-serve: swept {} stale artifact(s)", swept.len());
+        }
+        let (journal, recovery) = Journal::open(&cfg.state_dir.join("journal.jsonl"))?;
+        if recovery.truncated {
+            eprintln!("sas-serve: truncated a torn journal line");
+        }
+
+        let mut state = State {
+            // Recovered jobs must all re-enter the queue regardless of the
+            // configured bound; admission control applies to new traffic.
+            queue: JobQueue::new(cfg.queue_cap.max(recovery.pending.len())),
+            jobs: HashMap::new(),
+            done_order: Vec::new(),
+            next_id: recovery.next_job_id,
+            running: 0,
+            workers_alive: cfg.workers,
+            counters: Counters::default(),
+        };
+        for p in &recovery.pending {
+            eprintln!("sas-serve: resuming journaled job {} ({})", p.id, p.spec.label());
+            state.queue.push(p.priority, p.id).expect("resume capacity reserved above");
+            state.jobs.insert(
+                p.id,
+                JobEntry {
+                    spec: p.spec.clone(),
+                    priority: p.priority,
+                    client: p.client.clone(),
+                    deadline_ms: p.deadline_ms,
+                    cancel: Arc::new(AtomicBool::new(false)),
+                    phase: Phase::Queued,
+                    stalled: false,
+                },
+            );
+            state.counters.resumed += 1;
+        }
+
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let port = listener.local_addr()?.port();
+
+        let workers = cfg.workers;
+        let shared = Arc::new(Shared {
+            cfg,
+            state: Mutex::new(state),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            journal: Mutex::new(journal),
+            draining: AtomicBool::new(false),
+            park: Arc::new(AtomicBool::new(false)),
+            connections: AtomicUsize::new(0),
+        });
+        for _ in 0..workers {
+            spawn_worker(Arc::clone(&shared));
+        }
+        {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || watchdog_loop(shared));
+        }
+        let stop_accept = Arc::new(AtomicBool::new(false));
+        {
+            let shared = Arc::clone(&shared);
+            let stop = Arc::clone(&stop_accept);
+            std::thread::spawn(move || accept_loop(&shared, &listener, &stop));
+        }
+        Ok(Server { shared, port, stop_accept })
+    }
+
+    /// The bound port.
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// Jobs resumed from the journal at startup.
+    pub fn resumed(&self) -> u64 {
+        self.shared.state.lock().expect("state lock").counters.resumed
+    }
+
+    /// Starts draining: stop admitting, park in-flight simulations.
+    pub fn drain(&self) {
+        drain(&self.shared);
+    }
+
+    /// Whether a drain has been initiated (by [`Server::drain`] or by a
+    /// client hitting `POST /drain`).
+    pub fn draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+
+    /// Waits for every worker to finish or park, up to the configured
+    /// drain deadline. Returns whether the drain completed in time.
+    pub fn drain_wait(&self) -> bool {
+        let deadline = Instant::now() + self.shared.cfg.drain_deadline;
+        let mut st = self.shared.state.lock().expect("state lock");
+        while st.workers_alive > 0 {
+            let Some(left) = deadline.checked_duration_since(Instant::now()) else {
+                return false;
+            };
+            let (guard, _) =
+                self.shared.done_cv.wait_timeout(st, left.min(Duration::from_millis(100)))
+                    .expect("state lock");
+            st = guard;
+        }
+        true
+    }
+
+    /// Stops the accept loop (used at the very end of shutdown).
+    pub fn stop_accepting(&self) {
+        self.stop_accept.store(true, Ordering::SeqCst);
+    }
+}
+
+fn drain(shared: &Shared) {
+    if shared.draining.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    eprintln!("sas-serve: draining — no longer admitting jobs");
+    shared.park.store(true, Ordering::SeqCst);
+    shared.work_cv.notify_all();
+    shared.done_cv.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// Worker pool
+// ---------------------------------------------------------------------------
+
+fn spawn_worker(shared: Arc<Shared>) {
+    std::thread::spawn(move || worker_loop(&shared));
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        // Claim the next job, or retire when draining finds the queue empty.
+        let claimed = {
+            let mut st = shared.state.lock().expect("state lock");
+            loop {
+                if let Some((_, id)) = st.queue.pop() {
+                    break Some(id);
+                }
+                if shared.draining.load(Ordering::SeqCst) {
+                    st.workers_alive -= 1;
+                    shared.done_cv.notify_all();
+                    break None;
+                }
+                st = shared.work_cv.wait(st).expect("state lock");
+            }
+        };
+        let Some(id) = claimed else { return };
+
+        // Transition to Running and build the plan outside the lock.
+        let (spec, cancel, plan) = {
+            let mut st = shared.state.lock().expect("state lock");
+            let Some(entry) = st.jobs.get_mut(&id) else { continue };
+            let deadline = Instant::now() + Duration::from_millis(entry.deadline_ms);
+            let hb = heartbeat::path_in(&shared.cfg.state_dir, &format!("job-{id}"));
+            entry.phase = Phase::Running { deadline, hb: hb.clone() };
+            let spec = entry.spec.clone();
+            let cancel = Arc::clone(&entry.cancel);
+            st.running += 1;
+            let plan = RunPlan {
+                checkpoint: spec
+                    .wants_checkpoint()
+                    .then(|| shared.cfg.state_dir.join(format!("job-{id}.ckpt.snap"))),
+                warm_base: spec
+                    .warm_key()
+                    .map(|(suite, bench)| {
+                        supervisor::warm_base_path(&shared.cfg.state_dir, suite, bench)
+                    }),
+                heartbeat: Some(hb),
+                chunk: shared.cfg.chunk,
+                deadline: Some(deadline),
+            };
+            (spec, cancel, plan)
+        };
+
+        let end = job::run_job(&spec, &plan, &cancel, &shared.park);
+
+        // Resolve (unless the watchdog already did, declaring us wedged).
+        let mut st = shared.state.lock().expect("state lock");
+        st.running = st.running.saturating_sub(1);
+        if let Some(hb) = &plan.heartbeat {
+            heartbeat::remove(hb);
+        }
+        let Some(entry) = st.jobs.get_mut(&id) else { continue };
+        if entry.stalled {
+            // The watchdog gave up on this worker, resolved the job, and
+            // spawned a replacement; retire quietly.
+            st.workers_alive -= 1;
+            shared.done_cv.notify_all();
+            return;
+        }
+        match end {
+            JobEnd::Completed { result } => {
+                entry.phase = Phase::Done { outcome: "completed".into(), body: result, ok: true };
+                st.counters.completed += 1;
+                finish_job(shared, &mut st, id, Some("completed"), true);
+            }
+            JobEnd::Parked => {
+                entry.phase = Phase::Parked;
+                st.counters.parked += 1;
+                eprintln!("sas-serve: job {id} parked behind its checkpoint (drain)");
+                finish_job(shared, &mut st, id, None, false);
+            }
+            JobEnd::Failed { code, detail } => {
+                eprintln!("sas-serve: job {id} failed [{code}] {detail}");
+                entry.phase = Phase::Done { outcome: code.clone(), body: detail, ok: false };
+                st.counters.failed += 1;
+                finish_job(shared, &mut st, id, Some(&code), true);
+            }
+        }
+    }
+}
+
+/// Post-resolution bookkeeping under the state lock: journal the terminal
+/// outcome (when there is one), drop a now-stale checkpoint, cap the done
+/// backlog, and wake completion waiters.
+fn finish_job(shared: &Shared, st: &mut State, id: u64, outcome: Option<&str>, drop_ckpt: bool) {
+    if let Some(outcome) = outcome {
+        if let Err(e) = shared.journal.lock().expect("journal lock").resolved(id, outcome) {
+            eprintln!("sas-serve: journal append failed: {e}");
+        }
+    }
+    if drop_ckpt {
+        let path = shared.cfg.state_dir.join(format!("job-{id}.ckpt.snap"));
+        let _ = std::fs::remove_file(sas_snap::temp_path(&path));
+        let _ = std::fs::remove_file(path);
+    }
+    st.done_order.push(id);
+    if st.done_order.len() > DONE_RETENTION {
+        let drop_id = st.done_order.remove(0);
+        if matches!(st.jobs.get(&drop_id).map(|e| &e.phase), Some(Phase::Done { .. })) {
+            st.jobs.remove(&drop_id);
+        }
+    }
+    shared.done_cv.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// Watchdog: deadlines and wedged workers
+// ---------------------------------------------------------------------------
+
+fn watchdog_loop(shared: Arc<Shared>) {
+    loop {
+        std::thread::sleep(Duration::from_millis(50));
+        let now = Instant::now();
+        let mut replacements = 0;
+        {
+            let shared = &*shared;
+            let mut st = shared.state.lock().expect("state lock");
+            let mut to_fail: Vec<u64> = Vec::new();
+            for (&id, entry) in &st.jobs {
+                let Phase::Running { deadline, hb } = &entry.phase else { continue };
+                if now < *deadline || entry.stalled {
+                    continue;
+                }
+                // Past the deadline: request cooperative cancellation. A
+                // healthy worker aborts at the next chunk boundary and
+                // resolves the job itself with a `deadline` error.
+                entry.cancel.store(true, Ordering::SeqCst);
+                if now < *deadline + shared.cfg.hang_grace {
+                    continue;
+                }
+                // Cancellation ignored through the whole grace window: the
+                // worker is wedged. (The heartbeat tells the same story —
+                // a live simulation would have hit a chunk boundary long
+                // ago — and names the last cycle for the log line.)
+                let last = heartbeat::read(hb).map(|h| h.cycle);
+                eprintln!(
+                    "sas-serve: job {id} ignored cancellation for {:?} (last heartbeat cycle {:?}); failing it and replacing the worker",
+                    shared.cfg.hang_grace,
+                    last
+                );
+                to_fail.push(id);
+            }
+            for id in to_fail {
+                let entry = st.jobs.get_mut(&id).expect("selected above");
+                entry.stalled = true;
+                entry.phase = Phase::Done {
+                    outcome: "stalled".into(),
+                    body: "worker failed to honor cancellation within the hang grace".into(),
+                    ok: false,
+                };
+                st.counters.failed += 1;
+                st.counters.stalled += 1;
+                finish_job(shared, &mut st, id, Some("stalled"), true);
+                // The wedged worker retires itself when (if ever) it
+                // returns; keep the pool at strength now.
+                st.workers_alive += 1;
+                replacements += 1;
+            }
+        }
+        for _ in 0..replacements {
+            spawn_worker(Arc::clone(&shared));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// HTTP front end
+// ---------------------------------------------------------------------------
+
+fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener, stop: &AtomicBool) {
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                if shared.connections.fetch_add(1, Ordering::SeqCst) >= MAX_CONNECTIONS {
+                    shared.connections.fetch_sub(1, Ordering::SeqCst);
+                    let mut stream = stream;
+                    let _ = http::respond(
+                        &mut stream,
+                        503,
+                        "Service Unavailable",
+                        &[("retry-after", "1")],
+                        "application/json",
+                        "{\"error\":{\"message\":\"connection limit\"}}",
+                    );
+                    continue;
+                }
+                let shared = Arc::clone(shared);
+                std::thread::spawn(move || {
+                    handle_connection(&shared, stream, peer.ip().to_string());
+                    shared.connections.fetch_sub(1, Ordering::SeqCst);
+                });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => {
+                eprintln!("sas-serve: accept error: {e}");
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        }
+    }
+}
+
+fn handle_connection(shared: &Shared, mut stream: TcpStream, peer: String) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    let req = match http::read_request(&mut stream) {
+        Ok(req) => req,
+        Err(http::ReadError::Closed) => return,
+        Err(http::ReadError::TooLarge) => {
+            let _ = http::respond(
+                &mut stream,
+                413,
+                "Payload Too Large",
+                &[],
+                "application/json",
+                "{\"error\":{\"message\":\"request too large\"}}",
+            );
+            return;
+        }
+        Err(http::ReadError::Bad(msg)) => {
+            let body = format!("{{\"error\":{{\"message\":\"{}\"}}}}", json_escape(&msg));
+            let _ =
+                http::respond(&mut stream, 400, "Bad Request", &[], "application/json", &body);
+            return;
+        }
+        Err(http::ReadError::Io(_)) => return,
+    };
+    let (status, reason, headers, body) = route(shared, &req, &peer);
+    let header_refs: Vec<(&str, &str)> =
+        headers.iter().map(|(n, v)| (n.as_str(), v.as_str())).collect();
+    let _ = http::respond(&mut stream, status, reason, &header_refs, "application/json", &body);
+}
+
+type Response = (u16, &'static str, Vec<(String, String)>, String);
+
+fn ok(body: String) -> Response {
+    (200, "OK", Vec::new(), body)
+}
+
+fn unavailable(message: &str, counters_bump: &str, shared: &Shared) -> Response {
+    {
+        let mut st = shared.state.lock().expect("state lock");
+        match counters_bump {
+            "full" => st.counters.rejected_full += 1,
+            "shed" => st.counters.rejected_shed += 1,
+            "draining" => st.counters.rejected_draining += 1,
+            _ => {}
+        }
+    }
+    (
+        503,
+        "Service Unavailable",
+        vec![("retry-after".into(), "2".into())],
+        format!(
+            "{{\"error\":{{\"message\":\"{}\",\"kind\":\"{}\"}}}}",
+            json_escape(message),
+            counters_bump
+        ),
+    )
+}
+
+fn route(shared: &Shared, req: &Request, peer: &str) -> Response {
+    match (req.method.as_str(), req.path.split('?').next().unwrap_or("")) {
+        ("GET", "/healthz") => {
+            if shared.draining.load(Ordering::SeqCst) {
+                (
+                    503,
+                    "Service Unavailable",
+                    vec![("retry-after".into(), "2".into())],
+                    "{\"ok\":false,\"draining\":true}".into(),
+                )
+            } else {
+                ok("{\"ok\":true}".into())
+            }
+        }
+        ("GET", "/status") => ok(status_body(shared)),
+        ("POST", "/drain") => {
+            drain(shared);
+            ok("{\"draining\":true}".into())
+        }
+        ("POST", "/rpc") => rpc(shared, req, peer),
+        _ => (
+            404,
+            "Not Found",
+            Vec::new(),
+            "{\"error\":{\"message\":\"try POST /rpc, GET /status, GET /healthz, POST /drain\"}}"
+                .into(),
+        ),
+    }
+}
+
+fn status_body(shared: &Shared) -> String {
+    let st = shared.state.lock().expect("state lock");
+    let c = &st.counters;
+    format!(
+        "{{\"draining\":{},\"queued\":{},\"running\":{},\"workers\":{},\"queue_cap\":{},\
+         \"accepted\":{},\"resumed\":{},\"completed\":{},\"failed\":{},\"cancelled\":{},\
+         \"parked\":{},\"stalled\":{},\"rejected\":{{\"full\":{},\"shed\":{},\"draining\":{},\"client\":{}}}}}",
+        shared.draining.load(Ordering::SeqCst),
+        st.queue.len(),
+        st.running,
+        st.workers_alive,
+        st.queue.cap(),
+        c.accepted,
+        c.resumed,
+        c.completed,
+        c.failed,
+        c.cancelled,
+        c.parked,
+        c.stalled,
+        c.rejected_full,
+        c.rejected_shed,
+        c.rejected_draining,
+        c.rejected_client,
+    )
+}
+
+/// Renders a JSON-RPC id value back out.
+fn render_id(id: Option<&Json>) -> String {
+    match id {
+        Some(Json::Num(n)) if n.fract() == 0.0 => format!("{}", *n as i64),
+        Some(Json::Num(n)) => format!("{n}"),
+        Some(Json::Str(s)) => format!("\"{}\"", json_escape(s)),
+        _ => "null".into(),
+    }
+}
+
+fn rpc_error(id: &str, code: i64, message: &str, kind: Option<&str>) -> String {
+    let data = match kind {
+        Some(k) => format!(",\"data\":{{\"kind\":\"{}\"}}", json_escape(k)),
+        None => String::new(),
+    };
+    format!(
+        "{{\"jsonrpc\":\"2.0\",\"id\":{id},\"error\":{{\"code\":{code},\"message\":\"{}\"{data}}}}}",
+        json_escape(message)
+    )
+}
+
+fn rpc_result(id: &str, result: &str) -> String {
+    format!("{{\"jsonrpc\":\"2.0\",\"id\":{id},\"result\":{result}}}")
+}
+
+fn rpc(shared: &Shared, req: &Request, peer: &str) -> Response {
+    let text = String::from_utf8_lossy(&req.body);
+    let doc = match json::parse(&text) {
+        Ok(doc) => doc,
+        Err(e) => {
+            return (
+                400,
+                "Bad Request",
+                Vec::new(),
+                rpc_error("null", -32700, &format!("parse error: {e}"), None),
+            )
+        }
+    };
+    let id = render_id(doc.get("id"));
+    let Some(method) = doc.get("method").and_then(Json::as_str) else {
+        return (400, "Bad Request", Vec::new(), rpc_error(&id, -32600, "missing method", None));
+    };
+    let empty = Json::Obj(Default::default());
+    let params = doc.get("params").unwrap_or(&empty);
+
+    match method {
+        "status" => ok(rpc_result(&id, &status_body(shared))),
+        "drain" => {
+            drain(shared);
+            ok(rpc_result(&id, "{\"draining\":true}"))
+        }
+        "job" => rpc_job_query(shared, &id, params),
+        "cancel" => rpc_cancel(shared, &id, params),
+        "simulate" | "trace" | "lint" | "spin" => rpc_submit(shared, req, peer, &id, method, params),
+        other => {
+            let msg = format!("unknown method {other:?}");
+            (400, "Bad Request", Vec::new(), rpc_error(&id, -32601, &msg, None))
+        }
+    }
+}
+
+fn job_status_json(entry: &JobEntry, id: u64) -> String {
+    let (status, extra) = match &entry.phase {
+        Phase::Queued => ("queued".to_string(), String::new()),
+        Phase::Running { .. } => ("running".to_string(), String::new()),
+        Phase::Parked => ("parked".to_string(), String::new()),
+        Phase::Done { outcome, body, ok } => {
+            let payload = if *ok {
+                format!(",\"result\":{body}")
+            } else {
+                format!(",\"error\":\"{}\"", json_escape(body))
+            };
+            (format!("done:{outcome}"), payload)
+        }
+    };
+    format!(
+        "{{\"job\":{id},\"kind\":\"{}\",\"label\":\"{}\",\"priority\":\"{}\",\"status\":\"{}\"{}}}",
+        entry.spec.kind(),
+        json_escape(&entry.spec.label()),
+        entry.priority.token(),
+        status,
+        extra
+    )
+}
+
+fn rpc_job_query(shared: &Shared, id: &str, params: &Json) -> Response {
+    let Some(job_id) = params.get("job").and_then(Json::as_num).map(|n| n as u64) else {
+        return (400, "Bad Request", Vec::new(), rpc_error(id, -32600, "missing job id", None));
+    };
+    let st = shared.state.lock().expect("state lock");
+    match st.jobs.get(&job_id) {
+        Some(entry) => ok(rpc_result(id, &job_status_json(entry, job_id))),
+        None => {
+            let msg = format!("unknown job {job_id}");
+            (404, "Not Found", Vec::new(), rpc_error(id, -32000, &msg, Some("unknown-job")))
+        }
+    }
+}
+
+fn rpc_cancel(shared: &Shared, id: &str, params: &Json) -> Response {
+    let Some(job_id) = params.get("job").and_then(Json::as_num).map(|n| n as u64) else {
+        return (400, "Bad Request", Vec::new(), rpc_error(id, -32600, "missing job id", None));
+    };
+    let mut st = shared.state.lock().expect("state lock");
+    let Some(entry) = st.jobs.get_mut(&job_id) else {
+        let msg = format!("unknown job {job_id}");
+        return (404, "Not Found", Vec::new(), rpc_error(id, -32000, &msg, Some("unknown-job")));
+    };
+    match &entry.phase {
+        Phase::Queued => {
+            entry.phase =
+                Phase::Done { outcome: "cancelled".into(), body: "cancelled while queued".into(), ok: false };
+            st.queue.cancel(job_id);
+            st.counters.cancelled += 1;
+            finish_job(shared, &mut st, job_id, Some("cancelled"), true);
+            ok(rpc_result(id, &format!("{{\"job\":{job_id},\"cancelled\":true}}")))
+        }
+        Phase::Running { .. } => {
+            // Cooperative: the worker aborts at the next chunk boundary.
+            entry.cancel.store(true, Ordering::SeqCst);
+            ok(rpc_result(id, &format!("{{\"job\":{job_id},\"cancelling\":true}}")))
+        }
+        _ => ok(rpc_result(id, &format!("{{\"job\":{job_id},\"cancelled\":false}}"))),
+    }
+}
+
+fn rpc_submit(
+    shared: &Shared,
+    req: &Request,
+    peer: &str,
+    id: &str,
+    method: &str,
+    params: &Json,
+) -> Response {
+    if shared.draining.load(Ordering::SeqCst) {
+        return unavailable("draining: not admitting new jobs", "draining", shared);
+    }
+    let (spec, priority, deadline_ms) = match job::parse_request(method, params) {
+        Ok(parsed) => parsed,
+        Err(msg) => return (400, "Bad Request", Vec::new(), rpc_error(id, -32602, &msg, None)),
+    };
+    let deadline_ms =
+        deadline_ms.unwrap_or(shared.cfg.default_deadline.as_millis() as u64).max(1);
+    let client = params
+        .get("client")
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .or_else(|| req.header("x-client").map(str::to_string))
+        .unwrap_or_else(|| peer.to_string());
+    let wait = match params.get("wait") {
+        Some(Json::Bool(b)) => *b,
+        _ => true,
+    };
+
+    // Admission, under one critical section.
+    let job_id = {
+        let mut st = shared.state.lock().expect("state lock");
+        let in_flight = st
+            .jobs
+            .values()
+            .filter(|e| {
+                e.client == client && matches!(e.phase, Phase::Queued | Phase::Running { .. })
+            })
+            .count();
+        if in_flight >= shared.cfg.per_client_cap {
+            st.counters.rejected_client += 1;
+            let msg = format!("client {client:?} already has {in_flight} jobs in flight");
+            return (
+                429,
+                "Too Many Requests",
+                vec![("retry-after".into(), "2".into())],
+                rpc_error(id, -32000, &msg, Some("client-cap")),
+            );
+        }
+        let job_id = st.next_id;
+        match st.queue.push(priority, job_id) {
+            Err(Reject::Full) => {
+                drop(st);
+                return unavailable("queue full", "full", shared);
+            }
+            Err(Reject::Shed) => {
+                drop(st);
+                return unavailable("shedding low-priority load", "shed", shared);
+            }
+            Ok(()) => {}
+        }
+        st.next_id += 1;
+        let pending = PendingJob {
+            id: job_id,
+            priority,
+            spec: spec.clone(),
+            deadline_ms,
+            client: client.clone(),
+        };
+        // Journal before acknowledging: an accepted job must survive
+        // SIGKILL. (A crash before this line loses only a job nobody was
+        // told was accepted.)
+        if let Err(e) = shared.journal.lock().expect("journal lock").accepted(&pending) {
+            st.queue.cancel(job_id);
+            let msg = format!("journal append failed: {e}");
+            return (
+                500,
+                "Internal Server Error",
+                Vec::new(),
+                rpc_error(id, -32000, &msg, Some("journal")),
+            );
+        }
+        st.jobs.insert(
+            job_id,
+            JobEntry {
+                spec,
+                priority,
+                client,
+                deadline_ms,
+                cancel: Arc::new(AtomicBool::new(false)),
+                phase: Phase::Queued,
+                stalled: false,
+            },
+        );
+        st.counters.accepted += 1;
+        job_id
+    };
+    shared.work_cv.notify_one();
+
+    if !wait {
+        return ok(rpc_result(id, &format!("{{\"job\":{job_id},\"status\":\"queued\"}}")));
+    }
+
+    // Block until the job leaves the live phases. The watchdog guarantees
+    // termination (deadline → cancel → stall), so cap the wait well past
+    // the job's own deadline.
+    let wait_cap = Instant::now()
+        + Duration::from_millis(deadline_ms)
+        + shared.cfg.hang_grace
+        + Duration::from_secs(30);
+    let mut st = shared.state.lock().expect("state lock");
+    loop {
+        match st.jobs.get(&job_id).map(|e| &e.phase) {
+            None => {
+                return (
+                    500,
+                    "Internal Server Error",
+                    Vec::new(),
+                    rpc_error(id, -32000, "job entry vanished", None),
+                )
+            }
+            Some(Phase::Done { outcome, body, ok: true }) => {
+                let _ = outcome;
+                let body = rpc_result(id, body);
+                return (200, "OK", Vec::new(), body);
+            }
+            Some(Phase::Done { outcome, body, ok: false }) => {
+                let msg = format!("job {job_id} failed: {body}");
+                let kind = outcome.clone();
+                return (200, "OK", Vec::new(), rpc_error(id, -32000, &msg, Some(&kind)));
+            }
+            Some(Phase::Parked) => {
+                let msg = format!("job {job_id} parked for drain; resubmit or poll after restart");
+                return (200, "OK", Vec::new(), rpc_error(id, -32000, &msg, Some("parked")));
+            }
+            Some(_) => {
+                if Instant::now() >= wait_cap {
+                    let msg = format!("timed out waiting for job {job_id}");
+                    return (200, "OK", Vec::new(), rpc_error(id, -32000, &msg, Some("wait-timeout")));
+                }
+                let (guard, _) = shared
+                    .done_cv
+                    .wait_timeout(st, Duration::from_millis(100))
+                    .expect("state lock");
+                st = guard;
+            }
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Property tests for the admission queue's fairness contract
+//! (DESIGN.md §13): priority never starves, and cancellation never
+//! disturbs the order of the jobs left behind.
+
+use sas_ptest::{check, Rng};
+use sas_serve::queue::{JobQueue, Priority, AGE_WINDOW};
+
+fn random_priority(rng: &mut Rng) -> Priority {
+    match rng.below(3) {
+        0 => Priority::High,
+        1 => Priority::Normal,
+        _ => Priority::Low,
+    }
+}
+
+/// The hard starvation bound: under ANY interleaving of pushes and pops —
+/// including an adversarial steady stream of high-priority arrivals — at
+/// most `2 × AGE_WINDOW` later-arriving jobs are popped before any given
+/// job. Job ids are assigned in arrival order, so "later" is `id >`.
+#[test]
+fn bypass_is_bounded_under_any_interleaving() {
+    check("queue_bypass_bound", 200, |rng| {
+        let mut q = JobQueue::new(1024);
+        let mut next_id = 0u64;
+        let mut popped: Vec<u64> = Vec::new();
+        let steps = rng.range(10, 400);
+        for _ in 0..steps {
+            if rng.chance(0.6) {
+                let p = random_priority(rng);
+                let _ = q.push(p, next_id);
+                next_id += 1;
+            } else if let Some((_, id)) = q.pop() {
+                popped.push(id);
+            }
+        }
+        while let Some((_, id)) = q.pop() {
+            popped.push(id);
+        }
+        for (i, &id) in popped.iter().enumerate() {
+            let overtakers = popped[..i].iter().filter(|&&e| e > id).count() as u64;
+            assert!(
+                overtakers <= 2 * AGE_WINDOW,
+                "job {id} was bypassed by {overtakers} later arrivals (bound {})",
+                2 * AGE_WINDOW
+            );
+        }
+    });
+}
+
+/// A low-priority job survives a steady high-priority stream: even when a
+/// fresh high-priority job arrives for every pop, the old low job pops
+/// within the bound instead of waiting forever.
+#[test]
+fn no_starvation_under_a_steady_high_priority_stream() {
+    check("queue_no_starvation", 100, |rng| {
+        let mut q = JobQueue::new(1024);
+        let mut next_id = 0u64;
+        // Some random warm-up traffic before the victim arrives.
+        for _ in 0..rng.below(8) {
+            let p = random_priority(rng);
+            let _ = q.push(p, next_id);
+            next_id += 1;
+        }
+        let victim = next_id;
+        q.push(Priority::Low, victim).unwrap();
+        next_id += 1;
+        // The adversary: one fresh high-priority arrival per pop, forever.
+        let mut pops_until_victim = 0u64;
+        loop {
+            q.push(Priority::High, next_id).unwrap();
+            next_id += 1;
+            let (_, id) = q.pop().expect("queue is non-empty by construction");
+            if id == victim {
+                break;
+            }
+            pops_until_victim += 1;
+            assert!(
+                pops_until_victim <= 2 * AGE_WINDOW + 8,
+                "low-priority job starved: {pops_until_victim} pops and counting"
+            );
+        }
+    });
+}
+
+/// Cancelling any queued job leaves the drain order of the rest exactly as
+/// it would have been — the cancelled id is filtered out, nothing else
+/// moves. (Order is a pure function of each entry's own arrival, so this
+/// is provable; the property test guards the implementation.)
+#[test]
+fn cancellation_never_disturbs_the_remaining_order() {
+    check("queue_cancel_preserves_order", 200, |rng| {
+        let mut q = JobQueue::new(1024);
+        let mut next_id = 0u64;
+        let mut live: Vec<u64> = Vec::new();
+        for _ in 0..rng.range(2, 60) {
+            if rng.chance(0.7) || live.is_empty() {
+                let p = random_priority(rng);
+                if q.push(p, next_id).is_ok() {
+                    live.push(next_id);
+                }
+                next_id += 1;
+            } else if let Some((_, id)) = q.pop() {
+                live.retain(|&e| e != id);
+            }
+        }
+        if live.is_empty() {
+            return;
+        }
+        let target = live[rng.below(live.len() as u64) as usize];
+
+        let baseline: Vec<u64> = {
+            let mut c = q.clone();
+            std::iter::from_fn(|| c.pop().map(|(_, id)| id)).collect()
+        };
+        let mut cancelled = q.clone();
+        assert!(cancelled.cancel(target));
+        let after: Vec<u64> =
+            std::iter::from_fn(|| cancelled.pop().map(|(_, id)| id)).collect();
+
+        let expected: Vec<u64> = baseline.into_iter().filter(|&id| id != target).collect();
+        assert_eq!(after, expected, "cancelling {target} reordered the queue");
+    });
+}

@@ -151,4 +151,116 @@ grep -q '"cell":"spec/505.mcf_r/stt","ok":false' \
 [ "$(grep -c '"ok":true' target/sas-runner/tier1-acceptance.jsonl)" -eq 4 ]
 ./target/release/sas-runner replay target/repro-tier1/spec-505.mcf_r-stt
 
+echo "== tier1: service (sas-serve: smoke RPCs, 503 saturation, SIGKILL resume, SIGTERM drain) =="
+# The persistent daemon's end-to-end robustness contract (DESIGN.md §13),
+# exercised over raw TCP (bash /dev/tcp — hermetic, no curl):
+#   1. simulate / lint / trace smoke against a live daemon;
+#   2. a saturated queue answers an explicit 503 (kind:"full"), never hangs;
+#   3. SIGKILL mid-simulation, restart: the journaled job resumes from its
+#      checkpoint and reports cycle counts identical to an uninterrupted run;
+#   4. SIGTERM with a job in flight: the daemon parks it and exits 0 inside
+#      the drain deadline, and a restart finishes the parked job — zero
+#      accepted jobs lost.
+SERVEDIR=target/sas-serve/tier1
+rm -rf "$SERVEDIR"; mkdir -p "$SERVEDIR"
+rpc() { # rpc <port> <json-body> — one JSON-RPC POST, prints the full response
+  local port=$1 body=$2
+  exec 3<>"/dev/tcp/127.0.0.1/$port"
+  printf 'POST /rpc HTTP/1.1\r\nhost: t\r\ncontent-length: %d\r\n\r\n%s' \
+    "${#body}" "$body" >&3
+  cat <&3
+  exec 3<&- 3>&-
+}
+serve_start() { # serve_start <state-dir> <log> [extra args...] — sets SERVE_PID/SERVE_PORT
+  local state=$1 log=$2; shift 2
+  ./target/release/sas-serve --state-dir "$state" "$@" >"$log" 2>"$log.err" &
+  SERVE_PID=$!
+  SERVE_PORT=
+  for _ in $(seq 1 200); do
+    SERVE_PORT=$(sed -n 's/^sas-serve: listening on 127.0.0.1:\([0-9]*\)$/\1/p' "$log")
+    [ -n "$SERVE_PORT" ] && break
+    sleep 0.05
+  done
+  [ -n "$SERVE_PORT" ]
+}
+QUICK='.entry main\nmain:\nMOVZ X1, #7\nMOVZ X2, #35\nADD X3, X1, X2\nHALT\n'
+FOREVER='.entry main\nmain:\nloop:\nADD X1, X1, #1\nB loop\n'
+LONG='.entry main\nmain:\nMOVZ X2, #200\nouter:\nMOVZ X1, #60000\ninner:\nSUB X1, X1, #1\nCBNZ X1, inner\nSUB X2, X2, #1\nCBNZ X2, outer\nHALT\n'
+
+# --- smoke + saturation (instance A: 1 worker, queue cap 2) ---
+serve_start "$SERVEDIR/a" "$SERVEDIR/a.log" --workers 1 --queue-cap 2
+rpc "$SERVE_PORT" '{"jsonrpc":"2.0","id":1,"method":"simulate","params":{"program":"'"$QUICK"'"}}' \
+  | grep -q '"cycles":'
+rpc "$SERVE_PORT" '{"jsonrpc":"2.0","id":2,"method":"lint","params":{"program":".entry main\nmain:\nLDRW X1, [X2]\nLDRW X3, [X1]\nHALT\n","suggest":true}}' \
+  | grep -q '"gadgets":'
+rpc "$SERVE_PORT" '{"jsonrpc":"2.0","id":3,"method":"trace","params":{"program":"'"$QUICK"'","chrome":true}}' \
+  | grep -q '"chrome":'
+occupy='{"jsonrpc":"2.0","id":4,"method":"simulate","params":{"program":"'"$FOREVER"'","wait":false,"deadline_ms":60000}}'
+resp=$(rpc "$SERVE_PORT" "$occupy")
+echo "$resp" | grep -q '"status":"queued"'
+jid=$(echo "$resp" | sed -n 's/.*"job":\([0-9]*\).*/\1/p' | head -1)
+for _ in $(seq 1 200); do   # the worker must claim it before we fill the queue
+  rpc "$SERVE_PORT" '{"jsonrpc":"2.0","id":4,"method":"job","params":{"job":'"$jid"'}}' \
+    | grep -q '"status":"running"' && break
+  sleep 0.05
+done
+rpc "$SERVE_PORT" "$occupy" | grep -q '"status":"queued"'   # queue slot 1
+rpc "$SERVE_PORT" "$occupy" | grep -q '"status":"queued"'   # queue slot 2
+saturated=$(rpc "$SERVE_PORT" "$occupy")
+echo "$saturated" | grep -q '503 Service Unavailable'
+echo "$saturated" | grep -qi 'retry-after'
+echo "$saturated" | grep -q '"kind":"full"'
+kill -9 "$SERVE_PID" 2>/dev/null; wait "$SERVE_PID" 2>/dev/null || true
+
+# --- SIGKILL mid-job, restart, bit-identical resume (instance B) ---
+serve_start "$SERVEDIR/b" "$SERVEDIR/b1.log" --workers 1 --chunk 100000
+ref=$(rpc "$SERVE_PORT" '{"jsonrpc":"2.0","id":5,"method":"simulate","params":{"program":"'"$LONG"'","deadline_ms":120000}}' \
+  | sed -n 's/.*"cycles":\([0-9]*\).*/\1/p' | head -1)
+[ -n "$ref" ] && [ "$ref" -gt 100000 ]
+resp=$(rpc "$SERVE_PORT" '{"jsonrpc":"2.0","id":6,"method":"simulate","params":{"program":"'"$LONG"'","wait":false,"deadline_ms":120000}}')
+job=$(echo "$resp" | sed -n 's/.*"job":\([0-9]*\).*/\1/p' | head -1)
+[ -n "$job" ]
+for _ in $(seq 1 400); do   # wait for the first mid-run checkpoint
+  [ -e "$SERVEDIR/b/job-$job.ckpt.snap" ] && break
+  sleep 0.02
+done
+[ -e "$SERVEDIR/b/job-$job.ckpt.snap" ]
+kill -9 "$SERVE_PID"; wait "$SERVE_PID" 2>/dev/null || true
+
+serve_start "$SERVEDIR/b" "$SERVEDIR/b2.log" --workers 1 --chunk 100000
+grep -q "resuming journaled job $job" "$SERVEDIR/b2.log.err"
+status=
+for _ in $(seq 1 600); do
+  status=$(rpc "$SERVE_PORT" '{"jsonrpc":"2.0","id":7,"method":"job","params":{"job":'"$job"'}}')
+  echo "$status" | grep -q '"status":"done:completed"' && break
+  sleep 0.1
+done
+echo "$status" | grep -q '"status":"done:completed"'
+echo "$status" | grep -q '"restored":true'
+resumed_cycles=$(echo "$status" | sed -n 's/.*"cycles":\([0-9]*\).*/\1/p' | head -1)
+[ "$resumed_cycles" = "$ref" ] # bit-identical to the uninterrupted run
+
+# --- SIGTERM drain with a job in flight: exit 0, nothing lost (instance B) ---
+resp=$(rpc "$SERVE_PORT" '{"jsonrpc":"2.0","id":8,"method":"simulate","params":{"program":"'"$LONG"'","wait":false,"deadline_ms":120000}}')
+job=$(echo "$resp" | sed -n 's/.*"job":\([0-9]*\).*/\1/p' | head -1)
+for _ in $(seq 1 400); do
+  [ -e "$SERVEDIR/b/job-$job.ckpt.snap" ] && break
+  sleep 0.02
+done
+kill -TERM "$SERVE_PID"
+rc=0; wait "$SERVE_PID" || rc=$?
+[ "$rc" -eq 0 ] # graceful drain must exit 0 inside the drain deadline
+serve_start "$SERVEDIR/b" "$SERVEDIR/b3.log" --workers 1 --chunk 100000
+grep -q "resuming journaled job $job" "$SERVEDIR/b3.log.err"
+for _ in $(seq 1 600); do
+  rpc "$SERVE_PORT" '{"jsonrpc":"2.0","id":9,"method":"job","params":{"job":'"$job"'}}' \
+    | grep -q '"status":"done:completed"' && break
+  sleep 0.1
+done
+rpc "$SERVE_PORT" '{"jsonrpc":"2.0","id":10,"method":"job","params":{"job":'"$job"'}}' \
+  | grep -q '"status":"done:completed"' # the parked job was never lost
+kill -TERM "$SERVE_PID"
+rc=0; wait "$SERVE_PID" || rc=$?
+[ "$rc" -eq 0 ]
+
 echo "== tier1: OK =="
