@@ -24,7 +24,7 @@ use specasan::Mitigation;
 use std::fmt::Write as _;
 use std::time::Instant;
 
-const SCHEMA: &str = "sas-bench-fig6-v2";
+const SCHEMA: &str = "sas-bench-fig6-v3";
 
 #[derive(Clone, Debug)]
 struct CellPerf {
@@ -107,23 +107,27 @@ fn main() {
     let speedup = total.sim_ips() / base_ips.max(1e-9);
     println!("sas-perf: {speedup:.2}x sim-instructions/sec vs baseline");
 
-    // Regression warning (not a gate): compare against the *previous*
-    // recording's total, which is what the last green tier-1 committed.
-    if let Some(prev) =
-        prior.as_deref().and_then(|p| extract_object(p, "total")).and_then(|t| number_field(t, "sim_ips"))
-    {
-        if total.sim_ips() < 0.8 * prev {
-            println!(
-                "sas-perf: WARNING: sim-instructions/sec dropped {:.1}% vs previous \
-                 trajectory ({:.0} -> {:.0})",
-                100.0 * (1.0 - total.sim_ips() / prev),
-                prev,
-                total.sim_ips()
-            );
-        }
+    // PR-to-PR delta: compare against the *previous* recording's total,
+    // which is what the last green tier-1 committed. First recordings
+    // compare against themselves (zero delta). The previous totals are
+    // written into the file so the query layer can chart the trajectory
+    // without diffing git history.
+    let prev_total = prior.as_deref().and_then(|p| extract_object(p, "total"));
+    let prev_wall_ms = prev_total.and_then(|t| number_field(t, "wall_ms")).unwrap_or(total.wall_ms);
+    let prev_sim_ips = prev_total.and_then(|t| number_field(t, "sim_ips")).unwrap_or(total.sim_ips());
+    let delta_wall_ms = total.wall_ms - prev_wall_ms;
+    let delta_sim_ips_pct = 100.0 * (total.sim_ips() / prev_sim_ips.max(1e-9) - 1.0);
+    if delta_sim_ips_pct < -20.0 {
+        println!(
+            "sas-perf: WARNING: sim-instructions/sec dropped {:.1}% vs previous \
+             trajectory ({prev_sim_ips:.0} -> {:.0})",
+            -delta_sim_ips_pct,
+            total.sim_ips()
+        );
     }
 
-    let body = render(iters, &cells, &total, &baseline, speedup);
+    let deltas = Deltas { prev_wall_ms, prev_sim_ips, delta_wall_ms, delta_sim_ips_pct };
+    let body = render(iters, &cells, &total, &baseline, speedup, &deltas);
     validate_schema(&body).unwrap_or_else(|e| fail(&format!("generated file fails schema: {e}")));
     std::fs::write(&out, body).unwrap_or_else(|e| fail(&format!("cannot write {out}: {e}")));
     println!("sas-perf: wrote {out}");
@@ -191,12 +195,21 @@ fn render_total(t: &CellPerf, label: Option<&str>) -> String {
     s
 }
 
+/// PR-to-PR trajectory deltas versus the previous committed recording.
+struct Deltas {
+    prev_wall_ms: f64,
+    prev_sim_ips: f64,
+    delta_wall_ms: f64,
+    delta_sim_ips_pct: f64,
+}
+
 fn render(
     iters: u32,
     cells: &[CellPerf],
     total: &CellPerf,
     baseline: &str,
     speedup: f64,
+    deltas: &Deltas,
 ) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "{{");
@@ -224,7 +237,11 @@ fn render(
     let _ = writeln!(s, "  ],");
     let _ = writeln!(s, "  \"total\": {},", render_total(total, None));
     let _ = writeln!(s, "  \"baseline\": {baseline},");
-    let _ = writeln!(s, "  \"speedup_sim_ips\": {speedup:.3}");
+    let _ = writeln!(s, "  \"speedup_sim_ips\": {speedup:.3},");
+    let _ = writeln!(s, "  \"prev_total_wall_ms\": {:.3},", deltas.prev_wall_ms);
+    let _ = writeln!(s, "  \"prev_total_sim_ips\": {:.1},", deltas.prev_sim_ips);
+    let _ = writeln!(s, "  \"delta_wall_ms\": {:.3},", deltas.delta_wall_ms);
+    let _ = writeln!(s, "  \"delta_sim_ips_pct\": {:.2}", deltas.delta_sim_ips_pct);
     let _ = writeln!(s, "}}");
     s
 }
@@ -305,6 +322,10 @@ fn validate_schema(doc: &str) -> Result<usize, String> {
             }
         }
     }
-    number_field(doc, "speedup_sim_ips").ok_or("missing speedup_sim_ips")?;
+    for field in
+        ["speedup_sim_ips", "prev_total_wall_ms", "prev_total_sim_ips", "delta_wall_ms", "delta_sim_ips_pct"]
+    {
+        number_field(doc, field).ok_or(format!("missing {field}"))?;
+    }
     Ok(rows.len())
 }

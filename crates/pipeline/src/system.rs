@@ -273,8 +273,10 @@ impl System {
 
     /// Arms a liveness heartbeat: every `every` cycles the file at `path`
     /// is atomically rewritten with one line,
-    /// `{"cycle":<current>,"committed":<total>}` — cheap enough for long
-    /// campaigns and trivially parseable by a supervisor polling the file.
+    /// `{"schema":"sas-hb-v2","cycle":<current>,"committed":<total>,"cpi":"base=…"}`
+    /// — cheap enough for long campaigns (the flat CPI string is built
+    /// only at heartbeat boundaries, never in the per-cycle loop) and
+    /// trivially parseable by a supervisor polling the file.
     pub fn set_heartbeat(&mut self, path: impl Into<PathBuf>, every: u64) {
         self.heartbeat = Some((path.into(), every.max(1)));
     }
@@ -342,7 +344,16 @@ impl System {
         if let Some((path, every)) = &self.heartbeat {
             if self.cycle % *every == 0 {
                 let committed: u64 = self.cores.iter().map(|c| c.stats.committed).sum();
-                let line = format!("{{\"cycle\":{},\"committed\":{committed}}}\n", self.cycle);
+                let mut cpi = sas_telemetry::CpiStack::default();
+                for c in &self.cores {
+                    cpi.merge(&c.stats.cpi);
+                }
+                let flat =
+                    cpi.encode_flat(&crate::policy::DelayCause::ALL.map(|c| c.name()));
+                let line = format!(
+                    "{{\"schema\":\"sas-hb-v2\",\"cycle\":{},\"committed\":{committed},\"cpi\":\"{flat}\"}}\n",
+                    self.cycle
+                );
                 // Write-temp-then-rename: the supervisor polls this file from
                 // another process, and a truncate-rewrite would let it observe
                 // an empty or half-written line. A rename swaps the content

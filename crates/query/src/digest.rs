@@ -1,0 +1,88 @@
+//! End-of-campaign regression digest.
+//!
+//! `sas-runner` prints this after a campaign's normalized-overhead grid:
+//! a handful of canned queries over the freshly written manifest that
+//! surface what a human would otherwise scroll for — the slowest cells,
+//! the per-mitigation cost/CPI profile, and any failures. Every section
+//! is optional: a manifest without CPI strings (or without failures)
+//! simply omits that section, so the digest never turns a green campaign
+//! red.
+
+use crate::index::Index;
+use crate::query::run_str;
+
+/// One digest section: a heading plus the query that fills it.
+const SECTIONS: &[(&str, &str)] = &[
+    ("slowest cells", "show cell,wall_ms,cycles,attempts where ok=true sort wall_ms desc limit 5"),
+    (
+        "by mitigation",
+        "where ok=true group by mitigation \
+         agg count,mean(wall_ms),p95(cpi.memory_bound) sort mitigation",
+    ),
+    ("failures", "show cell,exit,attempts where ok=false sort cell limit 10"),
+];
+
+/// Renders the digest for an indexed campaign manifest. Returns an empty
+/// string when the index has no rows; sections whose columns are absent
+/// from this manifest are skipped.
+pub fn campaign_digest(idx: &Index) -> String {
+    if idx.rows() == 0 {
+        return String::new();
+    }
+    let mut out = format!("campaign digest ({} manifest rows; sas-trace query <q> to slice)\n", idx.rows());
+    for (title, query) in SECTIONS {
+        let Ok(table) = run_str(idx, query) else { continue };
+        if table.rows.is_empty() {
+            if *title == "failures" {
+                out.push_str("\n-- failures: none\n");
+            }
+            continue;
+        }
+        out.push_str(&format!("\n-- {title}\n"));
+        for line in table.render().lines() {
+            out.push_str("   ");
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::load::load_str;
+
+    #[test]
+    fn digest_summarizes_a_manifest() {
+        let text = concat!(
+            r#"{"cell":"spec/a/stt","ok":true,"exit":"ok","attempts":1,"cycles":100,"duration_ms":5,"cpi":"base=1;memory_bound=2"}"#,
+            "\n",
+            r#"{"cell":"spec/a/fence","ok":true,"exit":"ok","attempts":1,"cycles":300,"duration_ms":9,"cpi":"base=1;memory_bound=6"}"#,
+            "\n",
+            r#"{"cell":"spec/b/stt","ok":false,"exit":"abort:tag","attempts":3,"cycles":0,"duration_ms":2}"#,
+            "\n",
+        );
+        let mut idx = Index::new();
+        for row in load_str(text, "m.jsonl").rows {
+            idx.push_row(&row);
+        }
+        idx.seal();
+        let digest = campaign_digest(&idx);
+        assert!(digest.contains("slowest cells"));
+        assert!(digest.contains("by mitigation"));
+        assert!(digest.contains("failures"));
+        assert!(digest.contains("spec/b/stt"));
+        // Slowest-first: the 9ms fence cell leads.
+        let slow = digest.find("spec/a/fence").unwrap();
+        let fast = digest.find("spec/a/stt").unwrap();
+        assert!(slow < fast);
+    }
+
+    #[test]
+    fn empty_index_yields_empty_digest() {
+        let mut idx = Index::new();
+        idx.seal();
+        assert_eq!(campaign_digest(&idx), "");
+    }
+}

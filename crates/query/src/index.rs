@@ -1,0 +1,518 @@
+//! The in-memory columnar index.
+//!
+//! Layout follows the classic search-engine shape (the `search.rs` idiom
+//! from veloci named in ROADMAP item 5): one column per field name,
+//! string columns dictionary-encoded (each row stores a `u32` code into a
+//! dedup'd dictionary), numeric columns as dense `f64` vectors, and —
+//! after [`Index::seal`] — a sorted posting list per column mapping each
+//! distinct value to the ascending row ids that hold it. Predicates then
+//! resolve by binary-searching the posting range and merging row-id
+//! lists, so a conjunctive `where` touches only the rows that match its
+//! most selective term, never the whole table.
+//!
+//! Rows are schema-tolerant: any row may carry any subset of columns.
+//! Missing cells never match a predicate (SQL `NULL` semantics) and sort
+//! after present ones. A column's type is fixed by the first value it
+//! sees; later mismatches are coerced (numbers render into string
+//! columns; strings must parse as `f64` to enter a numeric column, else
+//! they index as missing).
+
+use std::collections::HashMap;
+
+/// A scalar cell value. Booleans are indexed as the strings
+/// `"true"`/`"false"` so `where ok=true` reads naturally.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Val {
+    /// A string (or dictionary-encoded) value.
+    Str(String),
+    /// A numeric value (everything JSON calls a number).
+    Num(f64),
+}
+
+impl Val {
+    /// Canonical display form: integers without a decimal point, other
+    /// numbers with up to four decimals (trailing zeros trimmed).
+    pub fn fmt(&self) -> String {
+        match self {
+            Val::Str(s) => s.clone(),
+            Val::Num(n) => fmt_num(*n),
+        }
+    }
+}
+
+/// Formats a number the way tables and JSON output want it.
+pub fn fmt_num(n: f64) -> String {
+    if !n.is_finite() {
+        return "null".to_string();
+    }
+    if n.fract() == 0.0 && n.abs() < 1e15 {
+        format!("{}", n as i64)
+    } else {
+        let s = format!("{n:.4}");
+        let s = s.trim_end_matches('0').trim_end_matches('.');
+        s.to_string()
+    }
+}
+
+/// A comparison operator in a `where` predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl Op {
+    /// The operator's surface syntax.
+    pub fn token(self) -> &'static str {
+        match self {
+            Op::Eq => "=",
+            Op::Ne => "!=",
+            Op::Lt => "<",
+            Op::Le => "<=",
+            Op::Gt => ">",
+            Op::Ge => ">=",
+        }
+    }
+}
+
+/// Sentinel code for "row has no value in this string column".
+const MISSING_CODE: u32 = u32::MAX;
+
+struct StrColumn {
+    /// Distinct values in first-seen order.
+    dict: Vec<String>,
+    /// value → dictionary code.
+    code_of: HashMap<String, u32>,
+    /// Per-row code (`MISSING_CODE` when absent).
+    codes: Vec<u32>,
+    /// Built by `seal()`: `(code, ascending row ids)` ordered by the
+    /// dictionary *string* so range predicates are lexicographic scans.
+    postings: Vec<(u32, Vec<u32>)>,
+}
+
+struct NumColumn {
+    /// Per-row value; missing cells hold `NAN` (loaders never produce
+    /// NaN from JSON — the emitters write `null` for non-finite values).
+    vals: Vec<f64>,
+    /// Built by `seal()`: `(value, ascending row ids)` sorted by value.
+    postings: Vec<(f64, Vec<u32>)>,
+}
+
+enum Column {
+    Str(StrColumn),
+    Num(NumColumn),
+}
+
+/// Column-name aliases: friendlier spellings accepted anywhere a column
+/// name is, resolved only when the alias itself is not a real column.
+const ALIASES: &[(&str, &str)] = &[
+    ("cpi.mem_bound", "cpi.memory_bound"),
+    ("cpi.mispredict", "cpi.mispredict_recovery"),
+    ("cpi.tsh", "cpi.tsh_unsafe_block"),
+    ("wall_ms", "duration_ms"),
+];
+
+/// The columnar index: build with [`Index::push_row`], then
+/// [`Index::seal`] once before querying (unsealed indexes still answer
+/// correctly via a scan fallback, just without the posting lists).
+#[derive(Default)]
+pub struct Index {
+    names: Vec<String>,
+    by_name: HashMap<String, usize>,
+    columns: Vec<Column>,
+    rows: usize,
+    sealed: bool,
+}
+
+impl Index {
+    /// An empty index.
+    pub fn new() -> Index {
+        Index::default()
+    }
+
+    /// Number of rows indexed.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column names in first-seen order.
+    pub fn column_names(&self) -> impl Iterator<Item = &str> {
+        self.names.iter().map(|s| s.as_str())
+    }
+
+    /// Resolves a (possibly aliased) column name to its slot.
+    pub fn col(&self, name: &str) -> Option<usize> {
+        if let Some(&i) = self.by_name.get(name) {
+            return Some(i);
+        }
+        for (alias, target) in ALIASES {
+            if *alias == name {
+                return self.by_name.get(*target).copied();
+            }
+        }
+        None
+    }
+
+    /// Appends one row. Unmentioned columns get a missing cell; fields
+    /// repeated within one row keep the last value.
+    pub fn push_row(&mut self, fields: &[(String, Val)]) {
+        let row = self.rows;
+        for (name, val) in fields {
+            let slot = match self.by_name.get(name) {
+                Some(&i) => i,
+                None => {
+                    let i = self.columns.len();
+                    self.names.push(name.clone());
+                    self.by_name.insert(name.clone(), i);
+                    self.columns.push(match val {
+                        Val::Str(_) => Column::Str(StrColumn {
+                            dict: Vec::new(),
+                            code_of: HashMap::new(),
+                            codes: Vec::new(),
+                            postings: Vec::new(),
+                        }),
+                        Val::Num(_) => {
+                            Column::Num(NumColumn { vals: Vec::new(), postings: Vec::new() })
+                        }
+                    });
+                    i
+                }
+            };
+            match &mut self.columns[slot] {
+                Column::Str(c) => {
+                    c.codes.resize(row + 1, MISSING_CODE);
+                    // Numbers arriving in a string column render to text.
+                    let text = val.fmt();
+                    let code = *c.code_of.entry(text.clone()).or_insert_with(|| {
+                        c.dict.push(text);
+                        (c.dict.len() - 1) as u32
+                    });
+                    c.codes[row] = code;
+                }
+                Column::Num(c) => {
+                    c.vals.resize(row + 1, f64::NAN);
+                    // Strings arriving in a numeric column must parse.
+                    c.vals[row] = match val {
+                        Val::Num(n) if n.is_finite() => *n,
+                        Val::Num(_) => f64::NAN,
+                        Val::Str(s) => s.trim().parse::<f64>().unwrap_or(f64::NAN),
+                    };
+                }
+            }
+        }
+        self.rows += 1;
+        for col in &mut self.columns {
+            match col {
+                Column::Str(c) => c.codes.resize(self.rows, MISSING_CODE),
+                Column::Num(c) => c.vals.resize(self.rows, f64::NAN),
+            }
+        }
+        self.sealed = false;
+    }
+
+    /// Builds the per-column sorted posting lists. Call once after
+    /// loading; pushing more rows un-seals.
+    pub fn seal(&mut self) {
+        for col in &mut self.columns {
+            match col {
+                Column::Str(c) => {
+                    let mut rows_of: HashMap<u32, Vec<u32>> = HashMap::new();
+                    for (row, &code) in c.codes.iter().enumerate() {
+                        if code != MISSING_CODE {
+                            rows_of.entry(code).or_default().push(row as u32);
+                        }
+                    }
+                    let mut postings: Vec<(u32, Vec<u32>)> = rows_of.into_iter().collect();
+                    postings.sort_by(|a, b| c.dict[a.0 as usize].cmp(&c.dict[b.0 as usize]));
+                    c.postings = postings;
+                }
+                Column::Num(c) => {
+                    let mut pairs: Vec<(f64, u32)> = c
+                        .vals
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, v)| v.is_finite())
+                        .map(|(row, &v)| (v, row as u32))
+                        .collect();
+                    pairs.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+                    let mut postings: Vec<(f64, Vec<u32>)> = Vec::new();
+                    for (v, row) in pairs {
+                        match postings.last_mut() {
+                            Some((last, rows)) if *last == v => rows.push(row),
+                            _ => postings.push((v, vec![row])),
+                        }
+                    }
+                    c.postings = postings;
+                }
+            }
+        }
+        self.sealed = true;
+    }
+
+    /// The cell at `(column slot, row)`, or `None` when missing.
+    pub fn value(&self, slot: usize, row: usize) -> Option<Val> {
+        match &self.columns[slot] {
+            Column::Str(c) => {
+                let code = *c.codes.get(row)?;
+                if code == MISSING_CODE {
+                    None
+                } else {
+                    Some(Val::Str(c.dict[code as usize].clone()))
+                }
+            }
+            Column::Num(c) => {
+                let v = *c.vals.get(row)?;
+                if v.is_finite() {
+                    Some(Val::Num(v))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Ascending row ids matching `column <op> operand`. Missing cells
+    /// never match (including under `!=`).
+    pub fn rows_matching(&self, slot: usize, op: Op, operand: &str) -> Vec<u32> {
+        match &self.columns[slot] {
+            Column::Str(c) => {
+                if self.sealed {
+                    str_postings_match(c, op, operand)
+                } else {
+                    let mut out = Vec::new();
+                    for (row, &code) in c.codes.iter().enumerate() {
+                        if code != MISSING_CODE
+                            && cmp_matches(c.dict[code as usize].as_str().cmp(operand), op)
+                        {
+                            out.push(row as u32);
+                        }
+                    }
+                    out
+                }
+            }
+            Column::Num(c) => {
+                let Ok(needle) = operand.trim().parse::<f64>() else {
+                    // A non-numeric operand equals no number; under `!=`
+                    // every present value differs from it.
+                    return match op {
+                        Op::Ne => present_rows_num(c),
+                        _ => Vec::new(),
+                    };
+                };
+                if self.sealed {
+                    num_postings_match(c, op, needle)
+                } else {
+                    let mut out = Vec::new();
+                    for (row, &v) in c.vals.iter().enumerate() {
+                        if v.is_finite() && cmp_matches(v.total_cmp(&needle), op) {
+                            out.push(row as u32);
+                        }
+                    }
+                    out
+                }
+            }
+        }
+    }
+
+    /// All row ids (ascending) — the starting set for an unfiltered query.
+    pub fn all_rows(&self) -> Vec<u32> {
+        (0..self.rows as u32).collect()
+    }
+}
+
+fn cmp_matches(ord: std::cmp::Ordering, op: Op) -> bool {
+    use std::cmp::Ordering::*;
+    matches!(
+        (op, ord),
+        (Op::Eq, Equal)
+            | (Op::Ne, Less)
+            | (Op::Ne, Greater)
+            | (Op::Lt, Less)
+            | (Op::Le, Less)
+            | (Op::Le, Equal)
+            | (Op::Gt, Greater)
+            | (Op::Ge, Greater)
+            | (Op::Ge, Equal)
+    )
+}
+
+fn present_rows_num(c: &NumColumn) -> Vec<u32> {
+    c.vals
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| v.is_finite())
+        .map(|(row, _)| row as u32)
+        .collect()
+}
+
+/// Merges the already-sorted row lists of a posting range into one
+/// ascending id list.
+fn merge_postings(lists: &[&Vec<u32>]) -> Vec<u32> {
+    let mut out: Vec<u32> = lists.iter().flat_map(|l| l.iter().copied()).collect();
+    out.sort_unstable();
+    out
+}
+
+fn str_postings_match(c: &StrColumn, op: Op, operand: &str) -> Vec<u32> {
+    // Postings are ordered by dictionary string, so every operator is a
+    // binary-searched boundary + contiguous slice.
+    let key = |i: usize| c.dict[c.postings[i].0 as usize].as_str();
+    let n = c.postings.len();
+    let lower = c.postings.partition_point(|p| c.dict[p.0 as usize].as_str() < operand);
+    let upper = c.postings.partition_point(|p| c.dict[p.0 as usize].as_str() <= operand);
+    let range = match op {
+        Op::Eq => lower..upper,
+        Op::Lt => 0..lower,
+        Op::Le => 0..upper,
+        Op::Gt => upper..n,
+        Op::Ge => lower..n,
+        Op::Ne => {
+            let mut lists: Vec<&Vec<u32>> = Vec::new();
+            for i in 0..n {
+                if key(i) != operand {
+                    lists.push(&c.postings[i].1);
+                }
+            }
+            return merge_postings(&lists);
+        }
+    };
+    let lists: Vec<&Vec<u32>> = c.postings[range].iter().map(|p| &p.1).collect();
+    merge_postings(&lists)
+}
+
+fn num_postings_match(c: &NumColumn, op: Op, needle: f64) -> Vec<u32> {
+    let n = c.postings.len();
+    let lower = c.postings.partition_point(|p| p.0.total_cmp(&needle).is_lt());
+    let upper = c.postings.partition_point(|p| p.0.total_cmp(&needle).is_le());
+    let range = match op {
+        Op::Eq => lower..upper,
+        Op::Lt => 0..lower,
+        Op::Le => 0..upper,
+        Op::Gt => upper..n,
+        Op::Ge => lower..n,
+        Op::Ne => {
+            let mut lists: Vec<&Vec<u32>> = Vec::new();
+            for p in &c.postings {
+                if p.0.total_cmp(&needle).is_ne() {
+                    lists.push(&p.1);
+                }
+            }
+            return merge_postings(&lists);
+        }
+    };
+    let lists: Vec<&Vec<u32>> = c.postings[range].iter().map(|p| &p.1).collect();
+    merge_postings(&lists)
+}
+
+/// Intersection of two ascending row-id lists.
+pub fn intersect(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Index {
+        let mut idx = Index::new();
+        for (m, wall, ok) in
+            [("stt", 12.0, "true"), ("fence", 30.0, "true"), ("stt", 7.5, "false")]
+        {
+            idx.push_row(&[
+                ("mitigation".into(), Val::Str(m.into())),
+                ("wall_ms".into(), Val::Num(wall)),
+                ("ok".into(), Val::Str(ok.into())),
+            ]);
+        }
+        idx.push_row(&[("mitigation".into(), Val::Str("stt".into()))]); // wall_ms missing
+        idx.seal();
+        idx
+    }
+
+    #[test]
+    fn postings_answer_equality_and_ranges() {
+        let idx = sample();
+        let m = idx.col("mitigation").unwrap();
+        let w = idx.col("wall_ms").unwrap();
+        assert_eq!(idx.rows_matching(m, Op::Eq, "stt"), vec![0, 2, 3]);
+        assert_eq!(idx.rows_matching(m, Op::Ne, "stt"), vec![1]);
+        assert_eq!(idx.rows_matching(w, Op::Gt, "10"), vec![0, 1]);
+        assert_eq!(idx.rows_matching(w, Op::Le, "12"), vec![0, 2]);
+        // Missing cells match nothing, even !=.
+        assert_eq!(idx.rows_matching(w, Op::Ne, "999"), vec![0, 1, 2]);
+        // Non-numeric operand on a numeric column.
+        assert_eq!(idx.rows_matching(w, Op::Gt, "abc"), Vec::<u32>::new());
+        assert_eq!(idx.rows_matching(w, Op::Ne, "abc"), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn sealed_and_unsealed_agree() {
+        let mut unsealed = sample();
+        unsealed.push_row(&[("wall_ms".into(), Val::Num(12.0))]);
+        let mut sealed_again = sample();
+        sealed_again.push_row(&[("wall_ms".into(), Val::Num(12.0))]);
+        sealed_again.seal();
+        let w = unsealed.col("wall_ms").unwrap();
+        for op in [Op::Eq, Op::Ne, Op::Lt, Op::Le, Op::Gt, Op::Ge] {
+            assert_eq!(
+                unsealed.rows_matching(w, op, "12"),
+                sealed_again.rows_matching(w, op, "12"),
+                "{op:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn aliases_resolve_to_real_columns() {
+        let mut idx = Index::new();
+        idx.push_row(&[
+            ("duration_ms".into(), Val::Num(4.0)),
+            ("cpi.memory_bound".into(), Val::Num(0.4)),
+        ]);
+        idx.seal();
+        assert_eq!(idx.col("wall_ms"), idx.col("duration_ms"));
+        assert_eq!(idx.col("cpi.mem_bound"), idx.col("cpi.memory_bound"));
+        assert_eq!(idx.col("nope"), None);
+    }
+
+    #[test]
+    fn type_coercion_is_tolerant() {
+        let mut idx = Index::new();
+        idx.push_row(&[("x".into(), Val::Num(3.0))]);
+        idx.push_row(&[("x".into(), Val::Str("4.5".into()))]); // parses
+        idx.push_row(&[("x".into(), Val::Str("nope".into()))]); // missing
+        idx.seal();
+        let x = idx.col("x").unwrap();
+        assert_eq!(idx.rows_matching(x, Op::Ge, "3"), vec![0, 1]);
+        assert_eq!(idx.value(x, 2), None);
+    }
+
+    #[test]
+    fn intersect_merges_sorted_lists() {
+        assert_eq!(intersect(&[1, 3, 5, 7], &[2, 3, 7, 9]), vec![3, 7]);
+        assert_eq!(intersect(&[], &[1]), Vec::<u32>::new());
+    }
+}

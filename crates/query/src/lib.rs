@@ -1,0 +1,41 @@
+//! Indexed campaign analytics over the suite's JSONL artifacts.
+//!
+//! Campaigns leave a trail of line-oriented JSON: runner manifests
+//! (`sas-runner`), bench figure rows (`SAS_BENCH_JSONL`), `BENCH_*.json`
+//! perf-trajectory documents, fuzz campaign summaries, and `sas-serve`
+//! journals. At a few thousand rows "which cells regressed?" stops being
+//! a scrolling problem and becomes a query problem (ROADMAP item 5).
+//!
+//! This crate answers it in three layers:
+//!
+//! - [`index`] — an in-memory columnar [`Index`]: dictionary-encoded
+//!   string columns, typed `f64` numeric columns, and per-column sorted
+//!   posting lists so equality and range predicates resolve by binary
+//!   search + sorted-list intersection instead of row scans.
+//! - [`load`] — schema-tolerant loaders that flatten heterogeneous JSON
+//!   rows (nested `cpi` objects become `cpi.<bucket>` columns, manifest
+//!   cell ids are split into `suite`/`benchmark`/`mitigation`, flat CPI
+//!   strings are decoded) without requiring any fixed schema.
+//! - [`query`] — a small parsed query language:
+//!   `where mitigation=stt and cpi.mem_bound>0.3 sort wall_ms desc limit 20`,
+//!   plus `group by` with count/sum/mean/min/max/p50/p95/p99 aggregates,
+//!   rendering to an aligned text [`Table`] or JSON.
+//!
+//! Consumers: the `sas-trace query` subcommand, the `query` JSON-RPC
+//! method on `sas-serve` (over its own journal + finished jobs), and the
+//! end-of-campaign regression [`digest`] printed by `sas-runner`.
+//!
+//! Zero dependencies beyond `sas-telemetry` (for its strict JSON parser);
+//! the engine itself is property-tested against a brute-force linear-scan
+//! oracle (`tests/query_prop.rs`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod digest;
+pub mod index;
+pub mod load;
+pub mod query;
+
+pub use index::{Index, Op, Val};
+pub use query::{parse_query, run, run_str, Query, Table};

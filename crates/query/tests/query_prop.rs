@@ -1,0 +1,354 @@
+//! Property tests: the indexed query engine must agree, row for row,
+//! with a brute-force linear scan over the same data.
+//!
+//! The oracle here is deliberately dumb — no dictionaries, no posting
+//! lists, no binary search — so any disagreement points at the index or
+//! executor, not the spec. Semantics under test: conjunctive filters
+//! (missing never matches, `!=` included), stable sorts with missing
+//! last, limit, and group-by aggregates including exact nearest-rank
+//! p50/p95/p99. Replay a failure with `SAS_PTEST_SEED`.
+
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+use sas_ptest::{check, Rng};
+use sas_query::index::{fmt_num, Index, Op, Val};
+use sas_query::query::{run, Agg, AggFn, Query};
+
+/// One generated row: column name → value (typed consistently per
+/// column: `s*` columns hold strings, `n*` columns hold numbers).
+type Row = HashMap<String, Val>;
+
+const STR_COLS: &[&str] = &["s0", "s1", "s2"];
+const NUM_COLS: &[&str] = &["n0", "n1", "n2"];
+const STR_VALUES: &[&str] = &["stt", "fence", "specasan", "ghostminion", "unsafe", ""];
+
+fn gen_rows(rng: &mut Rng) -> Vec<Row> {
+    // One fully-populated anchor row guarantees every column exists in
+    // the index (the engine reports unknown columns as errors, which is
+    // not the property under test here).
+    let mut anchor = Row::new();
+    for c in STR_COLS {
+        anchor.insert(c.to_string(), Val::Str("stt".to_string()));
+    }
+    for c in NUM_COLS {
+        anchor.insert(c.to_string(), Val::Num(1.0));
+    }
+    let n = rng.below(40) as usize;
+    std::iter::once(anchor)
+        .chain((0..n).map(|_| {
+            let mut row = Row::new();
+            for c in STR_COLS {
+                if rng.chance(0.8) {
+                    let v = STR_VALUES[rng.below(STR_VALUES.len() as u64) as usize];
+                    row.insert(c.to_string(), Val::Str(v.to_string()));
+                }
+            }
+            for c in NUM_COLS {
+                if rng.chance(0.8) {
+                    // Small integer-ish domain so duplicates, ties, and
+                    // boundary hits are common; occasional fractions.
+                    let v = if rng.chance(0.3) {
+                        rng.below(8) as f64 + 0.5
+                    } else {
+                        rng.below(8) as f64
+                    };
+                    row.insert(c.to_string(), Val::Num(v));
+                }
+            }
+            row
+        }))
+        .collect()
+}
+
+fn build_index(rows: &[Row]) -> Index {
+    let mut idx = Index::new();
+    // Deterministic field order within each row.
+    for row in rows {
+        let mut fields: Vec<(String, Val)> =
+            row.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        fields.sort_by(|a, b| a.0.cmp(&b.0));
+        idx.push_row(&fields);
+    }
+    idx.seal();
+    idx
+}
+
+fn gen_query(rng: &mut Rng, grouped: bool) -> Query {
+    let mut q = Query::default();
+    let nfilters = rng.below(3) as usize;
+    for _ in 0..nfilters {
+        let op = [Op::Eq, Op::Ne, Op::Lt, Op::Le, Op::Gt, Op::Ge][rng.below(6) as usize];
+        if rng.chance(0.5) {
+            let col = STR_COLS[rng.below(STR_COLS.len() as u64) as usize];
+            let val = STR_VALUES[rng.below(STR_VALUES.len() as u64) as usize];
+            q.filters.push((col.to_string(), op, val.to_string()));
+        } else {
+            let col = NUM_COLS[rng.below(NUM_COLS.len() as u64) as usize];
+            let val = if rng.chance(0.3) {
+                rng.below(8) as f64 + 0.5
+            } else {
+                rng.below(8) as f64
+            };
+            q.filters.push((col.to_string(), op, fmt_num(val)));
+        }
+    }
+    if grouped {
+        q.group_by = vec![STR_COLS[rng.below(STR_COLS.len() as u64) as usize].to_string()];
+        if rng.chance(0.5) {
+            q.group_by.push(STR_COLS[rng.below(STR_COLS.len() as u64) as usize].to_string());
+        }
+        let fns = [
+            AggFn::Count,
+            AggFn::Sum,
+            AggFn::Mean,
+            AggFn::Min,
+            AggFn::Max,
+            AggFn::P50,
+            AggFn::P95,
+            AggFn::P99,
+        ];
+        for _ in 0..rng.range(1, 4) {
+            let func = fns[rng.below(fns.len() as u64) as usize];
+            let col = if func == AggFn::Count {
+                None
+            } else {
+                Some(NUM_COLS[rng.below(NUM_COLS.len() as u64) as usize].to_string())
+            };
+            let agg = Agg { func, col };
+            // The engine labels output columns by the agg spelling, so
+            // duplicate specs would collide in sort-by-name; skip dups.
+            if !q.aggs.iter().any(|a| a.label() == agg.label()) {
+                q.aggs.push(agg);
+            }
+        }
+        if rng.chance(0.5) {
+            // Sort by a group column or an aggregate label.
+            let mut names: Vec<String> = q.group_by.clone();
+            names.extend(q.aggs.iter().map(|a| a.label()));
+            let name = names[rng.below(names.len() as u64) as usize].clone();
+            q.sort = Some((name, rng.chance(0.5)));
+        }
+    } else if rng.chance(0.7) {
+        let all: Vec<&str> = STR_COLS.iter().chain(NUM_COLS).copied().collect();
+        let col = all[rng.below(all.len() as u64) as usize];
+        q.sort = Some((col.to_string(), rng.chance(0.5)));
+    }
+    if rng.chance(0.5) {
+        q.limit = Some(rng.below(10) as usize);
+    }
+    q
+}
+
+// ---- the brute-force oracle -------------------------------------------
+
+fn matches(row: &Row, col: &str, op: Op, operand: &str) -> bool {
+    let Some(v) = row.get(col) else { return false };
+    let ord = match v {
+        Val::Str(s) => s.as_str().cmp(operand),
+        Val::Num(n) => match operand.trim().parse::<f64>() {
+            Ok(o) => n.total_cmp(&o),
+            // A number never equals a non-numeric operand.
+            Err(_) => return op == Op::Ne,
+        },
+    };
+    match op {
+        Op::Eq => ord == Ordering::Equal,
+        Op::Ne => ord != Ordering::Equal,
+        Op::Lt => ord == Ordering::Less,
+        Op::Le => ord != Ordering::Greater,
+        Op::Gt => ord == Ordering::Greater,
+        Op::Ge => ord != Ordering::Less,
+    }
+}
+
+fn oracle_cmp(a: &Option<Val>, b: &Option<Val>, desc: bool) -> Ordering {
+    match (a, b) {
+        (None, None) => Ordering::Equal,
+        (None, Some(_)) => Ordering::Greater, // missing last, either direction
+        (Some(_), None) => Ordering::Less,
+        (Some(x), Some(y)) => {
+            let ord = match (x, y) {
+                (Val::Num(p), Val::Num(q)) => p.total_cmp(q),
+                (Val::Str(p), Val::Str(q)) => p.cmp(q),
+                (Val::Num(_), Val::Str(_)) => Ordering::Less,
+                (Val::Str(_), Val::Num(_)) => Ordering::Greater,
+            };
+            if desc {
+                ord.reverse()
+            } else {
+                ord
+            }
+        }
+    }
+}
+
+fn oracle_filter(rows: &[Row], q: &Query) -> Vec<usize> {
+    (0..rows.len())
+        .filter(|&i| q.filters.iter().all(|(c, op, v)| matches(&rows[i], c, *op, v)))
+        .collect()
+}
+
+fn oracle_rows(rows: &[Row], q: &Query) -> Vec<Vec<Option<Val>>> {
+    let mut ids = oracle_filter(rows, q);
+    if let Some((col, desc)) = &q.sort {
+        ids.sort_by(|&a, &b| {
+            oracle_cmp(&rows[a].get(col).cloned(), &rows[b].get(col).cloned(), *desc)
+        });
+    }
+    if let Some(n) = q.limit {
+        ids.truncate(n);
+    }
+    ids.iter()
+        .map(|&i| q.show.iter().map(|c| rows[i].get(c).cloned()).collect())
+        .collect()
+}
+
+fn nearest_rank(sorted: &[f64], p: f64) -> f64 {
+    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn oracle_groups(rows: &[Row], q: &Query) -> Vec<Vec<Option<Val>>> {
+    let ids = oracle_filter(rows, q);
+    // First-seen grouping on display-form keys (mirrors the engine).
+    let mut keys: Vec<Vec<Option<Val>>> = Vec::new();
+    let mut members: Vec<Vec<usize>> = Vec::new();
+    for &i in &ids {
+        let key: Vec<Option<Val>> = q.group_by.iter().map(|c| rows[i].get(c).cloned()).collect();
+        let disp: Vec<Option<String>> =
+            key.iter().map(|v| v.as_ref().map(Val::fmt)).collect();
+        match keys.iter().position(|k| {
+            k.iter().map(|v| v.as_ref().map(Val::fmt)).collect::<Vec<_>>() == disp
+        }) {
+            Some(slot) => members[slot].push(i),
+            None => {
+                keys.push(key);
+                members.push(vec![i]);
+            }
+        }
+    }
+    let mut out: Vec<Vec<Option<Val>>> = keys
+        .iter()
+        .zip(&members)
+        .map(|(key, ids)| {
+            let mut row = key.clone();
+            for agg in &q.aggs {
+                row.push(match agg.func {
+                    AggFn::Count => Some(Val::Num(ids.len() as f64)),
+                    _ => {
+                        let col = agg.col.as_deref().unwrap();
+                        let mut vals: Vec<f64> = ids
+                            .iter()
+                            .filter_map(|&i| match rows[i].get(col) {
+                                Some(Val::Num(n)) => Some(*n),
+                                _ => None,
+                            })
+                            .collect();
+                        vals.sort_by(|a, b| a.total_cmp(b));
+                        if vals.is_empty() {
+                            None
+                        } else {
+                            Some(Val::Num(match agg.func {
+                                AggFn::Count => unreachable!(),
+                                AggFn::Sum => vals.iter().sum(),
+                                AggFn::Mean => vals.iter().sum::<f64>() / vals.len() as f64,
+                                AggFn::Min => vals[0],
+                                AggFn::Max => *vals.last().unwrap(),
+                                AggFn::P50 => nearest_rank(&vals, 0.50),
+                                AggFn::P95 => nearest_rank(&vals, 0.95),
+                                AggFn::P99 => nearest_rank(&vals, 0.99),
+                            }))
+                        }
+                    }
+                });
+            }
+            row
+        })
+        .collect();
+    // Sort: explicit column, else group key ascending; ties keep
+    // first-seen order (stable).
+    let sort_cols: Vec<(usize, bool)> = match &q.sort {
+        Some((name, desc)) => {
+            let mut cols: Vec<String> = q.group_by.clone();
+            cols.extend(q.aggs.iter().map(|a| a.label()));
+            vec![(cols.iter().position(|c| c == name).unwrap(), *desc)]
+        }
+        None => (0..q.group_by.len()).map(|i| (i, false)).collect(),
+    };
+    let mut perm: Vec<usize> = (0..out.len()).collect();
+    perm.sort_by(|&a, &b| {
+        for &(c, d) in &sort_cols {
+            let ord = oracle_cmp(&out[a][c], &out[b][c], d);
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        a.cmp(&b)
+    });
+    out = perm.into_iter().map(|i| out[i].clone()).collect();
+    if let Some(n) = q.limit {
+        out.truncate(n);
+    }
+    out
+}
+
+fn assert_cell_eq(got: &Option<Val>, want: &Option<Val>, what: &str) {
+    match (got, want) {
+        (None, None) => {}
+        (Some(Val::Num(a)), Some(Val::Num(b))) => {
+            assert!((a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0), "{what}: {a} vs {b}")
+        }
+        (a, b) => assert_eq!(a, b, "{what}"),
+    }
+}
+
+#[test]
+fn filters_sorts_and_limits_match_linear_scan() {
+    check("query row scan oracle", 300, |rng| {
+        let rows = gen_rows(rng);
+        let idx = build_index(&rows);
+        let mut q = gen_query(rng, false);
+        // Project every column so rows compare exactly.
+        q.show = STR_COLS.iter().chain(NUM_COLS).map(|c| c.to_string()).collect();
+        let got = run(&idx, &q).expect("engine accepts generated query");
+        let want = oracle_rows(&rows, &q);
+        assert_eq!(got.rows.len(), want.len(), "row count for {q:?}");
+        // With a (possibly tied) sort, require identical multisets in
+        // identical key order: compare cell-for-cell, which the stable
+        // sort + ascending-row base order makes deterministic.
+        for (i, (g, w)) in got.rows.iter().zip(&want).enumerate() {
+            for (j, (gc, wc)) in g.iter().zip(w).enumerate() {
+                assert_cell_eq(gc, wc, &format!("row {i} col {j} of {q:?}"));
+            }
+        }
+    });
+}
+
+#[test]
+fn group_by_aggregates_match_linear_scan() {
+    check("query group-by oracle", 300, |rng| {
+        let rows = gen_rows(rng);
+        let idx = build_index(&rows);
+        let q = gen_query(rng, true);
+        let got = run(&idx, &q).expect("engine accepts generated group query");
+        let want = oracle_groups(&rows, &q);
+        assert_eq!(got.rows.len(), want.len(), "group count for {q:?}");
+        for (i, (g, w)) in got.rows.iter().zip(&want).enumerate() {
+            for (j, (gc, wc)) in g.iter().zip(w).enumerate() {
+                assert_cell_eq(gc, wc, &format!("group {i} col {j} of {q:?}"));
+            }
+        }
+    });
+}
+
+#[test]
+fn acceptance_query_shape_round_trips() {
+    // The ISSUE's acceptance query parses and its filters/sort/limit
+    // survive a render→parse round trip.
+    let text = "where mitigation=stt and cpi.mem_bound>0 sort wall_ms desc limit 5";
+    let q = sas_query::parse_query(text).unwrap();
+    assert_eq!(q.filters.len(), 2);
+    assert_eq!(q.limit, Some(5));
+    assert!(q.sort.as_ref().is_some_and(|(c, desc)| c == "wall_ms" && *desc));
+}

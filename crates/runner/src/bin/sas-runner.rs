@@ -147,6 +147,15 @@ fn campaign(cells: Vec<CellId>, cfg: &Config, norms: bool) -> ExitCode {
             println!("\n{table}");
         }
     }
+    // Regression digest: index the manifest we just wrote and surface the
+    // slowest cells / per-mitigation profile / failures. Best-effort —
+    // a digest problem must never fail a green campaign.
+    if let Ok((idx, _)) = sas_query::load::index_paths(&[cfg.manifest_path.clone()]) {
+        let digest = sas_query::digest::campaign_digest(&idx);
+        if !digest.is_empty() {
+            println!("\n{digest}");
+        }
+    }
     print!("{}", report.summary());
     if report.all_ok() {
         ExitCode::SUCCESS

@@ -1,10 +1,13 @@
 //! The supervisor side of the heartbeat protocol.
 //!
 //! Children arm `System::set_heartbeat`, which atomically rewrites a
-//! one-line `{"cycle":N,"committed":M}` file every N cycles
-//! (write-temp-then-rename, so a poll never reads a torn line). Supervisors
-//! — the `sas-runner` watchdog loop and the `sas-serve` hung-worker
-//! monitor — poll that file to distinguish *slow* from *stuck*.
+//! one-line `{"schema":"sas-hb-v2","cycle":N,"committed":M,"cpi":"base=…"}`
+//! file every N cycles (write-temp-then-rename, so a poll never reads a
+//! torn line). Supervisors — the `sas-runner` watchdog loop, the
+//! `sas-serve` hung-worker monitor, and the `GET /watch/<job>` SSE bridge
+//! — poll that file to distinguish *slow* from *stuck* and to stream
+//! progress. The reader is schema-tolerant: `schema` and `cpi` are
+//! optional, so v1 files (and third-party writers) still parse.
 //!
 //! Heartbeat files are process-scoped scratch state, not durable artifacts:
 //! they are keyed by the supervisor pid so concurrent campaigns never
@@ -19,13 +22,19 @@ use std::path::{Path, PathBuf};
 /// [`crate::sweep`] matches on).
 pub const FILE_PREFIX: &str = "hb-";
 
+/// Schema tag the current pipeline writer stamps into heartbeat files.
+pub const SCHEMA: &str = "sas-hb-v2";
+
 /// A parsed heartbeat sample.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Heartbeat {
     /// The child's current simulation cycle.
     pub cycle: u64,
     /// Instructions committed so far.
     pub committed: u64,
+    /// Flat-encoded CPI stack so far (`base=12;fetch_stall=3;…`), when
+    /// the writer is v2+.
+    pub cpi: Option<String>,
 }
 
 fn sanitize(id: &str) -> String {
@@ -63,6 +72,7 @@ pub fn read(path: &Path) -> Option<Heartbeat> {
     Some(Heartbeat {
         cycle: map.get("cycle")?.as_u64()?,
         committed: map.get("committed")?.as_u64()?,
+        cpi: map.get("cpi").and_then(|v| v.as_str()).map(str::to_string),
     })
 }
 
@@ -86,8 +96,25 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("sas-hb-test-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let p = path_in(&dir, "unit");
+        // v1 files (no schema/cpi) still parse.
         std::fs::write(&p, "{\"cycle\":1234,\"committed\":567}\n").unwrap();
-        assert_eq!(read(&p), Some(Heartbeat { cycle: 1234, committed: 567 }));
+        assert_eq!(read(&p), Some(Heartbeat { cycle: 1234, committed: 567, cpi: None }));
+        // v2 files carry the schema tag and the flat CPI string.
+        std::fs::write(
+            &p,
+            format!(
+                "{{\"schema\":\"{SCHEMA}\",\"cycle\":9,\"committed\":5,\"cpi\":\"base=4;memory_bound=5\"}}\n"
+            ),
+        )
+        .unwrap();
+        assert_eq!(
+            read(&p),
+            Some(Heartbeat {
+                cycle: 9,
+                committed: 5,
+                cpi: Some("base=4;memory_bound=5".to_string())
+            })
+        );
         // A torn/partial line is not a sample.
         std::fs::write(&p, "{\"cycle\":12").unwrap();
         assert_eq!(read(&p), None);

@@ -147,6 +147,17 @@ pub fn respond(
     stream.flush()
 }
 
+/// Writes the head of a streaming response (no `Content-Length`; the body
+/// is produced incrementally and the connection close delimits it). Used
+/// by the `GET /watch/<job>` server-sent-events bridge.
+pub fn stream_head(stream: &mut TcpStream, content_type: &str) -> std::io::Result<()> {
+    let out = format!(
+        "HTTP/1.1 200 OK\r\ncontent-type: {content_type}\r\ncache-control: no-cache\r\nconnection: close\r\n\r\n"
+    );
+    stream.write_all(out.as_bytes())?;
+    stream.flush()
+}
+
 /// Escapes a string for embedding in a JSON document.
 pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);

@@ -354,10 +354,14 @@ fn run_sim(
     };
     let deadline = plan.deadline;
     let control = move |_: &System| {
-        if cancel.load(Ordering::Relaxed) {
-            Interrupt::Abort("cancelled".into())
-        } else if deadline.is_some_and(|d| Instant::now() >= d) {
+        // Deadline before cancel: the watchdog requests cancellation for
+        // overrun jobs, so at any poll past the deadline both can be true
+        // — classifying by the deadline keeps the outcome deterministic
+        // regardless of whether the worker or the watchdog noticed first.
+        if deadline.is_some_and(|d| Instant::now() >= d) {
             Interrupt::Abort("deadline".into())
+        } else if cancel.load(Ordering::Relaxed) {
+            Interrupt::Abort("cancelled".into())
         } else if park.load(Ordering::Relaxed) {
             Interrupt::Park("drain".into())
         } else {

@@ -19,6 +19,12 @@
 //! * **Graceful drain** ([`server`]) — SIGTERM or `POST /drain` stops
 //!   admission, parks in-flight simulations behind checkpoints, and exits
 //!   0 with zero accepted jobs lost.
+//! * **Observability** ([`metrics`]) — `GET /metrics` renders per-method
+//!   request counters, latency histograms with quantile summaries, and
+//!   queue/worker gauges in Prometheus text exposition; `GET /watch/<job>`
+//!   streams server-sent progress events bridged from the worker's
+//!   heartbeat file; the `query` RPC method runs `sas-query` expressions
+//!   over the daemon's journal and live job table.
 //!
 //! Hermetic like the rest of the workspace: the HTTP layer, JSON handling,
 //! and scheduling are all std-only.
@@ -29,6 +35,7 @@
 pub mod http;
 pub mod job;
 pub mod journal;
+pub mod metrics;
 pub mod queue;
 pub mod server;
 

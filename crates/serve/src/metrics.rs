@@ -1,0 +1,103 @@
+//! Per-server request metrics behind `GET /metrics`.
+//!
+//! The middleware in `server.rs` calls [`ServeMetrics::record`] once per
+//! HTTP request (labelled by endpoint, with RPC requests split per
+//! method: `rpc:simulate`, `rpc:query`, …) with the response status and
+//! wall latency in microseconds. Rendering goes through
+//! `sas_telemetry::expo`, so latency shows up as a cumulative log2
+//! `_bucket` histogram plus `quantile="0.5|0.95|0.99"` summary lines.
+//!
+//! Everything lives in `BTreeMap`s keyed by label, so the exposition is
+//! byte-deterministic for a given state — goldens can diff it.
+
+use std::collections::BTreeMap;
+
+use sas_telemetry::{expo, Histogram};
+
+/// Request-level metric families (one instance per server, mutexed in
+/// `Shared`).
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    requests: BTreeMap<String, u64>,
+    statuses: BTreeMap<u16, u64>,
+    latency_us: BTreeMap<String, Histogram>,
+    sse_events: u64,
+}
+
+impl ServeMetrics {
+    /// An empty set of families.
+    pub fn new() -> ServeMetrics {
+        ServeMetrics::default()
+    }
+
+    /// Records one finished request.
+    pub fn record(&mut self, label: &str, status: u16, micros: u64) {
+        *self.requests.entry(label.to_string()).or_insert(0) += 1;
+        *self.statuses.entry(status).or_insert(0) += 1;
+        self.latency_us.entry(label.to_string()).or_default().observe(micros);
+    }
+
+    /// Counts one server-sent event pushed on a `/watch` stream.
+    pub fn sse_event(&mut self) {
+        self.sse_events += 1;
+    }
+
+    /// Total requests recorded across all labels.
+    pub fn total_requests(&self) -> u64 {
+        self.requests.values().sum()
+    }
+
+    /// Appends the request families in exposition format.
+    pub fn render(&self, out: &mut String) {
+        expo::type_line(out, "sas_serve_requests_total", "counter");
+        for (label, n) in &self.requests {
+            expo::line(out, "sas_serve_requests_total", &[("method", label)], *n as f64);
+        }
+        expo::type_line(out, "sas_serve_responses_total", "counter");
+        for (status, n) in &self.statuses {
+            let code = status.to_string();
+            expo::line(out, "sas_serve_responses_total", &[("status", &code)], *n as f64);
+        }
+        expo::type_line(out, "sas_serve_request_latency_us", "histogram");
+        for (label, h) in &self.latency_us {
+            expo::histogram(out, "sas_serve_request_latency_us", &[("method", label)], h);
+        }
+        expo::type_line(out, "sas_serve_sse_events_total", "counter");
+        expo::line(out, "sas_serve_sse_events_total", &[], self.sse_events as f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_per_method_latency_histograms() {
+        let mut m = ServeMetrics::new();
+        m.record("rpc:simulate", 200, 1500);
+        m.record("rpc:simulate", 200, 3000);
+        m.record("status", 200, 40);
+        m.record("rpc:query", 400, 90);
+        m.sse_event();
+        m.sse_event();
+        let mut out = String::new();
+        m.render(&mut out);
+        assert!(out.contains("sas_serve_requests_total{method=\"rpc:simulate\"} 2\n"), "{out}");
+        assert!(out.contains("sas_serve_requests_total{method=\"status\"} 1\n"));
+        assert!(out.contains("sas_serve_responses_total{status=\"200\"} 3\n"));
+        assert!(out.contains("sas_serve_responses_total{status=\"400\"} 1\n"));
+        assert!(
+            out.contains("sas_serve_request_latency_us_count{method=\"rpc:simulate\"} 2\n"),
+            "{out}"
+        );
+        assert!(out.contains(
+            "sas_serve_request_latency_us{method=\"rpc:simulate\",quantile=\"0.95\"}"
+        ));
+        assert!(out.contains("sas_serve_sse_events_total 2\n"));
+        assert_eq!(m.total_requests(), 4);
+        // Deterministic: same state renders byte-identically.
+        let mut again = String::new();
+        m.render(&mut again);
+        assert_eq!(out, again);
+    }
+}

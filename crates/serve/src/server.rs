@@ -19,10 +19,14 @@
 use crate::http::{self, json_escape, Request};
 use crate::job::{self, JobEnd, JobSpec, RunPlan};
 use crate::journal::{Journal, PendingJob};
+use crate::metrics::ServeMetrics;
 use crate::queue::{JobQueue, Priority, Reject};
+use sas_query::Val;
 use sas_runner::{heartbeat, supervisor, sweep};
+use sas_telemetry::expo;
 use sas_telemetry::json::{self, Json};
 use std::collections::HashMap;
+use std::io::Write;
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -152,6 +156,8 @@ struct Shared {
     draining: AtomicBool,
     park: Arc<AtomicBool>,
     connections: AtomicUsize,
+    metrics: Mutex<ServeMetrics>,
+    started: Instant,
 }
 
 /// Cap on concurrently-served connections (beyond it: immediate 503).
@@ -228,6 +234,8 @@ impl Server {
             draining: AtomicBool::new(false),
             park: Arc::new(AtomicBool::new(false)),
             connections: AtomicUsize::new(0),
+            metrics: Mutex::new(ServeMetrics::new()),
+            started: Instant::now(),
         });
         for _ in 0..workers {
             spawn_worker(Arc::clone(&shared));
@@ -518,6 +526,7 @@ fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener, stop: &AtomicBool) 
 fn handle_connection(shared: &Shared, mut stream: TcpStream, peer: String) {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    let t0 = Instant::now();
     let req = match http::read_request(&mut stream) {
         Ok(req) => req,
         Err(http::ReadError::Closed) => return,
@@ -530,20 +539,50 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream, peer: String) {
                 "application/json",
                 "{\"error\":{\"message\":\"request too large\"}}",
             );
+            record_request(shared, "malformed", 413, t0);
             return;
         }
         Err(http::ReadError::Bad(msg)) => {
             let body = format!("{{\"error\":{{\"message\":\"{}\"}}}}", json_escape(&msg));
             let _ =
                 http::respond(&mut stream, 400, "Bad Request", &[], "application/json", &body);
+            record_request(shared, "malformed", 400, t0);
             return;
         }
         Err(http::ReadError::Io(_)) => return,
     };
-    let (status, reason, headers, body) = route(shared, &req, &peer);
+    let path = req.path.split('?').next().unwrap_or("").to_string();
+    // Two endpoints bypass the JSON router: /metrics is text exposition,
+    // /watch/<job> streams server-sent events until the job resolves.
+    if req.method == "GET" && path == "/metrics" {
+        let body = metrics_body(shared);
+        let _ = http::respond(
+            &mut stream,
+            200,
+            "OK",
+            &[],
+            "text/plain; version=0.0.4; charset=utf-8",
+            &body,
+        );
+        record_request(shared, "metrics", 200, t0);
+        return;
+    }
+    if req.method == "GET" && path.starts_with("/watch/") {
+        let status = serve_watch(shared, &mut stream, &path);
+        record_request(shared, "watch", status, t0);
+        return;
+    }
+    let ((status, reason, headers, body), label) = route(shared, &req, &peer);
     let header_refs: Vec<(&str, &str)> =
         headers.iter().map(|(n, v)| (n.as_str(), v.as_str())).collect();
     let _ = http::respond(&mut stream, status, reason, &header_refs, "application/json", &body);
+    record_request(shared, &label, status, t0);
+}
+
+/// Metrics middleware: one counter bump + latency observation per request.
+fn record_request(shared: &Shared, label: &str, status: u16, t0: Instant) {
+    let micros = u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX);
+    shared.metrics.lock().expect("metrics lock").record(label, status, micros);
 }
 
 type Response = (u16, &'static str, Vec<(String, String)>, String);
@@ -574,10 +613,11 @@ fn unavailable(message: &str, counters_bump: &str, shared: &Shared) -> Response 
     )
 }
 
-fn route(shared: &Shared, req: &Request, peer: &str) -> Response {
+/// Dispatches one parsed request; the second element is the metrics label.
+fn route(shared: &Shared, req: &Request, peer: &str) -> (Response, String) {
     match (req.method.as_str(), req.path.split('?').next().unwrap_or("")) {
         ("GET", "/healthz") => {
-            if shared.draining.load(Ordering::SeqCst) {
+            let resp = if shared.draining.load(Ordering::SeqCst) {
                 (
                     503,
                     "Service Unavailable",
@@ -586,20 +626,24 @@ fn route(shared: &Shared, req: &Request, peer: &str) -> Response {
                 )
             } else {
                 ok("{\"ok\":true}".into())
-            }
+            };
+            (resp, "healthz".into())
         }
-        ("GET", "/status") => ok(status_body(shared)),
+        ("GET", "/status") => (ok(status_body(shared)), "status".into()),
         ("POST", "/drain") => {
             drain(shared);
-            ok("{\"draining\":true}".into())
+            (ok("{\"draining\":true}".into()), "drain".into())
         }
         ("POST", "/rpc") => rpc(shared, req, peer),
         _ => (
-            404,
-            "Not Found",
-            Vec::new(),
-            "{\"error\":{\"message\":\"try POST /rpc, GET /status, GET /healthz, POST /drain\"}}"
-                .into(),
+            (
+                404,
+                "Not Found",
+                Vec::new(),
+                "{\"error\":{\"message\":\"try POST /rpc, GET /status, GET /metrics, GET /watch/<job>, GET /healthz, POST /drain\"}}"
+                    .into(),
+            ),
+            "other".into(),
         ),
     }
 }
@@ -608,7 +652,8 @@ fn status_body(shared: &Shared) -> String {
     let st = shared.state.lock().expect("state lock");
     let c = &st.counters;
     format!(
-        "{{\"draining\":{},\"queued\":{},\"running\":{},\"workers\":{},\"queue_cap\":{},\
+        "{{\"schema\":\"sas-serve-status-v2\",\
+         \"draining\":{},\"queued\":{},\"running\":{},\"workers\":{},\"queue_cap\":{},\
          \"accepted\":{},\"resumed\":{},\"completed\":{},\"failed\":{},\"cancelled\":{},\
          \"parked\":{},\"stalled\":{},\"rejected\":{{\"full\":{},\"shed\":{},\"draining\":{},\"client\":{}}}}}",
         shared.draining.load(Ordering::SeqCst),
@@ -628,6 +673,183 @@ fn status_body(shared: &Shared) -> String {
         c.rejected_draining,
         c.rejected_client,
     )
+}
+
+/// Renders the full `GET /metrics` exposition: live gauges from the state
+/// lock, monotonic job counters, the journal's on-disk size, and the
+/// per-method request counters/latency histograms the middleware records.
+fn metrics_body(shared: &Shared) -> String {
+    let (queued, running, workers, queue_cap, c) = {
+        let st = shared.state.lock().expect("state lock");
+        (st.queue.len(), st.running, st.workers_alive, st.queue.cap(), st.counters.clone())
+    };
+    let mut out = String::new();
+    expo::type_line(&mut out, "sas_serve_up", "gauge");
+    expo::line(&mut out, "sas_serve_up", &[], 1.0);
+    expo::type_line(&mut out, "sas_serve_uptime_seconds", "gauge");
+    expo::line(&mut out, "sas_serve_uptime_seconds", &[], shared.started.elapsed().as_secs_f64());
+    expo::type_line(&mut out, "sas_serve_draining", "gauge");
+    expo::line(
+        &mut out,
+        "sas_serve_draining",
+        &[],
+        if shared.draining.load(Ordering::SeqCst) { 1.0 } else { 0.0 },
+    );
+    expo::type_line(&mut out, "sas_serve_queue_depth", "gauge");
+    expo::line(&mut out, "sas_serve_queue_depth", &[], queued as f64);
+    expo::type_line(&mut out, "sas_serve_queue_capacity", "gauge");
+    expo::line(&mut out, "sas_serve_queue_capacity", &[], queue_cap as f64);
+    expo::type_line(&mut out, "sas_serve_jobs_running", "gauge");
+    expo::line(&mut out, "sas_serve_jobs_running", &[], running as f64);
+    expo::type_line(&mut out, "sas_serve_workers_alive", "gauge");
+    expo::line(&mut out, "sas_serve_workers_alive", &[], workers as f64);
+    expo::type_line(&mut out, "sas_serve_worker_occupancy", "gauge");
+    expo::line(
+        &mut out,
+        "sas_serve_worker_occupancy",
+        &[],
+        running as f64 / workers.max(1) as f64,
+    );
+    expo::type_line(&mut out, "sas_serve_connections", "gauge");
+    expo::line(
+        &mut out,
+        "sas_serve_connections",
+        &[],
+        shared.connections.load(Ordering::SeqCst) as f64,
+    );
+    expo::type_line(&mut out, "sas_serve_jobs_total", "counter");
+    for (outcome, n) in [
+        ("accepted", c.accepted),
+        ("resumed", c.resumed),
+        ("completed", c.completed),
+        ("failed", c.failed),
+        ("cancelled", c.cancelled),
+        ("parked", c.parked),
+        ("stalled", c.stalled),
+    ] {
+        expo::line(&mut out, "sas_serve_jobs_total", &[("outcome", outcome)], n as f64);
+    }
+    expo::type_line(&mut out, "sas_serve_rejected_total", "counter");
+    for (reason, n) in [
+        ("full", c.rejected_full),
+        ("shed", c.rejected_shed),
+        ("draining", c.rejected_draining),
+        ("client", c.rejected_client),
+    ] {
+        expo::line(&mut out, "sas_serve_rejected_total", &[("reason", reason)], n as f64);
+    }
+    let journal_bytes = {
+        let journal = shared.journal.lock().expect("journal lock");
+        std::fs::metadata(journal.path()).map(|m| m.len()).unwrap_or(0)
+    };
+    expo::type_line(&mut out, "sas_serve_journal_bytes", "gauge");
+    expo::line(&mut out, "sas_serve_journal_bytes", &[], journal_bytes as f64);
+    shared.metrics.lock().expect("metrics lock").render(&mut out);
+    out
+}
+
+/// How long one `/watch` stream may stay open before the server closes it.
+const WATCH_CAP: Duration = Duration::from_secs(600);
+
+/// Poll period for the `/watch` bridge: phase + heartbeat file reads only,
+/// never the worker hot path.
+const WATCH_POLL: Duration = Duration::from_millis(50);
+
+fn sse_send(stream: &mut TcpStream, event: &str, data: &str) -> std::io::Result<()> {
+    write!(stream, "event: {event}\ndata: {data}\n\n")?;
+    stream.flush()
+}
+
+/// `GET /watch/<job>`: streams `queued` / `progress` / `done` server-sent
+/// events until the job resolves, the client hangs up, or [`WATCH_CAP`]
+/// expires. Progress frames are bridged from the worker's heartbeat file
+/// and deduplicated on cycle, so they are strictly monotonic.
+fn serve_watch(shared: &Shared, stream: &mut TcpStream, path: &str) -> u16 {
+    let Ok(job_id) = path["/watch/".len()..].parse::<u64>() else {
+        let _ = http::respond(
+            stream,
+            400,
+            "Bad Request",
+            &[],
+            "application/json",
+            "{\"error\":{\"message\":\"watch target must be a numeric job id\"}}",
+        );
+        return 400;
+    };
+    if !shared.state.lock().expect("state lock").jobs.contains_key(&job_id) {
+        let body = format!("{{\"error\":{{\"message\":\"unknown job {job_id}\"}}}}");
+        let _ = http::respond(stream, 404, "Not Found", &[], "application/json", &body);
+        return 404;
+    }
+    if http::stream_head(stream, "text/event-stream").is_err() {
+        return 200;
+    }
+    enum Snap {
+        Gone,
+        Queued,
+        Running(PathBuf),
+        Terminal(String),
+    }
+    let opened = Instant::now();
+    let mut last_cycle: Option<u64> = None;
+    let mut announced_queued = false;
+    loop {
+        let snap = {
+            let st = shared.state.lock().expect("state lock");
+            match st.jobs.get(&job_id) {
+                None => Snap::Gone,
+                Some(e) => match &e.phase {
+                    Phase::Queued => Snap::Queued,
+                    Phase::Running { hb, .. } => Snap::Running(hb.clone()),
+                    Phase::Parked | Phase::Done { .. } => {
+                        Snap::Terminal(job_status_json(e, job_id))
+                    }
+                },
+            }
+        };
+        let frame = match snap {
+            Snap::Gone => {
+                Some(("done", format!("{{\"job\":{job_id},\"status\":\"forgotten\"}}"), true))
+            }
+            Snap::Terminal(body) => Some(("done", body, true)),
+            Snap::Queued if !announced_queued => {
+                announced_queued = true;
+                Some(("queued", format!("{{\"job\":{job_id},\"status\":\"queued\"}}"), false))
+            }
+            Snap::Queued => None,
+            Snap::Running(hb) => match heartbeat::read(&hb) {
+                Some(h) if last_cycle.map_or(true, |c| h.cycle > c) => {
+                    last_cycle = Some(h.cycle);
+                    let cpi = h.cpi.as_deref().unwrap_or("");
+                    Some((
+                        "progress",
+                        format!(
+                            "{{\"job\":{job_id},\"cycle\":{},\"committed\":{},\"cpi\":\"{}\"}}",
+                            h.cycle,
+                            h.committed,
+                            json_escape(cpi)
+                        ),
+                        false,
+                    ))
+                }
+                _ => None,
+            },
+        };
+        if let Some((event, data, terminal)) = frame {
+            if sse_send(stream, event, &data).is_err() {
+                return 200; // client hung up; nothing more to do
+            }
+            shared.metrics.lock().expect("metrics lock").sse_event();
+            if terminal {
+                return 200;
+            }
+        }
+        if opened.elapsed() > WATCH_CAP {
+            let _ = sse_send(stream, "timeout", &format!("{{\"job\":{job_id}}}"));
+            return 200;
+        }
+        std::thread::sleep(WATCH_POLL);
+    }
 }
 
 /// Renders a JSON-RPC id value back out.
@@ -655,27 +877,34 @@ fn rpc_result(id: &str, result: &str) -> String {
     format!("{{\"jsonrpc\":\"2.0\",\"id\":{id},\"result\":{result}}}")
 }
 
-fn rpc(shared: &Shared, req: &Request, peer: &str) -> Response {
+fn rpc(shared: &Shared, req: &Request, peer: &str) -> (Response, String) {
     let text = String::from_utf8_lossy(&req.body);
     let doc = match json::parse(&text) {
         Ok(doc) => doc,
         Err(e) => {
             return (
-                400,
-                "Bad Request",
-                Vec::new(),
-                rpc_error("null", -32700, &format!("parse error: {e}"), None),
+                (
+                    400,
+                    "Bad Request",
+                    Vec::new(),
+                    rpc_error("null", -32700, &format!("parse error: {e}"), None),
+                ),
+                "rpc:invalid".into(),
             )
         }
     };
     let id = render_id(doc.get("id"));
     let Some(method) = doc.get("method").and_then(Json::as_str) else {
-        return (400, "Bad Request", Vec::new(), rpc_error(&id, -32600, "missing method", None));
+        return (
+            (400, "Bad Request", Vec::new(), rpc_error(&id, -32600, "missing method", None)),
+            "rpc:invalid".into(),
+        );
     };
     let empty = Json::Obj(Default::default());
     let params = doc.get("params").unwrap_or(&empty);
 
-    match method {
+    let label = format!("rpc:{method}");
+    let resp = match method {
         "status" => ok(rpc_result(&id, &status_body(shared))),
         "drain" => {
             drain(shared);
@@ -683,11 +912,76 @@ fn rpc(shared: &Shared, req: &Request, peer: &str) -> Response {
         }
         "job" => rpc_job_query(shared, &id, params),
         "cancel" => rpc_cancel(shared, &id, params),
+        "query" => rpc_query(shared, &id, params),
         "simulate" | "trace" | "lint" | "spin" => rpc_submit(shared, req, peer, &id, method, params),
         other => {
             let msg = format!("unknown method {other:?}");
-            (400, "Bad Request", Vec::new(), rpc_error(&id, -32601, &msg, None))
+            return (
+                (400, "Bad Request", Vec::new(), rpc_error(&id, -32601, &msg, None)),
+                "rpc:unknown".into(),
+            );
         }
+    };
+    (resp, label)
+}
+
+/// The `query` method: runs a `sas-query` expression over the service's
+/// own artifacts — every journal line (accepted / resolved records) plus
+/// one row per known job carrying its live status and, for completed
+/// jobs, the flattened result metrics (`cycles`, `committed`,
+/// `cpi.<bucket>`, …). The index is rebuilt per call: campaign-scale
+/// corpora live in files, a daemon's job table is small.
+fn rpc_query(shared: &Shared, id: &str, params: &Json) -> Response {
+    let Some(q) = params.get("q").and_then(Json::as_str) else {
+        return (
+            400,
+            "Bad Request",
+            Vec::new(),
+            rpc_error(id, -32602, "missing query string param \"q\"", None),
+        );
+    };
+    let mut idx = sas_query::Index::new();
+    let journal_path = shared.journal.lock().expect("journal lock").path().to_path_buf();
+    if let Ok(text) = std::fs::read_to_string(&journal_path) {
+        for row in sas_query::load::load_str(&text, "journal").rows {
+            idx.push_row(&row);
+        }
+    }
+    {
+        let st = shared.state.lock().expect("state lock");
+        let mut ids: Vec<u64> = st.jobs.keys().copied().collect();
+        ids.sort_unstable();
+        for jid in ids {
+            let entry = &st.jobs[&jid];
+            let mut row: sas_query::load::Row = vec![
+                ("source".into(), Val::Str("jobs".into())),
+                ("job".into(), Val::Num(jid as f64)),
+                ("kind".into(), Val::Str(entry.spec.kind().into())),
+                ("label".into(), Val::Str(entry.spec.label())),
+                ("priority".into(), Val::Str(entry.priority.token().into())),
+            ];
+            match &entry.phase {
+                Phase::Queued => row.push(("status".into(), Val::Str("queued".into()))),
+                Phase::Running { .. } => row.push(("status".into(), Val::Str("running".into()))),
+                Phase::Parked => row.push(("status".into(), Val::Str("parked".into()))),
+                Phase::Done { outcome, body, ok } => {
+                    row.push(("status".into(), Val::Str(format!("done:{outcome}"))));
+                    row.push(("ok".into(), Val::Str(ok.to_string())));
+                    if *ok {
+                        if let Ok(doc) = json::parse(body) {
+                            sas_query::load::flatten("", &doc, &mut row);
+                        }
+                    }
+                }
+            }
+            sas_query::load::enrich(&mut row);
+            idx.push_row(&row);
+        }
+    }
+    idx.seal();
+    match sas_query::run_str(&idx, q) {
+        Ok(table) => ok(rpc_result(id, &table.to_json())),
+        Err(e) => (400, "Bad Request", Vec::new(), rpc_error(id, -32602, &e, None)),
     }
 }
 

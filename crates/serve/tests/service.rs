@@ -384,3 +384,130 @@ fn drain_parks_in_flight_work_and_a_restart_resumes_bit_identically() {
         "resumed committed count diverged: {st:?}"
     );
 }
+
+/// Fetches a non-JSON endpoint (text exposition, SSE stream) raw: the
+/// connection closes when the server finishes the body.
+fn http_text(port: u16, path: &str) -> (u16, String) {
+    let mut s = TcpStream::connect(("127.0.0.1", port)).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(180))).unwrap();
+    let req = format!("GET {path} HTTP/1.1\r\nhost: t\r\ncontent-length: 0\r\n\r\n");
+    s.write_all(req.as_bytes()).unwrap();
+    let mut raw = Vec::new();
+    s.read_to_end(&mut raw).expect("read response");
+    let text = String::from_utf8_lossy(&raw).to_string();
+    let (head, payload) = text.split_once("\r\n\r\n").expect("complete response");
+    let status: u16 = head
+        .split_ascii_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line in {head:?}"));
+    (status, payload.to_string())
+}
+
+#[test]
+fn metrics_watch_and_query_expose_the_service() {
+    let server = Server::start(small_config("obsv")).unwrap();
+    let port = server.port();
+
+    // The status document is schema-tagged.
+    let (status, _, doc) = http(port, "GET", "/status", "", "test");
+    assert_eq!(status, 200);
+    assert_eq!(doc.get("schema").and_then(Json::as_str), Some("sas-serve-status-v2"), "{doc:?}");
+
+    // One quick completed job gives the query corpus a result row.
+    let (status, _, doc) = rpc(
+        port,
+        &format!(
+            "{{\"jsonrpc\":\"2.0\",\"id\":1,\"method\":\"simulate\",\"params\":{{\"program\":{}}}}}",
+            json_string(QUICK)
+        ),
+    );
+    assert_eq!(status, 200, "{doc:?}");
+
+    // Watch a long job end to end: the SSE stream must carry at least two
+    // strictly monotonic progress frames and a terminal done frame.
+    let id = submit_async(
+        port,
+        &format!("{{\"program\":{},\"wait\":false,\"deadline_ms\":120000}}", json_string(LONG)),
+    );
+    let (status, stream) = http_text(port, &format!("/watch/{id}"));
+    assert_eq!(status, 200, "{stream:?}");
+    let mut cycles: Vec<u64> = Vec::new();
+    let mut done = 0;
+    let mut lines = stream.lines();
+    while let Some(line) = lines.next() {
+        let Some(event) = line.strip_prefix("event: ") else { continue };
+        let data = lines.next().and_then(|l| l.strip_prefix("data: ")).unwrap_or("{}");
+        let frame = json::parse(data).unwrap_or_else(|e| panic!("bad frame {data:?}: {e}"));
+        match event {
+            "progress" => {
+                cycles.push(frame.get("cycle").and_then(Json::as_num).expect("cycle") as u64);
+                assert!(frame.get("committed").and_then(Json::as_num).is_some(), "{frame:?}");
+            }
+            "done" => {
+                done += 1;
+                let status = frame.get("status").and_then(Json::as_str).unwrap_or("");
+                assert_eq!(status, "done:completed", "{frame:?}");
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(done, 1, "no terminal frame in {stream:?}");
+    assert!(cycles.len() >= 2, "want >=2 progress frames, got {cycles:?}");
+    assert!(cycles.windows(2).all(|w| w[0] < w[1]), "not monotonic: {cycles:?}");
+
+    // The exposition reflects the traffic above.
+    let (status, text) = http_text(port, "/metrics");
+    assert_eq!(status, 200);
+    for needle in [
+        "# TYPE sas_serve_requests_total counter",
+        "sas_serve_requests_total{method=\"rpc:simulate\"} 2",
+        "sas_serve_requests_total{method=\"status\"} 1",
+        "sas_serve_requests_total{method=\"watch\"} 1",
+        "sas_serve_jobs_total{outcome=\"completed\"} 2",
+        "sas_serve_request_latency_us_count{method=\"rpc:simulate\"} 2",
+        "sas_serve_request_latency_us{method=\"rpc:simulate\",quantile=\"0.95\"}",
+        "sas_serve_workers_alive 1",
+        "sas_serve_up 1",
+    ] {
+        assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+    }
+    // >= 2 progress frames + done + queued all counted as SSE events.
+    let sse = text
+        .lines()
+        .find_map(|l| l.strip_prefix("sas_serve_sse_events_total "))
+        .and_then(|v| v.parse::<f64>().ok())
+        .expect("sse counter");
+    assert!(sse >= 3.0, "sse counter {sse} too low:\n{text}");
+
+    // The query method slices the journal + live job table.
+    let (status, _, doc) = rpc(
+        port,
+        "{\"jsonrpc\":\"2.0\",\"id\":7,\"method\":\"query\",\"params\":{\"q\":\"show job,status,cycles where source=jobs sort job\"}}",
+    );
+    assert_eq!(status, 200, "{doc:?}");
+    let table = result_of(&doc);
+    let rows = table.get("rows").and_then(Json::as_arr).expect("rows");
+    assert_eq!(rows.len(), 2, "{doc:?}");
+    let statuses: Vec<&str> = rows
+        .iter()
+        .map(|r| r.as_arr().unwrap()[1].as_str().expect("status cell"))
+        .collect();
+    assert_eq!(statuses, ["done:completed", "done:completed"], "{doc:?}");
+    assert!(
+        rows.iter().all(|r| r.as_arr().unwrap()[2].as_num().is_some_and(|c| c > 0.0)),
+        "cycles column not populated: {doc:?}"
+    );
+
+    // Journal rows are in the same corpus; malformed queries are 400s.
+    let (status, _, doc) = rpc(
+        port,
+        "{\"jsonrpc\":\"2.0\",\"id\":8,\"method\":\"query\",\"params\":{\"q\":\"where source=journal group by event agg count\"}}",
+    );
+    assert_eq!(status, 200, "{doc:?}");
+    let (status, _, doc) = rpc(
+        port,
+        "{\"jsonrpc\":\"2.0\",\"id\":9,\"method\":\"query\",\"params\":{\"q\":\"sort nonsense_column\"}}",
+    );
+    assert_eq!(status, 400, "{doc:?}");
+}

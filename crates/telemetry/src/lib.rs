@@ -17,7 +17,10 @@
 //!   [`chrome`] (`trace_event` JSON, Perfetto-loadable) and [`konata`]
 //!   (Kanata stage-timeline text) exporters;
 //! * [`json`] — a small strict JSON parser used as the checked-in validator
-//!   for the Chrome export (and for `--metrics` JSONL lines).
+//!   for the Chrome export (and for `--metrics` JSONL lines);
+//! * [`expo`] — Prometheus-style text exposition for registry metrics
+//!   (cumulative log2 `_bucket` lines, quantile summaries), backing the
+//!   `sas-serve` `GET /metrics` endpoint.
 //!
 //! The crate is deliberately at the bottom of the workspace dependency
 //! graph (no dependencies at all) so every layer can register into it.
@@ -27,6 +30,7 @@
 
 pub mod chrome;
 pub mod cpi;
+pub mod expo;
 pub mod json;
 pub mod konata;
 pub mod registry;

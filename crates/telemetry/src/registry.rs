@@ -84,6 +84,39 @@ impl Histogram {
         }
     }
 
+    /// Inclusive upper bound of bucket `i`: 0 for bucket 0, else
+    /// `2^i - 1` (saturating at `u64::MAX` for the top bucket).
+    pub fn bucket_upper(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else if i >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Estimated `q`-quantile (`q` in `[0, 1]`) from the log2 buckets:
+    /// the inclusive upper bound of the first bucket whose cumulative
+    /// count reaches the nearest-rank target, clamped to the observed
+    /// `[min, max]` range. Exact when all samples share a bucket, and
+    /// never off by more than one bucket width otherwise — plenty for
+    /// latency summaries. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if n > 0 && cum >= rank {
+                return Self::bucket_upper(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
     /// Nonzero buckets as `(bucket_index, count)`; the bucket covers values
     /// in `[2^(i-1), 2^i)` (and bucket 0 covers exactly 0).
     pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
@@ -345,6 +378,14 @@ impl MetricsRegistry {
         })
     }
 
+    /// Histogram under `name`, if exported.
+    pub fn histogram_value(&self, name: &str) -> Option<&Histogram> {
+        self.entries.iter().find_map(|(k, v)| match v {
+            MetricValue::Histogram(h) if k == name => Some(h),
+            _ => None,
+        })
+    }
+
     /// All exported gauges as `(name, series)`.
     pub fn gauges(&self) -> Vec<(&str, &GaugeSeries)> {
         self.entries
@@ -412,6 +453,31 @@ mod tests {
         assert_eq!(h.max(), u64::MAX);
         let total: u64 = h.nonzero_buckets().iter().map(|(_, n)| n).sum();
         assert_eq!(total, 7);
+    }
+
+    #[test]
+    fn quantiles_track_bucket_upper_bounds() {
+        let mut h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0, "empty histogram");
+        for _ in 0..99 {
+            h.observe(10); // bucket 4 ([8, 16))
+        }
+        h.observe(1000); // bucket 10
+        // p50/p95 land in the 10s bucket; clamped to max(10)=10 … upper 15.
+        assert_eq!(h.quantile(0.50), 15);
+        assert_eq!(h.quantile(0.95), 15);
+        // p99 rank 99 is still in the 10s bucket; p100 reaches 1000's.
+        assert_eq!(h.quantile(0.99), 15);
+        assert_eq!(h.quantile(1.0), Histogram::bucket_upper(10).clamp(10, 1000));
+        // Single-value histograms are exact.
+        let mut one = Histogram::new();
+        one.observe(42);
+        for q in [0.5, 0.95, 0.99] {
+            assert_eq!(one.quantile(q), 42);
+        }
+        assert_eq!(Histogram::bucket_upper(0), 0);
+        assert_eq!(Histogram::bucket_upper(4), 15);
+        assert_eq!(Histogram::bucket_upper(64), u64::MAX);
     }
 
     #[test]

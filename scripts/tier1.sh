@@ -263,4 +263,83 @@ kill -TERM "$SERVE_PID"
 rc=0; wait "$SERVE_PID" || rc=$?
 [ "$rc" -eq 0 ]
 
+echo "== tier1: campaign analytics + live observability (sas-query, /metrics, /watch) =="
+# The query layer (DESIGN.md §14) over the fig6 smoke manifest:
+#   1. the ISSUE-10 acceptance query returns exactly 5 stt rows (the engine
+#      itself is oracle-property-tested in crates/query/tests/query_prop.rs)
+#      and emits the committed BENCH_query.json ingest/query-throughput
+#      artifact;
+#   2. three pinned queries (group-by/agg, aliased CPI filter, sorted row
+#      slice) must render byte-identically to scripts/golden_queries.txt —
+#      cycle counts are pinned by crates/bench/golden_fig6_cycles.txt;
+#   3. against a live daemon: GET /watch/<job> streams ≥2 strictly
+#      monotonic SSE progress frames plus a terminal done frame, GET
+#      /metrics exposes request counters / latency histograms / job and
+#      queue gauges, and the `query` RPC slices the journal + job table.
+QUERYDIR=target/sas-query/tier1
+rm -rf "$QUERYDIR"; mkdir -p "$QUERYDIR"
+http_get() { # http_get <port> <path> — raw GET, prints the full response
+  local port=$1 path=$2
+  exec 3<>"/dev/tcp/127.0.0.1/$port"
+  printf 'GET %s HTTP/1.1\r\nhost: t\r\n\r\n' "$path" >&3
+  cat <&3
+  exec 3<&- 3>&-
+}
+
+./target/release/sas-trace query \
+  'where mitigation=stt and cpi.mem_bound>0 sort wall_ms desc limit 5' \
+  --from target/sas-runner/tier1-fig6.jsonl \
+  --bench BENCH_query.json > "$QUERYDIR/acceptance.txt"
+[ "$(tail -n +3 "$QUERYDIR/acceptance.txt" | wc -l)" -eq 5 ]
+[ "$(grep -c '/stt' "$QUERYDIR/acceptance.txt")" -eq 5 ]
+grep -q '"schema": "sas-bench-query-v1"' BENCH_query.json
+grep -q '"rows": 75' BENCH_query.json
+grep -q '"index_rows_per_sec"' BENCH_query.json
+
+{
+  sed -n '1,/^$/p' scripts/golden_queries.txt   # keep the header comment
+  grep '^\$ query ' scripts/golden_queries.txt | while IFS= read -r line; do
+    q=${line#\$ query }
+    echo "\$ query $q"
+    ./target/release/sas-trace query "$q" \
+      --from target/sas-runner/tier1-fig6.jsonl 2>/dev/null
+    echo ''
+  done
+} > "$QUERYDIR/golden_queries.out"
+# diff -u … trailing-newline nit: golden ends with one blank line per block
+diff -u scripts/golden_queries.txt "$QUERYDIR/golden_queries.out"
+
+# --- live daemon: SSE watch, metrics exposition, query RPC ---
+serve_start "$SERVEDIR/q" "$SERVEDIR/q.log" --workers 1 --chunk 100000
+http_get "$SERVE_PORT" /status | grep -q '"schema":"sas-serve-status-v2"'
+resp=$(rpc "$SERVE_PORT" '{"jsonrpc":"2.0","id":11,"method":"simulate","params":{"program":"'"$LONG"'","wait":false,"deadline_ms":120000}}')
+job=$(echo "$resp" | sed -n 's/.*"job":\([0-9]*\).*/\1/p' | head -1)
+[ -n "$job" ]
+# Blocks until the terminal done frame closes the stream.
+http_get "$SERVE_PORT" "/watch/$job" > "$QUERYDIR/watch.sse"
+grep -q '^event: done' "$QUERYDIR/watch.sse"
+grep -A1 '^event: done' "$QUERYDIR/watch.sse" | grep -q '"status":"done:completed"'
+[ "$(grep -c '^event: progress' "$QUERYDIR/watch.sse")" -ge 2 ]
+# Progress cycles must be strictly monotonic (sort -cnu rejects disorder
+# and duplicates).
+sed -n 's/.*"cycle":\([0-9]*\).*/\1/p' "$QUERYDIR/watch.sse" | sort -cnu
+
+http_get "$SERVE_PORT" /metrics > "$QUERYDIR/metrics.txt"
+grep -q '^sas_serve_up 1$' "$QUERYDIR/metrics.txt"
+grep -q '^sas_serve_jobs_total{outcome="completed"} 1$' "$QUERYDIR/metrics.txt"
+grep -q '^sas_serve_requests_total{method="watch"} 1$' "$QUERYDIR/metrics.txt"
+grep -q '^sas_serve_request_latency_us_count{method="rpc:simulate"} 1$' "$QUERYDIR/metrics.txt"
+grep -q 'sas_serve_request_latency_us{method="watch",quantile="0.95"}' "$QUERYDIR/metrics.txt"
+grep -q '^sas_serve_workers_alive 1$' "$QUERYDIR/metrics.txt"
+grep -q '^sas_serve_journal_bytes ' "$QUERYDIR/metrics.txt"
+[ "$(sed -n 's/^sas_serve_sse_events_total \([0-9]*\)$/\1/p' "$QUERYDIR/metrics.txt")" -ge 3 ]
+
+rpc "$SERVE_PORT" '{"jsonrpc":"2.0","id":12,"method":"query","params":{"q":"show job,status,cycles where source=jobs sort job"}}' \
+  | grep -q '"done:completed"'
+rpc "$SERVE_PORT" '{"jsonrpc":"2.0","id":13,"method":"query","params":{"q":"where source=journal group by event agg count sort event"}}' \
+  | grep -q '"columns":\["event","count"\]'
+kill -TERM "$SERVE_PID"
+rc=0; wait "$SERVE_PID" || rc=$?
+[ "$rc" -eq 0 ]
+
 echo "== tier1: OK =="

@@ -68,10 +68,20 @@ OPTIONS:
                              (default 1000000)
 
 ENDPOINTS:
-  POST /rpc       JSON-RPC: simulate, trace, lint, spin, job, cancel, status, drain
-  GET  /status    counters and queue state
-  GET  /healthz   200 ok / 503 draining
-  POST /drain     start a graceful drain
+  POST /rpc          JSON-RPC: simulate, trace, lint, spin, job, cancel, query,
+                     status, drain
+  GET  /status       counters and queue state (schema sas-serve-status-v2)
+  GET  /metrics      Prometheus-style text exposition: request counters,
+                     latency histograms + quantiles, queue/worker gauges
+  GET  /watch/<job>  server-sent events: queued / progress / done frames
+                     bridged from the worker's heartbeat (cycle, committed,
+                     CPI stack)
+  GET  /healthz      200 ok / 503 draining
+  POST /drain        start a graceful drain
+
+The query method runs a sas-query expression over the daemon's journal and
+live job table, e.g.
+  {{\"method\":\"query\",\"params\":{{\"q\":\"where source=jobs sort cycles desc limit 5\"}}}}
 "
     );
     ExitCode::from(2)

@@ -10,6 +10,15 @@
 //! `--chrome` output loads in `ui.perfetto.dev` (or `chrome://tracing`);
 //! `--konata` output follows the Kanata 0004 pipeline-viewer format. See
 //! DESIGN.md §9 and the README's "Inspecting a run" walkthrough.
+//!
+//! The `query` subcommand runs `sas-query` expressions over campaign
+//! artifacts (runner manifests, `BENCH_*.json`, fuzz summaries, serve
+//! journals — see DESIGN.md §14):
+//!
+//! ```text
+//! sas-trace query 'where mitigation=stt and cpi.mem_bound>0 sort wall_ms desc limit 5' \
+//!     --from runs/campaign/manifest.jsonl
+//! ```
 
 use sas_attacks::spectre::spectre_v1_program;
 use sas_attacks::{layout, GadgetFlavor};
@@ -26,6 +35,7 @@ fn usage() -> ExitCode {
 
 USAGE:
   sas-trace <target> [flags]
+  sas-trace query '<expr>' --from FILE [--from FILE]... [--json] [--bench PATH]
   sas-trace list
 
 TARGETS:
@@ -45,6 +55,12 @@ FLAGS:
   --verify                    validate the exports (Chrome JSON well-formedness,
                               Konata retirement coverage, CPI-sum invariant)
   --golden FILE               diff metric keys (minus policy.*) against FILE
+
+QUERY FLAGS:
+  --from FILE                 artifact to index (repeatable: manifests,
+                              BENCH_*.json, fuzz summaries, serve journals)
+  --json                      emit the result table as JSON instead of text
+  --bench PATH                write index/query timing as BENCH_query.json
 "
     );
     ExitCode::from(2)
@@ -82,6 +98,62 @@ fn build_target(name: &str, m: Mitigation, args: &[String]) -> Result<System, St
     let mut sys = build_system(&cfg, w.program.clone(), m);
     w.setup.apply(&mut sys);
     Ok(sys)
+}
+
+/// Every value of a repeatable flag, in order.
+fn flag_values(args: &[String], flag: &str) -> Vec<String> {
+    args.windows(2)
+        .filter(|w| w[0] == flag)
+        .map(|w| w[1].clone())
+        .collect()
+}
+
+/// `sas-trace query '<expr>' --from FILE...` — index campaign artifacts
+/// and run one query expression against them.
+fn cmd_query(args: &[String]) -> Result<ExitCode, String> {
+    const QUERY_USAGE: &str =
+        "usage: sas-trace query '<expr>' --from FILE [--from FILE]... [--json] [--bench PATH]";
+    let expr = args
+        .get(1)
+        .filter(|a| !a.starts_with('-'))
+        .cloned()
+        .ok_or(QUERY_USAGE)?;
+    let files: Vec<std::path::PathBuf> =
+        flag_values(args, "--from").into_iter().map(Into::into).collect();
+    if files.is_empty() {
+        return Err(QUERY_USAGE.into());
+    }
+    let t0 = std::time::Instant::now();
+    let (idx, stats) = sas_query::load::index_paths(&files)?;
+    let index_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t1 = std::time::Instant::now();
+    let table = sas_query::run_str(&idx, &expr)?;
+    let query_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+    if has_flag(args, "--json") {
+        println!("{}", table.to_json());
+    } else {
+        print!("{}", table.render());
+    }
+    eprintln!(
+        "query: {} rows from {} file(s) ({} line(s) skipped); indexed in {index_ms:.2} ms, ran in {query_ms:.3} ms",
+        stats.rows, stats.files, stats.skipped_lines
+    );
+
+    if let Some(path) = flag_value(args, "--bench") {
+        let rows_per_sec = if index_ms > 0.0 { stats.rows as f64 / (index_ms / 1e3) } else { 0.0 };
+        let doc = format!(
+            "{{\n  \"schema\": \"sas-bench-query-v1\",\n  \"query\": \"{}\",\n  \"files\": {},\n  \"rows\": {},\n  \"skipped_lines\": {},\n  \"index_ms\": {index_ms:.3},\n  \"index_rows_per_sec\": {rows_per_sec:.0},\n  \"query_ms\": {query_ms:.4},\n  \"result_rows\": {}\n}}\n",
+            sas_query::query::json_escape(&expr),
+            stats.files,
+            stats.rows,
+            stats.skipped_lines,
+            table.rows.len(),
+        );
+        std::fs::write(&path, doc).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote query bench to {path}");
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn cmd_list() -> ExitCode {
@@ -122,6 +194,9 @@ fn run() -> Result<ExitCode, String> {
     let Some(target) = args.first().cloned() else { return Ok(usage()) };
     if target == "list" {
         return Ok(cmd_list());
+    }
+    if target == "query" {
+        return cmd_query(&args);
     }
     if target.starts_with('-') {
         return Ok(usage());
